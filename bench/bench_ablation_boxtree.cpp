@@ -1,0 +1,136 @@
+// Ablation: single-box BinMD (the proxies) vs MDEventWorkspace box
+// hierarchy traversal (Mantid, §III-B: "Mantid's BinMD uses a more
+// adaptive strategy by having a hierarchy of boxes").  Measures the
+// tree build cost (paid at load time in production) and the
+// traversal overhead during binning, plus the region-query capability
+// the hierarchy buys.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/events/md_box_tree.hpp"
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/units/units.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace vates;
+
+struct Fixture {
+  Fixture()
+      : setup(WorkloadSpec::benzilCorelli(0.002)),
+        events(setup.makeGenerator().generate(0)),
+        transforms(binMdTransforms(setup.projection(), setup.lattice(),
+                                   setup.symmetryMatrices())),
+        histogram(setup.makeHistogram()), tree(events) {}
+
+  ExperimentSetup setup;
+  EventTable events;
+  std::vector<M33> transforms;
+  Histogram3D histogram;
+  MDBoxTree tree;
+};
+
+Fixture& fixture() {
+  static Fixture instance;
+  return instance;
+}
+
+void BM_BoxTreeBuild(benchmark::State& state) {
+  Fixture& f = fixture();
+  MDBoxOptions options;
+  options.leafCapacity = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    MDBoxTree tree(f.events, options);
+    benchmark::DoNotOptimize(tree.nBoxes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.events.size()));
+}
+BENCHMARK(BM_BoxTreeBuild)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BinMD_FlatColumns(benchmark::State& state) {
+  // The proxies' single-box strategy: stream the primitive columns.
+  Fixture& f = fixture();
+  BinMDInputs inputs;
+  inputs.transforms = f.transforms;
+  inputs.qx = f.events.column(EventTable::Qx).data();
+  inputs.qy = f.events.column(EventTable::Qy).data();
+  inputs.qz = f.events.column(EventTable::Qz).data();
+  inputs.signal = f.events.column(EventTable::Signal).data();
+  inputs.nEvents = f.events.size();
+  const Executor executor(Backend::Serial);
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    runBinMD(executor, inputs, f.histogram.gridView());
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.events.size() * f.transforms.size()));
+}
+BENCHMARK(BM_BinMD_FlatColumns)->Unit(benchmark::kMillisecond);
+
+void BM_BinMD_BoxTreeTraversal(benchmark::State& state) {
+  // Mantid-style: walk the box hierarchy, indirecting per event.
+  Fixture& f = fixture();
+  const Executor executor(Backend::Serial);
+  (void)executor;
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    const GridView grid = f.histogram.gridView();
+    for (const M33& transform : f.transforms) {
+      f.tree.forEachLeaf([&](const MDBoxTree::BoxInfo&,
+                             std::span<const std::uint32_t> indices) {
+        for (const std::uint32_t index : indices) {
+          const V3 p = transform * f.events.qSample(index);
+          const std::size_t bin = grid.locate(p);
+          if (bin < grid.size()) {
+            grid.data[bin] += f.events.signal(index);
+          }
+        }
+      });
+    }
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(f.events.size() * f.transforms.size()));
+}
+BENCHMARK(BM_BinMD_BoxTreeTraversal)->Unit(benchmark::kMillisecond);
+
+void BM_BoxTreeRegionQuery(benchmark::State& state) {
+  // What the hierarchy buys: O(boxes-on-boundary) slice queries.
+  Fixture& f = fixture();
+  const V3 lo{-2.0, -2.0, -0.05};
+  const V3 hi{2.0, 2.0, 0.05};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tree.signalInRegion(lo, hi));
+  }
+}
+BENCHMARK(BM_BoxTreeRegionQuery);
+
+void BM_FlatRegionQuery(benchmark::State& state) {
+  // Brute-force equivalent over the flat table.
+  Fixture& f = fixture();
+  const V3 lo{-2.0, -2.0, -0.05};
+  const V3 hi{2.0, 2.0, 0.05};
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < f.events.size(); ++i) {
+      const V3 q = f.events.qSample(i);
+      if (q.x >= lo.x && q.x < hi.x && q.y >= lo.y && q.y < hi.y &&
+          q.z >= lo.z && q.z < hi.z) {
+        sum += f.events.signal(i);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FlatRegionQuery);
+
+} // namespace
+
+BENCHMARK_MAIN();

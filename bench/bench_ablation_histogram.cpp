@@ -1,0 +1,123 @@
+// Ablation: histogram accumulation strategies.
+//
+// BinMD's cost is dominated by atomic adds into the shared 3D histogram
+// (the paper attributes the A100-vs-MI100 gap to atomic-update
+// efficiency).  This bench measures:
+//   - serial adds (no atomics) as the floor,
+//   - atomic adds with spread access (realistic event distributions),
+//   - atomic adds hammering one hot bin (a Bragg peak's worst case),
+//   - per-thread private histograms merged at the end (the alternative
+//     design the paper's atomic choice competes against: no contention
+//     but nBins·nThreads memory and a merge pass).
+
+#include "vates/histogram/histogram3d.hpp"
+#include "vates/parallel/atomics.hpp"
+#include "vates/parallel/thread_pool.hpp"
+#include "vates/support/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace {
+
+using namespace vates;
+
+constexpr std::size_t kBins = 603 * 603; // a paper-sized 2D slice
+
+std::vector<std::size_t> makeTargets(std::size_t n, bool hotSpot) {
+  Xoshiro256 rng(n + (hotSpot ? 99 : 0));
+  std::vector<std::size_t> targets(n);
+  for (auto& t : targets) {
+    t = hotSpot ? kBins / 2 : rng.uniformInt(kBins);
+  }
+  return targets;
+}
+
+void BM_SerialAdd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto targets = makeTargets(n, false);
+  std::vector<double> bins(kBins, 0.0);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      bins[targets[i]] += 1.0;
+    }
+    benchmark::DoNotOptimize(bins.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_AtomicAddSpread(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto targets = makeTargets(n, false);
+  std::vector<double> bins(kBins, 0.0);
+  ThreadPool& pool = ThreadPool::global();
+  for (auto _ : state) {
+    pool.forRange(n, [&](std::size_t begin, std::size_t end, unsigned) {
+      for (std::size_t i = begin; i < end; ++i) {
+        atomicAdd(&bins[targets[i]], 1.0);
+      }
+    });
+    benchmark::DoNotOptimize(bins.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_AtomicAddHotBin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto targets = makeTargets(n, true);
+  std::vector<double> bins(kBins, 0.0);
+  ThreadPool& pool = ThreadPool::global();
+  for (auto _ : state) {
+    pool.forRange(n, [&](std::size_t begin, std::size_t end, unsigned) {
+      for (std::size_t i = begin; i < end; ++i) {
+        atomicAdd(&bins[targets[i]], 1.0);
+      }
+    });
+    benchmark::DoNotOptimize(bins.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_PrivateHistogramsThenMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto targets = makeTargets(n, false);
+  ThreadPool& pool = ThreadPool::global();
+  const unsigned workers = pool.size();
+  std::vector<std::vector<double>> privates(
+      workers, std::vector<double>(kBins, 0.0));
+  std::vector<double> merged(kBins, 0.0);
+  for (auto _ : state) {
+    pool.forRange(n, [&](std::size_t begin, std::size_t end, unsigned worker) {
+      auto& mine = privates[worker];
+      for (std::size_t i = begin; i < end; ++i) {
+        mine[targets[i]] += 1.0;
+      }
+    });
+    for (unsigned w = 0; w < workers; ++w) {
+      for (std::size_t b = 0; b < kBins; ++b) {
+        merged[b] += privates[w][b];
+      }
+      std::fill(privates[w].begin(), privates[w].end(), 0.0);
+    }
+    benchmark::DoNotOptimize(merged.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void histogramArgs(benchmark::internal::Benchmark* bench) {
+  bench->Arg(100000)->Arg(1000000);
+}
+
+BENCHMARK(BM_SerialAdd)->Apply(histogramArgs);
+BENCHMARK(BM_AtomicAddSpread)->Apply(histogramArgs);
+BENCHMARK(BM_AtomicAddHotBin)->Apply(histogramArgs);
+BENCHMARK(BM_PrivateHistogramsThenMerge)->Apply(histogramArgs);
+
+} // namespace
+
+BENCHMARK_MAIN();

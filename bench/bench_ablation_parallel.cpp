@@ -1,0 +1,178 @@
+// Ablation: the paper's kernel-level design choices, measured on the
+// real MDNorm/BinMD kernels at reduced workload scale:
+//
+//   1. ROI plane search vs Mantid-style linear search (Listing 1's
+//      "improving the complexity of linear searches" claim);
+//   2. primitive-key sort vs whole-struct sort inside MDNorm;
+//   3. collapse(2) over (ops × detectors) vs parallelizing the outer
+//      symmetry loop only (Listing 1's collapse clause);
+//   4. each available backend on the same BinMD launch.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/parallel/executor.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace vates;
+
+/// Shared fixture state, built once (instrument construction is the
+/// expensive part).
+struct Fixture {
+  Fixture()
+      : setup(WorkloadSpec::benzilCorelli(0.001)),
+        generator(setup.makeGenerator()), run(generator.runInfo(0)),
+        events(generator.generate(0)),
+        normTransforms(mdNormTransforms(setup.projection(), setup.lattice(),
+                                        setup.symmetryMatrices(),
+                                        run.goniometerR)),
+        binTransforms(binMdTransforms(setup.projection(), setup.lattice(),
+                                      setup.symmetryMatrices())),
+        histogram(setup.makeHistogram()) {}
+
+  MDNormInputs normInputs() const {
+    MDNormInputs inputs;
+    inputs.transforms = normTransforms;
+    inputs.qLabDirections = setup.instrument().qLabDirections();
+    inputs.solidAngles = setup.instrument().solidAngles();
+    inputs.flux = setup.flux().view();
+    inputs.protonCharge = run.protonCharge;
+    inputs.kMin = run.kMin;
+    inputs.kMax = run.kMax;
+    return inputs;
+  }
+
+  BinMDInputs binInputs() const {
+    BinMDInputs inputs;
+    inputs.transforms = binTransforms;
+    inputs.qx = events.column(EventTable::Qx).data();
+    inputs.qy = events.column(EventTable::Qy).data();
+    inputs.qz = events.column(EventTable::Qz).data();
+    inputs.signal = events.column(EventTable::Signal).data();
+    inputs.nEvents = events.size();
+    return inputs;
+  }
+
+  ExperimentSetup setup;
+  EventGenerator generator;
+  RunInfo run;
+  EventTable events;
+  std::vector<M33> normTransforms;
+  std::vector<M33> binTransforms;
+  Histogram3D histogram;
+};
+
+Fixture& fixture() {
+  static Fixture instance;
+  return instance;
+}
+
+Backend cpuBackend() {
+#ifdef VATES_HAS_OPENMP
+  return Backend::OpenMP;
+#else
+  return Backend::ThreadPool;
+#endif
+}
+
+// --------------------------------------------------------------------------
+// 1 + 2: MDNorm algorithm variants
+
+void BM_MDNorm_Variant(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Executor executor(cpuBackend());
+  MDNormOptions options;
+  options.search = state.range(0) != 0 ? PlaneSearch::Roi : PlaneSearch::Linear;
+  options.sortPrimitiveKeys = state.range(1) != 0;
+  const MDNormInputs inputs = f.normInputs();
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    runMDNorm(executor, inputs, f.histogram.gridView(), options);
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+  state.SetLabel(std::string(options.search == PlaneSearch::Roi ? "roi"
+                                                                : "linear") +
+                 (options.sortPrimitiveKeys ? "+keys" : "+structs"));
+}
+BENCHMARK(BM_MDNorm_Variant)
+    ->Args({0, 0}) // linear + structs  (Mantid-style)
+    ->Args({0, 1}) // linear + keys
+    ->Args({1, 0}) // roi + structs
+    ->Args({1, 1}) // roi + keys       (the proxies)
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------------
+// 3: collapse(2) vs outer-only parallelism
+
+void BM_MDNorm_Collapse2(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Executor executor(cpuBackend());
+  const MDNormInputs inputs = f.normInputs();
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    runMDNorm(executor, inputs, f.histogram.gridView());
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+}
+BENCHMARK(BM_MDNorm_Collapse2)->Unit(benchmark::kMillisecond);
+
+void BM_MDNorm_OuterOnly(benchmark::State& state) {
+  // Parallelize only the symmetry-op loop (6 work items for Benzil):
+  // the structure the collapse(2) clause exists to avoid.
+  Fixture& f = fixture();
+  const Executor executor(cpuBackend());
+  const MDNormInputs whole = f.normInputs();
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    const GridView grid = f.histogram.gridView();
+    executor.parallelFor(whole.transforms.size(), [&](std::size_t op) {
+      MDNormInputs single = whole;
+      single.transforms =
+          std::span<const M33>(&whole.transforms[op], 1);
+      // Inner detector loop runs serially inside this work item.
+      const Executor inner(Backend::Serial);
+      runMDNorm(inner, single, grid);
+    });
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+}
+BENCHMARK(BM_MDNorm_OuterOnly)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------------
+// 4: BinMD per backend
+
+void BM_BinMD_Backend(benchmark::State& state) {
+  Fixture& f = fixture();
+  const auto backend = static_cast<Backend>(state.range(0));
+  if (!backendAvailable(backend)) {
+    state.SkipWithError("backend not available in this build");
+    return;
+  }
+  const Executor executor(backend);
+  const BinMDInputs inputs = f.binInputs();
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    runBinMD(executor, inputs, f.histogram.gridView());
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+  state.SetLabel(backendName(backend));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs.nEvents) *
+                          static_cast<std::int64_t>(inputs.transforms.size()));
+}
+BENCHMARK(BM_BinMD_Backend)
+    ->Arg(static_cast<int>(Backend::Serial))
+#ifdef VATES_HAS_OPENMP
+    ->Arg(static_cast<int>(Backend::OpenMP))
+#endif
+    ->Arg(static_cast<int>(Backend::ThreadPool))
+    ->Arg(static_cast<int>(Backend::DeviceSim))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

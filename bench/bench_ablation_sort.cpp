@@ -1,0 +1,129 @@
+// Ablation: in-kernel sorting strategies (§III-B).
+//
+// The paper replaces Mantid's sort-an-array-of-structs with sorting an
+// array of primitive keys ("we sort an array of indices using primitive
+// types") and selects comb sort for its allocation-free inner loop.
+// This microbenchmark quantifies both choices at intersection-list
+// sizes (the Benzil/Bixbyite grids give ~1209-entry worst cases) for
+// random and nearly-sorted inputs (plane-ordered intersections arrive
+// nearly sorted, which comb sort exploits).
+
+#include "vates/kernels/comb_sort.hpp"
+#include "vates/kernels/intersections.hpp"
+#include "vates/support/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace {
+
+using vates::Intersection;
+
+std::vector<double> makeKeys(std::size_t n, bool nearlySorted) {
+  vates::Xoshiro256 rng(n * 7919 + (nearlySorted ? 1 : 0));
+  std::vector<double> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = nearlySorted ? static_cast<double>(i) + rng.uniform(0.0, 3.0)
+                           : rng.uniform(0.0, 1000.0);
+  }
+  return keys;
+}
+
+void BM_CombSortKeys(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool nearlySorted = state.range(1) != 0;
+  const std::vector<double> source = makeKeys(n, nearlySorted);
+  std::vector<double> keys(n);
+  for (auto _ : state) {
+    std::copy(source.begin(), source.end(), keys.begin());
+    vates::combSortKeys(keys.data(), nullptr, n);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_CombSortKeysWithIndices(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool nearlySorted = state.range(1) != 0;
+  const std::vector<double> source = makeKeys(n, nearlySorted);
+  std::vector<double> keys(n);
+  std::vector<std::uint32_t> indices(n);
+  for (auto _ : state) {
+    std::copy(source.begin(), source.end(), keys.begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      indices[i] = static_cast<std::uint32_t>(i);
+    }
+    vates::combSortKeys(keys.data(), indices.data(), n);
+    benchmark::DoNotOptimize(indices.data());
+  }
+}
+
+void BM_CombSortStructs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool nearlySorted = state.range(1) != 0;
+  const std::vector<double> source = makeKeys(n, nearlySorted);
+  std::vector<Intersection> structs(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      structs[i] = Intersection{source[i] * 2, source[i] * 3, source[i] * 4,
+                                source[i]};
+    }
+    vates::combSortStructs(structs.data(), n,
+                           [](const Intersection& p) { return p.k; });
+    benchmark::DoNotOptimize(structs.data());
+  }
+}
+
+void BM_StdSortStructs(benchmark::State& state) {
+  // Mantid-style: std::sort over whole structs (may allocate for
+  // introsort's recursion bookkeeping is stack-based, but the struct
+  // moves are the cost driver here).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool nearlySorted = state.range(1) != 0;
+  const std::vector<double> source = makeKeys(n, nearlySorted);
+  std::vector<Intersection> structs(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      structs[i] = Intersection{source[i] * 2, source[i] * 3, source[i] * 4,
+                                source[i]};
+    }
+    std::sort(structs.begin(), structs.end(),
+              [](const Intersection& a, const Intersection& b) {
+                return a.k < b.k;
+              });
+    benchmark::DoNotOptimize(structs.data());
+  }
+}
+
+void BM_StdSortKeys(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool nearlySorted = state.range(1) != 0;
+  const std::vector<double> source = makeKeys(n, nearlySorted);
+  std::vector<double> keys(n);
+  for (auto _ : state) {
+    std::copy(source.begin(), source.end(), keys.begin());
+    std::sort(keys.begin(), keys.end());
+    benchmark::DoNotOptimize(keys.data());
+  }
+}
+
+void sortArgs(benchmark::internal::Benchmark* bench) {
+  for (const std::int64_t n : {64, 256, 1209, 4096}) {
+    for (const std::int64_t nearlySorted : {0, 1}) {
+      bench->Args({n, nearlySorted});
+    }
+  }
+}
+
+BENCHMARK(BM_CombSortKeys)->Apply(sortArgs);
+BENCHMARK(BM_CombSortKeysWithIndices)->Apply(sortArgs);
+BENCHMARK(BM_CombSortStructs)->Apply(sortArgs);
+BENCHMARK(BM_StdSortStructs)->Apply(sortArgs);
+BENCHMARK(BM_StdSortKeys)->Apply(sortArgs);
+
+} // namespace
+
+BENCHMARK_MAIN();

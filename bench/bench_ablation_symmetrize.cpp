@@ -1,0 +1,105 @@
+// Ablation: where to pay the symmetry multiplier.
+//
+// The symmetry-operation loop multiplies both kernels' work by the
+// group order (6 for Benzil, 24 for Bixbyite) — the outer loop of the
+// paper's Listings 1–3.  The alternative is reducing with the identity
+// only and folding the finished histograms over the group at bin level
+// (O(bins × ops) instead of O(work × ops)).  This bench times both
+// strategies on the real pipeline and reports the accuracy cost of the
+// bin-center approximation.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/kernels/symmetrize.hpp"
+#include "vates/support/cli.hpp"
+#include "vates/support/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+using namespace vates;
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_ablation_symmetrize",
+                 "Event-level symmetry loop vs post-hoc histogram fold");
+  args.addOption("scale", "Workload scale", "0.001");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+    const double scale = args.getDouble("scale");
+    std::cout << "=== Ablation: event-level symmetrization (Listings 1-3) "
+                 "vs bin-level fold ===\n\n";
+
+    core::ReductionConfig config;
+#ifdef VATES_HAS_OPENMP
+    config.backend = Backend::OpenMP;
+#else
+    config.backend = Backend::ThreadPool;
+#endif
+    const Executor executor(config.backend);
+
+    for (const char* name : {"benzil", "bixbyite"}) {
+      const bool benzil = std::string(name) == "benzil";
+      WorkloadSpec spec = benzil ? WorkloadSpec::benzilCorelli(scale)
+                                 : WorkloadSpec::bixbyiteTopaz(scale / 5);
+      // Coarsen the grid so coverage is smooth at bin scale at this
+      // reduced detector count (see the reading note below).
+      spec.bins = {151, 151, 1};
+      const ExperimentSetup setup(spec);
+
+      WallTimer eventTimer;
+      const core::ReductionResult eventLevel =
+          core::ReductionPipeline(setup, config).run();
+      const double eventSeconds = eventTimer.seconds();
+
+      WorkloadSpec identitySpec = spec;
+      identitySpec.pointGroup = "1";
+      const ExperimentSetup identity{identitySpec};
+      WallTimer foldTimer;
+      const core::ReductionResult base =
+          core::ReductionPipeline(identity, config).run();
+      const auto ops = setup.pointGroup().matrices();
+      const Histogram3D foldedSignal =
+          symmetrizeFold(executor, base.signal, ops, setup.projection());
+      const Histogram3D foldedNorm = symmetrizeFold(
+          executor, base.normalization, ops, setup.projection());
+      const Histogram3D folded =
+          Histogram3D::divide(foldedSignal, foldedNorm);
+      const double foldSeconds = foldTimer.seconds();
+
+      // Accuracy: mean relative deviation over jointly covered bins.
+      double sumRelative = 0.0, worst = 0.0;
+      std::size_t compared = 0;
+      for (std::size_t i = 0; i < folded.size(); ++i) {
+        const double a = eventLevel.crossSection.data()[i];
+        const double b = folded.data()[i];
+        if (std::isfinite(a) && std::isfinite(b) && a > 0.0) {
+          const double relative = std::fabs(a - b) / a;
+          sumRelative += relative;
+          worst = std::max(worst, relative);
+          ++compared;
+        }
+      }
+
+      std::printf("%-10s ops=%-3zu event-level %.3f s | identity+fold "
+                  "%.3f s (%.2fx) | mean dev %.3f%%, worst %.1f%% over %zu "
+                  "bins\n",
+                  name, ops.size(), eventSeconds, foldSeconds,
+                  eventSeconds / foldSeconds,
+                  100.0 * sumRelative / std::max<std::size_t>(compared, 1),
+                  100.0 * worst, compared);
+    }
+
+    std::cout << "\nReading: the fold buys back most of the symmetry "
+                 "multiplier but pays a bin-center discretization error "
+                 "that explodes wherever coverage is sparse at bin scale "
+                 "(thin normalization arcs) — why the production path "
+                 "(and the paper's proxies) keep the exact event-level "
+                 "loop.\n";
+    return 0;
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,143 @@
+#pragma once
+// Shared driver for the table-reproduction benchmarks.
+//
+// Each bench_tableN binary reproduces one of the paper's WCT tables:
+// a fixed (workload, hardware-preset) pair, three measured columns —
+//   "C++ Proxy (CPU)"    : the optimized kernels on the best CPU backend,
+//   "DeviceSim (JIT)"    : the portable kernels on the simulated device,
+//                          first invocation (includes kernel compilation),
+//   "DeviceSim (no JIT)" : same, warmed (compilation amortized) —
+// and the paper's corresponding published numbers printed alongside for
+// shape comparison.  Absolute values differ (this machine is not
+// Defiant/Milan0); EXPERIMENTS.md records both.
+
+#include "vates/core/hardware_preset.hpp"
+#include "vates/core/pipeline.hpp"
+#include "vates/core/report.hpp"
+#include "vates/support/cli.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+namespace vates::bench {
+
+struct PaperColumn {
+  const char* header;
+  double updateEvents;
+  double mdnorm;
+  double binmd;
+  double total;
+};
+
+struct TableCase {
+  const char* title;
+  const char* presetName;
+  WorkloadSpec (*makeSpec)(double scale);
+  double defaultScale;
+  std::vector<PaperColumn> paperColumns;
+};
+
+inline Backend bestCpuBackend() {
+#ifdef VATES_HAS_OPENMP
+  return Backend::OpenMP;
+#else
+  return Backend::ThreadPool;
+#endif
+}
+
+inline int runTableBench(const TableCase& tableCase, int argc, char** argv) {
+  ArgParser args(tableCase.title, "Reproduce one of the paper's WCT tables");
+  args.addOption("scale", "Workload scale (1.0 = paper size)",
+                 std::to_string(tableCase.defaultScale));
+  args.addOption("ranks", "Override rank count (0 = preset value)", "0");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+    const double scale = args.getDouble("scale");
+    const core::HardwarePreset preset =
+        core::HardwarePreset::byName(tableCase.presetName);
+    const WorkloadSpec spec = tableCase.makeSpec(scale);
+
+    std::cout << "=== " << tableCase.title << " ===\n";
+    std::cout << preset.systemsOverview() << '\n';
+    std::cout << spec.characteristicsTable();
+    std::cout << "scale = " << scale << " (events and detectors scaled; "
+              << "bin grids at paper size)\n\n";
+
+    const ExperimentSetup setup(spec);
+    DeviceSim::global().setJitCostMs(preset.device.jitCostMs);
+
+    int ranks = static_cast<int>(args.getInt("ranks"));
+    if (ranks <= 0) {
+      ranks = preset.ranks;
+    }
+    ranks = std::min<int>(ranks, static_cast<int>(spec.nFiles));
+
+    // Column 1: the C++ proxy on CPU.
+    core::ReductionConfig cpuConfig;
+    cpuConfig.backend = bestCpuBackend();
+    cpuConfig.ranks = ranks;
+    const core::ReductionResult cpuResult =
+        core::ReductionPipeline(setup, cpuConfig).run();
+
+    // Columns 2 and 3: the portable kernels on the simulated device,
+    // cold (JIT) and warm (no JIT).
+    core::ReductionConfig deviceConfig;
+    deviceConfig.backend = Backend::DeviceSim;
+    deviceConfig.ranks = ranks;
+    const core::ReductionPipeline devicePipeline(setup, deviceConfig);
+    DeviceSim::global().resetJitCache();
+    const core::ReductionResult jitResult = devicePipeline.run();
+    const core::ReductionResult warmResult = devicePipeline.run();
+
+    core::WctTable table("WCT in seconds — measured on this machine");
+    table.addColumn("C++ Proxy (CPU)", cpuResult);
+    table.addColumn("DeviceSim (JIT)", jitResult);
+    table.addColumn("DeviceSim (no JIT)", warmResult);
+    std::cout << table.render() << '\n';
+
+    std::cout << "Device: "
+              << jitResult.deviceStats.jitCompilations << " JIT compilations ("
+              << jitResult.deviceStats.jitSeconds << " s) in the JIT column, "
+              << warmResult.deviceStats.jitCompilations
+              << " in the warm column; max intersections (pre-pass) = "
+              << warmResult.maxIntersectionsEstimate << "\n\n";
+
+    if (!tableCase.paperColumns.empty()) {
+      std::cout << "Paper's published values (their hardware), for shape "
+                   "comparison:\n";
+      core::WctTable paperTable("WCT in seconds — paper");
+      for (const PaperColumn& column : tableCase.paperColumns) {
+        StageTimes times;
+        times.add("UpdateEvents", column.updateEvents);
+        times.add("MDNorm", column.mdnorm);
+        times.add("BinMD", column.binmd);
+        // Remaining time (I/O, orchestration) folded into one stage so
+        // the printed Total matches the paper's.
+        const double rest =
+            column.total - column.updateEvents - column.mdnorm - column.binmd;
+        if (rest > 0) {
+          times.add("other (unreported)", rest);
+        }
+        paperTable.addColumn(column.header, times);
+      }
+      std::cout << paperTable.render() << '\n';
+    }
+
+    std::cout << core::speedupLine(
+                     "MDNorm+BinMD (steady state)", "DeviceSim (no JIT)",
+                     warmResult.times.total("MDNorm") +
+                         warmResult.times.total("BinMD"),
+                     "C++ Proxy (CPU)",
+                     cpuResult.times.total("MDNorm") +
+                         cpuResult.times.total("BinMD"))
+              << '\n';
+    return 0;
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
+
+} // namespace vates::bench

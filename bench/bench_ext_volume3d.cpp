@@ -1,0 +1,90 @@
+// Extension experiment: 3D volume reduction.
+//
+// The paper's evaluation bins 2D slices (lBins = 1) "to provide a
+// balance between current memory, computation, and data movement
+// costs" and argues that faster kernels "enable broader modeling and
+// simulation options (e.g., 3D volumes, real-time)".  This bench
+// quantifies that direction: the same Benzil workload reduced into
+// volumes of increasing L-depth, reporting how MDNorm (more planes, up
+// to hBins+kBins+lBins+2 intersections) and BinMD (more bins, colder
+// caches) scale, and how memory grows.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/core/report.hpp"
+#include "vates/support/cli.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace vates;
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_ext_volume3d",
+                 "3D volume reduction scaling (paper future-work direction)");
+  args.addOption("scale", "Workload scale", "0.002");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+    const double scale = args.getDouble("scale");
+    std::cout << "=== Extension: 2D slice -> 3D volume scaling (Benzil) "
+                 "===\n\n";
+
+    struct Row {
+      std::size_t lBins;
+      double mdnorm;
+      double binmd;
+      std::size_t bins;
+      std::size_t coveredBins;
+    };
+    std::vector<Row> rows;
+
+    for (const std::size_t lBins : {1ul, 11ul, 51ul}) {
+      WorkloadSpec spec = WorkloadSpec::benzilCorelli(scale);
+      spec.bins[2] = lBins;
+      // Grow the L extent with the bin count so bins stay cubic-ish.
+      const double halfDepth = 0.1 * static_cast<double>(lBins);
+      spec.extentMin[2] = -halfDepth;
+      spec.extentMax[2] = halfDepth;
+
+      const ExperimentSetup setup(spec);
+      core::ReductionConfig config;
+#ifdef VATES_HAS_OPENMP
+      config.backend = Backend::OpenMP;
+#else
+      config.backend = Backend::ThreadPool;
+#endif
+      const core::ReductionResult result =
+          core::ReductionPipeline(setup, config).run();
+      rows.push_back(Row{lBins, result.times.total("MDNorm"),
+                         result.times.total("BinMD"),
+                         result.signal.size(),
+                         result.normalization.nonZeroBins()});
+    }
+
+    std::printf("%-8s %12s %12s %14s %14s %10s\n", "lBins", "MDNorm (s)",
+                "BinMD (s)", "bins", "covered", "memory");
+    for (const Row& row : rows) {
+      std::printf("%-8zu %12.4f %12.4f %14s %14s %10s\n", row.lBins,
+                  row.mdnorm, row.binmd, withCommas(row.bins).c_str(),
+                  withCommas(row.coveredBins).c_str(),
+                  humanBytes(row.bins * sizeof(double)).c_str());
+    }
+
+    // Shape checks: volume cost grows sublinearly in lBins for MDNorm
+    // (plane count on one axis only) while bins grow linearly.
+    const bool memoryGrows = rows.back().bins > rows.front().bins * 50;
+    const bool mdnormSublinear =
+        rows.back().mdnorm <
+        rows.front().mdnorm * static_cast<double>(rows.back().lBins);
+    std::printf("\nShape check (memory x%zu, MDNorm grows sublinearly in "
+                "lBins): %s\n",
+                rows.back().bins / rows.front().bins,
+                (memoryGrows && mdnormSublinear) ? "PASS" : "FAIL");
+    return (memoryGrows && mdnormSublinear) ? 0 : 1;
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

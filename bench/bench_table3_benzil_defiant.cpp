@@ -1,0 +1,22 @@
+// Table III: Benzil (CORELLI) proxies on Defiant's AMD EPYC 7662
+// 64-core CPU and MI100 GPU — reproduced against the `defiant` preset
+// on this machine's hardware (CPU backends + simulated device).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vates;
+  const bench::TableCase tableCase{
+      "Table III: Benzil (CORELLI) on Defiant (EPYC 7662 + MI100)",
+      "defiant",
+      &WorkloadSpec::benzilCorelli,
+      0.002,
+      {
+          // Paper Table III, per-run stage WCTs.
+          bench::PaperColumn{"C++ Proxy (CPU)", 0.092, 0.688, 0.057, 7.746},
+          bench::PaperColumn{"MiniVATES (JIT)", 0.136, 4.669, 0.488, 48.932},
+          bench::PaperColumn{"MiniVATES (noJIT)", 0.064, 0.174, 0.010,
+                             48.932},
+      }};
+  return bench::runTableBench(tableCase, argc, argv);
+}

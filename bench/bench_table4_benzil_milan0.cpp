@@ -1,0 +1,23 @@
+// Table IV: Benzil (CORELLI) proxies on Milan0's AMD EPYC 7513
+// 2×32-core CPU and NVIDIA A100 GPU — reproduced against the `milan0`
+// preset (faster device model than Defiant's, reflecting the paper's
+// finding that the A100 handles the atomic histogram updates far better
+// than the MI100).
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vates;
+  const bench::TableCase tableCase{
+      "Table IV: Benzil (CORELLI) on Milan0 (EPYC 7513 + A100)",
+      "milan0",
+      &WorkloadSpec::benzilCorelli,
+      0.002,
+      {
+          bench::PaperColumn{"C++ Proxy (CPU)", 1.250, 0.456, 0.034, 15.985},
+          bench::PaperColumn{"MiniVATES (JIT)", 0.090, 2.367, 0.517, 30.135},
+          bench::PaperColumn{"MiniVATES (noJIT)", 0.0504, 0.0532, 0.0,
+                             30.135},
+      }};
+  return bench::runTableBench(tableCase, argc, argv);
+}

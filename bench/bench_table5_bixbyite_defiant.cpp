@@ -1,0 +1,20 @@
+// Table V: Bixbyite (TOPAZ) proxies on Defiant (4 MPI ranks × 16 OpenMP
+// threads in the paper; the preset reproduces the rank layout).  The
+// Bixbyite case is the I/O-heavy one: UpdateEvents dominates.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vates;
+  const bench::TableCase tableCase{
+      "Table V: Bixbyite (TOPAZ) on Defiant (EPYC 7662 + MI100)",
+      "defiant",
+      &WorkloadSpec::bixbyiteTopaz,
+      0.0003,
+      {
+          bench::PaperColumn{"C++ Proxy (CPU)", 23.70, 2.81, 5.40, 215.98},
+          bench::PaperColumn{"MiniVATES (JIT)", 3.12, 4.51, 3.70, 553.89},
+          bench::PaperColumn{"MiniVATES (noJIT)", 18.12, 0.45, 2.95, 553.89},
+      }};
+  return bench::runTableBench(tableCase, argc, argv);
+}

@@ -1,0 +1,18 @@
+// The paper's Benzil-on-CORELLI use-case (Table II column 1; Tables III
+// and IV): 36 runs, 6 symmetry operations, diffuse-scattering-heavy
+// signal, ([H,H],[H,-H],[L]) slicing with (603,603,1) bins.
+//
+//   ./benzil_corelli --scale 0.01 --backend devicesim --ranks 4
+//   ./benzil_corelli --use-files          # measure real file I/O
+//
+// At --scale 1.0 this reproduces the full 40M-event, 372K-detector
+// workload (needs tens of GB of RAM and patience on a laptop).
+
+#include "example_common.hpp"
+
+int main(int argc, char** argv) {
+  return vates::examples::runUseCase(
+      "benzil_corelli",
+      "Reduce the Benzil/CORELLI single-crystal diffuse scattering workload",
+      &vates::WorkloadSpec::benzilCorelli, argc, argv);
+}

@@ -1,0 +1,17 @@
+// The paper's Bixbyite-on-TOPAZ use-case (Table II column 2; Tables V
+// and VI): 22 runs, 24 symmetry operations, 280M events over 1.6M
+// detector pixels, ([H],[K],[L]) slicing with (601,601,1) bins.  This
+// is the I/O-heavy case — the paper notes "most time is spent loading
+// events from disk"; run with --use-files to see that shape here.
+//
+//   ./bixbyite_topaz --scale 0.001 --backend devicesim
+//   ./bixbyite_topaz --scale 0.001 --use-files --ranks 4
+
+#include "example_common.hpp"
+
+int main(int argc, char** argv) {
+  return vates::examples::runUseCase(
+      "bixbyite_topaz",
+      "Reduce the Bixbyite/TOPAZ single-crystal diffraction workload",
+      &vates::WorkloadSpec::bixbyiteTopaz, argc, argv);
+}

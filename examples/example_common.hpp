@@ -1,0 +1,152 @@
+#pragma once
+// Shared driver for the two use-case examples (benzil_corelli and
+// bixbyite_topaz): parses the common options, optionally round-trips the
+// workload through nxlite run files, reduces on the chosen backend, and
+// writes the cross-section slice.
+
+#include "vates/core/hardware_preset.hpp"
+#include "vates/core/peak_search.hpp"
+#include "vates/core/pipeline.hpp"
+#include "vates/core/plan.hpp"
+#include "vates/core/report.hpp"
+#include "vates/io/grid_writers.hpp"
+#include "vates/io/histogram_file.hpp"
+#include "vates/support/cli.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+namespace vates::examples {
+
+inline int runUseCase(const std::string& program,
+                      const std::string& description,
+                      WorkloadSpec (*makeSpec)(double scale), int argc,
+                      char** argv) {
+  ArgParser args(program, description);
+  args.addOption("scale", "Workload scale (1.0 = paper size)", "0.002");
+  args.addOption("backend", "serial | openmp | threads | devicesim",
+                 backendName(defaultBackend()));
+  args.addOption("ranks", "In-process MPI-style ranks over files", "1");
+  args.addOption("preset", "Hardware preset (defiant, milan0, bl12, local)",
+                 "local");
+  args.addOption("outdir", "Directory for CSV/PGM outputs", ".");
+  args.addFlag("use-files", "Write nxlite run files first and reduce from "
+                            "disk (UpdateEvents measures real I/O)");
+  args.addFlag("linear-search", "Use Mantid-style linear plane search "
+                                "instead of the ROI strategy");
+  args.addOption("plan", "Reduction-plan file overriding workload and "
+                         "reduction settings (see plans/)", "");
+  args.addFlag("find-peaks", "Run Bragg-peak search on the cross-section");
+  args.addFlag("save-reduced", "Write the reduced data (signal, "
+                               "normalization, cross-section) as nxlite");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+
+    WorkloadSpec spec = makeSpec(args.getDouble("scale"));
+    core::ReductionConfig config;
+    config.backend = parseBackend(args.getString("backend"));
+    config.ranks = static_cast<int>(args.getInt("ranks"));
+    if (args.getFlag("linear-search")) {
+      config.mdnorm.search = PlaneSearch::Linear;
+    }
+    if (!args.getString("plan").empty()) {
+      // Plan files supersede workload and reduction settings; command
+      // line flags still win for anything the user typed explicitly.
+      const core::ReductionPlan plan =
+          core::loadReductionPlan(args.getString("plan"));
+      spec = plan.workload;
+      const core::ReductionConfig fromPlan = plan.config;
+      config = fromPlan;
+      if (args.wasProvided("backend")) {
+        config.backend = parseBackend(args.getString("backend"));
+      }
+      if (args.wasProvided("ranks")) {
+        config.ranks = static_cast<int>(args.getInt("ranks"));
+      }
+      std::cout << "Loaded plan " << args.getString("plan") << "\n";
+    }
+
+    const core::HardwarePreset preset =
+        core::HardwarePreset::byName(args.getString("preset"));
+    std::cout << preset.systemsOverview() << '\n'
+              << spec.characteristicsTable() << '\n';
+
+    const ExperimentSetup setup(spec);
+    std::cout << "Configuration: " << config.summary() << "\n\n";
+
+    const core::ReductionPipeline pipeline(setup, config);
+    core::ReductionResult result = [&] {
+      if (!args.getFlag("use-files")) {
+        return pipeline.run();
+      }
+      const auto dir =
+          std::filesystem::path(args.getString("outdir")) /
+          (spec.name + "_runs");
+      std::filesystem::create_directories(dir);
+      std::cout << "Writing " << spec.nFiles << " run files to " << dir
+                << "...\n";
+      const auto paths = pipeline.writeRunFiles(dir.string());
+      std::uintmax_t bytes = 0;
+      for (const auto& path : paths) {
+        bytes += std::filesystem::file_size(path);
+      }
+      std::cout << "Run files total " << humanBytes(bytes) << "\n";
+      return pipeline.runFromFiles(paths);
+    }();
+
+    core::WctTable table("WCT in seconds (" + spec.name + ")");
+    table.addColumn(backendName(config.backend), result);
+    std::cout << table.render() << '\n';
+
+    if (config.backend == Backend::DeviceSim) {
+      std::printf("Device: %llu launches, %s H2D, %s D2H, %llu JIT "
+                  "compilations (%.3f s), max intersections %zu\n",
+                  static_cast<unsigned long long>(
+                      result.deviceStats.kernelLaunches),
+                  humanBytes(result.deviceStats.bytesH2D).c_str(),
+                  humanBytes(result.deviceStats.bytesD2H).c_str(),
+                  static_cast<unsigned long long>(
+                      result.deviceStats.jitCompilations),
+                  result.deviceStats.jitSeconds,
+                  result.maxIntersectionsEstimate);
+    }
+
+    const SliceStats stats = computeSliceStats(result.crossSection);
+    std::printf("Cross-section: %zu/%zu bins covered (%.1f%%), max %.3f\n",
+                stats.coveredBins, stats.coveredBins + stats.emptyBins,
+                100.0 * stats.coverage(), stats.maxValue);
+
+    if (args.getFlag("find-peaks")) {
+      core::PeakSearchOptions peakOptions;
+      peakOptions.thresholdOverMedian = 15.0;
+      const auto peaks = core::findPeaks(result.crossSection, peakOptions);
+      std::cout << "\nBragg peaks found: " << peaks.size() << '\n'
+                << core::peakTable(peaks) << '\n';
+    }
+
+    const auto outdir = std::filesystem::path(args.getString("outdir"));
+    std::filesystem::create_directories(outdir);
+    const std::string csv = (outdir / (spec.name + "_cross_section.csv")).string();
+    const std::string pgm = (outdir / (spec.name + "_cross_section.pgm")).string();
+    writeCsvSlice(csv, result.crossSection);
+    writePgmSlice(pgm, result.crossSection);
+    std::cout << "Wrote " << csv << " and " << pgm << '\n';
+    if (args.getFlag("save-reduced")) {
+      const std::string reduced =
+          (outdir / (spec.name + "_reduced.nxl")).string();
+      saveReducedData(reduced, result.signal, result.normalization,
+                      result.crossSection);
+      std::cout << "Wrote " << reduced << " (loadable with loadReducedData)\n";
+    }
+    return 0;
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
+
+} // namespace vates::examples

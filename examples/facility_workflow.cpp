@@ -1,0 +1,67 @@
+// The reduction as an IRI-style facility workflow (paper Fig. 1): the
+// campaign expressed as a dependency graph of load / mdnorm / binmd /
+// cross-section tasks, executed by a pool of workflow workers, with
+// the schedule printed the way a workflow manager's trace would be.
+//
+// Contrast with benzil_corelli (rank-based decomposition): same
+// mathematics, different orchestration — the shape CALVERA/INTERSECT
+// style facility services schedule across resources.
+//
+//   ./facility_workflow --scale 0.001 --workers 4 --raw
+
+#include "vates/core/workflow_reduction.hpp"
+#include "vates/io/grid_writers.hpp"
+#include "vates/support/cli.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace vates;
+
+int main(int argc, char** argv) {
+  ArgParser args("facility_workflow",
+                 "Run Algorithm 1 as a scheduled task workflow");
+  args.addOption("scale", "Workload scale", "0.001");
+  args.addOption("workers", "Concurrent workflow workers", "4");
+  args.addFlag("raw", "Source raw TOF events (adds ConvertToMD stages)");
+  args.addFlag("trace", "Print the full per-task schedule");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+
+    const ExperimentSetup setup(
+        WorkloadSpec::benzilCorelli(args.getDouble("scale")));
+    core::ReductionConfig config;
+    config.backend = Backend::Serial; // tasks are serial; workers parallelize
+    if (args.getFlag("raw")) {
+      config.loadMode = core::LoadMode::RawTof;
+    }
+
+    const auto workers = static_cast<unsigned>(args.getInt("workers"));
+    std::printf("Scheduling %zu runs as %zu tasks over %u workers...\n\n",
+                setup.spec().nFiles, 3 * setup.spec().nFiles + 1, workers);
+
+    const core::WorkflowReductionResult result =
+        core::runWorkflowReduction(setup, config, workers);
+
+    if (args.getFlag("trace")) {
+      std::cout << result.report.table("Workflow schedule") << '\n';
+    } else {
+      std::printf("Executed %zu tasks: makespan %.3f s, total work %.3f s, "
+                  "task overlap %.2fx\n",
+                  result.report.timings.size(), result.report.makespan,
+                  result.report.totalWork(), result.report.speedup());
+    }
+
+    const SliceStats stats = computeSliceStats(result.crossSection);
+    std::printf("Cross-section: %.1f%% covered, max %.3f\n",
+                100.0 * stats.coverage(), stats.maxValue);
+    writePgmSlice("facility_workflow_cross_section.pgm", result.crossSection);
+    std::cout << "Wrote facility_workflow_cross_section.pgm\n";
+    return 0;
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

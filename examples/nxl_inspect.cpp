@@ -1,0 +1,126 @@
+// Command-line utility over nxlite data files — the h5dump/ncdump-style
+// companion a data format needs for adoption.
+//
+//   ./nxl_inspect list    file.nxl            # dataset directory
+//   ./nxl_inspect stats   reduced.nxl         # reduced-data summary
+//   ./nxl_inspect peaks   reduced.nxl         # Bragg-peak search
+//   ./nxl_inspect merge   out.nxl in1.nxl in2.nxl ...   # merge reductions
+
+#include "vates/core/analysis.hpp"
+#include "vates/core/peak_search.hpp"
+#include "vates/io/grid_writers.hpp"
+#include "vates/io/histogram_file.hpp"
+#include "vates/io/nxlite.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace vates;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  nxl_inspect list   <file.nxl>\n"
+               "  nxl_inspect stats  <reduced.nxl>\n"
+               "  nxl_inspect peaks  <reduced.nxl> [thresholdOverMedian]\n"
+               "  nxl_inspect merge  <out.nxl> <in1.nxl> [in2.nxl ...]\n";
+  return 2;
+}
+
+int listDatasets(const std::string& path) {
+  nx::Reader reader(path);
+  std::printf("%s: %zu dataset(s)\n", path.c_str(), reader.datasets().size());
+  std::printf("%-28s %-8s %-20s %12s\n", "name", "dtype", "shape", "bytes");
+  for (const auto& info : reader.datasets()) {
+    std::string shape = "(";
+    for (std::size_t d = 0; d < info.shape.size(); ++d) {
+      if (d > 0) {
+        shape += ",";
+      }
+      shape += std::to_string(info.shape[d]);
+    }
+    shape += ")";
+    const char* dtype = info.dtype == nx::DType::Float64 ? "f64"
+                        : info.dtype == nx::DType::UInt64 ? "u64"
+                                                          : "u32";
+    std::printf("%-28s %-8s %-20s %12s\n", info.name.c_str(), dtype,
+                shape.c_str(), humanBytes(info.bytes()).c_str());
+  }
+  return 0;
+}
+
+int reducedStats(const std::string& path) {
+  const ReducedData reduced = loadReducedData(path);
+  std::printf("%s\n", path.c_str());
+  auto describe = [](const char* name, const Histogram3D& histogram) {
+    std::printf("  %-14s %zux%zux%zu bins, total %.6g, %s non-zero\n", name,
+                histogram.nx(), histogram.ny(), histogram.nz(),
+                histogram.totalSignal(),
+                withCommas(histogram.nonZeroBins()).c_str());
+  };
+  describe("signal", reduced.signal);
+  describe("normalization", reduced.normalization);
+  const SliceStats stats = computeSliceStats(reduced.crossSection);
+  std::printf("  %-14s coverage %.1f%%, max %.6g, mean %.6g\n",
+              "cross-section", 100.0 * stats.coverage(), stats.maxValue,
+              stats.meanValue);
+  return 0;
+}
+
+int findPeaksIn(const std::string& path, double threshold) {
+  const ReducedData reduced = loadReducedData(path);
+  core::PeakSearchOptions options;
+  if (threshold > 0.0) {
+    options.thresholdOverMedian = threshold;
+  }
+  const auto peaks = core::findPeaks(reduced.crossSection, options);
+  std::printf("%zu peak(s) in %s\n", peaks.size(), path.c_str());
+  std::cout << core::peakTable(peaks, 25);
+  return 0;
+}
+
+int mergeFiles(const std::string& out, const std::vector<std::string>& in) {
+  const ReducedData merged = core::mergeReducedFiles(in);
+  saveReducedData(out, merged.signal, merged.normalization,
+                  merged.crossSection);
+  std::printf("merged %zu file(s) into %s (signal total %.6g)\n", in.size(),
+              out.c_str(), merged.signal.totalSignal());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "list") {
+      return listDatasets(argv[2]);
+    }
+    if (command == "stats") {
+      return reducedStats(argv[2]);
+    }
+    if (command == "peaks") {
+      const double threshold = argc > 3 ? std::stod(argv[3]) : 0.0;
+      return findPeaksIn(argv[2], threshold);
+    }
+    if (command == "merge") {
+      if (argc < 4) {
+        return usage();
+      }
+      return mergeFiles(argv[2],
+                        std::vector<std::string>(argv + 3, argv + argc));
+    }
+    return usage();
+  } catch (const Error& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,133 @@
+#pragma once
+/// \file minimpi.hpp
+/// In-process message-passing substrate ("minimpi").
+///
+/// The paper distributes Algorithm 1's outer loop over experiment files
+/// with MPI (`mpirun -np 4/8 ...`) and combines per-rank MDNorm/BinMD
+/// histograms with MPI_Reduce.  No MPI implementation is installed in
+/// this environment, so this module provides the same communication
+/// surface in-process: World::run() spawns one thread per rank, each
+/// receives a Communicator with rank()/size() and the collectives the
+/// pipeline needs (barrier, reduceSum, allReduceSum, bcast, gather).
+///
+/// Determinism: all summing collectives combine contributions in rank
+/// order, so floating-point results are independent of thread scheduling
+/// and identical to an equivalent sequential sum over ranks — a property
+/// the integration tests rely on (1-rank vs N-rank equality).
+///
+/// The API deliberately mirrors the small MPI subset used by the paper's
+/// proxies, so swapping a real MPI communicator back in is mechanical.
+
+#include "vates/support/error.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vates::comm {
+
+class World;
+
+/// Per-rank handle passed to the World::run() body.  Valid only for the
+/// lifetime of that body.  All collectives must be called by *every*
+/// rank of the world (standard MPI semantics); mismatched participation
+/// deadlocks, exactly like the real thing.
+class Communicator {
+public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Block until every rank has entered the barrier.
+  void barrier();
+
+  /// Element-wise sum of \p data across ranks, deposited into the root
+  /// rank's buffer (other ranks' buffers are unchanged).  All ranks must
+  /// pass buffers of identical length.
+  void reduceSum(std::span<double> data, int root = 0);
+  void reduceSum(std::span<float> data, int root = 0);
+  void reduceSum(std::span<std::uint64_t> data, int root = 0);
+
+  /// Element-wise sum across ranks, result deposited into every rank's
+  /// buffer (deterministic: summed in rank order on each rank).
+  void allReduceSum(std::span<double> data);
+  void allReduceSum(std::span<float> data);
+  void allReduceSum(std::span<std::uint64_t> data);
+
+  /// Scalar all-reduce conveniences.
+  double allReduceSum(double value);
+  std::uint64_t allReduceSum(std::uint64_t value);
+  double allReduceMax(double value);
+  double allReduceMin(double value);
+
+  /// Copy root's buffer into every rank's buffer.
+  void bcast(std::span<double> data, int root = 0);
+  void bcast(std::span<std::uint64_t> data, int root = 0);
+
+  /// Gather one scalar per rank into a size()-length vector, valid on
+  /// every rank (an allgather).
+  std::vector<double> allGather(double value);
+  std::vector<std::uint64_t> allGather(std::uint64_t value);
+
+  /// Contiguous block decomposition of [0, count) for this rank — the
+  /// paper's `start, end <- range(MPI_Rank, MPI_Size)`.  Remainder items
+  /// go to the lowest ranks.
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t count() const noexcept { return end - begin; }
+  };
+  Range blockRange(std::size_t count) const noexcept;
+
+private:
+  friend class World;
+  Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  template <typename T>
+  void reduceSumImpl(std::span<T> data, int root);
+  template <typename T>
+  void allReduceSumImpl(std::span<T> data);
+  template <typename T>
+  void bcastImpl(std::span<T> data, int root);
+  template <typename T>
+  std::vector<T> allGatherImpl(T value);
+
+  World* world_;
+  int rank_;
+};
+
+/// Computes the same block decomposition without a communicator (used by
+/// tests and by serial fallbacks).
+Communicator::Range blockRange(std::size_t count, int rank, int size) noexcept;
+
+/// A fixed-size group of ranks executing a body concurrently.
+class World {
+public:
+  /// Run \p body on \p nRanks concurrently-executing ranks (threads) and
+  /// join them all.  Exceptions thrown by any rank are captured; the
+  /// first (by rank order) is rethrown after all ranks finish or abort.
+  static void run(int nRanks, const std::function<void(Communicator&)>& body);
+
+private:
+  friend class Communicator;
+
+  explicit World(int nRanks);
+
+  void barrier();
+  const void* publish(int rank, const void* pointer);
+  const void* const* slots() const noexcept { return slots_.data(); }
+
+  int size_;
+  // Generation-counting barrier.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  // Pointer exchange slots for collectives (one per rank).
+  std::vector<const void*> slots_;
+};
+
+} // namespace vates::comm

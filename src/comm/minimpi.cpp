@@ -1,0 +1,210 @@
+#include "vates/comm/minimpi.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace vates::comm {
+
+// ---------------------------------------------------------------------------
+// World
+
+World::World(int nRanks) : size_(nRanks), slots_(nRanks, nullptr) {
+  VATES_REQUIRE(nRanks >= 1, "world needs at least one rank");
+}
+
+void World::barrier() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t arrivedGeneration = generation_;
+  if (++waiting_ == size_) {
+    waiting_ = 0;
+    ++generation_;
+    lock.unlock();
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [this, arrivedGeneration] {
+    return generation_ != arrivedGeneration;
+  });
+}
+
+const void* World::publish(int rank, const void* pointer) {
+  // No lock needed: each rank writes only its own slot, and slot reads
+  // are separated from writes by barriers (which provide the ordering).
+  const void* previous = slots_[static_cast<std::size_t>(rank)];
+  slots_[static_cast<std::size_t>(rank)] = pointer;
+  return previous;
+}
+
+void World::run(int nRanks, const std::function<void(Communicator&)>& body) {
+  VATES_REQUIRE(nRanks >= 1, "need at least one rank");
+  World world(nRanks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nRanks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nRanks));
+  for (int rank = 0; rank < nRanks; ++rank) {
+    threads.emplace_back([&world, &body, &errors, rank] {
+      Communicator communicator(world, rank);
+      try {
+        body(communicator);
+      } catch (...) {
+        errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (const auto& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+
+int Communicator::size() const noexcept { return world_->size_; }
+
+void Communicator::barrier() { world_->barrier(); }
+
+template <typename T>
+void Communicator::reduceSumImpl(std::span<T> data, int root) {
+  VATES_REQUIRE(root >= 0 && root < size(), "invalid root rank");
+  world_->publish(rank_, data.data());
+  world_->barrier();
+  if (rank_ == root) {
+    // Sum in rank order for deterministic floating-point results.
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) {
+        continue;
+      }
+      const T* other = static_cast<const T*>(world_->slots()[r]);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] += other[i];
+      }
+    }
+  }
+  world_->barrier();
+}
+
+template <typename T>
+void Communicator::allReduceSumImpl(std::span<T> data) {
+  world_->publish(rank_, data.data());
+  world_->barrier();
+  // Every rank computes the rank-ordered sum into a private scratch so
+  // no buffer is written while another rank still reads it.
+  std::vector<T> scratch(data.size(), T{});
+  for (int r = 0; r < size(); ++r) {
+    const T* other = static_cast<const T*>(world_->slots()[r]);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      scratch[i] += other[i];
+    }
+  }
+  world_->barrier();
+  std::copy(scratch.begin(), scratch.end(), data.begin());
+}
+
+template <typename T>
+void Communicator::bcastImpl(std::span<T> data, int root) {
+  VATES_REQUIRE(root >= 0 && root < size(), "invalid root rank");
+  world_->publish(rank_, data.data());
+  world_->barrier();
+  if (rank_ != root) {
+    const T* source = static_cast<const T*>(world_->slots()[root]);
+    std::copy(source, source + data.size(), data.begin());
+  }
+  world_->barrier();
+}
+
+template <typename T>
+std::vector<T> Communicator::allGatherImpl(T value) {
+  world_->publish(rank_, &value);
+  world_->barrier();
+  std::vector<T> gathered(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    gathered[static_cast<std::size_t>(r)] =
+        *static_cast<const T*>(world_->slots()[r]);
+  }
+  world_->barrier();
+  return gathered;
+}
+
+void Communicator::reduceSum(std::span<double> data, int root) {
+  reduceSumImpl(data, root);
+}
+void Communicator::reduceSum(std::span<float> data, int root) {
+  reduceSumImpl(data, root);
+}
+void Communicator::reduceSum(std::span<std::uint64_t> data, int root) {
+  reduceSumImpl(data, root);
+}
+
+void Communicator::allReduceSum(std::span<double> data) {
+  allReduceSumImpl(data);
+}
+void Communicator::allReduceSum(std::span<float> data) {
+  allReduceSumImpl(data);
+}
+void Communicator::allReduceSum(std::span<std::uint64_t> data) {
+  allReduceSumImpl(data);
+}
+
+double Communicator::allReduceSum(double value) {
+  const auto gathered = allGatherImpl(value);
+  double sum = 0.0;
+  for (double v : gathered) {
+    sum += v;
+  }
+  return sum;
+}
+
+std::uint64_t Communicator::allReduceSum(std::uint64_t value) {
+  const auto gathered = allGatherImpl(value);
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : gathered) {
+    sum += v;
+  }
+  return sum;
+}
+
+double Communicator::allReduceMax(double value) {
+  const auto gathered = allGatherImpl(value);
+  return *std::max_element(gathered.begin(), gathered.end());
+}
+
+double Communicator::allReduceMin(double value) {
+  const auto gathered = allGatherImpl(value);
+  return *std::min_element(gathered.begin(), gathered.end());
+}
+
+void Communicator::bcast(std::span<double> data, int root) {
+  bcastImpl(data, root);
+}
+void Communicator::bcast(std::span<std::uint64_t> data, int root) {
+  bcastImpl(data, root);
+}
+
+std::vector<double> Communicator::allGather(double value) {
+  return allGatherImpl(value);
+}
+std::vector<std::uint64_t> Communicator::allGather(std::uint64_t value) {
+  return allGatherImpl(value);
+}
+
+Communicator::Range Communicator::blockRange(std::size_t count) const noexcept {
+  return comm::blockRange(count, rank_, size());
+}
+
+Communicator::Range blockRange(std::size_t count, int rank, int size) noexcept {
+  const auto ranks = static_cast<std::size_t>(size);
+  const auto r = static_cast<std::size_t>(rank);
+  const std::size_t base = count / ranks;
+  const std::size_t remainder = count % ranks;
+  const std::size_t begin = r * base + std::min(r, remainder);
+  const std::size_t length = base + (r < remainder ? 1 : 0);
+  return Communicator::Range{begin, begin + length};
+}
+
+} // namespace vates::comm

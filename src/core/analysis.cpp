@@ -1,0 +1,56 @@
+#include "vates/core/analysis.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace vates::core {
+
+ReducedData mergeReducedData(const std::vector<ReducedData>& parts) {
+  VATES_REQUIRE(!parts.empty(), "nothing to merge");
+  ReducedData merged{parts.front().signal.emptyLike(),
+                     parts.front().normalization.emptyLike(),
+                     parts.front().crossSection.emptyLike()};
+  for (const ReducedData& part : parts) {
+    VATES_REQUIRE(part.signal.sameShape(merged.signal) &&
+                      part.normalization.sameShape(merged.normalization),
+                  "partial reductions disagree in binning");
+    merged.signal += part.signal;
+    merged.normalization += part.normalization;
+  }
+  merged.crossSection =
+      Histogram3D::divide(merged.signal, merged.normalization);
+  return merged;
+}
+
+ReducedData mergeReducedFiles(const std::vector<std::string>& paths) {
+  VATES_REQUIRE(!paths.empty(), "nothing to merge");
+  std::vector<ReducedData> parts;
+  parts.reserve(paths.size());
+  for (const std::string& path : paths) {
+    parts.push_back(loadReducedData(path));
+  }
+  return mergeReducedData(parts);
+}
+
+Histogram3D subtractBackground(const Histogram3D& sampleCrossSection,
+                               const Histogram3D& backgroundCrossSection,
+                               double scale) {
+  VATES_REQUIRE(sampleCrossSection.sameShape(backgroundCrossSection),
+                "sample and background binning disagree");
+  Histogram3D out = sampleCrossSection.emptyLike();
+  const auto sample = sampleCrossSection.data();
+  const auto background = backgroundCrossSection.data();
+  auto result = out.data();
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    const double s = sample[i];
+    const double b = background[i];
+    result[i] = (std::isfinite(s) && std::isfinite(b))
+                    ? s - scale * b
+                    : std::numeric_limits<double>::quiet_NaN();
+  }
+  return out;
+}
+
+} // namespace vates::core

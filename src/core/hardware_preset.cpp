@@ -1,0 +1,88 @@
+#include "vates/core/hardware_preset.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <sstream>
+#include <thread>
+
+namespace vates::core {
+
+HardwarePreset HardwarePreset::defiant() {
+  HardwarePreset preset;
+  preset.name = "defiant";
+  preset.description =
+      "Defiant (OLCF): 64-core AMD EPYC 7662 Rome, 4 MI100 32GB — simulated";
+  preset.ranks = 8;
+  preset.threadsPerRank = 8;
+  preset.device.blockSize = 256;
+  preset.device.jitCostMs = 60.0; // Julia-on-ROCm JIT was the slower of the two
+  return preset;
+}
+
+HardwarePreset HardwarePreset::milan0() {
+  HardwarePreset preset;
+  preset.name = "milan0";
+  preset.description =
+      "Milan0 (ExCL): 2x32-core AMD EPYC 7513, 2 A100 80GB — simulated";
+  preset.ranks = 8;
+  preset.threadsPerRank = 8;
+  preset.device.blockSize = 512;
+  preset.device.jitCostMs = 35.0;
+  return preset;
+}
+
+HardwarePreset HardwarePreset::bl12() {
+  HardwarePreset preset;
+  preset.name = "bl12";
+  preset.description =
+      "bl12-analysis2 (SNS): 16-core AMD EPYC 7343, shared analysis node — simulated";
+  preset.ranks = 1;
+  preset.threadsPerRank = 1; // the production workflow's effective shape
+  preset.device.jitCostMs = 0.0;
+  return preset;
+}
+
+HardwarePreset HardwarePreset::local() {
+  HardwarePreset preset;
+  preset.name = "local";
+  const unsigned hw = std::thread::hardware_concurrency();
+  preset.description = strfmt("local machine: %u hardware thread(s)",
+                              hw == 0 ? 1u : hw);
+  preset.ranks = 1;
+  preset.threadsPerRank = 0;
+  preset.device.jitCostMs = 40.0;
+  return preset;
+}
+
+HardwarePreset HardwarePreset::byName(const std::string& name) {
+  const std::string lower = toLower(trim(name));
+  if (lower == "defiant") {
+    return defiant();
+  }
+  if (lower == "milan0" || lower == "milan") {
+    return milan0();
+  }
+  if (lower == "bl12" || lower == "bl12-analysis2" || lower == "sns") {
+    return bl12();
+  }
+  if (lower == "local") {
+    return local();
+  }
+  throw InvalidArgument("unknown hardware preset '" + name +
+                        "' (defiant, milan0, bl12, local)");
+}
+
+std::string HardwarePreset::systemsOverview() const {
+  std::ostringstream os;
+  os << "System preset: " << name << '\n';
+  os << "  " << description << '\n';
+  os << "  ranks=" << ranks << " threads/rank="
+     << (threadsPerRank == 0 ? std::string("auto")
+                             : std::to_string(threadsPerRank))
+     << " device(block=" << device.blockSize
+     << ", jit=" << device.jitCostMs << "ms)\n";
+  return os.str();
+}
+
+} // namespace vates::core

@@ -1,0 +1,41 @@
+#pragma once
+/// \file analysis.hpp
+/// Post-reduction analysis operations on reduced data.
+///
+/// Two IRI-flavoured capabilities close the loop after Algorithm 1:
+///
+///  - **Merging partial reductions.**  Campaigns are measured in
+///    segments (and, in the paper's integrated-facility vision, may be
+///    reduced at different sites); because both the signal and the
+///    normalization are additive, partial ReducedData sets combine by
+///    summation followed by one final division — the same algebra as
+///    Algorithm 1's MPI reduce, applied at the file level.
+///
+///  - **Background subtraction.**  Production MDNorm supports a
+///    background workspace (empty-can / sample-free measurement)
+///    reduced with the same machinery; its cross-section is scaled and
+///    subtracted bin-wise from the sample's.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/io/histogram_file.hpp"
+
+#include <string>
+#include <vector>
+
+namespace vates::core {
+
+/// Sum partial reductions and recompute the cross-section.  All parts
+/// must share binning; throws InvalidArgument otherwise (or when empty).
+ReducedData mergeReducedData(const std::vector<ReducedData>& parts);
+
+/// Load nxlite reduced-data files (saveReducedData outputs) and merge.
+ReducedData mergeReducedFiles(const std::vector<std::string>& paths);
+
+/// sample − scale·background, bin-wise.  Bins uncovered (NaN) in either
+/// input are NaN in the output; negative results are kept (they carry
+/// statistical meaning near zero).
+Histogram3D subtractBackground(const Histogram3D& sampleCrossSection,
+                               const Histogram3D& backgroundCrossSection,
+                               double scale = 1.0);
+
+} // namespace vates::core

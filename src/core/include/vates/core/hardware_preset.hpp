@@ -1,0 +1,46 @@
+#pragma once
+/// \file hardware_preset.hpp
+/// Named configurations mirroring the paper's Table I systems.
+///
+/// The physical machines cannot be reproduced here; a preset captures
+/// the *execution shape* each system gave the proxies — rank count,
+/// threads per rank, and the device simulator's JIT latency — clamped
+/// to whatever hardware actually runs this build.  Every benchmark
+/// prints the preset it used, so EXPERIMENTS.md can relate measured
+/// shapes to the paper's tables.
+
+#include "vates/parallel/device_sim.hpp"
+
+#include <string>
+
+namespace vates::core {
+
+struct HardwarePreset {
+  std::string name;
+  std::string description;   ///< the Table I characteristics line
+  int ranks = 1;             ///< MPI processes in the paper's run line
+  unsigned threadsPerRank = 0; ///< OpenMP threads per process (0 = auto)
+  DeviceOptions device;      ///< simulator settings for the GPU column
+
+  /// Presets from Table I.
+  ///  - "defiant":  64-core EPYC 7662 + MI100; Benzil ran 8 ranks × 8
+  ///    threads, Bixbyite 4 × 16.
+  ///  - "milan0":   2×32-core EPYC 7513 + A100; same rank layouts, with
+  ///    a faster device model (the paper found the A100's atomics far
+  ///    ahead of the MI100's).
+  ///  - "bl12":     16-core EPYC 7343 SNS analysis node (the Table II
+  ///    baseline host); single rank, no device.
+  ///  - "local":    whatever this machine offers; 1 rank.
+  static HardwarePreset defiant();
+  static HardwarePreset milan0();
+  static HardwarePreset bl12();
+  static HardwarePreset local();
+
+  /// Lookup by name (case-insensitive); throws InvalidArgument.
+  static HardwarePreset byName(const std::string& name);
+
+  /// Table I-style block for benchmark headers.
+  std::string systemsOverview() const;
+};
+
+} // namespace vates::core

@@ -1,0 +1,49 @@
+#pragma once
+/// \file peak_search.hpp
+/// Bragg-peak search on reduced cross-sections — the FindPeaksMD step
+/// that follows reduction in the production workflow, and this
+/// repository's end-to-end physics validation: peaks found in the
+/// synthetic workloads must sit at the reciprocal-lattice nodes the
+/// generator planted (integer HKL, minus the centering extinctions).
+
+#include "vates/geometry/vec3.hpp"
+#include "vates/histogram/histogram3d.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vates::core {
+
+struct Peak {
+  V3 projected;    ///< position in histogram (projected) coordinates
+  V3 hkl;          ///< position mapped back through the projection
+  double intensity = 0.0;  ///< background-subtracted integral over the window
+  double height = 0.0;     ///< peak bin's value
+  std::size_t binIndex = 0;
+};
+
+struct PeakSearchOptions {
+  /// A bin is a candidate when its value exceeds
+  /// threshold × (median of finite bins).
+  double thresholdOverMedian = 10.0;
+  /// Half-width (in bins, per axis) of the local-maximum test and of
+  /// the integration window.
+  std::size_t window = 3;
+  /// Keep at most this many peaks (strongest first).
+  std::size_t maxPeaks = 100;
+  /// Merge candidates closer than this many bins to an accepted peak.
+  double minSeparationBins = 4.0;
+};
+
+/// Locate local maxima of \p crossSection (NaN bins ignored), integrate
+/// each over the window with local-background subtraction, and return
+/// them strongest-first.
+std::vector<Peak> findPeaks(const Histogram3D& crossSection,
+                            const PeakSearchOptions& options = {});
+
+/// Render a short table of peaks (for examples and reports).
+std::string peakTable(const std::vector<Peak>& peaks,
+                      std::size_t maxRows = 15);
+
+} // namespace vates::core

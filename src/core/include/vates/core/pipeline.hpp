@@ -1,0 +1,111 @@
+#pragma once
+/// \file pipeline.hpp
+/// The cross-section reduction pipeline — Algorithm 1 of the paper,
+/// implemented once over the portable execution layer.
+///
+///   start, end <- blockRange(rank, size)           (minimpi)
+///   for each file in [start, end):
+///     event_data <- LOAD events, rotations, charge  (UpdateEvents)
+///     mdnorm     += MDNorm(geometry, flux)          (CPU/GPU kernel)
+///     binmd      += BinMD(events)                   (CPU/GPU kernel)
+///   cross_section <- Reduce(binmd) / Reduce(mdnorm) (minimpi reduce)
+///
+/// Two data sources mirror the paper's measurement modes: run()
+/// synthesizes each file's events in memory, runFromFiles() loads them
+/// from nxlite run files so UpdateEvents measures real file I/O plus
+/// the row→column transpose.
+///
+/// On Backend::DeviceSim the pipeline stages detector tables, the flux
+/// table, per-run transforms and event columns into device arrays,
+/// keeps both histograms device-resident across the whole file loop,
+/// optionally runs the paper's intersection-count pre-pass, and
+/// downloads the histograms once at the end — the MiniVATES.jl
+/// choreography.
+
+#include "vates/comm/minimpi.hpp"
+#include "vates/core/reduction_config.hpp"
+#include "vates/events/experiment_setup.hpp"
+#include "vates/io/event_file.hpp"
+#include "vates/parallel/device_sim.hpp"
+#include "vates/support/timer.hpp"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vates::core {
+
+struct ReductionResult {
+  Histogram3D signal;        ///< BinMD numerator, reduced over ranks
+  Histogram3D normalization; ///< MDNorm denominator, reduced over ranks
+  Histogram3D crossSection;  ///< signal / normalization
+  StageTimes times;          ///< critical path: per-stage max over ranks
+  DeviceStats deviceStats;   ///< device counters for this execution
+  std::size_t maxIntersectionsEstimate = 0; ///< pre-pass result (device)
+  std::size_t eventsProcessed = 0;          ///< total events binned
+  /// Populated when config.trackErrors: accumulated σ² of the signal
+  /// and the propagated σ² of the cross-section.
+  std::optional<Histogram3D> signalErrorSq;
+  std::optional<Histogram3D> crossSectionErrorSq;
+};
+
+class ReductionPipeline {
+public:
+  /// Borrow the setup (must outlive the pipeline).
+  ReductionPipeline(const ExperimentSetup& setup, ReductionConfig config);
+
+  const ReductionConfig& config() const noexcept { return config_; }
+
+  /// Reduce with in-memory event synthesis (no disk).  Honors
+  /// config().loadMode: with LoadMode::RawTof each file is synthesized
+  /// as a raw TOF stream and pushed through ConvertToMD (its own stage
+  /// row), exactly like reducing fresh DAQ output.
+  ReductionResult run() const;
+
+  /// Write every run of the workload to \p directory as nxlite files;
+  /// returns the paths in run order.
+  std::vector<std::string> writeRunFiles(const std::string& directory) const;
+
+  /// Same, but raw NeXus-style event-mode files (per-field datasets).
+  std::vector<std::string>
+  writeRawRunFiles(const std::string& directory) const;
+
+  /// Reduce from previously written run files (one per run, run order).
+  ReductionResult runFromFiles(const std::vector<std::string>& paths) const;
+
+  /// Reduce from raw run files: UpdateEvents measures the load,
+  /// ConvertToMD the Q conversion.
+  ReductionResult
+  runFromRawFiles(const std::vector<std::string>& paths) const;
+
+private:
+  /// Data source: produce run \p fileIndex's metadata and events,
+  /// recording its own stage timings (UpdateEvents, ConvertToMD, ...).
+  using RunSource =
+      std::function<RunFileContent(std::size_t fileIndex, StageTimes& times)>;
+
+  /// Wrap a raw-event producer with the ConvertToMD stage.
+  RunSource convertingSource(
+      std::function<RawRunFileContent(std::size_t)> rawSource) const;
+
+  /// Per-rank accumulation state.
+  struct RankState {
+    Histogram3D signal;
+    Histogram3D normalization;
+    std::optional<Histogram3D> signalErrorSq;
+    StageTimes times;
+    std::size_t maxIntersections = 0;
+    std::size_t events = 0;
+  };
+
+  ReductionResult reduceAll(const RunSource& source,
+                            std::size_t nFiles) const;
+  void reduceRank(comm::Communicator& communicator, const RunSource& source,
+                  std::size_t nFiles, RankState& state) const;
+
+  const ExperimentSetup* setup_;
+  ReductionConfig config_;
+};
+
+} // namespace vates::core

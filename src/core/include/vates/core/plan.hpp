@@ -1,0 +1,59 @@
+#pragma once
+/// \file plan.hpp
+/// Reduction plans — scientist-editable configuration files driving a
+/// whole reduction, the Garnet reduction-plan counterpart.
+///
+/// A plan has two sections:
+///
+///   [workload]
+///   base = benzil-corelli        # or bixbyite-topaz, or custom
+///   scale = 0.01                 # applied when base is a preset
+///   files = 36                   # every WorkloadSpec field can be
+///   events_per_file = 100000     # overridden key by key
+///   point_group = -3
+///   centering = P
+///   lambda_min = 0.7
+///   lambda_max = 2.9
+///   bins = 603 603 1
+///   extent_min = -7.5 -7.5 -0.1
+///   extent_max = 7.5 7.5 0.1
+///   projection_u = 1 1 0
+///   ...
+///
+///   [reduction]
+///   backend = devicesim
+///   ranks = 4
+///   load_mode = raw-tof          # or q-sample
+///   plane_search = roi           # or linear
+///   sort = keys                  # or structs
+///   track_errors = true
+///
+/// Unknown keys are rejected (catching typos is the whole point of a
+/// plan file).  saveReductionPlan() writes a plan that loadReductionPlan()
+/// round-trips exactly.
+
+#include "vates/core/reduction_config.hpp"
+#include "vates/events/workload.hpp"
+#include "vates/support/inifile.hpp"
+
+#include <string>
+
+namespace vates::core {
+
+struct ReductionPlan {
+  WorkloadSpec workload;
+  ReductionConfig config;
+};
+
+/// Build the plan from parsed INI content; throws InvalidArgument on
+/// unknown sections/keys or malformed values.
+ReductionPlan planFromIni(const IniFile& ini);
+
+/// Render the plan into INI form.
+IniFile planToIni(const ReductionPlan& plan);
+
+/// File conveniences.
+ReductionPlan loadReductionPlan(const std::string& path);
+void saveReductionPlan(const std::string& path, const ReductionPlan& plan);
+
+} // namespace vates::core

@@ -1,0 +1,54 @@
+#pragma once
+/// \file reduction_config.hpp
+/// Configuration of one reduction pipeline execution.
+
+#include "vates/core/hardware_preset.hpp"
+#include "vates/kernels/convert_to_md.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/parallel/backend.hpp"
+
+#include <string>
+
+namespace vates::core {
+
+/// Where each run's events come from.
+///  - QSample: already-converted MDEventWorkspace tables (the form the
+///    paper's proxies load — UpdateEvents is load + transpose).
+///  - RawTof:  stage-(ii) DAQ events; the pipeline additionally runs
+///    ConvertToMD per file (reported as its own stage).
+enum class LoadMode : int { QSample = 0, RawTof = 1 };
+
+struct ReductionConfig {
+  /// Execution backend for both kernels.
+  Backend backend = Backend::Serial;
+
+  /// In-process "MPI" ranks distributing the outer loop over files.
+  int ranks = 1;
+
+  /// Event source form (see LoadMode).
+  LoadMode loadMode = LoadMode::QSample;
+
+  /// ConvertToMD options when loadMode == RawTof.
+  ConvertOptions convert;
+
+  /// Propagate event squared-errors: BinMD accumulates a σ² histogram
+  /// and the result carries cross-section errors (Mantid semantics).
+  bool trackErrors = false;
+
+  /// MDNorm algorithm variants (ROI search + primitive-key sort are the
+  /// proxies' defaults; flip for the Mantid-style ablations).
+  MDNormOptions mdnorm;
+
+  /// Run the paper's pre-allocation estimator kernel before MDNorm on
+  /// the device backend (one extra launch per file, like MiniVATES.jl).
+  bool deviceIntersectionPrePass = true;
+
+  /// Construct from a hardware preset plus a backend choice.
+  static ReductionConfig fromPreset(const HardwarePreset& preset,
+                                    Backend backend);
+
+  /// Render a one-line summary for logs and benchmark headers.
+  std::string summary() const;
+};
+
+} // namespace vates::core

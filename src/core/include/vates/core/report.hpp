@@ -1,0 +1,53 @@
+#pragma once
+/// \file report.hpp
+/// Rendering of results in the shape of the paper's tables: one row per
+/// stage (UpdateEvents / MDNorm / BinMD / MDNorm + BinMD / Total), one
+/// column per configuration (e.g. "C++ Proxy (CPU)", "DeviceSim JIT",
+/// "DeviceSim no JIT").
+
+#include "vates/core/pipeline.hpp"
+#include "vates/support/timer.hpp"
+
+#include <string>
+#include <vector>
+
+namespace vates::core {
+
+/// Builds a Tables III–VI style WCT matrix.
+class WctTable {
+public:
+  explicit WctTable(std::string title);
+
+  /// Append a configuration column from a pipeline result.
+  void addColumn(const std::string& header, const ReductionResult& result);
+
+  /// Append a column from raw stage times (e.g. the Garnet baseline).
+  void addColumn(const std::string& header, const StageTimes& times);
+
+  /// Render the fixed-width table.  Rows, in the paper's order:
+  /// UpdateEvents, MDNorm, BinMD, MDNorm + BinMD, Total.  Columns that
+  /// recorded extra stages (H2D staging, pre-pass, D2H) get additional
+  /// rows between BinMD and the totals.
+  std::string render() const;
+
+  /// Ratio helper for speedup lines: columnA.stage / columnB.stage.
+  double ratio(std::size_t columnA, std::size_t columnB,
+               const std::string& stage) const;
+
+private:
+  struct Column {
+    std::string header;
+    StageTimes times;
+  };
+
+  std::string title_;
+  std::vector<Column> columns_;
+};
+
+/// One-line speedup statement, e.g. "MDNorm: devicesim 12.3x faster than
+/// baseline" (guards against zero denominators).
+std::string speedupLine(const std::string& stage, const std::string& fast,
+                        double fastSeconds, const std::string& slow,
+                        double slowSeconds);
+
+} // namespace vates::core

@@ -1,0 +1,41 @@
+#pragma once
+/// \file workflow_reduction.hpp
+/// Algorithm 1 expressed as a task workflow — the IRI-style alternative
+/// to the rank-based ReductionPipeline.
+///
+/// Instead of assigning each in-process "MPI rank" a contiguous block
+/// of files, the reduction is decomposed into a dependency graph:
+///
+///   load[i] ──► binmd[i] ─┐
+///   mdnorm[i] ────────────┼──► cross_section
+///                         ┘
+///
+/// MDNorm tasks depend only on run metadata (goniometer + flux), so
+/// they are immediately runnable; BinMD tasks wait for their file's
+/// load.  Both accumulate into shared histograms with atomic adds, so
+/// any interleaving is safe, and the terminal task performs the
+/// division.  Task bodies execute serially (parallelism comes from the
+/// scheduler's workers), which is the natural shape for a workflow
+/// manager distributing stages over facility resources.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/workflow/scheduler.hpp"
+
+namespace vates::core {
+
+struct WorkflowReductionResult {
+  Histogram3D signal;
+  Histogram3D normalization;
+  Histogram3D crossSection;
+  wf::WorkflowReport report; ///< per-task schedule and makespan
+};
+
+/// Build and execute the reduction workflow with \p workers concurrent
+/// task executors.  Only config.loadMode, config.convert and
+/// config.mdnorm are honored (backend/ranks belong to the pipeline
+/// model; task bodies run serially by design).
+WorkflowReductionResult
+runWorkflowReduction(const ExperimentSetup& setup,
+                     const ReductionConfig& config, unsigned workers);
+
+} // namespace vates::core

@@ -1,0 +1,83 @@
+#pragma once
+/// \file vates.hpp
+/// Umbrella header: the whole public API in one include.
+///
+///   #include <vates/vates.hpp>
+///
+/// Fine-grained headers remain available for compile-time-sensitive
+/// consumers; this exists for examples, notebooks-style exploration,
+/// and downstream quick starts.
+
+// Support
+#include "vates/support/cli.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/inifile.hpp"
+#include "vates/support/log.hpp"
+#include "vates/support/rng.hpp"
+#include "vates/support/strings.hpp"
+#include "vates/support/timer.hpp"
+
+// Units and geometry
+#include "vates/geometry/centering.hpp"
+#include "vates/geometry/detector_mask.hpp"
+#include "vates/geometry/goniometer.hpp"
+#include "vates/geometry/instrument.hpp"
+#include "vates/geometry/lattice.hpp"
+#include "vates/geometry/mat3.hpp"
+#include "vates/geometry/oriented_lattice.hpp"
+#include "vates/geometry/symmetry.hpp"
+#include "vates/geometry/vec3.hpp"
+#include "vates/units/units.hpp"
+
+// Portable execution + communication
+#include "vates/comm/minimpi.hpp"
+#include "vates/parallel/atomics.hpp"
+#include "vates/parallel/backend.hpp"
+#include "vates/parallel/device_array.hpp"
+#include "vates/parallel/device_sim.hpp"
+#include "vates/parallel/executor.hpp"
+#include "vates/parallel/thread_pool.hpp"
+
+// Data model
+#include "vates/events/event_table.hpp"
+#include "vates/events/experiment_setup.hpp"
+#include "vates/events/generator.hpp"
+#include "vates/events/md_box_tree.hpp"
+#include "vates/events/raw_events.hpp"
+#include "vates/events/workload.hpp"
+#include "vates/flux/flux_spectrum.hpp"
+#include "vates/histogram/binning.hpp"
+#include "vates/histogram/grid_view.hpp"
+#include "vates/histogram/histogram3d.hpp"
+
+// Kernels
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/comb_sort.hpp"
+#include "vates/kernels/convert_to_md.hpp"
+#include "vates/kernels/intersections.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/symmetrize.hpp"
+#include "vates/kernels/transforms.hpp"
+
+// I/O
+#include "vates/io/crc32.hpp"
+#include "vates/io/event_file.hpp"
+#include "vates/io/grid_writers.hpp"
+#include "vates/io/histogram_file.hpp"
+#include "vates/io/nxlite.hpp"
+
+// Pipelines and orchestration
+#include "vates/baseline/garnet_workflow.hpp"
+#include "vates/core/analysis.hpp"
+#include "vates/core/peak_search.hpp"
+#include "vates/core/hardware_preset.hpp"
+#include "vates/core/pipeline.hpp"
+#include "vates/core/plan.hpp"
+#include "vates/core/reduction_config.hpp"
+#include "vates/core/report.hpp"
+#include "vates/core/workflow_reduction.hpp"
+#include "vates/stream/daq_simulator.hpp"
+#include "vates/stream/event_channel.hpp"
+#include "vates/stream/live_reducer.hpp"
+#include "vates/workflow/scheduler.hpp"
+#include "vates/workflow/task_graph.hpp"

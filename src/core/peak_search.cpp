@@ -1,0 +1,203 @@
+#include "vates/core/peak_search.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace vates::core {
+
+namespace {
+struct Candidate {
+  std::size_t i, j, k;
+  double height;
+};
+} // namespace
+
+std::vector<Peak> findPeaks(const Histogram3D& crossSection,
+                            const PeakSearchOptions& options) {
+  VATES_REQUIRE(options.window >= 1, "window must be >= 1");
+  VATES_REQUIRE(options.thresholdOverMedian > 0.0, "threshold must be > 0");
+
+  const std::size_t nx = crossSection.nx();
+  const std::size_t ny = crossSection.ny();
+  const std::size_t nz = crossSection.nz();
+
+  // Median of the finite bins sets the detection floor.
+  std::vector<double> finite;
+  finite.reserve(crossSection.size());
+  for (double value : crossSection.data()) {
+    if (std::isfinite(value)) {
+      finite.push_back(value);
+    }
+  }
+  if (finite.empty()) {
+    return {};
+  }
+  std::nth_element(finite.begin(), finite.begin() + finite.size() / 2,
+                   finite.end());
+  const double median = finite[finite.size() / 2];
+  const double floor = options.thresholdOverMedian * std::max(median, 0.0);
+
+  auto value = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return crossSection.at(i, j, k);
+  };
+  const auto w = static_cast<std::ptrdiff_t>(options.window);
+
+  // Pass 1: strict local maxima above the floor.
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t k = 0; k < nz; ++k) {
+        const double center = value(i, j, k);
+        if (!std::isfinite(center) || center <= floor) {
+          continue;
+        }
+        bool isMaximum = true;
+        for (std::ptrdiff_t di = -w; di <= w && isMaximum; ++di) {
+          for (std::ptrdiff_t dj = -w; dj <= w && isMaximum; ++dj) {
+            for (std::ptrdiff_t dk = -w; dk <= w && isMaximum; ++dk) {
+              if (di == 0 && dj == 0 && dk == 0) {
+                continue;
+              }
+              const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(i) + di;
+              const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(j) + dj;
+              const std::ptrdiff_t kk = static_cast<std::ptrdiff_t>(k) + dk;
+              if (ii < 0 || jj < 0 || kk < 0 ||
+                  ii >= static_cast<std::ptrdiff_t>(nx) ||
+                  jj >= static_cast<std::ptrdiff_t>(ny) ||
+                  kk >= static_cast<std::ptrdiff_t>(nz)) {
+                continue;
+              }
+              const double neighbor =
+                  value(static_cast<std::size_t>(ii),
+                        static_cast<std::size_t>(jj),
+                        static_cast<std::size_t>(kk));
+              if (std::isfinite(neighbor) && neighbor > center) {
+                isMaximum = false;
+              }
+            }
+          }
+        }
+        if (isMaximum) {
+          candidates.push_back(Candidate{i, j, k, center});
+        }
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.height > b.height;
+            });
+
+  // Pass 2: greedy acceptance with separation, then windowed
+  // integration with local-background (window-shell median) removal.
+  std::vector<Peak> peaks;
+  const double minSeparationSq =
+      options.minSeparationBins * options.minSeparationBins;
+  for (const Candidate& candidate : candidates) {
+    if (peaks.size() >= options.maxPeaks) {
+      break;
+    }
+    bool tooClose = false;
+    for (const Peak& accepted : peaks) {
+      const double di = static_cast<double>(candidate.i) -
+                        (accepted.projected.x - crossSection.axis(0).min()) /
+                            crossSection.axis(0).width();
+      const double dj = static_cast<double>(candidate.j) -
+                        (accepted.projected.y - crossSection.axis(1).min()) /
+                            crossSection.axis(1).width();
+      const double dk = static_cast<double>(candidate.k) -
+                        (accepted.projected.z - crossSection.axis(2).min()) /
+                            crossSection.axis(2).width();
+      if (di * di + dj * dj + dk * dk < minSeparationSq) {
+        tooClose = true;
+        break;
+      }
+    }
+    if (tooClose) {
+      continue;
+    }
+
+    // Integrate the window; estimate the local background from the
+    // window's outer shell.
+    double integral = 0.0;
+    std::vector<double> shell;
+    std::size_t coveredBins = 0;
+    for (std::ptrdiff_t di = -w; di <= w; ++di) {
+      for (std::ptrdiff_t dj = -w; dj <= w; ++dj) {
+        for (std::ptrdiff_t dk = -w; dk <= w; ++dk) {
+          const std::ptrdiff_t ii =
+              static_cast<std::ptrdiff_t>(candidate.i) + di;
+          const std::ptrdiff_t jj =
+              static_cast<std::ptrdiff_t>(candidate.j) + dj;
+          const std::ptrdiff_t kk =
+              static_cast<std::ptrdiff_t>(candidate.k) + dk;
+          if (ii < 0 || jj < 0 || kk < 0 ||
+              ii >= static_cast<std::ptrdiff_t>(nx) ||
+              jj >= static_cast<std::ptrdiff_t>(ny) ||
+              kk >= static_cast<std::ptrdiff_t>(nz)) {
+            continue;
+          }
+          const double binValue = value(static_cast<std::size_t>(ii),
+                                        static_cast<std::size_t>(jj),
+                                        static_cast<std::size_t>(kk));
+          if (!std::isfinite(binValue)) {
+            continue;
+          }
+          const bool onShell = std::abs(di) == w || std::abs(dj) == w ||
+                               (nz > 1 && std::abs(dk) == w);
+          if (onShell) {
+            shell.push_back(binValue);
+          } else {
+            integral += binValue;
+            ++coveredBins;
+          }
+        }
+      }
+    }
+    double background = 0.0;
+    if (!shell.empty()) {
+      std::nth_element(shell.begin(), shell.begin() + shell.size() / 2,
+                       shell.end());
+      background = shell[shell.size() / 2];
+    }
+
+    Peak peak;
+    peak.projected =
+        V3{crossSection.axis(0).center(candidate.i),
+           crossSection.axis(1).center(candidate.j),
+           crossSection.axis(2).center(candidate.k)};
+    peak.hkl = crossSection.projection().toHkl(peak.projected);
+    peak.height = candidate.height;
+    peak.intensity =
+        integral - background * static_cast<double>(coveredBins);
+    peak.binIndex =
+        crossSection.flatIndex(candidate.i, candidate.j, candidate.k);
+    peaks.push_back(peak);
+  }
+  return peaks;
+}
+
+std::string peakTable(const std::vector<Peak>& peaks, std::size_t maxRows) {
+  std::ostringstream os;
+  os << strfmt("%-4s %-26s %-26s %14s\n", "#", "projected (x,y,z)",
+               "hkl", "intensity");
+  const std::size_t rows = std::min(maxRows, peaks.size());
+  for (std::size_t p = 0; p < rows; ++p) {
+    const Peak& peak = peaks[p];
+    os << strfmt("%-4zu (%7.3f,%7.3f,%7.3f) (%7.3f,%7.3f,%7.3f) %14.3e\n",
+                 p, peak.projected.x, peak.projected.y, peak.projected.z,
+                 peak.hkl.x, peak.hkl.y, peak.hkl.z, peak.intensity);
+  }
+  if (peaks.size() > rows) {
+    os << "... (" << peaks.size() - rows << " more)\n";
+  }
+  return os.str();
+}
+
+} // namespace vates::core

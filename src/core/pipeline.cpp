@@ -1,0 +1,356 @@
+#include "vates/core/pipeline.hpp"
+
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/parallel/device_array.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/log.hpp"
+
+#include <algorithm>
+
+namespace vates::core {
+
+ReductionPipeline::ReductionPipeline(const ExperimentSetup& setup,
+                                     ReductionConfig config)
+    : setup_(&setup), config_(config) {
+  VATES_REQUIRE(config_.ranks >= 1, "need at least one rank");
+  VATES_REQUIRE(backendAvailable(config_.backend),
+                std::string("backend unavailable: ") +
+                    backendName(config_.backend));
+}
+
+ReductionPipeline::RunSource ReductionPipeline::convertingSource(
+    std::function<RawRunFileContent(std::size_t)> rawSource) const {
+  // Conversion is a host-side stage (part of loading in the paper's
+  // workflow); convertToMD itself downgrades a DeviceSim executor.
+  const Executor executor(config_.backend);
+  const Instrument* instrument = &setup_->instrument();
+  const ConvertOptions options = config_.convert;
+  return [rawSource = std::move(rawSource), executor, instrument,
+          options](std::size_t fileIndex, StageTimes& times) {
+    WallTimer loadTimer;
+    RawRunFileContent raw = rawSource(fileIndex);
+    times.add("UpdateEvents", loadTimer.seconds());
+
+    WallTimer convertTimer;
+    EventTable events = convertToMD(executor, *instrument, nullptr, raw.run,
+                                    raw.events, options);
+    times.add("ConvertToMD", convertTimer.seconds());
+    return RunFileContent{raw.run, std::move(events)};
+  };
+}
+
+ReductionResult ReductionPipeline::run() const {
+  const EventGenerator generator = setup_->makeGenerator();
+  if (config_.loadMode == LoadMode::RawTof) {
+    const RunSource source =
+        convertingSource([&generator](std::size_t fileIndex) {
+          return RawRunFileContent{generator.runInfo(fileIndex),
+                                   generator.generateRaw(fileIndex)};
+        });
+    return reduceAll(source, setup_->spec().nFiles);
+  }
+  const RunSource source = [&generator](std::size_t fileIndex,
+                                        StageTimes& times) {
+    WallTimer loadTimer;
+    RunFileContent content{generator.runInfo(fileIndex),
+                           generator.generate(fileIndex)};
+    times.add("UpdateEvents", loadTimer.seconds());
+    return content;
+  };
+  return reduceAll(source, setup_->spec().nFiles);
+}
+
+std::vector<std::string>
+ReductionPipeline::writeRunFiles(const std::string& directory) const {
+  const EventGenerator generator = setup_->makeGenerator();
+  std::vector<std::string> paths;
+  paths.reserve(setup_->spec().nFiles);
+  for (std::size_t fileIndex = 0; fileIndex < setup_->spec().nFiles;
+       ++fileIndex) {
+    const std::string path =
+        runFilePath(directory, setup_->spec().name, fileIndex);
+    saveRunFile(path, generator.runInfo(fileIndex),
+                generator.generate(fileIndex));
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+std::vector<std::string>
+ReductionPipeline::writeRawRunFiles(const std::string& directory) const {
+  const EventGenerator generator = setup_->makeGenerator();
+  std::vector<std::string> paths;
+  paths.reserve(setup_->spec().nFiles);
+  for (std::size_t fileIndex = 0; fileIndex < setup_->spec().nFiles;
+       ++fileIndex) {
+    const std::string path =
+        rawRunFilePath(directory, setup_->spec().name, fileIndex);
+    saveRawRunFile(path, generator.runInfo(fileIndex),
+                   generator.generateRaw(fileIndex));
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+ReductionResult
+ReductionPipeline::runFromFiles(const std::vector<std::string>& paths) const {
+  const RunSource source = [&paths](std::size_t fileIndex,
+                                    StageTimes& times) {
+    WallTimer loadTimer;
+    RunFileContent content = loadRunFile(paths.at(fileIndex));
+    times.add("UpdateEvents", loadTimer.seconds());
+    return content;
+  };
+  return reduceAll(source, paths.size());
+}
+
+ReductionResult ReductionPipeline::runFromRawFiles(
+    const std::vector<std::string>& paths) const {
+  const RunSource source = convertingSource(
+      [&paths](std::size_t fileIndex) {
+        return loadRawRunFile(paths.at(fileIndex));
+      });
+  return reduceAll(source, paths.size());
+}
+
+ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
+                                             std::size_t nFiles) const {
+  const int nRanks = config_.ranks;
+  const DeviceStats statsBefore = DeviceSim::global().stats();
+
+  // Shared result slots written by rank 0 / aggregated after the join.
+  ReductionResult result{setup_->makeHistogram(), setup_->makeHistogram(),
+                         setup_->makeHistogram(), StageTimes{}, DeviceStats{},
+                         0, 0, std::nullopt, std::nullopt};
+  std::vector<StageTimes> rankTimes(static_cast<std::size_t>(nRanks));
+  std::vector<std::size_t> rankMaxIntersections(
+      static_cast<std::size_t>(nRanks), 0);
+  std::vector<std::size_t> rankEvents(static_cast<std::size_t>(nRanks), 0);
+
+  comm::World::run(nRanks, [&](comm::Communicator& communicator) {
+    RankState state{setup_->makeHistogram(), setup_->makeHistogram(),
+                    std::nullopt, StageTimes{}, 0, 0};
+    if (config_.trackErrors) {
+      state.signalErrorSq = setup_->makeHistogram();
+    }
+    const auto rank = static_cast<std::size_t>(communicator.rank());
+
+    reduceRank(communicator, source, nFiles, state);
+    rankTimes[rank] = std::move(state.times);
+    rankMaxIntersections[rank] = state.maxIntersections;
+    rankEvents[rank] = state.events;
+
+    // MPI_Reduce of the histograms onto rank 0 (Algorithm 1's final
+    // step); deterministic rank-ordered summation inside minimpi.
+    communicator.reduceSum(state.signal.data(), /*root=*/0);
+    communicator.reduceSum(state.normalization.data(), /*root=*/0);
+    if (state.signalErrorSq) {
+      communicator.reduceSum(state.signalErrorSq->data(), /*root=*/0);
+    }
+    if (communicator.rank() == 0) {
+      result.signal = std::move(state.signal);
+      result.normalization = std::move(state.normalization);
+      result.signalErrorSq = std::move(state.signalErrorSq);
+    }
+  });
+
+  for (int rank = 0; rank < nRanks; ++rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    result.times.mergeMax(rankTimes[r]);
+    result.maxIntersectionsEstimate =
+        std::max(result.maxIntersectionsEstimate, rankMaxIntersections[r]);
+    result.eventsProcessed += rankEvents[r];
+  }
+
+  if (result.signalErrorSq) {
+    HistogramRatio ratio = Histogram3D::divideWithErrors(
+        result.signal, *result.signalErrorSq, result.normalization);
+    result.crossSection = std::move(ratio.value);
+    result.crossSectionErrorSq = std::move(ratio.errorSq);
+  } else {
+    result.crossSection =
+        Histogram3D::divide(result.signal, result.normalization);
+  }
+
+  const DeviceStats statsAfter = DeviceSim::global().stats();
+  result.deviceStats.kernelLaunches =
+      statsAfter.kernelLaunches - statsBefore.kernelLaunches;
+  result.deviceStats.blocksExecuted =
+      statsAfter.blocksExecuted - statsBefore.blocksExecuted;
+  result.deviceStats.bytesAllocated =
+      statsAfter.bytesAllocated - statsBefore.bytesAllocated;
+  result.deviceStats.bytesFreed = statsAfter.bytesFreed - statsBefore.bytesFreed;
+  result.deviceStats.bytesH2D = statsAfter.bytesH2D - statsBefore.bytesH2D;
+  result.deviceStats.bytesD2H = statsAfter.bytesD2H - statsBefore.bytesD2H;
+  result.deviceStats.jitCompilations =
+      statsAfter.jitCompilations - statsBefore.jitCompilations;
+  result.deviceStats.jitSeconds =
+      statsAfter.jitSeconds - statsBefore.jitSeconds;
+  return result;
+}
+
+void ReductionPipeline::reduceRank(comm::Communicator& communicator,
+                                   const RunSource& source,
+                                   std::size_t nFiles,
+                                   RankState& state) const {
+  Histogram3D& outSignal = state.signal;
+  Histogram3D& outNorm = state.normalization;
+  StageTimes& outTimes = state.times;
+  const bool trackErrors = state.signalErrorSq.has_value();
+  const ExperimentSetup& setup = *setup_;
+  const auto range = communicator.blockRange(nFiles);
+  const bool onDevice = config_.backend == Backend::DeviceSim;
+  const Executor executor(config_.backend);
+  DeviceSim& device = DeviceSim::global();
+
+  // Detector tables and the flux table are run-invariant: staged once.
+  const std::span<const V3> qDirections = setup.instrument().qLabDirections();
+  const std::span<const double> solidAngles = setup.instrument().solidAngles();
+  FluxTableView fluxView = setup.flux().view();
+
+  DeviceArray<V3> dQDirections;
+  DeviceArray<double> dSolidAngles;
+  DeviceArray<double> dFlux;
+  DeviceArray<double> dSignalBins;
+  DeviceArray<double> dNormBins;
+  DeviceArray<double> dErrorBins;
+  std::span<const V3> kernelQDirections = qDirections;
+  std::span<const double> kernelSolidAngles = solidAngles;
+
+  GridView signalGrid = outSignal.gridView();
+  GridView normGrid = outNorm.gridView();
+  GridView errorGrid;
+  if (trackErrors) {
+    errorGrid = state.signalErrorSq->gridView();
+  }
+
+  if (onDevice) {
+    ScopedStage stage(outTimes, "H2D staging");
+    dQDirections = DeviceArray<V3>(device, qDirections);
+    dSolidAngles = DeviceArray<double>(device, solidAngles);
+    dFlux = DeviceArray<double>(device, setup.flux().table());
+    fluxView.cumulative = dFlux.deviceData();
+    kernelQDirections =
+        std::span<const V3>(dQDirections.deviceData(), dQDirections.size());
+    kernelSolidAngles = std::span<const double>(dSolidAngles.deviceData(),
+                                                dSolidAngles.size());
+    // Device-resident histograms for the whole file loop.
+    dSignalBins = DeviceArray<double>(device, outSignal.size());
+    dNormBins = DeviceArray<double>(device, outNorm.size());
+    fillOnDevice(dSignalBins, 0.0);
+    fillOnDevice(dNormBins, 0.0);
+    signalGrid = outSignal.gridView(dSignalBins.deviceData());
+    normGrid = outNorm.gridView(dNormBins.deviceData());
+    if (trackErrors) {
+      dErrorBins = DeviceArray<double>(device, outSignal.size());
+      fillOnDevice(dErrorBins, 0.0);
+      errorGrid = state.signalErrorSq->gridView(dErrorBins.deviceData());
+    }
+  }
+
+  for (std::size_t fileIndex = range.begin; fileIndex < range.end;
+       ++fileIndex) {
+    // -- LOAD events, rotations, charge (UpdateEvents [+ ConvertToMD]) --
+    const RunFileContent content = source(fileIndex, outTimes);
+    state.events += content.events.size();
+
+    const RunInfo& run = content.run;
+    const std::vector<M33> normTransforms =
+        mdNormTransforms(setup.projection(), setup.lattice(),
+                         setup.symmetryMatrices(), run.goniometerR);
+    const std::vector<M33> binTransforms = binMdTransforms(
+        setup.projection(), setup.lattice(), setup.symmetryMatrices());
+
+    // Event columns and per-run transform tables (device staging).
+    const std::span<const double> qx = content.events.column(EventTable::Qx);
+    const std::span<const double> qy = content.events.column(EventTable::Qy);
+    const std::span<const double> qz = content.events.column(EventTable::Qz);
+    const std::span<const double> signal =
+        content.events.column(EventTable::Signal);
+    const std::span<const double> errorSq =
+        content.events.column(EventTable::ErrorSq);
+
+    DeviceArray<M33> dNormTransforms;
+    DeviceArray<M33> dBinTransforms;
+    DeviceArray<double> dQx, dQy, dQz, dSignal, dErrorSq;
+
+    MDNormInputs normInputs;
+    normInputs.qLabDirections = kernelQDirections;
+    normInputs.solidAngles = kernelSolidAngles;
+    normInputs.flux = fluxView;
+    normInputs.protonCharge = run.protonCharge;
+    normInputs.kMin = run.kMin;
+    normInputs.kMax = run.kMax;
+
+    BinMDInputs binInputs;
+    binInputs.nEvents = content.events.size();
+
+    if (onDevice) {
+      ScopedStage stage(outTimes, "H2D staging");
+      dNormTransforms = DeviceArray<M33>(device, normTransforms);
+      dBinTransforms = DeviceArray<M33>(device, binTransforms);
+      dQx = DeviceArray<double>(device, qx);
+      dQy = DeviceArray<double>(device, qy);
+      dQz = DeviceArray<double>(device, qz);
+      dSignal = DeviceArray<double>(device, signal);
+      normInputs.transforms = std::span<const M33>(
+          dNormTransforms.deviceData(), dNormTransforms.size());
+      binInputs.transforms = std::span<const M33>(dBinTransforms.deviceData(),
+                                                  dBinTransforms.size());
+      binInputs.qx = dQx.deviceData();
+      binInputs.qy = dQy.deviceData();
+      binInputs.qz = dQz.deviceData();
+      binInputs.signal = dSignal.deviceData();
+      if (trackErrors) {
+        dErrorSq = DeviceArray<double>(device, errorSq);
+        binInputs.errorSq = dErrorSq.deviceData();
+      }
+    } else {
+      normInputs.transforms = normTransforms;
+      binInputs.transforms = binTransforms;
+      binInputs.qx = qx.data();
+      binInputs.qy = qy.data();
+      binInputs.qz = qz.data();
+      binInputs.signal = signal.data();
+      binInputs.errorSq = errorSq.data();
+    }
+
+    // -- MDNorm += MDNorm(geometry, flux) --------------------------------
+    if (onDevice && config_.deviceIntersectionPrePass) {
+      // MiniVATES.jl's extra sizing kernel, once per file.
+      WallTimer prePassTimer;
+      state.maxIntersections = std::max(
+          state.maxIntersections,
+          estimateMaxIntersections(executor, normInputs, normGrid,
+                                   config_.mdnorm.search));
+      outTimes.add("MDNorm pre-pass", prePassTimer.seconds());
+    }
+    {
+      ScopedStage stage(outTimes, "MDNorm");
+      runMDNorm(executor, normInputs, normGrid, config_.mdnorm);
+    }
+
+    // -- BinMD += BinMD(events) ------------------------------------------
+    {
+      ScopedStage stage(outTimes, "BinMD");
+      if (trackErrors) {
+        runBinMD(executor, binInputs, signalGrid, errorGrid);
+      } else {
+        runBinMD(executor, binInputs, signalGrid);
+      }
+    }
+  }
+
+  if (onDevice) {
+    ScopedStage stage(outTimes, "D2H results");
+    copyToHost(outSignal.data(), dSignalBins);
+    copyToHost(outNorm.data(), dNormBins);
+    if (trackErrors) {
+      copyToHost(state.signalErrorSq->data(), dErrorBins);
+    }
+  }
+}
+
+} // namespace vates::core

@@ -1,0 +1,289 @@
+#include "vates/core/plan.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace vates::core {
+
+namespace {
+
+V3 parseTriple(const std::string& text, const std::string& what) {
+  std::istringstream stream(text);
+  V3 out;
+  if (!(stream >> out.x >> out.y >> out.z)) {
+    throw InvalidArgument(what + ": expected three numbers, got '" + text +
+                          "'");
+  }
+  std::string leftover;
+  if (stream >> leftover) {
+    throw InvalidArgument(what + ": trailing content '" + leftover + "'");
+  }
+  return out;
+}
+
+std::array<std::size_t, 3> parseBins(const std::string& text) {
+  const V3 triple = parseTriple(text, "bins");
+  VATES_REQUIRE(triple.x >= 1 && triple.y >= 1 && triple.z >= 1,
+                "bins must be >= 1");
+  return {static_cast<std::size_t>(triple.x),
+          static_cast<std::size_t>(triple.y),
+          static_cast<std::size_t>(triple.z)};
+}
+
+std::string tripleText(const V3& v) {
+  return strfmt("%.17g %.17g %.17g", v.x, v.y, v.z);
+}
+
+const std::set<std::string>& workloadKeys() {
+  static const std::set<std::string> keys = {
+      "base",        "scale",          "name",
+      "files",       "events_per_file", "detectors",
+      "point_group", "centering",       "instrument",
+      "lambda_min",  "lambda_max",      "omega_start",
+      "omega_step",  "proton_charge",   "bins",
+      "extent_min",  "extent_max",      "projection_u",
+      "projection_v", "projection_w",   "lattice",
+      "lattice_angles", "u_vector",     "v_vector",
+      "bragg_amplitude", "bragg_sigma", "diffuse_background",
+      "seed",
+  };
+  return keys;
+}
+
+const std::set<std::string>& reductionKeys() {
+  static const std::set<std::string> keys = {
+      "backend", "ranks",        "load_mode",   "plane_search",
+      "sort",    "track_errors", "lorentz",     "filter_band",
+      "prepass",
+  };
+  return keys;
+}
+
+void rejectUnknownKeys(const IniFile& ini) {
+  for (const std::string& section : ini.sections()) {
+    const std::set<std::string>* allowed = nullptr;
+    if (section == "workload") {
+      allowed = &workloadKeys();
+    } else if (section == "reduction") {
+      allowed = &reductionKeys();
+    } else {
+      throw InvalidArgument("unknown plan section [" + section + "]");
+    }
+    for (const std::string& key : ini.keys(section)) {
+      if (!allowed->contains(key)) {
+        throw InvalidArgument("unknown plan key [" + section + "] " + key);
+      }
+    }
+  }
+}
+
+} // namespace
+
+ReductionPlan planFromIni(const IniFile& ini) {
+  rejectUnknownKeys(ini);
+
+  ReductionPlan plan;
+
+  // --- [workload] ---------------------------------------------------------
+  const std::string base =
+      toLower(ini.getString("workload", "base", "benzil-corelli"));
+  const double scale = ini.getDouble("workload", "scale", 1.0);
+  if (base == "benzil-corelli" || base == "benzil") {
+    plan.workload = WorkloadSpec::benzilCorelli(scale);
+  } else if (base == "bixbyite-topaz" || base == "bixbyite") {
+    plan.workload = WorkloadSpec::bixbyiteTopaz(scale);
+  } else if (base == "custom") {
+    plan.workload = WorkloadSpec{};
+  } else {
+    throw InvalidArgument("unknown workload base '" + base + "'");
+  }
+  WorkloadSpec& w = plan.workload;
+
+  w.name = ini.getString("workload", "name", w.name);
+  w.nFiles = static_cast<std::size_t>(
+      ini.getInt("workload", "files", static_cast<long long>(w.nFiles)));
+  w.eventsPerFile = static_cast<std::size_t>(ini.getInt(
+      "workload", "events_per_file", static_cast<long long>(w.eventsPerFile)));
+  w.nDetectors = static_cast<std::size_t>(ini.getInt(
+      "workload", "detectors", static_cast<long long>(w.nDetectors)));
+  w.pointGroup = ini.getString("workload", "point_group", w.pointGroup);
+  if (ini.has("workload", "centering")) {
+    w.centering = parseCentering(ini.getString("workload", "centering"));
+  }
+  w.instrument = ini.getString("workload", "instrument", w.instrument);
+  w.lambdaMin = ini.getDouble("workload", "lambda_min", w.lambdaMin);
+  w.lambdaMax = ini.getDouble("workload", "lambda_max", w.lambdaMax);
+  w.omegaStartDeg = ini.getDouble("workload", "omega_start", w.omegaStartDeg);
+  w.omegaStepDeg = ini.getDouble("workload", "omega_step", w.omegaStepDeg);
+  w.protonCharge = ini.getDouble("workload", "proton_charge", w.protonCharge);
+  if (ini.has("workload", "bins")) {
+    w.bins = parseBins(ini.getString("workload", "bins"));
+  }
+  if (ini.has("workload", "extent_min")) {
+    const V3 v = parseTriple(ini.getString("workload", "extent_min"),
+                             "extent_min");
+    w.extentMin = {v.x, v.y, v.z};
+  }
+  if (ini.has("workload", "extent_max")) {
+    const V3 v = parseTriple(ini.getString("workload", "extent_max"),
+                             "extent_max");
+    w.extentMax = {v.x, v.y, v.z};
+  }
+  if (ini.has("workload", "projection_u")) {
+    w.projectionU =
+        parseTriple(ini.getString("workload", "projection_u"), "projection_u");
+  }
+  if (ini.has("workload", "projection_v")) {
+    w.projectionV =
+        parseTriple(ini.getString("workload", "projection_v"), "projection_v");
+  }
+  if (ini.has("workload", "projection_w")) {
+    w.projectionW =
+        parseTriple(ini.getString("workload", "projection_w"), "projection_w");
+  }
+  if (ini.has("workload", "lattice")) {
+    const V3 lengths = parseTriple(ini.getString("workload", "lattice"),
+                                   "lattice");
+    w.latticeA = lengths.x;
+    w.latticeB = lengths.y;
+    w.latticeC = lengths.z;
+  }
+  if (ini.has("workload", "lattice_angles")) {
+    const V3 angles = parseTriple(ini.getString("workload", "lattice_angles"),
+                                  "lattice_angles");
+    w.latticeAlpha = angles.x;
+    w.latticeBeta = angles.y;
+    w.latticeGamma = angles.z;
+  }
+  if (ini.has("workload", "u_vector")) {
+    w.uVector = parseTriple(ini.getString("workload", "u_vector"), "u_vector");
+  }
+  if (ini.has("workload", "v_vector")) {
+    w.vVector = parseTriple(ini.getString("workload", "v_vector"), "v_vector");
+  }
+  w.braggAmplitude =
+      ini.getDouble("workload", "bragg_amplitude", w.braggAmplitude);
+  w.braggSigma = ini.getDouble("workload", "bragg_sigma", w.braggSigma);
+  w.diffuseBackground =
+      ini.getDouble("workload", "diffuse_background", w.diffuseBackground);
+  if (ini.has("workload", "seed")) {
+    w.seed = static_cast<std::uint64_t>(ini.getInt("workload", "seed"));
+  }
+
+  // --- [reduction] ----------------------------------------------------------
+  ReductionConfig& c = plan.config;
+  if (ini.has("reduction", "backend")) {
+    c.backend = parseBackend(ini.getString("reduction", "backend"));
+  }
+  c.ranks = static_cast<int>(ini.getInt("reduction", "ranks", c.ranks));
+  if (ini.has("reduction", "load_mode")) {
+    const std::string mode = toLower(ini.getString("reduction", "load_mode"));
+    if (mode == "raw-tof" || mode == "raw") {
+      c.loadMode = LoadMode::RawTof;
+    } else if (mode == "q-sample" || mode == "qsample") {
+      c.loadMode = LoadMode::QSample;
+    } else {
+      throw InvalidArgument("unknown load_mode '" + mode + "'");
+    }
+  }
+  if (ini.has("reduction", "plane_search")) {
+    const std::string search =
+        toLower(ini.getString("reduction", "plane_search"));
+    if (search == "roi") {
+      c.mdnorm.search = PlaneSearch::Roi;
+    } else if (search == "linear") {
+      c.mdnorm.search = PlaneSearch::Linear;
+    } else {
+      throw InvalidArgument("unknown plane_search '" + search + "'");
+    }
+  }
+  if (ini.has("reduction", "sort")) {
+    const std::string sort = toLower(ini.getString("reduction", "sort"));
+    if (sort == "keys") {
+      c.mdnorm.sortPrimitiveKeys = true;
+    } else if (sort == "structs") {
+      c.mdnorm.sortPrimitiveKeys = false;
+    } else {
+      throw InvalidArgument("unknown sort '" + sort + "'");
+    }
+  }
+  c.trackErrors = ini.getBool("reduction", "track_errors", c.trackErrors);
+  c.convert.lorentzCorrection =
+      ini.getBool("reduction", "lorentz", c.convert.lorentzCorrection);
+  c.convert.filterMomentumBand =
+      ini.getBool("reduction", "filter_band", c.convert.filterMomentumBand);
+  c.deviceIntersectionPrePass =
+      ini.getBool("reduction", "prepass", c.deviceIntersectionPrePass);
+
+  return plan;
+}
+
+IniFile planToIni(const ReductionPlan& plan) {
+  const WorkloadSpec& w = plan.workload;
+  const ReductionConfig& c = plan.config;
+  IniFile ini;
+  ini.set("workload", "base", "custom");
+  ini.set("workload", "name", w.name);
+  ini.set("workload", "files", std::to_string(w.nFiles));
+  ini.set("workload", "events_per_file", std::to_string(w.eventsPerFile));
+  ini.set("workload", "detectors", std::to_string(w.nDetectors));
+  ini.set("workload", "point_group", w.pointGroup);
+  ini.set("workload", "centering", centeringSymbol(w.centering));
+  ini.set("workload", "instrument", w.instrument);
+  ini.set("workload", "lambda_min", strfmt("%.17g", w.lambdaMin));
+  ini.set("workload", "lambda_max", strfmt("%.17g", w.lambdaMax));
+  ini.set("workload", "omega_start", strfmt("%.17g", w.omegaStartDeg));
+  ini.set("workload", "omega_step", strfmt("%.17g", w.omegaStepDeg));
+  ini.set("workload", "proton_charge", strfmt("%.17g", w.protonCharge));
+  ini.set("workload", "bins",
+          strfmt("%zu %zu %zu", w.bins[0], w.bins[1], w.bins[2]));
+  ini.set("workload", "extent_min",
+          tripleText(V3{w.extentMin[0], w.extentMin[1], w.extentMin[2]}));
+  ini.set("workload", "extent_max",
+          tripleText(V3{w.extentMax[0], w.extentMax[1], w.extentMax[2]}));
+  ini.set("workload", "projection_u", tripleText(w.projectionU));
+  ini.set("workload", "projection_v", tripleText(w.projectionV));
+  ini.set("workload", "projection_w", tripleText(w.projectionW));
+  ini.set("workload", "lattice",
+          tripleText(V3{w.latticeA, w.latticeB, w.latticeC}));
+  ini.set("workload", "lattice_angles",
+          tripleText(V3{w.latticeAlpha, w.latticeBeta, w.latticeGamma}));
+  ini.set("workload", "u_vector", tripleText(w.uVector));
+  ini.set("workload", "v_vector", tripleText(w.vVector));
+  ini.set("workload", "bragg_amplitude", strfmt("%.17g", w.braggAmplitude));
+  ini.set("workload", "bragg_sigma", strfmt("%.17g", w.braggSigma));
+  ini.set("workload", "diffuse_background",
+          strfmt("%.17g", w.diffuseBackground));
+  ini.set("workload", "seed", std::to_string(w.seed));
+
+  ini.set("reduction", "backend", backendName(c.backend));
+  ini.set("reduction", "ranks", std::to_string(c.ranks));
+  ini.set("reduction", "load_mode",
+          c.loadMode == LoadMode::RawTof ? "raw-tof" : "q-sample");
+  ini.set("reduction", "plane_search",
+          c.mdnorm.search == PlaneSearch::Roi ? "roi" : "linear");
+  ini.set("reduction", "sort",
+          c.mdnorm.sortPrimitiveKeys ? "keys" : "structs");
+  ini.set("reduction", "track_errors", c.trackErrors ? "true" : "false");
+  ini.set("reduction", "lorentz",
+          c.convert.lorentzCorrection ? "true" : "false");
+  ini.set("reduction", "filter_band",
+          c.convert.filterMomentumBand ? "true" : "false");
+  ini.set("reduction", "prepass",
+          c.deviceIntersectionPrePass ? "true" : "false");
+  return ini;
+}
+
+ReductionPlan loadReductionPlan(const std::string& path) {
+  return planFromIni(IniFile::load(path));
+}
+
+void saveReductionPlan(const std::string& path, const ReductionPlan& plan) {
+  planToIni(plan).save(path);
+}
+
+} // namespace vates::core

@@ -1,0 +1,24 @@
+#include "vates/core/reduction_config.hpp"
+
+#include "vates/support/strings.hpp"
+
+namespace vates::core {
+
+ReductionConfig ReductionConfig::fromPreset(const HardwarePreset& preset,
+                                            Backend backend) {
+  ReductionConfig config;
+  config.backend = backend;
+  config.ranks = preset.ranks;
+  return config;
+}
+
+std::string ReductionConfig::summary() const {
+  return strfmt("backend=%s ranks=%d load=%s search=%s sort=%s prepass=%s",
+                backendName(backend), ranks,
+                loadMode == LoadMode::RawTof ? "raw-tof" : "q-sample",
+                mdnorm.search == PlaneSearch::Roi ? "roi" : "linear",
+                mdnorm.sortPrimitiveKeys ? "keys" : "structs",
+                deviceIntersectionPrePass ? "on" : "off");
+}
+
+} // namespace vates::core

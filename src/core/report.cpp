@@ -1,0 +1,88 @@
+#include "vates/core/report.hpp"
+
+#include "vates/support/strings.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace vates::core {
+
+WctTable::WctTable(std::string title) : title_(std::move(title)) {}
+
+void WctTable::addColumn(const std::string& header,
+                         const ReductionResult& result) {
+  addColumn(header, result.times);
+}
+
+void WctTable::addColumn(const std::string& header, const StageTimes& times) {
+  columns_.push_back(Column{header, times});
+}
+
+std::string WctTable::render() const {
+  // Fixed leading rows in the paper's order, then any extra stages a
+  // column recorded, then the two derived totals.
+  const std::vector<std::string> fixed = {"UpdateEvents", "MDNorm", "BinMD"};
+  std::vector<std::string> extra;
+  for (const Column& column : columns_) {
+    for (const std::string& stage : column.times.names()) {
+      if (std::find(fixed.begin(), fixed.end(), stage) == fixed.end() &&
+          std::find(extra.begin(), extra.end(), stage) == extra.end()) {
+        extra.push_back(stage);
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << title_ << '\n';
+  os << strfmt("%-22s", "WCT (s)");
+  for (const Column& column : columns_) {
+    os << strfmt(" %18s", column.header.c_str());
+  }
+  os << '\n';
+  os << std::string(22 + columns_.size() * 19, '-') << '\n';
+
+  auto row = [&](const std::string& label, auto value) {
+    os << strfmt("%-22s", label.c_str());
+    for (const Column& column : columns_) {
+      os << strfmt(" %18.4f", value(column));
+    }
+    os << '\n';
+  };
+
+  for (const std::string& stage : fixed) {
+    row(stage, [&](const Column& c) { return c.times.total(stage); });
+  }
+  for (const std::string& stage : extra) {
+    row(stage, [&](const Column& c) { return c.times.total(stage); });
+  }
+  row("MDNorm + BinMD", [](const Column& c) {
+    return c.times.total("MDNorm") + c.times.total("BinMD");
+  });
+  row("Total", [](const Column& c) { return c.times.grandTotal(); });
+  return os.str();
+}
+
+double WctTable::ratio(std::size_t columnA, std::size_t columnB,
+                       const std::string& stage) const {
+  const double a = stage == "Total" ? columns_.at(columnA).times.grandTotal()
+                                    : columns_.at(columnA).times.total(stage);
+  const double b = stage == "Total" ? columns_.at(columnB).times.grandTotal()
+                                    : columns_.at(columnB).times.total(stage);
+  return b > 0.0 ? a / b : 0.0;
+}
+
+std::string speedupLine(const std::string& stage, const std::string& fast,
+                        double fastSeconds, const std::string& slow,
+                        double slowSeconds) {
+  if (fastSeconds <= 0.0 || slowSeconds <= 0.0) {
+    return strfmt("%s: insufficient timing to compare %s vs %s",
+                  stage.c_str(), fast.c_str(), slow.c_str());
+  }
+  return strfmt("%s: %s is %.1fx %s than %s", stage.c_str(), fast.c_str(),
+                slowSeconds / fastSeconds,
+                slowSeconds >= fastSeconds ? "faster" : "slower",
+                slow.c_str());
+}
+
+} // namespace vates::core

@@ -1,0 +1,102 @@
+#include "vates/core/workflow_reduction.hpp"
+
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/convert_to_md.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/support/strings.hpp"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace vates::core {
+
+WorkflowReductionResult
+runWorkflowReduction(const ExperimentSetup& setup,
+                     const ReductionConfig& config, unsigned workers) {
+  const std::size_t nFiles = setup.spec().nFiles;
+  const EventGenerator generator = setup.makeGenerator();
+
+  WorkflowReductionResult result{setup.makeHistogram(), setup.makeHistogram(),
+                                 setup.makeHistogram(), {}};
+  const GridView signalGrid = result.signal.gridView();
+  const GridView normGrid = result.normalization.gridView();
+
+  // Task bodies run serially; the scheduler provides the concurrency.
+  const Executor executor(Backend::Serial);
+
+  // Per-file staging slots filled by load tasks, consumed by binmd
+  // tasks (then released to bound memory to in-flight files).
+  std::vector<std::optional<EventTable>> staged(nFiles);
+  const std::vector<M33> binTransforms = binMdTransforms(
+      setup.projection(), setup.lattice(), setup.symmetryMatrices());
+
+  wf::TaskGraph graph;
+  std::vector<wf::TaskId> terminalTasks;
+  terminalTasks.reserve(2 * nFiles);
+
+  for (std::size_t fileIndex = 0; fileIndex < nFiles; ++fileIndex) {
+    const RunInfo run = generator.runInfo(fileIndex);
+
+    const wf::TaskId loadTask = graph.addTask(
+        strfmt("load[%zu]", fileIndex), [&, fileIndex, run] {
+          if (config.loadMode == LoadMode::RawTof) {
+            const RawEventList raw = generator.generateRaw(fileIndex);
+            staged[fileIndex] = convertToMD(executor, setup.instrument(),
+                                            nullptr, run, raw, config.convert);
+          } else {
+            staged[fileIndex] = generator.generate(fileIndex);
+          }
+        });
+
+    const wf::TaskId mdnormTask = graph.addTask(
+        strfmt("mdnorm[%zu]", fileIndex), [&, run] {
+          const std::vector<M33> transforms =
+              mdNormTransforms(setup.projection(), setup.lattice(),
+                               setup.symmetryMatrices(), run.goniometerR);
+          MDNormInputs inputs;
+          inputs.transforms = transforms;
+          inputs.qLabDirections = setup.instrument().qLabDirections();
+          inputs.solidAngles = setup.instrument().solidAngles();
+          inputs.flux = setup.flux().view();
+          inputs.protonCharge = run.protonCharge;
+          inputs.kMin = run.kMin;
+          inputs.kMax = run.kMax;
+          runMDNorm(executor, inputs, normGrid, config.mdnorm);
+        });
+
+    const wf::TaskId binmdTask = graph.addTask(
+        strfmt("binmd[%zu]", fileIndex), [&, fileIndex] {
+          const EventTable& events = *staged[fileIndex];
+          BinMDInputs inputs;
+          inputs.transforms = binTransforms;
+          inputs.qx = events.column(EventTable::Qx).data();
+          inputs.qy = events.column(EventTable::Qy).data();
+          inputs.qz = events.column(EventTable::Qz).data();
+          inputs.signal = events.column(EventTable::Signal).data();
+          inputs.nEvents = events.size();
+          runBinMD(executor, inputs, signalGrid);
+          staged[fileIndex].reset(); // release the file's events
+        });
+
+    graph.addDependency(loadTask, binmdTask);
+    terminalTasks.push_back(mdnormTask);
+    terminalTasks.push_back(binmdTask);
+  }
+
+  const wf::TaskId divideTask =
+      graph.addTask("cross_section", [&] {
+        result.crossSection =
+            Histogram3D::divide(result.signal, result.normalization);
+      });
+  for (const wf::TaskId task : terminalTasks) {
+    graph.addDependency(task, divideTask);
+  }
+
+  const wf::Scheduler scheduler(workers);
+  result.report = scheduler.run(graph);
+  return result;
+}
+
+} // namespace vates::core

@@ -1,0 +1,72 @@
+#include "vates/events/event_table.hpp"
+
+#include "vates/support/error.hpp"
+
+namespace vates {
+
+EventTable::EventTable(std::size_t nEvents) { resize(nEvents); }
+
+void EventTable::reserve(std::size_t nEvents) {
+  for (auto& column : columns_) {
+    column.reserve(nEvents);
+  }
+}
+
+void EventTable::resize(std::size_t nEvents) {
+  for (auto& column : columns_) {
+    column.resize(nEvents, 0.0);
+  }
+}
+
+void EventTable::clear() noexcept {
+  for (auto& column : columns_) {
+    column.clear();
+  }
+}
+
+void EventTable::append(double signalValue, double errorSqValue,
+                        double runIndexValue, double detectorIdValue,
+                        double goniometerIndexValue, const V3& qSampleValue) {
+  columns_[Signal].push_back(signalValue);
+  columns_[ErrorSq].push_back(errorSqValue);
+  columns_[RunIndex].push_back(runIndexValue);
+  columns_[DetectorId].push_back(detectorIdValue);
+  columns_[GoniometerIndex].push_back(goniometerIndexValue);
+  columns_[Qx].push_back(qSampleValue.x);
+  columns_[Qy].push_back(qSampleValue.y);
+  columns_[Qz].push_back(qSampleValue.z);
+}
+
+double EventTable::totalSignal() const noexcept {
+  double sum = 0.0;
+  for (double value : columns_[Signal]) {
+    sum += value;
+  }
+  return sum;
+}
+
+void EventTable::toRowMajor(std::span<double> out) const {
+  const std::size_t n = size();
+  VATES_REQUIRE(out.size() == n * kColumns, "row-major buffer size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      out[i * kColumns + c] = columns_[c][i];
+    }
+  }
+}
+
+EventTable EventTable::fromRowMajor(std::span<const double> rows) {
+  VATES_REQUIRE(rows.size() % kColumns == 0,
+                "row-major block is not a multiple of 8 doubles");
+  const std::size_t n = rows.size() / kColumns;
+  EventTable table(n);
+  // The transpose: disk rows are events, memory columns are fields.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      table.columns_[c][i] = rows[i * kColumns + c];
+    }
+  }
+  return table;
+}
+
+} // namespace vates

@@ -1,0 +1,53 @@
+#include "vates/events/experiment_setup.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/units/units.hpp"
+
+namespace vates {
+
+namespace {
+Instrument buildInstrument(const WorkloadSpec& spec) {
+  if (spec.instrument == "corelli") {
+    return Instrument::corelliLike(spec.nDetectors);
+  }
+  if (spec.instrument == "topaz") {
+    return Instrument::topazLike(spec.nDetectors);
+  }
+  throw InvalidArgument("unknown instrument '" + spec.instrument +
+                        "' (expected 'corelli' or 'topaz')");
+}
+
+FluxSpectrum buildFlux(const WorkloadSpec& spec) {
+  const auto band =
+      units::momentumBandFromWavelengthBand(spec.lambdaMin, spec.lambdaMax);
+  // A moderator-like spectrum peaked in the thermal range; total weight
+  // 1 so normalization magnitudes stay O(solid angle · charge).
+  const double lambdaPeak = 0.4 * (spec.lambdaMin + spec.lambdaMax);
+  return FluxSpectrum::moderatorMaxwellian(band.kMin, band.kMax, 512,
+                                           lambdaPeak, 1.0);
+}
+} // namespace
+
+ExperimentSetup::ExperimentSetup(const WorkloadSpec& spec)
+    : spec_(spec), instrument_(buildInstrument(spec)),
+      lattice_(spec.lattice(), spec.uVector, spec.vVector),
+      flux_(buildFlux(spec)), pointGroup_(spec.pointGroup),
+      projection_(spec.projection()),
+      symmetryMatrices_(pointGroup_.matrices()) {}
+
+Histogram3D ExperimentSetup::makeHistogram() const {
+  return Histogram3D(
+      BinAxis(projection_.axisLabel(0), spec_.extentMin[0], spec_.extentMax[0],
+              spec_.bins[0]),
+      BinAxis(projection_.axisLabel(1), spec_.extentMin[1], spec_.extentMax[1],
+              spec_.bins[1]),
+      BinAxis(projection_.axisLabel(2), spec_.extentMin[2], spec_.extentMax[2],
+              spec_.bins[2]),
+      projection_);
+}
+
+EventGenerator ExperimentSetup::makeGenerator() const {
+  return EventGenerator(spec_, instrument_, lattice_, flux_);
+}
+
+} // namespace vates

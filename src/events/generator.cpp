@@ -1,0 +1,127 @@
+#include "vates/events/generator.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+#include "vates/units/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vates {
+
+namespace {
+/// Deterministic per-reflection amplitude factor in [0.25, 1.25): a
+/// cheap stand-in for structure factors so Bragg peaks differ in
+/// brightness run-over-run reproducibly.
+double reflectionFactor(int h, int k, int l) noexcept {
+  auto u = static_cast<std::uint64_t>(static_cast<std::int64_t>(h) * 73856093 ^
+                                      static_cast<std::int64_t>(k) * 19349663 ^
+                                      static_cast<std::int64_t>(l) * 83492791);
+  u ^= u >> 33;
+  u *= 0xff51afd7ed558ccdULL;
+  u ^= u >> 33;
+  return 0.25 + static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+} // namespace
+
+EventGenerator::EventGenerator(const WorkloadSpec& spec,
+                               const Instrument& instrument,
+                               const OrientedLattice& lattice,
+                               const FluxSpectrum& flux)
+    : spec_(spec), instrument_(&instrument), lattice_(&lattice), flux_(&flux) {
+  VATES_REQUIRE(instrument.nDetectors() == spec.nDetectors,
+                "instrument size does not match the workload spec");
+}
+
+RunInfo EventGenerator::runInfo(std::size_t fileIndex) const {
+  VATES_REQUIRE(fileIndex < spec_.nFiles, "file index out of range");
+  const auto band =
+      units::momentumBandFromWavelengthBand(spec_.lambdaMin, spec_.lambdaMax);
+  return RunInfo{static_cast<std::uint32_t>(fileIndex),
+                 spec_.goniometerForRun(fileIndex).R(), spec_.protonCharge,
+                 band.kMin, band.kMax};
+}
+
+double EventGenerator::intensity(const V3& hkl) const {
+  // Nearest reciprocal-lattice node.
+  const int h = static_cast<int>(std::lround(hkl.x));
+  const int k = static_cast<int>(std::lround(hkl.y));
+  const int l = static_cast<int>(std::lround(hkl.z));
+  const V3 delta{hkl.x - h, hkl.y - k, hkl.z - l};
+
+  // Distance measured in Å⁻¹ (through B) so peak widths are isotropic in
+  // Q rather than in index units.
+  const V3 deltaQ = lattice_->lattice().B() * delta;
+  const double d2 = deltaQ.norm2();
+  const double sigma = spec_.braggSigma;
+  const double gauss = std::exp(-d2 / (2.0 * sigma * sigma));
+
+  // Debye-Waller-like falloff with |Q| keeps far peaks dimmer.
+  const V3 q = lattice_->lattice().B() * hkl;
+  const double falloff = std::exp(-0.02 * q.norm2());
+
+  const bool isOrigin = (h == 0 && k == 0 && l == 0);
+  // Systematic absences: centered lattices have no Bragg intensity at
+  // extinct reflections (e.g. Bixbyite's Ia-3: h+k+l odd).
+  const bool allowed = reflectionAllowed(spec_.centering, h, k, l);
+  const double bragg =
+      (isOrigin || !allowed)
+          ? 0.0
+          : spec_.braggAmplitude * reflectionFactor(h, k, l) * falloff * gauss;
+  return spec_.diffuseBackground + bragg;
+}
+
+template <typename Emit>
+void EventGenerator::forEachDraw(std::size_t fileIndex, Emit&& emit) const {
+  const RunInfo run = runInfo(fileIndex);
+  const M33 rInverse = run.goniometerR.transposed();
+  const M33& ubInverse = lattice_->UBinv();
+
+  Xoshiro256 rng(spec_.seed, fileIndex);
+  const std::size_t nDetectors = instrument_->nDetectors();
+
+  for (std::size_t i = 0; i < spec_.eventsPerFile; ++i) {
+    const std::size_t detector = rng.uniformInt(nDetectors);
+    // Sample the incident momentum from the moderator spectrum so the
+    // event distribution matches what the flux normalization assumes.
+    const double k = flux_->momentumAtQuantile(rng.uniform());
+    const V3 qLab = instrument_->qLabDirection(detector) * k;
+    const V3 qSample = rInverse * qLab;
+    const V3 hkl = ubInverse * (qSample / units::kTwoPi);
+    emit(detector, k, qSample, intensity(hkl));
+  }
+}
+
+EventTable EventGenerator::generate(std::size_t fileIndex) const {
+  EventTable table;
+  table.reserve(spec_.eventsPerFile);
+  const auto runIndexValue = static_cast<double>(fileIndex);
+  forEachDraw(fileIndex, [&](std::size_t detector, double /*k*/,
+                             const V3& qSample, double weight) {
+    table.append(weight, weight, runIndexValue,
+                 static_cast<double>(detector), runIndexValue, qSample);
+  });
+  return table;
+}
+
+RawEventList EventGenerator::generateRaw(std::size_t fileIndex) const {
+  RawEventList raw;
+  raw.reserve(spec_.eventsPerFile);
+  // SNS runs at 60 Hz; spread the run's events uniformly over pulses so
+  // pulse indices look like a real accumulation.
+  const std::size_t eventsPerPulse =
+      std::max<std::size_t>(1, spec_.eventsPerFile / 36000);
+  std::size_t emitted = 0;
+  forEachDraw(fileIndex, [&](std::size_t detector, double k,
+                             const V3& /*qSample*/, double weight) {
+    const double lambda = units::wavelengthFromMomentum(k);
+    const double tof = units::tofFromWavelength(
+        lambda, instrument_->totalFlightPath(detector));
+    raw.append(static_cast<std::uint32_t>(detector), tof,
+               static_cast<std::uint32_t>(emitted / eventsPerPulse), weight);
+    ++emitted;
+  });
+  return raw;
+}
+
+} // namespace vates

@@ -1,0 +1,101 @@
+#pragma once
+/// \file event_table.hpp
+/// The in-memory neutron event table — counterpart of the
+/// MDEventWorkspace slice the paper's proxies load ("an HDF5 array with
+/// 8 columns and a row for each neutron event").
+///
+/// Storage is struct-of-arrays (§III-B: "instead of sorting an array of
+/// structs, we sort an array of indices using primitive types" — the
+/// same HPC-oriented data-structure philosophy applies to the event
+/// table itself).  The on-disk layout is row-major 8×N, so loading
+/// performs the row→column transpose that the paper's UpdateEvents
+/// stage measures; see io/event_file.hpp.
+///
+/// Columns (matching Mantid's MDEvent save order closely enough for the
+/// workload to be faithful):
+///   0 signal       — event weight
+///   1 errorSq      — squared error of the weight
+///   2 runIndex     — which experiment run produced the event
+///   3 detectorId   — detector pixel that fired
+///   4 goniometerIndex — goniometer setting (== runIndex here)
+///   5,6,7 Qx,Qy,Qz — momentum transfer in the *sample* frame (Å⁻¹)
+
+#include "vates/geometry/vec3.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vates {
+
+class EventTable {
+public:
+  static constexpr std::size_t kColumns = 8;
+
+  enum Column : std::size_t {
+    Signal = 0,
+    ErrorSq = 1,
+    RunIndex = 2,
+    DetectorId = 3,
+    GoniometerIndex = 4,
+    Qx = 5,
+    Qy = 6,
+    Qz = 7,
+  };
+
+  EventTable() = default;
+
+  /// Pre-size all columns.
+  explicit EventTable(std::size_t nEvents);
+
+  std::size_t size() const noexcept { return columns_[0].size(); }
+  bool empty() const noexcept { return size() == 0; }
+
+  void reserve(std::size_t nEvents);
+  void resize(std::size_t nEvents);
+  void clear() noexcept;
+
+  /// Append one event.
+  void append(double signal, double errorSq, double runIndex,
+              double detectorId, double goniometerIndex, const V3& qSample);
+
+  /// Column access.
+  std::span<double> column(Column c) noexcept { return columns_[c]; }
+  std::span<const double> column(Column c) const noexcept {
+    return columns_[c];
+  }
+
+  double signal(std::size_t i) const { return columns_[Signal][i]; }
+  double errorSq(std::size_t i) const { return columns_[ErrorSq][i]; }
+  std::uint32_t runIndex(std::size_t i) const {
+    return static_cast<std::uint32_t>(columns_[RunIndex][i]);
+  }
+  std::uint32_t detectorId(std::size_t i) const {
+    return static_cast<std::uint32_t>(columns_[DetectorId][i]);
+  }
+  V3 qSample(std::size_t i) const {
+    return V3{columns_[Qx][i], columns_[Qy][i], columns_[Qz][i]};
+  }
+
+  /// Sum of the signal column.
+  double totalSignal() const noexcept;
+
+  /// Serialize to a row-major 8×N block (one row per event) — the
+  /// on-disk order.  Out must have size() * kColumns elements.
+  void toRowMajor(std::span<double> out) const;
+
+  /// Rebuild from a row-major 8×N block; this is the transpose the
+  /// UpdateEvents stage performs.
+  static EventTable fromRowMajor(std::span<const double> rows);
+
+  bool operator==(const EventTable& other) const noexcept {
+    return columns_ == other.columns_;
+  }
+
+private:
+  std::array<std::vector<double>, kColumns> columns_;
+};
+
+} // namespace vates

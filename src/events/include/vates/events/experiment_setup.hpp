@@ -1,0 +1,55 @@
+#pragma once
+/// \file experiment_setup.hpp
+/// Realizes a WorkloadSpec into the concrete objects every reduction
+/// implementation needs: instrument geometry, oriented lattice, flux
+/// spectrum, point group, projection, and output histogram shape.
+/// Shared by the optimized pipeline (core), the Garnet-style baseline,
+/// the benchmarks, and the examples — so all of them reduce *exactly*
+/// the same experiment.
+
+#include "vates/events/generator.hpp"
+#include "vates/events/workload.hpp"
+#include "vates/flux/flux_spectrum.hpp"
+#include "vates/geometry/instrument.hpp"
+#include "vates/geometry/oriented_lattice.hpp"
+#include "vates/geometry/symmetry.hpp"
+#include "vates/histogram/histogram3d.hpp"
+
+namespace vates {
+
+class ExperimentSetup {
+public:
+  /// Build everything from the spec.  Instrument construction is the
+  /// only expensive part (O(nDetectors)).
+  explicit ExperimentSetup(const WorkloadSpec& spec);
+
+  const WorkloadSpec& spec() const noexcept { return spec_; }
+  const Instrument& instrument() const noexcept { return instrument_; }
+  const OrientedLattice& lattice() const noexcept { return lattice_; }
+  const FluxSpectrum& flux() const noexcept { return flux_; }
+  const PointGroup& pointGroup() const noexcept { return pointGroup_; }
+  const Projection& projection() const noexcept { return projection_; }
+
+  /// The symmetry operations as a flat matrix table.
+  const std::vector<M33>& symmetryMatrices() const noexcept {
+    return symmetryMatrices_;
+  }
+
+  /// A zeroed output histogram with the spec's binning and projection.
+  Histogram3D makeHistogram() const;
+
+  /// An event generator bound to this setup (borrows it; keep the setup
+  /// alive while generating).
+  EventGenerator makeGenerator() const;
+
+private:
+  WorkloadSpec spec_;
+  Instrument instrument_;
+  OrientedLattice lattice_;
+  FluxSpectrum flux_;
+  PointGroup pointGroup_;
+  Projection projection_;
+  std::vector<M33> symmetryMatrices_;
+};
+
+} // namespace vates

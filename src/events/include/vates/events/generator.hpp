@@ -1,0 +1,81 @@
+#pragma once
+/// \file generator.hpp
+/// Synthetic event generation — the stand-in for the proprietary
+/// CORELLI/TOPAZ NeXus datasets (8.5 GB / 206 GB) that the paper's
+/// artifacts load from SNS filesystems.
+///
+/// Events are produced along the *physical* measurement path so that the
+/// resulting histograms have the paper's qualitative structure
+/// (Fig. 4): for each event we draw a detector pixel uniformly and an
+/// incident momentum from the moderator flux distribution, form
+/// Q_lab = k·(beam − detDir), rotate into the sample frame with the
+/// run's goniometer, and assign a weight from a Bragg-plus-diffuse
+/// intensity model evaluated at the fractional Miller indices.  A
+/// single run therefore covers only the region of reciprocal space its
+/// detector trajectories sweep — which is exactly why the multi-run,
+/// symmetrized panels of Fig. 4 fill in.
+///
+/// Generation is deterministic per (spec.seed, fileIndex): files can be
+/// produced in any order, in parallel, or on different MPI-style ranks
+/// with identical results.
+
+#include "vates/events/event_table.hpp"
+#include "vates/events/raw_events.hpp"
+#include "vates/events/workload.hpp"
+#include "vates/flux/flux_spectrum.hpp"
+#include "vates/geometry/instrument.hpp"
+#include "vates/geometry/oriented_lattice.hpp"
+
+#include <cstdint>
+#include <memory>
+
+namespace vates {
+
+/// Per-run metadata (the paper's "events, rotations, charge, ..." LOAD).
+struct RunInfo {
+  std::uint32_t runIndex = 0;
+  M33 goniometerR = M33::identity();
+  double protonCharge = 1.0;
+  double kMin = 0.0;
+  double kMax = 0.0;
+};
+
+class EventGenerator {
+public:
+  /// The generator borrows the instrument/lattice/flux, which must
+  /// outlive it (the pipeline owns all four).
+  EventGenerator(const WorkloadSpec& spec, const Instrument& instrument,
+                 const OrientedLattice& lattice, const FluxSpectrum& flux);
+
+  const WorkloadSpec& spec() const noexcept { return spec_; }
+
+  /// Metadata of run \p fileIndex (goniometer, charge, momentum band).
+  RunInfo runInfo(std::size_t fileIndex) const;
+
+  /// Generate the event table of run \p fileIndex (sample-frame Q —
+  /// the already-converted MDEventWorkspace form).
+  EventTable generate(std::size_t fileIndex) const;
+
+  /// Generate the *raw* detector events of run \p fileIndex — the
+  /// stage-(ii) (detector id, TOF, pulse) stream as the instrument DAQ
+  /// records it.  Uses the same random draws as generate(), so
+  /// convertToMD(generateRaw(i)) reproduces generate(i) up to TOF
+  /// round-trip rounding.
+  RawEventList generateRaw(std::size_t fileIndex) const;
+
+  /// The intensity model: weight of an event at fractional \p hkl.
+  /// Exposed for tests (e.g. peaks dominate background near integers).
+  double intensity(const V3& hkl) const;
+
+private:
+  /// Shared draw loop: emit(detector, k, qSample, weight) per event.
+  template <typename Emit>
+  void forEachDraw(std::size_t fileIndex, Emit&& emit) const;
+
+  WorkloadSpec spec_;
+  const Instrument* instrument_;
+  const OrientedLattice* lattice_;
+  const FluxSpectrum* flux_;
+};
+
+} // namespace vates

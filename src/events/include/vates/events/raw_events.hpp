@@ -1,0 +1,63 @@
+#pragma once
+/// \file raw_events.hpp
+/// Raw detector events — the stage-(ii) data of the paper's Fig. 1
+/// workflow, before any reduction.
+///
+/// ORNL instruments record event-mode data as (detector pixel id,
+/// neutron time-of-flight, proton-pulse wall-clock) triples (Granroth
+/// et al., the paper's [13]).  This list is what LoadEventNexus parses;
+/// ConvertToMD (convert_to_md.hpp) turns it into the Q-space EventTable
+/// the MDNorm/BinMD kernels consume.  Synthetic weights ride along so
+/// the generator's intensity model survives the pipeline.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vates {
+
+/// Struct-of-arrays raw event list.
+class RawEventList {
+public:
+  RawEventList() = default;
+  explicit RawEventList(std::size_t nEvents);
+
+  std::size_t size() const noexcept { return detectorIds_.size(); }
+  bool empty() const noexcept { return detectorIds_.empty(); }
+
+  void reserve(std::size_t nEvents);
+  void clear() noexcept;
+
+  void append(std::uint32_t detectorId, double tofMicroseconds,
+              std::uint32_t pulseIndex, double weight);
+
+  std::uint32_t detectorId(std::size_t i) const { return detectorIds_[i]; }
+  double tof(std::size_t i) const { return tofs_[i]; }
+  std::uint32_t pulseIndex(std::size_t i) const { return pulseIndices_[i]; }
+  double weight(std::size_t i) const { return weights_[i]; }
+
+  std::span<const std::uint32_t> detectorIds() const noexcept {
+    return detectorIds_;
+  }
+  std::span<const double> tofs() const noexcept { return tofs_; }
+  std::span<const std::uint32_t> pulseIndices() const noexcept {
+    return pulseIndices_;
+  }
+  std::span<const double> weights() const noexcept { return weights_; }
+
+  /// Sum of event weights.
+  double totalWeight() const noexcept;
+
+  bool operator==(const RawEventList& other) const noexcept {
+    return detectorIds_ == other.detectorIds_ && tofs_ == other.tofs_ &&
+           pulseIndices_ == other.pulseIndices_ && weights_ == other.weights_;
+  }
+
+private:
+  std::vector<std::uint32_t> detectorIds_;
+  std::vector<double> tofs_;
+  std::vector<std::uint32_t> pulseIndices_;
+  std::vector<double> weights_;
+};
+
+} // namespace vates

@@ -1,0 +1,85 @@
+#pragma once
+/// \file workload.hpp
+/// Workload specifications matching the paper's Table II.
+///
+/// A WorkloadSpec carries everything needed to synthesize one of the two
+/// use-cases at any scale: crystal, orientation, point group, instrument
+/// size, file/event counts, wavelength band, histogram binning and
+/// projection.  `scale` multiplies event and detector counts linearly
+/// (scale = 1.0 reproduces the paper's sizes: Benzil 36 files × ~1.1M
+/// events on 372K detectors; Bixbyite 22 files × ~12.7M events on 1.6M
+/// detectors); bin grids are kept at full size at every scale because
+/// the paper's kernels are dominated by per-trajectory bin-plane work.
+
+#include "vates/geometry/centering.hpp"
+#include "vates/geometry/goniometer.hpp"
+#include "vates/geometry/lattice.hpp"
+#include "vates/histogram/binning.hpp"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace vates {
+
+struct WorkloadSpec {
+  std::string name;
+
+  // Crystal and orientation.
+  double latticeA = 1.0, latticeB = 1.0, latticeC = 1.0;
+  double latticeAlpha = 90.0, latticeBeta = 90.0, latticeGamma = 90.0;
+  V3 uVector{0, 0, 1}; ///< HKL along the beam
+  V3 vVector{1, 0, 0}; ///< HKL in the horizontal plane
+  std::string pointGroup = "1";
+  /// Bravais centering: systematically absent reflections carry no
+  /// Bragg intensity in the synthetic data.
+  Centering centering = Centering::P;
+
+  // Instrument and ensemble.
+  std::string instrument = "corelli"; ///< "corelli" or "topaz"
+  std::size_t nFiles = 1;
+  std::size_t nDetectors = 1000;
+  std::size_t eventsPerFile = 100000;
+  double omegaStartDeg = 0.0; ///< goniometer omega of run 0
+  double omegaStepDeg = 5.0;  ///< omega increment per run
+  double protonCharge = 1.0;  ///< accumulated charge per run (arb. units)
+
+  // Wavelength band.
+  double lambdaMin = 0.6; ///< Å
+  double lambdaMax = 3.0; ///< Å
+
+  // Output histogram.
+  std::array<std::size_t, 3> bins{601, 601, 1};
+  std::array<double, 3> extentMin{-10.0, -10.0, -0.5};
+  std::array<double, 3> extentMax{10.0, 10.0, 0.5};
+  V3 projectionU{1, 0, 0};
+  V3 projectionV{0, 1, 0};
+  V3 projectionW{0, 0, 1};
+
+  // Synthetic-signal shape.
+  double braggAmplitude = 120.0; ///< peak weight scale
+  double braggSigma = 0.06;      ///< HKL-space width of Bragg peaks
+  double diffuseBackground = 0.4;
+
+  std::uint64_t seed = 0x5eed0123456789abULL;
+
+  /// Total events across all files.
+  std::size_t totalEvents() const noexcept { return nFiles * eventsPerFile; }
+
+  /// Derived objects.
+  Lattice lattice() const;
+  Projection projection() const;
+  Goniometer goniometerForRun(std::size_t fileIndex) const;
+
+  /// The paper's Benzil-on-CORELLI case (Table II column 1), with
+  /// detector and event counts multiplied by \p scale.
+  static WorkloadSpec benzilCorelli(double scale = 1.0);
+
+  /// The paper's Bixbyite-on-TOPAZ case (Table II column 2).
+  static WorkloadSpec bixbyiteTopaz(double scale = 1.0);
+
+  /// Render the Table II-style characteristics block.
+  std::string characteristicsTable() const;
+};
+
+} // namespace vates

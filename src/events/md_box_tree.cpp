@@ -1,0 +1,254 @@
+#include "vates/events/md_box_tree.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vates {
+
+namespace {
+/// Whole-box containment / overlap helpers for region queries.
+bool boxInsideRegion(const V3& boxLo, const V3& boxHi, const V3& lo,
+                     const V3& hi) {
+  return boxLo.x >= lo.x && boxHi.x <= hi.x && boxLo.y >= lo.y &&
+         boxHi.y <= hi.y && boxLo.z >= lo.z && boxHi.z <= hi.z;
+}
+
+bool boxOverlapsRegion(const V3& boxLo, const V3& boxHi, const V3& lo,
+                       const V3& hi) {
+  return boxLo.x < hi.x && boxHi.x > lo.x && boxLo.y < hi.y &&
+         boxHi.y > lo.y && boxLo.z < hi.z && boxHi.z > lo.z;
+}
+
+bool pointInRegion(const V3& p, const V3& lo, const V3& hi) {
+  return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+         p.z >= lo.z && p.z < hi.z;
+}
+} // namespace
+
+MDBoxTree::MDBoxTree(const EventTable& events, MDBoxOptions options)
+    : events_(&events), options_(options) {
+  VATES_REQUIRE(options_.leafCapacity >= 1, "leaf capacity must be >= 1");
+  VATES_REQUIRE(options_.splitFactor >= 2, "split factor must be >= 2");
+
+  // Bounding box of all events, padded so max-coordinate events fall
+  // strictly inside (boxes use half-open intervals).
+  V3 lo{std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity()};
+  V3 hi = -lo;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const V3 q = events.qSample(i);
+    lo.x = std::min(lo.x, q.x);
+    lo.y = std::min(lo.y, q.y);
+    lo.z = std::min(lo.z, q.z);
+    hi.x = std::max(hi.x, q.x);
+    hi.y = std::max(hi.y, q.y);
+    hi.z = std::max(hi.z, q.z);
+  }
+  if (events.empty()) {
+    lo = V3{-1, -1, -1};
+    hi = V3{1, 1, 1};
+  }
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    const double pad = std::max(1e-9, 1e-9 * std::fabs(hi[axis])) +
+                       (hi[axis] - lo[axis]) * 1e-6;
+    hi[axis] += pad;
+  }
+  build(lo, hi);
+}
+
+MDBoxTree::MDBoxTree(const EventTable& events, const V3& lo, const V3& hi,
+                     MDBoxOptions options)
+    : events_(&events), options_(options) {
+  VATES_REQUIRE(options_.leafCapacity >= 1, "leaf capacity must be >= 1");
+  VATES_REQUIRE(options_.splitFactor >= 2, "split factor must be >= 2");
+  VATES_REQUIRE(lo.x < hi.x && lo.y < hi.y && lo.z < hi.z,
+                "degenerate box bounds");
+  build(lo, hi);
+}
+
+void MDBoxTree::build(const V3& lo, const V3& hi) {
+  const std::size_t n = events_->size();
+  indices_.resize(n);
+  // Events outside the explicit bounds are excluded up front.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pointInRegion(events_->qSample(i), lo, hi)) {
+      indices_[kept++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  indices_.resize(kept);
+
+  Node root;
+  root.lo = lo;
+  root.hi = hi;
+  root.eventBegin = 0;
+  root.eventEnd = kept;
+  root.depth = 0;
+  nodes_.push_back(root);
+  splitNode(0);
+}
+
+void MDBoxTree::splitNode(std::size_t nodeIndex) {
+  // Copy the node fields we need: nodes_ may reallocate below.
+  const V3 lo = nodes_[nodeIndex].lo;
+  const V3 hi = nodes_[nodeIndex].hi;
+  const std::size_t begin = nodes_[nodeIndex].eventBegin;
+  const std::size_t end = nodes_[nodeIndex].eventEnd;
+  const std::uint32_t depth = nodes_[nodeIndex].depth;
+  const std::size_t count = end - begin;
+
+  if (count <= options_.leafCapacity || depth >= options_.maxDepth) {
+    return; // stays a leaf
+  }
+
+  const std::size_t f = options_.splitFactor;
+  const std::size_t childCount = f * f * f;
+  const V3 step{(hi.x - lo.x) / static_cast<double>(f),
+                (hi.y - lo.y) / static_cast<double>(f),
+                (hi.z - lo.z) / static_cast<double>(f)};
+
+  // Bucket the node's events by child octant (stable counting sort so
+  // rebuilt trees are deterministic).
+  auto childOf = [&](const V3& q) {
+    auto cell = [&](double value, double low, double width) {
+      auto c = static_cast<std::size_t>((value - low) / width);
+      return c >= f ? f - 1 : c;
+    };
+    const std::size_t cx = cell(q.x, lo.x, step.x);
+    const std::size_t cy = cell(q.y, lo.y, step.y);
+    const std::size_t cz = cell(q.z, lo.z, step.z);
+    return (cx * f + cy) * f + cz;
+  };
+
+  std::vector<std::size_t> counts(childCount, 0);
+  for (std::size_t i = begin; i < end; ++i) {
+    counts[childOf(events_->qSample(indices_[i]))]++;
+  }
+  std::vector<std::size_t> offsets(childCount, 0);
+  std::size_t running = 0;
+  for (std::size_t c = 0; c < childCount; ++c) {
+    offsets[c] = running;
+    running += counts[c];
+  }
+  std::vector<std::uint32_t> reordered(count);
+  {
+    std::vector<std::size_t> cursor = offsets;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t eventIndex = indices_[i];
+      reordered[cursor[childOf(events_->qSample(eventIndex))]++] = eventIndex;
+    }
+  }
+  std::copy(reordered.begin(), reordered.end(),
+            indices_.begin() + static_cast<std::ptrdiff_t>(begin));
+
+  // Create the children and recurse.
+  const std::size_t firstChild = nodes_.size();
+  nodes_[nodeIndex].firstChild = firstChild;
+  for (std::size_t cx = 0; cx < f; ++cx) {
+    for (std::size_t cy = 0; cy < f; ++cy) {
+      for (std::size_t cz = 0; cz < f; ++cz) {
+        const std::size_t c = (cx * f + cy) * f + cz;
+        Node child;
+        child.lo = V3{lo.x + step.x * static_cast<double>(cx),
+                      lo.y + step.y * static_cast<double>(cy),
+                      lo.z + step.z * static_cast<double>(cz)};
+        child.hi = V3{child.lo.x + step.x, child.lo.y + step.y,
+                      child.lo.z + step.z};
+        child.eventBegin = begin + offsets[c];
+        child.eventEnd = child.eventBegin + counts[c];
+        child.depth = depth + 1;
+        nodes_.push_back(child);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < childCount; ++c) {
+    splitNode(firstChild + c);
+  }
+}
+
+std::size_t MDBoxTree::nLeaves() const noexcept {
+  std::size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.firstChild == kNoChild) {
+      ++leaves;
+    }
+  }
+  return leaves;
+}
+
+std::size_t MDBoxTree::maxDepthUsed() const noexcept {
+  std::size_t deepest = 0;
+  for (const Node& node : nodes_) {
+    deepest = std::max<std::size_t>(deepest, node.depth);
+  }
+  return deepest;
+}
+
+MDBoxTree::BoxInfo MDBoxTree::boxInfo(std::size_t index) const {
+  VATES_REQUIRE(index < nodes_.size(), "box index out of range");
+  const Node& node = nodes_[index];
+  return BoxInfo{node.lo, node.hi, node.depth,
+                 node.eventEnd - node.eventBegin,
+                 node.firstChild == kNoChild};
+}
+
+void MDBoxTree::forEachLeaf(
+    const std::function<void(const BoxInfo&,
+                             std::span<const std::uint32_t>)>& visit) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.firstChild != kNoChild) {
+      continue;
+    }
+    visit(boxInfo(i),
+          std::span<const std::uint32_t>(indices_.data() + node.eventBegin,
+                                         node.eventEnd - node.eventBegin));
+  }
+}
+
+double MDBoxTree::regionSum(std::size_t nodeIndex, const V3& lo,
+                            const V3& hi) const {
+  const Node& node = nodes_[nodeIndex];
+  if (!boxOverlapsRegion(node.lo, node.hi, lo, hi)) {
+    return 0.0;
+  }
+  if (boxInsideRegion(node.lo, node.hi, lo, hi)) {
+    // Whole box contained: sum without per-event tests.
+    double sum = 0.0;
+    for (std::size_t i = node.eventBegin; i < node.eventEnd; ++i) {
+      sum += events_->signal(indices_[i]);
+    }
+    return sum;
+  }
+  if (node.firstChild == kNoChild) {
+    // Boundary leaf: exact per-event test.
+    double sum = 0.0;
+    for (std::size_t i = node.eventBegin; i < node.eventEnd; ++i) {
+      const std::uint32_t eventIndex = indices_[i];
+      if (pointInRegion(events_->qSample(eventIndex), lo, hi)) {
+        sum += events_->signal(eventIndex);
+      }
+    }
+    return sum;
+  }
+  double sum = 0.0;
+  const std::size_t childCount =
+      options_.splitFactor * options_.splitFactor * options_.splitFactor;
+  for (std::size_t c = 0; c < childCount; ++c) {
+    sum += regionSum(node.firstChild + c, lo, hi);
+  }
+  return sum;
+}
+
+double MDBoxTree::signalInRegion(const V3& lo, const V3& hi) const {
+  if (nodes_.empty()) {
+    return 0.0;
+  }
+  return regionSum(0, lo, hi);
+}
+
+} // namespace vates

@@ -1,0 +1,42 @@
+#include "vates/events/raw_events.hpp"
+
+namespace vates {
+
+RawEventList::RawEventList(std::size_t nEvents) {
+  detectorIds_.resize(nEvents, 0);
+  tofs_.resize(nEvents, 0.0);
+  pulseIndices_.resize(nEvents, 0);
+  weights_.resize(nEvents, 0.0);
+}
+
+void RawEventList::reserve(std::size_t nEvents) {
+  detectorIds_.reserve(nEvents);
+  tofs_.reserve(nEvents);
+  pulseIndices_.reserve(nEvents);
+  weights_.reserve(nEvents);
+}
+
+void RawEventList::clear() noexcept {
+  detectorIds_.clear();
+  tofs_.clear();
+  pulseIndices_.clear();
+  weights_.clear();
+}
+
+void RawEventList::append(std::uint32_t detectorId, double tofMicroseconds,
+                          std::uint32_t pulseIndex, double weight) {
+  detectorIds_.push_back(detectorId);
+  tofs_.push_back(tofMicroseconds);
+  pulseIndices_.push_back(pulseIndex);
+  weights_.push_back(weight);
+}
+
+double RawEventList::totalWeight() const noexcept {
+  double sum = 0.0;
+  for (double w : weights_) {
+    sum += w;
+  }
+  return sum;
+}
+
+} // namespace vates

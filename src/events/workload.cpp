@@ -1,0 +1,121 @@
+#include "vates/events/workload.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vates {
+
+namespace {
+std::size_t scaled(std::size_t value, double scale, std::size_t minimum) {
+  const double scaledValue = static_cast<double>(value) * scale;
+  return std::max<std::size_t>(minimum,
+                               static_cast<std::size_t>(std::llround(scaledValue)));
+}
+} // namespace
+
+Lattice WorkloadSpec::lattice() const {
+  return Lattice(latticeA, latticeB, latticeC, latticeAlpha, latticeBeta,
+                 latticeGamma);
+}
+
+Projection WorkloadSpec::projection() const {
+  return Projection(projectionU, projectionV, projectionW);
+}
+
+Goniometer WorkloadSpec::goniometerForRun(std::size_t fileIndex) const {
+  return Goniometer::omega(omegaStartDeg +
+                           omegaStepDeg * static_cast<double>(fileIndex));
+}
+
+WorkloadSpec WorkloadSpec::benzilCorelli(double scale) {
+  VATES_REQUIRE(scale > 0.0, "scale must be positive");
+  WorkloadSpec spec;
+  spec.name = "benzil-corelli";
+  // Benzil: trigonal, hexagonal axes a = 8.376 Å, c = 13.700 Å.
+  spec.latticeA = spec.latticeB = 8.376;
+  spec.latticeC = 13.700;
+  spec.latticeGamma = 120.0;
+  spec.uVector = V3{0, 0, 1};
+  spec.vVector = V3{1, 0, 0};
+  spec.pointGroup = "-3"; // 6 symmetry transformations (Table II)
+  spec.instrument = "corelli";
+  spec.nFiles = 36;
+  spec.nDetectors = scaled(372000, scale, 64);
+  spec.eventsPerFile = scaled(40000000 / 36, scale, 256);
+  spec.omegaStartDeg = 0.0;
+  spec.omegaStepDeg = 5.0;
+  spec.protonCharge = 1.0;
+  spec.lambdaMin = 0.7;
+  spec.lambdaMax = 2.9;
+  // ([H,H],[H,-H],[L]) slice with (603,603,1) bins.
+  spec.bins = {603, 603, 1};
+  spec.extentMin = {-7.5375, -7.5375, -0.1};
+  spec.extentMax = {7.5375, 7.5375, 0.1};
+  spec.projectionU = V3{1, 1, 0};
+  spec.projectionV = V3{1, -1, 0};
+  spec.projectionW = V3{0, 0, 1};
+  spec.braggAmplitude = 90.0;
+  spec.braggSigma = 0.05;
+  spec.diffuseBackground = 0.6; // benzil is a diffuse-scattering case
+  spec.seed = 0xbe9211c09e111ULL;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::bixbyiteTopaz(double scale) {
+  VATES_REQUIRE(scale > 0.0, "scale must be positive");
+  WorkloadSpec spec;
+  spec.name = "bixbyite-topaz";
+  // Bixbyite (Mn,Fe)₂O₃: cubic Ia-3, a = 9.411 Å.
+  spec.latticeA = spec.latticeB = spec.latticeC = 9.411;
+  spec.uVector = V3{0, 0, 1};
+  spec.vVector = V3{1, 1, 0};
+  spec.pointGroup = "m-3"; // 24 symmetry transformations (Table II)
+  spec.centering = Centering::I; // Ia-3: h+k+l odd reflections extinct
+  spec.instrument = "topaz";
+  spec.nFiles = 22;
+  spec.nDetectors = scaled(1600000, scale, 64);
+  spec.eventsPerFile = scaled(280000000 / 22, scale, 256);
+  // Omega scan centered away from zero: at ω = 0 the beam lies exactly
+  // along c* and no trajectory reaches the thin L slice, so a real
+  // measurement (and Fig. 4's single-run panel) starts mid-scan.
+  spec.omegaStartDeg = -84.0;
+  spec.omegaStepDeg = 8.0;
+  spec.protonCharge = 1.0;
+  spec.lambdaMin = 0.4;
+  spec.lambdaMax = 3.5;
+  // ([H],[K],[L]) slice with (601,601,1) bins; the L slab is thick
+  // enough (±0.5) for single-run coverage on this compact instrument.
+  spec.bins = {601, 601, 1};
+  spec.extentMin = {-10.0167, -10.0167, -0.5};
+  spec.extentMax = {10.0167, 10.0167, 0.5};
+  spec.projectionU = V3{1, 0, 0};
+  spec.projectionV = V3{0, 1, 0};
+  spec.projectionW = V3{0, 0, 1};
+  spec.braggAmplitude = 150.0;
+  spec.braggSigma = 0.045;
+  spec.diffuseBackground = 0.3;
+  spec.seed = 0xb1cb711e70b42ULL;
+  return spec;
+}
+
+std::string WorkloadSpec::characteristicsTable() const {
+  std::ostringstream os;
+  os << "Use-case characteristics: " << name << '\n';
+  os << strfmt("  %-28s %s\n", "Files:", withCommas(nFiles).c_str());
+  os << strfmt("  %-28s %s\n", "Symmetry transformations:", pointGroup.c_str());
+  os << strfmt("  %-28s %s\n", "Events (total):",
+               withCommas(totalEvents()).c_str());
+  os << strfmt("  %-28s %s\n", "Detectors:", withCommas(nDetectors).c_str());
+  os << strfmt("  %-28s (%zu,%zu,%zu)\n", "Bins:", bins[0], bins[1], bins[2]);
+  const Projection proj = projection();
+  os << strfmt("  %-28s (%s,%s,%s)\n", "Symmetrized projections:",
+               proj.axisLabel(0).c_str(), proj.axisLabel(1).c_str(),
+               proj.axisLabel(2).c_str());
+  return os.str();
+}
+
+} // namespace vates

@@ -1,0 +1,103 @@
+#include "vates/flux/flux_spectrum.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/units/units.hpp"
+
+#include <cmath>
+
+namespace vates {
+
+FluxSpectrum::FluxSpectrum(double kMin, double kMax,
+                           std::vector<double> cumulative)
+    : kMin_(kMin), kMax_(kMax), cumulative_(std::move(cumulative)) {
+  VATES_REQUIRE(kMax > kMin && kMin > 0.0, "need 0 < kMin < kMax");
+  VATES_REQUIRE(cumulative_.size() >= 2, "flux table needs >= 2 points");
+  VATES_REQUIRE(cumulative_.front() == 0.0, "cumulative flux must start at 0");
+  for (std::size_t i = 1; i < cumulative_.size(); ++i) {
+    VATES_REQUIRE(cumulative_[i] >= cumulative_[i - 1],
+                  "cumulative flux must be non-decreasing");
+  }
+  inverseStep_ = static_cast<double>(cumulative_.size() - 1) / (kMax_ - kMin_);
+}
+
+FluxSpectrum FluxSpectrum::moderatorMaxwellian(double kMin, double kMax,
+                                               std::size_t nPoints,
+                                               double lambdaPeak,
+                                               double totalWeight) {
+  VATES_REQUIRE(nPoints >= 2, "flux table needs >= 2 points");
+  VATES_REQUIRE(lambdaPeak > 0.0, "peak wavelength must be positive");
+  VATES_REQUIRE(totalWeight > 0.0, "total weight must be positive");
+  VATES_REQUIRE(kMax > kMin && kMin > 0.0, "need 0 < kMin < kMax");
+
+  // Density in momentum: φ(k) dk with λ = 2π/k.  The Maxwellian in
+  // wavelength is φ_M(λ) ∝ λ⁻⁵ exp(−(λT/λ)²) with λT chosen so the peak
+  // sits at lambdaPeak (peak of λ⁻⁵ exp(−(λT/λ)²) is at λ = λT·sqrt(2/5)
+  // ... we simply set λT = lambdaPeak·sqrt(5/2)).  A small epithermal
+  // 1/λ term keeps the short-wavelength tail alive, as real moderators
+  // do.  Only the *shape* matters: the table is renormalized to
+  // totalWeight.
+  const double lambdaT = lambdaPeak * std::sqrt(5.0 / 2.0);
+  const double maxwellScale = std::pow(lambdaT, 4.0); // dimensional scale
+  auto density = [&](double k) {
+    const double lambda = units::kTwoPi / k;
+    const double maxwell =
+        maxwellScale * std::pow(lambda, -5.0) *
+        std::exp(-(lambdaT / lambda) * (lambdaT / lambda));
+    const double epithermal = 0.02 / lambda;
+    // Change of variables dλ = (2π/k²) dk.
+    const double jacobian = units::kTwoPi / (k * k);
+    return (maxwell + epithermal) * jacobian;
+  };
+
+  const double step = (kMax - kMin) / static_cast<double>(nPoints - 1);
+  std::vector<double> cumulative(nPoints, 0.0);
+  for (std::size_t i = 1; i < nPoints; ++i) {
+    const double k0 = kMin + step * static_cast<double>(i - 1);
+    const double k1 = kMin + step * static_cast<double>(i);
+    // Trapezoid rule per cell.
+    cumulative[i] = cumulative[i - 1] +
+                    0.5 * (density(k0) + density(k1)) * (k1 - k0);
+  }
+  const double total = cumulative.back();
+  VATES_REQUIRE(total > 0.0, "degenerate flux spectrum");
+  for (double& value : cumulative) {
+    value *= totalWeight / total;
+  }
+  return FluxSpectrum(kMin, kMax, std::move(cumulative));
+}
+
+double FluxSpectrum::momentumAtQuantile(double quantile) const noexcept {
+  const double target =
+      std::min(1.0, std::max(0.0, quantile)) * cumulative_.back();
+  // Binary search for the cell containing the target, then linear
+  // interpolation inside it (the table is non-decreasing).
+  std::size_t lo = 0;
+  std::size_t hi = cumulative_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cumulative_[mid] < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double step = (kMax_ - kMin_) / static_cast<double>(cumulative_.size() - 1);
+  const double cellStart = cumulative_[lo];
+  const double cellEnd = cumulative_[hi];
+  const double fraction =
+      cellEnd > cellStart ? (target - cellStart) / (cellEnd - cellStart) : 0.0;
+  return kMin_ + step * (static_cast<double>(lo) + fraction);
+}
+
+FluxSpectrum FluxSpectrum::flat(double kMin, double kMax, std::size_t nPoints,
+                                double totalWeight) {
+  VATES_REQUIRE(nPoints >= 2, "flux table needs >= 2 points");
+  std::vector<double> cumulative(nPoints);
+  for (std::size_t i = 0; i < nPoints; ++i) {
+    cumulative[i] = totalWeight * static_cast<double>(i) /
+                    static_cast<double>(nPoints - 1);
+  }
+  return FluxSpectrum(kMin, kMax, std::move(cumulative));
+}
+
+} // namespace vates

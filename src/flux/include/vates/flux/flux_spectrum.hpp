@@ -1,0 +1,112 @@
+#pragma once
+/// \file flux_spectrum.hpp
+/// Incident-flux data for normalization — the "FluxFile"/"VanadiumFile"
+/// inputs of the paper's artifact description.
+///
+/// MDNorm needs the *integrated* incident flux Φ(k) = ∫ φ(k′) dk′ from
+/// the bottom of the measured momentum band up to k: the normalization
+/// deposited between two trajectory intersections at momenta k₁ < k₂ is
+/// solidAngle · protonCharge · (Φ(k₂) − Φ(k₁)).  Φ is monotone
+/// non-decreasing and stored as a piecewise-linear table on a uniform
+/// momentum grid, exactly how the production workflow's flux workspace
+/// behaves.
+///
+/// Because the table is consumed inside kernels on every backend, a
+/// trivially-copyable FluxTableView exposes (kMin, 1/Δk, n, data*) with
+/// an inline interpolator — no virtual calls, no allocation (Per.14).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vates {
+
+/// Non-owning, trivially copyable view used inside kernels.
+struct FluxTableView {
+  double kMin = 0.0;
+  double kMax = 0.0;
+  double inverseStep = 0.0;
+  std::size_t n = 0;
+  const double* cumulative = nullptr;
+
+  /// Integrated flux at momentum \p k (clamped to the table's band).
+  double integrated(double k) const noexcept {
+    if (n == 0) {
+      return 0.0;
+    }
+    if (k <= kMin) {
+      return cumulative[0];
+    }
+    if (k >= kMax) {
+      return cumulative[n - 1];
+    }
+    const double position = (k - kMin) * inverseStep;
+    auto index = static_cast<std::size_t>(position);
+    if (index >= n - 1) {
+      index = n - 2;
+    }
+    const double fraction = position - static_cast<double>(index);
+    return cumulative[index] +
+           fraction * (cumulative[index + 1] - cumulative[index]);
+  }
+
+  /// Φ(k₂) − Φ(k₁); callers guarantee k₁ ≤ k₂.
+  double bandIntegral(double k1, double k2) const noexcept {
+    return integrated(k2) - integrated(k1);
+  }
+};
+
+/// Owning integrated-flux table.
+class FluxSpectrum {
+public:
+  /// From an explicit cumulative table on the uniform grid
+  /// [kMin, kMax].  The table must have >= 2 points, start at 0, and be
+  /// non-decreasing; violations throw InvalidArgument.
+  FluxSpectrum(double kMin, double kMax, std::vector<double> cumulative);
+
+  /// Synthetic SNS-style moderator spectrum: a Maxwellian peak (in
+  /// wavelength) with an epithermal 1/λ tail, integrated numerically to
+  /// the cumulative table.  \p lambdaPeak is the Maxwellian's peak
+  /// wavelength in Å and \p totalWeight the value of Φ(kMax).
+  static FluxSpectrum moderatorMaxwellian(double kMin, double kMax,
+                                          std::size_t nPoints,
+                                          double lambdaPeak,
+                                          double totalWeight);
+
+  /// Flat spectrum: Φ grows linearly across the band (useful for tests —
+  /// normalization then reduces to solidAngle · charge · Δk).
+  static FluxSpectrum flat(double kMin, double kMax, std::size_t nPoints,
+                           double totalWeight);
+
+  double kMin() const noexcept { return kMin_; }
+  double kMax() const noexcept { return kMax_; }
+  std::size_t nPoints() const noexcept { return cumulative_.size(); }
+  std::span<const double> table() const noexcept { return cumulative_; }
+
+  /// Total integrated flux across the band.
+  double totalWeight() const noexcept { return cumulative_.back(); }
+
+  double integrated(double k) const noexcept { return view().integrated(k); }
+  double bandIntegral(double k1, double k2) const noexcept {
+    return view().bandIntegral(k1, k2);
+  }
+
+  /// Inverse CDF: the momentum k at which Φ(k)/Φ(kMax) = \p quantile
+  /// (quantile in [0, 1], clamped).  Used to sample event momenta with
+  /// the same spectral shape the normalization assumes.
+  double momentumAtQuantile(double quantile) const noexcept;
+
+  /// Kernel view (valid while this object is alive).
+  FluxTableView view() const noexcept {
+    return FluxTableView{kMin_, kMax_, inverseStep_, cumulative_.size(),
+                         cumulative_.data()};
+  }
+
+private:
+  double kMin_;
+  double kMax_;
+  double inverseStep_;
+  std::vector<double> cumulative_;
+};
+
+} // namespace vates

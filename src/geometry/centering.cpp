@@ -1,0 +1,69 @@
+#include "vates/geometry/centering.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cctype>
+
+namespace vates {
+
+namespace {
+constexpr bool isEven(int value) noexcept { return (value & 1) == 0; }
+} // namespace
+
+bool reflectionAllowed(Centering centering, int h, int k, int l) noexcept {
+  switch (centering) {
+  case Centering::P:
+    return true;
+  case Centering::I:
+    return isEven(h + k + l);
+  case Centering::F:
+    return (isEven(h) && isEven(k) && isEven(l)) ||
+           (!isEven(h) && !isEven(k) && !isEven(l));
+  case Centering::A:
+    return isEven(k + l);
+  case Centering::B:
+    return isEven(h + l);
+  case Centering::C:
+    return isEven(h + k);
+  case Centering::R: {
+    // Obverse setting on hexagonal axes: -h + k + l = 3n.
+    const int t = -h + k + l;
+    return t % 3 == 0;
+  }
+  }
+  return true;
+}
+
+Centering parseCentering(const std::string& symbol) {
+  const std::string upper = trim(symbol);
+  if (upper.size() == 1) {
+    switch (std::toupper(static_cast<unsigned char>(upper[0]))) {
+    case 'P': return Centering::P;
+    case 'I': return Centering::I;
+    case 'F': return Centering::F;
+    case 'A': return Centering::A;
+    case 'B': return Centering::B;
+    case 'C': return Centering::C;
+    case 'R': return Centering::R;
+    default: break;
+    }
+  }
+  throw InvalidArgument("unknown centering symbol '" + symbol +
+                        "' (P, I, F, A, B, C, R)");
+}
+
+const char* centeringSymbol(Centering centering) noexcept {
+  switch (centering) {
+  case Centering::P: return "P";
+  case Centering::I: return "I";
+  case Centering::F: return "F";
+  case Centering::A: return "A";
+  case Centering::B: return "B";
+  case Centering::C: return "C";
+  case Centering::R: return "R";
+  }
+  return "?";
+}
+
+} // namespace vates

@@ -1,0 +1,58 @@
+#include "vates/geometry/detector_mask.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+
+#include <algorithm>
+
+namespace vates {
+
+DetectorMask::DetectorMask(std::size_t nDetectors) : flags_(nDetectors, 0) {
+  VATES_REQUIRE(nDetectors >= 1, "mask needs at least one detector");
+}
+
+void DetectorMask::mask(std::size_t detector) {
+  VATES_REQUIRE(detector < flags_.size(), "detector index out of range");
+  flags_[detector] = 1;
+}
+
+void DetectorMask::unmask(std::size_t detector) {
+  VATES_REQUIRE(detector < flags_.size(), "detector index out of range");
+  flags_[detector] = 0;
+}
+
+std::size_t DetectorMask::maskedCount() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(flags_.begin(), flags_.end(), std::uint8_t{1}));
+}
+
+std::size_t DetectorMask::maskTwoThetaBelow(const Instrument& instrument,
+                                            double minRadians) {
+  VATES_REQUIRE(instrument.nDetectors() == flags_.size(),
+                "mask size does not match the instrument");
+  std::size_t newlyMasked = 0;
+  for (std::size_t d = 0; d < flags_.size(); ++d) {
+    if (flags_[d] == 0 && instrument.twoTheta(d) < minRadians) {
+      flags_[d] = 1;
+      ++newlyMasked;
+    }
+  }
+  return newlyMasked;
+}
+
+std::size_t DetectorMask::maskRandomFraction(double fraction,
+                                             std::uint64_t seed) {
+  VATES_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                "fraction must be in [0, 1]");
+  Xoshiro256 rng(seed);
+  std::size_t newlyMasked = 0;
+  for (auto& flag : flags_) {
+    if (flag == 0 && rng.uniform() < fraction) {
+      flag = 1;
+      ++newlyMasked;
+    }
+  }
+  return newlyMasked;
+}
+
+} // namespace vates

@@ -1,0 +1,20 @@
+#include "vates/geometry/goniometer.hpp"
+
+#include <cmath>
+
+namespace vates {
+
+Goniometer& Goniometer::push(const std::string& name, const V3& axis,
+                             double angleDeg) {
+  r_ = r_ * rotationAboutAxis(axis, angleDeg * M_PI / 180.0);
+  names_.push_back(name);
+  return *this;
+}
+
+Goniometer Goniometer::omega(double angleDeg) {
+  Goniometer g;
+  g.push("omega", V3{0.0, 1.0, 0.0}, angleDeg);
+  return g;
+}
+
+} // namespace vates

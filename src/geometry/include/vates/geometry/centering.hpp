@@ -1,0 +1,36 @@
+#pragma once
+/// \file centering.hpp
+/// Bravais lattice centering and the systematic absences it imposes.
+///
+/// Real diffraction data contains no Bragg intensity at systematically
+/// absent reflections: Bixbyite's space group Ia-3 is body-centered, so
+/// every (h,k,l) with h+k+l odd is extinct.  The synthetic event
+/// generator honors these rules so the simulated patterns carry the
+/// correct reciprocal-space structure (checkable in Fig. 4 panels).
+
+#include <string>
+
+namespace vates {
+
+enum class Centering : int {
+  P = 0, ///< primitive — all reflections allowed
+  I = 1, ///< body-centered — h+k+l even
+  F = 2, ///< face-centered — h,k,l all even or all odd
+  A = 3, ///< A-centered — k+l even
+  B = 4, ///< B-centered — h+l even
+  C = 5, ///< C-centered — h+k even
+  R = 6, ///< rhombohedral (hexagonal axes, obverse) — (-h+k+l) % 3 == 0
+};
+
+/// True when reflection (h,k,l) survives the centering's extinction
+/// rule.
+bool reflectionAllowed(Centering centering, int h, int k, int l) noexcept;
+
+/// Parse "P", "I", "F", "A", "B", "C", "R" (case-insensitive); throws
+/// InvalidArgument otherwise.
+Centering parseCentering(const std::string& symbol);
+
+/// The one-letter symbol.
+const char* centeringSymbol(Centering centering) noexcept;
+
+} // namespace vates

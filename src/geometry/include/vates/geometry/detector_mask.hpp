@@ -1,0 +1,49 @@
+#pragma once
+/// \file detector_mask.hpp
+/// Detector pixel masking.
+///
+/// Production reductions never use every pixel: beam-stop shadows, dead
+/// tubes and noisy pixels are masked before MDNorm/BinMD run, and the
+/// normalization must skip masked pixels so the cross-section stays
+/// unbiased.  The mask is a flat byte array (1 = masked) so kernels on
+/// any backend can consult it without indirection.
+
+#include "vates/geometry/instrument.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vates {
+
+class DetectorMask {
+public:
+  /// All pixels live.
+  explicit DetectorMask(std::size_t nDetectors);
+
+  std::size_t size() const noexcept { return flags_.size(); }
+
+  void mask(std::size_t detector);
+  void unmask(std::size_t detector);
+  bool isMasked(std::size_t detector) const { return flags_[detector] != 0; }
+
+  /// Number of masked pixels.
+  std::size_t maskedCount() const noexcept;
+
+  /// Kernel view: 1 byte per detector, 1 = masked.
+  std::span<const std::uint8_t> flags() const noexcept { return flags_; }
+
+  /// Mask every pixel with two-theta below \p minRadians (beam-stop
+  /// shadow).  Returns the number of newly masked pixels.
+  std::size_t maskTwoThetaBelow(const Instrument& instrument,
+                                double minRadians);
+
+  /// Mask a deterministic pseudo-random \p fraction of pixels (dead or
+  /// noisy pixels).  Returns the number of newly masked pixels.
+  std::size_t maskRandomFraction(double fraction, std::uint64_t seed);
+
+private:
+  std::vector<std::uint8_t> flags_;
+};
+
+} // namespace vates

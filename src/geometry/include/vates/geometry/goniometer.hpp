@@ -1,0 +1,45 @@
+#pragma once
+/// \file goniometer.hpp
+/// Sample goniometer: the rotation R applied to the crystal for each
+/// experiment run.  CORELLI/TOPAZ ensemble measurements rotate the
+/// sample between runs (the paper's 36 Benzil / 22 Bixbyite files are
+/// one goniometer setting each); Q_lab = 2π · R · U · B · hkl.
+
+#include "vates/geometry/mat3.hpp"
+
+#include <string>
+#include <vector>
+
+namespace vates {
+
+/// A stack of named rotations multiplied left-to-right into one R.
+class Goniometer {
+public:
+  /// Identity goniometer (no rotation).
+  Goniometer() = default;
+
+  /// Append a rotation of \p angleDeg degrees about \p axis.  Rotations
+  /// compose in the order pushed: R = R_first · ... · R_last.
+  Goniometer& push(const std::string& name, const V3& axis, double angleDeg);
+
+  /// Vertical-axis (Y) rotation — the omega circle used by CORELLI.
+  static Goniometer omega(double angleDeg);
+
+  /// The combined rotation matrix.
+  const M33& R() const noexcept { return r_; }
+
+  /// Inverse rotation (transpose, since R is orthogonal).
+  M33 Rinv() const noexcept { return r_.transposed(); }
+
+  /// Number of stacked rotations.
+  std::size_t depth() const noexcept { return names_.size(); }
+
+  /// Name of the i-th stacked rotation.
+  const std::string& name(std::size_t i) const { return names_.at(i); }
+
+private:
+  M33 r_ = M33::identity();
+  std::vector<std::string> names_;
+};
+
+} // namespace vates

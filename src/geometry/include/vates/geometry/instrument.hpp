@@ -1,0 +1,90 @@
+#pragma once
+/// \file instrument.hpp
+/// Instrument geometry: the sample-relative positions of every detector
+/// pixel, plus derived per-detector quantities the kernels consume.
+///
+/// Two synthetic geometries stand in for the paper's beamlines:
+///  - corelliLike(): a cylindrical detector array (CORELLI's layout) —
+///    pixels on a 2.55 m radius cylinder covering roughly -30°..150° of
+///    scattering angle and ±0.97 m of height; the paper's Benzil case
+///    uses 372K such pixels.
+///  - topazLike(): a set of flat square banks on a 0.45 m sphere around
+///    the sample (TOPAZ's layout); the Bixbyite case uses 1.6M pixels.
+///
+/// Storage is struct-of-arrays: the hot kernels read only the
+/// per-detector unit "Q-direction" (beam − detector direction) and the
+/// solid angle, both exposed as contiguous spans.
+///
+/// Conventions (Mantid): beam along +Z, Y vertical; elastic scattering,
+/// so the momentum transfer of detector d at incident momentum k is
+/// Q_lab = k · (beamDir − detDir(d)).
+
+#include "vates/geometry/vec3.hpp"
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vates {
+
+class Instrument {
+public:
+  /// Build an explicit instrument.  \p positions are sample-to-pixel
+  /// vectors in metres; \p pixelArea is one pixel's sensitive area (m²)
+  /// used for solid angles; \p l1 is the source-to-sample distance (m).
+  Instrument(std::string name, double l1, std::vector<V3> positions,
+             double pixelArea);
+
+  /// CORELLI-style cylindrical array with exactly \p nDetectors pixels.
+  static Instrument corelliLike(std::size_t nDetectors);
+
+  /// TOPAZ-style bank array with exactly \p nDetectors pixels.
+  static Instrument topazLike(std::size_t nDetectors);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t nDetectors() const noexcept { return positions_.size(); }
+  double l1() const noexcept { return l1_; }
+
+  /// Incident beam direction (unit): +Z.
+  static constexpr V3 beamDirection() noexcept { return {0.0, 0.0, 1.0}; }
+
+  const V3& position(std::size_t d) const { return positions_[d]; }
+  double l2(std::size_t d) const { return l2_[d]; }
+  double twoTheta(std::size_t d) const { return twoTheta_[d]; }
+
+  /// Unit vector from sample toward detector d.
+  V3 detectorDirection(std::size_t d) const {
+    return positions_[d] / l2_[d];
+  }
+
+  /// Q_lab direction factor: Q_lab(k) = k * qLabDirection(d).
+  const V3& qLabDirection(std::size_t d) const { return qDirections_[d]; }
+
+  /// Detector solid angle in steradian (pixelArea / L2²).
+  double solidAngle(std::size_t d) const { return solidAngles_[d]; }
+
+  /// Total source→sample→detector flight path in metres (for TOF).
+  double totalFlightPath(std::size_t d) const { return l1_ + l2_[d]; }
+
+  /// Contiguous views for kernels (length nDetectors()).
+  std::span<const V3> qLabDirections() const noexcept { return qDirections_; }
+  std::span<const double> solidAngles() const noexcept { return solidAngles_; }
+  std::span<const V3> positions() const noexcept { return positions_; }
+  std::span<const double> twoThetas() const noexcept { return twoTheta_; }
+  std::span<const double> totalFlightPaths() const noexcept {
+    return flightPaths_;
+  }
+
+private:
+  std::string name_;
+  double l1_;
+  std::vector<V3> positions_;
+  std::vector<double> l2_;
+  std::vector<double> twoTheta_;
+  std::vector<V3> qDirections_;
+  std::vector<double> solidAngles_;
+  std::vector<double> flightPaths_;
+};
+
+} // namespace vates

@@ -1,0 +1,69 @@
+#pragma once
+/// \file lattice.hpp
+/// Crystal lattice and the Busing–Levy B matrix.
+///
+/// Conventions follow Mantid: the B matrix maps Miller indices (H,K,L)
+/// into an orthonormal reciprocal frame in units of Å⁻¹ *without* the
+/// 2π factor; the momentum transfer is Q_sample = 2π · U · B · hkl.
+
+#include "vates/geometry/mat3.hpp"
+
+namespace vates {
+
+/// A direct-space crystal lattice (lengths in Å, angles in degrees).
+class Lattice {
+public:
+  /// Construct from the six lattice parameters.  Throws InvalidArgument
+  /// for non-positive lengths or geometrically impossible angle triples.
+  Lattice(double a, double b, double c, double alphaDeg, double betaDeg,
+          double gammaDeg);
+
+  /// Cubic convenience (a = b = c, all angles 90°).
+  static Lattice cubic(double a);
+
+  /// Hexagonal/trigonal convenience (a = b, γ = 120°).
+  static Lattice hexagonal(double a, double c);
+
+  /// Benzil, C₁₄H₁₀O₂ — trigonal P3₁21; parameters per the diffuse
+  /// scattering literature the paper's CORELLI use-case is built on.
+  static Lattice benzil() { return hexagonal(8.376, 13.700); }
+
+  /// Bixbyite, (Mn,Fe)₂O₃ — cubic Ia-3; the paper's TOPAZ use-case.
+  static Lattice bixbyite() { return cubic(9.411); }
+
+  double a() const noexcept { return a_; }
+  double b() const noexcept { return b_; }
+  double c() const noexcept { return c_; }
+  double alphaDeg() const noexcept { return alpha_; }
+  double betaDeg() const noexcept { return beta_; }
+  double gammaDeg() const noexcept { return gamma_; }
+
+  /// Direct cell volume in Å³.
+  double volume() const noexcept { return volume_; }
+
+  /// Reciprocal lattice parameters (Å⁻¹ and degrees).
+  double aStar() const noexcept { return aStar_; }
+  double bStar() const noexcept { return bStar_; }
+  double cStar() const noexcept { return cStar_; }
+
+  /// The Busing–Levy B matrix (no 2π).
+  const M33& B() const noexcept { return b_matrix_; }
+
+  /// B⁻¹ (maps the orthonormal reciprocal frame back to HKL).
+  const M33& Binv() const noexcept { return b_inverse_; }
+
+  /// d-spacing of reflection (h,k,l) in Å: d = 1 / |B·hkl|.
+  double dSpacing(const V3& hkl) const;
+
+  /// |Q| of reflection (h,k,l) in Å⁻¹ (with the 2π): 2π/d.
+  double qNorm(const V3& hkl) const;
+
+private:
+  double a_, b_, c_, alpha_, beta_, gamma_;
+  double volume_;
+  double aStar_, bStar_, cStar_;
+  M33 b_matrix_;
+  M33 b_inverse_;
+};
+
+} // namespace vates

@@ -1,0 +1,141 @@
+#pragma once
+/// \file mat3.hpp
+/// 3×3 matrix of doubles, row-major.  Trivially copyable so transform
+/// tables (one matrix per symmetry operation × goniometer setting) can
+/// live in device arrays, as in the paper's Listing 3
+/// (`transforms::Array1{SquareMatrix3c}`).
+
+#include "vates/geometry/vec3.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace vates {
+
+/// Plain row-major 3×3 matrix.  Aggregate; M33{{...}} or helpers below.
+struct M33 {
+  std::array<double, 9> m{};
+
+  constexpr double& operator()(std::size_t row, std::size_t col) noexcept {
+    return m[row * 3 + col];
+  }
+  constexpr double operator()(std::size_t row, std::size_t col) const noexcept {
+    return m[row * 3 + col];
+  }
+
+  static constexpr M33 identity() noexcept {
+    return M33{{1, 0, 0, 0, 1, 0, 0, 0, 1}};
+  }
+
+  static constexpr M33 zero() noexcept { return M33{}; }
+
+  /// Matrix from three row vectors.
+  static constexpr M33 fromRows(const V3& r0, const V3& r1,
+                                const V3& r2) noexcept {
+    return M33{{r0.x, r0.y, r0.z, r1.x, r1.y, r1.z, r2.x, r2.y, r2.z}};
+  }
+
+  /// Matrix from three column vectors.
+  static constexpr M33 fromColumns(const V3& c0, const V3& c1,
+                                   const V3& c2) noexcept {
+    return M33{{c0.x, c1.x, c2.x, c0.y, c1.y, c2.y, c0.z, c1.z, c2.z}};
+  }
+
+  constexpr V3 row(std::size_t r) const noexcept {
+    return {m[r * 3], m[r * 3 + 1], m[r * 3 + 2]};
+  }
+  constexpr V3 column(std::size_t c) const noexcept {
+    return {m[c], m[3 + c], m[6 + c]};
+  }
+
+  constexpr M33 operator+(const M33& o) const noexcept {
+    M33 out;
+    for (std::size_t i = 0; i < 9; ++i) {
+      out.m[i] = m[i] + o.m[i];
+    }
+    return out;
+  }
+
+  constexpr M33 operator-(const M33& o) const noexcept {
+    M33 out;
+    for (std::size_t i = 0; i < 9; ++i) {
+      out.m[i] = m[i] - o.m[i];
+    }
+    return out;
+  }
+
+  constexpr M33 operator*(double s) const noexcept {
+    M33 out;
+    for (std::size_t i = 0; i < 9; ++i) {
+      out.m[i] = m[i] * s;
+    }
+    return out;
+  }
+
+  /// Matrix product.
+  constexpr M33 operator*(const M33& o) const noexcept {
+    M33 out;
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < 3; ++k) {
+          sum += (*this)(r, k) * o(k, c);
+        }
+        out(r, c) = sum;
+      }
+    }
+    return out;
+  }
+
+  /// Matrix–vector product.
+  constexpr V3 operator*(const V3& v) const noexcept {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  constexpr bool operator==(const M33& o) const noexcept { return m == o.m; }
+
+  constexpr M33 transposed() const noexcept {
+    return M33{{m[0], m[3], m[6], m[1], m[4], m[7], m[2], m[5], m[8]}};
+  }
+
+  constexpr double determinant() const noexcept {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) -
+           m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+  }
+
+  constexpr double trace() const noexcept { return m[0] + m[4] + m[8]; }
+};
+
+/// Inverse via adjugate.  Throws vates::NumericalError when the matrix is
+/// singular (|det| below 1e-14 of the matrix scale); declared in
+/// mat3_inverse in the .cpp of the geometry library to keep the error
+/// path out of the hot header.
+M33 inverse(const M33& matrix);
+
+/// Rotation by \p angleRadians about the (normalized) \p axis
+/// (Rodrigues' formula).
+M33 rotationAboutAxis(const V3& axis, double angleRadians);
+
+inline std::ostream& operator<<(std::ostream& os, const M33& a) {
+  os << '[';
+  for (std::size_t r = 0; r < 3; ++r) {
+    os << a.row(r) << (r < 2 ? ", " : "");
+  }
+  return os << ']';
+}
+
+/// Max-norm distance between matrices, for tests.
+inline double maxAbsDiff(const M33& a, const M33& b) noexcept {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    worst = std::max(worst, std::fabs(a.m[i] - b.m[i]));
+  }
+  return worst;
+}
+
+} // namespace vates

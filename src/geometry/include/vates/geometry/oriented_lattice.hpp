@@ -1,0 +1,51 @@
+#pragma once
+/// \file oriented_lattice.hpp
+/// A lattice plus its orientation on the instrument: the UB matrix.
+///
+/// U is a proper rotation fixing how the crystal sits in the lab frame;
+/// Q_sample = 2π · U · B · hkl and hkl = (U·B)⁻¹ · Q_sample / 2π.
+/// Following Mantid's setUFromVectors convention, U is constructed so
+/// that reciprocal vector \p u points along the beam (+Z) and \p v lies
+/// in the horizontal (X–Z) plane on the +X side.
+
+#include "vates/geometry/lattice.hpp"
+#include "vates/geometry/mat3.hpp"
+
+namespace vates {
+
+class OrientedLattice {
+public:
+  /// Identity orientation (U = I).
+  explicit OrientedLattice(const Lattice& lattice);
+
+  /// Orientation from two non-collinear HKL vectors (Mantid
+  /// SetUB/setUFromVectors semantics; see file comment).  Throws
+  /// InvalidArgument when u and v are collinear.
+  OrientedLattice(const Lattice& lattice, const V3& uHkl, const V3& vHkl);
+
+  /// Explicit rotation (must be proper: UᵀU = I, det = +1 within 1e-8;
+  /// throws InvalidArgument otherwise).
+  OrientedLattice(const Lattice& lattice, const M33& u);
+
+  const Lattice& lattice() const noexcept { return lattice_; }
+  const M33& U() const noexcept { return u_; }
+  const M33& UB() const noexcept { return ub_; }
+  const M33& UBinv() const noexcept { return ubInverse_; }
+
+  /// Q_sample (Å⁻¹, includes 2π) of the reflection (h,k,l).
+  V3 qSampleFromHkl(const V3& hkl) const;
+
+  /// Miller indices of a Q_sample vector.
+  V3 hklFromQSample(const V3& qSample) const;
+
+private:
+  Lattice lattice_;
+  M33 u_;
+  M33 ub_;
+  M33 ubInverse_;
+};
+
+/// True when \p m is a proper rotation within \p tolerance.
+bool isRotation(const M33& m, double tolerance = 1e-8);
+
+} // namespace vates

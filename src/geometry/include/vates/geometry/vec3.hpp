@@ -1,0 +1,88 @@
+#pragma once
+/// \file vec3.hpp
+/// 3-vector of doubles.  Trivially copyable (it crosses the simulated
+/// device boundary inside event tables and transform arrays), so no
+/// constructors beyond aggregate initialization.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace vates {
+
+/// Plain 3-vector.  Aggregate; use V3{x, y, z}.
+struct V3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr double& operator[](std::size_t i) noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+  constexpr double operator[](std::size_t i) const noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr V3 operator+(const V3& o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr V3 operator-(const V3& o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr V3 operator*(double s) const noexcept { return {x * s, y * s, z * s}; }
+  constexpr V3 operator/(double s) const noexcept { return {x / s, y / s, z / s}; }
+  constexpr V3 operator-() const noexcept { return {-x, -y, -z}; }
+
+  constexpr V3& operator+=(const V3& o) noexcept {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr V3& operator-=(const V3& o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr V3& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const V3& o) const noexcept {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  constexpr double dot(const V3& o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr V3 cross(const V3& o) const noexcept {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const noexcept { return dot(*this); }
+  double norm() const noexcept { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction; {0,0,0} stays {0,0,0}.
+  V3 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? *this / n : V3{};
+  }
+};
+
+constexpr V3 operator*(double s, const V3& v) noexcept { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const V3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+/// Max-norm distance, for approximate comparisons in tests.
+inline double maxAbsDiff(const V3& a, const V3& b) noexcept {
+  return std::max({std::fabs(a.x - b.x), std::fabs(a.y - b.y),
+                   std::fabs(a.z - b.z)});
+}
+
+} // namespace vates

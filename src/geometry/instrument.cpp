@@ -1,0 +1,160 @@
+#include "vates/geometry/instrument.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vates {
+
+Instrument::Instrument(std::string name, double l1, std::vector<V3> positions,
+                       double pixelArea)
+    : name_(std::move(name)), l1_(l1), positions_(std::move(positions)) {
+  VATES_REQUIRE(l1 > 0.0, "source-sample distance must be positive");
+  VATES_REQUIRE(pixelArea > 0.0, "pixel area must be positive");
+  VATES_REQUIRE(!positions_.empty(), "instrument needs at least one detector");
+
+  const std::size_t n = positions_.size();
+  l2_.resize(n);
+  twoTheta_.resize(n);
+  qDirections_.resize(n);
+  solidAngles_.resize(n);
+  flightPaths_.resize(n);
+
+  const V3 beam = beamDirection();
+  for (std::size_t d = 0; d < n; ++d) {
+    const double l2 = positions_[d].norm();
+    VATES_REQUIRE(l2 > 0.0, "detector cannot sit on the sample");
+    l2_[d] = l2;
+    const V3 direction = positions_[d] / l2;
+    const double cosTwoTheta = std::clamp(direction.dot(beam), -1.0, 1.0);
+    twoTheta_[d] = std::acos(cosTwoTheta);
+    qDirections_[d] = beam - direction;
+    solidAngles_[d] = pixelArea / (l2 * l2);
+    flightPaths_[d] = l1_ + l2;
+  }
+}
+
+Instrument Instrument::corelliLike(std::size_t nDetectors) {
+  VATES_REQUIRE(nDetectors >= 1, "need at least one detector");
+  constexpr double kRadius = 2.55;       // m
+  constexpr double kHeight = 1.94;       // m of vertical coverage
+  constexpr double kPhiMin = -30.0 * M_PI / 180.0;
+  constexpr double kPhiMax = 150.0 * M_PI / 180.0;
+  constexpr double kMinTwoTheta = 1.5 * M_PI / 180.0; // keep off the beam
+
+  // Pick a grid whose pixel aspect is roughly square on the cylinder.
+  const double arc = (kPhiMax - kPhiMin) * kRadius;
+  const double aspect = arc / kHeight;
+  auto rows = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(nDetectors) / aspect)));
+  rows = std::max<std::size_t>(rows, 1);
+  const std::size_t cols = (nDetectors + rows - 1) / rows;
+
+  std::vector<V3> positions;
+  positions.reserve(nDetectors);
+  const V3 beam = beamDirection();
+  // March the grid, skipping near-beam pixels, until we have exactly
+  // nDetectors; extra passes nudge the grid finer if skipping starved us.
+  for (int pass = 0; positions.size() < nDetectors && pass < 8; ++pass) {
+    positions.clear();
+    const std::size_t passCols = cols + static_cast<std::size_t>(pass) * 8;
+    for (std::size_t r = 0; r < rows * 4 && positions.size() < nDetectors;
+         ++r) {
+      const double y =
+          -kHeight / 2.0 +
+          kHeight * (static_cast<double>(r % rows) + 0.5) /
+              static_cast<double>(rows);
+      for (std::size_t c = 0; c < passCols && positions.size() < nDetectors;
+           ++c) {
+        const double phi = kPhiMin + (kPhiMax - kPhiMin) *
+                                         (static_cast<double>(c) + 0.5) /
+                                         static_cast<double>(passCols);
+        const V3 position{kRadius * std::sin(phi), y, kRadius * std::cos(phi)};
+        const V3 direction = position.normalized();
+        if (std::acos(std::clamp(direction.dot(beam), -1.0, 1.0)) <
+            kMinTwoTheta) {
+          continue;
+        }
+        positions.push_back(position);
+      }
+      if (r % rows == rows - 1 && positions.size() >= nDetectors) {
+        break;
+      }
+    }
+  }
+  VATES_REQUIRE(positions.size() == nDetectors,
+                "failed to place the requested detector count");
+
+  const double pixelArea = (arc / static_cast<double>(cols)) *
+                           (kHeight / static_cast<double>(rows));
+  return Instrument("CORELLI-like", 20.0, std::move(positions), pixelArea);
+}
+
+Instrument Instrument::topazLike(std::size_t nDetectors) {
+  VATES_REQUIRE(nDetectors >= 1, "need at least one detector");
+  constexpr double kRadius = 0.455;   // m, sample-to-bank distance
+  constexpr double kBankSide = 0.158; // m, square bank edge
+
+  // Bank centers as (two-theta, azimuth) pairs loosely following TOPAZ's
+  // forward+side coverage.
+  struct BankCenter {
+    double twoThetaDeg;
+    double phiDeg;
+  };
+  static constexpr BankCenter kBanks[] = {
+      {25.0, 0.0},    {40.0, 45.0},   {40.0, -45.0},  {55.0, 90.0},
+      {55.0, -90.0},  {70.0, 22.5},   {70.0, -22.5},  {90.0, 67.5},
+      {90.0, -67.5},  {105.0, 0.0},   {120.0, 45.0},  {120.0, -45.0},
+      {135.0, 90.0},  {150.0, 0.0},
+  };
+  constexpr std::size_t kNumBanks = std::size(kBanks);
+
+  const std::size_t perBank = (nDetectors + kNumBanks - 1) / kNumBanks;
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(perBank))));
+  const double pitch = kBankSide / static_cast<double>(side);
+
+  std::vector<V3> positions;
+  positions.reserve(nDetectors);
+  for (std::size_t b = 0; b < kNumBanks && positions.size() < nDetectors;
+       ++b) {
+    const BankCenter& bank = kBanks[b];
+    const double tt = bank.twoThetaDeg * M_PI / 180.0;
+    const double phi = bank.phiDeg * M_PI / 180.0;
+    // Bank center direction; azimuth rotates the bank about the beam.
+    const V3 center{kRadius * std::sin(tt) * std::cos(phi),
+                    kRadius * std::sin(tt) * std::sin(phi),
+                    kRadius * std::cos(tt)};
+    // In-plane bank axes spanning the flat panel.
+    const V3 normal = center.normalized();
+    const V3 up0{0.0, 1.0, 0.0};
+    V3 axisU = up0 - normal * up0.dot(normal);
+    if (axisU.norm2() < 1e-12) {
+      axisU = V3{1.0, 0.0, 0.0};
+    }
+    axisU = axisU.normalized();
+    const V3 axisV = normal.cross(axisU);
+
+    for (std::size_t row = 0; row < side && positions.size() < nDetectors;
+         ++row) {
+      const double u =
+          (static_cast<double>(row) + 0.5 - static_cast<double>(side) / 2.0) *
+          pitch;
+      for (std::size_t colIdx = 0;
+           colIdx < side && positions.size() < nDetectors; ++colIdx) {
+        const double v = (static_cast<double>(colIdx) + 0.5 -
+                          static_cast<double>(side) / 2.0) *
+                         pitch;
+        positions.push_back(center + axisU * u + axisV * v);
+      }
+    }
+  }
+  VATES_REQUIRE(positions.size() == nDetectors,
+                "failed to place the requested detector count");
+
+  const double pixelArea = pitch * pitch;
+  return Instrument("TOPAZ-like", 18.0, std::move(positions), pixelArea);
+}
+
+} // namespace vates

@@ -1,0 +1,74 @@
+#include "vates/geometry/lattice.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/units/units.hpp"
+
+#include <cmath>
+
+namespace vates {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+} // namespace
+
+Lattice::Lattice(double a, double b, double c, double alphaDeg, double betaDeg,
+                 double gammaDeg)
+    : a_(a), b_(b), c_(c), alpha_(alphaDeg), beta_(betaDeg), gamma_(gammaDeg) {
+  VATES_REQUIRE(a > 0.0 && b > 0.0 && c > 0.0, "lattice lengths must be > 0");
+  VATES_REQUIRE(alphaDeg > 0.0 && alphaDeg < 180.0 && betaDeg > 0.0 &&
+                    betaDeg < 180.0 && gammaDeg > 0.0 && gammaDeg < 180.0,
+                "lattice angles must be in (0, 180) degrees");
+
+  const double ca = std::cos(alphaDeg * kDegToRad);
+  const double cb = std::cos(betaDeg * kDegToRad);
+  const double cg = std::cos(gammaDeg * kDegToRad);
+  const double sa = std::sin(alphaDeg * kDegToRad);
+  const double sb = std::sin(betaDeg * kDegToRad);
+  const double sg = std::sin(gammaDeg * kDegToRad);
+
+  const double volumeArg =
+      1.0 - ca * ca - cb * cb - cg * cg + 2.0 * ca * cb * cg;
+  VATES_REQUIRE(volumeArg > 0.0,
+                "lattice angles do not describe a valid cell (volume <= 0)");
+  volume_ = a * b * c * std::sqrt(volumeArg);
+
+  aStar_ = b * c * sa / volume_;
+  bStar_ = a * c * sb / volume_;
+  cStar_ = a * b * sg / volume_;
+
+  // Reciprocal angles.
+  const double caStar = (cb * cg - ca) / (sb * sg);
+  const double cbStar = (ca * cg - cb) / (sa * sg);
+  const double cgStar = (ca * cb - cg) / (sa * sb);
+  const double sbStar = std::sqrt(std::max(0.0, 1.0 - cbStar * cbStar));
+  const double sgStar = std::sqrt(std::max(0.0, 1.0 - cgStar * cgStar));
+  (void)caStar;
+
+  // Busing–Levy B matrix (Acta Cryst. 22 (1967) 457, eq. 3).
+  b_matrix_ = M33{{
+      aStar_, bStar_ * cgStar,  cStar_ * cbStar,
+      0.0,    bStar_ * sgStar, -cStar_ * sbStar * ca,
+      0.0,    0.0,              1.0 / c,
+  }};
+  b_inverse_ = inverse(b_matrix_);
+}
+
+Lattice Lattice::cubic(double a) { return Lattice(a, a, a, 90.0, 90.0, 90.0); }
+
+Lattice Lattice::hexagonal(double a, double c) {
+  return Lattice(a, a, c, 90.0, 90.0, 120.0);
+}
+
+double Lattice::dSpacing(const V3& hkl) const {
+  const double q = (b_matrix_ * hkl).norm();
+  if (q <= 0.0) {
+    throw InvalidArgument("d-spacing of the (0,0,0) reflection is undefined");
+  }
+  return 1.0 / q;
+}
+
+double Lattice::qNorm(const V3& hkl) const {
+  return units::kTwoPi / dSpacing(hkl);
+}
+
+} // namespace vates

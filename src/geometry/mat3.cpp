@@ -1,0 +1,47 @@
+#include "vates/geometry/mat3.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <cmath>
+
+namespace vates {
+
+M33 inverse(const M33& matrix) {
+  const double det = matrix.determinant();
+  // Scale-aware singularity threshold: compare |det| against the cube of
+  // the largest row norm.
+  double scale = 0.0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    scale = std::max(scale, matrix.row(r).norm());
+  }
+  const double floor = 1e-14 * std::max(1.0, scale * scale * scale);
+  if (std::fabs(det) < floor) {
+    throw NumericalError("matrix is singular (|det| too small to invert)");
+  }
+
+  const auto& m = matrix.m;
+  M33 adjugate;
+  adjugate.m = {
+      m[4] * m[8] - m[5] * m[7], m[2] * m[7] - m[1] * m[8],
+      m[1] * m[5] - m[2] * m[4], m[5] * m[6] - m[3] * m[8],
+      m[0] * m[8] - m[2] * m[6], m[2] * m[3] - m[0] * m[5],
+      m[3] * m[7] - m[4] * m[6], m[1] * m[6] - m[0] * m[7],
+      m[0] * m[4] - m[1] * m[3],
+  };
+  return adjugate * (1.0 / det);
+}
+
+M33 rotationAboutAxis(const V3& axis, double angleRadians) {
+  const V3 n = axis.normalized();
+  VATES_REQUIRE(n.norm2() > 0.0, "rotation axis must be non-zero");
+  const double c = std::cos(angleRadians);
+  const double s = std::sin(angleRadians);
+  const double t = 1.0 - c;
+  return M33{{
+      t * n.x * n.x + c,       t * n.x * n.y - s * n.z, t * n.x * n.z + s * n.y,
+      t * n.x * n.y + s * n.z, t * n.y * n.y + c,       t * n.y * n.z - s * n.x,
+      t * n.x * n.z - s * n.y, t * n.y * n.z + s * n.x, t * n.z * n.z + c,
+  }};
+}
+
+} // namespace vates

@@ -1,0 +1,80 @@
+#include "vates/geometry/oriented_lattice.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/units/units.hpp"
+
+#include <cmath>
+
+namespace vates {
+
+bool isRotation(const M33& m, double tolerance) {
+  const M33 shouldBeIdentity = m * m.transposed();
+  if (maxAbsDiff(shouldBeIdentity, M33::identity()) > tolerance) {
+    return false;
+  }
+  return std::fabs(m.determinant() - 1.0) <= tolerance;
+}
+
+OrientedLattice::OrientedLattice(const Lattice& lattice)
+    : OrientedLattice(lattice, M33::identity()) {}
+
+OrientedLattice::OrientedLattice(const Lattice& lattice, const M33& u)
+    : lattice_(lattice), u_(u) {
+  VATES_REQUIRE(isRotation(u), "U must be a proper rotation");
+  ub_ = u_ * lattice_.B();
+  ubInverse_ = inverse(ub_);
+}
+
+namespace {
+/// Build the rotation taking orthonormal frame (f1,f2,f3) to (t1,t2,t3):
+/// R = Σ tᵢ fᵢᵀ.
+M33 frameRotation(const V3& f1, const V3& f2, const V3& f3, const V3& t1,
+                  const V3& t2, const V3& t3) {
+  M33 r = M33::zero();
+  const V3 from[3] = {f1, f2, f3};
+  const V3 to[3] = {t1, t2, t3};
+  for (int basis = 0; basis < 3; ++basis) {
+    for (std::size_t row = 0; row < 3; ++row) {
+      for (std::size_t col = 0; col < 3; ++col) {
+        r(row, col) += to[basis][row] * from[basis][col];
+      }
+    }
+  }
+  return r;
+}
+} // namespace
+
+OrientedLattice::OrientedLattice(const Lattice& lattice, const V3& uHkl,
+                                 const V3& vHkl)
+    : lattice_(lattice) {
+  // Orthonormal frame attached to the crystal's reciprocal directions.
+  const V3 bu = lattice.B() * uHkl;
+  const V3 bv = lattice.B() * vHkl;
+  const V3 f1 = bu.normalized();
+  VATES_REQUIRE(f1.norm2() > 0.0, "u must be a non-zero HKL vector");
+  const V3 vPerp = bv - f1 * bv.dot(f1);
+  const V3 f2 = vPerp.normalized();
+  VATES_REQUIRE(f2.norm2() > 0.0, "u and v must not be collinear");
+  const V3 f3 = f1.cross(f2);
+
+  // Lab frame targets: u along the beam (+Z), v toward +X, Y completes
+  // the right-handed set (Z × X = Y).
+  const V3 t1{0.0, 0.0, 1.0};
+  const V3 t2{1.0, 0.0, 0.0};
+  const V3 t3 = t1.cross(t2);
+
+  u_ = frameRotation(f1, f2, f3, t1, t2, t3);
+  VATES_REQUIRE(isRotation(u_, 1e-6), "constructed U is not a rotation");
+  ub_ = u_ * lattice_.B();
+  ubInverse_ = inverse(ub_);
+}
+
+V3 OrientedLattice::qSampleFromHkl(const V3& hkl) const {
+  return (ub_ * hkl) * units::kTwoPi;
+}
+
+V3 OrientedLattice::hklFromQSample(const V3& qSample) const {
+  return ubInverse_ * (qSample / units::kTwoPi);
+}
+
+} // namespace vates

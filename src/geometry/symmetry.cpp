@@ -1,0 +1,280 @@
+#include "vates/geometry/symmetry.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace vates {
+
+namespace {
+
+int axisIndex(char c) {
+  switch (c) {
+  case 'x': case 'h': return 0;
+  case 'y': case 'k': return 1;
+  case 'z': case 'l': return 2;
+  default:  return -1;
+  }
+}
+
+char axisLetter(int index) {
+  return index == 0 ? 'x' : (index == 1 ? 'y' : 'z');
+}
+
+/// Round a near-integer matrix and verify it really was near-integer.
+M33 roundToIntegers(const M33& m) {
+  M33 out;
+  for (std::size_t i = 0; i < 9; ++i) {
+    const double rounded = std::round(m.m[i]);
+    VATES_REQUIRE(std::fabs(m.m[i] - rounded) < 1e-9,
+                  "symmetry matrix entry is not an integer");
+    out.m[i] = rounded;
+  }
+  return out;
+}
+
+} // namespace
+
+SymmetryOperation::SymmetryOperation(const M33& matrix)
+    : matrix_(roundToIntegers(matrix)) {
+  const double det = matrix_.determinant();
+  VATES_REQUIRE(std::fabs(std::fabs(det) - 1.0) < 1e-9,
+                "symmetry operation must have determinant ±1");
+  for (double entry : matrix_.m) {
+    VATES_REQUIRE(std::fabs(entry) <= 2.0 + 1e-9,
+                  "symmetry matrix entry out of range");
+  }
+}
+
+SymmetryOperation SymmetryOperation::fromJones(const std::string& jones) {
+  const auto components = split(toLower(jones), ',');
+  VATES_REQUIRE(components.size() == 3,
+                "Jones notation needs exactly three comma-separated terms: '" +
+                    jones + "'");
+  M33 matrix = M33::zero();
+  for (std::size_t row = 0; row < 3; ++row) {
+    const std::string term = trim(components[row]);
+    VATES_REQUIRE(!term.empty(), "empty component in Jones notation");
+    int sign = +1;
+    bool sawAxis = false;
+    for (char c : term) {
+      if (c == ' ') {
+        continue;
+      }
+      if (c == '+') {
+        sign = +1;
+        continue;
+      }
+      if (c == '-') {
+        sign = -1;
+        continue;
+      }
+      const int axis = axisIndex(c);
+      VATES_REQUIRE(axis >= 0, std::string("unexpected character '") + c +
+                                   "' in Jones notation '" + jones + "'");
+      matrix(row, static_cast<std::size_t>(axis)) += sign;
+      sign = +1; // a sign applies to the single following axis letter
+      sawAxis = true;
+    }
+    VATES_REQUIRE(sawAxis, "component without axis letter in '" + jones + "'");
+  }
+  return SymmetryOperation(matrix);
+}
+
+SymmetryOperation
+SymmetryOperation::operator*(const SymmetryOperation& other) const {
+  return SymmetryOperation(matrix_ * other.matrix_);
+}
+
+SymmetryOperation SymmetryOperation::inverse() const {
+  return SymmetryOperation(vates::inverse(matrix_));
+}
+
+std::string SymmetryOperation::jones() const {
+  std::string out;
+  for (std::size_t row = 0; row < 3; ++row) {
+    if (row > 0) {
+      out += ',';
+    }
+    bool wroteAnything = false;
+    for (std::size_t col = 0; col < 3; ++col) {
+      const int coefficient = static_cast<int>(std::lround(matrix_(row, col)));
+      for (int repeat = 0; repeat < std::abs(coefficient); ++repeat) {
+        if (coefficient > 0 && wroteAnything) {
+          out += '+';
+        }
+        if (coefficient < 0) {
+          out += '-';
+        }
+        out += axisLetter(static_cast<int>(col));
+        wroteAnything = true;
+      }
+    }
+    if (!wroteAnything) {
+      out += '0';
+    }
+  }
+  return out;
+}
+
+int SymmetryOperation::handedness() const noexcept {
+  return matrix_.determinant() > 0.0 ? +1 : -1;
+}
+
+// ---------------------------------------------------------------------------
+// PointGroup
+
+namespace {
+/// Generator table keyed by Hermann–Mauguin symbol; trigonal/hexagonal
+/// groups use the hexagonal axes setting (γ = 120°).
+const std::map<std::string, std::vector<const char*>>& generatorTable() {
+  static const std::map<std::string, std::vector<const char*>> table = {
+      {"1", {}},
+      {"-1", {"-x,-y,-z"}},
+      {"2", {"-x,y,-z"}},
+      {"m", {"x,-y,z"}},
+      {"2/m", {"-x,y,-z", "-x,-y,-z"}},
+      {"222", {"-x,-y,z", "x,-y,-z"}},
+      {"mmm", {"-x,-y,z", "x,-y,-z", "-x,-y,-z"}},
+      {"4", {"-y,x,z"}},
+      {"-4", {"y,-x,-z"}},
+      {"4/m", {"-y,x,z", "-x,-y,-z"}},
+      {"422", {"-y,x,z", "x,-y,-z"}},
+      {"4mm", {"-y,x,z", "x,-y,z"}},
+      {"-42m", {"y,-x,-z", "x,-y,-z"}},
+      {"4/mmm", {"-y,x,z", "x,-y,-z", "-x,-y,-z"}},
+      {"3", {"-y,x-y,z"}},
+      {"-3", {"-y,x-y,z", "-x,-y,-z"}},
+      {"32", {"-y,x-y,z", "y,x,-z"}},
+      {"-3m", {"-y,x-y,z", "y,x,-z", "-x,-y,-z"}},
+      {"6", {"x-y,x,z"}},
+      {"-6", {"-x+y,-x,-z"}},
+      {"6/m", {"x-y,x,z", "-x,-y,-z"}},
+      {"622", {"x-y,x,z", "y,x,-z"}},
+      {"6mm", {"x-y,x,z", "y,x,z"}},
+      {"-6m2", {"-x+y,-x,-z", "y,x,z"}},
+      {"6/mmm", {"x-y,x,z", "y,x,-z", "-x,-y,-z"}},
+      {"23", {"z,x,y", "-x,-y,z"}},
+      {"m-3", {"z,x,y", "-x,-y,z", "-x,-y,-z"}},
+      {"432", {"z,x,y", "-y,x,z"}},
+      {"m-3m", {"z,x,y", "-y,x,z", "-x,-y,-z"}},
+  };
+  return table;
+}
+} // namespace
+
+PointGroup::PointGroup(const std::string& hermannMauguin) {
+  const auto& table = generatorTable();
+  const auto it = table.find(trim(hermannMauguin));
+  if (it == table.end()) {
+    std::string known;
+    for (const auto& [symbol, generators] : table) {
+      if (!known.empty()) {
+        known += ", ";
+      }
+      known += symbol;
+    }
+    throw InvalidArgument("unknown point group '" + hermannMauguin +
+                          "' (supported: " + known + ")");
+  }
+  symbol_ = it->first;
+  operations_ = {SymmetryOperation()};
+  for (const char* jones : it->second) {
+    operations_.push_back(SymmetryOperation::fromJones(jones));
+  }
+  closeUnderMultiplication();
+}
+
+PointGroup
+PointGroup::fromGenerators(std::string name,
+                           const std::vector<SymmetryOperation>& gens) {
+  PointGroup group;
+  group.symbol_ = std::move(name);
+  group.operations_ = {SymmetryOperation()};
+  group.operations_.insert(group.operations_.end(), gens.begin(), gens.end());
+  group.closeUnderMultiplication();
+  return group;
+}
+
+void PointGroup::closeUnderMultiplication() {
+  constexpr std::size_t kMaxOrder = 192;
+  // Deduplicate the seed set first.
+  std::vector<SymmetryOperation> unique;
+  for (const auto& op : operations_) {
+    bool known = false;
+    for (const auto& existing : unique) {
+      if (existing == op) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      unique.push_back(op);
+    }
+  }
+  operations_ = std::move(unique);
+
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    const std::size_t current = operations_.size();
+    for (std::size_t i = 0; i < current; ++i) {
+      for (std::size_t j = 0; j < current; ++j) {
+        const SymmetryOperation product = operations_[i] * operations_[j];
+        bool known = false;
+        for (const auto& existing : operations_) {
+          if (existing == product) {
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          operations_.push_back(product);
+          grew = true;
+          VATES_REQUIRE(operations_.size() <= kMaxOrder,
+                        "generator set does not close (order > 192)");
+        }
+      }
+    }
+  }
+}
+
+std::vector<M33> PointGroup::matrices() const {
+  std::vector<M33> out;
+  out.reserve(operations_.size());
+  for (const auto& op : operations_) {
+    out.push_back(op.matrix());
+  }
+  return out;
+}
+
+std::vector<V3> PointGroup::equivalents(const V3& hkl) const {
+  std::vector<V3> out;
+  out.reserve(operations_.size());
+  for (const auto& op : operations_) {
+    const V3 image = op.apply(hkl);
+    bool known = false;
+    for (const auto& existing : out) {
+      if (maxAbsDiff(existing, image) < 1e-9) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      out.push_back(image);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PointGroup::supportedSymbols() {
+  std::vector<std::string> symbols;
+  for (const auto& [symbol, generators] : generatorTable()) {
+    symbols.push_back(symbol);
+  }
+  return symbols;
+}
+
+} // namespace vates

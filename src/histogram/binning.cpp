@@ -1,0 +1,82 @@
+#include "vates/histogram/binning.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+namespace vates {
+
+BinAxis::BinAxis(std::string name, double min, double max, std::size_t nBins)
+    : name_(std::move(name)), min_(min), max_(max), nBins_(nBins) {
+  VATES_REQUIRE(nBins >= 1, "axis needs at least one bin");
+  VATES_REQUIRE(max > min, "axis needs max > min");
+  width_ = (max_ - min_) / static_cast<double>(nBins_);
+  inverseWidth_ = 1.0 / width_;
+}
+
+std::vector<double> BinAxis::edges() const {
+  std::vector<double> out(nBins_ + 1);
+  for (std::size_t i = 0; i <= nBins_; ++i) {
+    out[i] = edge(i);
+  }
+  out[nBins_] = max_; // exact upper edge regardless of rounding
+  return out;
+}
+
+Projection::Projection()
+    : Projection(V3{1, 0, 0}, V3{0, 1, 0}, V3{0, 0, 1}) {}
+
+Projection::Projection(const V3& u, const V3& v, const V3& w)
+    : u_(u), v_(v), w_(w), forward_(M33::fromColumns(u, v, w)) {
+  try {
+    inverse_ = inverse(forward_);
+  } catch (const NumericalError&) {
+    throw InvalidArgument("projection vectors are coplanar");
+  }
+}
+
+Projection Projection::benzilSlice() {
+  return Projection(V3{1, 1, 0}, V3{1, -1, 0}, V3{0, 0, 1});
+}
+
+std::string Projection::axisLabel(std::size_t axis) const {
+  VATES_REQUIRE(axis < 3, "axis index out of range");
+  const V3& vector = axis == 0 ? u_ : (axis == 1 ? v_ : w_);
+  // Paper-style labels: the variable letter is the HKL slot of the
+  // vector's first non-zero component, so (1,1,0) -> "[H,H]",
+  // (1,-1,0) -> "[H,-H]", (0,0,1) -> "[L]".
+  const char letters[3] = {'H', 'K', 'L'};
+  char letter = 'H';
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (vector[i] != 0.0) {
+      letter = letters[i];
+      break;
+    }
+  }
+  std::string label = "[";
+  bool first = true;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double component = vector[i];
+    if (component == 0.0) {
+      continue;
+    }
+    if (!first) {
+      label += ',';
+    }
+    if (component == 1.0) {
+      label += letter;
+    } else if (component == -1.0) {
+      label += '-';
+      label += letter;
+    } else {
+      label += strfmt("%g%c", component, letter);
+    }
+    first = false;
+  }
+  if (first) {
+    label += '0';
+  }
+  label += ']';
+  return label;
+}
+
+} // namespace vates

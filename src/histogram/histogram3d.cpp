@@ -1,0 +1,109 @@
+#include "vates/histogram/histogram3d.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vates {
+
+Histogram3D::Histogram3D(BinAxis x, BinAxis y, BinAxis z, Projection projection)
+    : xAxis_(std::move(x)), yAxis_(std::move(y)), zAxis_(std::move(z)),
+      projection_(projection), nx_(xAxis_.nBins()), ny_(yAxis_.nBins()),
+      nz_(zAxis_.nBins()), signal_(nx_ * ny_ * nz_, 0.0) {}
+
+const BinAxis& Histogram3D::axis(std::size_t dim) const {
+  VATES_REQUIRE(dim < 3, "axis index out of range");
+  return dim == 0 ? xAxis_ : (dim == 1 ? yAxis_ : zAxis_);
+}
+
+double Histogram3D::totalSignal() const noexcept {
+  double sum = 0.0;
+  for (double value : signal_) {
+    sum += value;
+  }
+  return sum;
+}
+
+std::size_t Histogram3D::nonZeroBins() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(signal_.begin(), signal_.end(),
+                    [](double v) { return v != 0.0; }));
+}
+
+void Histogram3D::fill(double value) noexcept {
+  std::fill(signal_.begin(), signal_.end(), value);
+}
+
+bool Histogram3D::sameShape(const Histogram3D& other) const noexcept {
+  return xAxis_ == other.xAxis_ && yAxis_ == other.yAxis_ &&
+         zAxis_ == other.zAxis_;
+}
+
+Histogram3D& Histogram3D::operator+=(const Histogram3D& other) {
+  VATES_REQUIRE(sameShape(other), "histogram shapes differ");
+  for (std::size_t i = 0; i < signal_.size(); ++i) {
+    signal_[i] += other.signal_[i];
+  }
+  return *this;
+}
+
+Histogram3D Histogram3D::divide(const Histogram3D& numerator,
+                                const Histogram3D& denominator,
+                                double epsilon) {
+  VATES_REQUIRE(numerator.sameShape(denominator), "histogram shapes differ");
+  Histogram3D out = numerator.emptyLike();
+  for (std::size_t i = 0; i < out.signal_.size(); ++i) {
+    const double denom = denominator.signal_[i];
+    out.signal_[i] = std::fabs(denom) > epsilon
+                         ? numerator.signal_[i] / denom
+                         : std::numeric_limits<double>::quiet_NaN();
+  }
+  return out;
+}
+
+HistogramRatio Histogram3D::divideWithErrors(
+    const Histogram3D& numerator, const Histogram3D& numeratorErrorSq,
+    const Histogram3D& denominator, double epsilon) {
+  VATES_REQUIRE(numerator.sameShape(denominator) &&
+                    numerator.sameShape(numeratorErrorSq),
+                "histogram shapes differ");
+  HistogramRatio out{numerator.emptyLike(), numerator.emptyLike()};
+  for (std::size_t i = 0; i < numerator.signal_.size(); ++i) {
+    const double denom = denominator.signal_[i];
+    if (std::fabs(denom) > epsilon) {
+      out.value.signal_[i] = numerator.signal_[i] / denom;
+      out.errorSq.signal_[i] = numeratorErrorSq.signal_[i] / (denom * denom);
+    } else {
+      out.value.signal_[i] = std::numeric_limits<double>::quiet_NaN();
+      out.errorSq.signal_[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return out;
+}
+
+Histogram3D Histogram3D::emptyLike() const {
+  return Histogram3D(xAxis_, yAxis_, zAxis_, projection_);
+}
+
+GridView Histogram3D::gridView(double* externalData) noexcept {
+  GridView view = gridShape();
+  view.data = externalData != nullptr ? externalData : signal_.data();
+  return view;
+}
+
+GridView Histogram3D::gridShape() const noexcept {
+  GridView view;
+  const BinAxis* axes[3] = {&xAxis_, &yAxis_, &zAxis_};
+  for (std::size_t a = 0; a < 3; ++a) {
+    view.min[a] = axes[a]->min();
+    view.max[a] = axes[a]->max();
+    view.inverseWidth[a] = 1.0 / axes[a]->width();
+    view.n[a] = axes[a]->nBins();
+  }
+  view.data = nullptr;
+  return view;
+}
+
+} // namespace vates

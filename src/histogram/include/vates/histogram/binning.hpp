@@ -1,0 +1,122 @@
+#pragma once
+/// \file binning.hpp
+/// Axis binning and reciprocal-space projections for MD histograms.
+///
+/// The paper's use-cases bin 2D slices: Benzil on ([H,H],[H,-H],[L]) with
+/// (603,603,1) bins, Bixbyite on ([H],[K],[L]) with (601,601,1).  A
+/// Projection maps Miller indices into histogram coordinates via the
+/// inverse of the matrix whose columns are the projection vectors; with
+/// a linear projection, detector trajectories remain straight lines in
+/// histogram space, which is what makes the plane-intersection algorithm
+/// of MDNorm valid in projected coordinates too.
+
+#include "vates/geometry/mat3.hpp"
+#include "vates/geometry/vec3.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vates {
+
+/// One histogram axis: [min, max) divided into nBins equal bins.
+class BinAxis {
+public:
+  BinAxis(std::string name, double min, double max, std::size_t nBins);
+
+  const std::string& name() const noexcept { return name_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  std::size_t nBins() const noexcept { return nBins_; }
+  double width() const noexcept { return width_; }
+
+  /// Bin index containing \p value, or nullopt when outside [min, max)
+  /// (the negated comparison also rejects NaN).
+  std::optional<std::size_t> bin(double value) const noexcept {
+    if (!(value >= min_ && value < max_)) {
+      return std::nullopt;
+    }
+    auto index = static_cast<std::size_t>((value - min_) * inverseWidth_);
+    // Guard the max_-epsilon edge case where rounding lands on nBins.
+    if (index >= nBins_) {
+      index = nBins_ - 1;
+    }
+    return index;
+  }
+
+  /// Branch-light variant for kernels: returns nBins() for out-of-range
+  /// (NaN included).
+  std::size_t binClamped(double value) const noexcept {
+    if (!(value >= min_ && value < max_)) {
+      return nBins_;
+    }
+    const auto index = static_cast<std::size_t>((value - min_) * inverseWidth_);
+    return index >= nBins_ ? nBins_ - 1 : index;
+  }
+
+  /// Lower edge of bin \p index.
+  double edge(std::size_t index) const noexcept {
+    return min_ + static_cast<double>(index) * width_;
+  }
+
+  /// Center of bin \p index.
+  double center(std::size_t index) const noexcept {
+    return edge(index) + width_ / 2.0;
+  }
+
+  /// All nBins()+1 edges, ascending.
+  std::vector<double> edges() const;
+
+  bool operator==(const BinAxis& other) const noexcept {
+    return min_ == other.min_ && max_ == other.max_ && nBins_ == other.nBins_;
+  }
+
+private:
+  std::string name_;
+  double min_;
+  double max_;
+  std::size_t nBins_;
+  double width_;
+  double inverseWidth_;
+};
+
+/// A reciprocal-space projection: three basis vectors (in HKL) defining
+/// the histogram axes.  Histogram coordinates p of a point hkl satisfy
+/// hkl = W·p where W's columns are (u, v, w); i.e. p = W⁻¹·hkl.
+class Projection {
+public:
+  /// Default: the identity projection ([H],[K],[L]) used by Bixbyite.
+  Projection();
+
+  /// From explicit basis vectors.  Throws InvalidArgument when the
+  /// vectors are coplanar (W singular).
+  Projection(const V3& u, const V3& v, const V3& w);
+
+  /// The Benzil slicing basis ([H,H,0],[H,-H,0],[0,0,L]).
+  static Projection benzilSlice();
+
+  const V3& u() const noexcept { return u_; }
+  const V3& v() const noexcept { return v_; }
+  const V3& w() const noexcept { return w_; }
+
+  /// W (columns u,v,w) and W⁻¹.
+  const M33& W() const noexcept { return forward_; }
+  const M33& Winv() const noexcept { return inverse_; }
+
+  /// hkl -> histogram coordinates.
+  V3 toProjected(const V3& hkl) const noexcept { return inverse_ * hkl; }
+
+  /// histogram coordinates -> hkl.
+  V3 toHkl(const V3& projected) const noexcept { return forward_ * projected; }
+
+  /// Human-readable axis labels like "[H,H,0]".
+  std::string axisLabel(std::size_t axis) const;
+
+private:
+  V3 u_, v_, w_;
+  M33 forward_;
+  M33 inverse_;
+};
+
+} // namespace vates

@@ -1,0 +1,64 @@
+#pragma once
+/// \file grid_view.hpp
+/// Trivially copyable view of a Histogram3D's binning and bin buffer,
+/// consumable inside kernels on any backend (no std::string, no
+/// std::vector, no virtual calls — it can be passed by value into a
+/// simulated-device kernel exactly like a CUDA kernel argument struct).
+
+#include "vates/geometry/vec3.hpp"
+
+#include <cstddef>
+
+namespace vates {
+
+struct GridView {
+  double min[3] = {0, 0, 0};
+  double max[3] = {0, 0, 0};
+  double inverseWidth[3] = {0, 0, 0};
+  std::size_t n[3] = {0, 0, 0};
+  double* data = nullptr; ///< nx·ny·nz bins, k fastest
+
+  std::size_t size() const noexcept { return n[0] * n[1] * n[2]; }
+
+  /// Bin index on one axis; returns n[axis] when out of range.  The
+  /// negated comparison rejects NaN coordinates too (NaN fails every
+  /// ordering test), which keeps corrupt event data from reaching the
+  /// undefined float→integer conversion below.
+  std::size_t axisBin(std::size_t axis, double value) const noexcept {
+    if (!(value >= min[axis] && value < max[axis])) {
+      return n[axis];
+    }
+    auto index =
+        static_cast<std::size_t>((value - min[axis]) * inverseWidth[axis]);
+    return index >= n[axis] ? n[axis] - 1 : index;
+  }
+
+  /// Flat bin index of point \p p, or size() when outside the grid.
+  std::size_t locate(const V3& p) const noexcept {
+    const std::size_t i = axisBin(0, p.x);
+    const std::size_t j = axisBin(1, p.y);
+    const std::size_t k = axisBin(2, p.z);
+    if (i == n[0] || j == n[1] || k == n[2]) {
+      return size();
+    }
+    return (i * n[1] + j) * n[2] + k;
+  }
+
+  /// True when \p value lies within [min, max) on \p axis.
+  bool inAxisRange(std::size_t axis, double value) const noexcept {
+    return value >= min[axis] && value < max[axis];
+  }
+
+  /// True when all three coordinates lie inside the box.
+  bool contains(const V3& p) const noexcept {
+    return inAxisRange(0, p.x) && inAxisRange(1, p.y) && inAxisRange(2, p.z);
+  }
+
+  /// Lower edge of plane \p planeIndex (0..n[axis]) on \p axis.
+  double planeEdge(std::size_t axis, std::size_t planeIndex) const noexcept {
+    return min[axis] +
+           static_cast<double>(planeIndex) / inverseWidth[axis];
+  }
+};
+
+} // namespace vates

@@ -1,0 +1,147 @@
+#pragma once
+/// \file histogram3d.hpp
+/// Dense 3D histogram — the counterpart of Mantid's MDHistoWorkspace.
+///
+/// Two of these carry Algorithm 1's state: the event (BinMD) histogram
+/// and the normalization (MDNorm) histogram.  Bins are plain doubles in
+/// one contiguous buffer so that (a) kernels update them with
+/// vates::atomicAdd ("bin values are thread-safe and incremented with
+/// atomic operations", §III-B), (b) MPI-style reduction is a single
+/// span-sum, and (c) I/O writes one block.
+///
+/// Indexing is row-major with the *last* axis fastest:
+/// flat = (i·ny + j)·nz + k.  The paper's 2D slices use nz = 1, making
+/// (i, j) a cache-friendly image layout.
+
+#include "vates/histogram/binning.hpp"
+#include "vates/histogram/grid_view.hpp"
+#include "vates/parallel/atomics.hpp"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vates {
+
+class Histogram3D {
+public:
+  Histogram3D(BinAxis x, BinAxis y, BinAxis z,
+              Projection projection = Projection());
+
+  const BinAxis& axis(std::size_t dim) const;
+  const Projection& projection() const noexcept { return projection_; }
+
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t nz() const noexcept { return nz_; }
+  std::size_t size() const noexcept { return signal_.size(); }
+
+  /// Flat index of bin (i, j, k); no range checking (hot path).
+  std::size_t flatIndex(std::size_t i, std::size_t j,
+                        std::size_t k) const noexcept {
+    return (i * ny_ + j) * nz_ + k;
+  }
+
+  /// Locate the bin containing projected coordinates \p p, or nullopt
+  /// when any coordinate is out of range.
+  std::optional<std::size_t> locate(const V3& p) const noexcept {
+    const auto i = xAxis_.bin(p.x);
+    const auto j = yAxis_.bin(p.y);
+    const auto k = zAxis_.bin(p.z);
+    if (!i || !j || !k) {
+      return std::nullopt;
+    }
+    return flatIndex(*i, *j, *k);
+  }
+
+  /// Thread-safe accumulate of \p weight into the bin containing \p p.
+  /// Returns true when the point landed inside the histogram.
+  bool addAtomic(const V3& p, double weight) noexcept {
+    const auto index = locate(p);
+    if (!index) {
+      return false;
+    }
+    atomicAdd(&signal_[*index], weight);
+    return true;
+  }
+
+  /// Non-atomic accumulate for single-writer contexts.
+  bool addSerial(const V3& p, double weight) noexcept {
+    const auto index = locate(p);
+    if (!index) {
+      return false;
+    }
+    signal_[*index] += weight;
+    return true;
+  }
+
+  /// Thread-safe accumulate straight into a flat index.
+  void addAtomicAt(std::size_t flat, double weight) noexcept {
+    atomicAdd(&signal_[flat], weight);
+  }
+
+  double at(std::size_t i, std::size_t j, std::size_t k) const {
+    return signal_[flatIndex(i, j, k)];
+  }
+
+  std::span<double> data() noexcept { return signal_; }
+  std::span<const double> data() const noexcept { return signal_; }
+
+  /// Sum of all bins.
+  double totalSignal() const noexcept;
+
+  /// Number of bins with a non-zero value.
+  std::size_t nonZeroBins() const noexcept;
+
+  /// Set every bin to \p value.
+  void fill(double value) noexcept;
+
+  /// Element-wise add another histogram (axes must match).
+  Histogram3D& operator+=(const Histogram3D& other);
+
+  /// True when axes and projection basis sizes match.
+  bool sameShape(const Histogram3D& other) const noexcept;
+
+  /// Bin-wise ratio numerator/denominator — the cross-section of
+  /// Algorithm 1.  Bins where the denominator is below \p epsilon yield
+  /// NaN (uncovered regions of reciprocal space, masked downstream).
+  static Histogram3D divide(const Histogram3D& numerator,
+                            const Histogram3D& denominator,
+                            double epsilon = 1e-300);
+
+  /// Ratio with first-order error propagation (see HistogramRatio
+  /// below).  The normalization is treated as exact (a geometric/flux
+  /// integral, not a counted quantity), so σ²(S/N) = σ²(S)/N².
+  static struct HistogramRatio
+  divideWithErrors(const Histogram3D& numerator,
+                   const Histogram3D& numeratorErrorSq,
+                   const Histogram3D& denominator, double epsilon = 1e-300);
+
+  /// A zeroed copy with the same axes/projection.
+  Histogram3D emptyLike() const;
+
+  /// Kernel view over this histogram's binning and buffer.  With
+  /// \p externalData non-null the view's bins point elsewhere (e.g. a
+  /// device-resident buffer) while keeping this histogram's binning.
+  GridView gridView(double* externalData = nullptr) noexcept;
+
+  /// Binning-only view (data pointer null) for read-only geometry use.
+  GridView gridShape() const noexcept;
+
+private:
+  BinAxis xAxis_;
+  BinAxis yAxis_;
+  BinAxis zAxis_;
+  Projection projection_;
+  std::size_t nx_, ny_, nz_;
+  std::vector<double> signal_;
+};
+
+/// Result of Histogram3D::divideWithErrors.
+struct HistogramRatio {
+  Histogram3D value;
+  Histogram3D errorSq;
+};
+
+} // namespace vates

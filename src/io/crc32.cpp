@@ -1,0 +1,31 @@
+#include "vates/io/crc32.hpp"
+
+#include <array>
+
+namespace vates {
+
+namespace {
+std::array<std::uint32_t, 256> buildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value & 1u) ? (0xEDB88320u ^ (value >> 1)) : (value >> 1);
+    }
+    table[i] = value;
+  }
+  return table;
+}
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = buildTable();
+  const auto* bytePointer = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    crc = table[(crc ^ bytePointer[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+} // namespace vates

@@ -1,0 +1,117 @@
+#include "vates/io/event_file.hpp"
+
+#include "vates/io/nxlite.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vates {
+
+namespace {
+void writeRunMetadata(nx::Writer& writer, const RunInfo& run) {
+  writer.writeFloat64("goniometer", run.goniometerR.m, {3, 3});
+  writer.writeScalar("proton_charge", run.protonCharge);
+  const double band[2] = {run.kMin, run.kMax};
+  writer.writeFloat64("momentum_band", band);
+  writer.writeScalar("run_index", static_cast<double>(run.runIndex));
+}
+
+RunInfo readRunMetadata(nx::Reader& reader, const std::string& path) {
+  RunInfo run;
+  const auto goniometer = reader.readFloat64("goniometer");
+  if (goniometer.size() != 9) {
+    throw IOError("goniometer dataset in " + path + " is not 3 x 3");
+  }
+  std::copy(goniometer.begin(), goniometer.end(), run.goniometerR.m.begin());
+  run.protonCharge = reader.readScalar("proton_charge");
+  const auto band = reader.readFloat64("momentum_band");
+  if (band.size() != 2) {
+    throw IOError("momentum_band dataset in " + path + " is not length 2");
+  }
+  run.kMin = band[0];
+  run.kMax = band[1];
+  run.runIndex = static_cast<std::uint32_t>(reader.readScalar("run_index"));
+  return run;
+}
+} // namespace
+
+void saveRunFile(const std::string& path, const RunInfo& run,
+                 const EventTable& events) {
+  nx::Writer writer(path);
+
+  // Events as an N×8 row-major block (one row per event), the on-disk
+  // layout the UpdateEvents stage transposes on load.
+  std::vector<double> rows(events.size() * EventTable::kColumns);
+  events.toRowMajor(rows);
+  writer.writeFloat64("events", rows,
+                      {static_cast<std::uint64_t>(events.size()),
+                       EventTable::kColumns});
+  writeRunMetadata(writer, run);
+  writer.close();
+}
+
+RunFileContent loadRunFile(const std::string& path) {
+  nx::Reader reader(path);
+
+  const auto& eventsInfo = reader.info("events");
+  if (eventsInfo.shape.size() != 2 ||
+      eventsInfo.shape[1] != EventTable::kColumns) {
+    throw IOError("events dataset in " + path + " is not N x 8");
+  }
+  const std::vector<double> rows = reader.readFloat64("events");
+
+  RunFileContent content;
+  // The row-major -> column-major transpose (UpdateEvents).
+  content.events = EventTable::fromRowMajor(rows);
+  content.run = readRunMetadata(reader, path);
+  return content;
+}
+
+void saveRawRunFile(const std::string& path, const RunInfo& run,
+                    const RawEventList& events) {
+  nx::Writer writer(path);
+  // NeXus event-mode layout: one contiguous dataset per field.
+  writer.writeUInt32("event_id", events.detectorIds());
+  writer.writeFloat64("event_time_offset", events.tofs());
+  writer.writeUInt32("event_pulse_index", events.pulseIndices());
+  writer.writeFloat64("event_weight", events.weights());
+  writeRunMetadata(writer, run);
+  writer.close();
+}
+
+RawRunFileContent loadRawRunFile(const std::string& path) {
+  nx::Reader reader(path);
+  const auto detectors = reader.readUInt32("event_id");
+  const auto tofs = reader.readFloat64("event_time_offset");
+  const auto pulses = reader.readUInt32("event_pulse_index");
+  const auto weights = reader.readFloat64("event_weight");
+  if (tofs.size() != detectors.size() || pulses.size() != detectors.size() ||
+      weights.size() != detectors.size()) {
+    throw IOError("raw event datasets in " + path + " disagree in length");
+  }
+  RawRunFileContent content;
+  content.events.reserve(detectors.size());
+  for (std::size_t i = 0; i < detectors.size(); ++i) {
+    content.events.append(detectors[i], tofs[i], pulses[i], weights[i]);
+  }
+  content.run = readRunMetadata(reader, path);
+  return content;
+}
+
+std::string runFilePath(const std::string& directory,
+                        const std::string& workloadName,
+                        std::size_t fileIndex) {
+  return directory + "/" + workloadName + "_run_" +
+         strfmt("%04zu", fileIndex) + ".nxl";
+}
+
+std::string rawRunFilePath(const std::string& directory,
+                           const std::string& workloadName,
+                           std::size_t fileIndex) {
+  return directory + "/" + workloadName + "_raw_" +
+         strfmt("%04zu", fileIndex) + ".nxl";
+}
+
+} // namespace vates

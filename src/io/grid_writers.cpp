@@ -1,0 +1,130 @@
+#include "vates/io/grid_writers.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+namespace vates {
+
+void writeCsvSlice(const std::string& path, const Histogram3D& histogram,
+                   std::size_t zIndex) {
+  VATES_REQUIRE(zIndex < histogram.nz(), "z index out of range");
+  std::ofstream stream(path, std::ios::trunc);
+  if (!stream) {
+    throw IOError("cannot create CSV file: " + path);
+  }
+  const auto& proj = histogram.projection();
+  stream << "# x=" << proj.axisLabel(0) << " [" << histogram.axis(0).min()
+         << ',' << histogram.axis(0).max() << ")"
+         << " y=" << proj.axisLabel(1) << " [" << histogram.axis(1).min()
+         << ',' << histogram.axis(1).max() << ")"
+         << " z-slice=" << zIndex << '\n';
+  for (std::size_t j = 0; j < histogram.ny(); ++j) {
+    for (std::size_t i = 0; i < histogram.nx(); ++i) {
+      if (i > 0) {
+        stream << ',';
+      }
+      const double value = histogram.at(i, j, zIndex);
+      if (std::isnan(value)) {
+        stream << "nan";
+      } else {
+        stream << value;
+      }
+    }
+    stream << '\n';
+  }
+  if (!stream) {
+    throw IOError("write failure on CSV file: " + path);
+  }
+}
+
+void writePgmSlice(const std::string& path, const Histogram3D& histogram,
+                   std::size_t zIndex, bool logScale) {
+  VATES_REQUIRE(zIndex < histogram.nz(), "z index out of range");
+  const std::size_t nx = histogram.nx();
+  const std::size_t ny = histogram.ny();
+
+  // Scan finite range.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double value = histogram.at(i, j, zIndex);
+      if (std::isfinite(value)) {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+      }
+    }
+  }
+  if (!(hi > lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+
+  auto tone = [&](double value) -> unsigned char {
+    if (!std::isfinite(value)) {
+      return 0;
+    }
+    double normalized;
+    if (logScale) {
+      const double floor = std::max(lo, hi * 1e-6);
+      const double clamped = std::max(value, floor);
+      normalized = std::log(clamped / floor) / std::log(hi / floor);
+    } else {
+      normalized = (value - lo) / (hi - lo);
+    }
+    normalized = std::clamp(normalized, 0.0, 1.0);
+    return static_cast<unsigned char>(std::lround(normalized * 255.0));
+  };
+
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream) {
+    throw IOError("cannot create PGM file: " + path);
+  }
+  stream << "P5\n" << nx << ' ' << ny << "\n255\n";
+  std::vector<unsigned char> row(nx);
+  for (std::size_t j = 0; j < ny; ++j) {
+    // Flip vertically so increasing y renders upward like the paper's plots.
+    const std::size_t jj = ny - 1 - j;
+    for (std::size_t i = 0; i < nx; ++i) {
+      row[i] = tone(histogram.at(i, jj, zIndex));
+    }
+    stream.write(reinterpret_cast<const char*>(row.data()),
+                 static_cast<std::streamsize>(row.size()));
+  }
+  if (!stream) {
+    throw IOError("write failure on PGM file: " + path);
+  }
+}
+
+SliceStats computeSliceStats(const Histogram3D& histogram, std::size_t zIndex) {
+  VATES_REQUIRE(zIndex < histogram.nz(), "z index out of range");
+  SliceStats stats;
+  stats.minValue = std::numeric_limits<double>::infinity();
+  stats.maxValue = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (std::size_t j = 0; j < histogram.ny(); ++j) {
+    for (std::size_t i = 0; i < histogram.nx(); ++i) {
+      const double value = histogram.at(i, j, zIndex);
+      if (std::isfinite(value)) {
+        ++stats.coveredBins;
+        stats.minValue = std::min(stats.minValue, value);
+        stats.maxValue = std::max(stats.maxValue, value);
+        sum += value;
+      } else {
+        ++stats.emptyBins;
+      }
+    }
+  }
+  if (stats.coveredBins == 0) {
+    stats.minValue = stats.maxValue = 0.0;
+  } else {
+    stats.meanValue = sum / static_cast<double>(stats.coveredBins);
+  }
+  return stats;
+}
+
+} // namespace vates

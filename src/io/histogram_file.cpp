@@ -1,0 +1,94 @@
+#include "vates/io/histogram_file.hpp"
+
+#include "vates/io/nxlite.hpp"
+#include "vates/support/error.hpp"
+
+#include <vector>
+
+namespace vates {
+
+void writeHistogram(nx::Writer& writer, const std::string& prefix,
+                    const Histogram3D& histogram) {
+  // Axis metadata: per axis (min, max, nBins) plus the projection basis
+  // so projected coordinates keep their meaning on reload.
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    const BinAxis& binAxis = histogram.axis(axis);
+    const double meta[3] = {binAxis.min(), binAxis.max(),
+                            static_cast<double>(binAxis.nBins())};
+    writer.writeFloat64(prefix + "_axis" + std::to_string(axis), meta);
+  }
+  const Projection& projection = histogram.projection();
+  const double basis[9] = {
+      projection.u().x, projection.u().y, projection.u().z,
+      projection.v().x, projection.v().y, projection.v().z,
+      projection.w().x, projection.w().y, projection.w().z,
+  };
+  writer.writeFloat64(prefix + "_projection", basis, {3, 3});
+  writer.writeFloat64(prefix + "_data", histogram.data(),
+                      {static_cast<std::uint64_t>(histogram.nx()),
+                       static_cast<std::uint64_t>(histogram.ny()),
+                       static_cast<std::uint64_t>(histogram.nz())});
+}
+
+Histogram3D readHistogram(nx::Reader& reader, const std::string& prefix) {
+  BinAxis axes[3] = {BinAxis("x", 0, 1, 1), BinAxis("y", 0, 1, 1),
+                     BinAxis("z", 0, 1, 1)};
+  static const char* kNames[3] = {"x", "y", "z"};
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    const auto meta =
+        reader.readFloat64(prefix + "_axis" + std::to_string(axis));
+    if (meta.size() != 3) {
+      throw IOError("malformed axis metadata for histogram '" + prefix + "'");
+    }
+    axes[axis] = BinAxis(kNames[axis], meta[0], meta[1],
+                         static_cast<std::size_t>(meta[2]));
+  }
+  const auto basis = reader.readFloat64(prefix + "_projection");
+  if (basis.size() != 9) {
+    throw IOError("malformed projection for histogram '" + prefix + "'");
+  }
+  const Projection projection(V3{basis[0], basis[1], basis[2]},
+                              V3{basis[3], basis[4], basis[5]},
+                              V3{basis[6], basis[7], basis[8]});
+
+  Histogram3D histogram(axes[0], axes[1], axes[2], projection);
+  const auto data = reader.readFloat64(prefix + "_data");
+  if (data.size() != histogram.size()) {
+    throw IOError("histogram data size mismatch for '" + prefix + "'");
+  }
+  std::copy(data.begin(), data.end(), histogram.data().begin());
+  return histogram;
+}
+
+void saveHistogram(const std::string& path, const Histogram3D& histogram) {
+  nx::Writer writer(path);
+  writeHistogram(writer, "histogram", histogram);
+  writer.close();
+}
+
+Histogram3D loadHistogram(const std::string& path) {
+  nx::Reader reader(path);
+  return readHistogram(reader, "histogram");
+}
+
+void saveReducedData(const std::string& path, const Histogram3D& signal,
+                     const Histogram3D& normalization,
+                     const Histogram3D& crossSection) {
+  VATES_REQUIRE(signal.sameShape(normalization) &&
+                    signal.sameShape(crossSection),
+                "reduced data histograms disagree in shape");
+  nx::Writer writer(path);
+  writeHistogram(writer, "signal", signal);
+  writeHistogram(writer, "normalization", normalization);
+  writeHistogram(writer, "cross_section", crossSection);
+  writer.close();
+}
+
+ReducedData loadReducedData(const std::string& path) {
+  nx::Reader reader(path);
+  return ReducedData{readHistogram(reader, "signal"),
+                     readHistogram(reader, "normalization"),
+                     readHistogram(reader, "cross_section")};
+}
+
+} // namespace vates

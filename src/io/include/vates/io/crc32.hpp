@@ -1,0 +1,17 @@
+#pragma once
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to verify every
+/// nxlite dataset block — the stand-in for HDF5's checksum filters, and
+/// the hook the failure-injection tests corrupt on purpose.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vates {
+
+/// CRC of a byte range, optionally continuing from a previous value
+/// (pass the previous return value as \p seed to chain blocks).
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed = 0);
+
+} // namespace vates

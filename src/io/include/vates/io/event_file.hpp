@@ -1,0 +1,59 @@
+#pragma once
+/// \file event_file.hpp
+/// Run-file save/load on top of nxlite — the SaveMD / LoadEventNexus
+/// counterpart.  One file per experiment run holds the row-major 8×N
+/// event block plus the run metadata ("events, rotations, charge, ..."
+/// of Algorithm 1's LOAD step).
+///
+/// loadRunFile() is the measured **UpdateEvents** stage of Tables
+/// III–VI: it reads the contiguous event block and transposes it from
+/// on-disk row-major into the in-memory column-major EventTable, just
+/// like both of the paper's proxies ("both proxies use wrappers over the
+/// C HDF5 API and transpose a 2D array from row-major to column-major").
+
+#include "vates/events/event_table.hpp"
+#include "vates/events/generator.hpp"
+#include "vates/events/raw_events.hpp"
+
+#include <string>
+
+namespace vates {
+
+struct RunFileContent {
+  RunInfo run;
+  EventTable events;
+};
+
+/// Raw-event variant: the stage-(ii) DAQ stream before ConvertToMD.
+struct RawRunFileContent {
+  RunInfo run;
+  RawEventList events;
+};
+
+/// Write one run to \p path (nxlite container).
+void saveRunFile(const std::string& path, const RunInfo& run,
+                 const EventTable& events);
+
+/// Read one run back; verifies checksums and metadata presence.
+RunFileContent loadRunFile(const std::string& path);
+
+/// Write one *raw* run (detector ids, TOFs, pulse indices, weights) to
+/// \p path — the NeXus event-mode layout: one dataset per field.
+void saveRawRunFile(const std::string& path, const RunInfo& run,
+                    const RawEventList& events);
+
+/// Read a raw run back; verifies checksums and field presence.
+RawRunFileContent loadRawRunFile(const std::string& path);
+
+/// The canonical file name of run \p fileIndex inside \p directory
+/// ("<workload>_run_<index>.nxl").
+std::string runFilePath(const std::string& directory,
+                        const std::string& workloadName,
+                        std::size_t fileIndex);
+
+/// Raw-run variant ("<workload>_raw_<index>.nxl").
+std::string rawRunFilePath(const std::string& directory,
+                           const std::string& workloadName,
+                           std::size_t fileIndex);
+
+} // namespace vates

@@ -1,0 +1,43 @@
+#pragma once
+/// \file grid_writers.hpp
+/// Plain-text and image output of histogram slices, used to regenerate
+/// the paper's Fig. 4 panels and to let users plot cross-sections with
+/// numpy/matplotlib as the artifact description suggests.
+
+#include "vates/histogram/histogram3d.hpp"
+
+#include <string>
+
+namespace vates {
+
+/// Write the z = \p zIndex slice as CSV: a header row with the axis
+/// labels and extents, then ny rows × nx columns of values.  NaN bins
+/// (uncovered space) are written as "nan".
+void writeCsvSlice(const std::string& path, const Histogram3D& histogram,
+                   std::size_t zIndex = 0);
+
+/// Write the z = \p zIndex slice as an 8-bit PGM image with optional
+/// log scaling (good for Bragg patterns whose dynamic range spans
+/// decades).  NaN bins render black.
+void writePgmSlice(const std::string& path, const Histogram3D& histogram,
+                   std::size_t zIndex = 0, bool logScale = true);
+
+/// Summary statistics of a slice, for textual experiment reports.
+struct SliceStats {
+  std::size_t coveredBins = 0;  ///< bins with finite values
+  std::size_t emptyBins = 0;    ///< NaN / uncovered bins
+  double minValue = 0.0;
+  double maxValue = 0.0;
+  double meanValue = 0.0;
+  double coverage() const noexcept {
+    const std::size_t total = coveredBins + emptyBins;
+    return total == 0 ? 0.0
+                      : static_cast<double>(coveredBins) /
+                            static_cast<double>(total);
+  }
+};
+
+SliceStats computeSliceStats(const Histogram3D& histogram,
+                             std::size_t zIndex = 0);
+
+} // namespace vates

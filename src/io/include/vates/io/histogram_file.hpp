@@ -1,0 +1,47 @@
+#pragma once
+/// \file histogram_file.hpp
+/// Persisting reduced histograms — the counterpart of Garnet's HDF5
+/// output file ("the reduced and normalized data scientists would use
+/// for further analysis", paper artifact description A₁).
+///
+/// A reduction file stores the signal, normalization and cross-section
+/// histograms with full binning/projection metadata, so an analysis
+/// session (or Mantid, in the real workflow) can reload them without
+/// the raw events.
+
+#include "vates/histogram/histogram3d.hpp"
+
+#include <string>
+
+namespace vates {
+
+namespace nx {
+class Writer;
+class Reader;
+} // namespace nx
+
+/// Write one histogram under \p prefix ("<prefix>_data",
+/// "<prefix>_axis0" ... metadata datasets) into an open nxlite writer.
+void writeHistogram(nx::Writer& writer, const std::string& prefix,
+                    const Histogram3D& histogram);
+
+/// Read one histogram written by writeHistogram().
+Histogram3D readHistogram(nx::Reader& reader, const std::string& prefix);
+
+/// Standalone single-histogram file.
+void saveHistogram(const std::string& path, const Histogram3D& histogram);
+Histogram3D loadHistogram(const std::string& path);
+
+/// The full reduction output: signal + normalization + cross-section.
+struct ReducedData {
+  Histogram3D signal;
+  Histogram3D normalization;
+  Histogram3D crossSection;
+};
+
+void saveReducedData(const std::string& path, const Histogram3D& signal,
+                     const Histogram3D& normalization,
+                     const Histogram3D& crossSection);
+ReducedData loadReducedData(const std::string& path);
+
+} // namespace vates

@@ -1,0 +1,120 @@
+#pragma once
+/// \file nxlite.hpp
+/// "nxlite" — a minimal NeXus/HDF5 stand-in.
+///
+/// No HDF5 library is available in this environment, so raw event runs
+/// are stored in a purpose-built container that reproduces the access
+/// pattern the paper's UpdateEvents stage measures: named,
+/// shape-annotated, checksummed binary datasets read as one contiguous
+/// block each.  The format is deliberately simple:
+///
+///   [8]  magic  "NXLITE01"
+///   [4]  u32    dataset count (patched at close)
+///   per dataset:
+///     [2]  u16    name length, then the name bytes (UTF-8)
+///     [1]  u8     dtype (0 = f64, 1 = u64, 2 = u32)
+///     [1]  u8     rank (<= 4)
+///     [8]*rank    u64 dimensions
+///     [8]  u64    payload bytes
+///     [..] payload (little-endian, row-major)
+///     [4]  u32    CRC-32 of the payload
+///
+/// Readers scan the dataset directory once at open and read payloads on
+/// demand; every read verifies the CRC and throws vates::IOError on any
+/// corruption, truncation, or type/shape mismatch.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vates::nx {
+
+enum class DType : std::uint8_t { Float64 = 0, UInt64 = 1, UInt32 = 2 };
+
+/// Size of one element of \p dtype in bytes.
+std::size_t dtypeSize(DType dtype) noexcept;
+
+struct DatasetInfo {
+  std::string name;
+  DType dtype = DType::Float64;
+  std::vector<std::uint64_t> shape;
+
+  std::uint64_t elements() const noexcept;
+  std::uint64_t bytes() const noexcept { return elements() * dtypeSize(dtype); }
+};
+
+/// Streaming writer; datasets are appended in call order.  The count
+/// field is patched when close() (or the destructor) runs.
+class Writer {
+public:
+  explicit Writer(const std::string& path);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void writeFloat64(const std::string& name, std::span<const double> data,
+                    std::vector<std::uint64_t> shape = {});
+  void writeUInt64(const std::string& name,
+                   std::span<const std::uint64_t> data,
+                   std::vector<std::uint64_t> shape = {});
+  void writeUInt32(const std::string& name,
+                   std::span<const std::uint32_t> data,
+                   std::vector<std::uint64_t> shape = {});
+
+  /// Scalar convenience.
+  void writeScalar(const std::string& name, double value);
+
+  /// Flush, patch the dataset count, and close the file.  Idempotent.
+  void close();
+
+private:
+  void writeRaw(const std::string& name, DType dtype, const void* data,
+                std::size_t bytes, std::vector<std::uint64_t> shape,
+                std::uint64_t elements);
+
+  std::ofstream stream_;
+  std::string path_;
+  std::uint32_t count_ = 0;
+  bool closed_ = false;
+};
+
+/// Random-access reader.
+class Reader {
+public:
+  explicit Reader(const std::string& path);
+
+  /// Directory of all datasets in file order.
+  const std::vector<DatasetInfo>& datasets() const noexcept { return infos_; }
+
+  bool has(const std::string& name) const noexcept;
+
+  /// Info for a named dataset; throws IOError when absent.
+  const DatasetInfo& info(const std::string& name) const;
+
+  std::vector<double> readFloat64(const std::string& name);
+  std::vector<std::uint64_t> readUInt64(const std::string& name);
+  std::vector<std::uint32_t> readUInt32(const std::string& name);
+
+  /// Scalar convenience (1-element Float64 dataset).
+  double readScalar(const std::string& name);
+
+private:
+  struct Entry {
+    DatasetInfo info;
+    std::streampos payloadOffset;
+  };
+
+  const Entry& entry(const std::string& name) const;
+  void readPayload(const Entry& e, void* destination, std::size_t bytes);
+
+  std::string path_;
+  std::ifstream stream_;
+  std::vector<DatasetInfo> infos_;
+  std::map<std::string, Entry> entries_;
+};
+
+} // namespace vates::nx

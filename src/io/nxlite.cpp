@@ -1,0 +1,277 @@
+#include "vates/io/nxlite.hpp"
+
+#include "vates/io/crc32.hpp"
+#include "vates/support/error.hpp"
+
+#include <cstring>
+
+namespace vates::nx {
+
+namespace {
+constexpr char kMagic[8] = {'N', 'X', 'L', 'I', 'T', 'E', '0', '1'};
+constexpr std::uint8_t kMaxRank = 4;
+
+template <typename T>
+void writePod(std::ofstream& stream, const T& value) {
+  stream.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T readPod(std::ifstream& stream, const std::string& path) {
+  T value{};
+  stream.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!stream) {
+    throw IOError("truncated nxlite file: " + path);
+  }
+  return value;
+}
+} // namespace
+
+std::size_t dtypeSize(DType dtype) noexcept {
+  switch (dtype) {
+  case DType::Float64: return 8;
+  case DType::UInt64:  return 8;
+  case DType::UInt32:  return 4;
+  }
+  return 0;
+}
+
+std::uint64_t DatasetInfo::elements() const noexcept {
+  std::uint64_t product = 1;
+  for (std::uint64_t dim : shape) {
+    product *= dim;
+  }
+  return product;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+Writer::Writer(const std::string& path)
+    : stream_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!stream_) {
+    throw IOError("cannot create nxlite file: " + path);
+  }
+  stream_.write(kMagic, sizeof(kMagic));
+  writePod(stream_, count_); // patched by close()
+}
+
+Writer::~Writer() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; a failed close leaves a file that the
+    // Reader will reject via its magic/count validation.
+  }
+}
+
+void Writer::writeRaw(const std::string& name, DType dtype, const void* data,
+                      std::size_t bytes, std::vector<std::uint64_t> shape,
+                      std::uint64_t elements) {
+  VATES_REQUIRE(!closed_, "write after close on nxlite file " + path_);
+  VATES_REQUIRE(!name.empty() && name.size() <= 0xFFFF,
+                "dataset name must be 1..65535 bytes");
+  if (shape.empty()) {
+    shape = {elements};
+  }
+  VATES_REQUIRE(shape.size() <= kMaxRank, "dataset rank must be <= 4");
+  std::uint64_t shapeElements = 1;
+  for (std::uint64_t dim : shape) {
+    shapeElements *= dim;
+  }
+  VATES_REQUIRE(shapeElements == elements,
+                "shape does not match the data size for dataset " + name);
+
+  const auto nameLength = static_cast<std::uint16_t>(name.size());
+  writePod(stream_, nameLength);
+  stream_.write(name.data(), nameLength);
+  writePod(stream_, static_cast<std::uint8_t>(dtype));
+  writePod(stream_, static_cast<std::uint8_t>(shape.size()));
+  for (std::uint64_t dim : shape) {
+    writePod(stream_, dim);
+  }
+  writePod(stream_, static_cast<std::uint64_t>(bytes));
+  stream_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  writePod(stream_, crc32(data, bytes));
+  if (!stream_) {
+    throw IOError("write failure on nxlite file: " + path_);
+  }
+  ++count_;
+}
+
+void Writer::writeFloat64(const std::string& name, std::span<const double> data,
+                          std::vector<std::uint64_t> shape) {
+  writeRaw(name, DType::Float64, data.data(), data.size_bytes(),
+           std::move(shape), data.size());
+}
+
+void Writer::writeUInt64(const std::string& name,
+                         std::span<const std::uint64_t> data,
+                         std::vector<std::uint64_t> shape) {
+  writeRaw(name, DType::UInt64, data.data(), data.size_bytes(),
+           std::move(shape), data.size());
+}
+
+void Writer::writeUInt32(const std::string& name,
+                         std::span<const std::uint32_t> data,
+                         std::vector<std::uint64_t> shape) {
+  writeRaw(name, DType::UInt32, data.data(), data.size_bytes(),
+           std::move(shape), data.size());
+}
+
+void Writer::writeScalar(const std::string& name, double value) {
+  writeFloat64(name, std::span<const double>(&value, 1));
+}
+
+void Writer::close() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  stream_.seekp(sizeof(kMagic), std::ios::beg);
+  writePod(stream_, count_);
+  stream_.flush();
+  if (!stream_) {
+    throw IOError("close failure on nxlite file: " + path_);
+  }
+  stream_.close();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+Reader::Reader(const std::string& path)
+    : path_(path), stream_(path, std::ios::binary) {
+  if (!stream_) {
+    throw IOError("cannot open nxlite file: " + path);
+  }
+  // File size for truncation detection during the directory scan
+  // (seekg past EOF does not fail, so extents must be checked).
+  stream_.seekg(0, std::ios::end);
+  const auto fileSize = static_cast<std::uint64_t>(stream_.tellg());
+  stream_.seekg(0, std::ios::beg);
+
+  char magic[sizeof(kMagic)] = {};
+  stream_.read(magic, sizeof(magic));
+  if (!stream_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw IOError("not an nxlite file (bad magic): " + path);
+  }
+  const auto count = readPod<std::uint32_t>(stream_, path_);
+
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto nameLength = readPod<std::uint16_t>(stream_, path_);
+    std::string name(nameLength, '\0');
+    stream_.read(name.data(), nameLength);
+    if (!stream_) {
+      throw IOError("truncated nxlite file: " + path_);
+    }
+    const auto dtypeRaw = readPod<std::uint8_t>(stream_, path_);
+    if (dtypeRaw > static_cast<std::uint8_t>(DType::UInt32)) {
+      throw IOError("unknown dtype in nxlite file: " + path_);
+    }
+    const auto rank = readPod<std::uint8_t>(stream_, path_);
+    if (rank > kMaxRank) {
+      throw IOError("invalid dataset rank in nxlite file: " + path_);
+    }
+    DatasetInfo info;
+    info.name = name;
+    info.dtype = static_cast<DType>(dtypeRaw);
+    info.shape.resize(rank);
+    for (auto& dim : info.shape) {
+      dim = readPod<std::uint64_t>(stream_, path_);
+    }
+    const auto payloadBytes = readPod<std::uint64_t>(stream_, path_);
+    if (payloadBytes != info.bytes()) {
+      throw IOError("dataset size/shape mismatch in nxlite file: " + path_);
+    }
+    const std::streampos payloadOffset = stream_.tellg();
+    const auto payloadEnd = static_cast<std::uint64_t>(payloadOffset) +
+                            payloadBytes + sizeof(std::uint32_t);
+    if (payloadEnd > fileSize) {
+      throw IOError("truncated nxlite file: " + path_);
+    }
+    stream_.seekg(static_cast<std::streamoff>(payloadBytes) +
+                      static_cast<std::streamoff>(sizeof(std::uint32_t)),
+                  std::ios::cur);
+    if (!stream_) {
+      throw IOError("truncated nxlite file: " + path_);
+    }
+    if (entries_.contains(name)) {
+      throw IOError("duplicate dataset '" + name + "' in " + path_);
+    }
+    entries_.emplace(name, Entry{info, payloadOffset});
+    infos_.push_back(std::move(info));
+  }
+}
+
+bool Reader::has(const std::string& name) const noexcept {
+  return entries_.contains(name);
+}
+
+const DatasetInfo& Reader::info(const std::string& name) const {
+  return entry(name).info;
+}
+
+const Reader::Entry& Reader::entry(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw IOError("dataset '" + name + "' not found in " + path_);
+  }
+  return it->second;
+}
+
+void Reader::readPayload(const Entry& e, void* destination, std::size_t bytes) {
+  stream_.clear();
+  stream_.seekg(e.payloadOffset);
+  stream_.read(static_cast<char*>(destination),
+               static_cast<std::streamsize>(bytes));
+  if (!stream_) {
+    throw IOError("truncated dataset '" + e.info.name + "' in " + path_);
+  }
+  const auto storedCrc = readPod<std::uint32_t>(stream_, path_);
+  const std::uint32_t actualCrc = crc32(destination, bytes);
+  if (storedCrc != actualCrc) {
+    throw IOError("CRC mismatch for dataset '" + e.info.name + "' in " +
+                  path_ + " (file is corrupt)");
+  }
+}
+
+std::vector<double> Reader::readFloat64(const std::string& name) {
+  const Entry& e = entry(name);
+  if (e.info.dtype != DType::Float64) {
+    throw IOError("dataset '" + name + "' is not Float64 in " + path_);
+  }
+  std::vector<double> data(e.info.elements());
+  readPayload(e, data.data(), data.size() * sizeof(double));
+  return data;
+}
+
+std::vector<std::uint64_t> Reader::readUInt64(const std::string& name) {
+  const Entry& e = entry(name);
+  if (e.info.dtype != DType::UInt64) {
+    throw IOError("dataset '" + name + "' is not UInt64 in " + path_);
+  }
+  std::vector<std::uint64_t> data(e.info.elements());
+  readPayload(e, data.data(), data.size() * sizeof(std::uint64_t));
+  return data;
+}
+
+std::vector<std::uint32_t> Reader::readUInt32(const std::string& name) {
+  const Entry& e = entry(name);
+  if (e.info.dtype != DType::UInt32) {
+    throw IOError("dataset '" + name + "' is not UInt32 in " + path_);
+  }
+  std::vector<std::uint32_t> data(e.info.elements());
+  readPayload(e, data.data(), data.size() * sizeof(std::uint32_t));
+  return data;
+}
+
+double Reader::readScalar(const std::string& name) {
+  const auto data = readFloat64(name);
+  if (data.size() != 1) {
+    throw IOError("dataset '" + name + "' is not a scalar in " + path_);
+  }
+  return data[0];
+}
+
+} // namespace vates::nx

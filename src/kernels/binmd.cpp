@@ -1,0 +1,85 @@
+#include "vates/kernels/binmd.hpp"
+
+#include "vates/parallel/atomics.hpp"
+#include "vates/support/error.hpp"
+
+namespace vates {
+
+void runBinMD(const Executor& executor, const BinMDInputs& inputs,
+              const GridView& histogram) {
+  VATES_REQUIRE(histogram.data != nullptr, "histogram view has no data");
+  if (inputs.nEvents == 0 || inputs.transforms.empty()) {
+    return;
+  }
+  VATES_REQUIRE(inputs.qx != nullptr && inputs.qy != nullptr &&
+                    inputs.qz != nullptr && inputs.signal != nullptr,
+                "event columns must be non-null");
+
+  const M33* transforms = inputs.transforms.data();
+  const std::size_t nOps = inputs.transforms.size();
+  const double* qx = inputs.qx;
+  const double* qy = inputs.qy;
+  const double* qz = inputs.qz;
+  const double* signal = inputs.signal;
+  const GridView grid = histogram;
+
+  executor.parallelFor2D(
+      nOps, inputs.nEvents,
+      [=](std::size_t op, std::size_t event) {
+        const V3 q{qx[event], qy[event], qz[event]};
+        const V3 p = transforms[op] * q;
+        const std::size_t bin = grid.locate(p);
+        if (bin < grid.size()) {
+          atomicAdd(&grid.data[bin], signal[event]);
+        }
+      },
+      "binmd");
+}
+
+void runBinMD(const Executor& executor, const BinMDInputs& inputs,
+              const GridView& histogram, const GridView& errorSqHistogram) {
+  VATES_REQUIRE(histogram.data != nullptr, "histogram view has no data");
+  VATES_REQUIRE(errorSqHistogram.data != nullptr,
+                "error histogram view has no data");
+  VATES_REQUIRE(histogram.size() == errorSqHistogram.size(),
+                "signal and error histograms disagree in shape");
+  if (inputs.nEvents == 0 || inputs.transforms.empty()) {
+    return;
+  }
+  VATES_REQUIRE(inputs.qx != nullptr && inputs.qy != nullptr &&
+                    inputs.qz != nullptr && inputs.signal != nullptr &&
+                    inputs.errorSq != nullptr,
+                "event columns (incl. errorSq) must be non-null");
+
+  const M33* transforms = inputs.transforms.data();
+  const std::size_t nOps = inputs.transforms.size();
+  const double* qx = inputs.qx;
+  const double* qy = inputs.qy;
+  const double* qz = inputs.qz;
+  const double* signal = inputs.signal;
+  const double* errorSq = inputs.errorSq;
+  const GridView grid = histogram;
+  const GridView errorGrid = errorSqHistogram;
+
+  executor.parallelFor2D(
+      nOps, inputs.nEvents,
+      [=](std::size_t op, std::size_t event) {
+        const V3 q{qx[event], qy[event], qz[event]};
+        const V3 p = transforms[op] * q;
+        const std::size_t bin = grid.locate(p);
+        if (bin < grid.size()) {
+          atomicAdd(&grid.data[bin], signal[event]);
+          atomicAdd(&errorGrid.data[bin], errorSq[event]);
+        }
+      },
+      "binmd_with_errors");
+}
+
+void runBinMDIdentity(const Executor& executor, const M33& transform,
+                      const BinMDInputs& inputs, const GridView& histogram) {
+  BinMDInputs single = inputs;
+  single.transforms = std::span<const M33>(&transform, 1);
+  runBinMD(executor, single, histogram);
+}
+
+} // namespace vates

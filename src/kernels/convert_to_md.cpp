@@ -1,0 +1,116 @@
+#include "vates/kernels/convert_to_md.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/units/units.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace vates {
+
+EventTable convertToMD(const Executor& executor, const Instrument& instrument,
+                       const DetectorMask* mask, const RunInfo& run,
+                       const RawEventList& raw, const ConvertOptions& options) {
+  if (mask != nullptr) {
+    VATES_REQUIRE(mask->size() == instrument.nDetectors(),
+                  "mask size does not match the instrument");
+  }
+  const std::size_t n = raw.size();
+  EventTable table(n);
+
+  // Conversion is part of the host-side load stage; a device executor
+  // would imply staging host tables it immediately throws away.
+  const Executor hostExecutor =
+      executor.backend() == Backend::DeviceSim
+          ? Executor(Backend::ThreadPool, executor.pool(), executor.device())
+          : executor;
+
+  const std::uint32_t* detectors = raw.detectorIds().data();
+  const double* tofs = raw.tofs().data();
+  const double* weights = raw.weights().data();
+  const V3* qDirections = instrument.qLabDirections().data();
+  const double* flightPaths = instrument.totalFlightPaths().data();
+  const double* twoThetas = instrument.twoThetas().data();
+  const std::uint8_t* maskFlags = mask != nullptr ? mask->flags().data() : nullptr;
+
+  double* outSignal = table.column(EventTable::Signal).data();
+  double* outErrorSq = table.column(EventTable::ErrorSq).data();
+  double* outRun = table.column(EventTable::RunIndex).data();
+  double* outDetector = table.column(EventTable::DetectorId).data();
+  double* outGoniometer = table.column(EventTable::GoniometerIndex).data();
+  double* outQx = table.column(EventTable::Qx).data();
+  double* outQy = table.column(EventTable::Qy).data();
+  double* outQz = table.column(EventTable::Qz).data();
+
+  const M33 rInverse = run.goniometerR.transposed();
+  const auto runIndexValue = static_cast<double>(run.runIndex);
+  const double kMin = run.kMin;
+  const double kMax = run.kMax;
+  const bool lorentz = options.lorentzCorrection;
+  const bool filterBand = options.filterMomentumBand;
+  constexpr double kRejected = std::numeric_limits<double>::infinity();
+
+  hostExecutor.parallelFor(
+      n,
+      [=](std::size_t i) {
+        const std::uint32_t detector = detectors[i];
+        outRun[i] = runIndexValue;
+        outGoniometer[i] = runIndexValue;
+        outDetector[i] = static_cast<double>(detector);
+
+        const bool masked = maskFlags != nullptr && maskFlags[detector] != 0;
+        const double lambda =
+            units::kHoverM * (tofs[i] * 1e-6) / flightPaths[detector];
+        const double k = units::kTwoPi / lambda;
+        const bool outOfBand = filterBand && (k < kMin || k > kMax);
+
+        if (masked || outOfBand || !(lambda > 0.0)) {
+          outSignal[i] = 0.0;
+          outErrorSq[i] = 0.0;
+          outQx[i] = kRejected;
+          outQy[i] = kRejected;
+          outQz[i] = kRejected;
+          return;
+        }
+
+        double weight = weights[i];
+        if (lorentz) {
+          const double sinHalf = std::sin(0.5 * twoThetas[detector]);
+          const double lambda2 = lambda * lambda;
+          weight *= (sinHalf * sinHalf) / (lambda2 * lambda2);
+        }
+
+        const V3 qLab = qDirections[detector] * k;
+        const V3 qSample = rInverse * qLab;
+        outSignal[i] = weight;
+        outErrorSq[i] = weight;
+        outQx[i] = qSample.x;
+        outQy[i] = qSample.y;
+        outQz[i] = qSample.z;
+      },
+      "convert_to_md");
+
+  return table;
+}
+
+std::size_t compactEvents(EventTable& events) {
+  const std::size_t n = events.size();
+  EventTable compacted;
+  compacted.reserve(n);
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const V3 q = events.qSample(i);
+    if (std::isinf(q.x)) {
+      ++removed;
+      continue;
+    }
+    compacted.append(events.signal(i), events.errorSq(i),
+                     static_cast<double>(events.runIndex(i)),
+                     static_cast<double>(events.detectorId(i)),
+                     static_cast<double>(events.runIndex(i)), q);
+  }
+  events = std::move(compacted);
+  return removed;
+}
+
+} // namespace vates

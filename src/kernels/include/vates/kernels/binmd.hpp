@@ -1,0 +1,50 @@
+#pragma once
+/// \file binmd.hpp
+/// The BinMD kernel (paper Listings 2 and 3): histogram the neutron
+/// events.
+///
+/// One flattened 2D iteration space over (symmetry op × event); each
+/// work item transforms the event's sample-frame Q by the pre-composed
+/// per-op matrix and atomically accumulates the event's signal into the
+/// containing bin — the direct C++ translation of Listing 3's
+/// JACC.parallel_for with atomic_push!.
+
+#include "vates/geometry/mat3.hpp"
+#include "vates/histogram/grid_view.hpp"
+#include "vates/parallel/executor.hpp"
+
+#include <span>
+
+namespace vates {
+
+/// Inputs for one run's BinMD.  The event columns are raw pointers so
+/// the caller can hand either host memory (CPU backends) or
+/// device-resident arrays (Backend::DeviceSim) without copies.
+struct BinMDInputs {
+  std::span<const M33> transforms; ///< one per symmetry op (B_op)
+  const double* qx = nullptr;
+  const double* qy = nullptr;
+  const double* qz = nullptr;
+  const double* signal = nullptr;
+  /// Optional squared-error column; required when an error histogram is
+  /// passed to runBinMD (Mantid propagates σ² alongside every signal).
+  const double* errorSq = nullptr;
+  std::size_t nEvents = 0;
+};
+
+/// Accumulate the run's events into \p histogram (atomic adds; safe to
+/// call repeatedly for many runs into the same buffer).
+void runBinMD(const Executor& executor, const BinMDInputs& inputs,
+              const GridView& histogram);
+
+/// Variant that also accumulates the events' squared errors into
+/// \p errorSqHistogram (same binning; σ² adds linearly for independent
+/// counts).  inputs.errorSq must be non-null.
+void runBinMD(const Executor& executor, const BinMDInputs& inputs,
+              const GridView& histogram, const GridView& errorSqHistogram);
+
+/// Single-op convenience used by tests: bin events without symmetry.
+void runBinMDIdentity(const Executor& executor, const M33& transform,
+                      const BinMDInputs& inputs, const GridView& histogram);
+
+} // namespace vates

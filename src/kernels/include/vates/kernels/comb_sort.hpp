@@ -1,0 +1,84 @@
+#pragma once
+/// \file comb_sort.hpp
+/// Allocation-free in-kernel sorting.
+///
+/// MDNorm must sort each detector's trajectory intersections by
+/// momentum *inside* the parallel kernel.  The paper settles on comb
+/// sort after experimentation, because (a) GPU-side library sorts launch
+/// their own kernels and can't be called from inside one, and (b)
+/// standard-library sorts allocate scratch, which is disastrous in a
+/// repeatedly-launched kernel (§III-B).  The same constraints are real
+/// for our simulated device, so comb sort it is.
+///
+/// Two flavors implement the paper's data-structure ablation (§III-B,
+/// "instead of sorting an array of structs, we sort an array of
+/// indices using primitive types"):
+///   - combSortKeys()    — sorts a primitive key array together with a
+///                         parallel index array (the proxies' choice);
+///   - combSortStructs() — sorts an array of arbitrary PODs by a key
+///                         accessor (the Mantid-style baseline).
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace vates {
+
+namespace detail {
+/// The classic gap sequence: shrink by 1.3, never below 1.
+inline std::size_t nextGap(std::size_t gap) noexcept {
+  gap = (gap * 10) / 13;
+  return gap < 1 ? 1 : gap;
+}
+} // namespace detail
+
+/// Sort \p keys[0..n) ascending, applying every swap to \p indices too
+/// (pass nullptr to sort keys alone).  No allocation, O(n²) worst case
+/// but ~O(n log n) in practice — intersections lists are nearly sorted
+/// already because planes are visited axis-by-axis.
+inline void combSortKeys(double* keys, std::uint32_t* indices,
+                         std::size_t n) noexcept {
+  if (n < 2) {
+    return;
+  }
+  std::size_t gap = n;
+  bool swapped = true;
+  while (gap > 1 || swapped) {
+    gap = detail::nextGap(gap);
+    swapped = false;
+    for (std::size_t i = 0; i + gap < n; ++i) {
+      const std::size_t j = i + gap;
+      if (keys[j] < keys[i]) {
+        std::swap(keys[i], keys[j]);
+        if (indices != nullptr) {
+          std::swap(indices[i], indices[j]);
+        }
+        swapped = true;
+      }
+    }
+  }
+}
+
+/// Sort \p items[0..n) ascending by \p key(item).  POD-friendly, no
+/// allocation; each swap moves the whole struct (the ablation baseline).
+template <typename T, typename KeyFn>
+inline void combSortStructs(T* items, std::size_t n, KeyFn&& key) noexcept {
+  if (n < 2) {
+    return;
+  }
+  std::size_t gap = n;
+  bool swapped = true;
+  while (gap > 1 || swapped) {
+    gap = detail::nextGap(gap);
+    swapped = false;
+    for (std::size_t i = 0; i + gap < n; ++i) {
+      const std::size_t j = i + gap;
+      if (key(items[j]) < key(items[i])) {
+        std::swap(items[i], items[j]);
+        swapped = true;
+      }
+    }
+  }
+}
+
+} // namespace vates

@@ -1,0 +1,53 @@
+#pragma once
+/// \file convert_to_md.hpp
+/// ConvertToMD: raw (detector, TOF) events → sample-frame Q events.
+///
+/// This is the LoadEventNexus→MDEventWorkspace transformation that
+/// precedes MDNorm/BinMD in the Garnet workflow (paper Fig. 3).  Per
+/// event:
+///   λ  = (h/mₙ)·TOF / flightPath(detector)        (units module)
+///   k  = 2π/λ
+///   Q_lab    = k · (beamDir − detDir(detector))
+///   Q_sample = R⁻¹ · Q_lab
+/// with optional single-crystal Lorentz correction
+///   weight *= sin²θ / λ⁴
+/// (Mantid's LorentzCorrection flag), optional wavelength-band
+/// filtering, and detector-mask filtering.  Filtered events keep their
+/// table row but carry zero weight and +inf coordinates so every
+/// downstream bin lookup rejects them; compactEvents() removes the
+/// rows when a dense table is wanted.
+///
+/// The kernel runs through the portable Executor; conversion is a
+/// host-side stage in the paper's workflow (part of UpdateEvents), so a
+/// DeviceSim executor is transparently downgraded to the CPU pool
+/// rather than faking a device launch over host-resident arrays.
+
+#include "vates/events/event_table.hpp"
+#include "vates/events/generator.hpp"
+#include "vates/events/raw_events.hpp"
+#include "vates/geometry/detector_mask.hpp"
+#include "vates/geometry/instrument.hpp"
+#include "vates/parallel/executor.hpp"
+
+namespace vates {
+
+struct ConvertOptions {
+  /// Apply the single-crystal Lorentz factor sin²θ/λ⁴.
+  bool lorentzCorrection = false;
+  /// Drop events whose momentum falls outside the run's [kMin, kMax].
+  bool filterMomentumBand = true;
+};
+
+/// Convert a raw event list for one run.  \p mask may be nullptr (no
+/// masking).  Returns a table with one row per raw event, filtered rows
+/// zero-weighted (see file comment).
+EventTable convertToMD(const Executor& executor, const Instrument& instrument,
+                       const DetectorMask* mask, const RunInfo& run,
+                       const RawEventList& raw,
+                       const ConvertOptions& options = {});
+
+/// Remove zero-weight/+inf rows produced by conversion filtering.
+/// Returns the number of removed events.
+std::size_t compactEvents(EventTable& events);
+
+} // namespace vates

@@ -1,0 +1,53 @@
+#pragma once
+/// \file intersections.hpp
+/// Trajectory/grid-plane intersection calculation — the inner loops of
+/// the paper's Listing 1.
+///
+/// For elastic TOF diffraction, detector d's locus in histogram space
+/// as the incident momentum sweeps [kMin, kMax] is the straight ray
+/// p(k) = k·t, where t folds together the goniometer, UB, symmetry
+/// operation and slicing projection (see transforms.hpp).  MDNorm needs
+/// every crossing of that segment with the histogram's H-, K- and
+/// L-bin planes, plus the segment endpoints when they lie inside the
+/// box — at most n[0]+n[1]+n[2]+2 points, "< hBins + kBins + lBins + 2"
+/// in the paper's annotation.
+///
+/// Two search strategies implement the paper's §III-B algorithmic
+/// improvement ("improving the complexity of linear searches with a
+/// more adaptable region-of-interest strategy"):
+///   - Linear: test every plane of every axis (Mantid-style);
+///   - Roi:    compute the index interval of planes the segment can
+///             cross on each axis and visit only those.
+
+#include "vates/geometry/vec3.hpp"
+#include "vates/histogram/grid_view.hpp"
+
+#include <cstddef>
+
+namespace vates {
+
+/// One trajectory/plane crossing: position in histogram coordinates and
+/// the momentum at which it occurs.  POD, device-friendly.
+struct Intersection {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  double k = 0.0;
+};
+
+enum class PlaneSearch : int { Linear = 0, Roi = 1 };
+
+/// Upper bound on intersections for \p grid (callers size scratch with
+/// this): n[0]+n[1]+n[2] plane crossings + 2 endpoints.
+inline std::size_t maxIntersections(const GridView& grid) noexcept {
+  return grid.n[0] + grid.n[1] + grid.n[2] + 2 + 3; // +3: both edges of each axis
+}
+
+/// Compute all crossings of p(k) = k·t for k in [kMin, kMax] with the
+/// grid's bin planes (plus in-box endpoints), unsorted, into \p out
+/// (capacity >= maxIntersections(grid)).  Returns the count.
+std::size_t calculateIntersections(const GridView& grid, const V3& t,
+                                   double kMin, double kMax,
+                                   PlaneSearch strategy, Intersection* out);
+
+} // namespace vates

@@ -1,0 +1,76 @@
+#pragma once
+/// \file mdnorm.hpp
+/// The MDNorm kernel (paper Listing 1): accumulate the normalization
+/// denominator of the differential scattering cross-section.
+///
+/// For every (symmetry operation × detector) — parallelized as one
+/// flattened 2D iteration space, the collapse(2) of Listing 1 — the
+/// kernel:
+///   1. forms the trajectory direction t = N_op · qLabDirection(d),
+///   2. computes the grid-plane intersections of p(k) = k·t over the
+///      run's momentum band (intersections.hpp),
+///   3. sorts them by momentum with allocation-free comb sort,
+///   4. walks adjacent pairs, depositing
+///         solidAngle(d) · protonCharge · (Φ(k₂) − Φ(k₁))
+///      into the bin containing the segment midpoint (atomically).
+///
+/// The normalization depends only on geometry and incident flux — not
+/// on the events — which is why Algorithm 1 can accumulate it per run
+/// independently of BinMD.
+
+#include "vates/flux/flux_spectrum.hpp"
+#include "vates/geometry/mat3.hpp"
+#include "vates/geometry/vec3.hpp"
+#include "vates/histogram/grid_view.hpp"
+#include "vates/kernels/intersections.hpp"
+#include "vates/parallel/executor.hpp"
+
+#include <cstdint>
+#include <span>
+
+namespace vates {
+
+/// Algorithm variants, for the §III-B ablations.
+struct MDNormOptions {
+  /// Plane search: Roi (the proxies' improvement) or Linear (Mantid).
+  PlaneSearch search = PlaneSearch::Roi;
+  /// Sort primitive momentum keys (the proxies' improvement) instead of
+  /// whole Intersection structs (Mantid-style).
+  bool sortPrimitiveKeys = true;
+};
+
+/// Everything the kernel reads for one run.  All pointers/views must
+/// stay valid for the duration of run(); when executing on
+/// Backend::DeviceSim the caller stages them in device arrays and the
+/// GridView's data pointer refers to the device-resident histogram.
+struct MDNormInputs {
+  std::span<const M33> transforms;      ///< one per symmetry op (incl. R⁻¹)
+  std::span<const V3> qLabDirections;   ///< per detector
+  std::span<const double> solidAngles;  ///< per detector
+  FluxTableView flux;                   ///< integrated incident flux
+  double protonCharge = 1.0;
+  double kMin = 0.0;
+  double kMax = 0.0;
+  /// Optional per-detector mask (1 = skip), length == nDetectors;
+  /// masked pixels contribute no normalization, matching the masked
+  /// events dropped by ConvertToMD.
+  const std::uint8_t* detectorMask = nullptr;
+};
+
+/// Run MDNorm for one run, accumulating into \p normalization (which
+/// must expose a writable data pointer).  Thread-safe accumulation via
+/// atomics; safe to call for many runs into the same histogram.
+void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
+               const GridView& normalization, const MDNormOptions& options = {});
+
+/// The paper's pre-allocation estimator: the device workflow launches
+/// one extra kernel per file to bound the intersection count before the
+/// main kernel runs ("to avoid excessive allocation, an additional
+/// kernel ... is called before the main MDNorm kernel").  Returns the
+/// maximum intersections any (op × detector) work item produces.
+std::size_t estimateMaxIntersections(const Executor& executor,
+                                     const MDNormInputs& inputs,
+                                     const GridView& grid,
+                                     PlaneSearch search = PlaneSearch::Roi);
+
+} // namespace vates

@@ -1,0 +1,37 @@
+#pragma once
+/// \file symmetrize.hpp
+/// Post-hoc histogram symmetrization — the bin-level alternative to the
+/// kernels' event-level symmetry loop.
+///
+/// The symmetry-operation loop is the dominant cost multiplier in both
+/// MDNorm and BinMD (×6 for Benzil, ×24 for Bixbyite — the outer loop
+/// of Listings 1–3).  An alternative the production ecosystem also
+/// offers (Mantid's SymmetriseMDHisto) is to reduce with the identity
+/// operation only and *fold* the finished histograms over the point
+/// group afterwards: O(bins × ops) instead of O(work-items × ops).
+///
+/// The fold is a gather: every output bin sums the input bins whose
+/// centers are the symmetry images of its own center.  Applied to the
+/// signal and normalization histograms separately (before the
+/// division), it reproduces the event-level result up to bin-center
+/// discretization — exact only when bin boundaries are themselves
+/// symmetric.  bench_ablation_symmetrize quantifies both the speedup
+/// and the discretization error.
+
+#include "vates/geometry/mat3.hpp"
+#include "vates/histogram/binning.hpp"
+#include "vates/histogram/histogram3d.hpp"
+#include "vates/parallel/executor.hpp"
+
+#include <span>
+
+namespace vates {
+
+/// Fold \p input over the operations: output bin b receives
+/// Σ_op input[bin containing W⁻¹·op·W·center(b)] (missing images
+/// contribute nothing).  Race-free gather; runs on any backend.
+Histogram3D symmetrizeFold(const Executor& executor, const Histogram3D& input,
+                           std::span<const M33> symmetryOps,
+                           const Projection& projection);
+
+} // namespace vates

@@ -1,0 +1,38 @@
+#pragma once
+/// \file transforms.hpp
+/// Pre-composed transform tables for the kernels.
+///
+/// Folding every per-(run, symmetry-op) matrix product out of the hot
+/// loops is one of the proxies' algorithmic clean-ups over the
+/// monolithic workflow: kernels see one matrix per operation.
+///
+///  - BinMD: events store Q_sample, so the per-op transform is
+///        B_op = W⁻¹ · op · (U·B)⁻¹ / 2π
+///    (projected coordinates from a sample-frame Q).
+///  - MDNorm: trajectories are expressed through the lab-frame detector
+///    direction, so the goniometer joins the chain:
+///        N_op = W⁻¹ · op · (U·B)⁻¹ · R⁻¹ / 2π
+///    and detector d's ray direction is t = N_op · qLabDirection(d).
+
+#include "vates/geometry/mat3.hpp"
+#include "vates/geometry/oriented_lattice.hpp"
+#include "vates/geometry/symmetry.hpp"
+#include "vates/histogram/binning.hpp"
+
+#include <span>
+#include <vector>
+
+namespace vates {
+
+/// Per-op transforms for BinMD (sample-frame Q -> projected coords).
+std::vector<M33> binMdTransforms(const Projection& projection,
+                                 const OrientedLattice& lattice,
+                                 std::span<const M33> symmetryOps);
+
+/// Per-op transforms for MDNorm on one run (lab-frame Q -> projected).
+std::vector<M33> mdNormTransforms(const Projection& projection,
+                                  const OrientedLattice& lattice,
+                                  std::span<const M33> symmetryOps,
+                                  const M33& goniometerR);
+
+} // namespace vates

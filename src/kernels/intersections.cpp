@@ -1,0 +1,98 @@
+#include "vates/kernels/intersections.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vates {
+
+namespace {
+constexpr double kParallelTolerance = 1e-12;
+
+/// Closed-interval containment with a hair of slack for points that sit
+/// exactly on a boundary plane (they belong to the trajectory's hull).
+inline bool insideAxisClosed(const GridView& grid, std::size_t axis,
+                             double value) noexcept {
+  const double slack = 1e-9 / grid.inverseWidth[axis];
+  return value >= grid.min[axis] - slack && value <= grid.max[axis] + slack;
+}
+
+inline bool insideBoxClosed(const GridView& grid, const V3& p) noexcept {
+  return insideAxisClosed(grid, 0, p.x) && insideAxisClosed(grid, 1, p.y) &&
+         insideAxisClosed(grid, 2, p.z);
+}
+
+/// Test one candidate plane crossing and append it if valid.
+inline void tryPlane(const GridView& grid, const V3& t, double kMin,
+                     double kMax, std::size_t axis, std::size_t plane,
+                     double inverseT, Intersection* out,
+                     std::size_t& count) noexcept {
+  const double edge = grid.planeEdge(axis, plane);
+  const double k = edge * inverseT;
+  if (k < kMin || k > kMax) {
+    return;
+  }
+  const V3 p = t * k;
+  // The crossing must lie within the box on the other two axes.
+  for (std::size_t other = 0; other < 3; ++other) {
+    if (other != axis && !insideAxisClosed(grid, other, p[other])) {
+      return;
+    }
+  }
+  out[count++] = Intersection{p.x, p.y, p.z, k};
+}
+} // namespace
+
+std::size_t calculateIntersections(const GridView& grid, const V3& t,
+                                   double kMin, double kMax,
+                                   PlaneSearch strategy, Intersection* out) {
+  std::size_t count = 0;
+
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    const double tAxis = t[axis];
+    if (std::fabs(tAxis) < kParallelTolerance) {
+      continue; // ray parallel to this axis' planes: no crossings
+    }
+    const double inverseT = 1.0 / tAxis;
+    const std::size_t nPlanes = grid.n[axis] + 1;
+
+    if (strategy == PlaneSearch::Linear) {
+      // Mantid-style: test every plane of the axis.
+      for (std::size_t plane = 0; plane < nPlanes; ++plane) {
+        tryPlane(grid, t, kMin, kMax, axis, plane, inverseT, out, count);
+      }
+    } else {
+      // Region-of-interest: only the plane-index interval the segment
+      // can reach.  Coordinate range swept on this axis over the band:
+      const double c1 = kMin * tAxis;
+      const double c2 = kMax * tAxis;
+      const double lo = std::max(std::min(c1, c2), grid.min[axis]);
+      const double hi = std::min(std::max(c1, c2), grid.max[axis]);
+      if (lo > hi) {
+        continue; // segment never enters this axis' extent
+      }
+      const double w = grid.inverseWidth[axis];
+      auto first = static_cast<std::ptrdiff_t>(
+          std::ceil((lo - grid.min[axis]) * w - 1e-9));
+      auto last = static_cast<std::ptrdiff_t>(
+          std::floor((hi - grid.min[axis]) * w + 1e-9));
+      first = std::max<std::ptrdiff_t>(first, 0);
+      last = std::min<std::ptrdiff_t>(last,
+                                      static_cast<std::ptrdiff_t>(grid.n[axis]));
+      for (std::ptrdiff_t plane = first; plane <= last; ++plane) {
+        tryPlane(grid, t, kMin, kMax, axis, static_cast<std::size_t>(plane),
+                 inverseT, out, count);
+      }
+    }
+  }
+
+  // Segment endpoints inside the box bound the first/last partial bins.
+  for (const double kEnd : {kMin, kMax}) {
+    const V3 p = t * kEnd;
+    if (insideBoxClosed(grid, p)) {
+      out[count++] = Intersection{p.x, p.y, p.z, kEnd};
+    }
+  }
+  return count;
+}
+
+} // namespace vates

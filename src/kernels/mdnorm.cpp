@@ -1,0 +1,159 @@
+#include "vates/kernels/mdnorm.hpp"
+
+#include "vates/kernels/comb_sort.hpp"
+#include "vates/parallel/atomics.hpp"
+#include "vates/support/error.hpp"
+
+#include <vector>
+
+namespace vates {
+
+namespace {
+
+/// Per-thread scratch, grown once and reused across work items and runs
+/// (Per.14/Per.15: no allocation on the critical branch after warm-up).
+/// thread_local covers every backend: OpenMP threads, the pool workers,
+/// and the simulated device's block executors.
+struct Scratch {
+  std::vector<Intersection> intersections;
+  std::vector<double> keys;
+
+  void ensure(std::size_t capacity) {
+    if (intersections.size() < capacity) {
+      intersections.resize(capacity);
+      keys.resize(capacity);
+    }
+  }
+};
+
+Scratch& scratch() {
+  thread_local Scratch instance;
+  return instance;
+}
+
+} // namespace
+
+void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
+               const GridView& normalization, const MDNormOptions& options) {
+  VATES_REQUIRE(normalization.data != nullptr, "normalization view has no data");
+  VATES_REQUIRE(inputs.qLabDirections.size() == inputs.solidAngles.size(),
+                "detector arrays disagree in length");
+  VATES_REQUIRE(inputs.kMax > inputs.kMin && inputs.kMin > 0.0,
+                "need 0 < kMin < kMax");
+
+  const std::size_t nOps = inputs.transforms.size();
+  const std::size_t nDetectors = inputs.qLabDirections.size();
+  const std::size_t capacity = maxIntersections(normalization);
+
+  const M33* transforms = inputs.transforms.data();
+  const V3* qDirections = inputs.qLabDirections.data();
+  const double* solidAngles = inputs.solidAngles.data();
+  const FluxTableView flux = inputs.flux;
+  const double charge = inputs.protonCharge;
+  const double kMin = inputs.kMin;
+  const double kMax = inputs.kMax;
+  const GridView grid = normalization;
+  const PlaneSearch search = options.search;
+  const bool primitiveKeys = options.sortPrimitiveKeys;
+  const std::uint8_t* mask = inputs.detectorMask;
+
+  executor.parallelFor2D(
+      nOps, nDetectors,
+      [=](std::size_t op, std::size_t detector) {
+        if (mask != nullptr && mask[detector] != 0) {
+          return;
+        }
+        Scratch& s = scratch();
+        s.ensure(capacity);
+        Intersection* buffer = s.intersections.data();
+
+        const V3 t = transforms[op] * qDirections[detector];
+        const std::size_t count =
+            calculateIntersections(grid, t, kMin, kMax, search, buffer);
+        if (count < 2) {
+          return;
+        }
+
+        const double weightFactor = solidAngles[detector] * charge;
+
+        if (primitiveKeys) {
+          // Proxy-style: extract the momentum keys and sort only them;
+          // positions are recomputed from the ray parameterization.
+          double* keys = s.keys.data();
+          for (std::size_t i = 0; i < count; ++i) {
+            keys[i] = buffer[i].k;
+          }
+          combSortKeys(keys, nullptr, count);
+          for (std::size_t i = 0; i + 1 < count; ++i) {
+            const double k1 = keys[i];
+            const double k2 = keys[i + 1];
+            if (k2 <= k1) {
+              continue;
+            }
+            const double deposit = weightFactor * flux.bandIntegral(k1, k2);
+            if (deposit <= 0.0) {
+              continue;
+            }
+            const V3 mid = t * (0.5 * (k1 + k2));
+            const std::size_t bin = grid.locate(mid);
+            if (bin < grid.size()) {
+              atomicAdd(&grid.data[bin], deposit);
+            }
+          }
+        } else {
+          // Mantid-style ablation: sort whole structs, use stored
+          // positions for the midpoint (numerically identical since the
+          // ray passes through the origin).
+          combSortStructs(buffer, count,
+                          [](const Intersection& p) { return p.k; });
+          for (std::size_t i = 0; i + 1 < count; ++i) {
+            const Intersection& a = buffer[i];
+            const Intersection& b = buffer[i + 1];
+            if (b.k <= a.k) {
+              continue;
+            }
+            const double deposit = weightFactor * flux.bandIntegral(a.k, b.k);
+            if (deposit <= 0.0) {
+              continue;
+            }
+            const V3 mid{0.5 * (a.x + b.x), 0.5 * (a.y + b.y),
+                         0.5 * (a.z + b.z)};
+            const std::size_t bin = grid.locate(mid);
+            if (bin < grid.size()) {
+              atomicAdd(&grid.data[bin], deposit);
+            }
+          }
+        }
+      },
+      "mdnorm");
+}
+
+std::size_t estimateMaxIntersections(const Executor& executor,
+                                     const MDNormInputs& inputs,
+                                     const GridView& grid,
+                                     PlaneSearch search) {
+  const std::size_t nOps = inputs.transforms.size();
+  const std::size_t nDetectors = inputs.qLabDirections.size();
+  const std::size_t capacity = maxIntersections(grid);
+
+  const M33* transforms = inputs.transforms.data();
+  const V3* qDirections = inputs.qLabDirections.data();
+  const double kMin = inputs.kMin;
+  const double kMax = inputs.kMax;
+
+  return executor.parallelReduce(
+      nOps * nDetectors, std::size_t{0},
+      [=](std::size_t flat) {
+        Scratch& s = scratch();
+        s.ensure(capacity);
+        const std::size_t op = flat / nDetectors;
+        const std::size_t detector = flat % nDetectors;
+        const V3 t = transforms[op] * qDirections[detector];
+        return calculateIntersections(grid, t, kMin, kMax, search,
+                                      s.intersections.data());
+      },
+      [](std::size_t a, std::size_t b) { return a > b ? a : b; },
+      "mdnorm_max_intersections");
+}
+
+} // namespace vates

@@ -1,0 +1,61 @@
+#include "vates/kernels/symmetrize.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <vector>
+
+namespace vates {
+
+Histogram3D symmetrizeFold(const Executor& executor, const Histogram3D& input,
+                           std::span<const M33> symmetryOps,
+                           const Projection& projection) {
+  VATES_REQUIRE(!symmetryOps.empty(), "need at least one symmetry operation");
+
+  // Pre-compose per-op maps in projected coordinates:
+  // p' = W⁻¹ · op · W · p.
+  std::vector<M33> projectedOps;
+  projectedOps.reserve(symmetryOps.size());
+  for (const M33& op : symmetryOps) {
+    projectedOps.push_back(projection.Winv() * op * projection.W());
+  }
+
+  Histogram3D output = input.emptyLike();
+  // gridView() needs a mutable histogram; the kernel only reads through
+  // this view.
+  const GridView source = const_cast<Histogram3D&>(input).gridView();
+  const GridView target = output.gridView();
+  const M33* ops = projectedOps.data();
+  const std::size_t nOps = projectedOps.size();
+  const std::size_t ny = target.n[1];
+  const std::size_t nz = target.n[2];
+
+  executor.parallelFor(
+      output.size(),
+      [=](std::size_t flat) {
+        // Decompose the flat index into (i, j, k) and form the center.
+        const std::size_t k = flat % nz;
+        const std::size_t j = (flat / nz) % ny;
+        const std::size_t i = flat / (nz * ny);
+        const V3 center{
+            target.min[0] + (static_cast<double>(i) + 0.5) /
+                                target.inverseWidth[0],
+            target.min[1] + (static_cast<double>(j) + 0.5) /
+                                target.inverseWidth[1],
+            target.min[2] + (static_cast<double>(k) + 0.5) /
+                                target.inverseWidth[2],
+        };
+        double sum = 0.0;
+        for (std::size_t op = 0; op < nOps; ++op) {
+          const V3 image = ops[op] * center;
+          const std::size_t bin = source.locate(image);
+          if (bin < source.size()) {
+            sum += source.data[bin];
+          }
+        }
+        target.data[flat] = sum; // sole writer of this bin: no atomics
+      },
+      "symmetrize_fold");
+  return output;
+}
+
+} // namespace vates

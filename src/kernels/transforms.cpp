@@ -1,0 +1,34 @@
+#include "vates/kernels/transforms.hpp"
+
+#include "vates/units/units.hpp"
+
+namespace vates {
+
+std::vector<M33> binMdTransforms(const Projection& projection,
+                                 const OrientedLattice& lattice,
+                                 std::span<const M33> symmetryOps) {
+  const double inv2Pi = 1.0 / units::kTwoPi;
+  std::vector<M33> transforms;
+  transforms.reserve(symmetryOps.size());
+  for (const M33& op : symmetryOps) {
+    transforms.push_back((projection.Winv() * op * lattice.UBinv()) * inv2Pi);
+  }
+  return transforms;
+}
+
+std::vector<M33> mdNormTransforms(const Projection& projection,
+                                  const OrientedLattice& lattice,
+                                  std::span<const M33> symmetryOps,
+                                  const M33& goniometerR) {
+  const double inv2Pi = 1.0 / units::kTwoPi;
+  const M33 rInverse = goniometerR.transposed();
+  std::vector<M33> transforms;
+  transforms.reserve(symmetryOps.size());
+  for (const M33& op : symmetryOps) {
+    transforms.push_back(
+        (projection.Winv() * op * lattice.UBinv() * rInverse) * inv2Pi);
+  }
+  return transforms;
+}
+
+} // namespace vates

@@ -1,0 +1,77 @@
+#include "vates/parallel/backend.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cstdlib>
+
+namespace vates {
+
+const char* backendName(Backend backend) noexcept {
+  switch (backend) {
+  case Backend::Serial:     return "serial";
+  case Backend::OpenMP:     return "openmp";
+  case Backend::ThreadPool: return "threads";
+  case Backend::DeviceSim:  return "devicesim";
+  }
+  return "unknown";
+}
+
+Backend parseBackend(const std::string& name) {
+  const std::string lower = toLower(trim(name));
+  Backend backend;
+  if (lower == "serial") {
+    backend = Backend::Serial;
+  } else if (lower == "openmp" || lower == "omp") {
+    backend = Backend::OpenMP;
+  } else if (lower == "threads" || lower == "pool" || lower == "threadpool") {
+    backend = Backend::ThreadPool;
+  } else if (lower == "devicesim" || lower == "device" || lower == "gpu-sim" ||
+             lower == "gpu") {
+    backend = Backend::DeviceSim;
+  } else {
+    throw InvalidArgument("unknown backend '" + name + "' (available: " +
+                          availableBackendList() + ")");
+  }
+  if (!backendAvailable(backend)) {
+    throw Unsupported(std::string("backend '") + backendName(backend) +
+                      "' is not available in this build");
+  }
+  return backend;
+}
+
+bool backendAvailable(Backend backend) noexcept {
+#ifdef VATES_HAS_OPENMP
+  (void)backend;
+  return true;
+#else
+  return backend != Backend::OpenMP;
+#endif
+}
+
+Backend defaultBackend() {
+  if (const char* env = std::getenv("VATES_BACKEND"); env != nullptr) {
+    return parseBackend(env);
+  }
+#ifdef VATES_HAS_OPENMP
+  return Backend::OpenMP;
+#else
+  return Backend::ThreadPool;
+#endif
+}
+
+std::string availableBackendList() {
+  std::string list;
+  for (Backend b : {Backend::Serial, Backend::OpenMP, Backend::ThreadPool,
+                    Backend::DeviceSim}) {
+    if (backendAvailable(b)) {
+      if (!list.empty()) {
+        list += ", ";
+      }
+      list += backendName(b);
+    }
+  }
+  return list;
+}
+
+} // namespace vates

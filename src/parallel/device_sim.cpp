@@ -1,0 +1,171 @@
+#include "vates/parallel/device_sim.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/timer.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace vates {
+
+namespace {
+DeviceOptions optionsFromEnvironment() {
+  DeviceOptions options;
+  if (const char* env = std::getenv("VATES_DEVICE_JIT_MS"); env != nullptr) {
+    options.jitCostMs = std::strtod(env, nullptr);
+  }
+  if (const char* env = std::getenv("VATES_DEVICE_BLOCK"); env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      options.blockSize = static_cast<unsigned>(parsed);
+    }
+  }
+  return options;
+}
+
+/// Real spin work standing in for kernel compilation: repeatedly hash a
+/// buffer until the requested wall time has elapsed.  Using actual work
+/// (not sleep) keeps the cost visible to any timing methodology,
+/// including CPU-time profilers.
+double spinFor(double milliseconds) {
+  if (milliseconds <= 0.0) {
+    return 0.0;
+  }
+  WallTimer timer;
+  volatile std::uint64_t sink = 0x9e3779b97f4a7c15ULL;
+  while (timer.seconds() * 1e3 < milliseconds) {
+    std::uint64_t h = sink;
+    for (int i = 0; i < 512; ++i) {
+      h ^= h << 13;
+      h ^= h >> 7;
+      h ^= h << 17;
+    }
+    sink = h;
+  }
+  return timer.seconds();
+}
+} // namespace
+
+DeviceSim& DeviceSim::global() {
+  static DeviceSim instance(optionsFromEnvironment());
+  return instance;
+}
+
+DeviceSim::DeviceSim(DeviceOptions options) : options_(options) {
+  VATES_REQUIRE(options_.blockSize >= 1, "block size must be >= 1");
+  if (options_.workers == 0) {
+    externalPool_ = &ThreadPool::global();
+  } else {
+    ownedPool_ = std::make_unique<ThreadPool>(options_.workers);
+  }
+}
+
+DeviceSim::~DeviceSim() = default;
+
+ThreadPool& DeviceSim::pool() noexcept {
+  return ownedPool_ ? *ownedPool_ : *externalPool_;
+}
+
+void* DeviceSim::allocate(std::size_t bytes) {
+  void* pointer = ::operator new(bytes, std::align_val_t{64});
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytesAllocated += bytes;
+  return pointer;
+}
+
+void DeviceSim::deallocate(void* pointer, std::size_t bytes) noexcept {
+  if (pointer == nullptr) {
+    return;
+  }
+  ::operator delete(pointer, std::align_val_t{64});
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytesFreed += bytes;
+}
+
+void DeviceSim::recordH2D(std::size_t bytes) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytesH2D += bytes;
+}
+
+void DeviceSim::recordD2H(std::size_t bytes) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytesD2H += bytes;
+}
+
+void DeviceSim::setJitCostMs(double milliseconds) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.jitCostMs = milliseconds;
+}
+
+double DeviceSim::ensureCompiled(const std::string& kernelName) {
+  double jitCostMs = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = compiled_.try_emplace(kernelName, true);
+    if (!inserted) {
+      return 0.0;
+    }
+    jitCostMs = options_.jitCostMs;
+  }
+  const double seconds = spinFor(jitCostMs);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.jitCompilations += 1;
+  stats_.jitSeconds += seconds;
+  return seconds;
+}
+
+void DeviceSim::launch(const std::string& kernelName, std::size_t n,
+                       FunctionRef<void(std::size_t)> body) {
+  ensureCompiled(kernelName);
+  if (n == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.kernelLaunches += 1;
+    return;
+  }
+  const std::size_t blockSize = options_.blockSize;
+  const std::size_t blocks = (n + blockSize - 1) / blockSize;
+
+  pool().forRange(blocks, [&](std::size_t blockBegin, std::size_t blockEnd,
+                              unsigned /*worker*/) {
+    for (std::size_t block = blockBegin; block < blockEnd; ++block) {
+      const std::size_t begin = block * blockSize;
+      const std::size_t end = std::min(n, begin + blockSize);
+      for (std::size_t index = begin; index < end; ++index) {
+        body(index);
+      }
+    }
+  });
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.kernelLaunches += 1;
+  stats_.blocksExecuted += blocks;
+}
+
+void DeviceSim::launch2D(const std::string& kernelName, std::size_t nOuter,
+                         std::size_t nInner,
+                         FunctionRef<void(std::size_t, std::size_t)> body) {
+  const std::size_t total = nOuter * nInner;
+  auto flat = [&](std::size_t index) {
+    body(index / nInner, index % nInner);
+  };
+  launch(kernelName, total, flat);
+}
+
+DeviceStats DeviceSim::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void DeviceSim::resetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = DeviceStats{};
+}
+
+void DeviceSim::resetJitCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  compiled_.clear();
+}
+
+} // namespace vates

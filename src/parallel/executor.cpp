@@ -1,0 +1,34 @@
+#include "vates/parallel/executor.hpp"
+
+namespace vates {
+
+Executor::Executor() : Executor(defaultBackend()) {}
+
+Executor::Executor(Backend backend)
+    : Executor(backend, ThreadPool::global(), DeviceSim::global()) {}
+
+Executor::Executor(Backend backend, ThreadPool& pool, DeviceSim& device)
+    : backend_(backend), pool_(&pool), device_(&device) {
+  VATES_REQUIRE(backendAvailable(backend),
+                std::string("backend not available: ") + backendName(backend));
+}
+
+unsigned Executor::concurrency() const noexcept {
+  switch (backend_) {
+  case Backend::Serial:
+    return 1;
+  case Backend::OpenMP:
+#ifdef VATES_HAS_OPENMP
+    return static_cast<unsigned>(omp_get_max_threads());
+#else
+    return 1;
+#endif
+  case Backend::ThreadPool:
+    return pool_->size();
+  case Backend::DeviceSim:
+    return pool_->size();
+  }
+  return 1;
+}
+
+} // namespace vates

@@ -1,0 +1,54 @@
+#pragma once
+/// \file atomics.hpp
+/// Portable atomic accumulation helpers.
+///
+/// The BinMD kernel and the MDNorm normalization both increment shared
+/// histogram bins from many workers at once (the paper's MDHistoWorkspace
+/// counterpart is "thread-safe and incremented with atomic operations").
+/// std::atomic_ref (C++20) lets plain, contiguous double buffers be
+/// updated atomically without wrapping every bin in std::atomic — the
+/// layout stays a dense array suitable for reduction and I/O.
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace vates {
+
+/// Atomically add \p value to \p *target (relaxed ordering — histogram
+/// accumulation is commutative and only needs atomicity, not ordering).
+template <typename T>
+inline void atomicAdd(T* target, T value) noexcept {
+  static_assert(std::is_arithmetic_v<T>, "atomicAdd needs an arithmetic type");
+  std::atomic_ref<T> ref(*target);
+  if constexpr (std::is_floating_point_v<T>) {
+    // fetch_add on floating atomic_ref is C++20; keep a CAS fallback for
+    // toolchains where it is not lock-free for the type.
+    T expected = ref.load(std::memory_order_relaxed);
+    while (!ref.compare_exchange_weak(expected, expected + value,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+    }
+  } else {
+    ref.fetch_add(value, std::memory_order_relaxed);
+  }
+}
+
+/// Atomically record max(value, *target) into *target.
+template <typename T>
+inline void atomicMax(T* target, T value) noexcept {
+  std::atomic_ref<T> ref(*target);
+  T current = ref.load(std::memory_order_relaxed);
+  while (current < value &&
+         !ref.compare_exchange_weak(current, value, std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+/// Atomic post-increment of a counter; returns the previous value.
+inline std::uint64_t atomicNext(std::uint64_t* counter) noexcept {
+  std::atomic_ref<std::uint64_t> ref(*counter);
+  return ref.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace vates

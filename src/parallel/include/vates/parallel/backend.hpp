@@ -1,0 +1,44 @@
+#pragma once
+/// \file backend.hpp
+/// Backend enumeration for the portable execution API (the JACC.jl
+/// architecture of the paper's Fig. 2, in C++): one kernel source, many
+/// execution targets.
+
+#include <string>
+
+namespace vates {
+
+/// Available execution backends.
+///
+///  - Serial:     single thread, reference semantics, bit-reproducible.
+///  - OpenMP:     `#pragma omp parallel for collapse(2)` — the paper's
+///                Listing 1/2 C++ proxy configuration (only when compiled
+///                with OpenMP support).
+///  - ThreadPool: persistent std::thread worker pool; the portable CPU
+///                fallback used when OpenMP is unavailable.
+///  - DeviceSim:  simulated GPU device (see device_sim.hpp): explicit
+///                memory spaces + transfers, block/thread launch
+///                decomposition, device atomics, and a first-launch
+///                compilation-latency model standing in for Julia's JIT.
+enum class Backend : int { Serial = 0, OpenMP = 1, ThreadPool = 2, DeviceSim = 3 };
+
+/// Human-readable backend name ("serial", "openmp", "threads", "devicesim").
+const char* backendName(Backend backend) noexcept;
+
+/// Parse a backend name (case-insensitive; accepts the names above plus
+/// the aliases "omp", "pool", "device", "gpu-sim").  Throws
+/// InvalidArgument for unknown names and Unsupported when the named
+/// backend is not compiled in.
+Backend parseBackend(const std::string& name);
+
+/// Whether the backend can execute in this build/environment.
+bool backendAvailable(Backend backend) noexcept;
+
+/// The default backend: the value of $VATES_BACKEND if set, otherwise
+/// OpenMP when available, otherwise ThreadPool.
+Backend defaultBackend();
+
+/// All backends available in this build, in enum order.
+std::string availableBackendList();
+
+} // namespace vates

@@ -1,0 +1,129 @@
+#pragma once
+/// \file device_array.hpp
+/// Typed arrays in the simulated device memory space, with explicit
+/// host<->device transfers (the JACC.Array / Kokkos::View counterpart).
+///
+/// Kernels receive raw pointers via deviceData(); host code must stage
+/// data with copyToDevice()/copyToHost().  Every transfer is metered by
+/// the owning DeviceSim so benchmarks can report H2D/D2H volumes.
+
+#include "vates/parallel/device_sim.hpp"
+#include "vates/support/error.hpp"
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace vates {
+
+/// An array resident in (simulated) device memory.  Move-only.
+template <typename T>
+class DeviceArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "device arrays hold trivially copyable elements only");
+
+public:
+  DeviceArray() = default;
+
+  /// Allocate \p size uninitialized elements on \p device.
+  DeviceArray(DeviceSim& device, std::size_t size)
+      : device_(&device), size_(size),
+        data_(size == 0 ? nullptr
+                        : static_cast<T*>(device.allocate(size * sizeof(T)))) {}
+
+  /// Allocate and upload in one step.
+  DeviceArray(DeviceSim& device, std::span<const T> host)
+      : DeviceArray(device, host.size()) {
+    copyToDevice(*this, host);
+  }
+
+  DeviceArray(DeviceArray&& other) noexcept { swap(other); }
+  DeviceArray& operator=(DeviceArray&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  DeviceArray(const DeviceArray&) = delete;
+  DeviceArray& operator=(const DeviceArray&) = delete;
+
+  ~DeviceArray() { release(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t bytes() const noexcept { return size_ * sizeof(T); }
+
+  /// Pointer valid *inside kernels only* (by convention; the simulator
+  /// cannot trap host access, but all library code honors the contract
+  /// so it keeps working when retargeted at a real device backend).
+  T* deviceData() noexcept { return data_; }
+  const T* deviceData() const noexcept { return data_; }
+
+  DeviceSim* device() const noexcept { return device_; }
+
+private:
+  void release() noexcept {
+    if (device_ != nullptr && data_ != nullptr) {
+      device_->deallocate(data_, bytes());
+    }
+    device_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  void swap(DeviceArray& other) noexcept {
+    std::swap(device_, other.device_);
+    std::swap(size_, other.size_);
+    std::swap(data_, other.data_);
+  }
+
+  DeviceSim* device_ = nullptr;
+  std::size_t size_ = 0;
+  T* data_ = nullptr;
+};
+
+/// Host -> device transfer; sizes must match exactly.
+template <typename T>
+void copyToDevice(DeviceArray<T>& dst, std::span<const T> src) {
+  VATES_REQUIRE(dst.size() == src.size(), "H2D size mismatch");
+  if (src.empty()) {
+    return;
+  }
+  std::memcpy(dst.deviceData(), src.data(), src.size_bytes());
+  dst.device()->recordH2D(src.size_bytes());
+}
+
+/// Device -> host transfer; sizes must match exactly.
+template <typename T>
+void copyToHost(std::span<T> dst, const DeviceArray<T>& src) {
+  VATES_REQUIRE(dst.size() == src.size(), "D2H size mismatch");
+  if (dst.empty()) {
+    return;
+  }
+  std::memcpy(dst.data(), src.deviceData(), dst.size_bytes());
+  src.device()->recordD2H(dst.size_bytes());
+}
+
+/// Download into a fresh std::vector (convenience for tests).
+template <typename T>
+std::vector<T> toHostVector(const DeviceArray<T>& src) {
+  std::vector<T> host(src.size());
+  copyToHost(std::span<T>(host), src);
+  return host;
+}
+
+/// Fill a device array with a value via an on-device kernel.
+template <typename T>
+void fillOnDevice(DeviceArray<T>& array, T value) {
+  if (array.empty()) {
+    return;
+  }
+  T* data = array.deviceData();
+  array.device()->launch("fill", array.size(),
+                         [&](std::size_t i) { data[i] = value; });
+}
+
+} // namespace vates

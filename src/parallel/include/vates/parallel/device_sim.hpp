@@ -1,0 +1,140 @@
+#pragma once
+/// \file device_sim.hpp
+/// Simulated GPU device runtime.
+///
+/// This repository has no physical GPU, so the paper's CUDA/ROCm targets
+/// (NVIDIA A100, AMD MI100 via JACC.jl) are substituted by a device
+/// *simulator* that enforces the programming constraints a real device
+/// backend imposes — which is what makes "performance-portable" code
+/// portable in the first place:
+///
+///  1. **Separate memory space.**  Kernels may only touch memory
+///     allocated through the device (DeviceArray).  Host data must be
+///     staged with explicit copyToDevice()/copyToHost() calls, and the
+///     runtime meters every transferred byte, so benchmarks can report
+///     H2D/D2H traffic the way a real backend would.
+///  2. **Grid/block launch decomposition.**  launch() splits the index
+///     space into blocks of `blockSize` "threads" and executes blocks
+///     across a worker pool; the kernel body sees only its flat global
+///     index, exactly like Listing 3's JACC.parallel_for body.
+///  3. **Device atomics.**  Concurrent histogram updates inside kernels
+///     must use vates::atomicAdd (atomics.hpp), mirroring the paper's
+///     atomic_push! on GPU.
+///  4. **JIT model.**  Julia compiles each kernel on first invocation
+///     (the paper reports JIT and no-JIT columns separately).  The
+///     simulator charges a configurable, *measured* one-time compilation
+///     latency per kernel name — implemented as real spin-work so the
+///     cost shows up in wall-clock timings like any other stage — and
+///     records it so harnesses can print the JIT column.
+///
+/// The simulator makes no attempt to predict GPU *speed*; it reproduces
+/// GPU *semantics*.  EXPERIMENTS.md discusses how measured shapes relate
+/// to the paper's A100/MI100 numbers.
+
+#include "vates/parallel/function_ref.hpp"
+#include "vates/parallel/thread_pool.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace vates {
+
+/// Tunable parameters of the simulated device.
+struct DeviceOptions {
+  /// Threads per block for launch decomposition.
+  unsigned blockSize = 256;
+  /// One-time per-kernel compilation latency in milliseconds (the JIT
+  /// model).  0 disables the model (the "no JIT" configuration).
+  double jitCostMs = 40.0;
+  /// Worker threads executing blocks; 0 means use the global ThreadPool.
+  unsigned workers = 0;
+};
+
+/// Cumulative counters for one device instance.
+struct DeviceStats {
+  std::uint64_t kernelLaunches = 0;
+  std::uint64_t blocksExecuted = 0;
+  std::uint64_t bytesAllocated = 0;   ///< high-water total of allocations
+  std::uint64_t bytesFreed = 0;
+  std::uint64_t bytesH2D = 0;
+  std::uint64_t bytesD2H = 0;
+  std::uint64_t jitCompilations = 0;
+  double jitSeconds = 0.0;            ///< wall time spent in the JIT model
+
+  /// Bytes currently resident on the device.
+  std::uint64_t bytesLive() const noexcept {
+    return bytesAllocated - bytesFreed;
+  }
+};
+
+/// The simulated device.  Thread-safe; typically used through
+/// DeviceSim::global() but tests construct private instances.
+class DeviceSim {
+public:
+  /// Process-wide device configured from the environment
+  /// ($VATES_DEVICE_JIT_MS, $VATES_DEVICE_BLOCK).
+  static DeviceSim& global();
+
+  explicit DeviceSim(DeviceOptions options = {});
+  ~DeviceSim();
+
+  DeviceSim(const DeviceSim&) = delete;
+  DeviceSim& operator=(const DeviceSim&) = delete;
+
+  const DeviceOptions& options() const noexcept { return options_; }
+
+  /// Reconfigure the JIT-model cost (benchmarks switch hardware presets
+  /// on the shared global device).  Takes effect for kernels compiled
+  /// after the call; combine with resetJitCache() to re-measure.
+  void setJitCostMs(double milliseconds) noexcept;
+
+  /// Raw device allocation (used by DeviceArray).  Counted in stats.
+  void* allocate(std::size_t bytes);
+  void deallocate(void* pointer, std::size_t bytes) noexcept;
+
+  /// Transfer metering (called by copyToDevice / copyToHost).
+  void recordH2D(std::size_t bytes) noexcept;
+  void recordD2H(std::size_t bytes) noexcept;
+
+  /// Ensure \p kernelName is "compiled"; on first call this spins for
+  /// options().jitCostMs of real wall time and returns the seconds spent
+  /// (0.0 on subsequent calls).  launch() calls this implicitly.
+  double ensureCompiled(const std::string& kernelName);
+
+  /// Launch a 1D kernel over [0, n): body(globalIndex) per index.
+  /// Blocks are distributed over the worker pool; within this simulator a
+  /// block executes its indices sequentially.  Returns after completion
+  /// (stream semantics are synchronous, like JACC's default).
+  void launch(const std::string& kernelName, std::size_t n,
+              FunctionRef<void(std::size_t)> body);
+
+  /// Launch a 2D kernel over [0, nOuter) × [0, nInner), flattened
+  /// outer-major — the device analogue of `collapse(2)` / Listing 3's
+  /// two-dimensional JACC.parallel_for.
+  void launch2D(const std::string& kernelName, std::size_t nOuter,
+                std::size_t nInner, FunctionRef<void(std::size_t, std::size_t)> body);
+
+  DeviceStats stats() const;
+  void resetStats();
+
+  /// Forget compiled kernels so the next launches pay JIT again (used by
+  /// benchmarks to measure the JIT column repeatably).
+  void resetJitCache();
+
+private:
+  ThreadPool& pool() noexcept;
+
+  DeviceOptions options_;
+  ThreadPool* externalPool_ = nullptr; // global pool when workers == 0
+  std::unique_ptr<ThreadPool> ownedPool_;
+
+  mutable std::mutex mutex_;
+  DeviceStats stats_;
+  std::map<std::string, bool> compiled_;
+};
+
+} // namespace vates

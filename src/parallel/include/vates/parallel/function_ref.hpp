@@ -1,0 +1,45 @@
+#pragma once
+/// \file function_ref.hpp
+/// Non-owning, non-allocating callable reference (a minimal
+/// std::function_ref until the standard one lands).  Used on kernel-launch
+/// paths where Per.14/Per.15 (no allocation on the critical branch) apply.
+
+#include <type_traits>
+#include <utility>
+
+namespace vates {
+
+template <typename Signature>
+class FunctionRef;
+
+/// Lightweight view over any callable with the given signature.  The
+/// referenced callable must outlive the FunctionRef (it always does on our
+/// launch paths: the lambda lives in the caller's frame for the duration
+/// of the parallel region).
+template <typename Ret, typename... Args>
+class FunctionRef<Ret(Args...)> {
+public:
+  FunctionRef() = delete;
+
+  template <typename Callable,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Callable>, FunctionRef> &&
+                std::is_invocable_r_v<Ret, Callable&, Args...>>>
+  FunctionRef(Callable&& callable) noexcept // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        invoke_([](void* object, Args... args) -> Ret {
+          return (*static_cast<std::remove_reference_t<Callable>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  Ret operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+private:
+  void* object_;
+  Ret (*invoke_)(void*, Args...);
+};
+
+} // namespace vates

@@ -1,0 +1,84 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Persistent worker pool (CP.41: minimize thread creation/destruction).
+///
+/// The pool owns `size()-1` worker threads; the thread that calls run()
+/// participates as worker 0, so a pool of size 1 executes inline with no
+/// synchronization overhead — important on the single-core CI machines
+/// this repository targets, and the honest analogue of OpenMP's behavior.
+
+#include "vates/parallel/function_ref.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vates {
+
+class ThreadPool {
+public:
+  /// Process-wide pool sized from $VATES_NUM_THREADS (if set) or
+  /// std::thread::hardware_concurrency().
+  static ThreadPool& global();
+
+  /// Create a pool that executes regions across \p size workers
+  /// (including the caller).  size >= 1.
+  explicit ThreadPool(unsigned size);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers, including the calling thread.
+  unsigned size() const noexcept { return size_; }
+
+  /// Execute \p body(workerIndex) once per worker, blocking until all
+  /// complete.  workerIndex is in [0, size()).  Nested run() calls from
+  /// inside a region execute inline on the calling worker.
+  void run(FunctionRef<void(unsigned)> body);
+
+  /// Chunked parallel loop: split [0, n) into size() contiguous chunks
+  /// and invoke body(begin, end, worker) per non-empty chunk.
+  template <typename Body>
+  void forRange(std::size_t n, Body&& body) {
+    if (n == 0) {
+      return;
+    }
+    const unsigned workers = size_;
+    const std::size_t chunk = (n + workers - 1) / workers;
+    auto region = [&](unsigned worker) {
+      const std::size_t begin = static_cast<std::size_t>(worker) * chunk;
+      if (begin >= n) {
+        return;
+      }
+      const std::size_t end = std::min(n, begin + chunk);
+      body(begin, end, worker);
+    };
+    run(region);
+  }
+
+private:
+  void workerLoop(unsigned index);
+
+  unsigned size_;
+  std::vector<std::thread> threads_;
+
+  // Region hand-off state: a generation counter wakes the workers; each
+  // region runs the current job exactly once per worker.  regionMutex_
+  // serializes whole regions so independent callers (in-process MPI
+  // ranks) can share one pool.
+  std::mutex regionMutex_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  FunctionRef<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool shutdown_ = false;
+};
+
+} // namespace vates

@@ -1,0 +1,108 @@
+#include "vates/parallel/thread_pool.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <cstdlib>
+
+namespace vates {
+
+namespace {
+unsigned defaultPoolSize() {
+  if (const char* env = std::getenv("VATES_NUM_THREADS"); env != nullptr) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// True while the current thread executes inside a parallel region body.
+/// Nested run() calls from such a thread execute inline (like nested
+/// OpenMP with nesting disabled); this must be per-thread, not per-pool,
+/// because multiple independent callers (the in-process MPI ranks) may
+/// drive the same pool concurrently.
+thread_local bool tlsInsideRegion = false;
+} // namespace
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool instance(defaultPoolSize());
+  return instance;
+}
+
+ThreadPool::ThreadPool(unsigned size) : size_(size) {
+  VATES_REQUIRE(size >= 1, "thread pool needs at least one worker");
+  threads_.reserve(size - 1);
+  for (unsigned i = 1; i < size; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::run(FunctionRef<void(unsigned)> body) {
+  if (size_ == 1 || tlsInsideRegion) {
+    // Inline: single worker, or a nested region from inside a parallel
+    // body.
+    body(0);
+    return;
+  }
+
+  // One region at a time; concurrent callers (in-process ranks) queue
+  // here rather than corrupting the job slot.
+  std::lock_guard<std::mutex> region(regionMutex_);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &body;
+  pending_ = size_ - 1;
+  ++generation_;
+  lock.unlock();
+  wake_.notify_all();
+
+  // The caller is worker 0.
+  tlsInsideRegion = true;
+  body(0);
+  tlsInsideRegion = false;
+
+  lock.lock();
+  done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::workerLoop(unsigned index) {
+  std::uint64_t seenGeneration = 0;
+  for (;;) {
+    FunctionRef<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this, seenGeneration] {
+        return shutdown_ || generation_ != seenGeneration;
+      });
+      if (shutdown_) {
+        return;
+      }
+      seenGeneration = generation_;
+      job = job_;
+    }
+    tlsInsideRegion = true;
+    (*job)(index);
+    tlsInsideRegion = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_.notify_one();
+  }
+}
+
+} // namespace vates

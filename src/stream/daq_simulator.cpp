@@ -1,0 +1,59 @@
+#include "vates/stream/daq_simulator.hpp"
+
+#include "vates/support/error.hpp"
+
+namespace vates::stream {
+
+DaqSimulator::DaqSimulator(const EventGenerator& generator)
+    : generator_(&generator) {}
+
+DaqStats DaqSimulator::streamRuns(EventChannel& channel, std::size_t firstRun,
+                                  std::size_t lastRun) const {
+  VATES_REQUIRE(firstRun <= lastRun, "invalid run range");
+  DaqStats stats;
+  for (std::size_t runIndex = firstRun; runIndex < lastRun; ++runIndex) {
+    const RawEventList raw = generator_->generateRaw(runIndex);
+    // Slice the run into per-pulse packets (pulse indices are
+    // non-decreasing by construction).
+    std::size_t begin = 0;
+    while (begin < raw.size()) {
+      const std::uint32_t pulse = raw.pulseIndex(begin);
+      std::size_t end = begin;
+      while (end < raw.size() && raw.pulseIndex(end) == pulse) {
+        ++end;
+      }
+      PulsePacket packet;
+      packet.runIndex = static_cast<std::uint32_t>(runIndex);
+      packet.pulseIndex = pulse;
+      packet.endOfRun = end == raw.size();
+      packet.events.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        packet.events.append(raw.detectorId(i), raw.tof(i), raw.pulseIndex(i),
+                             raw.weight(i));
+      }
+      stats.eventsEmitted += packet.events.size();
+      ++stats.pulsesEmitted;
+      channel.push(std::move(packet));
+      begin = end;
+    }
+    if (raw.empty()) {
+      // Empty run: still announce its end so consumers stay in sync.
+      PulsePacket packet;
+      packet.runIndex = static_cast<std::uint32_t>(runIndex);
+      packet.endOfRun = true;
+      ++stats.pulsesEmitted;
+      channel.push(std::move(packet));
+    }
+    ++stats.runsEmitted;
+  }
+  return stats;
+}
+
+DaqStats DaqSimulator::streamAllAndClose(EventChannel& channel) const {
+  const DaqStats stats =
+      streamRuns(channel, 0, generator_->spec().nFiles);
+  channel.close();
+  return stats;
+}
+
+} // namespace vates::stream

@@ -1,0 +1,68 @@
+#include "vates/stream/event_channel.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <algorithm>
+
+namespace vates::stream {
+
+EventChannel::EventChannel(std::size_t capacity) : capacity_(capacity) {
+  VATES_REQUIRE(capacity >= 1, "channel capacity must be >= 1");
+}
+
+void EventChannel::push(PulsePacket packet) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.size() >= capacity_ && !closed_) {
+    ++stats_.producerBlocked;
+    notFull_.wait(lock,
+                  [this] { return queue_.size() < capacity_ || closed_; });
+  }
+  if (closed_) {
+    throw InvalidArgument("push on a closed event channel");
+  }
+  queue_.push_back(std::move(packet));
+  ++stats_.pushed;
+  stats_.maxDepth = std::max(stats_.maxDepth, queue_.size());
+  lock.unlock();
+  notEmpty_.notify_one();
+}
+
+std::optional<PulsePacket> EventChannel::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  notEmpty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) {
+    return std::nullopt; // closed and drained
+  }
+  PulsePacket packet = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.popped;
+  lock.unlock();
+  notFull_.notify_one();
+  return packet;
+}
+
+void EventChannel::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  notFull_.notify_all();
+  notEmpty_.notify_all();
+}
+
+bool EventChannel::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t EventChannel::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ChannelStats EventChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+} // namespace vates::stream

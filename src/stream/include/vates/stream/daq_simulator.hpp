@@ -1,0 +1,42 @@
+#pragma once
+/// \file daq_simulator.hpp
+/// Simulated data-acquisition front end: replays a workload's runs as a
+/// stream of per-pulse packets, the way the SNS DAQ emits event data at
+/// 60 Hz.
+
+#include "vates/events/generator.hpp"
+#include "vates/stream/event_channel.hpp"
+
+#include <cstdint>
+
+namespace vates::stream {
+
+struct DaqStats {
+  std::uint64_t pulsesEmitted = 0;
+  std::uint64_t eventsEmitted = 0;
+  std::uint64_t runsEmitted = 0;
+};
+
+/// Replays generator runs into a channel.  Packets within a run are
+/// grouped by the raw events' pulse indices (which generateRaw emits in
+/// non-decreasing order); the last packet of each run carries
+/// endOfRun = true.
+class DaqSimulator {
+public:
+  /// Borrow the generator (must outlive the simulator).
+  explicit DaqSimulator(const EventGenerator& generator);
+
+  /// Stream runs [firstRun, lastRun) into \p channel, blocking on
+  /// backpressure.  Does not close the channel (callers may chain
+  /// several simulators); returns emission statistics.
+  DaqStats streamRuns(EventChannel& channel, std::size_t firstRun,
+                      std::size_t lastRun) const;
+
+  /// Convenience: stream every run of the workload, then close.
+  DaqStats streamAllAndClose(EventChannel& channel) const;
+
+private:
+  const EventGenerator* generator_;
+};
+
+} // namespace vates::stream

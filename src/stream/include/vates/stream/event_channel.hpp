@@ -1,0 +1,72 @@
+#pragma once
+/// \file event_channel.hpp
+/// Bounded pulse-packet channel — the transport of a live-streaming
+/// reduction.
+///
+/// ORNL's ADARA system (paper related work, Shipman et al.) streams
+/// event packets from the DAQ into Mantid for live analysis.  This
+/// channel models that link in-process: a producer (DaqSimulator)
+/// pushes per-pulse packets, a consumer (LiveReducer) pops them, and a
+/// bounded capacity provides the backpressure a real translation
+/// service applies when analysis falls behind acquisition.
+
+#include "vates/events/raw_events.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace vates::stream {
+
+/// One accelerator pulse's worth of raw events.
+struct PulsePacket {
+  std::uint32_t runIndex = 0;
+  std::uint32_t pulseIndex = 0;
+  RawEventList events;
+  bool endOfRun = false; ///< last packet of its run
+};
+
+/// Channel statistics (cumulative).
+struct ChannelStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t producerBlocked = 0; ///< pushes that had to wait (backpressure)
+  std::size_t maxDepth = 0;
+};
+
+/// Bounded blocking FIFO of pulse packets.  Thread-safe for any number
+/// of producers and consumers (the simulated beamline uses one of each).
+class EventChannel {
+public:
+  /// \p capacity >= 1 packets in flight.
+  explicit EventChannel(std::size_t capacity);
+
+  /// Block until space is available, then enqueue.  Throws
+  /// InvalidArgument if the channel is closed.
+  void push(PulsePacket packet);
+
+  /// Block until a packet arrives; returns nullopt once the channel is
+  /// closed *and* drained.
+  std::optional<PulsePacket> pop();
+
+  /// No more pushes; consumers drain the remaining packets then see
+  /// nullopt.  Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  ChannelStats stats() const;
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<PulsePacket> queue_;
+  ChannelStats stats_;
+  bool closed_ = false;
+};
+
+} // namespace vates::stream

@@ -1,0 +1,65 @@
+#pragma once
+/// \file live_reducer.hpp
+/// Live consumer: accumulates streamed pulses, reduces each run as it
+/// completes, and exposes a thread-safe snapshot of the evolving
+/// cross-section — the "real-time experiment analysis and steering"
+/// capability of ADARA (paper related work) on this codebase's kernels.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/kernels/convert_to_md.hpp"
+#include "vates/stream/event_channel.hpp"
+
+#include <cstdint>
+#include <mutex>
+
+namespace vates::stream {
+
+struct LiveStats {
+  std::uint64_t pulsesConsumed = 0;
+  std::uint64_t eventsConsumed = 0;
+  std::uint64_t runsReduced = 0;
+};
+
+/// A snapshot of the live state (copies; safe to inspect while the
+/// reducer keeps consuming).
+struct LiveSnapshot {
+  Histogram3D signal;
+  Histogram3D normalization;
+  Histogram3D crossSection;
+  LiveStats stats;
+  double coverage = 0.0; ///< fraction of slice bins with data
+};
+
+class LiveReducer {
+public:
+  /// Borrow the setup (must outlive the reducer).
+  LiveReducer(const ExperimentSetup& setup, const Executor& executor,
+              ConvertOptions convert = {});
+
+  /// Consume packets until the channel closes and drains.  Each run is
+  /// reduced (ConvertToMD + MDNorm + BinMD) when its endOfRun packet
+  /// arrives.  Callable from a dedicated consumer thread.
+  LiveStats consume(EventChannel& channel);
+
+  /// Thread-safe copy of the current accumulated state.
+  LiveSnapshot snapshot() const;
+
+private:
+  void reduceCompletedRun(std::uint32_t runIndex, const RawEventList& events);
+
+  const ExperimentSetup* setup_;
+  Executor executor_;
+  ConvertOptions convert_;
+
+  mutable std::mutex mutex_;
+  Histogram3D signal_;
+  Histogram3D normalization_;
+  LiveStats stats_;
+
+  // Per-run staging of not-yet-complete pulse streams.
+  RawEventList pending_;
+  std::uint32_t pendingRun_ = 0;
+  bool hasPending_ = false;
+};
+
+} // namespace vates::stream

@@ -1,0 +1,110 @@
+#include "vates/stream/live_reducer.hpp"
+
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/support/error.hpp"
+
+#include <cmath>
+
+namespace vates::stream {
+
+LiveReducer::LiveReducer(const ExperimentSetup& setup, const Executor& executor,
+                         ConvertOptions convert)
+    : setup_(&setup), executor_(executor), convert_(convert),
+      signal_(setup.makeHistogram()), normalization_(setup.makeHistogram()) {}
+
+void LiveReducer::reduceCompletedRun(std::uint32_t runIndex,
+                                     const RawEventList& events) {
+  const ExperimentSetup& setup = *setup_;
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(runIndex);
+
+  EventTable converted = convertToMD(executor_, setup.instrument(), nullptr,
+                                     run, events, convert_);
+
+  const auto normTransforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+  MDNormInputs normInputs;
+  normInputs.transforms = normTransforms;
+  normInputs.qLabDirections = setup.instrument().qLabDirections();
+  normInputs.solidAngles = setup.instrument().solidAngles();
+  normInputs.flux = setup.flux().view();
+  normInputs.protonCharge = run.protonCharge;
+  normInputs.kMin = run.kMin;
+  normInputs.kMax = run.kMax;
+
+  const auto binTransforms = binMdTransforms(
+      setup.projection(), setup.lattice(), setup.symmetryMatrices());
+  BinMDInputs binInputs;
+  binInputs.transforms = binTransforms;
+  binInputs.qx = converted.column(EventTable::Qx).data();
+  binInputs.qy = converted.column(EventTable::Qy).data();
+  binInputs.qz = converted.column(EventTable::Qz).data();
+  binInputs.signal = converted.column(EventTable::Signal).data();
+  binInputs.nEvents = converted.size();
+
+  // Accumulate under the snapshot lock: the reduction itself is the
+  // slow part, but snapshots copy whole histograms, so simplicity wins
+  // over fine-grained locking here.
+  std::lock_guard<std::mutex> lock(mutex_);
+  runMDNorm(executor_, normInputs, normalization_.gridView());
+  runBinMD(executor_, binInputs, signal_.gridView());
+  ++stats_.runsReduced;
+}
+
+LiveStats LiveReducer::consume(EventChannel& channel) {
+  for (;;) {
+    std::optional<PulsePacket> packet = channel.pop();
+    if (!packet) {
+      break; // closed and drained
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.pulsesConsumed;
+      stats_.eventsConsumed += packet->events.size();
+    }
+    if (!hasPending_) {
+      pendingRun_ = packet->runIndex;
+      pending_.clear();
+      hasPending_ = true;
+    }
+    VATES_REQUIRE(packet->runIndex == pendingRun_,
+                  "interleaved runs are not supported by this consumer");
+    for (std::size_t i = 0; i < packet->events.size(); ++i) {
+      pending_.append(packet->events.detectorId(i), packet->events.tof(i),
+                      packet->events.pulseIndex(i), packet->events.weight(i));
+    }
+    if (packet->endOfRun) {
+      reduceCompletedRun(pendingRun_, pending_);
+      hasPending_ = false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+LiveSnapshot LiveReducer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LiveSnapshot snapshot{signal_, normalization_,
+                        Histogram3D::divide(signal_, normalization_), stats_,
+                        0.0};
+  const std::size_t covered = snapshot.crossSection.size() -
+                              [&] {
+                                std::size_t nan = 0;
+                                for (double v : snapshot.crossSection.data()) {
+                                  if (std::isnan(v)) {
+                                    ++nan;
+                                  }
+                                }
+                                return nan;
+                              }();
+  snapshot.coverage = snapshot.crossSection.size() == 0
+                          ? 0.0
+                          : static_cast<double>(covered) /
+                                static_cast<double>(snapshot.crossSection.size());
+  return snapshot;
+}
+
+} // namespace vates::stream

@@ -1,0 +1,147 @@
+#include "vates/support/cli.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace vates {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::addOption(const std::string& name, const std::string& help,
+                          const std::string& defaultValue) {
+  VATES_REQUIRE(!options_.contains(name), "duplicate option --" + name);
+  options_[name] = Option{help, defaultValue, /*isFlag=*/false, false};
+  declarationOrder_.push_back(name);
+}
+
+void ArgParser::addFlag(const std::string& name, const std::string& help) {
+  VATES_REQUIRE(!options_.contains(name), "duplicate flag --" + name);
+  options_[name] = Option{help, "false", /*isFlag=*/true, false};
+  declarationOrder_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << helpText();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool hasInlineValue = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      hasInlineValue = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw InvalidArgument("unknown option --" + name + " (see --help)");
+    }
+    Option& opt = it->second;
+    if (opt.isFlag) {
+      opt.value = hasInlineValue ? value : "true";
+      opt.provided = true;
+      continue;
+    }
+    if (!hasInlineValue) {
+      if (i + 1 >= argc) {
+        throw InvalidArgument("option --" + name + " requires a value");
+      }
+      value = argv[++i];
+    }
+    opt.value = std::move(value);
+    opt.provided = true;
+  }
+  return true;
+}
+
+ArgParser::Option& ArgParser::find(const std::string& name) {
+  auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw InvalidArgument("option --" + name + " was never declared");
+  }
+  return it->second;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) {
+    throw InvalidArgument("option --" + name + " was never declared");
+  }
+  return it->second;
+}
+
+std::string ArgParser::getString(const std::string& name) const {
+  return find(name).value;
+}
+
+double ArgParser::getDouble(const std::string& name) const {
+  const std::string& value = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(value, &pos);
+    if (pos != value.size()) {
+      throw std::invalid_argument(value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + name + ": '" + value +
+                          "' is not a number");
+  }
+}
+
+std::int64_t ArgParser::getInt(const std::string& name) const {
+  const std::string& value = find(name).value;
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(value, &pos);
+    if (pos != value.size()) {
+      throw std::invalid_argument(value);
+    }
+    return static_cast<std::int64_t>(parsed);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + name + ": '" + value +
+                          "' is not an integer");
+  }
+}
+
+bool ArgParser::getFlag(const std::string& name) const {
+  const Option& opt = find(name);
+  return opt.value == "true" || opt.value == "1" || opt.value == "yes";
+}
+
+bool ArgParser::wasProvided(const std::string& name) const {
+  return find(name).provided;
+}
+
+std::string ArgParser::helpText() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& name : declarationOrder_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (!opt.isFlag) {
+      os << " <value>";
+    }
+    os << "\n      " << opt.help;
+    if (!opt.isFlag) {
+      os << " (default: " << opt.value << ')';
+    }
+    os << '\n';
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+} // namespace vates

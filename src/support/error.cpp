@@ -1,0 +1,17 @@
+#include "vates/support/error.hpp"
+
+#include <sstream>
+
+namespace vates::detail {
+
+void throwRequire(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw InvalidArgument(os.str());
+}
+
+} // namespace vates::detail

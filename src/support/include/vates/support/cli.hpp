@@ -1,0 +1,76 @@
+#pragma once
+/// \file cli.hpp
+/// Tiny declarative command-line parser shared by the examples and the
+/// benchmark harness.  Supports `--name value`, `--name=value`, boolean
+/// flags, typed defaults, and automatic `--help` text.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vates {
+
+/// Declarative option set.  Declare options up front, then parse().
+///
+/// Example:
+/// \code
+///   ArgParser args("benzil_corelli", "Reduce the Benzil/CORELLI workload");
+///   args.addOption("scale", "Workload scale factor (1.0 = paper size)", "0.01");
+///   args.addFlag("device", "Run kernels on the DeviceSim backend");
+///   args.parse(argc, argv);
+///   double scale = args.getDouble("scale");
+/// \endcode
+class ArgParser {
+public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declare a value option with a default (shown in --help).
+  void addOption(const std::string& name, const std::string& help,
+                 const std::string& defaultValue);
+
+  /// Declare a boolean flag (default false).
+  void addFlag(const std::string& name, const std::string& help);
+
+  /// Parse argv.  Throws InvalidArgument on unknown options or missing
+  /// values.  Returns false if --help was requested (help text already
+  /// printed to stdout) — callers should exit 0 in that case.
+  bool parse(int argc, const char* const* argv);
+
+  /// Accessors; all throw InvalidArgument if \p name was never declared.
+  std::string getString(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  std::int64_t getInt(const std::string& name) const;
+  bool getFlag(const std::string& name) const;
+
+  /// True if the user supplied the option explicitly (vs default).
+  bool wasProvided(const std::string& name) const;
+
+  /// Positional arguments collected during parse().
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// The rendered help text.
+  std::string helpText() const;
+
+private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool isFlag = false;
+    bool provided = false;
+  };
+
+  Option& find(const std::string& name);
+  const Option& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> declarationOrder_;
+  std::vector<std::string> positional_;
+};
+
+} // namespace vates

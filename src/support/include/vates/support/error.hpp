@@ -1,0 +1,61 @@
+#pragma once
+/// \file error.hpp
+/// Exception hierarchy for the minivates libraries.
+///
+/// All recoverable failures surface as subclasses of vates::Error so that
+/// callers can catch the whole family at an API boundary.  Programmer
+/// errors (violated preconditions) use VATES_REQUIRE which throws
+/// InvalidArgument with the failing expression text.
+
+#include <stdexcept>
+#include <string>
+
+namespace vates {
+
+/// Root of the minivates exception hierarchy.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A file could not be opened, parsed, or verified (bad magic, CRC, EOF).
+class IOError : public Error {
+public:
+  explicit IOError(const std::string& what) : Error(what) {}
+};
+
+/// An operation is not available in the current configuration
+/// (e.g. requesting the OpenMP backend in a build without OpenMP).
+class Unsupported : public Error {
+public:
+  explicit Unsupported(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or met a degenerate input
+/// (singular UB matrix, zero-length scattering direction, ...).
+class NumericalError : public Error {
+public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throwRequire(const char* expr, const char* file, int line,
+                               const std::string& message);
+} // namespace detail
+
+} // namespace vates
+
+/// Precondition check that survives release builds.  Throws
+/// vates::InvalidArgument naming the failed expression and location.
+#define VATES_REQUIRE(expr, message)                                          \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::vates::detail::throwRequire(#expr, __FILE__, __LINE__, (message));    \
+    }                                                                         \
+  } while (false)

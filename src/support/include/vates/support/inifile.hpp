@@ -1,0 +1,70 @@
+#pragma once
+/// \file inifile.hpp
+/// Minimal INI-style configuration files.
+///
+/// The production Garnet workflow is driven by reduction-plan files the
+/// scientist edits (the paper's artifact description: "The CORELLI and
+/// TOPAZ reduction files were modified to match the parameters used in
+/// the proxies").  This parser backs the same capability here
+/// (core/plan.hpp): `[section]` headers, `key = value` pairs, `#`/`;`
+/// comments, whitespace-insensitive, with line-numbered parse errors.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vates {
+
+class IniFile {
+public:
+  IniFile() = default;
+
+  /// Parse from text; throws InvalidArgument naming the bad line.
+  static IniFile parse(const std::string& text);
+
+  /// Read and parse a file; throws IOError when unreadable.
+  static IniFile load(const std::string& path);
+
+  bool has(const std::string& section, const std::string& key) const;
+
+  /// Typed getters; the non-defaulted forms throw InvalidArgument when
+  /// the key is missing or (for numbers) malformed.
+  std::string getString(const std::string& section,
+                        const std::string& key) const;
+  std::string getString(const std::string& section, const std::string& key,
+                        const std::string& fallback) const;
+  double getDouble(const std::string& section, const std::string& key) const;
+  double getDouble(const std::string& section, const std::string& key,
+                   double fallback) const;
+  long long getInt(const std::string& section, const std::string& key) const;
+  long long getInt(const std::string& section, const std::string& key,
+                   long long fallback) const;
+  bool getBool(const std::string& section, const std::string& key,
+               bool fallback) const;
+
+  void set(const std::string& section, const std::string& key,
+           const std::string& value);
+
+  /// Section names in first-seen order.
+  std::vector<std::string> sections() const;
+  /// Keys of one section in first-seen order (empty if absent).
+  std::vector<std::string> keys(const std::string& section) const;
+
+  /// Render back to INI text (stable ordering).
+  std::string serialize() const;
+  /// serialize() to a file; throws IOError on failure.
+  void save(const std::string& path) const;
+
+private:
+  struct Section {
+    std::map<std::string, std::string> values;
+    std::vector<std::string> keyOrder;
+  };
+  const std::string* find(const std::string& section,
+                          const std::string& key) const;
+
+  std::map<std::string, Section> sections_;
+  std::vector<std::string> sectionOrder_;
+};
+
+} // namespace vates

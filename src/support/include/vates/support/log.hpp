@@ -1,0 +1,74 @@
+#pragma once
+/// \file log.hpp
+/// Minimal thread-safe logging with severity levels.
+///
+/// The logger writes single lines to a std::ostream (stderr by default).
+/// It is intentionally tiny: benchmarks and the reduction pipeline use it
+/// for progress and configuration echo, never on a hot path.
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace vates {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Convert a level to its fixed-width tag ("DEBUG", "INFO ", ...).
+const char* logLevelTag(LogLevel level) noexcept;
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Throws InvalidArgument for anything else.
+LogLevel parseLogLevel(const std::string& text);
+
+/// Process-wide logger.  All member functions are thread-safe.
+class Logger {
+public:
+  /// The global instance used by the VATES_LOG_* macros.
+  static Logger& global();
+
+  /// Messages below \p level are discarded.
+  void setLevel(LogLevel level) noexcept;
+  LogLevel level() const noexcept;
+
+  /// Redirect output (defaults to std::clog).  The stream must outlive
+  /// the logger's use; pass nullptr to restore the default.
+  void setStream(std::ostream* stream) noexcept;
+
+  /// Emit one line "[TAG] message" if \p level passes the filter.
+  void write(LogLevel level, const std::string& message);
+
+private:
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::Info;
+  std::ostream* stream_ = nullptr;
+};
+
+namespace detail {
+/// Builds the message lazily so disabled levels cost one atomic load.
+template <typename Fn>
+void logWith(LogLevel level, Fn&& fn) {
+  Logger& log = Logger::global();
+  if (static_cast<int>(level) >= static_cast<int>(log.level())) {
+    std::ostringstream os;
+    fn(os);
+    log.write(level, os.str());
+  }
+}
+} // namespace detail
+
+} // namespace vates
+
+#define VATES_LOG_DEBUG(expr)                                                 \
+  ::vates::detail::logWith(::vates::LogLevel::Debug,                          \
+                           [&](std::ostream& os_) { os_ << expr; })
+#define VATES_LOG_INFO(expr)                                                  \
+  ::vates::detail::logWith(::vates::LogLevel::Info,                           \
+                           [&](std::ostream& os_) { os_ << expr; })
+#define VATES_LOG_WARN(expr)                                                  \
+  ::vates::detail::logWith(::vates::LogLevel::Warn,                           \
+                           [&](std::ostream& os_) { os_ << expr; })
+#define VATES_LOG_ERROR(expr)                                                 \
+  ::vates::detail::logWith(::vates::LogLevel::Error,                          \
+                           [&](std::ostream& os_) { os_ << expr; })

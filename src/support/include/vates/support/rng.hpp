@@ -1,0 +1,75 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random generation for synthetic workloads.
+///
+/// The synthetic CORELLI/TOPAZ event generators must be reproducible across
+/// runs, platforms, and thread decompositions, so we implement our own
+/// xoshiro256** generator (public-domain algorithm by Blackman & Vigna)
+/// instead of relying on implementation-defined std::random distributions.
+/// Streams can be split per (rank, file, detector) so parallel generation
+/// is order-independent.
+
+#include <array>
+#include <cstdint>
+
+namespace vates {
+
+/// SplitMix64 — used to seed xoshiro streams from a single 64-bit seed.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+class Xoshiro256 {
+public:
+  /// Seed via SplitMix64 expansion of a single 64-bit value.
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  /// Construct an independent stream for a given (seed, streamId) pair.
+  /// Different streamIds give statistically independent sequences, which
+  /// lets per-file / per-detector generation run in any order.
+  Xoshiro256(std::uint64_t seed, std::uint64_t streamId) noexcept;
+
+  /// Next raw 64 bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n) (n > 0); unbiased via rejection.
+  std::uint64_t uniformInt(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double sigma) noexcept;
+
+  /// Exponential with the given rate (rate > 0).
+  double exponential(double rate) noexcept;
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx
+  /// beyond mean > 64 — adequate for synthetic intensities).
+  std::uint64_t poisson(double mean) noexcept;
+
+private:
+  std::array<std::uint64_t, 4> state_{};
+  double cachedNormal_ = 0.0;
+  bool hasCachedNormal_ = false;
+};
+
+} // namespace vates

@@ -1,0 +1,30 @@
+#pragma once
+/// \file strings.hpp
+/// Small string helpers (gcc 12 lacks std::format, so we keep a printf
+/// shim plus the usual split/trim utilities).
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace vates {
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string trim(const std::string& text);
+
+/// Lower-case an ASCII string.
+std::string toLower(const std::string& text);
+
+/// Render a byte count as a human-friendly "12.3 MiB" style string.
+std::string humanBytes(std::uint64_t bytes);
+
+/// Render a count with thousands separators ("1,600,000").
+std::string withCommas(std::uint64_t value);
+
+} // namespace vates

@@ -1,0 +1,90 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timing utilities used to reproduce the paper's per-stage
+/// wall-clock-time (WCT) tables (UpdateEvents / MDNorm / BinMD / Total).
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vates {
+
+/// Simple monotonic stopwatch.
+class WallTimer {
+public:
+  WallTimer() { reset(); }
+
+  /// Restart the stopwatch at now.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named stage durations, preserving first-seen order, and can
+/// render them as the rows of a WCT table.  Each stage may be entered many
+/// times (e.g. MDNorm once per file); the table reports sums and counts.
+class StageTimes {
+public:
+  /// Add \p seconds to stage \p name (creates it on first use).
+  void add(const std::string& name, double seconds);
+
+  /// Total accumulated seconds for \p name; 0 if never recorded.
+  double total(const std::string& name) const noexcept;
+
+  /// Number of add() calls for \p name.
+  std::size_t count(const std::string& name) const noexcept;
+
+  /// Stage names in first-recorded order.
+  const std::vector<std::string>& names() const noexcept { return order_; }
+
+  /// Sum over all stages.
+  double grandTotal() const noexcept;
+
+  /// Merge another set of stage times into this one (used when combining
+  /// per-rank timings).
+  void merge(const StageTimes& other);
+
+  /// Merge keeping the per-stage *maximum* instead of the sum — the
+  /// critical-path view used when ranks execute concurrently.
+  void mergeMax(const StageTimes& other);
+
+  /// Remove all recorded stages.
+  void clear() noexcept;
+
+  /// Render a fixed-width table like the paper's Tables III–VI.
+  std::string table(const std::string& title) const;
+
+private:
+  struct Entry {
+    double total = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+/// RAII helper: times a scope and records it into a StageTimes on exit.
+class ScopedStage {
+public:
+  ScopedStage(StageTimes& sink, std::string name)
+      : sink_(sink), name_(std::move(name)) {}
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+  ~ScopedStage() { sink_.add(name_, timer_.seconds()); }
+
+private:
+  StageTimes& sink_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+} // namespace vates

@@ -1,0 +1,211 @@
+#include "vates/support/inifile.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace vates {
+
+IniFile IniFile::parse(const std::string& text) {
+  IniFile ini;
+  std::istringstream stream(text);
+  std::string line;
+  std::string currentSection;
+  int lineNumber = 0;
+  while (std::getline(stream, line)) {
+    ++lineNumber;
+    // Strip comments (full-line or trailing) outside of values' spirit:
+    // '#' and ';' start a comment.
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) {
+      line = line.substr(0, comment);
+    }
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw InvalidArgument("ini parse error at line " +
+                              std::to_string(lineNumber) +
+                              ": malformed section header '" + line + "'");
+      }
+      currentSection = trim(line.substr(1, line.size() - 2));
+      if (currentSection.empty()) {
+        throw InvalidArgument("ini parse error at line " +
+                              std::to_string(lineNumber) +
+                              ": empty section name");
+      }
+      // Register the section even if it stays empty.
+      if (!ini.sections_.contains(currentSection)) {
+        ini.sections_[currentSection] = Section{};
+        ini.sectionOrder_.push_back(currentSection);
+      }
+      continue;
+    }
+    const std::size_t equals = line.find('=');
+    if (equals == std::string::npos) {
+      throw InvalidArgument("ini parse error at line " +
+                            std::to_string(lineNumber) +
+                            ": expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, equals));
+    const std::string value = trim(line.substr(equals + 1));
+    if (key.empty()) {
+      throw InvalidArgument("ini parse error at line " +
+                            std::to_string(lineNumber) + ": empty key");
+    }
+    ini.set(currentSection, key, value);
+  }
+  return ini;
+}
+
+IniFile IniFile::load(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) {
+    throw IOError("cannot open ini file: " + path);
+  }
+  std::ostringstream text;
+  text << stream.rdbuf();
+  return parse(text.str());
+}
+
+void IniFile::set(const std::string& section, const std::string& key,
+                  const std::string& value) {
+  auto [sectionIt, sectionInserted] = sections_.try_emplace(section);
+  if (sectionInserted) {
+    sectionOrder_.push_back(section);
+  }
+  auto [keyIt, keyInserted] = sectionIt->second.values.try_emplace(key, value);
+  if (keyInserted) {
+    sectionIt->second.keyOrder.push_back(key);
+  } else {
+    keyIt->second = value; // later assignments win
+  }
+}
+
+const std::string* IniFile::find(const std::string& section,
+                                 const std::string& key) const {
+  const auto sectionIt = sections_.find(section);
+  if (sectionIt == sections_.end()) {
+    return nullptr;
+  }
+  const auto keyIt = sectionIt->second.values.find(key);
+  return keyIt == sectionIt->second.values.end() ? nullptr : &keyIt->second;
+}
+
+bool IniFile::has(const std::string& section, const std::string& key) const {
+  return find(section, key) != nullptr;
+}
+
+std::string IniFile::getString(const std::string& section,
+                               const std::string& key) const {
+  const std::string* value = find(section, key);
+  if (value == nullptr) {
+    throw InvalidArgument("missing ini key [" + section + "] " + key);
+  }
+  return *value;
+}
+
+std::string IniFile::getString(const std::string& section,
+                               const std::string& key,
+                               const std::string& fallback) const {
+  const std::string* value = find(section, key);
+  return value == nullptr ? fallback : *value;
+}
+
+double IniFile::getDouble(const std::string& section,
+                          const std::string& key) const {
+  const std::string text = getString(section, key);
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(text, &pos);
+    if (pos != text.size()) {
+      throw std::invalid_argument(text);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw InvalidArgument("ini key [" + section + "] " + key + " = '" + text +
+                          "' is not a number");
+  }
+}
+
+double IniFile::getDouble(const std::string& section, const std::string& key,
+                          double fallback) const {
+  return has(section, key) ? getDouble(section, key) : fallback;
+}
+
+long long IniFile::getInt(const std::string& section,
+                          const std::string& key) const {
+  const std::string text = getString(section, key);
+  try {
+    std::size_t pos = 0;
+    const long long parsed = std::stoll(text, &pos);
+    if (pos != text.size()) {
+      throw std::invalid_argument(text);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    throw InvalidArgument("ini key [" + section + "] " + key + " = '" + text +
+                          "' is not an integer");
+  }
+}
+
+long long IniFile::getInt(const std::string& section, const std::string& key,
+                          long long fallback) const {
+  return has(section, key) ? getInt(section, key) : fallback;
+}
+
+bool IniFile::getBool(const std::string& section, const std::string& key,
+                      bool fallback) const {
+  if (!has(section, key)) {
+    return fallback;
+  }
+  const std::string value = toLower(getString(section, key));
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  throw InvalidArgument("ini key [" + section + "] " + key + " = '" + value +
+                        "' is not a boolean");
+}
+
+std::vector<std::string> IniFile::sections() const { return sectionOrder_; }
+
+std::vector<std::string> IniFile::keys(const std::string& section) const {
+  const auto it = sections_.find(section);
+  return it == sections_.end() ? std::vector<std::string>{}
+                               : it->second.keyOrder;
+}
+
+std::string IniFile::serialize() const {
+  std::ostringstream os;
+  for (const std::string& sectionName : sectionOrder_) {
+    const Section& section = sections_.at(sectionName);
+    if (!sectionName.empty()) {
+      os << '[' << sectionName << "]\n";
+    }
+    for (const std::string& key : section.keyOrder) {
+      os << key << " = " << section.values.at(key) << '\n';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void IniFile::save(const std::string& path) const {
+  std::ofstream stream(path, std::ios::trunc);
+  if (!stream) {
+    throw IOError("cannot create ini file: " + path);
+  }
+  stream << serialize();
+  if (!stream) {
+    throw IOError("write failure on ini file: " + path);
+  }
+}
+
+} // namespace vates

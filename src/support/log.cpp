@@ -1,0 +1,63 @@
+#include "vates/support/log.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+namespace vates {
+
+const char* logLevelTag(LogLevel level) noexcept {
+  switch (level) {
+  case LogLevel::Debug: return "DEBUG";
+  case LogLevel::Info:  return "INFO ";
+  case LogLevel::Warn:  return "WARN ";
+  case LogLevel::Error: return "ERROR";
+  case LogLevel::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+
+LogLevel parseLogLevel(const std::string& text) {
+  std::string lower(text.size(), '\0');
+  std::transform(text.begin(), text.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info")  return LogLevel::Info;
+  if (lower == "warn")  return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off")   return LogLevel::Off;
+  throw InvalidArgument("unknown log level: '" + text + "'");
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::setLevel(LogLevel level) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return level_;
+}
+
+void Logger::setStream(std::ostream* stream) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stream_ = stream;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) {
+    return;
+  }
+  std::ostream& os = stream_ != nullptr ? *stream_ : std::clog;
+  os << '[' << logLevelTag(level) << "] " << message << '\n';
+}
+
+} // namespace vates

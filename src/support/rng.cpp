@@ -1,0 +1,108 @@
+#include "vates/support/rng.hpp"
+
+#include <cmath>
+
+namespace vates {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) {
+    s = sm.next();
+  }
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed, std::uint64_t streamId) noexcept {
+  // Mix the stream id through SplitMix64 so that consecutive ids yield
+  // unrelated states; then expand as usual.
+  SplitMix64 mixer(seed ^ (0x9e3779b97f4a7c15ULL * (streamId + 1)));
+  for (auto& s : state_) {
+    s = mixer.next();
+  }
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  // 53 high bits -> [0,1) double, the canonical mapping.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::uniformInt(std::uint64_t n) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+double Xoshiro256::normal() noexcept {
+  if (hasCachedNormal_) {
+    hasCachedNormal_ = false;
+    return cachedNormal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cachedNormal_ = radius * std::sin(angle);
+  hasCachedNormal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Xoshiro256::normal(double mean, double sigma) noexcept {
+  return mean + sigma * normal();
+}
+
+double Xoshiro256::exponential(double rate) noexcept {
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Xoshiro256::poisson(double mean) noexcept {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++k;
+    product *= uniform();
+  }
+  return k;
+}
+
+} // namespace vates

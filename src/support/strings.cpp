@@ -1,0 +1,81 @@
+#include "vates/support/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace vates {
+
+std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(const std::string& text) {
+  const auto notSpace = [](unsigned char c) { return std::isspace(c) == 0; };
+  auto first = std::find_if(text.begin(), text.end(), notSpace);
+  auto last = std::find_if(text.rbegin(), text.rend(), notSpace).base();
+  return first < last ? std::string(first, last) : std::string();
+}
+
+std::string toLower(const std::string& text) {
+  std::string lower(text.size(), '\0');
+  std::transform(text.begin(), text.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return lower;
+}
+
+std::string humanBytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return unit == 0 ? strfmt("%llu B", static_cast<unsigned long long>(bytes))
+                   : strfmt("%.1f %s", value, units[unit]);
+}
+
+std::string withCommas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int countdown = static_cast<int>(digits.size());
+  for (char c : digits) {
+    out.push_back(c);
+    --countdown;
+    if (countdown > 0 && countdown % 3 == 0) {
+      out.push_back(',');
+    }
+  }
+  return out;
+}
+
+} // namespace vates

@@ -1,0 +1,83 @@
+#include "vates/support/timer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace vates {
+
+void StageTimes::add(const std::string& name, double seconds) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    order_.push_back(name);
+  }
+  it->second.total += seconds;
+  it->second.count += 1;
+}
+
+double StageTimes::total(const std::string& name) const noexcept {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.total;
+}
+
+std::size_t StageTimes::count(const std::string& name) const noexcept {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+double StageTimes::grandTotal() const noexcept {
+  double sum = 0.0;
+  for (const auto& [name, entry] : entries_) {
+    sum += entry.total;
+  }
+  return sum;
+}
+
+void StageTimes::merge(const StageTimes& other) {
+  for (const auto& name : other.order_) {
+    const auto& entry = other.entries_.at(name);
+    auto [it, inserted] = entries_.try_emplace(name);
+    if (inserted) {
+      order_.push_back(name);
+    }
+    it->second.total += entry.total;
+    it->second.count += entry.count;
+  }
+}
+
+void StageTimes::mergeMax(const StageTimes& other) {
+  for (const auto& name : other.order_) {
+    const auto& entry = other.entries_.at(name);
+    auto [it, inserted] = entries_.try_emplace(name);
+    if (inserted) {
+      order_.push_back(name);
+    }
+    it->second.total = std::max(it->second.total, entry.total);
+    it->second.count = std::max(it->second.count, entry.count);
+  }
+}
+
+void StageTimes::clear() noexcept {
+  entries_.clear();
+  order_.clear();
+}
+
+std::string StageTimes::table(const std::string& title) const {
+  std::ostringstream os;
+  os << title << '\n';
+  os << std::left << std::setw(24) << "Stage" << std::right << std::setw(12)
+     << "WCT (s)" << std::setw(8) << "calls" << '\n';
+  os << std::string(44, '-') << '\n';
+  for (const auto& name : order_) {
+    const auto& entry = entries_.at(name);
+    os << std::left << std::setw(24) << name << std::right << std::setw(12)
+       << std::fixed << std::setprecision(4) << entry.total << std::setw(8)
+       << entry.count << '\n';
+  }
+  os << std::string(44, '-') << '\n';
+  os << std::left << std::setw(24) << "Total" << std::right << std::setw(12)
+     << std::fixed << std::setprecision(4) << grandTotal() << '\n';
+  return os.str();
+}
+
+} // namespace vates

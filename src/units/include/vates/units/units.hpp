@@ -1,0 +1,58 @@
+#pragma once
+/// \file units.hpp
+/// Physical constants and unit conversions for time-of-flight (TOF)
+/// neutron scattering.
+///
+/// Conventions (matching Mantid):
+///  - wavelength λ in Ångström,
+///  - momentum magnitude k = 2π/λ in Å⁻¹,
+///  - TOF in microseconds,
+///  - flight path lengths in metres,
+///  - energies in meV.
+///
+/// The de Broglie relation for a neutron travelling a path of length L
+/// in time t is λ[Å] = (h / m_n) · t / L, with (h/m_n) ≈ 3956.034 m/s·Å
+/// when t is in seconds.  These conversions drive the synthetic event
+/// generators and the momentum band [k_min, k_max] that bounds every
+/// MDNorm trajectory.
+
+#include <cstdint>
+
+namespace vates::units {
+
+/// Planck constant over neutron mass, in m·Å/s: v[m/s] = kHoverM / λ[Å].
+inline constexpr double kHoverM = 3956.034;
+
+/// 2π, used for k = 2π/λ.
+inline constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Neutron energy in meV from wavelength in Å: E = 81.8042 / λ².
+inline constexpr double kEnergyFromLambdaCoeff = 81.80420;
+
+/// Wavelength (Å) from TOF (µs) over a total flight path (m).
+double wavelengthFromTof(double tofMicroseconds, double pathMetres);
+
+/// TOF (µs) from wavelength (Å) over a total flight path (m).
+double tofFromWavelength(double lambdaAngstrom, double pathMetres);
+
+/// Momentum magnitude k (Å⁻¹) from wavelength (Å).
+double momentumFromWavelength(double lambdaAngstrom);
+
+/// Wavelength (Å) from momentum magnitude k (Å⁻¹).
+double wavelengthFromMomentum(double kInvAngstrom);
+
+/// Neutron kinetic energy (meV) from wavelength (Å).
+double energyFromWavelength(double lambdaAngstrom);
+
+/// Wavelength (Å) from neutron kinetic energy (meV).
+double wavelengthFromEnergy(double energyMeV);
+
+/// Momentum band [kMin, kMax] corresponding to a wavelength band
+/// [lambdaMin, lambdaMax]; validates ordering and positivity.
+struct MomentumBand {
+  double kMin = 0.0;
+  double kMax = 0.0;
+};
+MomentumBand momentumBandFromWavelengthBand(double lambdaMin, double lambdaMax);
+
+} // namespace vates::units

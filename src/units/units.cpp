@@ -1,0 +1,51 @@
+#include "vates/units/units.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <cmath>
+
+namespace vates::units {
+
+double wavelengthFromTof(double tofMicroseconds, double pathMetres) {
+  VATES_REQUIRE(tofMicroseconds > 0.0, "TOF must be positive");
+  VATES_REQUIRE(pathMetres > 0.0, "flight path must be positive");
+  // λ = (h/m) * t / L with t in seconds.
+  return kHoverM * (tofMicroseconds * 1e-6) / pathMetres;
+}
+
+double tofFromWavelength(double lambdaAngstrom, double pathMetres) {
+  VATES_REQUIRE(lambdaAngstrom > 0.0, "wavelength must be positive");
+  VATES_REQUIRE(pathMetres > 0.0, "flight path must be positive");
+  return lambdaAngstrom * pathMetres / kHoverM * 1e6;
+}
+
+double momentumFromWavelength(double lambdaAngstrom) {
+  VATES_REQUIRE(lambdaAngstrom > 0.0, "wavelength must be positive");
+  return kTwoPi / lambdaAngstrom;
+}
+
+double wavelengthFromMomentum(double kInvAngstrom) {
+  VATES_REQUIRE(kInvAngstrom > 0.0, "momentum must be positive");
+  return kTwoPi / kInvAngstrom;
+}
+
+double energyFromWavelength(double lambdaAngstrom) {
+  VATES_REQUIRE(lambdaAngstrom > 0.0, "wavelength must be positive");
+  return kEnergyFromLambdaCoeff / (lambdaAngstrom * lambdaAngstrom);
+}
+
+double wavelengthFromEnergy(double energyMeV) {
+  VATES_REQUIRE(energyMeV > 0.0, "energy must be positive");
+  return std::sqrt(kEnergyFromLambdaCoeff / energyMeV);
+}
+
+MomentumBand momentumBandFromWavelengthBand(double lambdaMin,
+                                            double lambdaMax) {
+  VATES_REQUIRE(lambdaMin > 0.0 && lambdaMax > lambdaMin,
+                "need 0 < lambdaMin < lambdaMax");
+  // Longer wavelength -> smaller momentum, so the band flips.
+  return MomentumBand{momentumFromWavelength(lambdaMax),
+                      momentumFromWavelength(lambdaMin)};
+}
+
+} // namespace vates::units

@@ -1,0 +1,61 @@
+#pragma once
+/// \file task_graph.hpp
+/// Dependency graph of named tasks — the orchestration substrate for
+/// the facility-integration workflow of the paper's Fig. 1.
+///
+/// The DOE IRI program the paper targets treats a measurement campaign
+/// as a *workflow*: acquisition → load → convert → reduce → publish
+/// stages with data dependencies, scheduled over heterogeneous
+/// resources (the related-work systems — ADARA, CALVERA, INTERSECT —
+/// are all workflow managers at heart).  TaskGraph models the
+/// dependency structure; Scheduler (scheduler.hpp) executes it.
+///
+/// Tasks are arbitrary callables.  Edges mean "must complete before".
+/// Cycles are rejected at validation time with the offending task
+/// named.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vates::wf {
+
+using TaskId = std::size_t;
+
+class TaskGraph {
+public:
+  /// Register a task; returns its id.  Work runs exactly once.
+  TaskId addTask(std::string name, std::function<void()> work);
+
+  /// Require \p before to finish before \p after may start.
+  /// Duplicate edges are ignored.
+  void addDependency(TaskId before, TaskId after);
+
+  std::size_t size() const noexcept { return names_.size(); }
+  bool empty() const noexcept { return names_.empty(); }
+  const std::string& name(TaskId id) const;
+
+  /// Direct successors of \p id.
+  const std::vector<TaskId>& successors(TaskId id) const;
+
+  /// In-degree (count of prerequisite tasks) per task.
+  std::vector<std::size_t> indegrees() const;
+
+  /// Kahn's algorithm; throws InvalidArgument naming a task on any
+  /// cycle.  Also the validation entry point.
+  std::vector<TaskId> topologicalOrder() const;
+
+  /// Execute one task's work (used by the scheduler).
+  void runTask(TaskId id) const;
+
+private:
+  void checkId(TaskId id) const;
+
+  std::vector<std::string> names_;
+  std::vector<std::function<void()>> work_;
+  std::vector<std::vector<TaskId>> successors_;
+  std::vector<std::vector<TaskId>> predecessors_;
+};
+
+} // namespace vates::wf

@@ -1,0 +1,134 @@
+#include "vates/workflow/scheduler.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+#include "vates/support/timer.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace vates::wf {
+
+double WorkflowReport::totalWork() const noexcept {
+  double sum = 0.0;
+  for (const TaskTiming& timing : timings) {
+    sum += timing.seconds;
+  }
+  return sum;
+}
+
+double WorkflowReport::speedup() const noexcept {
+  return makespan > 0.0 ? totalWork() / makespan : 0.0;
+}
+
+std::string WorkflowReport::table(const std::string& title) const {
+  std::ostringstream os;
+  os << title << '\n';
+  os << strfmt("%-32s %10s %10s %8s\n", "task", "start (s)", "dur (s)",
+               "worker");
+  os << std::string(64, '-') << '\n';
+  for (const TaskTiming& timing : timings) {
+    os << strfmt("%-32s %10.4f %10.4f %8u\n", timing.name.c_str(),
+                 timing.startOffset, timing.seconds, timing.worker);
+  }
+  os << std::string(64, '-') << '\n';
+  os << strfmt("makespan %.4f s, work %.4f s, task overlap %.2fx\n", makespan,
+               totalWork(), speedup());
+  return os.str();
+}
+
+Scheduler::Scheduler(unsigned workers) : workers_(workers) {
+  VATES_REQUIRE(workers >= 1, "scheduler needs at least one worker");
+}
+
+WorkflowReport Scheduler::run(const TaskGraph& graph) const {
+  graph.topologicalOrder(); // validates (throws on cycles)
+
+  WorkflowReport report;
+  if (graph.empty()) {
+    return report;
+  }
+
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<TaskId> runnable;
+  std::vector<std::size_t> degrees = graph.indegrees();
+  std::size_t completed = 0;
+  bool failed = false;
+  std::exception_ptr firstError;
+  const WallTimer workflowClock;
+
+  for (TaskId id = 0; id < graph.size(); ++id) {
+    if (degrees[id] == 0) {
+      runnable.push_back(id);
+    }
+  }
+
+  auto workerLoop = [&](unsigned workerIndex) {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      ready.wait(lock, [&] {
+        return failed || !runnable.empty() || completed == graph.size();
+      });
+      if (failed || completed == graph.size()) {
+        return;
+      }
+      const TaskId id = runnable.front();
+      runnable.pop_front();
+      lock.unlock();
+
+      const double startOffset = workflowClock.seconds();
+      WallTimer taskClock;
+      std::exception_ptr error;
+      try {
+        graph.runTask(id);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const double seconds = taskClock.seconds();
+
+      lock.lock();
+      if (error) {
+        if (!failed) {
+          failed = true;
+          firstError = error;
+        }
+        ready.notify_all();
+        return;
+      }
+      report.timings.push_back(
+          TaskTiming{graph.name(id), seconds, workerIndex, startOffset});
+      ++completed;
+      for (const TaskId next : graph.successors(id)) {
+        if (--degrees[next] == 0) {
+          runnable.push_back(next);
+        }
+      }
+      ready.notify_all();
+      if (completed == graph.size()) {
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_);
+  for (unsigned worker = 0; worker < workers_; ++worker) {
+    threads.emplace_back(workerLoop, worker);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  if (firstError) {
+    std::rethrow_exception(firstError);
+  }
+  report.makespan = workflowClock.seconds();
+  return report;
+}
+
+} // namespace vates::wf

@@ -1,0 +1,92 @@
+#include "vates/workflow/task_graph.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace vates::wf {
+
+TaskId TaskGraph::addTask(std::string name, std::function<void()> work) {
+  VATES_REQUIRE(static_cast<bool>(work), "task needs a callable");
+  const TaskId id = names_.size();
+  names_.push_back(std::move(name));
+  work_.push_back(std::move(work));
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return id;
+}
+
+void TaskGraph::checkId(TaskId id) const {
+  VATES_REQUIRE(id < names_.size(), "task id out of range");
+}
+
+void TaskGraph::addDependency(TaskId before, TaskId after) {
+  checkId(before);
+  checkId(after);
+  VATES_REQUIRE(before != after, "a task cannot depend on itself");
+  auto& successors = successors_[before];
+  if (std::find(successors.begin(), successors.end(), after) !=
+      successors.end()) {
+    return; // duplicate edge
+  }
+  successors.push_back(after);
+  predecessors_[after].push_back(before);
+}
+
+const std::string& TaskGraph::name(TaskId id) const {
+  checkId(id);
+  return names_[id];
+}
+
+const std::vector<TaskId>& TaskGraph::successors(TaskId id) const {
+  checkId(id);
+  return successors_[id];
+}
+
+std::vector<std::size_t> TaskGraph::indegrees() const {
+  std::vector<std::size_t> degrees(names_.size());
+  for (TaskId id = 0; id < names_.size(); ++id) {
+    degrees[id] = predecessors_[id].size();
+  }
+  return degrees;
+}
+
+std::vector<TaskId> TaskGraph::topologicalOrder() const {
+  std::vector<std::size_t> degrees = indegrees();
+  std::deque<TaskId> ready;
+  for (TaskId id = 0; id < names_.size(); ++id) {
+    if (degrees[id] == 0) {
+      ready.push_back(id);
+    }
+  }
+  std::vector<TaskId> order;
+  order.reserve(names_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (const TaskId next : successors_[id]) {
+      if (--degrees[next] == 0) {
+        ready.push_back(next);
+      }
+    }
+  }
+  if (order.size() != names_.size()) {
+    // Some task kept a non-zero in-degree: it sits on a cycle.
+    for (TaskId id = 0; id < names_.size(); ++id) {
+      if (degrees[id] != 0) {
+        throw InvalidArgument("workflow graph has a cycle through task '" +
+                              names_[id] + "'");
+      }
+    }
+  }
+  return order;
+}
+
+void TaskGraph::runTask(TaskId id) const {
+  checkId(id);
+  work_[id]();
+}
+
+} // namespace vates::wf

@@ -1,0 +1,168 @@
+// Tests for post-reduction analysis: merging partial reductions and
+// background subtraction.
+
+#include "vates/core/analysis.hpp"
+#include "vates/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+namespace vates::core {
+namespace {
+
+double worstAbsDiff(const Histogram3D& a, const Histogram3D& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a.data()[i], y = b.data()[i];
+    if (std::isnan(x) && std::isnan(y)) {
+      continue;
+    }
+    worst = std::max(worst, std::fabs(x - y));
+  }
+  return worst;
+}
+
+ReducedData toReduced(const ReductionResult& result) {
+  return ReducedData{result.signal, result.normalization,
+                     result.crossSection};
+}
+
+TEST(MergeReducedData, SplitCampaignEqualsFullCampaign) {
+  // Reduce runs [0,18) and [18,36) separately (as two "facilities"
+  // would), merge, and compare against the single full reduction.
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionPipeline pipeline(setup, config);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("vates_merge_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto paths = pipeline.writeRunFiles(dir.string());
+  const std::size_t half = paths.size() / 2;
+  const std::vector<std::string> firstHalf(paths.begin(),
+                                           paths.begin() + half);
+  const std::vector<std::string> secondHalf(paths.begin() + half,
+                                            paths.end());
+
+  const ReductionResult full = pipeline.runFromFiles(paths);
+  const ReductionResult partA = pipeline.runFromFiles(firstHalf);
+  const ReductionResult partB = pipeline.runFromFiles(secondHalf);
+  std::filesystem::remove_all(dir);
+
+  const ReducedData merged =
+      mergeReducedData({toReduced(partA), toReduced(partB)});
+  EXPECT_LT(worstAbsDiff(merged.signal, full.signal), 1e-9);
+  EXPECT_LT(worstAbsDiff(merged.normalization, full.normalization), 1e-9);
+  EXPECT_LT(worstAbsDiff(merged.crossSection, full.crossSection), 1e-9);
+}
+
+TEST(MergeReducedData, FileRoundTripMerge) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("vates_merge_files_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string fileA = (dir / "part_a.nxl").string();
+  const std::string fileB = (dir / "part_b.nxl").string();
+  saveReducedData(fileA, result.signal, result.normalization,
+                  result.crossSection);
+  saveReducedData(fileB, result.signal, result.normalization,
+                  result.crossSection);
+
+  const ReducedData merged = mergeReducedFiles({fileA, fileB});
+  std::filesystem::remove_all(dir);
+  // Two identical parts: doubled masses, unchanged cross-section.
+  EXPECT_NEAR(merged.signal.totalSignal(), 2.0 * result.signal.totalSignal(),
+              1e-6);
+  EXPECT_LT(worstAbsDiff(merged.crossSection, result.crossSection), 1e-12);
+}
+
+TEST(MergeReducedData, RejectsMismatchedShapesAndEmpty) {
+  Histogram3D a(BinAxis("x", 0, 1, 2), BinAxis("y", 0, 1, 2),
+                BinAxis("z", 0, 1, 1));
+  Histogram3D b(BinAxis("x", 0, 1, 3), BinAxis("y", 0, 1, 2),
+                BinAxis("z", 0, 1, 1));
+  const ReducedData partA{a, a.emptyLike(), a.emptyLike()};
+  const ReducedData partB{b, b.emptyLike(), b.emptyLike()};
+  EXPECT_THROW(mergeReducedData({partA, partB}), InvalidArgument);
+  EXPECT_THROW(mergeReducedData({}), InvalidArgument);
+  EXPECT_THROW(mergeReducedFiles({}), InvalidArgument);
+}
+
+TEST(SubtractBackground, BinWiseArithmeticAndNaNs) {
+  Histogram3D sample(BinAxis("x", 0, 2, 2), BinAxis("y", 0, 1, 1),
+                     BinAxis("z", 0, 1, 1));
+  Histogram3D background = sample.emptyLike();
+  sample.data()[0] = 5.0;
+  sample.data()[1] = std::numeric_limits<double>::quiet_NaN();
+  background.data()[0] = 1.5;
+  background.data()[1] = 1.0;
+
+  const Histogram3D net = subtractBackground(sample, background, 2.0);
+  EXPECT_DOUBLE_EQ(net.data()[0], 5.0 - 2.0 * 1.5);
+  EXPECT_TRUE(std::isnan(net.data()[1]));
+
+  Histogram3D wrong(BinAxis("x", 0, 2, 3), BinAxis("y", 0, 1, 1),
+                    BinAxis("z", 0, 1, 1));
+  EXPECT_THROW(subtractBackground(sample, wrong), InvalidArgument);
+}
+
+TEST(SubtractBackground, RemovesDiffuseFloorFromSampleMeasurement) {
+  // "Sample" = Bragg + diffuse; "background" = the same measurement
+  // with no Bragg component.  After subtraction the diffuse floor is
+  // gone: block averages off the Bragg peaks drop towards zero while
+  // peak regions stay positive.
+  WorkloadSpec sampleSpec = WorkloadSpec::benzilCorelli(0.0005);
+  sampleSpec.bins = {100, 100, 1};
+  sampleSpec.eventsPerFile = 20000;
+  // Sharp peaks so a genuine off-peak diffuse floor exists between
+  // lattice nodes (the default width leaves Bragg tails everywhere).
+  sampleSpec.braggSigma = 0.015;
+  WorkloadSpec backgroundSpec = sampleSpec;
+  backgroundSpec.braggAmplitude = 0.0;
+
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult sample =
+      ReductionPipeline(ExperimentSetup(sampleSpec), config).run();
+  const ReductionResult background =
+      ReductionPipeline(ExperimentSetup(backgroundSpec), config).run();
+
+  const Histogram3D net =
+      subtractBackground(sample.crossSection, background.crossSection);
+
+  // Per-bin values are noisy (independent draws) and Bragg peaks carry
+  // most of the integral, so compare *medians*: the typical (off-peak)
+  // bin of the sample sits at the diffuse floor, while the typical net
+  // bin should be centred near zero.
+  std::vector<double> sampleValues, netValues;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const double s = sample.crossSection.data()[i];
+    const double n = net.data()[i];
+    if (std::isfinite(s) && std::isfinite(n)) {
+      sampleValues.push_back(s);
+      netValues.push_back(n);
+    }
+  }
+  ASSERT_GT(sampleValues.size(), 1000u);
+  auto median = [](std::vector<double> values) {
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    return values[values.size() / 2];
+  };
+  const double sampleMedian = median(sampleValues);
+  const double netMedian = median(netValues);
+  ASSERT_GT(sampleMedian, 0.0);
+  EXPECT_LT(std::fabs(netMedian), 0.35 * sampleMedian);
+}
+
+} // namespace
+} // namespace vates::core

@@ -1,0 +1,202 @@
+// Tests for the MDBox event hierarchy (the MDEventWorkspace counterpart
+// backing the Garnet-style baseline's BinMD).
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/events/md_box_tree.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace vates {
+namespace {
+
+EventTable uniformEvents(std::size_t n, double extent, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  EventTable table;
+  table.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    table.append(1.0, 1.0, 0.0, static_cast<double>(i % 100), 0.0,
+                 V3{rng.uniform(-extent, extent), rng.uniform(-extent, extent),
+                    rng.uniform(-extent, extent)});
+  }
+  return table;
+}
+
+EventTable clusteredEvents(std::size_t n, std::uint64_t seed) {
+  // Half the events in a tight Bragg-like cluster, half spread out.
+  Xoshiro256 rng(seed);
+  EventTable table;
+  table.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      table.append(2.0, 2.0, 0.0, 0.0, 0.0,
+                   V3{2.0 + rng.normal(0.0, 0.01), -1.0 + rng.normal(0.0, 0.01),
+                      0.5 + rng.normal(0.0, 0.01)});
+    } else {
+      table.append(0.5, 0.5, 0.0, 0.0, 0.0,
+                   V3{rng.uniform(-8, 8), rng.uniform(-8, 8),
+                      rng.uniform(-8, 8)});
+    }
+  }
+  return table;
+}
+
+TEST(MDBoxTree, PreservesEveryEventExactlyOnce) {
+  const EventTable events = uniformEvents(5000, 5.0, 1);
+  const MDBoxTree tree(events);
+  EXPECT_EQ(tree.totalEvents(), events.size());
+
+  std::set<std::uint32_t> seen;
+  tree.forEachLeaf([&](const MDBoxTree::BoxInfo&,
+                       std::span<const std::uint32_t> indices) {
+    for (const std::uint32_t index : indices) {
+      EXPECT_TRUE(seen.insert(index).second) << "duplicate event " << index;
+    }
+  });
+  EXPECT_EQ(seen.size(), events.size());
+}
+
+TEST(MDBoxTree, LeafEventsLieInsideTheirBox) {
+  const EventTable events = uniformEvents(4000, 3.0, 2);
+  const MDBoxTree tree(events);
+  tree.forEachLeaf([&](const MDBoxTree::BoxInfo& box,
+                       std::span<const std::uint32_t> indices) {
+    for (const std::uint32_t index : indices) {
+      const V3 q = events.qSample(index);
+      for (std::size_t axis = 0; axis < 3; ++axis) {
+        ASSERT_GE(q[axis], box.lo[axis]);
+        ASSERT_LT(q[axis], box.hi[axis]);
+      }
+    }
+  });
+}
+
+TEST(MDBoxTree, RespectsCapacityOrDepthLimit) {
+  MDBoxOptions options;
+  options.leafCapacity = 32;
+  options.maxDepth = 8;
+  const EventTable events = uniformEvents(10000, 5.0, 3);
+  const MDBoxTree tree(events, options);
+  tree.forEachLeaf([&](const MDBoxTree::BoxInfo& box,
+                       std::span<const std::uint32_t> indices) {
+    EXPECT_TRUE(indices.size() <= options.leafCapacity ||
+                box.depth == options.maxDepth)
+        << "leaf with " << indices.size() << " events at depth " << box.depth;
+  });
+  EXPECT_LE(tree.maxDepthUsed(), options.maxDepth);
+}
+
+TEST(MDBoxTree, AdaptsToDensity) {
+  // The clustered half must drive deep splitting near the cluster while
+  // sparse space stays shallow — the "adaptive strategy" of Mantid.
+  MDBoxOptions options;
+  options.leafCapacity = 32;
+  const EventTable events = clusteredEvents(20000, 4);
+  const MDBoxTree tree(events, options);
+
+  std::size_t clusterDepth = 0, sparseDepth = 0;
+  tree.forEachLeaf([&](const MDBoxTree::BoxInfo& box,
+                       std::span<const std::uint32_t> indices) {
+    if (indices.empty()) {
+      return;
+    }
+    const V3 center = (box.lo + box.hi) * 0.5;
+    const double distanceToCluster = (center - V3{2.0, -1.0, 0.5}).norm();
+    if (distanceToCluster < 0.5) {
+      clusterDepth = std::max(clusterDepth, box.depth);
+    } else if (distanceToCluster > 4.0) {
+      sparseDepth = std::max(sparseDepth, box.depth);
+    }
+  });
+  EXPECT_GT(clusterDepth, sparseDepth);
+}
+
+TEST(MDBoxTree, SplitFactorThreeWorks) {
+  MDBoxOptions options;
+  options.splitFactor = 3; // 27 children per split, closer to Mantid's 5
+  options.leafCapacity = 50;
+  const EventTable events = uniformEvents(5000, 5.0, 5);
+  const MDBoxTree tree(events, options);
+  EXPECT_EQ(tree.totalEvents(), events.size());
+  // Root split produces 27 children at least.
+  EXPECT_GE(tree.nBoxes(), 28u);
+}
+
+TEST(MDBoxTree, RegionQueryMatchesBruteForce) {
+  const EventTable events = clusteredEvents(8000, 6);
+  const MDBoxTree tree(events);
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    V3 lo{rng.uniform(-9, 5), rng.uniform(-9, 5), rng.uniform(-9, 5)};
+    V3 hi = lo + V3{rng.uniform(0.5, 6), rng.uniform(0.5, 6),
+                    rng.uniform(0.5, 6)};
+    double expected = 0.0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const V3 q = events.qSample(i);
+      if (q.x >= lo.x && q.x < hi.x && q.y >= lo.y && q.y < hi.y &&
+          q.z >= lo.z && q.z < hi.z) {
+        expected += events.signal(i);
+      }
+    }
+    EXPECT_NEAR(tree.signalInRegion(lo, hi), expected, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(MDBoxTree, WholeDomainQueryEqualsTotalSignal) {
+  const EventTable events = uniformEvents(3000, 2.0, 8);
+  const MDBoxTree tree(events);
+  EXPECT_NEAR(tree.signalInRegion(V3{-100, -100, -100}, V3{100, 100, 100}),
+              events.totalSignal(), 1e-9);
+}
+
+TEST(MDBoxTree, ExplicitBoundsExcludeOutsideEvents) {
+  EventTable events;
+  events.append(1.0, 1.0, 0, 0, 0, V3{0.5, 0.5, 0.5}); // inside
+  events.append(1.0, 1.0, 0, 0, 0, V3{5.0, 5.0, 5.0}); // outside
+  const MDBoxTree tree(events, V3{0, 0, 0}, V3{1, 1, 1});
+  EXPECT_EQ(tree.totalEvents(), 1u);
+}
+
+TEST(MDBoxTree, EmptyTableIsValid) {
+  const EventTable events;
+  const MDBoxTree tree(events);
+  EXPECT_EQ(tree.totalEvents(), 0u);
+  EXPECT_EQ(tree.nBoxes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.signalInRegion(V3{-1, -1, -1}, V3{1, 1, 1}), 0.0);
+}
+
+TEST(MDBoxTree, DeterministicRebuild) {
+  const EventTable events = clusteredEvents(6000, 9);
+  const MDBoxTree a(events), b(events);
+  EXPECT_EQ(a.nBoxes(), b.nBoxes());
+  EXPECT_EQ(a.nLeaves(), b.nLeaves());
+  EXPECT_EQ(a.maxDepthUsed(), b.maxDepthUsed());
+}
+
+TEST(MDBoxTree, InvalidOptionsThrow) {
+  const EventTable events = uniformEvents(10, 1.0, 10);
+  MDBoxOptions zeroCapacity;
+  zeroCapacity.leafCapacity = 0;
+  EXPECT_THROW((MDBoxTree{events, zeroCapacity}), InvalidArgument);
+  MDBoxOptions unitSplit;
+  unitSplit.splitFactor = 1;
+  EXPECT_THROW((MDBoxTree{events, unitSplit}), InvalidArgument);
+  EXPECT_THROW((MDBoxTree{events, V3{1, 0, 0}, V3{0, 1, 1}}), InvalidArgument);
+}
+
+TEST(MDBoxTree, WorkloadEventsBuildReasonableTree) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.002));
+  const EventTable events = setup.makeGenerator().generate(0);
+  const MDBoxTree tree(events);
+  EXPECT_EQ(tree.totalEvents(), events.size());
+  EXPECT_GT(tree.nLeaves(), 1u);
+  EXPECT_GT(tree.maxDepthUsed(), 1u);
+}
+
+} // namespace
+} // namespace vates

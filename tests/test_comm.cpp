@@ -1,0 +1,213 @@
+// Tests for the minimpi in-process communicator.
+
+#include "vates/comm/minimpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+namespace vates::comm {
+namespace {
+
+TEST(MiniMpi, WorldRunsEveryRankOnce) {
+  std::vector<std::atomic<int>> hits(4);
+  World::run(4, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    hits[static_cast<std::size_t>(comm.rank())]++;
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(MiniMpi, SingleRankWorld) {
+  World::run(1, [](Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    std::vector<double> data{1.0, 2.0};
+    comm.allReduceSum(std::span<double>(data));
+    EXPECT_DOUBLE_EQ(data[0], 1.0);
+    EXPECT_DOUBLE_EQ(data[1], 2.0);
+  });
+}
+
+TEST(MiniMpi, ExceptionFromRankPropagates) {
+  EXPECT_THROW(World::run(3,
+                          [](Communicator& comm) {
+                            if (comm.rank() == 2) {
+                              throw std::runtime_error("rank 2 failed");
+                            }
+                          }),
+               std::runtime_error);
+}
+
+TEST(MiniMpi, ReduceSumDepositsOnRoot) {
+  const int nRanks = 4;
+  std::vector<std::vector<double>> buffers(nRanks);
+  World::run(nRanks, [&](Communicator& comm) {
+    auto& mine = buffers[static_cast<std::size_t>(comm.rank())];
+    mine = {double(comm.rank()), 10.0 * comm.rank(), 1.0};
+    comm.reduceSum(std::span<double>(mine), /*root=*/0);
+  });
+  // root got 0+1+2+3, 0+10+20+30, 4
+  EXPECT_DOUBLE_EQ(buffers[0][0], 6.0);
+  EXPECT_DOUBLE_EQ(buffers[0][1], 60.0);
+  EXPECT_DOUBLE_EQ(buffers[0][2], 4.0);
+  // non-roots untouched
+  EXPECT_DOUBLE_EQ(buffers[2][0], 2.0);
+  EXPECT_DOUBLE_EQ(buffers[2][1], 20.0);
+}
+
+TEST(MiniMpi, ReduceSumNonZeroRoot) {
+  const int nRanks = 3;
+  std::vector<std::vector<std::uint64_t>> buffers(nRanks);
+  World::run(nRanks, [&](Communicator& comm) {
+    auto& mine = buffers[static_cast<std::size_t>(comm.rank())];
+    mine = {std::uint64_t(1) << comm.rank()};
+    comm.reduceSum(std::span<std::uint64_t>(mine), /*root=*/2);
+  });
+  EXPECT_EQ(buffers[2][0], 7u); // 1 + 2 + 4
+  EXPECT_EQ(buffers[0][0], 1u);
+}
+
+TEST(MiniMpi, AllReduceSumIdenticalEverywhere) {
+  const int nRanks = 5;
+  std::vector<std::vector<double>> buffers(nRanks);
+  World::run(nRanks, [&](Communicator& comm) {
+    auto& mine = buffers[static_cast<std::size_t>(comm.rank())];
+    mine = {1.0, double(comm.rank())};
+    comm.allReduceSum(std::span<double>(mine));
+  });
+  for (int r = 0; r < nRanks; ++r) {
+    EXPECT_DOUBLE_EQ(buffers[r][0], 5.0);
+    EXPECT_DOUBLE_EQ(buffers[r][1], 10.0);
+  }
+}
+
+TEST(MiniMpi, AllReduceIsDeterministicAcrossRepeats) {
+  // Rank-ordered summation: repeated runs give bit-identical results
+  // even with values that don't commute losslessly in floating point.
+  std::vector<double> reference;
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    std::vector<double> result(1, 0.0);
+    World::run(6, [&](Communicator& comm) {
+      std::vector<double> mine{std::pow(1.1, comm.rank()) * 1e-3 + 1e10};
+      comm.allReduceSum(std::span<double>(mine));
+      if (comm.rank() == 0) {
+        result[0] = mine[0];
+      }
+    });
+    if (repeat == 0) {
+      reference = result;
+    } else {
+      EXPECT_EQ(result[0], reference[0]); // bitwise
+    }
+  }
+}
+
+TEST(MiniMpi, ScalarCollectives) {
+  World::run(4, [](Communicator& comm) {
+    EXPECT_DOUBLE_EQ(comm.allReduceSum(1.5), 6.0);
+    EXPECT_EQ(comm.allReduceSum(std::uint64_t(comm.rank())), 6u);
+    EXPECT_DOUBLE_EQ(comm.allReduceMax(double(comm.rank())), 3.0);
+    EXPECT_DOUBLE_EQ(comm.allReduceMin(double(comm.rank())), 0.0);
+  });
+}
+
+TEST(MiniMpi, BcastCopiesRootData) {
+  const int nRanks = 4;
+  std::vector<std::vector<double>> buffers(nRanks);
+  World::run(nRanks, [&](Communicator& comm) {
+    auto& mine = buffers[static_cast<std::size_t>(comm.rank())];
+    mine = comm.rank() == 1 ? std::vector<double>{7.0, 8.0, 9.0}
+                            : std::vector<double>{0.0, 0.0, 0.0};
+    comm.bcast(std::span<double>(mine), /*root=*/1);
+  });
+  for (int r = 0; r < nRanks; ++r) {
+    EXPECT_DOUBLE_EQ(buffers[r][0], 7.0);
+    EXPECT_DOUBLE_EQ(buffers[r][2], 9.0);
+  }
+}
+
+TEST(MiniMpi, AllGatherOrdersByRank) {
+  World::run(3, [](Communicator& comm) {
+    const auto gathered = comm.allGather(double(comm.rank() * 10));
+    ASSERT_EQ(gathered.size(), 3u);
+    EXPECT_DOUBLE_EQ(gathered[0], 0.0);
+    EXPECT_DOUBLE_EQ(gathered[1], 10.0);
+    EXPECT_DOUBLE_EQ(gathered[2], 20.0);
+  });
+}
+
+TEST(MiniMpi, BarrierSynchronizesPhases) {
+  const int nRanks = 4;
+  std::atomic<int> phase1{0};
+  std::atomic<bool> sawIncomplete{false};
+  World::run(nRanks, [&](Communicator& comm) {
+    phase1++;
+    comm.barrier();
+    if (phase1.load() != nRanks) {
+      sawIncomplete = true;
+    }
+  });
+  EXPECT_FALSE(sawIncomplete.load());
+}
+
+TEST(MiniMpi, RepeatedCollectivesDoNotDeadlock) {
+  World::run(3, [](Communicator& comm) {
+    for (int i = 0; i < 50; ++i) {
+      std::vector<double> data{double(i + comm.rank())};
+      comm.allReduceSum(std::span<double>(data));
+      comm.barrier();
+      const double scalar = comm.allReduceSum(1.0);
+      EXPECT_DOUBLE_EQ(scalar, 3.0);
+    }
+  });
+}
+
+TEST(MiniMpi, InvalidRootThrows) {
+  EXPECT_THROW(World::run(2,
+                          [](Communicator& comm) {
+                            std::vector<double> data{1.0};
+                            comm.reduceSum(std::span<double>(data), 5);
+                          }),
+               vates::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Block decomposition (Algorithm 1's range(MPI_Rank, MPI_Size))
+
+TEST(BlockRange, PartitionsWithoutGapsOrOverlap) {
+  for (const std::size_t count : {0ul, 1ul, 7ul, 22ul, 36ul, 1000ul}) {
+    for (const int size : {1, 2, 3, 4, 8, 17}) {
+      std::size_t covered = 0;
+      std::size_t previousEnd = 0;
+      for (int rank = 0; rank < size; ++rank) {
+        const auto range = blockRange(count, rank, size);
+        EXPECT_EQ(range.begin, previousEnd);
+        previousEnd = range.end;
+        covered += range.count();
+      }
+      EXPECT_EQ(previousEnd, count);
+      EXPECT_EQ(covered, count);
+    }
+  }
+}
+
+TEST(BlockRange, BalancedWithinOne) {
+  const std::size_t count = 22; // Bixbyite's file count
+  for (const int size : {4, 8}) {
+    std::size_t smallest = count, largest = 0;
+    for (int rank = 0; rank < size; ++rank) {
+      const auto range = blockRange(count, rank, size);
+      smallest = std::min(smallest, range.count());
+      largest = std::max(largest, range.count());
+    }
+    EXPECT_LE(largest - smallest, 1u);
+  }
+}
+
+} // namespace
+} // namespace vates::comm

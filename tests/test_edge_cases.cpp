@@ -1,0 +1,168 @@
+// Edge-case sweep: degenerate workloads and configurations the
+// production system would meet in the wild (more ranks than files,
+// dead beam, empty runs, single-bin histograms).
+
+#include "vates/baseline/garnet_workflow.hpp"
+#include "vates/core/pipeline.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vates {
+namespace {
+
+TEST(EdgeCases, MoreRanksThanFiles) {
+  // 8 ranks over 3 files: five ranks have empty ranges but still
+  // participate in the collective reduce.
+  WorkloadSpec spec = WorkloadSpec::benzilCorelli(0.0004);
+  spec.nFiles = 3;
+  const ExperimentSetup setup(spec);
+
+  core::ReductionConfig oneRank;
+  oneRank.backend = Backend::Serial;
+  const core::ReductionResult reference =
+      core::ReductionPipeline(setup, oneRank).run();
+
+  core::ReductionConfig manyRanks = oneRank;
+  manyRanks.ranks = 8;
+  const core::ReductionResult result =
+      core::ReductionPipeline(setup, manyRanks).run();
+
+  EXPECT_DOUBLE_EQ(result.signal.totalSignal(),
+                   reference.signal.totalSignal());
+  EXPECT_EQ(result.eventsProcessed, reference.eventsProcessed);
+}
+
+TEST(EdgeCases, MoreRanksThanFilesOnDevice) {
+  WorkloadSpec spec = WorkloadSpec::benzilCorelli(0.0004);
+  spec.nFiles = 2;
+  const ExperimentSetup setup(spec);
+  core::ReductionConfig config;
+  config.backend = Backend::DeviceSim;
+  config.ranks = 5;
+  const core::ReductionResult result =
+      core::ReductionPipeline(setup, config).run();
+  EXPECT_GT(result.signal.totalSignal(), 0.0);
+  // Device memory balances even for ranks that staged but processed
+  // nothing.
+  EXPECT_EQ(result.deviceStats.bytesAllocated, result.deviceStats.bytesFreed);
+}
+
+TEST(EdgeCases, SingleFileSingleDetectorBinWorkload) {
+  WorkloadSpec spec = WorkloadSpec::benzilCorelli(0.0004);
+  spec.nFiles = 1;
+  spec.nDetectors = 64;   // builder minimum
+  spec.eventsPerFile = 256;
+  spec.bins = {1, 1, 1};  // a single giant bin
+  spec.extentMin = {-50, -50, -50};
+  spec.extentMax = {50, 50, 50};
+  const ExperimentSetup setup(spec);
+  core::ReductionConfig config;
+  config.backend = Backend::Serial;
+  const core::ReductionResult result =
+      core::ReductionPipeline(setup, config).run();
+  // Everything lands in the one bin.
+  EXPECT_EQ(result.signal.size(), 1u);
+  EXPECT_GT(result.signal.data()[0], 0.0);
+  EXPECT_TRUE(std::isfinite(result.crossSection.data()[0]));
+}
+
+TEST(EdgeCases, ZeroFluxYieldsEmptyNormalization) {
+  // A dead beam: the cumulative flux is flat zero, so MDNorm deposits
+  // nothing and the cross-section is NaN everywhere (covered by no
+  // normalization), but nothing crashes or divides by zero.
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const FluxSpectrum deadBeam(run.kMin, run.kMax,
+                              std::vector<double>(16, 0.0));
+
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = deadBeam.view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  Histogram3D normalization = setup.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, normalization.gridView());
+  EXPECT_DOUBLE_EQ(normalization.totalSignal(), 0.0);
+
+  Histogram3D signal = setup.makeHistogram();
+  signal.fill(1.0);
+  const Histogram3D crossSection = Histogram3D::divide(signal, normalization);
+  for (std::size_t i = 0; i < crossSection.size(); i += 997) {
+    EXPECT_TRUE(std::isnan(crossSection.data()[i]));
+  }
+}
+
+TEST(EdgeCases, FullyMaskedInstrumentProducesNothing) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  std::vector<std::uint8_t> allMasked(setup.instrument().nDetectors(), 1);
+
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+  inputs.detectorMask = allMasked.data();
+
+  Histogram3D normalization = setup.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, normalization.gridView());
+  EXPECT_DOUBLE_EQ(normalization.totalSignal(), 0.0);
+}
+
+TEST(EdgeCases, BaselineHandlesEmptyRunRange) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  const baseline::GarnetResult nothing =
+      baseline::GarnetWorkflow(setup).reduce(2, 2);
+  EXPECT_DOUBLE_EQ(nothing.signal.totalSignal(), 0.0);
+  EXPECT_EQ(nothing.times.count("MDNorm"), 0u);
+  EXPECT_THROW(baseline::GarnetWorkflow(setup).reduce(3, 1), InvalidArgument);
+}
+
+TEST(EdgeCases, ProtonChargeScalesNormalizationLinearly) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  const EventGenerator generator = setup.makeGenerator();
+  RunInfo run = generator.runInfo(0);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  inputs.protonCharge = 1.0;
+  Histogram3D unit = setup.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, unit.gridView());
+
+  inputs.protonCharge = 2.5;
+  Histogram3D scaled = setup.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, scaled.gridView());
+
+  EXPECT_NEAR(scaled.totalSignal(), 2.5 * unit.totalSignal(),
+              1e-9 * scaled.totalSignal());
+}
+
+} // namespace
+} // namespace vates

@@ -1,0 +1,273 @@
+// Tests for event tables, workload specs, the experiment setup, and the
+// synthetic event generator.
+
+#include "vates/events/event_table.hpp"
+#include "vates/events/experiment_setup.hpp"
+#include "vates/events/generator.hpp"
+#include "vates/events/workload.hpp"
+#include "vates/support/error.hpp"
+#include "vates/units/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vates {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventTable
+
+TEST(EventTable, AppendAndAccess) {
+  EventTable table;
+  table.append(2.0, 2.0, 3.0, 17.0, 3.0, V3{1.0, -2.0, 0.5});
+  table.append(1.5, 1.5, 3.0, 18.0, 3.0, V3{0.0, 0.25, -0.75});
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.signal(0), 2.0);
+  EXPECT_EQ(table.detectorId(1), 18u);
+  EXPECT_EQ(table.runIndex(0), 3u);
+  EXPECT_EQ(table.qSample(0), (V3{1.0, -2.0, 0.5}));
+  EXPECT_DOUBLE_EQ(table.totalSignal(), 3.5);
+}
+
+TEST(EventTable, RowMajorRoundTripIsExact) {
+  EventTable table;
+  for (int i = 0; i < 100; ++i) {
+    table.append(i * 0.5, i * 0.25, 1.0, i, 1.0,
+                 V3{i * 0.1, -i * 0.2, i * 0.3});
+  }
+  std::vector<double> rows(table.size() * EventTable::kColumns);
+  table.toRowMajor(rows);
+  const EventTable rebuilt = EventTable::fromRowMajor(rows);
+  EXPECT_TRUE(rebuilt == table);
+}
+
+TEST(EventTable, RowMajorLayoutIsRowPerEvent) {
+  EventTable table;
+  table.append(9.0, 8.0, 7.0, 6.0, 5.0, V3{4.0, 3.0, 2.0});
+  std::vector<double> rows(EventTable::kColumns);
+  table.toRowMajor(rows);
+  const std::vector<double> expected{9, 8, 7, 6, 5, 4, 3, 2};
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(EventTable, FromRowMajorRejectsRaggedData) {
+  std::vector<double> bad(13, 0.0); // not a multiple of 8
+  EXPECT_THROW(EventTable::fromRowMajor(bad), InvalidArgument);
+}
+
+TEST(EventTable, ResizeReserveClear) {
+  EventTable table(10);
+  EXPECT_EQ(table.size(), 10u);
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  table.reserve(100);
+  EXPECT_TRUE(table.empty());
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadSpec
+
+TEST(WorkloadSpec, BenzilMatchesTableII) {
+  const WorkloadSpec spec = WorkloadSpec::benzilCorelli(1.0);
+  EXPECT_EQ(spec.nFiles, 36u);
+  EXPECT_EQ(spec.pointGroup, "-3"); // 6 symmetry transformations
+  EXPECT_EQ(spec.nDetectors, 372000u);
+  EXPECT_NEAR(static_cast<double>(spec.totalEvents()), 40e6, 1e6);
+  EXPECT_EQ(spec.bins[0], 603u);
+  EXPECT_EQ(spec.bins[1], 603u);
+  EXPECT_EQ(spec.bins[2], 1u);
+  EXPECT_EQ(spec.instrument, "corelli");
+}
+
+TEST(WorkloadSpec, BixbyiteMatchesTableII) {
+  const WorkloadSpec spec = WorkloadSpec::bixbyiteTopaz(1.0);
+  EXPECT_EQ(spec.nFiles, 22u);
+  EXPECT_EQ(spec.pointGroup, "m-3"); // 24 symmetry transformations
+  EXPECT_EQ(spec.nDetectors, 1600000u);
+  EXPECT_NEAR(static_cast<double>(spec.totalEvents()), 280e6, 1e7);
+  EXPECT_EQ(spec.bins[0], 601u);
+}
+
+TEST(WorkloadSpec, ScaleShrinksCountsNotBins) {
+  const WorkloadSpec full = WorkloadSpec::benzilCorelli(1.0);
+  const WorkloadSpec tiny = WorkloadSpec::benzilCorelli(0.001);
+  EXPECT_EQ(tiny.nFiles, full.nFiles);
+  EXPECT_EQ(tiny.bins, full.bins);
+  EXPECT_NEAR(static_cast<double>(tiny.nDetectors),
+              0.001 * static_cast<double>(full.nDetectors), 1.0);
+  EXPECT_LT(tiny.eventsPerFile, full.eventsPerFile / 500);
+}
+
+TEST(WorkloadSpec, ScaleClampsToMinimums) {
+  const WorkloadSpec spec = WorkloadSpec::benzilCorelli(1e-9);
+  EXPECT_GE(spec.nDetectors, 64u);
+  EXPECT_GE(spec.eventsPerFile, 256u);
+  EXPECT_THROW(WorkloadSpec::benzilCorelli(0.0), InvalidArgument);
+}
+
+TEST(WorkloadSpec, GoniometerStepsPerRun) {
+  const WorkloadSpec spec = WorkloadSpec::benzilCorelli(0.01);
+  const M33 r0 = spec.goniometerForRun(0).R();
+  const M33 r1 = spec.goniometerForRun(1).R();
+  EXPECT_GT(maxAbsDiff(r0, r1), 1e-3); // runs rotate the sample
+  EXPECT_TRUE(isRotation(r1, 1e-9));
+}
+
+TEST(WorkloadSpec, CharacteristicsTableMentionsKeyNumbers) {
+  const std::string table =
+      WorkloadSpec::bixbyiteTopaz(1.0).characteristicsTable();
+  EXPECT_NE(table.find("22"), std::string::npos);
+  EXPECT_NE(table.find("m-3"), std::string::npos);
+  EXPECT_NE(table.find("1,600,000"), std::string::npos);
+  EXPECT_NE(table.find("(601,601,1)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ExperimentSetup
+
+TEST(ExperimentSetup, BuildsConsistentObjects) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.001));
+  EXPECT_EQ(setup.instrument().nDetectors(), setup.spec().nDetectors);
+  EXPECT_EQ(setup.pointGroup().order(), 6u);
+  EXPECT_EQ(setup.symmetryMatrices().size(), 6u);
+  const Histogram3D histogram = setup.makeHistogram();
+  EXPECT_EQ(histogram.nx(), 603u);
+  EXPECT_EQ(histogram.nz(), 1u);
+}
+
+TEST(ExperimentSetup, FluxCoversWavelengthBand) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.001));
+  const auto band = units::momentumBandFromWavelengthBand(
+      setup.spec().lambdaMin, setup.spec().lambdaMax);
+  EXPECT_DOUBLE_EQ(setup.flux().kMin(), band.kMin);
+  EXPECT_DOUBLE_EQ(setup.flux().kMax(), band.kMax);
+}
+
+TEST(ExperimentSetup, UnknownInstrumentThrows) {
+  WorkloadSpec spec = WorkloadSpec::benzilCorelli(0.001);
+  spec.instrument = "hyspec";
+  EXPECT_THROW(ExperimentSetup{spec}, InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// EventGenerator
+
+class GeneratorTest : public ::testing::Test {
+protected:
+  GeneratorTest() : setup_(WorkloadSpec::benzilCorelli(0.002)) {}
+  ExperimentSetup setup_;
+};
+
+TEST_F(GeneratorTest, DeterministicPerFile) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const EventTable a = generator.generate(3);
+  const EventTable b = generator.generate(3);
+  EXPECT_TRUE(a == b);
+}
+
+TEST_F(GeneratorTest, FilesDiffer) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const EventTable a = generator.generate(0);
+  const EventTable b = generator.generate(1);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST_F(GeneratorTest, OrderIndependentAcrossFiles) {
+  // Generating file 5 first or last gives the same table (independent
+  // per-file streams) — required for MPI-style file distribution.
+  const EventGenerator generator = setup_.makeGenerator();
+  const EventTable before = generator.generate(5);
+  generator.generate(0);
+  generator.generate(7);
+  const EventTable after = generator.generate(5);
+  EXPECT_TRUE(before == after);
+}
+
+TEST_F(GeneratorTest, EventCountAndColumnsSane) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const EventTable table = generator.generate(0);
+  EXPECT_EQ(table.size(), setup_.spec().eventsPerFile);
+  for (std::size_t i = 0; i < table.size(); i += 37) {
+    EXPECT_GT(table.signal(i), 0.0);
+    EXPECT_EQ(table.runIndex(i), 0u);
+    EXPECT_LT(table.detectorId(i), setup_.spec().nDetectors);
+  }
+}
+
+TEST_F(GeneratorTest, QSampleMagnitudesWithinKinematicLimit) {
+  // |Q| = k·|beam - detDir| <= 2·kMax.
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const EventTable table = generator.generate(0);
+  for (std::size_t i = 0; i < table.size(); i += 11) {
+    EXPECT_LE(table.qSample(i).norm(), 2.0 * run.kMax + 1e-9);
+  }
+}
+
+TEST_F(GeneratorTest, QSampleConsistentWithDetectorGeometry) {
+  // Rebuild each event's Q from its detector id and confirm the stored
+  // Q_sample lies on that detector's trajectory (same direction).
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(2);
+  const EventTable table = generator.generate(2);
+  const M33 rInverse = run.goniometerR.transposed();
+  for (std::size_t i = 0; i < table.size(); i += 101) {
+    const V3 expectedDirection =
+        (rInverse * setup_.instrument().qLabDirection(table.detectorId(i)))
+            .normalized();
+    const V3 actualDirection = table.qSample(i).normalized();
+    EXPECT_LT(maxAbsDiff(expectedDirection, actualDirection), 1e-9);
+  }
+}
+
+TEST_F(GeneratorTest, IntensityPeaksNearBraggCondition) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const double atPeak = generator.intensity({2, 1, 0});
+  const double offPeak = generator.intensity({2.5, 1.5, 0.5});
+  EXPECT_GT(atPeak, 10.0 * offPeak);
+  EXPECT_GE(offPeak, setup_.spec().diffuseBackground * 0.99);
+}
+
+TEST(EventGeneratorAbsences, BodyCenteringKillsExtinctPeaks) {
+  // Bixbyite (Ia-3): h+k+l odd reflections must carry only background.
+  const ExperimentSetup setup(WorkloadSpec::bixbyiteTopaz(0.0001));
+  const EventGenerator generator = setup.makeGenerator();
+  // (1,0,0) extinct, (1,1,0) allowed.
+  EXPECT_NEAR(generator.intensity({1, 0, 0}),
+              setup.spec().diffuseBackground, 1e-9);
+  EXPECT_GT(generator.intensity({1, 1, 0}),
+            5.0 * setup.spec().diffuseBackground);
+  EXPECT_NEAR(generator.intensity({2, 1, 0}),
+              setup.spec().diffuseBackground, 1e-9);
+  EXPECT_GT(generator.intensity({2, 2, 0}),
+            5.0 * setup.spec().diffuseBackground);
+}
+
+TEST_F(GeneratorTest, OriginHasNoBraggPeak) {
+  const EventGenerator generator = setup_.makeGenerator();
+  EXPECT_NEAR(generator.intensity({0.0, 0.0, 0.0}),
+              setup_.spec().diffuseBackground, 1e-9);
+}
+
+TEST_F(GeneratorTest, RunInfoBandAndCharge) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(4);
+  EXPECT_EQ(run.runIndex, 4u);
+  EXPECT_GT(run.kMin, 0.0);
+  EXPECT_LT(run.kMin, run.kMax);
+  EXPECT_DOUBLE_EQ(run.protonCharge, setup_.spec().protonCharge);
+  EXPECT_THROW(generator.runInfo(setup_.spec().nFiles), InvalidArgument);
+}
+
+TEST(EventGenerator, MismatchedInstrumentThrows) {
+  const WorkloadSpec spec = WorkloadSpec::benzilCorelli(0.002);
+  const Instrument wrong = Instrument::corelliLike(10);
+  const OrientedLattice lattice(spec.lattice(), spec.uVector, spec.vVector);
+  const FluxSpectrum flux = FluxSpectrum::flat(2.0, 9.0, 16, 1.0);
+  EXPECT_THROW(EventGenerator(spec, wrong, lattice, flux), InvalidArgument);
+}
+
+} // namespace
+} // namespace vates

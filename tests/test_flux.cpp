@@ -1,0 +1,136 @@
+// Tests for the integrated incident-flux spectrum.
+
+#include "vates/flux/flux_spectrum.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vates {
+namespace {
+
+TEST(FluxSpectrum, FlatSpectrumIsLinear) {
+  const FluxSpectrum flux = FluxSpectrum::flat(2.0, 10.0, 9, 8.0);
+  EXPECT_DOUBLE_EQ(flux.integrated(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(flux.integrated(10.0), 8.0);
+  EXPECT_NEAR(flux.integrated(6.0), 4.0, 1e-12);
+  EXPECT_NEAR(flux.bandIntegral(3.0, 5.0), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(flux.totalWeight(), 8.0);
+}
+
+TEST(FluxSpectrum, ClampsOutsideBand) {
+  const FluxSpectrum flux = FluxSpectrum::flat(2.0, 10.0, 9, 8.0);
+  EXPECT_DOUBLE_EQ(flux.integrated(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(flux.integrated(100.0), 8.0);
+  EXPECT_DOUBLE_EQ(flux.bandIntegral(0.0, 100.0), 8.0);
+}
+
+TEST(FluxSpectrum, MonotoneNonDecreasing) {
+  const FluxSpectrum flux =
+      FluxSpectrum::moderatorMaxwellian(2.0, 9.0, 256, 1.4, 1.0);
+  double previous = -1.0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double k = 2.0 + 7.0 * i / 1000.0;
+    const double value = flux.integrated(k);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+  EXPECT_NEAR(flux.totalWeight(), 1.0, 1e-12);
+}
+
+TEST(FluxSpectrum, BandIntegralAdditivity) {
+  const FluxSpectrum flux =
+      FluxSpectrum::moderatorMaxwellian(2.2, 9.0, 512, 1.4, 3.0);
+  const double whole = flux.bandIntegral(2.5, 8.0);
+  const double split =
+      flux.bandIntegral(2.5, 4.0) + flux.bandIntegral(4.0, 8.0);
+  EXPECT_NEAR(whole, split, 1e-12);
+}
+
+TEST(FluxSpectrum, MaxwellianPeakInThermalRange) {
+  // Density = derivative of the cumulative: sample it and confirm the
+  // peak *momentum-space* density sits where the analytic Maxwellian
+  // predicts.  The λ-space Maxwellian peaks at lambdaPeak; after the
+  // dλ/dk Jacobian the k-space density peaks at λ = λT·sqrt(2/3) with
+  // λT = lambdaPeak·sqrt(5/2), i.e. lambdaPeak·sqrt(5/3).
+  const double lambdaPeak = 1.8;
+  const FluxSpectrum flux =
+      FluxSpectrum::moderatorMaxwellian(1.5, 12.0, 2048, lambdaPeak, 1.0);
+  double bestK = 0.0, bestDensity = -1.0;
+  for (int i = 1; i < 2000; ++i) {
+    const double k = 1.5 + (12.0 - 1.5) * i / 2000.0;
+    const double density = flux.bandIntegral(k - 0.002, k + 0.002);
+    if (density > bestDensity) {
+      bestDensity = density;
+      bestK = k;
+    }
+  }
+  const double lambdaAtPeak = 6.283185307179586 / bestK;
+  EXPECT_NEAR(lambdaAtPeak, lambdaPeak * std::sqrt(5.0 / 3.0), 0.35);
+}
+
+TEST(FluxSpectrum, QuantileInvertsIntegral) {
+  const FluxSpectrum flux =
+      FluxSpectrum::moderatorMaxwellian(2.0, 9.0, 512, 1.5, 1.0);
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double k = flux.momentumAtQuantile(q);
+    EXPECT_GE(k, flux.kMin());
+    EXPECT_LE(k, flux.kMax());
+    EXPECT_NEAR(flux.integrated(k) / flux.totalWeight(), q, 1e-3);
+  }
+}
+
+TEST(FluxSpectrum, QuantileIsMonotone) {
+  const FluxSpectrum flux =
+      FluxSpectrum::moderatorMaxwellian(2.0, 9.0, 256, 1.5, 1.0);
+  double previous = 0.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double k = flux.momentumAtQuantile(i / 100.0);
+    EXPECT_GE(k, previous);
+    previous = k;
+  }
+}
+
+TEST(FluxSpectrum, SampledMomentaFollowSpectrum) {
+  // Draw many momenta through the inverse CDF and compare empirical
+  // band fractions against the analytic cumulative.
+  const FluxSpectrum flux =
+      FluxSpectrum::moderatorMaxwellian(2.0, 9.0, 512, 1.5, 1.0);
+  Xoshiro256 rng(404);
+  const int n = 50000;
+  int below = 0;
+  const double threshold = 4.5;
+  for (int i = 0; i < n; ++i) {
+    if (flux.momentumAtQuantile(rng.uniform()) < threshold) {
+      ++below;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n,
+              flux.integrated(threshold) / flux.totalWeight(), 0.01);
+}
+
+TEST(FluxSpectrum, ViewMatchesOwner) {
+  const FluxSpectrum flux = FluxSpectrum::flat(2.0, 10.0, 33, 5.0);
+  const FluxTableView view = flux.view();
+  EXPECT_EQ(view.n, 33u);
+  for (const double k : {2.0, 3.7, 8.1, 10.0}) {
+    EXPECT_DOUBLE_EQ(view.integrated(k), flux.integrated(k));
+  }
+}
+
+TEST(FluxSpectrum, InvalidInputsThrow) {
+  EXPECT_THROW(FluxSpectrum(2.0, 1.0, {0.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(FluxSpectrum(0.0, 1.0, {0.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(FluxSpectrum(1.0, 2.0, {0.0}), InvalidArgument);
+  EXPECT_THROW(FluxSpectrum(1.0, 2.0, {0.5, 1.0}), InvalidArgument);   // != 0
+  EXPECT_THROW(FluxSpectrum(1.0, 2.0, {0.0, 2.0, 1.0}), InvalidArgument); // dec
+  EXPECT_THROW(FluxSpectrum::moderatorMaxwellian(2, 9, 1, 1.5, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(FluxSpectrum::moderatorMaxwellian(2, 9, 64, -1.0, 1.0),
+               InvalidArgument);
+}
+
+} // namespace
+} // namespace vates

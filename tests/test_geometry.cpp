@@ -1,0 +1,324 @@
+// Tests for V3/M33 linear algebra, lattices, UB matrices, goniometers.
+
+#include "vates/geometry/centering.hpp"
+#include "vates/geometry/goniometer.hpp"
+#include "vates/geometry/lattice.hpp"
+#include "vates/geometry/mat3.hpp"
+#include "vates/geometry/oriented_lattice.hpp"
+#include "vates/geometry/vec3.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+#include "vates/units/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vates {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// ---------------------------------------------------------------------------
+// V3
+
+TEST(V3, ArithmeticAndAccessors) {
+  const V3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (V3{5, 7, 9}));
+  EXPECT_EQ(b - a, (V3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (V3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (V3{2, 4, 6}));
+  EXPECT_EQ(-a, (V3{-1, -2, -3}));
+  EXPECT_DOUBLE_EQ(a[0], 1);
+  EXPECT_DOUBLE_EQ(a[1], 2);
+  EXPECT_DOUBLE_EQ(a[2], 3);
+}
+
+TEST(V3, DotCrossNorm) {
+  const V3 a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), (V3{0, 0, 1}));
+  EXPECT_EQ(b.cross(a), (V3{0, 0, -1}));
+  EXPECT_DOUBLE_EQ((V3{3, 4, 0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((V3{3, 4, 0}).norm2(), 25.0);
+}
+
+TEST(V3, NormalizedHandlesZero) {
+  EXPECT_NEAR((V3{0, 0, 5}).normalized().z, 1.0, 1e-15);
+  EXPECT_EQ((V3{0, 0, 0}).normalized(), (V3{0, 0, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// M33
+
+TEST(M33, IdentityAndProducts) {
+  const M33 identity = M33::identity();
+  const V3 v{1.5, -2.5, 3.5};
+  EXPECT_EQ(identity * v, v);
+  const M33 a{{1, 2, 3, 4, 5, 6, 7, 8, 10}};
+  EXPECT_EQ(a * identity, a);
+  EXPECT_EQ(identity * a, a);
+}
+
+TEST(M33, RowColumnConstruction) {
+  const M33 fromRows = M33::fromRows({1, 2, 3}, {4, 5, 6}, {7, 8, 9});
+  const M33 fromColumns = M33::fromColumns({1, 4, 7}, {2, 5, 8}, {3, 6, 9});
+  EXPECT_EQ(fromRows, fromColumns);
+  EXPECT_EQ(fromRows.row(1), (V3{4, 5, 6}));
+  EXPECT_EQ(fromRows.column(2), (V3{3, 6, 9}));
+}
+
+TEST(M33, DeterminantAndTrace) {
+  const M33 a{{2, 0, 0, 0, 3, 0, 0, 0, 4}};
+  EXPECT_DOUBLE_EQ(a.determinant(), 24.0);
+  EXPECT_DOUBLE_EQ(a.trace(), 9.0);
+}
+
+TEST(M33, InverseRoundTripRandomMatrices) {
+  Xoshiro256 rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    M33 m;
+    for (auto& entry : m.m) {
+      entry = rng.uniform(-2.0, 2.0);
+    }
+    if (std::fabs(m.determinant()) < 0.05) {
+      continue; // skip near-singular draws
+    }
+    const M33 product = m * inverse(m);
+    EXPECT_LT(maxAbsDiff(product, M33::identity()), 1e-9);
+  }
+}
+
+TEST(M33, SingularInverseThrows) {
+  const M33 singular{{1, 2, 3, 2, 4, 6, 0, 0, 1}}; // row1 = 2*row0
+  EXPECT_THROW(inverse(singular), NumericalError);
+  EXPECT_THROW(inverse(M33::zero()), NumericalError);
+}
+
+TEST(M33, RotationPreservesLengthsAndOrientation) {
+  Xoshiro256 rng(202);
+  for (int trial = 0; trial < 100; ++trial) {
+    const V3 axis{rng.normal(), rng.normal(), rng.normal()};
+    if (axis.norm() < 1e-6) {
+      continue;
+    }
+    const double angle = rng.uniform(-kPi, kPi);
+    const M33 r = rotationAboutAxis(axis, angle);
+    EXPECT_NEAR(r.determinant(), 1.0, 1e-12);
+    EXPECT_LT(maxAbsDiff(r * r.transposed(), M33::identity()), 1e-12);
+    // The axis is fixed.
+    EXPECT_LT(maxAbsDiff(r * axis, axis), 1e-9 * std::max(1.0, axis.norm()));
+  }
+}
+
+TEST(M33, RotationKnownQuarterTurn) {
+  const M33 r = rotationAboutAxis({0, 0, 1}, kPi / 2.0);
+  EXPECT_LT(maxAbsDiff(r * V3{1, 0, 0}, V3{0, 1, 0}), 1e-14);
+  EXPECT_LT(maxAbsDiff(r * V3{0, 1, 0}, V3{-1, 0, 0}), 1e-14);
+}
+
+// ---------------------------------------------------------------------------
+// Lattice
+
+TEST(Lattice, CubicBMatrixIsDiagonal) {
+  const Lattice cubic = Lattice::cubic(4.0);
+  EXPECT_DOUBLE_EQ(cubic.volume(), 64.0);
+  EXPECT_NEAR(cubic.aStar(), 0.25, 1e-12);
+  const M33 expected{{0.25, 0, 0, 0, 0.25, 0, 0, 0, 0.25}};
+  EXPECT_LT(maxAbsDiff(cubic.B(), expected), 1e-12);
+}
+
+TEST(Lattice, DSpacingCubic) {
+  const Lattice cubic = Lattice::cubic(5.0);
+  EXPECT_NEAR(cubic.dSpacing({1, 0, 0}), 5.0, 1e-12);
+  EXPECT_NEAR(cubic.dSpacing({1, 1, 0}), 5.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(cubic.dSpacing({1, 1, 1}), 5.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(cubic.qNorm({1, 0, 0}), units::kTwoPi / 5.0, 1e-12);
+  EXPECT_THROW(cubic.dSpacing({0, 0, 0}), InvalidArgument);
+}
+
+TEST(Lattice, HexagonalDSpacing) {
+  // d(hkl) for hexagonal: 1/d² = 4/3·(h²+hk+k²)/a² + l²/c².
+  const double a = 8.376, c = 13.700;
+  const Lattice hexagonal = Lattice::hexagonal(a, c);
+  auto expectedD = [&](double h, double k, double l) {
+    return 1.0 / std::sqrt(4.0 / 3.0 * (h * h + h * k + k * k) / (a * a) +
+                           l * l / (c * c));
+  };
+  for (const V3 hkl : {V3{1, 0, 0}, V3{1, 1, 0}, V3{0, 0, 2}, V3{2, 1, 3}}) {
+    EXPECT_NEAR(hexagonal.dSpacing(hkl), expectedD(hkl.x, hkl.y, hkl.z), 1e-9)
+        << "hkl " << hkl;
+  }
+}
+
+TEST(Lattice, BenzilAndBixbyitePresets) {
+  const Lattice benzil = Lattice::benzil();
+  EXPECT_DOUBLE_EQ(benzil.a(), 8.376);
+  EXPECT_DOUBLE_EQ(benzil.c(), 13.700);
+  EXPECT_DOUBLE_EQ(benzil.gammaDeg(), 120.0);
+  const Lattice bixbyite = Lattice::bixbyite();
+  EXPECT_DOUBLE_EQ(bixbyite.a(), 9.411);
+  EXPECT_DOUBLE_EQ(bixbyite.alphaDeg(), 90.0);
+}
+
+TEST(Lattice, InvalidParametersThrow) {
+  EXPECT_THROW(Lattice(0, 1, 1, 90, 90, 90), InvalidArgument);
+  EXPECT_THROW(Lattice(1, 1, 1, 0, 90, 90), InvalidArgument);
+  EXPECT_THROW(Lattice(1, 1, 1, 180, 90, 90), InvalidArgument);
+  // Angle triple violating the triangle-like inequality: impossible cell.
+  EXPECT_THROW(Lattice(1, 1, 1, 10, 10, 170), InvalidArgument);
+}
+
+TEST(Lattice, BInverseConsistent) {
+  const Lattice lattice = Lattice::benzil();
+  EXPECT_LT(maxAbsDiff(lattice.B() * lattice.Binv(), M33::identity()), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// OrientedLattice
+
+TEST(OrientedLattice, IdentityOrientation) {
+  const OrientedLattice oriented{Lattice::cubic(4.0)};
+  EXPECT_LT(maxAbsDiff(oriented.U(), M33::identity()), 1e-14);
+  EXPECT_LT(maxAbsDiff(oriented.UB(), oriented.lattice().B()), 1e-14);
+}
+
+TEST(OrientedLattice, UFromVectorsIsProperRotation) {
+  const OrientedLattice oriented(Lattice::benzil(), V3{0, 0, 1}, V3{1, 0, 0});
+  EXPECT_TRUE(isRotation(oriented.U(), 1e-9));
+}
+
+TEST(OrientedLattice, UVectorPointsAlongBeam) {
+  // u = (0,0,1): the (0,0,L) reciprocal direction must map to +Z (beam).
+  const OrientedLattice oriented(Lattice::bixbyite(), V3{0, 0, 1}, V3{1, 1, 0});
+  const V3 q = oriented.qSampleFromHkl({0, 0, 1}).normalized();
+  EXPECT_NEAR(q.z, 1.0, 1e-9);
+  // v = (1,1,0) must land in the X-Z plane with positive X.
+  const V3 qv = oriented.qSampleFromHkl({1, 1, 0});
+  EXPECT_NEAR(qv.y, 0.0, 1e-9);
+  EXPECT_GT(qv.x, 0.0);
+}
+
+TEST(OrientedLattice, HklQRoundTrip) {
+  const OrientedLattice oriented(Lattice::benzil(), V3{0, 0, 1}, V3{1, 0, 0});
+  Xoshiro256 rng(303);
+  for (int trial = 0; trial < 100; ++trial) {
+    const V3 hkl{rng.uniform(-8, 8), rng.uniform(-8, 8), rng.uniform(-8, 8)};
+    const V3 q = oriented.qSampleFromHkl(hkl);
+    EXPECT_LT(maxAbsDiff(oriented.hklFromQSample(q), hkl), 1e-9);
+  }
+}
+
+TEST(OrientedLattice, QMagnitudeMatchesDSpacing) {
+  const OrientedLattice oriented(Lattice::bixbyite(), V3{0, 0, 1}, V3{1, 1, 0});
+  const V3 hkl{2, 1, 1};
+  const double q = oriented.qSampleFromHkl(hkl).norm();
+  EXPECT_NEAR(q, units::kTwoPi / oriented.lattice().dSpacing(hkl), 1e-9);
+}
+
+TEST(OrientedLattice, CollinearVectorsThrow) {
+  EXPECT_THROW(OrientedLattice(Lattice::cubic(4.0), V3{1, 1, 0}, V3{2, 2, 0}),
+               InvalidArgument);
+  EXPECT_THROW(OrientedLattice(Lattice::cubic(4.0), V3{0, 0, 0}, V3{1, 0, 0}),
+               InvalidArgument);
+}
+
+TEST(OrientedLattice, NonRotationUThrows) {
+  M33 notRotation = M33::identity();
+  notRotation(0, 0) = 2.0;
+  EXPECT_THROW(OrientedLattice(Lattice::cubic(4.0), notRotation),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Centering / systematic absences
+
+TEST(Centering, PrimitiveAllowsEverything) {
+  for (int h = -3; h <= 3; ++h) {
+    for (int k = -3; k <= 3; ++k) {
+      for (int l = -3; l <= 3; ++l) {
+        EXPECT_TRUE(reflectionAllowed(Centering::P, h, k, l));
+      }
+    }
+  }
+}
+
+TEST(Centering, BodyCenteredParityRule) {
+  // Bixbyite's rule: h+k+l even.
+  EXPECT_TRUE(reflectionAllowed(Centering::I, 1, 1, 0));
+  EXPECT_TRUE(reflectionAllowed(Centering::I, 2, 0, 0));
+  EXPECT_TRUE(reflectionAllowed(Centering::I, -1, -1, 2));
+  EXPECT_FALSE(reflectionAllowed(Centering::I, 1, 0, 0));
+  EXPECT_FALSE(reflectionAllowed(Centering::I, 1, 1, 1));
+  EXPECT_FALSE(reflectionAllowed(Centering::I, -1, 2, 2));
+}
+
+TEST(Centering, FaceCenteredAllSameParity) {
+  EXPECT_TRUE(reflectionAllowed(Centering::F, 1, 1, 1));
+  EXPECT_TRUE(reflectionAllowed(Centering::F, 2, 0, 2));
+  EXPECT_FALSE(reflectionAllowed(Centering::F, 1, 1, 0));
+  EXPECT_FALSE(reflectionAllowed(Centering::F, 2, 1, 0));
+}
+
+TEST(Centering, SideCenteredRules) {
+  EXPECT_TRUE(reflectionAllowed(Centering::A, 3, 1, 1));  // k+l even
+  EXPECT_FALSE(reflectionAllowed(Centering::A, 3, 1, 2));
+  EXPECT_TRUE(reflectionAllowed(Centering::B, 1, 3, 1));  // h+l even
+  EXPECT_FALSE(reflectionAllowed(Centering::B, 1, 3, 2));
+  EXPECT_TRUE(reflectionAllowed(Centering::C, 1, 1, 3));  // h+k even
+  EXPECT_FALSE(reflectionAllowed(Centering::C, 1, 2, 3));
+}
+
+TEST(Centering, RhombohedralObverseRule) {
+  // -h+k+l = 3n.
+  EXPECT_TRUE(reflectionAllowed(Centering::R, 0, 0, 3));
+  EXPECT_TRUE(reflectionAllowed(Centering::R, 1, 0, 1));
+  EXPECT_TRUE(reflectionAllowed(Centering::R, 0, 0, 0));
+  EXPECT_FALSE(reflectionAllowed(Centering::R, 0, 0, 1));
+  EXPECT_FALSE(reflectionAllowed(Centering::R, 1, 0, 0));
+}
+
+TEST(Centering, ParseAndSymbolRoundTrip) {
+  for (Centering c : {Centering::P, Centering::I, Centering::F, Centering::A,
+                      Centering::B, Centering::C, Centering::R}) {
+    EXPECT_EQ(parseCentering(centeringSymbol(c)), c);
+  }
+  EXPECT_EQ(parseCentering("i"), Centering::I);
+  EXPECT_THROW(parseCentering("X"), InvalidArgument);
+  EXPECT_THROW(parseCentering(""), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Goniometer
+
+TEST(Goniometer, IdentityByDefault) {
+  const Goniometer goniometer;
+  EXPECT_LT(maxAbsDiff(goniometer.R(), M33::identity()), 1e-15);
+  EXPECT_EQ(goniometer.depth(), 0u);
+}
+
+TEST(Goniometer, OmegaRotatesAboutVerticalAxis) {
+  const Goniometer goniometer = Goniometer::omega(90.0);
+  // +Z rotates toward +X for a positive rotation about +Y.
+  EXPECT_LT(maxAbsDiff(goniometer.R() * V3{0, 0, 1}, V3{1, 0, 0}), 1e-12);
+  EXPECT_EQ(goniometer.depth(), 1u);
+  EXPECT_EQ(goniometer.name(0), "omega");
+}
+
+TEST(Goniometer, StackedRotationsCompose) {
+  Goniometer goniometer;
+  goniometer.push("omega", {0, 1, 0}, 30.0).push("chi", {0, 0, 1}, 45.0);
+  const M33 expected = rotationAboutAxis({0, 1, 0}, 30.0 * kPi / 180.0) *
+                       rotationAboutAxis({0, 0, 1}, 45.0 * kPi / 180.0);
+  EXPECT_LT(maxAbsDiff(goniometer.R(), expected), 1e-12);
+  EXPECT_TRUE(isRotation(goniometer.R(), 1e-9));
+}
+
+TEST(Goniometer, InverseIsTranspose) {
+  const Goniometer goniometer = Goniometer::omega(73.0);
+  EXPECT_LT(maxAbsDiff(goniometer.R() * goniometer.Rinv(), M33::identity()),
+            1e-12);
+}
+
+} // namespace
+} // namespace vates

@@ -1,0 +1,264 @@
+// Tests for axis binning, projections, the 3D histogram, and GridView.
+
+#include "vates/histogram/binning.hpp"
+#include "vates/histogram/grid_view.hpp"
+#include "vates/histogram/histogram3d.hpp"
+#include "vates/parallel/thread_pool.hpp"
+#include "vates/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace vates {
+namespace {
+
+Histogram3D makeSmall() {
+  return Histogram3D(BinAxis("x", -1.0, 1.0, 4), BinAxis("y", 0.0, 2.0, 5),
+                     BinAxis("z", -0.5, 0.5, 1));
+}
+
+// ---------------------------------------------------------------------------
+// BinAxis
+
+TEST(BinAxis, BasicProperties) {
+  const BinAxis axis("H", -7.5, 7.5, 603);
+  EXPECT_EQ(axis.nBins(), 603u);
+  EXPECT_DOUBLE_EQ(axis.width(), 15.0 / 603.0);
+  EXPECT_EQ(axis.name(), "H");
+}
+
+TEST(BinAxis, BinLookupHalfOpen) {
+  const BinAxis axis("x", 0.0, 10.0, 10);
+  EXPECT_EQ(axis.bin(0.0).value(), 0u);
+  EXPECT_EQ(axis.bin(0.999).value(), 0u);
+  EXPECT_EQ(axis.bin(1.0).value(), 1u);
+  EXPECT_EQ(axis.bin(9.9999).value(), 9u);
+  EXPECT_FALSE(axis.bin(10.0).has_value()); // upper edge excluded
+  EXPECT_FALSE(axis.bin(-0.001).has_value());
+  EXPECT_EQ(axis.binClamped(5.5), 5u);
+  EXPECT_EQ(axis.binClamped(10.0), 10u); // sentinel == nBins
+}
+
+TEST(BinAxis, EdgesAndCenters) {
+  const BinAxis axis("x", -1.0, 1.0, 4);
+  const auto edges = axis.edges();
+  ASSERT_EQ(edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(edges.front(), -1.0);
+  EXPECT_DOUBLE_EQ(edges.back(), 1.0);
+  EXPECT_DOUBLE_EQ(axis.center(0), -0.75);
+  EXPECT_DOUBLE_EQ(axis.center(3), 0.75);
+}
+
+TEST(BinAxis, EveryCenterLandsInItsBin) {
+  const BinAxis axis("x", -3.3, 9.7, 601);
+  for (std::size_t i = 0; i < axis.nBins(); i += 7) {
+    EXPECT_EQ(axis.bin(axis.center(i)).value(), i);
+  }
+}
+
+TEST(BinAxis, NaNAndInfinityAreOutOfRange) {
+  const BinAxis axis("x", -1.0, 1.0, 4);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(axis.bin(nan).has_value());
+  EXPECT_FALSE(axis.bin(inf).has_value());
+  EXPECT_FALSE(axis.bin(-inf).has_value());
+  EXPECT_EQ(axis.binClamped(nan), axis.nBins());
+  EXPECT_EQ(axis.binClamped(inf), axis.nBins());
+}
+
+TEST(GridViewSafety, NaNCoordinatesNeverBin) {
+  Histogram3D histogram(BinAxis("x", -1, 1, 4), BinAxis("y", -1, 1, 4),
+                        BinAxis("z", -1, 1, 4));
+  const GridView view = histogram.gridView();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(view.locate({nan, 0.0, 0.0}), view.size());
+  EXPECT_EQ(view.locate({0.0, nan, 0.0}), view.size());
+  EXPECT_EQ(view.locate({0.0, 0.0, nan}), view.size());
+  EXPECT_FALSE(histogram.addAtomic({nan, nan, nan}, 1.0));
+  EXPECT_DOUBLE_EQ(histogram.totalSignal(), 0.0);
+}
+
+TEST(BinAxis, InvalidConstructionThrows) {
+  EXPECT_THROW(BinAxis("x", 0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(BinAxis("x", 1.0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(BinAxis("x", 2.0, 1.0, 5), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Projection
+
+TEST(Projection, IdentityByDefault) {
+  const Projection projection;
+  const V3 hkl{1.5, -2.0, 3.0};
+  EXPECT_LT(maxAbsDiff(projection.toProjected(hkl), hkl), 1e-14);
+  EXPECT_EQ(projection.axisLabel(0), "[H]");
+  EXPECT_EQ(projection.axisLabel(1), "[K]");
+  EXPECT_EQ(projection.axisLabel(2), "[L]");
+}
+
+TEST(Projection, BenzilSliceMapsDiagonals) {
+  const Projection projection = Projection::benzilSlice();
+  // hkl = (1,1,0) is exactly 1 unit along the first axis.
+  EXPECT_LT(maxAbsDiff(projection.toProjected({1, 1, 0}), V3{1, 0, 0}), 1e-12);
+  EXPECT_LT(maxAbsDiff(projection.toProjected({1, -1, 0}), V3{0, 1, 0}),
+            1e-12);
+  EXPECT_LT(maxAbsDiff(projection.toProjected({0, 0, 1}), V3{0, 0, 1}), 1e-12);
+  EXPECT_EQ(projection.axisLabel(0), "[H,H]");
+  EXPECT_EQ(projection.axisLabel(1), "[H,-H]");
+  EXPECT_EQ(projection.axisLabel(2), "[L]");
+}
+
+TEST(Projection, RoundTrip) {
+  const Projection projection({1, 1, 0}, {0, 1, 1}, {1, 0, 1});
+  const V3 hkl{2.5, -1.5, 0.5};
+  EXPECT_LT(maxAbsDiff(projection.toHkl(projection.toProjected(hkl)), hkl),
+            1e-12);
+}
+
+TEST(Projection, CoplanarVectorsThrow) {
+  EXPECT_THROW(Projection({1, 0, 0}, {0, 1, 0}, {1, 1, 0}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram3D
+
+TEST(Histogram3D, ShapeAndIndexing) {
+  Histogram3D histogram = makeSmall();
+  EXPECT_EQ(histogram.nx(), 4u);
+  EXPECT_EQ(histogram.ny(), 5u);
+  EXPECT_EQ(histogram.nz(), 1u);
+  EXPECT_EQ(histogram.size(), 20u);
+  EXPECT_EQ(histogram.flatIndex(1, 2, 0), 7u);
+}
+
+TEST(Histogram3D, AddAndLocate) {
+  Histogram3D histogram = makeSmall();
+  EXPECT_TRUE(histogram.addSerial({-0.9, 0.1, 0.0}, 2.0)); // bin (0,0,0)
+  EXPECT_TRUE(histogram.addSerial({0.9, 1.9, 0.0}, 3.0));  // bin (3,4,0)
+  EXPECT_FALSE(histogram.addSerial({2.0, 0.1, 0.0}, 1.0)); // out of x
+  EXPECT_FALSE(histogram.addSerial({0.0, 0.1, 0.6}, 1.0)); // out of z
+  EXPECT_DOUBLE_EQ(histogram.at(0, 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.at(3, 4, 0), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.totalSignal(), 5.0);
+  EXPECT_EQ(histogram.nonZeroBins(), 2u);
+}
+
+TEST(Histogram3D, AtomicAddFromManyThreads) {
+  Histogram3D histogram = makeSmall();
+  ThreadPool pool(4);
+  pool.run(FunctionRef<void(unsigned)>([&](unsigned) {
+    for (int i = 0; i < 10000; ++i) {
+      histogram.addAtomic({0.1, 1.0, 0.0}, 1.0);
+    }
+  }));
+  EXPECT_DOUBLE_EQ(histogram.totalSignal(), 40000.0);
+}
+
+TEST(Histogram3D, PlusEqualsAndShapeMismatch) {
+  Histogram3D a = makeSmall();
+  Histogram3D b = makeSmall();
+  a.addSerial({0.1, 0.1, 0.0}, 1.0);
+  b.addSerial({0.1, 0.1, 0.0}, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.totalSignal(), 3.0);
+
+  Histogram3D different(BinAxis("x", -1, 1, 3), BinAxis("y", 0, 2, 5),
+                        BinAxis("z", -0.5, 0.5, 1));
+  EXPECT_THROW(a += different, InvalidArgument);
+}
+
+TEST(Histogram3D, DivideProducesNaNWhereUncovered) {
+  Histogram3D numerator = makeSmall();
+  Histogram3D denominator = makeSmall();
+  numerator.addSerial({0.1, 0.1, 0.0}, 6.0);
+  denominator.addSerial({0.1, 0.1, 0.0}, 2.0);
+  const Histogram3D ratio = Histogram3D::divide(numerator, denominator);
+  const auto index = numerator.locate({0.1, 0.1, 0.0}).value();
+  EXPECT_DOUBLE_EQ(ratio.data()[index], 3.0);
+  // Any bin with zero normalization must be NaN.
+  std::size_t nanCount = 0;
+  for (double value : ratio.data()) {
+    if (std::isnan(value)) {
+      ++nanCount;
+    }
+  }
+  EXPECT_EQ(nanCount, ratio.size() - 1);
+}
+
+TEST(Histogram3D, DivideWithErrorsPropagatesSigma) {
+  Histogram3D numerator = makeSmall();
+  Histogram3D numeratorErrors = makeSmall();
+  Histogram3D denominator = makeSmall();
+  numerator.addSerial({0.1, 0.1, 0.0}, 6.0);
+  numeratorErrors.addSerial({0.1, 0.1, 0.0}, 6.0); // Poisson: sigma^2 = S
+  denominator.addSerial({0.1, 0.1, 0.0}, 2.0);
+
+  const HistogramRatio ratio = Histogram3D::divideWithErrors(
+      numerator, numeratorErrors, denominator);
+  const auto index = numerator.locate({0.1, 0.1, 0.0}).value();
+  EXPECT_DOUBLE_EQ(ratio.value.data()[index], 3.0);
+  // sigma^2(S/N) = sigma^2(S)/N^2 = 6/4.
+  EXPECT_DOUBLE_EQ(ratio.errorSq.data()[index], 1.5);
+  // Uncovered bins are NaN in both value and error.
+  const auto other = numerator.locate({0.6, 0.1, 0.0}).value();
+  EXPECT_TRUE(std::isnan(ratio.value.data()[other]));
+  EXPECT_TRUE(std::isnan(ratio.errorSq.data()[other]));
+}
+
+TEST(Histogram3D, FillAndEmptyLike) {
+  Histogram3D histogram = makeSmall();
+  histogram.fill(2.5);
+  EXPECT_DOUBLE_EQ(histogram.totalSignal(), 2.5 * 20);
+  const Histogram3D empty = histogram.emptyLike();
+  EXPECT_DOUBLE_EQ(empty.totalSignal(), 0.0);
+  EXPECT_TRUE(empty.sameShape(histogram));
+}
+
+// ---------------------------------------------------------------------------
+// GridView
+
+TEST(GridView, MatchesHistogramLocate) {
+  Histogram3D histogram = makeSmall();
+  const GridView view = histogram.gridView();
+  for (const V3 p : {V3{-0.9, 0.1, 0.0}, V3{0.9, 1.9, 0.0}, V3{0.0, 1.0, 0.4},
+                     V3{2.0, 0.1, 0.0}, V3{0.0, -0.1, 0.0}}) {
+    const auto expected = histogram.locate(p);
+    const std::size_t actual = view.locate(p);
+    if (expected.has_value()) {
+      EXPECT_EQ(actual, expected.value());
+    } else {
+      EXPECT_EQ(actual, view.size());
+    }
+  }
+}
+
+TEST(GridView, WritesThroughToHistogram) {
+  Histogram3D histogram = makeSmall();
+  GridView view = histogram.gridView();
+  view.data[view.locate({0.1, 0.1, 0.0})] += 4.0;
+  EXPECT_DOUBLE_EQ(histogram.totalSignal(), 4.0);
+}
+
+TEST(GridView, ExternalDataPointer) {
+  Histogram3D histogram = makeSmall();
+  std::vector<double> external(histogram.size(), 0.0);
+  const GridView view = histogram.gridView(external.data());
+  EXPECT_EQ(view.data, external.data());
+  EXPECT_EQ(view.size(), histogram.size());
+}
+
+TEST(GridView, PlaneEdges) {
+  Histogram3D histogram = makeSmall();
+  const GridView view = histogram.gridShape();
+  EXPECT_DOUBLE_EQ(view.planeEdge(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(view.planeEdge(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(view.planeEdge(1, 5), 2.0);
+  EXPECT_TRUE(view.contains({0.0, 1.0, 0.0}));
+  EXPECT_FALSE(view.contains({0.0, 1.0, 0.5}));
+}
+
+} // namespace
+} // namespace vates

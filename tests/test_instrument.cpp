@@ -1,0 +1,113 @@
+// Tests for instrument geometry (CORELLI-like and TOPAZ-like builders).
+
+#include "vates/geometry/instrument.hpp"
+#include "vates/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vates {
+namespace {
+
+TEST(Instrument, ExplicitConstruction) {
+  std::vector<V3> positions{{0, 0, 2}, {2, 0, 0}, {0, 2, 0}};
+  const Instrument instrument("test", 10.0, positions, 0.01);
+  EXPECT_EQ(instrument.nDetectors(), 3u);
+  EXPECT_DOUBLE_EQ(instrument.l1(), 10.0);
+  EXPECT_DOUBLE_EQ(instrument.l2(0), 2.0);
+  // Detector 0 is straight downstream: two-theta = 0.
+  EXPECT_NEAR(instrument.twoTheta(0), 0.0, 1e-12);
+  // Detector 1 is at 90 degrees.
+  EXPECT_NEAR(instrument.twoTheta(1), M_PI / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(instrument.totalFlightPath(0), 12.0);
+  // Solid angle = area / L2².
+  EXPECT_NEAR(instrument.solidAngle(0), 0.01 / 4.0, 1e-15);
+}
+
+TEST(Instrument, QLabDirectionGeometry) {
+  std::vector<V3> positions{{2, 0, 0}}; // 90 degrees
+  const Instrument instrument("test", 10.0, positions, 0.01);
+  // q direction = beam - detDir = (0,0,1) - (1,0,0).
+  const V3 qDirection = instrument.qLabDirection(0);
+  EXPECT_NEAR(qDirection.x, -1.0, 1e-12);
+  EXPECT_NEAR(qDirection.y, 0.0, 1e-12);
+  EXPECT_NEAR(qDirection.z, 1.0, 1e-12);
+  // |q-direction| = 2 sin(θ): at 2θ=90°, = sqrt(2).
+  EXPECT_NEAR(qDirection.norm(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Instrument, QDirectionMagnitudeIsTwoSinTheta) {
+  const Instrument instrument = Instrument::corelliLike(1000);
+  for (std::size_t d = 0; d < instrument.nDetectors(); d += 97) {
+    const double expected = 2.0 * std::sin(instrument.twoTheta(d) / 2.0);
+    EXPECT_NEAR(instrument.qLabDirection(d).norm(), expected, 1e-12);
+  }
+}
+
+TEST(Instrument, CorelliLikePlacesExactCount) {
+  for (const std::size_t n : {1ul, 64ul, 1000ul, 5000ul}) {
+    const Instrument instrument = Instrument::corelliLike(n);
+    EXPECT_EQ(instrument.nDetectors(), n);
+    EXPECT_EQ(instrument.name(), "CORELLI-like");
+  }
+}
+
+TEST(Instrument, CorelliLikeDetectorsOnCylinder) {
+  const Instrument instrument = Instrument::corelliLike(2000);
+  for (std::size_t d = 0; d < instrument.nDetectors(); d += 53) {
+    const V3& position = instrument.position(d);
+    const double radius = std::hypot(position.x, position.z);
+    EXPECT_NEAR(radius, 2.55, 1e-9) << "detector " << d;
+    EXPECT_LE(std::fabs(position.y), 0.98);
+  }
+}
+
+TEST(Instrument, CorelliLikeAvoidsBeam) {
+  const Instrument instrument = Instrument::corelliLike(3000);
+  for (std::size_t d = 0; d < instrument.nDetectors(); ++d) {
+    EXPECT_GT(instrument.twoTheta(d), 1.0 * M_PI / 180.0);
+  }
+}
+
+TEST(Instrument, TopazLikePlacesExactCount) {
+  for (const std::size_t n : {1ul, 64ul, 1400ul, 10000ul}) {
+    const Instrument instrument = Instrument::topazLike(n);
+    EXPECT_EQ(instrument.nDetectors(), n);
+    EXPECT_EQ(instrument.name(), "TOPAZ-like");
+  }
+}
+
+TEST(Instrument, TopazLikeCompactGeometry) {
+  const Instrument instrument = Instrument::topazLike(5000);
+  for (std::size_t d = 0; d < instrument.nDetectors(); d += 101) {
+    // Banks sit near 0.455 m; pixels within half a bank diagonal.
+    EXPECT_NEAR(instrument.l2(d), 0.455, 0.13) << "detector " << d;
+  }
+}
+
+TEST(Instrument, SpansAreContiguousAndSized) {
+  const Instrument instrument = Instrument::corelliLike(500);
+  EXPECT_EQ(instrument.qLabDirections().size(), 500u);
+  EXPECT_EQ(instrument.solidAngles().size(), 500u);
+  EXPECT_EQ(instrument.positions().size(), 500u);
+  EXPECT_EQ(&instrument.qLabDirections()[0], &instrument.qLabDirection(0));
+}
+
+TEST(Instrument, SolidAnglesArePositiveAndSmall) {
+  const Instrument instrument = Instrument::topazLike(2000);
+  for (std::size_t d = 0; d < instrument.nDetectors(); ++d) {
+    EXPECT_GT(instrument.solidAngle(d), 0.0);
+    EXPECT_LT(instrument.solidAngle(d), 0.1);
+  }
+}
+
+TEST(Instrument, InvalidConstructionThrows) {
+  EXPECT_THROW(Instrument("x", -1.0, {{0, 0, 1}}, 0.01), InvalidArgument);
+  EXPECT_THROW(Instrument("x", 10.0, {}, 0.01), InvalidArgument);
+  EXPECT_THROW(Instrument("x", 10.0, {{0, 0, 1}}, 0.0), InvalidArgument);
+  EXPECT_THROW(Instrument("x", 10.0, {{0, 0, 0}}, 0.01), InvalidArgument);
+}
+
+} // namespace
+} // namespace vates

@@ -1,0 +1,247 @@
+// Property tests for the trajectory/grid-plane intersection kernel —
+// the numerical heart of MDNorm.
+
+#include "vates/histogram/histogram3d.hpp"
+#include "vates/kernels/comb_sort.hpp"
+#include "vates/kernels/intersections.hpp"
+#include "vates/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace vates {
+namespace {
+
+GridView sliceGrid(Histogram3D& histogram) { return histogram.gridView(); }
+
+Histogram3D makeGrid(std::size_t nx = 20, std::size_t ny = 20,
+                     std::size_t nz = 1) {
+  return Histogram3D(BinAxis("x", -5.0, 5.0, nx), BinAxis("y", -5.0, 5.0, ny),
+                     BinAxis("z", -0.5, 0.5, nz));
+}
+
+TEST(Intersections, AxisAlignedRayCrossesExpectedPlanes) {
+  Histogram3D histogram = makeGrid(10, 10, 1);
+  const GridView grid = sliceGrid(histogram);
+  std::vector<Intersection> buffer(maxIntersections(grid));
+  // Ray along +x only (z stays at 0, inside the slab): p(k) = (k·0.5, 0, 0).
+  const V3 t{0.5, 0.0, 0.0};
+  const std::size_t count = calculateIntersections(
+      grid, t, 1.0, 9.0, PlaneSearch::Roi, buffer.data());
+  // x sweeps [0.5, 4.5]: crosses x-planes at 1,2,3,4 (x=0.5..4.5, planes
+  // spaced 1.0 from -5), plus y=0 plane? t.y = 0 so no y crossings; z=0
+  // crossing: t.z = 0, none.  Plus 2 endpoints inside.
+  std::size_t xPlanes = 0, endpoints = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (buffer[i].k == 1.0 || buffer[i].k == 9.0) {
+      ++endpoints;
+    } else {
+      ++xPlanes;
+      // Each crossing must sit exactly on an x grid plane.
+      const double shifted = (buffer[i].x + 5.0); // plane pitch 1.0
+      EXPECT_NEAR(shifted, std::round(shifted), 1e-9);
+    }
+  }
+  EXPECT_EQ(endpoints, 2u);
+  EXPECT_EQ(xPlanes, 4u);
+}
+
+TEST(Intersections, RayOutsideBoxYieldsNothing) {
+  Histogram3D histogram = makeGrid();
+  const GridView grid = sliceGrid(histogram);
+  std::vector<Intersection> buffer(maxIntersections(grid));
+  // z component pushes the ray out of the thin slab immediately.
+  const V3 t{0.1, 0.1, 5.0};
+  const std::size_t count = calculateIntersections(
+      grid, t, 2.0, 9.0, PlaneSearch::Roi, buffer.data());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(Intersections, CountNeverExceedsPaperBound) {
+  Histogram3D histogram = makeGrid(31, 17, 3);
+  const GridView grid = sliceGrid(histogram);
+  std::vector<Intersection> buffer(maxIntersections(grid));
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    const V3 t{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-0.2, 0.2)};
+    const std::size_t count = calculateIntersections(
+        grid, t, 1.0, 10.0, PlaneSearch::Roi, buffer.data());
+    EXPECT_LE(count, maxIntersections(grid));
+  }
+}
+
+// Property sweep across random trajectories: both strategies agree, all
+// crossings lie on planes, all are within the band and the box.
+class IntersectionProperties : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntersectionProperties,
+                         ::testing::Range(0, 16));
+
+TEST_P(IntersectionProperties, RoiAndLinearAgree) {
+  Histogram3D histogram = makeGrid(25, 19, 2);
+  const GridView grid = sliceGrid(histogram);
+  std::vector<Intersection> roiBuffer(maxIntersections(grid));
+  std::vector<Intersection> linearBuffer(maxIntersections(grid));
+  Xoshiro256 rng(1000 + static_cast<std::uint64_t>(GetParam()));
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const V3 t{rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5),
+               rng.uniform(-0.3, 0.3)};
+    const double kMin = rng.uniform(0.5, 3.0);
+    const double kMax = kMin + rng.uniform(0.5, 8.0);
+
+    const std::size_t roiCount = calculateIntersections(
+        grid, t, kMin, kMax, PlaneSearch::Roi, roiBuffer.data());
+    const std::size_t linearCount = calculateIntersections(
+        grid, t, kMin, kMax, PlaneSearch::Linear, linearBuffer.data());
+
+    ASSERT_EQ(roiCount, linearCount) << "t=" << t;
+    // Same multiset of momenta (ordering within axes is identical).
+    std::vector<double> roiKeys, linearKeys;
+    for (std::size_t i = 0; i < roiCount; ++i) {
+      roiKeys.push_back(roiBuffer[i].k);
+      linearKeys.push_back(linearBuffer[i].k);
+    }
+    std::sort(roiKeys.begin(), roiKeys.end());
+    std::sort(linearKeys.begin(), linearKeys.end());
+    for (std::size_t i = 0; i < roiCount; ++i) {
+      ASSERT_NEAR(roiKeys[i], linearKeys[i], 1e-12);
+    }
+  }
+}
+
+TEST_P(IntersectionProperties, CrossingsLieOnRayWithinBandAndBox) {
+  Histogram3D histogram = makeGrid(23, 29, 2);
+  const GridView grid = sliceGrid(histogram);
+  std::vector<Intersection> buffer(maxIntersections(grid));
+  Xoshiro256 rng(2000 + static_cast<std::uint64_t>(GetParam()));
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const V3 t{rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5),
+               rng.uniform(-0.3, 0.3)};
+    const double kMin = rng.uniform(0.5, 3.0);
+    const double kMax = kMin + rng.uniform(0.5, 8.0);
+    const std::size_t count = calculateIntersections(
+        grid, t, kMin, kMax, PlaneSearch::Roi, buffer.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      const Intersection& p = buffer[i];
+      // Within the momentum band.
+      ASSERT_GE(p.k, kMin - 1e-9);
+      ASSERT_LE(p.k, kMax + 1e-9);
+      // On the ray.
+      ASSERT_NEAR(p.x, t.x * p.k, 1e-9);
+      ASSERT_NEAR(p.y, t.y * p.k, 1e-9);
+      ASSERT_NEAR(p.z, t.z * p.k, 1e-9);
+      // Inside (or on the boundary of) the box.
+      for (std::size_t axis = 0; axis < 3; ++axis) {
+        const double value = axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+        ASSERT_GE(value, grid.min[axis] - 1e-6);
+        ASSERT_LE(value, grid.max[axis] + 1e-6);
+      }
+    }
+  }
+}
+
+TEST_P(IntersectionProperties, SegmentInsideBoxKeepsEndpoints) {
+  Histogram3D histogram = makeGrid(40, 40, 1);
+  const GridView grid = sliceGrid(histogram);
+  std::vector<Intersection> buffer(maxIntersections(grid));
+  Xoshiro256 rng(3000 + static_cast<std::uint64_t>(GetParam()));
+
+  for (int trial = 0; trial < 30; ++trial) {
+    // Construct a short segment strictly inside the box, z = 0 plane.
+    const double kMin = 1.0, kMax = 1.5;
+    const V3 t{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0), 0.0};
+    const std::size_t count = calculateIntersections(
+        grid, t, kMin, kMax, PlaneSearch::Roi, buffer.data());
+    int endpointHits = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (buffer[i].k == kMin || buffer[i].k == kMax) {
+        ++endpointHits;
+      }
+    }
+    EXPECT_EQ(endpointHits, 2) << "t=" << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comb sort
+
+class CombSortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CombSortSizes,
+                         ::testing::Values(0, 1, 2, 3, 10, 100, 1209, 5000));
+
+TEST_P(CombSortSizes, KeysMatchStdSort) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(42 + n);
+  std::vector<double> keys(n);
+  for (auto& k : keys) {
+    k = rng.uniform(-1000, 1000);
+  }
+  std::vector<double> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  combSortKeys(keys.data(), nullptr, n);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(CombSortSizes, IndicesFollowKeys) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(77 + n);
+  std::vector<double> keys(n);
+  std::vector<double> original(n);
+  std::vector<std::uint32_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = original[i] = rng.uniform(0, 1);
+    indices[i] = static_cast<std::uint32_t>(i);
+  }
+  combSortKeys(keys.data(), indices.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The index array permutes exactly with the keys.
+    EXPECT_DOUBLE_EQ(keys[i], original[indices[i]]);
+    if (i > 0) {
+      EXPECT_LE(keys[i - 1], keys[i]);
+    }
+  }
+}
+
+TEST_P(CombSortSizes, StructSortMatchesKeySort) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(99 + n);
+  std::vector<Intersection> structs(n);
+  std::vector<double> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double k = rng.uniform(0, 100);
+    structs[i] = Intersection{k * 2, k * 3, k * 4, k};
+    keys[i] = k;
+  }
+  combSortStructs(structs.data(), n, [](const Intersection& p) { return p.k; });
+  combSortKeys(keys.data(), nullptr, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(structs[i].k, keys[i]);
+    // Payload moved with the key.
+    EXPECT_DOUBLE_EQ(structs[i].x, keys[i] * 2);
+  }
+}
+
+TEST(CombSort, AlreadySortedAndReversed) {
+  std::vector<double> ascending{1, 2, 3, 4, 5};
+  combSortKeys(ascending.data(), nullptr, ascending.size());
+  EXPECT_EQ(ascending, (std::vector<double>{1, 2, 3, 4, 5}));
+
+  std::vector<double> descending{5, 4, 3, 2, 1};
+  combSortKeys(descending.data(), nullptr, descending.size());
+  EXPECT_EQ(descending, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+TEST(CombSort, DuplicateKeysStaySorted) {
+  std::vector<double> keys{3, 1, 3, 1, 2, 2, 3};
+  combSortKeys(keys.data(), nullptr, keys.size());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+} // namespace
+} // namespace vates

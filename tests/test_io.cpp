@@ -1,0 +1,420 @@
+// Tests for the nxlite container, run files (incl. failure injection),
+// and grid writers.
+
+#include "vates/events/generator.hpp"
+#include "vates/io/crc32.hpp"
+#include "vates/io/event_file.hpp"
+#include "vates/io/grid_writers.hpp"
+#include "vates/io/histogram_file.hpp"
+#include "vates/io/nxlite.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace vates {
+namespace {
+
+/// Temporary directory wiped per test.
+class IoTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vates_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// CRC32
+
+TEST(Crc32, KnownVector) {
+  // The canonical check value: CRC32("123456789") = 0xCBF43926.
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32("", 0), 0u); }
+
+TEST(Crc32, ChainedEqualsWhole) {
+  const char data[] = "hello, neutron world";
+  const std::size_t n = sizeof(data) - 1;
+  const std::uint32_t whole = crc32(data, n);
+  const std::uint32_t first = crc32(data, 7);
+  const std::uint32_t chained = crc32(data + 7, n - 7, first);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  std::vector<unsigned char> data(1024, 0xAB);
+  const std::uint32_t before = crc32(data.data(), data.size());
+  data[512] ^= 0x01;
+  EXPECT_NE(crc32(data.data(), data.size()), before);
+}
+
+// ---------------------------------------------------------------------------
+// nxlite round trips
+
+TEST_F(IoTest, RoundTripAllTypes) {
+  const std::string file = path("roundtrip.nxl");
+  std::vector<double> doubles{1.5, -2.5, 3.25, 0.0};
+  std::vector<std::uint64_t> uints{1, 2, 3, 1ull << 60};
+  std::vector<std::uint32_t> small{7, 8};
+  {
+    nx::Writer writer(file);
+    writer.writeFloat64("doubles", doubles, {2, 2});
+    writer.writeUInt64("uints", uints);
+    writer.writeUInt32("small", small);
+    writer.writeScalar("scalar", 42.5);
+    writer.close();
+  }
+  nx::Reader reader(file);
+  EXPECT_EQ(reader.datasets().size(), 4u);
+  EXPECT_TRUE(reader.has("doubles"));
+  EXPECT_FALSE(reader.has("absent"));
+  EXPECT_EQ(reader.readFloat64("doubles"), doubles);
+  EXPECT_EQ(reader.readUInt64("uints"), uints);
+  EXPECT_EQ(reader.readUInt32("small"), small);
+  EXPECT_DOUBLE_EQ(reader.readScalar("scalar"), 42.5);
+  const auto& info = reader.info("doubles");
+  EXPECT_EQ(info.shape, (std::vector<std::uint64_t>{2, 2}));
+  EXPECT_EQ(info.dtype, nx::DType::Float64);
+}
+
+TEST_F(IoTest, RandomDatasetsBitExact) {
+  const std::string file = path("random.nxl");
+  Xoshiro256 rng(777);
+  std::vector<std::vector<double>> payloads;
+  {
+    nx::Writer writer(file);
+    for (int d = 0; d < 20; ++d) {
+      std::vector<double> data(1 + rng.uniformInt(5000));
+      for (auto& v : data) {
+        v = rng.normal(0.0, 1e6);
+      }
+      writer.writeFloat64("ds" + std::to_string(d), data);
+      payloads.push_back(std::move(data));
+    }
+  } // destructor closes
+  nx::Reader reader(file);
+  for (int d = 0; d < 20; ++d) {
+    EXPECT_EQ(reader.readFloat64("ds" + std::to_string(d)),
+              payloads[static_cast<std::size_t>(d)]);
+  }
+}
+
+TEST_F(IoTest, EmptyDatasetSupported) {
+  const std::string file = path("empty.nxl");
+  {
+    nx::Writer writer(file);
+    writer.writeFloat64("nothing", std::span<const double>{});
+    writer.close();
+  }
+  nx::Reader reader(file);
+  EXPECT_TRUE(reader.readFloat64("nothing").empty());
+}
+
+TEST_F(IoTest, TypeAndShapeMismatchesThrow) {
+  const std::string file = path("types.nxl");
+  {
+    nx::Writer writer(file);
+    std::vector<double> data{1.0};
+    writer.writeFloat64("d", data);
+    writer.close();
+  }
+  nx::Reader reader(file);
+  EXPECT_THROW(reader.readUInt64("d"), IOError);
+  EXPECT_THROW(reader.readFloat64("missing"), IOError);
+  EXPECT_THROW(reader.info("missing"), IOError);
+}
+
+TEST_F(IoTest, WriterRejectsBadShapes) {
+  nx::Writer writer(path("bad.nxl"));
+  std::vector<double> data{1.0, 2.0, 3.0};
+  EXPECT_THROW(writer.writeFloat64("x", data, {2, 2}), InvalidArgument);
+  EXPECT_THROW(writer.writeFloat64("", data), InvalidArgument);
+  EXPECT_THROW(writer.writeFloat64("deep", data, {3, 1, 1, 1, 1}),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(nx::Reader(path("does_not_exist.nxl")), IOError);
+}
+
+TEST_F(IoTest, BadMagicRejected) {
+  const std::string file = path("magic.nxl");
+  std::ofstream(file) << "HDF5FILE-this-is-not-nxlite-padding-padding";
+  EXPECT_THROW(nx::Reader{file}, IOError);
+}
+
+TEST_F(IoTest, TruncatedFileRejected) {
+  const std::string file = path("trunc.nxl");
+  {
+    nx::Writer writer(file);
+    std::vector<double> data(1000, 1.0);
+    writer.writeFloat64("d", data);
+    writer.close();
+  }
+  // Chop the last 100 bytes.
+  const auto size = std::filesystem::file_size(file);
+  std::filesystem::resize_file(file, size - 100);
+  EXPECT_THROW(nx::Reader{file}, IOError);
+}
+
+TEST_F(IoTest, CorruptPayloadFailsCrc) {
+  const std::string file = path("corrupt.nxl");
+  {
+    nx::Writer writer(file);
+    std::vector<double> data(100, 3.0);
+    writer.writeFloat64("d", data);
+    writer.close();
+  }
+  // Flip one byte inside the payload (well past the header).
+  std::fstream stream(file,
+                      std::ios::in | std::ios::out | std::ios::binary);
+  stream.seekp(64, std::ios::beg);
+  char byte = 0;
+  stream.read(&byte, 1);
+  stream.seekp(64, std::ios::beg);
+  byte = static_cast<char>(byte ^ 0xFF);
+  stream.write(&byte, 1);
+  stream.close();
+
+  nx::Reader reader(file); // directory scan is size-based, still fine
+  EXPECT_THROW(reader.readFloat64("d"), IOError);
+}
+
+// ---------------------------------------------------------------------------
+// Run files
+
+TEST_F(IoTest, RunFileRoundTrip) {
+  EventTable events;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 500; ++i) {
+    events.append(rng.uniform(), rng.uniform(), 7.0, rng.uniformInt(100), 7.0,
+                  V3{rng.normal(), rng.normal(), rng.normal()});
+  }
+  RunInfo run;
+  run.runIndex = 7;
+  run.goniometerR = rotationAboutAxis({0, 1, 0}, 0.3);
+  run.protonCharge = 1.25;
+  run.kMin = 2.1;
+  run.kMax = 8.9;
+
+  const std::string file = path("run.nxl");
+  saveRunFile(file, run, events);
+  const RunFileContent content = loadRunFile(file);
+
+  EXPECT_TRUE(content.events == events);
+  EXPECT_EQ(content.run.runIndex, 7u);
+  EXPECT_LT(maxAbsDiff(content.run.goniometerR, run.goniometerR), 1e-15);
+  EXPECT_DOUBLE_EQ(content.run.protonCharge, 1.25);
+  EXPECT_DOUBLE_EQ(content.run.kMin, 2.1);
+  EXPECT_DOUBLE_EQ(content.run.kMax, 8.9);
+}
+
+TEST_F(IoTest, RawRunFileRoundTrip) {
+  RawEventList events;
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 800; ++i) {
+    events.append(static_cast<std::uint32_t>(rng.uniformInt(500)),
+                  rng.uniform(100.0, 20000.0),
+                  static_cast<std::uint32_t>(i / 10), rng.uniform(0.1, 3.0));
+  }
+  RunInfo run;
+  run.runIndex = 11;
+  run.goniometerR = rotationAboutAxis({0, 1, 0}, -0.4);
+  run.protonCharge = 0.75;
+  run.kMin = 1.9;
+  run.kMax = 9.5;
+
+  const std::string file = path("raw_run.nxl");
+  saveRawRunFile(file, run, events);
+  const RawRunFileContent content = loadRawRunFile(file);
+  EXPECT_TRUE(content.events == events);
+  EXPECT_EQ(content.run.runIndex, 11u);
+  EXPECT_DOUBLE_EQ(content.run.protonCharge, 0.75);
+  EXPECT_LT(maxAbsDiff(content.run.goniometerR, run.goniometerR), 1e-15);
+}
+
+TEST_F(IoTest, RawRunFileRejectsLengthMismatch) {
+  const std::string file = path("raw_bad.nxl");
+  {
+    nx::Writer writer(file);
+    const std::vector<std::uint32_t> ids{1, 2, 3};
+    const std::vector<double> tofs{1.0, 2.0}; // wrong length
+    const std::vector<std::uint32_t> pulses{0, 0, 0};
+    const std::vector<double> weights{1.0, 1.0, 1.0};
+    writer.writeUInt32("event_id", ids);
+    writer.writeFloat64("event_time_offset", tofs);
+    writer.writeUInt32("event_pulse_index", pulses);
+    writer.writeFloat64("event_weight", weights);
+    writer.close();
+  }
+  EXPECT_THROW(loadRawRunFile(file), IOError);
+}
+
+TEST_F(IoTest, RawRunFilePathFormat) {
+  EXPECT_EQ(rawRunFilePath("/data", "bixbyite-topaz", 12),
+            "/data/bixbyite-topaz_raw_0012.nxl");
+}
+
+TEST_F(IoTest, RunFilePathFormat) {
+  EXPECT_EQ(runFilePath("/data", "benzil-corelli", 3),
+            "/data/benzil-corelli_run_0003.nxl");
+}
+
+TEST_F(IoTest, RunFileRejectsWrongEventShape) {
+  const std::string file = path("badevents.nxl");
+  {
+    nx::Writer writer(file);
+    std::vector<double> notNx8(21, 1.0);
+    writer.writeFloat64("events", notNx8, {3, 7});
+    writer.writeFloat64("goniometer", std::vector<double>(9, 0.0),
+                        {3, 3});
+    writer.writeScalar("proton_charge", 1.0);
+    writer.close();
+  }
+  EXPECT_THROW(loadRunFile(file), IOError);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram / reduced-data files
+
+TEST_F(IoTest, HistogramFileRoundTrip) {
+  Histogram3D histogram(BinAxis("[H,H]", -7.5, 7.5, 31),
+                        BinAxis("[H,-H]", -7.5, 7.5, 17),
+                        BinAxis("[L]", -0.1, 0.1, 3),
+                        Projection::benzilSlice());
+  Xoshiro256 rng(4242);
+  for (int i = 0; i < 500; ++i) {
+    histogram.addSerial({rng.uniform(-7.5, 7.5), rng.uniform(-7.5, 7.5),
+                         rng.uniform(-0.1, 0.1)},
+                        rng.uniform(0.1, 5.0));
+  }
+  const std::string file = path("histogram.nxl");
+  saveHistogram(file, histogram);
+  const Histogram3D loaded = loadHistogram(file);
+
+  EXPECT_TRUE(loaded.sameShape(histogram));
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    ASSERT_EQ(loaded.data()[i], histogram.data()[i]); // bit exact
+  }
+  // Projection basis survived.
+  EXPECT_LT(maxAbsDiff(loaded.projection().u(), V3{1, 1, 0}), 1e-15);
+  EXPECT_LT(maxAbsDiff(loaded.projection().v(), V3{1, -1, 0}), 1e-15);
+}
+
+TEST_F(IoTest, ReducedDataRoundTrip) {
+  Histogram3D signal(BinAxis("x", 0, 4, 8), BinAxis("y", 0, 4, 8),
+                     BinAxis("z", 0, 1, 1));
+  Histogram3D norm = signal.emptyLike();
+  signal.addSerial({1.1, 2.2, 0.5}, 8.0);
+  norm.addSerial({1.1, 2.2, 0.5}, 2.0);
+  const Histogram3D crossSection = Histogram3D::divide(signal, norm);
+
+  const std::string file = path("reduced.nxl");
+  saveReducedData(file, signal, norm, crossSection);
+  const ReducedData loaded = loadReducedData(file);
+  EXPECT_DOUBLE_EQ(loaded.signal.totalSignal(), 8.0);
+  EXPECT_DOUBLE_EQ(loaded.normalization.totalSignal(), 2.0);
+  const auto index = signal.locate({1.1, 2.2, 0.5}).value();
+  EXPECT_DOUBLE_EQ(loaded.crossSection.data()[index], 4.0);
+  // NaN bins survive the round trip as NaN.
+  std::size_t nanBins = 0;
+  for (double value : loaded.crossSection.data()) {
+    if (std::isnan(value)) {
+      ++nanBins;
+    }
+  }
+  EXPECT_EQ(nanBins, crossSection.size() - 1);
+}
+
+TEST_F(IoTest, ReducedDataShapeMismatchThrows) {
+  Histogram3D a(BinAxis("x", 0, 1, 2), BinAxis("y", 0, 1, 2),
+                BinAxis("z", 0, 1, 1));
+  Histogram3D b(BinAxis("x", 0, 1, 3), BinAxis("y", 0, 1, 2),
+                BinAxis("z", 0, 1, 1));
+  EXPECT_THROW(saveReducedData(path("bad.nxl"), a, b, a), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Grid writers
+
+TEST_F(IoTest, CsvSliceWritesGrid) {
+  Histogram3D histogram(BinAxis("x", 0, 4, 4), BinAxis("y", 0, 3, 3),
+                        BinAxis("z", 0, 1, 1));
+  histogram.addSerial({0.5, 0.5, 0.5}, 2.5);
+  const std::string file = path("slice.csv");
+  writeCsvSlice(file, histogram);
+  std::ifstream stream(file);
+  std::string header, firstRow;
+  std::getline(stream, header);
+  std::getline(stream, firstRow);
+  EXPECT_EQ(header.front(), '#');
+  EXPECT_EQ(firstRow, "2.5,0,0,0");
+}
+
+TEST_F(IoTest, PgmSliceHasValidHeader) {
+  Histogram3D histogram(BinAxis("x", 0, 4, 40), BinAxis("y", 0, 3, 30),
+                        BinAxis("z", 0, 1, 1));
+  histogram.fill(1.0);
+  histogram.addSerial({1.0, 1.0, 0.5}, 100.0);
+  const std::string file = path("slice.pgm");
+  writePgmSlice(file, histogram);
+  std::ifstream stream(file, std::ios::binary);
+  std::string magic;
+  int width = 0, height = 0, maxValue = 0;
+  stream >> magic >> width >> height >> maxValue;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(width, 40);
+  EXPECT_EQ(height, 30);
+  EXPECT_EQ(maxValue, 255);
+  // Payload must be width*height bytes after one whitespace.
+  stream.get();
+  std::vector<char> payload(static_cast<std::size_t>(width * height));
+  stream.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  EXPECT_EQ(stream.gcount(), width * height);
+}
+
+TEST_F(IoTest, SliceStatsCountsCoverage) {
+  Histogram3D numerator(BinAxis("x", 0, 2, 2), BinAxis("y", 0, 2, 2),
+                        BinAxis("z", 0, 1, 1));
+  Histogram3D denominator = numerator.emptyLike();
+  numerator.addSerial({0.5, 0.5, 0.5}, 6.0);
+  denominator.addSerial({0.5, 0.5, 0.5}, 2.0);
+  const Histogram3D ratio = Histogram3D::divide(numerator, denominator);
+  const SliceStats stats = computeSliceStats(ratio);
+  EXPECT_EQ(stats.coveredBins, 1u);
+  EXPECT_EQ(stats.emptyBins, 3u);
+  EXPECT_DOUBLE_EQ(stats.maxValue, 3.0);
+  EXPECT_DOUBLE_EQ(stats.meanValue, 3.0);
+  EXPECT_NEAR(stats.coverage(), 0.25, 1e-12);
+}
+
+TEST_F(IoTest, WritersRejectBadSliceIndex) {
+  Histogram3D histogram(BinAxis("x", 0, 2, 2), BinAxis("y", 0, 2, 2),
+                        BinAxis("z", 0, 1, 1));
+  EXPECT_THROW(writeCsvSlice(path("x.csv"), histogram, 5), InvalidArgument);
+  EXPECT_THROW(writePgmSlice(path("x.pgm"), histogram, 1), InvalidArgument);
+  EXPECT_THROW(computeSliceStats(histogram, 2), InvalidArgument);
+}
+
+} // namespace
+} // namespace vates

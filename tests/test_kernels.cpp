@@ -1,0 +1,460 @@
+// Tests for the MDNorm and BinMD kernels: hand-checkable cases, backend
+// parity, algorithm-variant equivalence, and transform composition.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/support/rng.hpp"
+#include "vates/units/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace vates {
+namespace {
+
+std::vector<Backend> availableBackends() {
+  std::vector<Backend> backends;
+  for (Backend b : {Backend::Serial, Backend::OpenMP, Backend::ThreadPool,
+                    Backend::DeviceSim}) {
+    if (backendAvailable(b)) {
+      backends.push_back(b);
+    }
+  }
+  return backends;
+}
+
+// ---------------------------------------------------------------------------
+// Transform composition
+
+TEST(Transforms, BinMdTransformMapsPeakToProjectedHkl) {
+  // An event generated exactly at integer hkl must land at the
+  // projected coordinates of that hkl under the identity op.
+  const OrientedLattice lattice(Lattice::bixbyite(), V3{0, 0, 1}, V3{1, 1, 0});
+  const Projection projection; // identity
+  const std::vector<M33> ops{M33::identity()};
+  const auto transforms = binMdTransforms(projection, lattice, ops);
+  ASSERT_EQ(transforms.size(), 1u);
+  const V3 hkl{2, -1, 3};
+  const V3 qSample = lattice.qSampleFromHkl(hkl);
+  EXPECT_LT(maxAbsDiff(transforms[0] * qSample, hkl), 1e-9);
+}
+
+TEST(Transforms, SymmetryOpMapsToEquivalentPosition) {
+  const OrientedLattice lattice(Lattice::bixbyite(), V3{0, 0, 1}, V3{1, 1, 0});
+  const Projection projection;
+  const M33 cyclic = SymmetryOperation::fromJones("z,x,y").matrix();
+  const auto transforms =
+      binMdTransforms(projection, lattice, std::vector<M33>{cyclic});
+  const V3 hkl{1, 2, 3};
+  const V3 qSample = lattice.qSampleFromHkl(hkl);
+  EXPECT_LT(maxAbsDiff(transforms[0] * qSample, V3{3, 1, 2}), 1e-9);
+}
+
+TEST(Transforms, MdNormIncludesGoniometer) {
+  const OrientedLattice lattice(Lattice::benzil(), V3{0, 0, 1}, V3{1, 0, 0});
+  const Projection projection;
+  const M33 r = rotationAboutAxis({0, 1, 0}, 0.7);
+  const std::vector<M33> ops{M33::identity()};
+  const auto withR = mdNormTransforms(projection, lattice, ops, r);
+  const auto withoutR =
+      mdNormTransforms(projection, lattice, ops, M33::identity());
+  // For Q_lab the rotated version must equal the unrotated applied to
+  // R⁻¹·Q_lab.
+  const V3 qLab{1.2, -0.3, 2.2};
+  EXPECT_LT(maxAbsDiff(withR[0] * qLab, withoutR[0] * (r.transposed() * qLab)),
+            1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// BinMD
+
+class BinMDBackends : public ::testing::TestWithParam<Backend> {};
+INSTANTIATE_TEST_SUITE_P(AllBackends, BinMDBackends,
+                         ::testing::ValuesIn(availableBackends()),
+                         [](const auto& paramInfo) {
+                           return std::string(backendName(paramInfo.param));
+                         });
+
+TEST_P(BinMDBackends, SingleEventLandsInCorrectBin) {
+  Histogram3D histogram(BinAxis("x", -5, 5, 10), BinAxis("y", -5, 5, 10),
+                        BinAxis("z", -5, 5, 10));
+  const double qx = 1.3, qy = -2.7, qz = 0.4, weight = 2.5;
+  BinMDInputs inputs;
+  const M33 identity = M33::identity();
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qx = &qx;
+  inputs.qy = &qy;
+  inputs.qz = &qz;
+  inputs.signal = &weight;
+  inputs.nEvents = 1;
+
+  const Executor executor(GetParam());
+  runBinMD(executor, inputs, histogram.gridView());
+  EXPECT_DOUBLE_EQ(histogram.totalSignal(), 2.5);
+  EXPECT_DOUBLE_EQ(histogram.at(6, 2, 5), 2.5); // (1.3,-2.7,0.4) bins
+}
+
+TEST_P(BinMDBackends, ConservesInBoundsSignalMass) {
+  Histogram3D histogram(BinAxis("x", -10, 10, 33), BinAxis("y", -10, 10, 27),
+                        BinAxis("z", -10, 10, 5));
+  Xoshiro256 rng(55);
+  const std::size_t n = 20000;
+  std::vector<double> qx(n), qy(n), qz(n), signal(n);
+  double inBoundsMass = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    qx[i] = rng.uniform(-12, 12); // some out of bounds on purpose
+    qy[i] = rng.uniform(-12, 12);
+    qz[i] = rng.uniform(-12, 12);
+    signal[i] = rng.uniform(0.1, 2.0);
+    if (std::fabs(qx[i]) < 10 && std::fabs(qy[i]) < 10 && std::fabs(qz[i]) < 10) {
+      inBoundsMass += signal[i];
+    }
+  }
+  BinMDInputs inputs;
+  const M33 identity = M33::identity();
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qx = qx.data();
+  inputs.qy = qy.data();
+  inputs.qz = qz.data();
+  inputs.signal = signal.data();
+  inputs.nEvents = n;
+
+  const Executor executor(GetParam());
+  runBinMD(executor, inputs, histogram.gridView());
+  EXPECT_NEAR(histogram.totalSignal(), inBoundsMass, 1e-8);
+}
+
+TEST_P(BinMDBackends, SymmetryMultipliesMassByOrder) {
+  // With a rotation group and a symmetric box, every op deposits the
+  // full event mass once.
+  Histogram3D histogram(BinAxis("x", -10, 10, 21), BinAxis("y", -10, 10, 21),
+                        BinAxis("z", -10, 10, 21));
+  const PointGroup group("23"); // 12 rotations, box is cubic-symmetric
+  const auto ops = group.matrices();
+
+  Xoshiro256 rng(66);
+  const std::size_t n = 2000;
+  std::vector<double> qx(n), qy(n), qz(n), signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qx[i] = rng.uniform(-8, 8);
+    qy[i] = rng.uniform(-8, 8);
+    qz[i] = rng.uniform(-8, 8);
+    signal[i] = 1.0;
+  }
+  BinMDInputs inputs;
+  inputs.transforms = ops;
+  inputs.qx = qx.data();
+  inputs.qy = qy.data();
+  inputs.qz = qz.data();
+  inputs.signal = signal.data();
+  inputs.nEvents = n;
+
+  const Executor executor(GetParam());
+  runBinMD(executor, inputs, histogram.gridView());
+  EXPECT_NEAR(histogram.totalSignal(), static_cast<double>(n * ops.size()),
+              1e-6);
+}
+
+TEST(BinMD, BackendsAgreeBinForBin) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.001));
+  const EventGenerator generator = setup.makeGenerator();
+  const EventTable events = generator.generate(0);
+  const auto transforms = binMdTransforms(setup.projection(), setup.lattice(),
+                                          setup.symmetryMatrices());
+  BinMDInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qx = events.column(EventTable::Qx).data();
+  inputs.qy = events.column(EventTable::Qy).data();
+  inputs.qz = events.column(EventTable::Qz).data();
+  inputs.signal = events.column(EventTable::Signal).data();
+  inputs.nEvents = events.size();
+
+  Histogram3D reference = setup.makeHistogram();
+  runBinMD(Executor(Backend::Serial), inputs, reference.gridView());
+
+  for (Backend backend : availableBackends()) {
+    Histogram3D histogram = setup.makeHistogram();
+    runBinMD(Executor(backend), inputs, histogram.gridView());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < histogram.size(); ++i) {
+      worst = std::max(worst,
+                       std::fabs(histogram.data()[i] - reference.data()[i]));
+    }
+    EXPECT_LT(worst, 1e-9) << backendName(backend);
+  }
+}
+
+TEST(BinMD, ErrorPropagationAccumulatesSquaredErrors) {
+  Histogram3D signal(BinAxis("x", -5, 5, 10), BinAxis("y", -5, 5, 10),
+                     BinAxis("z", -5, 5, 10));
+  Histogram3D errors = signal.emptyLike();
+
+  const std::size_t n = 3;
+  const double qx[n] = {1.0, 1.0, -2.0};
+  const double qy[n] = {0.0, 0.0, 0.0};
+  const double qz[n] = {0.0, 0.0, 0.0};
+  const double weight[n] = {2.0, 3.0, 1.0};
+  const double errorSq[n] = {4.0, 9.0, 1.0};
+
+  BinMDInputs inputs;
+  const M33 identity = M33::identity();
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qx = qx;
+  inputs.qy = qy;
+  inputs.qz = qz;
+  inputs.signal = weight;
+  inputs.errorSq = errorSq;
+  inputs.nEvents = n;
+
+  runBinMD(Executor(Backend::Serial), inputs, signal.gridView(),
+           errors.gridView());
+  // Events 0,1 share a bin: signal 5, sigma^2 13; event 2 alone: 1, 1.
+  EXPECT_DOUBLE_EQ(signal.at(6, 5, 5), 5.0);
+  EXPECT_DOUBLE_EQ(errors.at(6, 5, 5), 13.0);
+  EXPECT_DOUBLE_EQ(signal.at(3, 5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(errors.at(3, 5, 5), 1.0);
+}
+
+TEST(BinMD, ErrorVariantRequiresErrorColumn) {
+  Histogram3D signal(BinAxis("x", -1, 1, 2), BinAxis("y", -1, 1, 2),
+                     BinAxis("z", -1, 1, 2));
+  Histogram3D errors = signal.emptyLike();
+  const double qx = 0.0, qy = 0.0, qz = 0.0, weight = 1.0;
+  BinMDInputs inputs;
+  const M33 identity = M33::identity();
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qx = &qx;
+  inputs.qy = &qy;
+  inputs.qz = &qz;
+  inputs.signal = &weight;
+  inputs.nEvents = 1; // errorSq left null
+  EXPECT_THROW(runBinMD(Executor(Backend::Serial), inputs, signal.gridView(),
+                        errors.gridView()),
+               InvalidArgument);
+}
+
+TEST(BinMD, EmptyInputsAreNoOps) {
+  Histogram3D histogram(BinAxis("x", -1, 1, 2), BinAxis("y", -1, 1, 2),
+                        BinAxis("z", -1, 1, 2));
+  BinMDInputs inputs; // zero events, zero transforms
+  runBinMD(Executor(Backend::Serial), inputs, histogram.gridView());
+  EXPECT_DOUBLE_EQ(histogram.totalSignal(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MDNorm
+
+/// Single detector, flat flux, identity everything: normalization mass
+/// is solidAngle · charge · (Φ(kExit) − Φ(kEnter)) over the in-box span.
+TEST(MDNorm, SingleDetectorAnalyticMass) {
+  Histogram3D histogram(BinAxis("x", -10, 10, 20), BinAxis("y", -10, 10, 20),
+                        BinAxis("z", -10, 10, 20));
+  // Trajectory t = (1,0,0) direction: transform identity, q direction x.
+  const M33 identity = M33::identity();
+  const V3 qDirection{1.0, 0.0, 0.0};
+  const double solidAngle = 0.002;
+  const FluxSpectrum flux = FluxSpectrum::flat(1.0, 9.0, 64, 8.0);
+
+  MDNormInputs inputs;
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qLabDirections = std::span<const V3>(&qDirection, 1);
+  inputs.solidAngles = std::span<const double>(&solidAngle, 1);
+  inputs.flux = flux.view();
+  inputs.protonCharge = 2.0;
+  inputs.kMin = 1.0;
+  inputs.kMax = 9.0;
+
+  Histogram3D normalization = histogram.emptyLike();
+  runMDNorm(Executor(Backend::Serial), inputs, normalization.gridView());
+
+  // The ray p = (k, 0, 0) stays in the box for k in [1, 9] entirely
+  // (box extends to 10), so the whole band integral deposits:
+  // solidAngle · charge · Φ(9)−Φ(1) = 0.002 · 2 · 8.
+  EXPECT_NEAR(normalization.totalSignal(), 0.002 * 2.0 * 8.0, 1e-12);
+  // Deposits lie along the +x row of bins at y=z=0.
+  EXPECT_GT(normalization.at(15, 10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(normalization.at(10, 15, 10), 0.0);
+}
+
+TEST(MDNorm, ClippedTrajectoryDepositsPartialIntegral) {
+  // Box only covers x < 5: the k in [5, 9] part of the band is outside.
+  Histogram3D normalization(BinAxis("x", -5, 5, 10), BinAxis("y", -5, 5, 10),
+                            BinAxis("z", -5, 5, 10));
+  const M33 identity = M33::identity();
+  const V3 qDirection{1.0, 0.0, 0.0};
+  const double solidAngle = 1.0;
+  const FluxSpectrum flux = FluxSpectrum::flat(1.0, 9.0, 64, 8.0);
+
+  MDNormInputs inputs;
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qLabDirections = std::span<const V3>(&qDirection, 1);
+  inputs.solidAngles = std::span<const double>(&solidAngle, 1);
+  inputs.flux = flux.view();
+  inputs.protonCharge = 1.0;
+  inputs.kMin = 1.0;
+  inputs.kMax = 9.0;
+
+  runMDNorm(Executor(Backend::Serial), inputs, normalization.gridView());
+  // In-box portion: k in [1, 5) → flat flux contributes (5-1)/(9-1)·8 = 4.
+  EXPECT_NEAR(normalization.totalSignal(), 4.0, 1e-9);
+}
+
+TEST(MDNorm, VariantsProduceIdenticalHistograms) {
+  // ROI vs Linear search and keys vs structs sorting are pure
+  // optimizations: all four combinations must agree bin-for-bin.
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  Histogram3D reference = setup.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, reference.gridView(),
+            MDNormOptions{PlaneSearch::Linear, false});
+
+  for (const PlaneSearch search : {PlaneSearch::Linear, PlaneSearch::Roi}) {
+    for (const bool keys : {false, true}) {
+      Histogram3D histogram = setup.makeHistogram();
+      runMDNorm(Executor(Backend::Serial), inputs, histogram.gridView(),
+                MDNormOptions{search, keys});
+      double worst = 0.0;
+      for (std::size_t i = 0; i < histogram.size(); ++i) {
+        worst = std::max(worst, std::fabs(histogram.data()[i] -
+                                          reference.data()[i]));
+      }
+      EXPECT_LT(worst, 1e-12)
+          << "search=" << (search == PlaneSearch::Roi ? "roi" : "linear")
+          << " keys=" << keys;
+    }
+  }
+}
+
+TEST(MDNorm, BackendsAgreeWithinTolerance) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(1);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  Histogram3D reference = setup.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, reference.gridView());
+
+  for (Backend backend : availableBackends()) {
+    Histogram3D histogram = setup.makeHistogram();
+    runMDNorm(Executor(backend), inputs, histogram.gridView());
+    double worstRelative = 0.0;
+    for (std::size_t i = 0; i < histogram.size(); ++i) {
+      const double a = histogram.data()[i], b = reference.data()[i];
+      const double scale = std::max({std::fabs(a), std::fabs(b), 1e-30});
+      worstRelative = std::max(worstRelative, std::fabs(a - b) / scale);
+    }
+    EXPECT_LT(worstRelative, 1e-9) << backendName(backend);
+  }
+}
+
+TEST(MDNorm, NormalizationAdditiveOverOps) {
+  // Running ops one at a time and summing equals running them together.
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+
+  MDNormInputs inputs;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  Histogram3D together = setup.makeHistogram();
+  inputs.transforms = transforms;
+  runMDNorm(Executor(Backend::Serial), inputs, together.gridView());
+
+  Histogram3D oneByOne = setup.makeHistogram();
+  for (const M33& transform : transforms) {
+    inputs.transforms = std::span<const M33>(&transform, 1);
+    runMDNorm(Executor(Backend::Serial), inputs, oneByOne.gridView());
+  }
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < together.size(); ++i) {
+    worst = std::max(worst, std::fabs(together.data()[i] -
+                                      oneByOne.data()[i]));
+  }
+  EXPECT_LT(worst, 1e-10);
+}
+
+TEST(MDNorm, EstimatorBoundsActualIntersections) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  Histogram3D histogram = setup.makeHistogram();
+  const GridView grid = histogram.gridView();
+  const std::size_t estimate =
+      estimateMaxIntersections(Executor(Backend::Serial), inputs, grid);
+  EXPECT_GT(estimate, 0u);
+  EXPECT_LE(estimate, maxIntersections(grid)); // the paper's bound
+}
+
+TEST(MDNorm, InvalidInputsThrow) {
+  Histogram3D histogram(BinAxis("x", -1, 1, 2), BinAxis("y", -1, 1, 2),
+                        BinAxis("z", -1, 1, 2));
+  const M33 identity = M33::identity();
+  const V3 direction{1, 0, 0};
+  const double solidAngle = 1.0;
+  const FluxSpectrum flux = FluxSpectrum::flat(1.0, 2.0, 4, 1.0);
+
+  MDNormInputs inputs;
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qLabDirections = std::span<const V3>(&direction, 1);
+  inputs.solidAngles = std::span<const double>(&solidAngle, 1);
+  inputs.flux = flux.view();
+  inputs.kMin = 2.0;
+  inputs.kMax = 1.0; // inverted band
+  EXPECT_THROW(
+      runMDNorm(Executor(Backend::Serial), inputs, histogram.gridView()),
+      InvalidArgument);
+}
+
+} // namespace
+} // namespace vates

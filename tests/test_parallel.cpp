@@ -1,0 +1,352 @@
+// Tests for the portable execution layer: backends, thread pool,
+// executor parity across backends, atomics, and the device simulator.
+
+#include "vates/parallel/atomics.hpp"
+#include "vates/parallel/backend.hpp"
+#include "vates/parallel/device_array.hpp"
+#include "vates/parallel/device_sim.hpp"
+#include "vates/parallel/executor.hpp"
+#include "vates/parallel/function_ref.hpp"
+#include "vates/parallel/thread_pool.hpp"
+#include "vates/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace vates {
+namespace {
+
+std::vector<Backend> availableBackends() {
+  std::vector<Backend> backends;
+  for (Backend b : {Backend::Serial, Backend::OpenMP, Backend::ThreadPool,
+                    Backend::DeviceSim}) {
+    if (backendAvailable(b)) {
+      backends.push_back(b);
+    }
+  }
+  return backends;
+}
+
+// ---------------------------------------------------------------------------
+// Backend names and parsing
+
+TEST(Backend, NamesRoundTrip) {
+  for (Backend b : availableBackends()) {
+    EXPECT_EQ(parseBackend(backendName(b)), b);
+  }
+}
+
+TEST(Backend, ParseAliases) {
+  EXPECT_EQ(parseBackend("Threads"), Backend::ThreadPool);
+  EXPECT_EQ(parseBackend(" gpu-sim "), Backend::DeviceSim);
+  EXPECT_EQ(parseBackend("device"), Backend::DeviceSim);
+#ifdef VATES_HAS_OPENMP
+  EXPECT_EQ(parseBackend("omp"), Backend::OpenMP);
+#endif
+  EXPECT_THROW(parseBackend("vulkan"), InvalidArgument);
+}
+
+TEST(Backend, AvailableListNonEmpty) {
+  const std::string list = availableBackendList();
+  EXPECT_NE(list.find("serial"), std::string::npos);
+  EXPECT_NE(list.find("devicesim"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FunctionRef
+
+TEST(FunctionRef, InvokesLambdaWithCapture) {
+  int calls = 0;
+  auto lambda = [&calls](int x) { calls += x; };
+  FunctionRef<void(int)> ref = lambda;
+  ref(3);
+  ref(4);
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(FunctionRef, ReturnsValues) {
+  auto doubler = [](double x) { return 2.0 * x; };
+  FunctionRef<double(double)> ref = doubler;
+  EXPECT_DOUBLE_EQ(ref(2.5), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, RunsBodyOncePerWorker) {
+  ThreadPool pool(4);
+  std::vector<int> hits(4, 0);
+  auto body = [&](unsigned worker) { hits[worker]++; };
+  pool.run(FunctionRef<void(unsigned)>(body));
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ForRangeCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const std::size_t n = 1000;
+  std::vector<int> touched(n, 0);
+  pool.forRange(n, [&](std::size_t begin, std::size_t end, unsigned) {
+    for (std::size_t i = begin; i < end; ++i) {
+      touched[i]++;
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ForRangeEmptyIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.forRange(0, [&](std::size_t, std::size_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool(2);
+  std::atomic<int> innerCalls{0};
+  auto outer = [&](unsigned) {
+    auto inner = [&](unsigned worker) {
+      EXPECT_EQ(worker, 0u); // nested regions collapse to the caller
+      innerCalls++;
+    };
+    pool.run(FunctionRef<void(unsigned)>(inner));
+  };
+  pool.run(FunctionRef<void(unsigned)>(outer));
+  EXPECT_EQ(innerCalls.load(), 2);
+}
+
+TEST(ThreadPool, ConcurrentCallersAreSerializedSafely) {
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        pool.forRange(100, [&](std::size_t begin, std::size_t end, unsigned) {
+          total.fetch_add(end - begin);
+        });
+      }
+    });
+  }
+  for (auto& thread : callers) {
+    thread.join();
+  }
+  EXPECT_EQ(total.load(), 4u * 20u * 100u);
+}
+
+TEST(ThreadPool, SizeOneExecutesInline) {
+  ThreadPool pool(1);
+  std::size_t sum = 0;
+  pool.forRange(10, [&](std::size_t begin, std::size_t end, unsigned worker) {
+    EXPECT_EQ(worker, 0u);
+    sum += end - begin;
+  });
+  EXPECT_EQ(sum, 10u);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool pool(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+
+TEST(Atomics, ConcurrentDoubleAddIsLossless) {
+  double target = 0.0;
+  ThreadPool pool(4);
+  const int perWorker = 10000;
+  pool.run(FunctionRef<void(unsigned)>([&](unsigned) {
+    for (int i = 0; i < perWorker; ++i) {
+      atomicAdd(&target, 1.0);
+    }
+  }));
+  EXPECT_DOUBLE_EQ(target, 4.0 * perWorker);
+}
+
+TEST(Atomics, ConcurrentCounterExact) {
+  std::uint64_t counter = 0;
+  ThreadPool pool(4);
+  pool.run(FunctionRef<void(unsigned)>([&](unsigned) {
+    for (int i = 0; i < 10000; ++i) {
+      atomicNext(&counter);
+    }
+  }));
+  EXPECT_EQ(counter, 40000u);
+}
+
+TEST(Atomics, AtomicMaxFindsMaximum) {
+  double best = -1e300;
+  ThreadPool pool(4);
+  pool.run(FunctionRef<void(unsigned)>([&](unsigned worker) {
+    for (int i = 0; i < 1000; ++i) {
+      atomicMax(&best, static_cast<double>(worker * 1000 + i));
+    }
+  }));
+  EXPECT_DOUBLE_EQ(best, 3999.0);
+}
+
+// ---------------------------------------------------------------------------
+// Executor parity: every backend computes identical results
+
+class ExecutorBackends : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ExecutorBackends,
+                         ::testing::ValuesIn(availableBackends()),
+                         [](const auto& paramInfo) {
+                           return std::string(backendName(paramInfo.param));
+                         });
+
+TEST_P(ExecutorBackends, ParallelForTouchesAllIndices) {
+  const Executor executor(GetParam());
+  const std::size_t n = 5000;
+  std::vector<std::uint64_t> counters(n, 0);
+  executor.parallelFor(n, [&](std::size_t i) { atomicNext(&counters[i]); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(counters[i], 1u) << "index " << i;
+  }
+}
+
+TEST_P(ExecutorBackends, ParallelFor2DCoversCartesianProduct) {
+  const Executor executor(GetParam());
+  const std::size_t nOuter = 24, nInner = 321;
+  std::vector<std::uint64_t> counters(nOuter * nInner, 0);
+  executor.parallelFor2D(nOuter, nInner, [&](std::size_t i, std::size_t j) {
+    atomicNext(&counters[i * nInner + j]);
+  });
+  for (const auto c : counters) {
+    ASSERT_EQ(c, 1u);
+  }
+}
+
+TEST_P(ExecutorBackends, ParallelForZeroIsNoOp) {
+  const Executor executor(GetParam());
+  bool called = false;
+  executor.parallelFor(0, [&](std::size_t) { called = true; });
+  executor.parallelFor2D(0, 10, [&](std::size_t, std::size_t) { called = true; });
+  executor.parallelFor2D(10, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(ExecutorBackends, ReduceSumMatchesClosedForm) {
+  const Executor executor(GetParam());
+  const std::size_t n = 100001;
+  const auto sum = executor.parallelReduce(
+      n, std::uint64_t{0}, [](std::size_t i) { return std::uint64_t(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, std::uint64_t(n) * (n - 1) / 2);
+}
+
+TEST_P(ExecutorBackends, ReduceCustomOperatorMax) {
+  // The paper notes JACC.parallel_reduce lacked custom operators; ours
+  // must support them on every backend.
+  const Executor executor(GetParam());
+  std::vector<double> values(10000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>((i * 2654435761u) % 99991);
+  }
+  const double expected = *std::max_element(values.begin(), values.end());
+  const double measured = executor.parallelReduce(
+      values.size(), -1.0, [&](std::size_t i) { return values[i]; },
+      [](double a, double b) { return a > b ? a : b; });
+  EXPECT_DOUBLE_EQ(measured, expected);
+}
+
+TEST_P(ExecutorBackends, AtomicHistogramMatchesSerial) {
+  const Executor executor(GetParam());
+  const std::size_t n = 200000, bins = 97;
+  std::vector<double> histogram(bins, 0.0);
+  executor.parallelFor(n, [&](std::size_t i) {
+    atomicAdd(&histogram[i % bins], 1.0);
+  });
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double expected = static_cast<double>(n / bins + (b < n % bins));
+    ASSERT_DOUBLE_EQ(histogram[b], expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeviceSim
+
+TEST(DeviceSim, MetersAllocationsAndTransfers) {
+  DeviceSim device(DeviceOptions{.blockSize = 64, .jitCostMs = 0.0});
+  {
+    std::vector<double> host(1000, 1.5);
+    DeviceArray<double> array(device, std::span<const double>(host));
+    EXPECT_EQ(device.stats().bytesH2D, 8000u);
+    EXPECT_EQ(device.stats().bytesLive(), 8000u);
+
+    auto back = toHostVector(array);
+    EXPECT_EQ(device.stats().bytesD2H, 8000u);
+    EXPECT_EQ(back, host);
+  }
+  EXPECT_EQ(device.stats().bytesLive(), 0u);
+}
+
+TEST(DeviceSim, LaunchCountsBlocks) {
+  DeviceSim device(DeviceOptions{.blockSize = 100, .jitCostMs = 0.0});
+  std::vector<std::uint64_t> touched(1050, 0);
+  device.launch("touch", touched.size(),
+                [&](std::size_t i) { atomicNext(&touched[i]); });
+  EXPECT_EQ(device.stats().kernelLaunches, 1u);
+  EXPECT_EQ(device.stats().blocksExecuted, 11u); // ceil(1050/100)
+  for (auto t : touched) {
+    ASSERT_EQ(t, 1u);
+  }
+}
+
+TEST(DeviceSim, JitChargedOncePerKernel) {
+  DeviceSim device(DeviceOptions{.blockSize = 32, .jitCostMs = 5.0});
+  device.launch("kernel_a", 10, [](std::size_t) {});
+  device.launch("kernel_a", 10, [](std::size_t) {});
+  device.launch("kernel_b", 10, [](std::size_t) {});
+  EXPECT_EQ(device.stats().jitCompilations, 2u);
+  EXPECT_GE(device.stats().jitSeconds, 2 * 0.005 * 0.9);
+
+  device.resetJitCache();
+  device.launch("kernel_a", 10, [](std::size_t) {});
+  EXPECT_EQ(device.stats().jitCompilations, 3u);
+}
+
+TEST(DeviceSim, ZeroJitCostIsFree) {
+  DeviceSim device(DeviceOptions{.jitCostMs = 0.0});
+  device.launch("k", 10, [](std::size_t) {});
+  EXPECT_EQ(device.stats().jitCompilations, 1u);
+  EXPECT_DOUBLE_EQ(device.stats().jitSeconds, 0.0);
+}
+
+TEST(DeviceSim, FillOnDevice) {
+  DeviceSim device(DeviceOptions{.jitCostMs = 0.0});
+  DeviceArray<double> array(device, 257);
+  fillOnDevice(array, 3.25);
+  for (double v : toHostVector(array)) {
+    ASSERT_DOUBLE_EQ(v, 3.25);
+  }
+}
+
+TEST(DeviceSim, TransferSizeMismatchThrows) {
+  DeviceSim device(DeviceOptions{.jitCostMs = 0.0});
+  DeviceArray<double> array(device, 10);
+  std::vector<double> wrong(11, 0.0);
+  EXPECT_THROW(copyToDevice(array, std::span<const double>(wrong)),
+               InvalidArgument);
+  EXPECT_THROW(copyToHost(std::span<double>(wrong), array), InvalidArgument);
+}
+
+TEST(DeviceArray, MoveTransfersOwnership) {
+  DeviceSim device(DeviceOptions{.jitCostMs = 0.0});
+  DeviceArray<double> a(device, 100);
+  const double* data = a.deviceData();
+  DeviceArray<double> b = std::move(a);
+  EXPECT_EQ(b.deviceData(), data);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a.size(), 0u); // NOLINT(bugprone-use-after-move): documented state
+  EXPECT_EQ(device.stats().bytesLive(), 800u);
+}
+
+} // namespace
+} // namespace vates

@@ -1,0 +1,150 @@
+// Tests for Bragg-peak search — including the end-to-end physics
+// validation: peaks recovered from a reduced synthetic workload sit at
+// the reciprocal-lattice nodes the generator planted.
+
+#include "vates/core/peak_search.hpp"
+#include "vates/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace vates::core {
+namespace {
+
+Histogram3D flatField(double level) {
+  Histogram3D histogram(BinAxis("x", -5, 5, 51), BinAxis("y", -5, 5, 51),
+                        BinAxis("z", -0.5, 0.5, 1));
+  histogram.fill(level);
+  return histogram;
+}
+
+TEST(PeakSearch, FindsSinglePlantedPeak) {
+  Histogram3D histogram = flatField(1.0);
+  // Plant a Gaussian blob at (2.0, -1.0).
+  for (int di = -2; di <= 2; ++di) {
+    for (int dj = -2; dj <= 2; ++dj) {
+      const auto i = static_cast<std::size_t>(35 + di); // x = 2.0 -> bin 35
+      const auto j = static_cast<std::size_t>(20 + dj); // y = -1.0 -> bin 20
+      const double falloff = std::exp(-(di * di + dj * dj) / 2.0);
+      histogram.data()[histogram.flatIndex(i, j, 0)] += 100.0 * falloff;
+    }
+  }
+  const auto peaks = findPeaks(histogram);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].projected.x, 2.0, 0.2);
+  EXPECT_NEAR(peaks[0].projected.y, -1.0, 0.2);
+  EXPECT_NEAR(peaks[0].height, 101.0, 1.0);
+  // Background-subtracted intensity ~ the planted mass (~ 100 * sum of
+  // the Gaussian stencil ≈ 100 * 11.3), not the flat field.
+  EXPECT_GT(peaks[0].intensity, 500.0);
+  EXPECT_LT(peaks[0].intensity, 2000.0);
+}
+
+TEST(PeakSearch, SortsByHeightAndRespectsMaxPeaks) {
+  Histogram3D histogram = flatField(0.1);
+  histogram.data()[histogram.flatIndex(10, 10, 0)] = 50.0;
+  histogram.data()[histogram.flatIndex(30, 30, 0)] = 90.0;
+  histogram.data()[histogram.flatIndex(40, 15, 0)] = 70.0;
+
+  PeakSearchOptions options;
+  const auto all = findPeaks(histogram, options);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0].height, 90.0);
+  EXPECT_DOUBLE_EQ(all[1].height, 70.0);
+  EXPECT_DOUBLE_EQ(all[2].height, 50.0);
+
+  options.maxPeaks = 2;
+  EXPECT_EQ(findPeaks(histogram, options).size(), 2u);
+}
+
+TEST(PeakSearch, MergesNearbyCandidates) {
+  Histogram3D histogram = flatField(0.1);
+  // Two maxima 2 bins apart: below the default separation of 4 bins.
+  histogram.data()[histogram.flatIndex(20, 20, 0)] = 80.0;
+  histogram.data()[histogram.flatIndex(22, 20, 0)] = 75.0;
+  const auto peaks = findPeaks(histogram);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_DOUBLE_EQ(peaks[0].height, 80.0);
+}
+
+TEST(PeakSearch, IgnoresNaNAndEmpty) {
+  Histogram3D histogram = flatField(1.0);
+  histogram.fill(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(findPeaks(histogram).empty());
+
+  Histogram3D flat = flatField(1.0); // no structure above threshold
+  EXPECT_TRUE(findPeaks(flat).empty());
+}
+
+TEST(PeakSearch, ProjectedToHklMapping) {
+  Histogram3D histogram(BinAxis("[H,H]", -5, 5, 51),
+                        BinAxis("[H,-H]", -5, 5, 51),
+                        BinAxis("[L]", -0.5, 0.5, 1),
+                        Projection::benzilSlice());
+  histogram.fill(0.1);
+  // Projected (1, 0, 0) corresponds to hkl (1, 1, 0).
+  const auto i = histogram.axis(0).bin(1.0).value();
+  const auto j = histogram.axis(1).bin(0.0).value();
+  histogram.data()[histogram.flatIndex(i, j, 0)] = 50.0;
+  const auto peaks = findPeaks(histogram);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].hkl.x, 1.0, 0.15);
+  EXPECT_NEAR(peaks[0].hkl.y, 1.0, 0.15);
+  EXPECT_NEAR(peaks[0].hkl.z, 0.0, 0.15);
+}
+
+TEST(PeakSearch, RecoversPlantedLatticeNodesEndToEnd) {
+  // The physics round trip: generate -> reduce -> find peaks -> the
+  // peaks sit at integer HKL nodes allowed by the centering.
+  WorkloadSpec spec = WorkloadSpec::bixbyiteTopaz(0.0002);
+  spec.eventsPerFile = 30000;   // enough statistics for clean maxima
+  spec.braggSigma = 0.02;       // sharp peaks
+  spec.bins = {201, 201, 1};
+  const ExperimentSetup setup(spec);
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+
+  PeakSearchOptions options;
+  options.thresholdOverMedian = 20.0;
+  options.window = 2;
+  options.maxPeaks = 40;
+  const auto peaks = findPeaks(result.crossSection, options);
+  ASSERT_GE(peaks.size(), 5u);
+
+  std::size_t onNode = 0;
+  for (const Peak& peak : peaks) {
+    const V3 hkl = peak.hkl;
+    const int h = static_cast<int>(std::lround(hkl.x));
+    const int k = static_cast<int>(std::lround(hkl.y));
+    const int l = static_cast<int>(std::lround(hkl.z));
+    const bool nearNode = std::fabs(hkl.x - h) < 0.2 &&
+                          std::fabs(hkl.y - k) < 0.2 &&
+                          std::fabs(hkl.z - l) < 0.2;
+    if (nearNode) {
+      ++onNode;
+      // Bixbyite is body-centered: peaks only at h+k+l even.
+      EXPECT_TRUE(reflectionAllowed(Centering::I, h, k, l))
+          << "extinct reflection (" << h << "," << k << "," << l
+          << ") produced a peak";
+    }
+  }
+  // The strong majority of found peaks sit on lattice nodes.
+  EXPECT_GE(onNode * 10, peaks.size() * 7)
+      << onNode << " of " << peaks.size() << " peaks on nodes";
+}
+
+TEST(PeakSearch, TableRendering) {
+  std::vector<Peak> peaks(2);
+  peaks[0].projected = V3{1, 2, 0};
+  peaks[0].hkl = V3{3, -1, 0};
+  peaks[0].intensity = 123.0;
+  const std::string table = peakTable(peaks, 1);
+  EXPECT_NE(table.find("intensity"), std::string::npos);
+  EXPECT_NE(table.find("(1 more)"), std::string::npos);
+}
+
+} // namespace
+} // namespace vates::core

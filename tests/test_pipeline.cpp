@@ -1,0 +1,405 @@
+// Integration tests: the full Algorithm 1 pipeline across backends,
+// rank counts, data sources, and against the independent Garnet-style
+// baseline implementation.
+
+#include "vates/baseline/garnet_workflow.hpp"
+#include "vates/core/pipeline.hpp"
+#include "vates/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+namespace vates::core {
+namespace {
+
+WorkloadSpec tinyBenzil() { return WorkloadSpec::benzilCorelli(0.0004); }
+
+double worstAbsDiff(const Histogram3D& a, const Histogram3D& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a.data()[i], y = b.data()[i];
+    if (std::isnan(x) && std::isnan(y)) {
+      continue;
+    }
+    worst = std::max(worst, std::fabs(x - y));
+  }
+  return worst;
+}
+
+std::vector<Backend> availableBackends() {
+  std::vector<Backend> backends;
+  for (Backend b : {Backend::Serial, Backend::OpenMP, Backend::ThreadPool,
+                    Backend::DeviceSim}) {
+    if (backendAvailable(b)) {
+      backends.push_back(b);
+    }
+  }
+  return backends;
+}
+
+TEST(Pipeline, ProducesNonTrivialCrossSection) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionPipeline pipeline(setup, config);
+  const ReductionResult result = pipeline.run();
+
+  EXPECT_GT(result.signal.totalSignal(), 0.0);
+  EXPECT_GT(result.normalization.totalSignal(), 0.0);
+  EXPECT_GT(result.signal.nonZeroBins(), 100u);
+  EXPECT_EQ(result.eventsProcessed,
+            setup.spec().nFiles * setup.spec().eventsPerFile);
+  // Stage times recorded for every run.
+  EXPECT_EQ(result.times.count("MDNorm"), setup.spec().nFiles);
+  EXPECT_EQ(result.times.count("BinMD"), setup.spec().nFiles);
+  EXPECT_EQ(result.times.count("UpdateEvents"), setup.spec().nFiles);
+}
+
+TEST(Pipeline, RankCountDoesNotChangeResult) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig oneRank;
+  oneRank.backend = Backend::Serial;
+  oneRank.ranks = 1;
+  const ReductionResult reference = ReductionPipeline(setup, oneRank).run();
+
+  for (const int ranks : {2, 3, 4}) {
+    ReductionConfig config;
+    config.backend = Backend::Serial;
+    config.ranks = ranks;
+    const ReductionResult result = ReductionPipeline(setup, config).run();
+    EXPECT_LT(worstAbsDiff(result.signal, reference.signal), 1e-10)
+        << ranks << " ranks (signal)";
+    EXPECT_LT(worstAbsDiff(result.normalization, reference.normalization),
+              1e-10)
+        << ranks << " ranks (normalization)";
+  }
+}
+
+TEST(Pipeline, AllBackendsAgree) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig serialConfig;
+  serialConfig.backend = Backend::Serial;
+  const ReductionResult reference =
+      ReductionPipeline(setup, serialConfig).run();
+
+  for (const Backend backend : availableBackends()) {
+    ReductionConfig config;
+    config.backend = backend;
+    const ReductionResult result = ReductionPipeline(setup, config).run();
+    EXPECT_LT(worstAbsDiff(result.signal, reference.signal), 1e-8)
+        << backendName(backend);
+    EXPECT_LT(worstAbsDiff(result.normalization, reference.normalization),
+              1e-8)
+        << backendName(backend);
+  }
+}
+
+TEST(Pipeline, DeviceBackendReportsStats) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::DeviceSim;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+
+  EXPECT_GT(result.deviceStats.kernelLaunches, 0u);
+  EXPECT_GT(result.deviceStats.bytesH2D, 0u);
+  EXPECT_GT(result.deviceStats.bytesD2H, 0u);
+  // The pre-pass ran and produced a plausible bound.
+  EXPECT_GT(result.maxIntersectionsEstimate, 0u);
+  EXPECT_LE(result.maxIntersectionsEstimate,
+            setup.spec().bins[0] + setup.spec().bins[1] + setup.spec().bins[2] +
+                5);
+  // Device memory is balanced after the run.
+  EXPECT_EQ(result.deviceStats.bytesAllocated, result.deviceStats.bytesFreed);
+}
+
+TEST(Pipeline, FilesAndMemorySourcesGiveIdenticalHistograms) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionPipeline pipeline(setup, config);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("vates_pipeline_files_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto paths = pipeline.writeRunFiles(dir.string());
+  EXPECT_EQ(paths.size(), setup.spec().nFiles);
+
+  const ReductionResult fromMemory = pipeline.run();
+  const ReductionResult fromFiles = pipeline.runFromFiles(paths);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_LT(worstAbsDiff(fromMemory.signal, fromFiles.signal), 1e-12);
+  EXPECT_LT(worstAbsDiff(fromMemory.normalization, fromFiles.normalization),
+            1e-12);
+}
+
+TEST(Pipeline, CrossSectionIsSignalOverNormalization) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+  for (std::size_t i = 0; i < result.crossSection.size(); i += 173) {
+    const double numerator = result.signal.data()[i];
+    const double denominator = result.normalization.data()[i];
+    const double ratio = result.crossSection.data()[i];
+    if (denominator > 1e-300) {
+      EXPECT_DOUBLE_EQ(ratio, numerator / denominator);
+    } else {
+      EXPECT_TRUE(std::isnan(ratio));
+    }
+  }
+}
+
+TEST(Pipeline, MdnormVariantsAgreeEndToEnd) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig roi;
+  roi.backend = Backend::Serial;
+  const ReductionResult roiResult = ReductionPipeline(setup, roi).run();
+
+  ReductionConfig linearStructs;
+  linearStructs.backend = Backend::Serial;
+  linearStructs.mdnorm.search = PlaneSearch::Linear;
+  linearStructs.mdnorm.sortPrimitiveKeys = false;
+  const ReductionResult mantidStyle =
+      ReductionPipeline(setup, linearStructs).run();
+
+  EXPECT_LT(worstAbsDiff(roiResult.normalization, mantidStyle.normalization),
+            1e-10);
+}
+
+TEST(Pipeline, AgreesWithIndependentBaseline) {
+  // The optimized pipeline and the Garnet-style baseline are separate
+  // implementations of the same mathematics; their histograms must
+  // match to numerical precision.
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult proxy = ReductionPipeline(setup, config).run();
+  const baseline::GarnetResult garnet =
+      baseline::GarnetWorkflow(setup).reduce();
+
+  EXPECT_NEAR(proxy.signal.totalSignal(), garnet.signal.totalSignal(),
+              1e-6 * std::max(1.0, proxy.signal.totalSignal()));
+  EXPECT_LT(worstAbsDiff(proxy.signal, garnet.signal), 1e-8);
+  EXPECT_LT(worstAbsDiff(proxy.normalization, garnet.normalization), 1e-8);
+}
+
+TEST(Pipeline, BaselineSubsetOfRunsMatchesPipelineSubset) {
+  const ExperimentSetup setup(tinyBenzil());
+  const baseline::GarnetResult twoRuns =
+      baseline::GarnetWorkflow(setup).reduce(0, 2);
+  EXPECT_EQ(twoRuns.times.count("MDNorm"), 2u);
+  EXPECT_GT(twoRuns.signal.totalSignal(), 0.0);
+  // Fewer runs → strictly less signal than the full ensemble.
+  const baseline::GarnetResult allRuns =
+      baseline::GarnetWorkflow(setup).reduce();
+  EXPECT_LT(twoRuns.signal.totalSignal(), allRuns.signal.totalSignal());
+}
+
+TEST(Pipeline, BixbyiteWorkloadRunsEndToEnd) {
+  const ExperimentSetup setup(WorkloadSpec::bixbyiteTopaz(0.0001));
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  config.ranks = 2;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+  EXPECT_GT(result.signal.totalSignal(), 0.0);
+  EXPECT_GT(result.normalization.nonZeroBins(), 0u);
+  // Stage counts are merged with max over ranks: 22 files over 2 ranks
+  // means each rank saw 11.
+  EXPECT_EQ(result.times.count("MDNorm"), 11u);
+}
+
+TEST(Pipeline, RawTofModeMatchesQSampleMode) {
+  // Reducing from raw TOF events through ConvertToMD must land on the
+  // same histograms as the pre-converted path, within the TOF
+  // round-trip tolerance.
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig qSample;
+  qSample.backend = Backend::Serial;
+  const ReductionResult direct = ReductionPipeline(setup, qSample).run();
+
+  ReductionConfig rawMode = qSample;
+  rawMode.loadMode = LoadMode::RawTof;
+  const ReductionResult viaRaw = ReductionPipeline(setup, rawMode).run();
+
+  // The ConvertToMD stage is recorded once per file.
+  EXPECT_EQ(viaRaw.times.count("ConvertToMD"), setup.spec().nFiles);
+  EXPECT_EQ(viaRaw.eventsProcessed, direct.eventsProcessed);
+
+  // Signal mass agrees tightly; per-bin values may differ where TOF
+  // rounding moves an event across a bin edge, so compare totals and
+  // the bulk of the distribution.
+  EXPECT_NEAR(viaRaw.signal.totalSignal(), direct.signal.totalSignal(),
+              1e-6 * direct.signal.totalSignal());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < direct.signal.size(); ++i) {
+    if (std::fabs(direct.signal.data()[i] - viaRaw.signal.data()[i]) >
+        1e-9 * std::max(1.0, std::fabs(direct.signal.data()[i]))) {
+      ++differing;
+    }
+  }
+  EXPECT_LT(differing, direct.signal.size() / 1000 + 10);
+  // Normalization is geometry-only: identical in both modes.
+  EXPECT_LT(worstAbsDiff(viaRaw.normalization, direct.normalization), 1e-10);
+}
+
+TEST(Pipeline, RawFilesRoundTripThroughDisk) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  config.loadMode = LoadMode::RawTof;
+  const ReductionPipeline pipeline(setup, config);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("vates_pipeline_rawfiles_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto paths = pipeline.writeRawRunFiles(dir.string());
+  EXPECT_EQ(paths.size(), setup.spec().nFiles);
+
+  const ReductionResult fromMemory = pipeline.run();
+  const ReductionResult fromFiles = pipeline.runFromRawFiles(paths);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_LT(worstAbsDiff(fromMemory.signal, fromFiles.signal), 1e-12);
+  EXPECT_LT(worstAbsDiff(fromMemory.normalization, fromFiles.normalization),
+            1e-12);
+}
+
+TEST(Pipeline, TrackErrorsProducesConsistentSigma) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  config.trackErrors = true;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+
+  ASSERT_TRUE(result.signalErrorSq.has_value());
+  ASSERT_TRUE(result.crossSectionErrorSq.has_value());
+  // The generator sets errorSq == signal (Poisson-like), so the error
+  // histogram must equal the signal histogram exactly.
+  EXPECT_LT(worstAbsDiff(*result.signalErrorSq, result.signal), 1e-9);
+  // And per bin: sigma^2(C) = sigma^2(S) / N^2.
+  for (std::size_t i = 0; i < result.signal.size(); i += 211) {
+    const double n = result.normalization.data()[i];
+    const double sigmaSq = result.crossSectionErrorSq->data()[i];
+    if (n > 1e-300) {
+      ASSERT_NEAR(sigmaSq, result.signalErrorSq->data()[i] / (n * n),
+                  1e-9 * std::max(1.0, sigmaSq));
+    } else {
+      ASSERT_TRUE(std::isnan(sigmaSq));
+    }
+  }
+  // Untracked runs leave the optionals empty and the cross-section
+  // unchanged.
+  ReductionConfig plain;
+  plain.backend = Backend::Serial;
+  const ReductionResult noErrors = ReductionPipeline(setup, plain).run();
+  EXPECT_FALSE(noErrors.signalErrorSq.has_value());
+  EXPECT_LT(worstAbsDiff(noErrors.crossSection, result.crossSection), 1e-12);
+}
+
+TEST(Pipeline, TrackErrorsWorksOnDeviceBackend) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::DeviceSim;
+  config.trackErrors = true;
+  const ReductionResult device = ReductionPipeline(setup, config).run();
+  config.backend = Backend::Serial;
+  const ReductionResult serial = ReductionPipeline(setup, config).run();
+  ASSERT_TRUE(device.signalErrorSq.has_value());
+  EXPECT_LT(worstAbsDiff(*device.signalErrorSq, *serial.signalErrorSq), 1e-8);
+}
+
+TEST(Pipeline, ConfigSummaryNamesEveryKnob) {
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  config.loadMode = LoadMode::RawTof;
+  config.mdnorm.search = PlaneSearch::Linear;
+  config.mdnorm.sortPrimitiveKeys = false;
+  const std::string summary = config.summary();
+  EXPECT_NE(summary.find("serial"), std::string::npos);
+  EXPECT_NE(summary.find("raw-tof"), std::string::npos);
+  EXPECT_NE(summary.find("linear"), std::string::npos);
+  EXPECT_NE(summary.find("structs"), std::string::npos);
+}
+
+TEST(Pipeline, InvalidConfigThrows) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.ranks = 0;
+  EXPECT_THROW(ReductionPipeline(setup, config), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware presets
+
+TEST(HardwarePreset, TableIPresetsResolve) {
+  // The Table I systems plus the local fallback.
+  const HardwarePreset defiant = HardwarePreset::byName("defiant");
+  EXPECT_EQ(defiant.ranks, 8);
+  EXPECT_NE(defiant.description.find("EPYC 7662"), std::string::npos);
+  EXPECT_NE(defiant.description.find("MI100"), std::string::npos);
+
+  const HardwarePreset milan = HardwarePreset::byName("milan0");
+  EXPECT_NE(milan.description.find("EPYC 7513"), std::string::npos);
+  EXPECT_NE(milan.description.find("A100"), std::string::npos);
+  // The paper found the A100 markedly better; the presets encode that
+  // as a cheaper device model than Defiant's MI100.
+  EXPECT_LT(milan.device.jitCostMs, defiant.device.jitCostMs);
+
+  const HardwarePreset bl12 = HardwarePreset::byName("bl12");
+  EXPECT_EQ(bl12.ranks, 1);
+
+  EXPECT_EQ(HardwarePreset::byName("MILAN").name, "milan0");
+  EXPECT_EQ(HardwarePreset::byName("sns").name, "bl12");
+  EXPECT_THROW(HardwarePreset::byName("frontier"), InvalidArgument);
+}
+
+TEST(HardwarePreset, OverviewMentionsConfiguration) {
+  const std::string overview = HardwarePreset::defiant().systemsOverview();
+  EXPECT_NE(overview.find("defiant"), std::string::npos);
+  EXPECT_NE(overview.find("ranks=8"), std::string::npos);
+  EXPECT_NE(overview.find("jit="), std::string::npos);
+}
+
+TEST(ReductionConfigFromPreset, CarriesRankLayout) {
+  const ReductionConfig config = ReductionConfig::fromPreset(
+      HardwarePreset::milan0(), Backend::DeviceSim);
+  EXPECT_EQ(config.backend, Backend::DeviceSim);
+  EXPECT_EQ(config.ranks, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+
+TEST(Report, WctTableRendersRowsAndColumns) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+
+  WctTable table("Test table");
+  table.addColumn("C++ Proxy (CPU)", result);
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("UpdateEvents"), std::string::npos);
+  EXPECT_NE(rendered.find("MDNorm + BinMD"), std::string::npos);
+  EXPECT_NE(rendered.find("Total"), std::string::npos);
+  EXPECT_NE(rendered.find("C++ Proxy (CPU)"), std::string::npos);
+}
+
+TEST(Report, RatioAndSpeedupLine) {
+  StageTimes fast, slow;
+  fast.add("MDNorm", 1.0);
+  slow.add("MDNorm", 10.0);
+  WctTable table("t");
+  table.addColumn("fast", fast);
+  table.addColumn("slow", slow);
+  EXPECT_DOUBLE_EQ(table.ratio(1, 0, "MDNorm"), 10.0);
+  const std::string line = speedupLine("MDNorm", "fast", 1.0, "slow", 10.0);
+  EXPECT_NE(line.find("10.0x"), std::string::npos);
+  EXPECT_NE(line.find("faster"), std::string::npos);
+}
+
+} // namespace
+} // namespace vates::core

@@ -1,0 +1,208 @@
+// Tests for INI parsing and reduction plans (the Garnet reduction-plan
+// counterpart).
+
+#include "vates/core/pipeline.hpp"
+#include "vates/core/plan.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/inifile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace vates {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IniFile
+
+TEST(IniFile, ParsesSectionsKeysAndComments) {
+  const IniFile ini = IniFile::parse(R"(
+# top comment
+[alpha]
+key = value            ; trailing comment
+number = 42
+spaced key = spaced value
+
+[beta]
+pi = 3.25
+flag = true
+)");
+  EXPECT_EQ(ini.sections(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_EQ(ini.getString("alpha", "key"), "value");
+  EXPECT_EQ(ini.getString("alpha", "spaced key"), "spaced value");
+  EXPECT_EQ(ini.getInt("alpha", "number"), 42);
+  EXPECT_DOUBLE_EQ(ini.getDouble("beta", "pi"), 3.25);
+  EXPECT_TRUE(ini.getBool("beta", "flag", false));
+  EXPECT_TRUE(ini.has("alpha", "key"));
+  EXPECT_FALSE(ini.has("alpha", "missing"));
+  EXPECT_FALSE(ini.has("gamma", "key"));
+}
+
+TEST(IniFile, DefaultsAndErrors) {
+  const IniFile ini = IniFile::parse("[s]\nx = not-a-number\n");
+  EXPECT_EQ(ini.getString("s", "missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(ini.getDouble("s", "missing", 1.5), 1.5);
+  EXPECT_EQ(ini.getInt("s", "missing", 7), 7);
+  EXPECT_FALSE(ini.getBool("s", "missing", false));
+  EXPECT_THROW(ini.getString("s", "missing"), InvalidArgument);
+  EXPECT_THROW(ini.getDouble("s", "x"), InvalidArgument);
+  EXPECT_THROW(ini.getInt("s", "x"), InvalidArgument);
+  EXPECT_THROW(ini.getBool("s", "x", true), InvalidArgument);
+}
+
+TEST(IniFile, MalformedLinesNameTheLineNumber) {
+  try {
+    IniFile::parse("[ok]\nkey = 1\nbroken line without equals\n");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+  EXPECT_THROW(IniFile::parse("[unclosed\n"), InvalidArgument);
+  EXPECT_THROW(IniFile::parse("[]\n"), InvalidArgument);
+  EXPECT_THROW(IniFile::parse("= value\n"), InvalidArgument);
+}
+
+TEST(IniFile, LaterAssignmentsWin) {
+  const IniFile ini = IniFile::parse("[s]\nx = 1\nx = 2\n");
+  EXPECT_EQ(ini.getInt("s", "x"), 2);
+  EXPECT_EQ(ini.keys("s").size(), 1u);
+}
+
+TEST(IniFile, SerializeRoundTrip) {
+  IniFile ini;
+  ini.set("one", "a", "1");
+  ini.set("one", "b", "hello world");
+  ini.set("two", "c", "3.5");
+  const IniFile reparsed = IniFile::parse(ini.serialize());
+  EXPECT_EQ(reparsed.getString("one", "b"), "hello world");
+  EXPECT_DOUBLE_EQ(reparsed.getDouble("two", "c"), 3.5);
+}
+
+TEST(IniFile, FileRoundTripAndMissingFile) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("vates_ini_" + std::to_string(::getpid()) + ".ini");
+  IniFile ini;
+  ini.set("s", "k", "v");
+  ini.save(path.string());
+  EXPECT_EQ(IniFile::load(path.string()).getString("s", "k"), "v");
+  std::filesystem::remove(path);
+  EXPECT_THROW(IniFile::load(path.string()), IOError);
+}
+
+// ---------------------------------------------------------------------------
+// Reduction plans
+
+TEST(ReductionPlan, PresetBaseWithOverrides) {
+  const core::ReductionPlan plan = core::planFromIni(IniFile::parse(R"(
+[workload]
+base = benzil-corelli
+scale = 0.001
+files = 12
+point_group = -3m
+bins = 301 301 3
+
+[reduction]
+backend = serial
+ranks = 3
+load_mode = raw-tof
+plane_search = linear
+sort = structs
+track_errors = true
+lorentz = true
+)"));
+  EXPECT_EQ(plan.workload.nFiles, 12u);
+  EXPECT_EQ(plan.workload.pointGroup, "-3m");
+  EXPECT_EQ(plan.workload.bins, (std::array<std::size_t, 3>{301, 301, 3}));
+  // Unoverridden preset fields survive.
+  EXPECT_EQ(plan.workload.instrument, "corelli");
+  EXPECT_DOUBLE_EQ(plan.workload.latticeA, 8.376);
+
+  EXPECT_EQ(plan.config.backend, Backend::Serial);
+  EXPECT_EQ(plan.config.ranks, 3);
+  EXPECT_EQ(plan.config.loadMode, core::LoadMode::RawTof);
+  EXPECT_EQ(plan.config.mdnorm.search, PlaneSearch::Linear);
+  EXPECT_FALSE(plan.config.mdnorm.sortPrimitiveKeys);
+  EXPECT_TRUE(plan.config.trackErrors);
+  EXPECT_TRUE(plan.config.convert.lorentzCorrection);
+}
+
+TEST(ReductionPlan, UnknownKeysRejected) {
+  EXPECT_THROW(
+      core::planFromIni(IniFile::parse("[workload]\nfilez = 3\n")),
+      InvalidArgument);
+  EXPECT_THROW(
+      core::planFromIni(IniFile::parse("[reduction]\nthreads = 3\n")),
+      InvalidArgument);
+  EXPECT_THROW(core::planFromIni(IniFile::parse("[mystery]\nx = 1\n")),
+               InvalidArgument);
+  EXPECT_THROW(
+      core::planFromIni(IniFile::parse("[workload]\nbase = unobtainium\n")),
+      InvalidArgument);
+}
+
+TEST(ReductionPlan, SaveLoadRoundTripIsExact) {
+  core::ReductionPlan plan;
+  plan.workload = WorkloadSpec::bixbyiteTopaz(0.003);
+  plan.workload.braggSigma = 0.0213;
+  plan.config.backend = Backend::DeviceSim;
+  plan.config.ranks = 5;
+  plan.config.loadMode = core::LoadMode::RawTof;
+  plan.config.trackErrors = true;
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("vates_plan_" + std::to_string(::getpid()) + ".ini");
+  core::saveReductionPlan(path.string(), plan);
+  const core::ReductionPlan loaded = core::loadReductionPlan(path.string());
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(loaded.workload.name, plan.workload.name);
+  EXPECT_EQ(loaded.workload.nFiles, plan.workload.nFiles);
+  EXPECT_EQ(loaded.workload.eventsPerFile, plan.workload.eventsPerFile);
+  EXPECT_EQ(loaded.workload.nDetectors, plan.workload.nDetectors);
+  EXPECT_EQ(loaded.workload.pointGroup, plan.workload.pointGroup);
+  EXPECT_EQ(loaded.workload.centering, plan.workload.centering);
+  EXPECT_DOUBLE_EQ(loaded.workload.braggSigma, plan.workload.braggSigma);
+  EXPECT_DOUBLE_EQ(loaded.workload.omegaStartDeg,
+                   plan.workload.omegaStartDeg);
+  EXPECT_EQ(loaded.workload.bins, plan.workload.bins);
+  EXPECT_EQ(loaded.workload.seed, plan.workload.seed);
+  EXPECT_LT(maxAbsDiff(loaded.workload.projectionU,
+                       plan.workload.projectionU), 1e-15);
+  EXPECT_EQ(loaded.config.backend, Backend::DeviceSim);
+  EXPECT_EQ(loaded.config.ranks, 5);
+  EXPECT_EQ(loaded.config.loadMode, core::LoadMode::RawTof);
+  EXPECT_TRUE(loaded.config.trackErrors);
+}
+
+TEST(ReductionPlan, PlanDrivesIdenticalReduction) {
+  // A plan-loaded spec reduces to exactly the same result as the
+  // equivalent hand-built spec.
+  const WorkloadSpec manual = WorkloadSpec::benzilCorelli(0.0004);
+  core::ReductionPlan plan;
+  plan.workload = manual;
+  plan.config.backend = Backend::Serial;
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("vates_plan_run_" + std::to_string(::getpid()) + ".ini");
+  core::saveReductionPlan(path.string(), plan);
+  const core::ReductionPlan loaded = core::loadReductionPlan(path.string());
+  std::filesystem::remove(path);
+
+  const core::ReductionResult fromPlan =
+      core::ReductionPipeline(ExperimentSetup(loaded.workload), loaded.config)
+          .run();
+  core::ReductionConfig manualConfig;
+  manualConfig.backend = Backend::Serial;
+  const core::ReductionResult fromManual =
+      core::ReductionPipeline(ExperimentSetup(manual), manualConfig).run();
+
+  for (std::size_t i = 0; i < fromPlan.signal.size(); i += 101) {
+    ASSERT_EQ(fromPlan.signal.data()[i], fromManual.signal.data()[i]);
+    ASSERT_EQ(fromPlan.normalization.data()[i],
+              fromManual.normalization.data()[i]);
+  }
+}
+
+} // namespace
+} // namespace vates

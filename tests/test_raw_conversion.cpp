@@ -1,0 +1,291 @@
+// Tests for the raw TOF event layer and the ConvertToMD kernel: the
+// LoadEventNexus -> MDEventWorkspace path of the Garnet workflow.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/geometry/detector_mask.hpp"
+#include "vates/kernels/convert_to_md.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/units/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vates {
+namespace {
+
+class RawConversionTest : public ::testing::Test {
+protected:
+  RawConversionTest() : setup_(WorkloadSpec::benzilCorelli(0.002)) {}
+  ExperimentSetup setup_;
+};
+
+// ---------------------------------------------------------------------------
+// RawEventList
+
+TEST(RawEventList, AppendAndAccess) {
+  RawEventList raw;
+  raw.append(17, 4550.0, 3, 1.5);
+  raw.append(42, 980.25, 4, 0.5);
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_EQ(raw.detectorId(0), 17u);
+  EXPECT_DOUBLE_EQ(raw.tof(1), 980.25);
+  EXPECT_EQ(raw.pulseIndex(1), 4u);
+  EXPECT_DOUBLE_EQ(raw.totalWeight(), 2.0);
+}
+
+TEST(RawEventList, EqualityAndClear) {
+  RawEventList a, b;
+  a.append(1, 2.0, 3, 4.0);
+  b.append(1, 2.0, 3, 4.0);
+  EXPECT_TRUE(a == b);
+  b.append(5, 6.0, 7, 8.0);
+  EXPECT_FALSE(a == b);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Generator raw path
+
+TEST_F(RawConversionTest, RawGenerationDeterministic) {
+  const EventGenerator generator = setup_.makeGenerator();
+  EXPECT_TRUE(generator.generateRaw(2) == generator.generateRaw(2));
+  EXPECT_FALSE(generator.generateRaw(2) == generator.generateRaw(3));
+}
+
+TEST_F(RawConversionTest, RawTofsAreKinematic) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const RawEventList raw = generator.generateRaw(0);
+  const double lambdaMin = units::wavelengthFromMomentum(run.kMax);
+  const double lambdaMax = units::wavelengthFromMomentum(run.kMin);
+  for (std::size_t i = 0; i < raw.size(); i += 17) {
+    const double path =
+        setup_.instrument().totalFlightPath(raw.detectorId(i));
+    const double lambda = units::wavelengthFromTof(raw.tof(i), path);
+    EXPECT_GE(lambda, lambdaMin - 1e-9);
+    EXPECT_LE(lambda, lambdaMax + 1e-9);
+  }
+}
+
+TEST_F(RawConversionTest, PulseIndicesMonotone) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const RawEventList raw = generator.generateRaw(1);
+  for (std::size_t i = 1; i < raw.size(); ++i) {
+    ASSERT_GE(raw.pulseIndex(i), raw.pulseIndex(i - 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ConvertToMD
+
+TEST_F(RawConversionTest, ConversionReproducesDirectGeneration) {
+  // The ground truth test: generating Q events directly and converting
+  // the raw TOF stream must agree event for event (TOF round-trips
+  // through microseconds, so allow small numerical slack).
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(4);
+  const EventTable direct = generator.generate(4);
+  const RawEventList raw = generator.generateRaw(4);
+  const EventTable converted = convertToMD(
+      Executor(Backend::Serial), setup_.instrument(), nullptr, run, raw);
+
+  ASSERT_EQ(converted.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_NEAR(converted.signal(i), direct.signal(i), 1e-9);
+    ASSERT_EQ(converted.detectorId(i), direct.detectorId(i));
+    ASSERT_LT(maxAbsDiff(converted.qSample(i), direct.qSample(i)), 1e-6)
+        << "event " << i;
+  }
+}
+
+TEST_F(RawConversionTest, ConversionBackendsAgree) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const RawEventList raw = generator.generateRaw(0);
+  const EventTable reference = convertToMD(
+      Executor(Backend::Serial), setup_.instrument(), nullptr, run, raw);
+  for (const Backend backend :
+       {Backend::ThreadPool, Backend::DeviceSim}) {
+    const EventTable result = convertToMD(
+        Executor(backend), setup_.instrument(), nullptr, run, raw);
+    EXPECT_TRUE(result == reference) << backendName(backend);
+  }
+}
+
+TEST_F(RawConversionTest, MaskedDetectorsAreDropped) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const RawEventList raw = generator.generateRaw(0);
+
+  DetectorMask mask(setup_.instrument().nDetectors());
+  mask.maskRandomFraction(0.25, 1234);
+  const std::size_t masked = mask.maskedCount();
+  ASSERT_GT(masked, 0u);
+
+  EventTable converted = convertToMD(Executor(Backend::Serial),
+                                     setup_.instrument(), &mask, run, raw);
+  ASSERT_EQ(converted.size(), raw.size());
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < converted.size(); ++i) {
+    if (std::isinf(converted.qSample(i).x)) {
+      ++dropped;
+      EXPECT_TRUE(mask.isMasked(raw.detectorId(i)));
+      EXPECT_DOUBLE_EQ(converted.signal(i), 0.0);
+    } else {
+      EXPECT_FALSE(mask.isMasked(raw.detectorId(i)));
+    }
+  }
+  EXPECT_GT(dropped, 0u);
+
+  const std::size_t removed = compactEvents(converted);
+  EXPECT_EQ(removed, dropped);
+  EXPECT_EQ(converted.size(), raw.size() - dropped);
+  for (std::size_t i = 0; i < converted.size(); ++i) {
+    EXPECT_FALSE(std::isinf(converted.qSample(i).x));
+  }
+}
+
+TEST_F(RawConversionTest, BandFilterDropsOutOfBandTofs) {
+  const EventGenerator generator = setup_.makeGenerator();
+  RunInfo run = generator.runInfo(0);
+  RawEventList raw;
+  // One event well inside the band, one far outside (huge TOF = long
+  // wavelength = tiny momentum).
+  const double pathDetector0 = setup_.instrument().totalFlightPath(0);
+  const double lambdaInside =
+      0.5 * (units::wavelengthFromMomentum(run.kMin) +
+             units::wavelengthFromMomentum(run.kMax));
+  raw.append(0, units::tofFromWavelength(lambdaInside, pathDetector0), 0, 2.0);
+  raw.append(0, units::tofFromWavelength(50.0, pathDetector0), 0, 2.0);
+
+  EventTable converted = convertToMD(Executor(Backend::Serial),
+                                     setup_.instrument(), nullptr, run, raw);
+  EXPECT_FALSE(std::isinf(converted.qSample(0).x));
+  EXPECT_TRUE(std::isinf(converted.qSample(1).x));
+
+  ConvertOptions noFilter;
+  noFilter.filterMomentumBand = false;
+  converted = convertToMD(Executor(Backend::Serial), setup_.instrument(),
+                          nullptr, run, raw, noFilter);
+  EXPECT_FALSE(std::isinf(converted.qSample(1).x));
+}
+
+TEST_F(RawConversionTest, LorentzCorrectionScalesWeights) {
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const RawEventList raw = generator.generateRaw(0);
+
+  ConvertOptions lorentz;
+  lorentz.lorentzCorrection = true;
+  const EventTable plain = convertToMD(Executor(Backend::Serial),
+                                       setup_.instrument(), nullptr, run, raw);
+  const EventTable corrected = convertToMD(
+      Executor(Backend::Serial), setup_.instrument(), nullptr, run, raw,
+      lorentz);
+
+  for (std::size_t i = 0; i < raw.size(); i += 23) {
+    if (plain.signal(i) == 0.0) {
+      continue;
+    }
+    const std::uint32_t detector = raw.detectorId(i);
+    const double path = setup_.instrument().totalFlightPath(detector);
+    const double lambda = units::wavelengthFromTof(raw.tof(i), path);
+    const double sinHalf =
+        std::sin(0.5 * setup_.instrument().twoTheta(detector));
+    const double expectedFactor =
+        sinHalf * sinHalf / (lambda * lambda * lambda * lambda);
+    ASSERT_NEAR(corrected.signal(i), plain.signal(i) * expectedFactor,
+                1e-9 * std::max(1.0, plain.signal(i) * expectedFactor));
+  }
+  // Lorentz correction preserves coordinates.
+  for (std::size_t i = 0; i < raw.size(); i += 101) {
+    ASSERT_LT(maxAbsDiff(corrected.qSample(i), plain.qSample(i)), 1e-15);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DetectorMask
+
+TEST(DetectorMask, BasicOperations) {
+  DetectorMask mask(100);
+  EXPECT_EQ(mask.maskedCount(), 0u);
+  mask.mask(5);
+  mask.mask(5); // idempotent
+  mask.mask(99);
+  EXPECT_EQ(mask.maskedCount(), 2u);
+  EXPECT_TRUE(mask.isMasked(5));
+  EXPECT_FALSE(mask.isMasked(6));
+  mask.unmask(5);
+  EXPECT_EQ(mask.maskedCount(), 1u);
+  EXPECT_THROW(mask.mask(100), InvalidArgument);
+}
+
+TEST(DetectorMask, BeamStopMasksLowAngles) {
+  const Instrument instrument = Instrument::corelliLike(2000);
+  DetectorMask mask(instrument.nDetectors());
+  const double cutoff = 10.0 * M_PI / 180.0;
+  const std::size_t newlyMasked = mask.maskTwoThetaBelow(instrument, cutoff);
+  EXPECT_GT(newlyMasked, 0u);
+  EXPECT_LT(newlyMasked, instrument.nDetectors());
+  for (std::size_t d = 0; d < instrument.nDetectors(); ++d) {
+    EXPECT_EQ(mask.isMasked(d), instrument.twoTheta(d) < cutoff);
+  }
+}
+
+TEST(DetectorMask, RandomFractionApproximate) {
+  DetectorMask mask(20000);
+  const std::size_t newlyMasked = mask.maskRandomFraction(0.1, 7);
+  EXPECT_NEAR(static_cast<double>(newlyMasked), 2000.0, 200.0);
+  // Deterministic per seed.
+  DetectorMask again(20000);
+  again.maskRandomFraction(0.1, 7);
+  EXPECT_EQ(again.maskedCount(), newlyMasked);
+  EXPECT_THROW(mask.maskRandomFraction(1.5, 7), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Mask consistency between MDNorm and ConvertToMD
+
+TEST_F(RawConversionTest, MaskedReductionStaysUnbiased) {
+  // Masking pixels must remove them from BOTH the signal (via
+  // conversion) and the normalization (via the MDNorm mask input);
+  // the cross-section over the surviving coverage stays comparable.
+  const EventGenerator generator = setup_.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+
+  DetectorMask mask(setup_.instrument().nDetectors());
+  mask.maskRandomFraction(0.5, 99);
+
+  const auto transforms =
+      mdNormTransforms(setup_.projection(), setup_.lattice(),
+                       setup_.symmetryMatrices(), run.goniometerR);
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup_.instrument().qLabDirections();
+  inputs.solidAngles = setup_.instrument().solidAngles();
+  inputs.flux = setup_.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  Histogram3D unmasked = setup_.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, unmasked.gridView());
+
+  inputs.detectorMask = mask.flags().data();
+  Histogram3D masked = setup_.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, masked.gridView());
+
+  EXPECT_LT(masked.totalSignal(), unmasked.totalSignal());
+  EXPECT_GT(masked.totalSignal(), 0.0);
+  // Every bin's masked normalization is <= the unmasked one (masking
+  // only removes contributions).
+  for (std::size_t i = 0; i < masked.size(); i += 503) {
+    ASSERT_LE(masked.data()[i], unmasked.data()[i] + 1e-12);
+  }
+}
+
+} // namespace
+} // namespace vates

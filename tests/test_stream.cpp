@@ -1,0 +1,221 @@
+// Tests for the live-streaming substrate: channel semantics,
+// backpressure, the DAQ replayer, and the live reducer's equivalence
+// with batch reduction.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/stream/daq_simulator.hpp"
+#include "vates/stream/event_channel.hpp"
+#include "vates/stream/live_reducer.hpp"
+#include "vates/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+namespace vates::stream {
+namespace {
+
+PulsePacket makePacket(std::uint32_t run, std::uint32_t pulse,
+                       std::size_t events = 1, bool endOfRun = false) {
+  PulsePacket packet;
+  packet.runIndex = run;
+  packet.pulseIndex = pulse;
+  packet.endOfRun = endOfRun;
+  for (std::size_t i = 0; i < events; ++i) {
+    packet.events.append(static_cast<std::uint32_t>(i), 1000.0 + i, pulse,
+                         1.0);
+  }
+  return packet;
+}
+
+// ---------------------------------------------------------------------------
+// EventChannel
+
+TEST(EventChannel, FifoOrder) {
+  EventChannel channel(8);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    channel.push(makePacket(0, i));
+  }
+  channel.close();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto packet = channel.pop();
+    ASSERT_TRUE(packet.has_value());
+    EXPECT_EQ(packet->pulseIndex, i);
+  }
+  EXPECT_FALSE(channel.pop().has_value()); // drained + closed
+}
+
+TEST(EventChannel, CloseUnblocksConsumer) {
+  EventChannel channel(2);
+  std::atomic<bool> sawEnd{false};
+  std::thread consumer([&] {
+    while (channel.pop().has_value()) {
+    }
+    sawEnd = true;
+  });
+  channel.push(makePacket(0, 0));
+  channel.close();
+  consumer.join();
+  EXPECT_TRUE(sawEnd.load());
+}
+
+TEST(EventChannel, PushAfterCloseThrows) {
+  EventChannel channel(2);
+  channel.close();
+  EXPECT_THROW(channel.push(makePacket(0, 0)), InvalidArgument);
+}
+
+TEST(EventChannel, BackpressureBlocksAndCounts) {
+  EventChannel channel(1);
+  channel.push(makePacket(0, 0));
+  std::atomic<bool> secondPushDone{false};
+  std::thread producer([&] {
+    channel.push(makePacket(0, 1)); // must block: capacity 1
+    secondPushDone = true;
+  });
+  // Give the producer time to block.
+  for (int i = 0; i < 200 && channel.stats().producerBlocked == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(secondPushDone.load());
+  EXPECT_GE(channel.stats().producerBlocked, 1u);
+
+  EXPECT_TRUE(channel.pop().has_value()); // frees a slot
+  producer.join();
+  EXPECT_TRUE(secondPushDone.load());
+  channel.close();
+}
+
+TEST(EventChannel, StatsTrackDepth) {
+  EventChannel channel(4);
+  channel.push(makePacket(0, 0));
+  channel.push(makePacket(0, 1));
+  channel.push(makePacket(0, 2));
+  EXPECT_EQ(channel.depth(), 3u);
+  EXPECT_EQ(channel.stats().maxDepth, 3u);
+  channel.pop();
+  EXPECT_EQ(channel.depth(), 2u);
+  EXPECT_EQ(channel.stats().pushed, 3u);
+  EXPECT_EQ(channel.stats().popped, 1u);
+  channel.close();
+}
+
+TEST(EventChannel, InvalidCapacityThrows) {
+  EXPECT_THROW(EventChannel channel(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// DaqSimulator
+
+class StreamFixture : public ::testing::Test {
+protected:
+  StreamFixture()
+      : setup_(WorkloadSpec::benzilCorelli(0.0005)),
+        generator_(setup_.makeGenerator()) {}
+  ExperimentSetup setup_;
+  EventGenerator generator_;
+};
+
+TEST_F(StreamFixture, DaqEmitsEveryEventExactlyOnce) {
+  // Capacity exceeds the total packet count: the producer can finish
+  // before the consumer starts (no concurrent pop below).
+  EventChannel channel(100000);
+  const DaqSimulator daq(generator_);
+  const DaqStats stats = daq.streamRuns(channel, 0, 2);
+  channel.close();
+
+  EXPECT_EQ(stats.runsEmitted, 2u);
+  EXPECT_EQ(stats.eventsEmitted, 2 * setup_.spec().eventsPerFile);
+
+  std::uint64_t received = 0;
+  std::uint32_t endOfRunSeen = 0;
+  while (const auto packet = channel.pop()) {
+    received += packet->events.size();
+    if (packet->endOfRun) {
+      ++endOfRunSeen;
+    }
+  }
+  EXPECT_EQ(received, stats.eventsEmitted);
+  EXPECT_EQ(endOfRunSeen, 2u);
+}
+
+TEST_F(StreamFixture, DaqPacketsMatchRawGeneration) {
+  EventChannel channel(100000);
+  DaqSimulator(generator_).streamRuns(channel, 3, 4);
+  channel.close();
+
+  RawEventList reassembled;
+  while (const auto packet = channel.pop()) {
+    EXPECT_EQ(packet->runIndex, 3u);
+    for (std::size_t i = 0; i < packet->events.size(); ++i) {
+      reassembled.append(packet->events.detectorId(i), packet->events.tof(i),
+                         packet->events.pulseIndex(i),
+                         packet->events.weight(i));
+    }
+  }
+  EXPECT_TRUE(reassembled == generator_.generateRaw(3));
+}
+
+// ---------------------------------------------------------------------------
+// Live reduction end-to-end
+
+TEST_F(StreamFixture, LiveReductionMatchesBatchPipeline) {
+  // Producer thread streams the whole campaign; consumer reduces runs
+  // as they complete.  The final state must equal the batch raw-mode
+  // pipeline.
+  EventChannel channel(64); // modest capacity: real backpressure
+  const DaqSimulator daq(generator_);
+  LiveReducer reducer(setup_, Executor(Backend::Serial));
+
+  std::thread producer([&] { daq.streamAllAndClose(channel); });
+  const LiveStats stats = reducer.consume(channel);
+  producer.join();
+
+  EXPECT_EQ(stats.runsReduced, setup_.spec().nFiles);
+  EXPECT_EQ(stats.eventsConsumed,
+            setup_.spec().nFiles * setup_.spec().eventsPerFile);
+
+  core::ReductionConfig config;
+  config.backend = Backend::Serial;
+  config.loadMode = core::LoadMode::RawTof;
+  const core::ReductionResult batch =
+      core::ReductionPipeline(setup_, config).run();
+
+  const LiveSnapshot live = reducer.snapshot();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < live.signal.size(); ++i) {
+    worst = std::max(worst, std::fabs(live.signal.data()[i] -
+                                      batch.signal.data()[i]));
+  }
+  EXPECT_LT(worst, 1e-9);
+  EXPECT_NEAR(live.normalization.totalSignal(),
+              batch.normalization.totalSignal(), 1e-9);
+}
+
+TEST_F(StreamFixture, SnapshotCoverageGrowsMonotonically) {
+  EventChannel channel(64);
+  const DaqSimulator daq(generator_);
+  LiveReducer reducer(setup_, Executor(Backend::Serial));
+
+  std::thread consumer([&] { reducer.consume(channel); });
+
+  double previousCoverage = -1.0;
+  for (std::size_t run = 0; run < 4; ++run) {
+    daq.streamRuns(channel, run, run + 1);
+    // Wait until the reducer has folded this run in.
+    while (reducer.snapshot().stats.runsReduced != run + 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const LiveSnapshot snapshot = reducer.snapshot();
+    EXPECT_GE(snapshot.coverage, previousCoverage);
+    previousCoverage = snapshot.coverage;
+  }
+  channel.close();
+  consumer.join();
+  EXPECT_GT(previousCoverage, 0.0);
+}
+
+} // namespace
+} // namespace vates::stream

@@ -1,0 +1,339 @@
+// Unit tests for the support substrate: errors, logging, timers, RNG,
+// CLI parsing, and string helpers.
+
+#include "vates/support/cli.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/log.hpp"
+#include "vates/support/rng.hpp"
+#include "vates/support/strings.hpp"
+#include "vates/support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+namespace vates {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Errors
+
+TEST(Error, HierarchyCatchableAsBase) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw IOError("x"), Error);
+  EXPECT_THROW(throw Unsupported("x"), Error);
+  EXPECT_THROW(throw NumericalError("x"), Error);
+}
+
+TEST(Error, RequireMacroThrowsWithContext) {
+  try {
+    VATES_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("test_support.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesQuietly) {
+  EXPECT_NO_THROW(VATES_REQUIRE(true, "never fires"));
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+
+TEST(Logger, FiltersBelowLevel) {
+  std::ostringstream sink;
+  Logger& log = Logger::global();
+  log.setStream(&sink);
+  log.setLevel(LogLevel::Warn);
+  VATES_LOG_INFO("hidden");
+  VATES_LOG_WARN("visible");
+  log.setStream(nullptr);
+  log.setLevel(LogLevel::Info);
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible"), std::string::npos);
+}
+
+TEST(Logger, ParseLevelRoundTrip) {
+  EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+  EXPECT_EQ(parseLogLevel("INFO"), LogLevel::Info);
+  EXPECT_EQ(parseLogLevel("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+  EXPECT_EQ(parseLogLevel("off"), LogLevel::Off);
+  EXPECT_THROW(parseLogLevel("verbose"), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+
+TEST(StageTimes, AccumulatesAndCounts) {
+  StageTimes times;
+  times.add("MDNorm", 1.0);
+  times.add("MDNorm", 2.0);
+  times.add("BinMD", 0.5);
+  EXPECT_DOUBLE_EQ(times.total("MDNorm"), 3.0);
+  EXPECT_EQ(times.count("MDNorm"), 2u);
+  EXPECT_DOUBLE_EQ(times.total("BinMD"), 0.5);
+  EXPECT_DOUBLE_EQ(times.grandTotal(), 3.5);
+  EXPECT_DOUBLE_EQ(times.total("missing"), 0.0);
+  EXPECT_EQ(times.count("missing"), 0u);
+}
+
+TEST(StageTimes, PreservesFirstSeenOrder) {
+  StageTimes times;
+  times.add("Zeta", 1.0);
+  times.add("Alpha", 1.0);
+  times.add("Zeta", 1.0);
+  ASSERT_EQ(times.names().size(), 2u);
+  EXPECT_EQ(times.names()[0], "Zeta");
+  EXPECT_EQ(times.names()[1], "Alpha");
+}
+
+TEST(StageTimes, MergeSumsAndMergeMaxTakesMax) {
+  StageTimes a;
+  a.add("X", 1.0);
+  StageTimes b;
+  b.add("X", 3.0);
+  b.add("Y", 2.0);
+
+  StageTimes sum = a;
+  sum.merge(b);
+  EXPECT_DOUBLE_EQ(sum.total("X"), 4.0);
+  EXPECT_DOUBLE_EQ(sum.total("Y"), 2.0);
+
+  StageTimes critical = a;
+  critical.mergeMax(b);
+  EXPECT_DOUBLE_EQ(critical.total("X"), 3.0);
+  EXPECT_DOUBLE_EQ(critical.total("Y"), 2.0);
+}
+
+TEST(StageTimes, TableRendersAllStages) {
+  StageTimes times;
+  times.add("UpdateEvents", 0.25);
+  times.add("MDNorm", 1.5);
+  const std::string table = times.table("Example");
+  EXPECT_NE(table.find("UpdateEvents"), std::string::npos);
+  EXPECT_NE(table.find("MDNorm"), std::string::npos);
+  EXPECT_NE(table.find("Total"), std::string::npos);
+}
+
+TEST(ScopedStage, RecordsOnScopeExit) {
+  StageTimes times;
+  {
+    ScopedStage stage(times, "scoped");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(times.total("scoped"), 0.0);
+  EXPECT_EQ(times.count("scoped"), 1u);
+}
+
+TEST(WallTimer, MonotoneNonNegative) {
+  WallTimer timer;
+  const double t1 = timer.seconds();
+  const double t2 = timer.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), t2 + 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Xoshiro256 a(42, 0), b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntUnbiasedCoverage) {
+  Xoshiro256 rng(13);
+  int counts[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.uniformInt(10)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Xoshiro256 rng(17);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumSq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Xoshiro256 rng(19);
+  for (const double mean : {0.5, 4.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, std::max(0.1, mean * 0.05));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Xoshiro256 rng(23);
+  const double rate = 2.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(rate);
+  }
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+
+TEST(Cli, ParsesOptionsAndFlags) {
+  ArgParser args("prog", "test");
+  args.addOption("scale", "scale factor", "1.0");
+  args.addOption("name", "a name", "default");
+  args.addFlag("verbose", "be loud");
+  const char* argv[] = {"prog", "--scale", "0.25", "--verbose",
+                        "--name=custom", "positional"};
+  ASSERT_TRUE(args.parse(6, argv));
+  EXPECT_DOUBLE_EQ(args.getDouble("scale"), 0.25);
+  EXPECT_EQ(args.getString("name"), "custom");
+  EXPECT_TRUE(args.getFlag("verbose"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+  EXPECT_TRUE(args.wasProvided("scale"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  ArgParser args("prog", "test");
+  args.addOption("count", "a count", "7");
+  args.addFlag("quiet", "hush");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(args.parse(1, argv));
+  EXPECT_EQ(args.getInt("count"), 7);
+  EXPECT_FALSE(args.getFlag("quiet"));
+  EXPECT_FALSE(args.wasProvided("count"));
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  ArgParser args("prog", "test");
+  args.addOption("x", "x", "1");
+  const char* unknown[] = {"prog", "--nope", "3"};
+  EXPECT_THROW(args.parse(3, unknown), InvalidArgument);
+
+  ArgParser args2("prog", "test");
+  args2.addOption("x", "x", "1");
+  const char* missing[] = {"prog", "--x"};
+  EXPECT_THROW(args2.parse(2, missing), InvalidArgument);
+
+  ArgParser args3("prog", "test");
+  args3.addOption("x", "x", "1");
+  const char* bad[] = {"prog", "--x", "not-a-number"};
+  ASSERT_TRUE(args3.parse(3, bad));
+  EXPECT_THROW(args3.getDouble("x"), InvalidArgument);
+  EXPECT_THROW(args3.getInt("x"), InvalidArgument);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  ArgParser args("prog", "test");
+  args.addOption("x", "the x option", "1");
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  const bool proceed = args.parse(2, argv);
+  const std::string help = testing::internal::GetCapturedStdout();
+  EXPECT_FALSE(proceed);
+  EXPECT_NE(help.find("--x"), std::string::npos);
+  EXPECT_NE(help.find("the x option"), std::string::npos);
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  ArgParser args("prog", "test");
+  args.addOption("x", "x", "1");
+  EXPECT_THROW(args.addFlag("x", "again"), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("%d-%s-%.2f", 3, "abc", 1.5), "3-abc-1.50");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, TrimAndLower) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(toLower("MiXeD"), "mixed");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(humanBytes(512), "512 B");
+  EXPECT_EQ(humanBytes(2048), "2.0 KiB");
+  EXPECT_EQ(humanBytes(8ull << 30), "8.0 GiB");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(1600000), "1,600,000");
+  EXPECT_EQ(withCommas(280000000), "280,000,000");
+}
+
+} // namespace
+} // namespace vates

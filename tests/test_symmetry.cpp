@@ -1,0 +1,230 @@
+// Tests for symmetry operations and point groups, including the two
+// groups the paper's workloads use: "-3" (Benzil, 6 ops) and "m-3"
+// (Bixbyite, 24 ops).
+
+#include "vates/geometry/symmetry.hpp"
+#include "vates/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace vates {
+namespace {
+
+TEST(SymmetryOperation, IdentityByDefault) {
+  const SymmetryOperation identity;
+  EXPECT_TRUE(identity.isIdentity());
+  EXPECT_EQ(identity.apply({1, 2, 3}), (V3{1, 2, 3}));
+  EXPECT_EQ(identity.handedness(), 1);
+}
+
+TEST(SymmetryOperation, JonesParsingBasic) {
+  EXPECT_TRUE(SymmetryOperation::fromJones("x,y,z").isIdentity());
+  const auto inversion = SymmetryOperation::fromJones("-x,-y,-z");
+  EXPECT_EQ(inversion.apply({1, 2, 3}), (V3{-1, -2, -3}));
+  EXPECT_EQ(inversion.handedness(), -1);
+
+  const auto cyclic = SymmetryOperation::fromJones("z,x,y");
+  EXPECT_EQ(cyclic.apply({1, 2, 3}), (V3{3, 1, 2}));
+  EXPECT_EQ(cyclic.handedness(), 1);
+}
+
+TEST(SymmetryOperation, JonesParsingHexagonalThreeFold) {
+  // 3⁺ about c in hexagonal axes: (h,k,l) -> (-k, h-k, l).
+  const auto threeFold = SymmetryOperation::fromJones("-y,x-y,z");
+  EXPECT_EQ(threeFold.apply({1, 0, 0}), (V3{0, 1, 0}));
+  EXPECT_EQ(threeFold.apply({0, 1, 0}), (V3{-1, -1, 0}));
+  // Order 3: applying three times is the identity.
+  const auto cubed = threeFold * threeFold * threeFold;
+  EXPECT_TRUE(cubed.isIdentity());
+}
+
+TEST(SymmetryOperation, JonesHklAliases) {
+  const auto fromXyz = SymmetryOperation::fromJones("-y,x-y,z");
+  const auto fromHkl = SymmetryOperation::fromJones("-k,h-k,l");
+  EXPECT_TRUE(fromXyz == fromHkl);
+}
+
+TEST(SymmetryOperation, JonesRejectsMalformed) {
+  EXPECT_THROW(SymmetryOperation::fromJones("x,y"), InvalidArgument);
+  EXPECT_THROW(SymmetryOperation::fromJones("x,y,z,w"), InvalidArgument);
+  EXPECT_THROW(SymmetryOperation::fromJones("a,b,c"), InvalidArgument);
+  EXPECT_THROW(SymmetryOperation::fromJones("x,y,"), InvalidArgument);
+  EXPECT_THROW(SymmetryOperation::fromJones("x,y,-"), InvalidArgument);
+}
+
+TEST(SymmetryOperation, NonUnimodularMatrixRejected) {
+  M33 doubling = M33::identity();
+  doubling(0, 0) = 2.0;
+  EXPECT_THROW(SymmetryOperation{doubling}, InvalidArgument);
+  M33 nonInteger = M33::identity();
+  nonInteger(0, 1) = 0.5;
+  EXPECT_THROW(SymmetryOperation{nonInteger}, InvalidArgument);
+}
+
+TEST(SymmetryOperation, InverseComposesToIdentity) {
+  for (const char* jones : {"-y,x-y,z", "z,x,y", "y,x,-z", "-y,x,z"}) {
+    const auto op = SymmetryOperation::fromJones(jones);
+    EXPECT_TRUE((op * op.inverse()).isIdentity()) << jones;
+    EXPECT_TRUE((op.inverse() * op).isIdentity()) << jones;
+  }
+}
+
+TEST(SymmetryOperation, JonesRenderingRoundTrip) {
+  for (const char* jones :
+       {"x,y,z", "-x,-y,-z", "-y,x-y,z", "z,x,y", "y,x,-z", "x-y,x,z"}) {
+    const auto op = SymmetryOperation::fromJones(jones);
+    const auto reparsed = SymmetryOperation::fromJones(op.jones());
+    EXPECT_TRUE(op == reparsed) << jones << " -> " << op.jones();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point groups: orders of every supported group
+
+struct GroupOrderCase {
+  const char* symbol;
+  std::size_t order;
+};
+
+class PointGroupOrders : public ::testing::TestWithParam<GroupOrderCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGroups, PointGroupOrders,
+    ::testing::Values(
+        GroupOrderCase{"1", 1}, GroupOrderCase{"-1", 2}, GroupOrderCase{"2", 2},
+        GroupOrderCase{"m", 2}, GroupOrderCase{"2/m", 4},
+        GroupOrderCase{"222", 4}, GroupOrderCase{"mmm", 8},
+        GroupOrderCase{"4", 4}, GroupOrderCase{"-4", 4},
+        GroupOrderCase{"4/m", 8}, GroupOrderCase{"422", 8},
+        GroupOrderCase{"4mm", 8}, GroupOrderCase{"-42m", 8},
+        GroupOrderCase{"4/mmm", 16},
+        GroupOrderCase{"3", 3}, GroupOrderCase{"-3", 6},
+        GroupOrderCase{"32", 6}, GroupOrderCase{"-3m", 12},
+        GroupOrderCase{"6", 6}, GroupOrderCase{"-6", 6},
+        GroupOrderCase{"6/m", 12}, GroupOrderCase{"622", 12},
+        GroupOrderCase{"6mm", 12}, GroupOrderCase{"-6m2", 12},
+        GroupOrderCase{"6/mmm", 24},
+        GroupOrderCase{"23", 12}, GroupOrderCase{"m-3", 24},
+        GroupOrderCase{"432", 24}, GroupOrderCase{"m-3m", 48}),
+    [](const auto& paramInfo) {
+      std::string name = paramInfo.param.symbol;
+      for (char& c : name) {
+        if (c == '-') c = 'i';
+        if (c == '/') c = '_';
+      }
+      return name;
+    });
+
+TEST_P(PointGroupOrders, HasCrystallographicOrder) {
+  const PointGroup group(GetParam().symbol);
+  EXPECT_EQ(group.order(), GetParam().order);
+}
+
+TEST_P(PointGroupOrders, IsClosedUnderMultiplication) {
+  const PointGroup group(GetParam().symbol);
+  const auto& ops = group.operations();
+  for (const auto& a : ops) {
+    for (const auto& b : ops) {
+      const auto product = a * b;
+      bool found = false;
+      for (const auto& existing : ops) {
+        if (existing == product) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "product " << product.jones()
+                         << " escapes the group";
+    }
+  }
+}
+
+TEST_P(PointGroupOrders, ContainsInverses) {
+  const PointGroup group(GetParam().symbol);
+  for (const auto& op : group.operations()) {
+    const auto inverse = op.inverse();
+    bool found = false;
+    for (const auto& existing : group.operations()) {
+      if (existing == inverse) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_P(PointGroupOrders, OperationsAreUnimodular) {
+  const PointGroup group(GetParam().symbol);
+  for (const auto& op : group.operations()) {
+    EXPECT_NEAR(std::fabs(op.matrix().determinant()), 1.0, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's two groups in detail
+
+TEST(PointGroup, PaperWorkloadOrders) {
+  // Table II: Benzil has 6 symmetry transformations, Bixbyite has 24.
+  EXPECT_EQ(PointGroup("-3").order(), 6u);
+  EXPECT_EQ(PointGroup("m-3").order(), 24u);
+}
+
+TEST(PointGroup, EquivalentsOfGeneralPosition) {
+  const PointGroup group("m-3");
+  const auto equivalents = group.equivalents({1.1, 2.2, 3.3});
+  EXPECT_EQ(equivalents.size(), 24u); // general position: no coincidences
+}
+
+TEST(PointGroup, EquivalentsOfSpecialPositionCollapse) {
+  const PointGroup group("m-3m");
+  // (1,0,0) sits on several symmetry elements: only 6 distinct images.
+  EXPECT_EQ(group.equivalents({1, 0, 0}).size(), 6u);
+  // Origin maps to itself under everything.
+  EXPECT_EQ(group.equivalents({0, 0, 0}).size(), 1u);
+}
+
+TEST(PointGroup, MatricesTableMatchesOrder) {
+  const PointGroup group("-3");
+  EXPECT_EQ(group.matrices().size(), group.order());
+}
+
+TEST(PointGroup, UnknownSymbolThrows) {
+  EXPECT_THROW(PointGroup("icosahedral"), InvalidArgument);
+  EXPECT_THROW(PointGroup(""), InvalidArgument);
+}
+
+TEST(PointGroup, FromGeneratorsClosure) {
+  const auto gen = SymmetryOperation::fromJones("-y,x,z"); // 4-fold
+  const auto group = PointGroup::fromGenerators("custom-4", {gen});
+  EXPECT_EQ(group.order(), 4u);
+  EXPECT_EQ(group.symbol(), "custom-4");
+}
+
+TEST(PointGroup, SupportedSymbolsAllConstruct) {
+  for (const auto& symbol : PointGroup::supportedSymbols()) {
+    EXPECT_NO_THROW(PointGroup{symbol}) << symbol;
+  }
+}
+
+TEST(PointGroup, InversionSymmetricGroupsHaveEvenOrder) {
+  for (const char* symbol : {"-1", "2/m", "mmm", "4/m", "-3", "-3m", "m-3"}) {
+    const PointGroup group(symbol);
+    EXPECT_EQ(group.order() % 2, 0u) << symbol;
+    // And they contain the inversion itself.
+    const auto inversion = SymmetryOperation::fromJones("-x,-y,-z");
+    bool found = false;
+    for (const auto& op : group.operations()) {
+      if (op == inversion) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << symbol;
+  }
+}
+
+} // namespace
+} // namespace vates

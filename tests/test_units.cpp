@@ -1,0 +1,66 @@
+// Unit tests for TOF/wavelength/momentum/energy conversions.
+
+#include "vates/support/error.hpp"
+#include "vates/units/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vates::units {
+namespace {
+
+TEST(Units, WavelengthTofRoundTrip) {
+  const double path = 22.5; // m, CORELLI-ish total flight path
+  for (const double lambda : {0.5, 1.0, 1.8, 3.5}) {
+    const double tof = tofFromWavelength(lambda, path);
+    EXPECT_NEAR(wavelengthFromTof(tof, path), lambda, 1e-12);
+  }
+}
+
+TEST(Units, KnownThermalNeutronTof) {
+  // A 1.8 Å neutron travels at ~2198 m/s, so 10 m takes ~4550 µs.
+  const double tof = tofFromWavelength(1.8, 10.0);
+  EXPECT_NEAR(tof, 10.0 / (kHoverM / 1.8) * 1e6, 1e-9);
+  EXPECT_NEAR(tof, 4550.0, 5.0);
+}
+
+TEST(Units, MomentumWavelengthRoundTrip) {
+  for (const double lambda : {0.4, 1.0, 2.5, 6.0}) {
+    const double k = momentumFromWavelength(lambda);
+    EXPECT_NEAR(k, kTwoPi / lambda, 1e-14);
+    EXPECT_NEAR(wavelengthFromMomentum(k), lambda, 1e-12);
+  }
+}
+
+TEST(Units, EnergyWavelengthRoundTrip) {
+  // 1.8 Å ↔ 25.25 meV, the thermal benchmark value.
+  EXPECT_NEAR(energyFromWavelength(1.8), 25.25, 0.01);
+  for (const double energy : {1.0, 25.0, 100.0}) {
+    EXPECT_NEAR(energyFromWavelength(wavelengthFromEnergy(energy)), energy,
+                1e-10);
+  }
+}
+
+TEST(Units, MomentumBandFlipsOrder) {
+  // Longer wavelength = smaller momentum: the band must flip.
+  const auto band = momentumBandFromWavelengthBand(0.7, 2.9);
+  EXPECT_LT(band.kMin, band.kMax);
+  EXPECT_NEAR(band.kMin, kTwoPi / 2.9, 1e-12);
+  EXPECT_NEAR(band.kMax, kTwoPi / 0.7, 1e-12);
+}
+
+TEST(Units, InvalidInputsThrow) {
+  EXPECT_THROW(wavelengthFromTof(-1.0, 10.0), InvalidArgument);
+  EXPECT_THROW(wavelengthFromTof(100.0, 0.0), InvalidArgument);
+  EXPECT_THROW(tofFromWavelength(0.0, 10.0), InvalidArgument);
+  EXPECT_THROW(momentumFromWavelength(0.0), InvalidArgument);
+  EXPECT_THROW(wavelengthFromMomentum(-2.0), InvalidArgument);
+  EXPECT_THROW(energyFromWavelength(0.0), InvalidArgument);
+  EXPECT_THROW(wavelengthFromEnergy(-5.0), InvalidArgument);
+  EXPECT_THROW(momentumBandFromWavelengthBand(2.0, 1.0), InvalidArgument);
+  EXPECT_THROW(momentumBandFromWavelengthBand(0.0, 1.0), InvalidArgument);
+}
+
+} // namespace
+} // namespace vates::units

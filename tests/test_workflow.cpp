@@ -1,0 +1,237 @@
+// Tests for the workflow substrate (task graph + scheduler) and the
+// task-graph formulation of Algorithm 1.
+
+#include "vates/core/workflow_reduction.hpp"
+#include "vates/support/error.hpp"
+#include "vates/workflow/scheduler.hpp"
+#include "vates/workflow/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+namespace vates::wf {
+namespace {
+
+TEST(TaskGraph, TopologicalOrderRespectsDependencies) {
+  TaskGraph graph;
+  const TaskId a = graph.addTask("a", [] {});
+  const TaskId b = graph.addTask("b", [] {});
+  const TaskId c = graph.addTask("c", [] {});
+  const TaskId d = graph.addTask("d", [] {});
+  graph.addDependency(a, b);
+  graph.addDependency(a, c);
+  graph.addDependency(b, d);
+  graph.addDependency(c, d);
+
+  const auto order = graph.topologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  auto position = [&](TaskId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(position(a), position(b));
+  EXPECT_LT(position(a), position(c));
+  EXPECT_LT(position(b), position(d));
+  EXPECT_LT(position(c), position(d));
+}
+
+TEST(TaskGraph, CycleDetectedAndNamed) {
+  TaskGraph graph;
+  const TaskId a = graph.addTask("alpha", [] {});
+  const TaskId b = graph.addTask("beta", [] {});
+  const TaskId c = graph.addTask("gamma", [] {});
+  graph.addDependency(a, b);
+  graph.addDependency(b, c);
+  graph.addDependency(c, a);
+  try {
+    graph.topologicalOrder();
+    FAIL() << "cycle not detected";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("cycle"), std::string::npos);
+  }
+}
+
+TEST(TaskGraph, SelfDependencyRejected) {
+  TaskGraph graph;
+  const TaskId a = graph.addTask("a", [] {});
+  EXPECT_THROW(graph.addDependency(a, a), InvalidArgument);
+}
+
+TEST(TaskGraph, DuplicateEdgesIgnored) {
+  TaskGraph graph;
+  const TaskId a = graph.addTask("a", [] {});
+  const TaskId b = graph.addTask("b", [] {});
+  graph.addDependency(a, b);
+  graph.addDependency(a, b);
+  EXPECT_EQ(graph.successors(a).size(), 1u);
+  EXPECT_EQ(graph.indegrees()[b], 1u);
+}
+
+TEST(Scheduler, RunsEveryTaskExactlyOnce) {
+  TaskGraph graph;
+  std::vector<std::atomic<int>> counts(50);
+  for (int i = 0; i < 50; ++i) {
+    graph.addTask("t" + std::to_string(i), [&counts, i] { counts[i]++; });
+  }
+  const Scheduler scheduler(4);
+  const WorkflowReport report = scheduler.run(graph);
+  for (auto& count : counts) {
+    EXPECT_EQ(count.load(), 1);
+  }
+  EXPECT_EQ(report.timings.size(), 50u);
+  EXPECT_GT(report.makespan, 0.0);
+}
+
+TEST(Scheduler, NeverStartsTaskBeforeItsDependencies) {
+  TaskGraph graph;
+  std::atomic<int> stage{0};
+  // Chain of 20 tasks; each checks the previous one bumped the stage.
+  TaskId previous = graph.addTask("t0", [&] { stage = 1; });
+  for (int i = 1; i < 20; ++i) {
+    const TaskId current = graph.addTask("t" + std::to_string(i), [&, i] {
+      EXPECT_EQ(stage.load(), i);
+      stage = i + 1;
+    });
+    graph.addDependency(previous, current);
+    previous = current;
+  }
+  Scheduler(4).run(graph);
+  EXPECT_EQ(stage.load(), 20);
+}
+
+TEST(Scheduler, DiamondJoinWaitsForAllBranches) {
+  TaskGraph graph;
+  std::atomic<int> branchesDone{0};
+  const TaskId source = graph.addTask("source", [] {});
+  std::vector<TaskId> branches;
+  for (int i = 0; i < 8; ++i) {
+    const TaskId branch = graph.addTask("branch" + std::to_string(i),
+                                        [&] { branchesDone++; });
+    graph.addDependency(source, branch);
+    branches.push_back(branch);
+  }
+  const TaskId sink = graph.addTask("sink", [&] {
+    EXPECT_EQ(branchesDone.load(), 8);
+  });
+  for (const TaskId branch : branches) {
+    graph.addDependency(branch, sink);
+  }
+  Scheduler(3).run(graph);
+}
+
+TEST(Scheduler, FailFastPropagatesFirstError) {
+  TaskGraph graph;
+  std::atomic<int> executed{0};
+  const TaskId boom = graph.addTask("boom", [] {
+    throw IOError("disk on fire");
+  });
+  // A long chain behind the failing task must not run.
+  TaskId previous = boom;
+  for (int i = 0; i < 5; ++i) {
+    const TaskId next =
+        graph.addTask("after" + std::to_string(i), [&] { executed++; });
+    graph.addDependency(previous, next);
+    previous = next;
+  }
+  EXPECT_THROW(Scheduler(2).run(graph), IOError);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(Scheduler, EmptyGraphIsTrivial) {
+  const TaskGraph graph;
+  const WorkflowReport report = Scheduler(2).run(graph);
+  EXPECT_TRUE(report.timings.empty());
+}
+
+TEST(Scheduler, SingleWorkerMatchesTopologicalSemantics) {
+  TaskGraph graph;
+  std::vector<int> order;
+  const TaskId a = graph.addTask("a", [&] { order.push_back(0); });
+  const TaskId b = graph.addTask("b", [&] { order.push_back(1); });
+  graph.addDependency(a, b);
+  Scheduler(1).run(graph);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(WorkflowReport, TableAndSpeedup) {
+  WorkflowReport report;
+  report.timings = {TaskTiming{"load", 1.0, 0, 0.0},
+                    TaskTiming{"reduce", 1.0, 1, 0.1}};
+  report.makespan = 1.1;
+  EXPECT_DOUBLE_EQ(report.totalWork(), 2.0);
+  EXPECT_NEAR(report.speedup(), 2.0 / 1.1, 1e-12);
+  const std::string table = report.table("Schedule");
+  EXPECT_NE(table.find("load"), std::string::npos);
+  EXPECT_NE(table.find("makespan"), std::string::npos);
+}
+
+} // namespace
+} // namespace vates::wf
+
+namespace vates::core {
+namespace {
+
+double worstAbsDiff(const Histogram3D& a, const Histogram3D& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a.data()[i], y = b.data()[i];
+    if (std::isnan(x) && std::isnan(y)) {
+      continue;
+    }
+    worst = std::max(worst, std::fabs(x - y));
+  }
+  return worst;
+}
+
+TEST(WorkflowReduction, MatchesPipelineResult) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult pipeline = ReductionPipeline(setup, config).run();
+
+  for (const unsigned workers : {1u, 4u}) {
+    const WorkflowReductionResult workflow =
+        runWorkflowReduction(setup, config, workers);
+    EXPECT_LT(worstAbsDiff(workflow.signal, pipeline.signal), 1e-9)
+        << workers << " workers";
+    EXPECT_LT(worstAbsDiff(workflow.normalization, pipeline.normalization),
+              1e-9);
+    EXPECT_LT(worstAbsDiff(workflow.crossSection, pipeline.crossSection),
+              1e-9);
+    // One load, one mdnorm, one binmd per file plus the divide.
+    EXPECT_EQ(workflow.report.timings.size(),
+              3 * setup.spec().nFiles + 1);
+  }
+}
+
+TEST(WorkflowReduction, RawTofModeWorks) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  config.loadMode = LoadMode::RawTof;
+  const WorkflowReductionResult viaRaw =
+      runWorkflowReduction(setup, config, 2);
+  config.loadMode = LoadMode::QSample;
+  const WorkflowReductionResult direct =
+      runWorkflowReduction(setup, config, 2);
+  EXPECT_NEAR(viaRaw.signal.totalSignal(), direct.signal.totalSignal(),
+              1e-6 * direct.signal.totalSignal());
+  EXPECT_LT(worstAbsDiff(viaRaw.normalization, direct.normalization), 1e-10);
+}
+
+TEST(WorkflowReduction, DivideRunsLast) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0004));
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const WorkflowReductionResult result =
+      runWorkflowReduction(setup, config, 3);
+  ASSERT_FALSE(result.report.timings.empty());
+  EXPECT_EQ(result.report.timings.back().name, "cross_section");
+}
+
+} // namespace
+} // namespace vates::core
