@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_boxtree.dir/bench_ablation_boxtree.cpp.o"
+  "CMakeFiles/bench_ablation_boxtree.dir/bench_ablation_boxtree.cpp.o.d"
+  "bench_ablation_boxtree"
+  "bench_ablation_boxtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_boxtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

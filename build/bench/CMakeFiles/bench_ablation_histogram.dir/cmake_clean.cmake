@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_histogram.dir/bench_ablation_histogram.cpp.o"
+  "CMakeFiles/bench_ablation_histogram.dir/bench_ablation_histogram.cpp.o.d"
+  "bench_ablation_histogram"
+  "bench_ablation_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

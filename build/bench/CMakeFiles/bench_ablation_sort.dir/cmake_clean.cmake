@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sort.dir/bench_ablation_sort.cpp.o"
+  "CMakeFiles/bench_ablation_sort.dir/bench_ablation_sort.cpp.o.d"
+  "bench_ablation_sort"
+  "bench_ablation_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

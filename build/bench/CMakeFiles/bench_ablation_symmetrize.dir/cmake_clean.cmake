@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_symmetrize.dir/bench_ablation_symmetrize.cpp.o"
+  "CMakeFiles/bench_ablation_symmetrize.dir/bench_ablation_symmetrize.cpp.o.d"
+  "bench_ablation_symmetrize"
+  "bench_ablation_symmetrize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_symmetrize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

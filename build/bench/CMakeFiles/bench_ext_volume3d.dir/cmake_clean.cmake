@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_volume3d.dir/bench_ext_volume3d.cpp.o"
+  "CMakeFiles/bench_ext_volume3d.dir/bench_ext_volume3d.cpp.o.d"
+  "bench_ext_volume3d"
+  "bench_ext_volume3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_volume3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

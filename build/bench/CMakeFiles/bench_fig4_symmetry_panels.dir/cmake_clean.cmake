@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_symmetry_panels.dir/bench_fig4_symmetry_panels.cpp.o"
+  "CMakeFiles/bench_fig4_symmetry_panels.dir/bench_fig4_symmetry_panels.cpp.o.d"
+  "bench_fig4_symmetry_panels"
+  "bench_fig4_symmetry_panels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_symmetry_panels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

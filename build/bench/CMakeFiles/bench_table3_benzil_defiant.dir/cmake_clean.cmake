@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_benzil_defiant.dir/bench_table3_benzil_defiant.cpp.o"
+  "CMakeFiles/bench_table3_benzil_defiant.dir/bench_table3_benzil_defiant.cpp.o.d"
+  "bench_table3_benzil_defiant"
+  "bench_table3_benzil_defiant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_benzil_defiant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_bixbyite_defiant.dir/bench_table5_bixbyite_defiant.cpp.o"
+  "CMakeFiles/bench_table5_bixbyite_defiant.dir/bench_table5_bixbyite_defiant.cpp.o.d"
+  "bench_table5_bixbyite_defiant"
+  "bench_table5_bixbyite_defiant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_bixbyite_defiant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benzil_corelli.dir/benzil_corelli.cpp.o"
+  "CMakeFiles/benzil_corelli.dir/benzil_corelli.cpp.o.d"
+  "benzil_corelli"
+  "benzil_corelli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benzil_corelli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for benzil_corelli.
+# This may be replaced when dependencies are built.

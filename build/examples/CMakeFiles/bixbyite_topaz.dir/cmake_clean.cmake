@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bixbyite_topaz.dir/bixbyite_topaz.cpp.o"
+  "CMakeFiles/bixbyite_topaz.dir/bixbyite_topaz.cpp.o.d"
+  "bixbyite_topaz"
+  "bixbyite_topaz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bixbyite_topaz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bixbyite_topaz.
+# This may be replaced when dependencies are built.

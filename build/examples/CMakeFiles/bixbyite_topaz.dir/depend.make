@@ -1,0 +1,2 @@
+# Empty dependencies file for bixbyite_topaz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_instrument.dir/custom_instrument.cpp.o"
+  "CMakeFiles/custom_instrument.dir/custom_instrument.cpp.o.d"
+  "custom_instrument"
+  "custom_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

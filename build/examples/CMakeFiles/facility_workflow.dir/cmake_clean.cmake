@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_workflow.dir/facility_workflow.cpp.o"
+  "CMakeFiles/facility_workflow.dir/facility_workflow.cpp.o.d"
+  "facility_workflow"
+  "facility_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

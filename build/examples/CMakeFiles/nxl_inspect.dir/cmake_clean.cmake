@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nxl_inspect.dir/nxl_inspect.cpp.o"
+  "CMakeFiles/nxl_inspect.dir/nxl_inspect.cpp.o.d"
+  "nxl_inspect"
+  "nxl_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nxl_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

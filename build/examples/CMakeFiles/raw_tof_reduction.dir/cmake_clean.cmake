@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_tof_reduction.dir/raw_tof_reduction.cpp.o"
+  "CMakeFiles/raw_tof_reduction.dir/raw_tof_reduction.cpp.o.d"
+  "raw_tof_reduction"
+  "raw_tof_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_tof_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

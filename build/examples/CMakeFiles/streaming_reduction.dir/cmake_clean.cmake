@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_reduction.dir/streaming_reduction.cpp.o"
+  "CMakeFiles/streaming_reduction.dir/streaming_reduction.cpp.o.d"
+  "streaming_reduction"
+  "streaming_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_baseline.dir/garnet_workflow.cpp.o"
+  "CMakeFiles/vates_baseline.dir/garnet_workflow.cpp.o.d"
+  "libvates_baseline.a"
+  "libvates_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

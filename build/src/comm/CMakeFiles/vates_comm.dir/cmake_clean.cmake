@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_comm.dir/minimpi.cpp.o"
+  "CMakeFiles/vates_comm.dir/minimpi.cpp.o.d"
+  "libvates_comm.a"
+  "libvates_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

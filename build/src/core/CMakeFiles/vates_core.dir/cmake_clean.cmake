@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_core.dir/analysis.cpp.o"
+  "CMakeFiles/vates_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/vates_core.dir/hardware_preset.cpp.o"
+  "CMakeFiles/vates_core.dir/hardware_preset.cpp.o.d"
+  "CMakeFiles/vates_core.dir/peak_search.cpp.o"
+  "CMakeFiles/vates_core.dir/peak_search.cpp.o.d"
+  "CMakeFiles/vates_core.dir/pipeline.cpp.o"
+  "CMakeFiles/vates_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/vates_core.dir/plan.cpp.o"
+  "CMakeFiles/vates_core.dir/plan.cpp.o.d"
+  "CMakeFiles/vates_core.dir/reduction_config.cpp.o"
+  "CMakeFiles/vates_core.dir/reduction_config.cpp.o.d"
+  "CMakeFiles/vates_core.dir/report.cpp.o"
+  "CMakeFiles/vates_core.dir/report.cpp.o.d"
+  "CMakeFiles/vates_core.dir/workflow_reduction.cpp.o"
+  "CMakeFiles/vates_core.dir/workflow_reduction.cpp.o.d"
+  "libvates_core.a"
+  "libvates_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/events/event_table.cpp" "src/events/CMakeFiles/vates_events.dir/event_table.cpp.o" "gcc" "src/events/CMakeFiles/vates_events.dir/event_table.cpp.o.d"
+  "/root/repo/src/events/experiment_setup.cpp" "src/events/CMakeFiles/vates_events.dir/experiment_setup.cpp.o" "gcc" "src/events/CMakeFiles/vates_events.dir/experiment_setup.cpp.o.d"
+  "/root/repo/src/events/generator.cpp" "src/events/CMakeFiles/vates_events.dir/generator.cpp.o" "gcc" "src/events/CMakeFiles/vates_events.dir/generator.cpp.o.d"
+  "/root/repo/src/events/md_box_tree.cpp" "src/events/CMakeFiles/vates_events.dir/md_box_tree.cpp.o" "gcc" "src/events/CMakeFiles/vates_events.dir/md_box_tree.cpp.o.d"
+  "/root/repo/src/events/raw_events.cpp" "src/events/CMakeFiles/vates_events.dir/raw_events.cpp.o" "gcc" "src/events/CMakeFiles/vates_events.dir/raw_events.cpp.o.d"
+  "/root/repo/src/events/workload.cpp" "src/events/CMakeFiles/vates_events.dir/workload.cpp.o" "gcc" "src/events/CMakeFiles/vates_events.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/vates_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vates_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flux/CMakeFiles/vates_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/vates_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/vates_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_events.dir/event_table.cpp.o"
+  "CMakeFiles/vates_events.dir/event_table.cpp.o.d"
+  "CMakeFiles/vates_events.dir/experiment_setup.cpp.o"
+  "CMakeFiles/vates_events.dir/experiment_setup.cpp.o.d"
+  "CMakeFiles/vates_events.dir/generator.cpp.o"
+  "CMakeFiles/vates_events.dir/generator.cpp.o.d"
+  "CMakeFiles/vates_events.dir/md_box_tree.cpp.o"
+  "CMakeFiles/vates_events.dir/md_box_tree.cpp.o.d"
+  "CMakeFiles/vates_events.dir/raw_events.cpp.o"
+  "CMakeFiles/vates_events.dir/raw_events.cpp.o.d"
+  "CMakeFiles/vates_events.dir/workload.cpp.o"
+  "CMakeFiles/vates_events.dir/workload.cpp.o.d"
+  "libvates_events.a"
+  "libvates_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_flux.dir/flux_spectrum.cpp.o"
+  "CMakeFiles/vates_flux.dir/flux_spectrum.cpp.o.d"
+  "libvates_flux.a"
+  "libvates_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/centering.cpp" "src/geometry/CMakeFiles/vates_geometry.dir/centering.cpp.o" "gcc" "src/geometry/CMakeFiles/vates_geometry.dir/centering.cpp.o.d"
+  "/root/repo/src/geometry/detector_mask.cpp" "src/geometry/CMakeFiles/vates_geometry.dir/detector_mask.cpp.o" "gcc" "src/geometry/CMakeFiles/vates_geometry.dir/detector_mask.cpp.o.d"
+  "/root/repo/src/geometry/goniometer.cpp" "src/geometry/CMakeFiles/vates_geometry.dir/goniometer.cpp.o" "gcc" "src/geometry/CMakeFiles/vates_geometry.dir/goniometer.cpp.o.d"
+  "/root/repo/src/geometry/instrument.cpp" "src/geometry/CMakeFiles/vates_geometry.dir/instrument.cpp.o" "gcc" "src/geometry/CMakeFiles/vates_geometry.dir/instrument.cpp.o.d"
+  "/root/repo/src/geometry/lattice.cpp" "src/geometry/CMakeFiles/vates_geometry.dir/lattice.cpp.o" "gcc" "src/geometry/CMakeFiles/vates_geometry.dir/lattice.cpp.o.d"
+  "/root/repo/src/geometry/mat3.cpp" "src/geometry/CMakeFiles/vates_geometry.dir/mat3.cpp.o" "gcc" "src/geometry/CMakeFiles/vates_geometry.dir/mat3.cpp.o.d"
+  "/root/repo/src/geometry/oriented_lattice.cpp" "src/geometry/CMakeFiles/vates_geometry.dir/oriented_lattice.cpp.o" "gcc" "src/geometry/CMakeFiles/vates_geometry.dir/oriented_lattice.cpp.o.d"
+  "/root/repo/src/geometry/symmetry.cpp" "src/geometry/CMakeFiles/vates_geometry.dir/symmetry.cpp.o" "gcc" "src/geometry/CMakeFiles/vates_geometry.dir/symmetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/vates_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

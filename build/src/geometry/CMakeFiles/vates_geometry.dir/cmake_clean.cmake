@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_geometry.dir/centering.cpp.o"
+  "CMakeFiles/vates_geometry.dir/centering.cpp.o.d"
+  "CMakeFiles/vates_geometry.dir/detector_mask.cpp.o"
+  "CMakeFiles/vates_geometry.dir/detector_mask.cpp.o.d"
+  "CMakeFiles/vates_geometry.dir/goniometer.cpp.o"
+  "CMakeFiles/vates_geometry.dir/goniometer.cpp.o.d"
+  "CMakeFiles/vates_geometry.dir/instrument.cpp.o"
+  "CMakeFiles/vates_geometry.dir/instrument.cpp.o.d"
+  "CMakeFiles/vates_geometry.dir/lattice.cpp.o"
+  "CMakeFiles/vates_geometry.dir/lattice.cpp.o.d"
+  "CMakeFiles/vates_geometry.dir/mat3.cpp.o"
+  "CMakeFiles/vates_geometry.dir/mat3.cpp.o.d"
+  "CMakeFiles/vates_geometry.dir/oriented_lattice.cpp.o"
+  "CMakeFiles/vates_geometry.dir/oriented_lattice.cpp.o.d"
+  "CMakeFiles/vates_geometry.dir/symmetry.cpp.o"
+  "CMakeFiles/vates_geometry.dir/symmetry.cpp.o.d"
+  "libvates_geometry.a"
+  "libvates_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

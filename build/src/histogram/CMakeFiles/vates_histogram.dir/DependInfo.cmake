@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/histogram/binning.cpp" "src/histogram/CMakeFiles/vates_histogram.dir/binning.cpp.o" "gcc" "src/histogram/CMakeFiles/vates_histogram.dir/binning.cpp.o.d"
+  "/root/repo/src/histogram/histogram3d.cpp" "src/histogram/CMakeFiles/vates_histogram.dir/histogram3d.cpp.o" "gcc" "src/histogram/CMakeFiles/vates_histogram.dir/histogram3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vates_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/vates_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/vates_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

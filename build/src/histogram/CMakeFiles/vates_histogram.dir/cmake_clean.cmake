@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_histogram.dir/binning.cpp.o"
+  "CMakeFiles/vates_histogram.dir/binning.cpp.o.d"
+  "CMakeFiles/vates_histogram.dir/histogram3d.cpp.o"
+  "CMakeFiles/vates_histogram.dir/histogram3d.cpp.o.d"
+  "libvates_histogram.a"
+  "libvates_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvates_histogram.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/crc32.cpp" "src/io/CMakeFiles/vates_io.dir/crc32.cpp.o" "gcc" "src/io/CMakeFiles/vates_io.dir/crc32.cpp.o.d"
+  "/root/repo/src/io/event_file.cpp" "src/io/CMakeFiles/vates_io.dir/event_file.cpp.o" "gcc" "src/io/CMakeFiles/vates_io.dir/event_file.cpp.o.d"
+  "/root/repo/src/io/grid_writers.cpp" "src/io/CMakeFiles/vates_io.dir/grid_writers.cpp.o" "gcc" "src/io/CMakeFiles/vates_io.dir/grid_writers.cpp.o.d"
+  "/root/repo/src/io/histogram_file.cpp" "src/io/CMakeFiles/vates_io.dir/histogram_file.cpp.o" "gcc" "src/io/CMakeFiles/vates_io.dir/histogram_file.cpp.o.d"
+  "/root/repo/src/io/nxlite.cpp" "src/io/CMakeFiles/vates_io.dir/nxlite.cpp.o" "gcc" "src/io/CMakeFiles/vates_io.dir/nxlite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/vates_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/vates_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/vates_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vates_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flux/CMakeFiles/vates_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/vates_units.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_io.dir/crc32.cpp.o"
+  "CMakeFiles/vates_io.dir/crc32.cpp.o.d"
+  "CMakeFiles/vates_io.dir/event_file.cpp.o"
+  "CMakeFiles/vates_io.dir/event_file.cpp.o.d"
+  "CMakeFiles/vates_io.dir/grid_writers.cpp.o"
+  "CMakeFiles/vates_io.dir/grid_writers.cpp.o.d"
+  "CMakeFiles/vates_io.dir/histogram_file.cpp.o"
+  "CMakeFiles/vates_io.dir/histogram_file.cpp.o.d"
+  "CMakeFiles/vates_io.dir/nxlite.cpp.o"
+  "CMakeFiles/vates_io.dir/nxlite.cpp.o.d"
+  "libvates_io.a"
+  "libvates_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

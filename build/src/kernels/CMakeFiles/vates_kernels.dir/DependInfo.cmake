@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/binmd.cpp" "src/kernels/CMakeFiles/vates_kernels.dir/binmd.cpp.o" "gcc" "src/kernels/CMakeFiles/vates_kernels.dir/binmd.cpp.o.d"
+  "/root/repo/src/kernels/convert_to_md.cpp" "src/kernels/CMakeFiles/vates_kernels.dir/convert_to_md.cpp.o" "gcc" "src/kernels/CMakeFiles/vates_kernels.dir/convert_to_md.cpp.o.d"
+  "/root/repo/src/kernels/intersections.cpp" "src/kernels/CMakeFiles/vates_kernels.dir/intersections.cpp.o" "gcc" "src/kernels/CMakeFiles/vates_kernels.dir/intersections.cpp.o.d"
+  "/root/repo/src/kernels/mdnorm.cpp" "src/kernels/CMakeFiles/vates_kernels.dir/mdnorm.cpp.o" "gcc" "src/kernels/CMakeFiles/vates_kernels.dir/mdnorm.cpp.o.d"
+  "/root/repo/src/kernels/symmetrize.cpp" "src/kernels/CMakeFiles/vates_kernels.dir/symmetrize.cpp.o" "gcc" "src/kernels/CMakeFiles/vates_kernels.dir/symmetrize.cpp.o.d"
+  "/root/repo/src/kernels/transforms.cpp" "src/kernels/CMakeFiles/vates_kernels.dir/transforms.cpp.o" "gcc" "src/kernels/CMakeFiles/vates_kernels.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/vates_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vates_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/vates_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/flux/CMakeFiles/vates_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/vates_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/vates_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

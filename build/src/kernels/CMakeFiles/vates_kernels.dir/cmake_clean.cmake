@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_kernels.dir/binmd.cpp.o"
+  "CMakeFiles/vates_kernels.dir/binmd.cpp.o.d"
+  "CMakeFiles/vates_kernels.dir/convert_to_md.cpp.o"
+  "CMakeFiles/vates_kernels.dir/convert_to_md.cpp.o.d"
+  "CMakeFiles/vates_kernels.dir/intersections.cpp.o"
+  "CMakeFiles/vates_kernels.dir/intersections.cpp.o.d"
+  "CMakeFiles/vates_kernels.dir/mdnorm.cpp.o"
+  "CMakeFiles/vates_kernels.dir/mdnorm.cpp.o.d"
+  "CMakeFiles/vates_kernels.dir/symmetrize.cpp.o"
+  "CMakeFiles/vates_kernels.dir/symmetrize.cpp.o.d"
+  "CMakeFiles/vates_kernels.dir/transforms.cpp.o"
+  "CMakeFiles/vates_kernels.dir/transforms.cpp.o.d"
+  "libvates_kernels.a"
+  "libvates_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/backend.cpp" "src/parallel/CMakeFiles/vates_parallel.dir/backend.cpp.o" "gcc" "src/parallel/CMakeFiles/vates_parallel.dir/backend.cpp.o.d"
+  "/root/repo/src/parallel/device_sim.cpp" "src/parallel/CMakeFiles/vates_parallel.dir/device_sim.cpp.o" "gcc" "src/parallel/CMakeFiles/vates_parallel.dir/device_sim.cpp.o.d"
+  "/root/repo/src/parallel/executor.cpp" "src/parallel/CMakeFiles/vates_parallel.dir/executor.cpp.o" "gcc" "src/parallel/CMakeFiles/vates_parallel.dir/executor.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/vates_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/vates_parallel.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_parallel.dir/backend.cpp.o"
+  "CMakeFiles/vates_parallel.dir/backend.cpp.o.d"
+  "CMakeFiles/vates_parallel.dir/device_sim.cpp.o"
+  "CMakeFiles/vates_parallel.dir/device_sim.cpp.o.d"
+  "CMakeFiles/vates_parallel.dir/executor.cpp.o"
+  "CMakeFiles/vates_parallel.dir/executor.cpp.o.d"
+  "CMakeFiles/vates_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/vates_parallel.dir/thread_pool.cpp.o.d"
+  "libvates_parallel.a"
+  "libvates_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

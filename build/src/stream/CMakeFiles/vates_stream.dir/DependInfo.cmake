@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/daq_simulator.cpp" "src/stream/CMakeFiles/vates_stream.dir/daq_simulator.cpp.o" "gcc" "src/stream/CMakeFiles/vates_stream.dir/daq_simulator.cpp.o.d"
+  "/root/repo/src/stream/event_channel.cpp" "src/stream/CMakeFiles/vates_stream.dir/event_channel.cpp.o" "gcc" "src/stream/CMakeFiles/vates_stream.dir/event_channel.cpp.o.d"
+  "/root/repo/src/stream/live_reducer.cpp" "src/stream/CMakeFiles/vates_stream.dir/live_reducer.cpp.o" "gcc" "src/stream/CMakeFiles/vates_stream.dir/live_reducer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/vates_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/vates_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/vates_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vates_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flux/CMakeFiles/vates_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/vates_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/vates_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_stream.dir/daq_simulator.cpp.o"
+  "CMakeFiles/vates_stream.dir/daq_simulator.cpp.o.d"
+  "CMakeFiles/vates_stream.dir/event_channel.cpp.o"
+  "CMakeFiles/vates_stream.dir/event_channel.cpp.o.d"
+  "CMakeFiles/vates_stream.dir/live_reducer.cpp.o"
+  "CMakeFiles/vates_stream.dir/live_reducer.cpp.o.d"
+  "libvates_stream.a"
+  "libvates_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_support.dir/cli.cpp.o"
+  "CMakeFiles/vates_support.dir/cli.cpp.o.d"
+  "CMakeFiles/vates_support.dir/error.cpp.o"
+  "CMakeFiles/vates_support.dir/error.cpp.o.d"
+  "CMakeFiles/vates_support.dir/inifile.cpp.o"
+  "CMakeFiles/vates_support.dir/inifile.cpp.o.d"
+  "CMakeFiles/vates_support.dir/log.cpp.o"
+  "CMakeFiles/vates_support.dir/log.cpp.o.d"
+  "CMakeFiles/vates_support.dir/rng.cpp.o"
+  "CMakeFiles/vates_support.dir/rng.cpp.o.d"
+  "CMakeFiles/vates_support.dir/strings.cpp.o"
+  "CMakeFiles/vates_support.dir/strings.cpp.o.d"
+  "CMakeFiles/vates_support.dir/timer.cpp.o"
+  "CMakeFiles/vates_support.dir/timer.cpp.o.d"
+  "libvates_support.a"
+  "libvates_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_units.dir/units.cpp.o"
+  "CMakeFiles/vates_units.dir/units.cpp.o.d"
+  "libvates_units.a"
+  "libvates_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vates_units.
+# This may be replaced when dependencies are built.

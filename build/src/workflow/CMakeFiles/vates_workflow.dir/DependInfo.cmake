@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/scheduler.cpp" "src/workflow/CMakeFiles/vates_workflow.dir/scheduler.cpp.o" "gcc" "src/workflow/CMakeFiles/vates_workflow.dir/scheduler.cpp.o.d"
+  "/root/repo/src/workflow/task_graph.cpp" "src/workflow/CMakeFiles/vates_workflow.dir/task_graph.cpp.o" "gcc" "src/workflow/CMakeFiles/vates_workflow.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vates_workflow.dir/scheduler.cpp.o"
+  "CMakeFiles/vates_workflow.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vates_workflow.dir/task_graph.cpp.o"
+  "CMakeFiles/vates_workflow.dir/task_graph.cpp.o.d"
+  "libvates_workflow.a"
+  "libvates_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vates_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

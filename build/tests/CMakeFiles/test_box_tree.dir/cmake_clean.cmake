@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_box_tree.dir/test_box_tree.cpp.o"
+  "CMakeFiles/test_box_tree.dir/test_box_tree.cpp.o.d"
+  "test_box_tree"
+  "test_box_tree.pdb"
+  "test_box_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_box_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flux.dir/test_flux.cpp.o"
+  "CMakeFiles/test_flux.dir/test_flux.cpp.o.d"
+  "test_flux"
+  "test_flux.pdb"
+  "test_flux[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instrument.dir/test_instrument.cpp.o"
+  "CMakeFiles/test_instrument.dir/test_instrument.cpp.o.d"
+  "test_instrument"
+  "test_instrument.pdb"
+  "test_instrument[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intersections.dir/test_intersections.cpp.o"
+  "CMakeFiles/test_intersections.dir/test_intersections.cpp.o.d"
+  "test_intersections"
+  "test_intersections.pdb"
+  "test_intersections[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intersections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peak_search.dir/test_peak_search.cpp.o"
+  "CMakeFiles/test_peak_search.dir/test_peak_search.cpp.o.d"
+  "test_peak_search"
+  "test_peak_search.pdb"
+  "test_peak_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peak_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_raw_conversion.cpp" "tests/CMakeFiles/test_raw_conversion.dir/test_raw_conversion.cpp.o" "gcc" "tests/CMakeFiles/test_raw_conversion.dir/test_raw_conversion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vates_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vates_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/vates_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/vates_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/vates_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/vates_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/vates_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/flux/CMakeFiles/vates_flux.dir/DependInfo.cmake"
+  "/root/repo/build/src/histogram/CMakeFiles/vates_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/vates_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/vates_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/vates_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/units/CMakeFiles/vates_units.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/vates_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

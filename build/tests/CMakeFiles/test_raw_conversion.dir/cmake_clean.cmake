@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raw_conversion.dir/test_raw_conversion.cpp.o"
+  "CMakeFiles/test_raw_conversion.dir/test_raw_conversion.cpp.o.d"
+  "test_raw_conversion"
+  "test_raw_conversion.pdb"
+  "test_raw_conversion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raw_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

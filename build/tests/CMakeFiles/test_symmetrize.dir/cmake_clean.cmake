@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symmetrize.dir/test_symmetrize.cpp.o"
+  "CMakeFiles/test_symmetrize.dir/test_symmetrize.cpp.o.d"
+  "test_symmetrize"
+  "test_symmetrize.pdb"
+  "test_symmetrize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symmetrize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

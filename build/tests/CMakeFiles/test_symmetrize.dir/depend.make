@@ -1,0 +1,2 @@
+# Empty dependencies file for test_symmetrize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symmetry.dir/test_symmetry.cpp.o"
+  "CMakeFiles/test_symmetry.dir/test_symmetry.cpp.o.d"
+  "test_symmetry"
+  "test_symmetry.pdb"
+  "test_symmetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workflow.dir/test_workflow.cpp.o"
+  "CMakeFiles/test_workflow.dir/test_workflow.cpp.o.d"
+  "test_workflow"
+  "test_workflow.pdb"
+  "test_workflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
