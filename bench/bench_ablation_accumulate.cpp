@@ -1,0 +1,134 @@
+// Ablation: histogram accumulation strategy (atomic vs privatized vs
+// tiled) across thread counts and grid sizes.
+//
+// The workload is the contention shape the paper's CORELLI/TOPAZ runs
+// produce after symmetry folding: millions of (op × event) deposits
+// landing in a grid whose bin count may be far smaller than the deposit
+// count.  A small grid (8³ = 512 bins) makes every worker hammer the
+// same cache lines — the atomic CAS loop serializes exactly there —
+// while a large grid (96³ ≈ 885k bins) spreads deposits out and instead
+// stresses the strategies' fixed costs (replica zero+merge, tile
+// probing).
+//
+// Each benchmark builds a private ThreadPool of the requested width, so
+// thread counts sweep independently of $VATES_NUM_THREADS.  Run with
+// --benchmark_filter=small to see the contention-bound regime only.
+
+#include "vates/histogram/grid_accumulator.hpp"
+#include "vates/histogram/histogram3d.hpp"
+#include "vates/kernels/binmd.hpp"
+#include "vates/support/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace vates;
+
+/// Synthetic event set reused across all benchmarks: positions uniform
+/// in the unit cube (every event in range, so deposits == ops × events)
+/// and four rotation-free "symmetry ops" to widen the iteration space
+/// the way real runs do.
+struct EventSet {
+  explicit EventSet(std::size_t n) : qx(n), qy(n), qz(n), signal(n) {
+    Xoshiro256 rng(4242);
+    for (std::size_t i = 0; i < n; ++i) {
+      qx[i] = rng.uniform(0.0, 1.0);
+      qy[i] = rng.uniform(0.0, 1.0);
+      qz[i] = rng.uniform(0.0, 1.0);
+      signal[i] = rng.uniform(0.5, 1.5);
+    }
+    transforms.assign(4, M33::identity());
+  }
+
+  BinMDInputs inputs() const {
+    BinMDInputs in;
+    in.transforms = transforms;
+    in.qx = qx.data();
+    in.qy = qy.data();
+    in.qz = qz.data();
+    in.signal = signal.data();
+    in.nEvents = qx.size();
+    return in;
+  }
+
+  std::vector<double> qx, qy, qz, signal;
+  std::vector<M33> transforms;
+};
+
+EventSet& events() {
+  static EventSet instance(1 << 18); // ×4 ops ⇒ ~1M deposits per run
+  return instance;
+}
+
+Histogram3D makeGrid(std::size_t side) {
+  return Histogram3D(
+      BinAxis("x", 0, 1, side), BinAxis("y", 0, 1, side),
+      BinAxis("z", 0, 1, side));
+}
+
+void runAccumulateCase(benchmark::State& state, std::size_t side) {
+  const auto strategy = static_cast<AccumulateStrategy>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+
+  ThreadPool pool(threads);
+  const Executor executor(Backend::ThreadPool, pool, DeviceSim::global());
+  Histogram3D histogram = makeGrid(side);
+  const BinMDInputs inputs = events().inputs();
+  AccumulateOptions options;
+  options.strategy = strategy;
+
+  for (auto _ : state) {
+    histogram.fill(0.0);
+    runBinMD(executor, inputs, histogram.gridView(), options);
+    benchmark::DoNotOptimize(histogram.data().data());
+  }
+
+  // Report what Auto would have picked so labels explain themselves.
+  const AccumulateStrategy resolved = GridAccumulator::resolve(
+      strategy, histogram.size(), executor.concurrency(),
+      options.replicaBudgetBytes);
+  state.SetLabel(std::string(accumulateStrategyName(strategy)) +
+                 (strategy == AccumulateStrategy::Auto
+                      ? std::string("(") + accumulateStrategyName(resolved) +
+                            ")"
+                      : "") +
+                 "/t" + std::to_string(threads) + "/" + std::to_string(side) +
+                 "^3");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs.nEvents) *
+                          static_cast<std::int64_t>(inputs.transforms.size()));
+}
+
+void BM_Accumulate_SmallGrid(benchmark::State& state) {
+  runAccumulateCase(state, 8); // 512 bins: contention-heavy
+}
+
+void BM_Accumulate_LargeGrid(benchmark::State& state) {
+  runAccumulateCase(state, 96); // ~885k bins: contention-light
+}
+
+void accumulateArgs(benchmark::internal::Benchmark* bench) {
+  for (AccumulateStrategy strategy :
+       {AccumulateStrategy::Atomic, AccumulateStrategy::Privatized,
+        AccumulateStrategy::Tiled, AccumulateStrategy::Auto}) {
+    for (int threads : {1, 2, 4, 8}) {
+      bench->Args({static_cast<int>(strategy), threads});
+    }
+  }
+}
+
+BENCHMARK(BM_Accumulate_SmallGrid)
+    ->Apply(accumulateArgs)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Accumulate_LargeGrid)
+    ->Apply(accumulateArgs)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

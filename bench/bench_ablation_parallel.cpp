@@ -6,7 +6,11 @@
 //   2. primitive-key sort vs whole-struct sort inside MDNorm;
 //   3. collapse(2) over (ops × detectors) vs parallelizing the outer
 //      symmetry loop only (Listing 1's collapse clause);
-//   4. each available backend on the same BinMD launch.
+//   4. each available backend on the same BinMD launch;
+//   5. the histogram write path (atomic vs privatized vs tiled) on the
+//      same BinMD and MDNorm launches — the accumulation-strategy
+//      ablation at real-workload shape (bench_ablation_accumulate
+//      sweeps thread counts and grid sizes synthetically).
 
 #include "vates/events/experiment_setup.hpp"
 #include "vates/kernels/binmd.hpp"
@@ -171,6 +175,49 @@ BENCHMARK(BM_BinMD_Backend)
 #endif
     ->Arg(static_cast<int>(Backend::ThreadPool))
     ->Arg(static_cast<int>(Backend::DeviceSim))
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------------------------------
+// 5: accumulation strategy on the real kernels
+
+void BM_BinMD_Accumulate(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Executor executor(cpuBackend());
+  AccumulateOptions options;
+  options.strategy = static_cast<AccumulateStrategy>(state.range(0));
+  const BinMDInputs inputs = f.binInputs();
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    runBinMD(executor, inputs, f.histogram.gridView(), options);
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+  state.SetLabel(accumulateStrategyName(options.strategy));
+}
+BENCHMARK(BM_BinMD_Accumulate)
+    ->Arg(static_cast<int>(AccumulateStrategy::Atomic))
+    ->Arg(static_cast<int>(AccumulateStrategy::Privatized))
+    ->Arg(static_cast<int>(AccumulateStrategy::Tiled))
+    ->Arg(static_cast<int>(AccumulateStrategy::Auto))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MDNorm_Accumulate(benchmark::State& state) {
+  Fixture& f = fixture();
+  const Executor executor(cpuBackend());
+  MDNormOptions options;
+  options.accumulate.strategy = static_cast<AccumulateStrategy>(state.range(0));
+  const MDNormInputs inputs = f.normInputs();
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    runMDNorm(executor, inputs, f.histogram.gridView(), options);
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+  state.SetLabel(accumulateStrategyName(options.accumulate.strategy));
+}
+BENCHMARK(BM_MDNorm_Accumulate)
+    ->Arg(static_cast<int>(AccumulateStrategy::Atomic))
+    ->Arg(static_cast<int>(AccumulateStrategy::Privatized))
+    ->Arg(static_cast<int>(AccumulateStrategy::Tiled))
+    ->Arg(static_cast<int>(AccumulateStrategy::Auto))
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

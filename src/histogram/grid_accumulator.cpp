@@ -1,0 +1,206 @@
+#include "vates/histogram/grid_accumulator.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <algorithm>
+
+namespace vates {
+
+namespace {
+
+std::size_t roundUpPowerOfTwo(std::size_t value) {
+  std::size_t result = 1;
+  while (result < value) {
+    result <<= 1;
+  }
+  return result;
+}
+
+} // namespace
+
+const char* accumulateStrategyName(AccumulateStrategy strategy) noexcept {
+  switch (strategy) {
+  case AccumulateStrategy::Auto:       return "auto";
+  case AccumulateStrategy::Atomic:     return "atomic";
+  case AccumulateStrategy::Privatized: return "privatized";
+  case AccumulateStrategy::Tiled:      return "tiled";
+  }
+  return "unknown";
+}
+
+AccumulateStrategy parseAccumulateStrategy(const std::string& name) {
+  const std::string lower = toLower(trim(name));
+  if (lower == "auto") {
+    return AccumulateStrategy::Auto;
+  }
+  if (lower == "atomic") {
+    return AccumulateStrategy::Atomic;
+  }
+  if (lower == "privatized" || lower == "replica") {
+    return AccumulateStrategy::Privatized;
+  }
+  if (lower == "tiled" || lower == "tile") {
+    return AccumulateStrategy::Tiled;
+  }
+  throw InvalidArgument("unknown accumulation strategy '" + name +
+                        "' (available: auto, atomic, privatized, tiled)");
+}
+
+AccumulateStrategy GridAccumulator::resolve(
+    AccumulateStrategy requested, std::size_t gridSize, unsigned workers,
+    std::size_t replicaBudgetBytes) noexcept {
+  if (requested != AccumulateStrategy::Auto) {
+    return requested;
+  }
+  // A single worker never contends, and an empty grid has nothing to
+  // privatize; the atomic path is free of setup cost for both.
+  if (workers <= 1 || gridSize == 0) {
+    return AccumulateStrategy::Atomic;
+  }
+  // Replicate only while workers × grid fits the budget.  Division
+  // (rather than multiplication) keeps the comparison overflow-safe for
+  // absurd grid sizes.
+  const std::size_t budgetBins = replicaBudgetBytes / sizeof(double) / workers;
+  return gridSize <= budgetBins ? AccumulateStrategy::Privatized
+                                : AccumulateStrategy::Tiled;
+}
+
+GridAccumulator::GridAccumulator(const GridView& grid, const Executor& executor,
+                                 const AccumulateOptions& options)
+    : executor_(&executor), grid_(grid),
+      strategy_(AccumulateStrategy::Atomic), workers_(executor.concurrency()) {
+  VATES_REQUIRE(grid_.data != nullptr || grid_.size() == 0,
+                "accumulator grid has no data");
+  VATES_REQUIRE(workers_ >= 1, "executor reports zero concurrency");
+  strategy_ = resolve(options.strategy, grid_.size(), workers_,
+                      options.replicaBudgetBytes);
+
+  switch (strategy_) {
+  case AccumulateStrategy::Atomic:
+    break;
+  case AccumulateStrategy::Privatized: {
+    replicas_.assign(static_cast<std::size_t>(workers_) * grid_.size(), 0.0);
+    break;
+  }
+  case AccumulateStrategy::Tiled: {
+    const std::size_t capacity =
+        roundUpPowerOfTwo(std::max<std::size_t>(options.tileCapacity, 16));
+    tileBins_.assign(static_cast<std::size_t>(workers_) * capacity,
+                     detail::kEmptyBin);
+    tileSums_.assign(static_cast<std::size_t>(workers_) * capacity, 0.0);
+    tiles_.resize(workers_);
+    for (unsigned w = 0; w < workers_; ++w) {
+      tiles_[w].bins = tileBins_.data() + std::size_t{w} * capacity;
+      tiles_[w].sums = tileSums_.data() + std::size_t{w} * capacity;
+      tiles_[w].mask = capacity - 1;
+      tiles_[w].used = 0;
+    }
+    break;
+  }
+  case AccumulateStrategy::Auto: // resolve() never returns Auto
+    break;
+  }
+}
+
+GridAccumulator::~GridAccumulator() = default;
+
+std::size_t GridAccumulator::privateBytes() const noexcept {
+  return replicas_.size() * sizeof(double) +
+         tileBins_.size() * sizeof(std::size_t) +
+         tileSums_.size() * sizeof(double) +
+         tiles_.size() * sizeof(detail::TileSlot);
+}
+
+AccumulatorRef GridAccumulator::ref() const noexcept {
+  AccumulatorRef handle;
+  handle.strategy_ = strategy_;
+  handle.grid_ = grid_.data;
+  handle.replicas_ =
+      replicas_.empty() ? nullptr
+                        : const_cast<double*>(replicas_.data());
+  handle.stride_ = grid_.size();
+  handle.tiles_ =
+      tiles_.empty() ? nullptr
+                     : const_cast<detail::TileSlot*>(tiles_.data());
+  return handle;
+}
+
+void GridAccumulator::commit() {
+  if (committed_) {
+    return;
+  }
+  committed_ = true;
+  switch (strategy_) {
+  case AccumulateStrategy::Atomic:
+    return;
+  case AccumulateStrategy::Privatized:
+    mergeReplicas();
+    return;
+  case AccumulateStrategy::Tiled:
+    flushTiles();
+    return;
+  case AccumulateStrategy::Auto:
+    return;
+  }
+}
+
+void GridAccumulator::mergeReplicas() {
+  const std::size_t bins = grid_.size();
+  double* base = replicas_.data();
+
+  // Pairwise tree-merge: round `stride` folds replica r+stride into
+  // replica r for every r that is a multiple of 2·stride, halving the
+  // live replica count per round (log2(workers) depth, workers·bins
+  // total adds — same work as a linear sweep, but each round is itself
+  // a parallel loop).  Bins are additionally chunked so the late rounds
+  // (few pairs) still spread across all workers.
+  for (unsigned stride = 1; stride < workers_; stride *= 2) {
+    std::vector<unsigned> destinations;
+    for (unsigned r = 0; r + stride < workers_; r += 2 * stride) {
+      destinations.push_back(r);
+    }
+    const std::size_t nChunks = std::max<std::size_t>(
+        1, (workers_ + destinations.size() - 1) / destinations.size());
+    const std::size_t chunk = (bins + nChunks - 1) / nChunks;
+    executor_->parallelFor(
+        destinations.size() * nChunks,
+        [&](std::size_t flat) {
+          const unsigned dst = destinations[flat / nChunks];
+          const std::size_t begin = (flat % nChunks) * chunk;
+          const std::size_t end = std::min(bins, begin + chunk);
+          double* to = base + std::size_t{dst} * bins;
+          const double* from = base + (std::size_t{dst} + stride) * bins;
+          for (std::size_t i = begin; i < end; ++i) {
+            to[i] += from[i];
+          }
+        },
+        "accumulate_tree_merge");
+  }
+
+  // Replica 0 now holds the whole region's deposits.  Add — not copy —
+  // into the shared grid, which may already carry earlier runs' totals;
+  // chunks are disjoint, so plain stores suffice.
+  const std::size_t nChunks = workers_;
+  const std::size_t chunk = (bins + nChunks - 1) / nChunks;
+  double* grid = grid_.data;
+  executor_->parallelFor(
+      nChunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(bins, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          grid[i] += base[i];
+        }
+      },
+      "accumulate_fold");
+}
+
+void GridAccumulator::flushTiles() {
+  executor_->parallelFor(
+      workers_,
+      [&](std::size_t w) { detail::tileFlush(tiles_[w], grid_.data); },
+      "accumulate_tile_flush");
+}
+
+} // namespace vates

@@ -1,12 +1,12 @@
 #include "vates/kernels/binmd.hpp"
 
-#include "vates/parallel/atomics.hpp"
+#include "vates/histogram/grid_accumulator.hpp"
 #include "vates/support/error.hpp"
 
 namespace vates {
 
 void runBinMD(const Executor& executor, const BinMDInputs& inputs,
-              const GridView& histogram) {
+              const GridView& histogram, const AccumulateOptions& accumulate) {
   VATES_REQUIRE(histogram.data != nullptr, "histogram view has no data");
   if (inputs.nEvents == 0 || inputs.transforms.empty()) {
     return;
@@ -23,21 +23,27 @@ void runBinMD(const Executor& executor, const BinMDInputs& inputs,
   const double* signal = inputs.signal;
   const GridView grid = histogram;
 
-  executor.parallelFor2D(
+  GridAccumulator accumulator(histogram, executor, accumulate);
+  const AccumulatorRef sink = accumulator.ref();
+
+  executor.parallelFor2DIndexed(
       nOps, inputs.nEvents,
-      [=](std::size_t op, std::size_t event) {
+      [=](std::size_t op, std::size_t event, unsigned worker) {
         const V3 q{qx[event], qy[event], qz[event]};
         const V3 p = transforms[op] * q;
         const std::size_t bin = grid.locate(p);
         if (bin < grid.size()) {
-          atomicAdd(&grid.data[bin], signal[event]);
+          sink.add(worker, bin, signal[event]);
         }
       },
       "binmd");
+
+  accumulator.commit();
 }
 
 void runBinMD(const Executor& executor, const BinMDInputs& inputs,
-              const GridView& histogram, const GridView& errorSqHistogram) {
+              const GridView& histogram, const GridView& errorSqHistogram,
+              const AccumulateOptions& accumulate) {
   VATES_REQUIRE(histogram.data != nullptr, "histogram view has no data");
   VATES_REQUIRE(errorSqHistogram.data != nullptr,
                 "error histogram view has no data");
@@ -59,27 +65,40 @@ void runBinMD(const Executor& executor, const BinMDInputs& inputs,
   const double* signal = inputs.signal;
   const double* errorSq = inputs.errorSq;
   const GridView grid = histogram;
-  const GridView errorGrid = errorSqHistogram;
 
-  executor.parallelFor2D(
+  // Two accumulators share one strategy decision (the signal grid's);
+  // forcing them to agree keeps the memory story predictable — either
+  // both grids replicate or neither does.
+  GridAccumulator signalAccumulator(histogram, executor, accumulate);
+  AccumulateOptions errorOptions = accumulate;
+  errorOptions.strategy = signalAccumulator.strategy();
+  GridAccumulator errorAccumulator(errorSqHistogram, executor, errorOptions);
+  const AccumulatorRef signalSink = signalAccumulator.ref();
+  const AccumulatorRef errorSink = errorAccumulator.ref();
+
+  executor.parallelFor2DIndexed(
       nOps, inputs.nEvents,
-      [=](std::size_t op, std::size_t event) {
+      [=](std::size_t op, std::size_t event, unsigned worker) {
         const V3 q{qx[event], qy[event], qz[event]};
         const V3 p = transforms[op] * q;
         const std::size_t bin = grid.locate(p);
         if (bin < grid.size()) {
-          atomicAdd(&grid.data[bin], signal[event]);
-          atomicAdd(&errorGrid.data[bin], errorSq[event]);
+          signalSink.add(worker, bin, signal[event]);
+          errorSink.add(worker, bin, errorSq[event]);
         }
       },
       "binmd_with_errors");
+
+  signalAccumulator.commit();
+  errorAccumulator.commit();
 }
 
 void runBinMDIdentity(const Executor& executor, const M33& transform,
-                      const BinMDInputs& inputs, const GridView& histogram) {
+                      const BinMDInputs& inputs, const GridView& histogram,
+                      const AccumulateOptions& accumulate) {
   BinMDInputs single = inputs;
   single.transforms = std::span<const M33>(&transform, 1);
-  runBinMD(executor, single, histogram);
+  runBinMD(executor, single, histogram, accumulate);
 }
 
 } // namespace vates

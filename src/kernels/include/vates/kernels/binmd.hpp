@@ -5,11 +5,15 @@
 ///
 /// One flattened 2D iteration space over (symmetry op × event); each
 /// work item transforms the event's sample-frame Q by the pre-composed
-/// per-op matrix and atomically accumulates the event's signal into the
-/// containing bin — the direct C++ translation of Listing 3's
-/// JACC.parallel_for with atomic_push!.
+/// per-op matrix and accumulates the event's signal into the containing
+/// bin — the direct C++ translation of Listing 3's JACC.parallel_for
+/// with atomic_push!.  Accumulation goes through GridAccumulator, so
+/// the write path (atomic / privatized replicas / tiled caches) is
+/// selectable per call; the default Auto policy privatizes small
+/// contended grids and falls back to atomics elsewhere.
 
 #include "vates/geometry/mat3.hpp"
+#include "vates/histogram/grid_accumulator.hpp"
 #include "vates/histogram/grid_view.hpp"
 #include "vates/parallel/executor.hpp"
 
@@ -32,19 +36,26 @@ struct BinMDInputs {
   std::size_t nEvents = 0;
 };
 
-/// Accumulate the run's events into \p histogram (atomic adds; safe to
-/// call repeatedly for many runs into the same buffer).
+/// Accumulate the run's events into \p histogram (safe to call
+/// repeatedly for many runs into the same buffer; with the default
+/// Atomic-or-better strategies each call's deposits add on top of the
+/// existing bin contents).  \p accumulate selects the write path; the
+/// non-Atomic strategies require the histogram not be written by other
+/// executors concurrently with this call.
 void runBinMD(const Executor& executor, const BinMDInputs& inputs,
-              const GridView& histogram);
+              const GridView& histogram,
+              const AccumulateOptions& accumulate = {});
 
 /// Variant that also accumulates the events' squared errors into
 /// \p errorSqHistogram (same binning; σ² adds linearly for independent
 /// counts).  inputs.errorSq must be non-null.
 void runBinMD(const Executor& executor, const BinMDInputs& inputs,
-              const GridView& histogram, const GridView& errorSqHistogram);
+              const GridView& histogram, const GridView& errorSqHistogram,
+              const AccumulateOptions& accumulate = {});
 
 /// Single-op convenience used by tests: bin events without symmetry.
 void runBinMDIdentity(const Executor& executor, const M33& transform,
-                      const BinMDInputs& inputs, const GridView& histogram);
+                      const BinMDInputs& inputs, const GridView& histogram,
+                      const AccumulateOptions& accumulate = {});
 
 } // namespace vates

@@ -21,6 +21,7 @@
 #include "vates/flux/flux_spectrum.hpp"
 #include "vates/geometry/mat3.hpp"
 #include "vates/geometry/vec3.hpp"
+#include "vates/histogram/grid_accumulator.hpp"
 #include "vates/histogram/grid_view.hpp"
 #include "vates/kernels/intersections.hpp"
 #include "vates/parallel/executor.hpp"
@@ -37,6 +38,11 @@ struct MDNormOptions {
   /// Sort primitive momentum keys (the proxies' improvement) instead of
   /// whole Intersection structs (Mantid-style).
   bool sortPrimitiveKeys = true;
+  /// Histogram write path (atomic / privatized / tiled; Auto selects by
+  /// grid size × concurrency vs. the replica budget).  The non-Atomic
+  /// strategies require the normalization grid not be written by other
+  /// executors concurrently with this call.
+  AccumulateOptions accumulate;
 };
 
 /// Everything the kernel reads for one run.  All pointers/views must

@@ -4,6 +4,7 @@
 #include "vates/parallel/atomics.hpp"
 #include "vates/support/error.hpp"
 
+#include <limits>
 #include <vector>
 
 namespace vates {
@@ -57,9 +58,12 @@ void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
   const bool primitiveKeys = options.sortPrimitiveKeys;
   const std::uint8_t* mask = inputs.detectorMask;
 
-  executor.parallelFor2D(
+  GridAccumulator accumulator(normalization, executor, options.accumulate);
+  const AccumulatorRef sink = accumulator.ref();
+
+  executor.parallelFor2DIndexed(
       nOps, nDetectors,
-      [=](std::size_t op, std::size_t detector) {
+      [=](std::size_t op, std::size_t detector, unsigned worker) {
         if (mask != nullptr && mask[detector] != 0) {
           return;
         }
@@ -97,7 +101,7 @@ void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
             const V3 mid = t * (0.5 * (k1 + k2));
             const std::size_t bin = grid.locate(mid);
             if (bin < grid.size()) {
-              atomicAdd(&grid.data[bin], deposit);
+              sink.add(worker, bin, deposit);
             }
           }
         } else {
@@ -120,12 +124,14 @@ void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
                          0.5 * (a.z + b.z)};
             const std::size_t bin = grid.locate(mid);
             if (bin < grid.size()) {
-              atomicAdd(&grid.data[bin], deposit);
+              sink.add(worker, bin, deposit);
             }
           }
         }
       },
       "mdnorm");
+
+  accumulator.commit();
 }
 
 std::size_t estimateMaxIntersections(const Executor& executor,
@@ -140,6 +146,12 @@ std::size_t estimateMaxIntersections(const Executor& executor,
   const V3* qDirections = inputs.qLabDirections.data();
   const double kMin = inputs.kMin;
   const double kMax = inputs.kMax;
+
+  // The flattened (op × detector) index space must fit std::size_t, or
+  // the reduce below silently iterates a wrapped-around count.
+  VATES_REQUIRE(nDetectors == 0 ||
+                    nOps <= std::numeric_limits<std::size_t>::max() / nDetectors,
+                "op × detector index space overflows std::size_t");
 
   return executor.parallelReduce(
       nOps * nDetectors, std::size_t{0},

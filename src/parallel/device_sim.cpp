@@ -118,6 +118,12 @@ double DeviceSim::ensureCompiled(const std::string& kernelName) {
 
 void DeviceSim::launch(const std::string& kernelName, std::size_t n,
                        FunctionRef<void(std::size_t)> body) {
+  auto dropWorker = [&](std::size_t index, unsigned /*worker*/) { body(index); };
+  launchIndexed(kernelName, n, dropWorker);
+}
+
+void DeviceSim::launchIndexed(const std::string& kernelName, std::size_t n,
+                              FunctionRef<void(std::size_t, unsigned)> body) {
   ensureCompiled(kernelName);
   if (n == 0) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -128,12 +134,12 @@ void DeviceSim::launch(const std::string& kernelName, std::size_t n,
   const std::size_t blocks = (n + blockSize - 1) / blockSize;
 
   pool().forRange(blocks, [&](std::size_t blockBegin, std::size_t blockEnd,
-                              unsigned /*worker*/) {
+                              unsigned worker) {
     for (std::size_t block = blockBegin; block < blockEnd; ++block) {
       const std::size_t begin = block * blockSize;
       const std::size_t end = std::min(n, begin + blockSize);
       for (std::size_t index = begin; index < end; ++index) {
-        body(index);
+        body(index, worker);
       }
     }
   });
@@ -151,6 +157,16 @@ void DeviceSim::launch2D(const std::string& kernelName, std::size_t nOuter,
     body(index / nInner, index % nInner);
   };
   launch(kernelName, total, flat);
+}
+
+void DeviceSim::launch2DIndexed(
+    const std::string& kernelName, std::size_t nOuter, std::size_t nInner,
+    FunctionRef<void(std::size_t, std::size_t, unsigned)> body) {
+  const std::size_t total = nOuter * nInner;
+  auto flat = [&](std::size_t index, unsigned worker) {
+    body(index / nInner, index % nInner, worker);
+  };
+  launchIndexed(kernelName, total, flat);
 }
 
 DeviceStats DeviceSim::stats() const {

@@ -26,7 +26,11 @@ unsigned Executor::concurrency() const noexcept {
   case Backend::ThreadPool:
     return pool_->size();
   case Backend::DeviceSim:
-    return pool_->size();
+    // The device runs blocks on its *own* pool (which may be a private
+    // one sized by DeviceOptions::workers), not on the host pool this
+    // executor also references; reporting pool_->size() here was wrong
+    // and undersized/oversized privatized-replica provisioning.
+    return device_->concurrency();
   }
   return 1;
 }

@@ -87,6 +87,15 @@ public:
 
   const DeviceOptions& options() const noexcept { return options_; }
 
+  /// Number of block-executing workers this device runs with — its own
+  /// configured pool when options().workers > 0, otherwise the global
+  /// ThreadPool it borrows.  This is the replica count a privatized
+  /// accumulation must provision for, independent of whatever host-side
+  /// pool an Executor also references.
+  unsigned concurrency() const noexcept {
+    return ownedPool_ ? ownedPool_->size() : externalPool_->size();
+  }
+
   /// Reconfigure the JIT-model cost (benchmarks switch hardware presets
   /// on the shared global device).  Takes effect for kernels compiled
   /// after the call; combine with resetJitCache() to re-measure.
@@ -112,11 +121,22 @@ public:
   void launch(const std::string& kernelName, std::size_t n,
               FunctionRef<void(std::size_t)> body);
 
+  /// As launch(), but body(globalIndex, worker) also receives the index
+  /// of the executing worker in [0, concurrency()) — the device analogue
+  /// of a per-SM scratch slot, used for privatized accumulation.
+  void launchIndexed(const std::string& kernelName, std::size_t n,
+                     FunctionRef<void(std::size_t, unsigned)> body);
+
   /// Launch a 2D kernel over [0, nOuter) × [0, nInner), flattened
   /// outer-major — the device analogue of `collapse(2)` / Listing 3's
   /// two-dimensional JACC.parallel_for.
   void launch2D(const std::string& kernelName, std::size_t nOuter,
                 std::size_t nInner, FunctionRef<void(std::size_t, std::size_t)> body);
+
+  /// 2D launch whose body also receives the executing worker index.
+  void launch2DIndexed(const std::string& kernelName, std::size_t nOuter,
+                       std::size_t nInner,
+                       FunctionRef<void(std::size_t, std::size_t, unsigned)> body);
 
   DeviceStats stats() const;
   void resetStats();

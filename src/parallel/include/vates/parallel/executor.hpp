@@ -46,7 +46,10 @@ public:
   ThreadPool& pool() const noexcept { return *pool_; }
   DeviceSim& device() const noexcept { return *device_; }
 
-  /// Number of workers the backend will use for a large launch.
+  /// Number of workers the backend will use for a large launch.  For
+  /// Backend::DeviceSim this is the device's own block-executor count,
+  /// which may differ from the host thread pool's size.  Worker indices
+  /// observed by the *Indexed loops are always in [0, concurrency()).
   unsigned concurrency() const noexcept;
 
   /// body(i) for i in [0, n).
@@ -131,6 +134,115 @@ public:
     case Backend::DeviceSim: {
       device_->launch2D(label, nOuter, nInner,
                         [&](std::size_t i, std::size_t j) { body(i, j); });
+      return;
+    }
+    }
+  }
+
+  /// body(i, worker) for i in [0, n), where \p worker identifies the
+  /// executing worker in [0, concurrency()).  At most one work item runs
+  /// per worker index at any instant, so worker-indexed scratch (replica
+  /// grids, tile caches) needs no further synchronization within one
+  /// loop.  Nested launches reuse index 0 inline and would alias the
+  /// outer worker's slot — kernels using worker-indexed state must not
+  /// launch nested parallel regions.
+  template <typename Body>
+  void parallelForIndexed(std::size_t n, Body&& body,
+                          const char* label = "parallel_for") const {
+    switch (backend_) {
+    case Backend::Serial: {
+      for (std::size_t i = 0; i < n; ++i) {
+        body(i, 0u);
+      }
+      return;
+    }
+    case Backend::OpenMP: {
+#ifdef VATES_HAS_OPENMP
+      const auto signedN = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel
+      {
+        const auto worker = static_cast<unsigned>(omp_get_thread_num());
+#pragma omp for schedule(static)
+        for (std::ptrdiff_t i = 0; i < signedN; ++i) {
+          body(static_cast<std::size_t>(i), worker);
+        }
+      }
+      return;
+#else
+      throw Unsupported("OpenMP backend not compiled in");
+#endif
+    }
+    case Backend::ThreadPool: {
+      pool_->forRange(n, [&](std::size_t begin, std::size_t end,
+                             unsigned worker) {
+        for (std::size_t i = begin; i < end; ++i) {
+          body(i, worker);
+        }
+      });
+      return;
+    }
+    case Backend::DeviceSim: {
+      device_->launchIndexed(label, n, [&](std::size_t i, unsigned worker) {
+        body(i, worker);
+      });
+      return;
+    }
+    }
+  }
+
+  /// body(i, j, worker) over [0, nOuter) × [0, nInner); the collapse(2)
+  /// iteration space with the executing worker index exposed (see
+  /// parallelForIndexed for the worker-index contract).
+  template <typename Body>
+  void parallelFor2DIndexed(std::size_t nOuter, std::size_t nInner,
+                            Body&& body,
+                            const char* label = "parallel_for_2d") const {
+    switch (backend_) {
+    case Backend::Serial: {
+      for (std::size_t i = 0; i < nOuter; ++i) {
+        for (std::size_t j = 0; j < nInner; ++j) {
+          body(i, j, 0u);
+        }
+      }
+      return;
+    }
+    case Backend::OpenMP: {
+#ifdef VATES_HAS_OPENMP
+      const auto signedOuter = static_cast<std::ptrdiff_t>(nOuter);
+      const auto signedInner = static_cast<std::ptrdiff_t>(nInner);
+#pragma omp parallel
+      {
+        const auto worker = static_cast<unsigned>(omp_get_thread_num());
+#pragma omp for collapse(2) schedule(static)
+        for (std::ptrdiff_t i = 0; i < signedOuter; ++i) {
+          for (std::ptrdiff_t j = 0; j < signedInner; ++j) {
+            body(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                 worker);
+          }
+        }
+      }
+      return;
+#else
+      throw Unsupported("OpenMP backend not compiled in");
+#endif
+    }
+    case Backend::ThreadPool: {
+      if (nInner == 0) {
+        return;
+      }
+      const std::size_t total = nOuter * nInner;
+      pool_->forRange(total, [&](std::size_t begin, std::size_t end,
+                                 unsigned worker) {
+        for (std::size_t flat = begin; flat < end; ++flat) {
+          body(flat / nInner, flat % nInner, worker);
+        }
+      });
+      return;
+    }
+    case Backend::DeviceSim: {
+      device_->launch2DIndexed(label, nOuter, nInner,
+                               [&](std::size_t i, std::size_t j,
+                                   unsigned worker) { body(i, j, worker); });
       return;
     }
     }

@@ -25,6 +25,18 @@ public:
   /// std::thread::hardware_concurrency().
   static ThreadPool& global();
 
+  /// Parse a thread-count string the way global() sizes itself: the
+  /// whole string must be a decimal integer in [1, maxThreadCount()].
+  /// Malformed input ("8abc", ""), values < 1, and out-of-range values
+  /// (including strtol overflow) yield \p fallback with a logged
+  /// warning.  Exposed so the environment contract is unit-testable.
+  static unsigned parseThreadCount(const char* text, unsigned fallback);
+
+  /// Upper bound accepted by parseThreadCount — generous, but finite so
+  /// an overflowed strtol (which clamps to LONG_MAX) cannot request a
+  /// few quintillion workers.
+  static constexpr unsigned maxThreadCount() noexcept { return 65536; }
+
   /// Create a pool that executes regions across \p size workers
   /// (including the caller).  size >= 1.
   explicit ThreadPool(unsigned size);
@@ -41,11 +53,25 @@ public:
   /// inside a region execute inline on the calling worker.
   void run(FunctionRef<void(unsigned)> body);
 
+  /// True while the calling thread is executing inside one of this
+  /// process's parallel-region bodies (any pool's — the flag is
+  /// per-thread).  Such a thread is a "team of one": its nested
+  /// regions execute inline.
+  static bool insideRegion() noexcept;
+
   /// Chunked parallel loop: split [0, n) into size() contiguous chunks
-  /// and invoke body(begin, end, worker) per non-empty chunk.
+  /// and invoke body(begin, end, worker) per non-empty chunk.  Called
+  /// from inside a region (or on a pool of one) the whole range runs
+  /// inline as a single chunk — chunking by size() and then executing
+  /// only worker 0's share inline would silently drop the rest of the
+  /// range, which is exactly what an earlier version did.
   template <typename Body>
   void forRange(std::size_t n, Body&& body) {
     if (n == 0) {
+      return;
+    }
+    if (size_ == 1 || insideRegion()) {
+      body(std::size_t{0}, n, 0u);
       return;
     }
     const unsigned workers = size_;

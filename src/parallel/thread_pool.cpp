@@ -1,21 +1,21 @@
 #include "vates/parallel/thread_pool.hpp"
 
 #include "vates/support/error.hpp"
+#include "vates/support/log.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace vates {
 
 namespace {
 unsigned defaultPoolSize() {
-  if (const char* env = std::getenv("VATES_NUM_THREADS"); env != nullptr) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) {
-      return static_cast<unsigned>(parsed);
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const unsigned fallback = hw == 0 ? 1 : hw;
+  if (const char* env = std::getenv("VATES_NUM_THREADS"); env != nullptr) {
+    return ThreadPool::parseThreadCount(env, fallback);
+  }
+  return fallback;
 }
 
 /// True while the current thread executes inside a parallel region body.
@@ -29,6 +29,30 @@ thread_local bool tlsInsideRegion = false;
 ThreadPool& ThreadPool::global() {
   static ThreadPool instance(defaultPoolSize());
   return instance;
+}
+
+bool ThreadPool::insideRegion() noexcept { return tlsInsideRegion; }
+
+unsigned ThreadPool::parseThreadCount(const char* text, unsigned fallback) {
+  if (text == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(text, &end, 10);
+  // strtol consumes leading whitespace; anything left over after the
+  // digits ("8abc", "8 ", "") means the value was not a plain integer.
+  const bool malformed = end == text || *end != '\0';
+  const bool outOfRange =
+      errno == ERANGE || parsed < 1 ||
+      static_cast<unsigned long>(parsed) > maxThreadCount();
+  if (malformed || outOfRange) {
+    VATES_LOG_WARN("VATES_NUM_THREADS=\"" << text
+                   << "\" is not a thread count in [1, " << maxThreadCount()
+                   << "]; using " << fallback << " threads");
+    return fallback;
+  }
+  return static_cast<unsigned>(parsed);
 }
 
 ThreadPool::ThreadPool(unsigned size) : size_(size) {

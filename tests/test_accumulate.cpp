@@ -1,0 +1,296 @@
+// Tests for the GridAccumulator layer: strategy selection, name
+// parsing, tile flush mechanics, and — the load-bearing property —
+// bit-for-bit-close parity of the Privatized and Tiled write paths with
+// the Atomic reference on seeded BinMD and MDNorm workloads.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/histogram/grid_accumulator.hpp"
+#include "vates/histogram/histogram3d.hpp"
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/parallel/executor.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vates {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Strategy names, parsing, Auto resolution
+
+TEST(AccumulateStrategy, NamesRoundTrip) {
+  for (AccumulateStrategy s :
+       {AccumulateStrategy::Auto, AccumulateStrategy::Atomic,
+        AccumulateStrategy::Privatized, AccumulateStrategy::Tiled}) {
+    EXPECT_EQ(parseAccumulateStrategy(accumulateStrategyName(s)), s);
+  }
+}
+
+TEST(AccumulateStrategy, ParseAliasesAndRejects) {
+  EXPECT_EQ(parseAccumulateStrategy(" Replica "), AccumulateStrategy::Privatized);
+  EXPECT_EQ(parseAccumulateStrategy("TILE"), AccumulateStrategy::Tiled);
+  EXPECT_THROW(parseAccumulateStrategy("mutex"), InvalidArgument);
+}
+
+TEST(AccumulateStrategy, AutoResolution) {
+  const std::size_t budget = 1 << 20; // 1 MiB
+  // One worker never contends.
+  EXPECT_EQ(GridAccumulator::resolve(AccumulateStrategy::Auto, 512, 1, budget),
+            AccumulateStrategy::Atomic);
+  // 512 bins × 8 workers × 8 bytes = 32 KiB — replicate.
+  EXPECT_EQ(GridAccumulator::resolve(AccumulateStrategy::Auto, 512, 8, budget),
+            AccumulateStrategy::Privatized);
+  // 1M bins × 8 workers × 8 bytes = 64 MiB — too large, tile.
+  EXPECT_EQ(GridAccumulator::resolve(AccumulateStrategy::Auto, 1u << 20, 8,
+                                     budget),
+            AccumulateStrategy::Tiled);
+  // Explicit requests pass through untouched.
+  EXPECT_EQ(GridAccumulator::resolve(AccumulateStrategy::Tiled, 1, 1, budget),
+            AccumulateStrategy::Tiled);
+}
+
+// ---------------------------------------------------------------------------
+// Accumulator mechanics on a bare grid
+
+Histogram3D smallHistogram() {
+  return Histogram3D(BinAxis("x", 0, 1, 4), BinAxis("y", 0, 1, 4),
+                     BinAxis("z", 0, 1, 4));
+}
+
+TEST(GridAccumulator, PrivatizedMergesAllWorkerDeposits) {
+  ThreadPool pool(4);
+  const Executor executor(Backend::ThreadPool, pool, DeviceSim::global());
+  Histogram3D histogram = smallHistogram();
+  histogram.data()[0] = 10.0; // pre-existing content must survive the merge
+
+  AccumulateOptions options;
+  options.strategy = AccumulateStrategy::Privatized;
+  GridAccumulator accumulator(histogram.gridView(), executor, options);
+  ASSERT_EQ(accumulator.strategy(), AccumulateStrategy::Privatized);
+  const AccumulatorRef sink = accumulator.ref();
+
+  const std::size_t n = 10000;
+  executor.parallelForIndexed(n, [=](std::size_t i, unsigned worker) {
+    sink.add(worker, i % 64, 1.0);
+  });
+  accumulator.commit();
+
+  EXPECT_NEAR(histogram.totalSignal(), 10.0 + static_cast<double>(n), 1e-9);
+  // Bin 0 receives indices 0, 64, 128, …: ceil(n / 64) of them.
+  EXPECT_NEAR(histogram.data()[0], 10.0 + static_cast<double>((n + 63) / 64),
+              1e-9);
+}
+
+TEST(GridAccumulator, TiledFlushesWhenCacheOverflows) {
+  // Capacity 16 (the minimum) with 64 distinct bins forces many
+  // mid-region flushes; totals must still be exact.
+  ThreadPool pool(3);
+  const Executor executor(Backend::ThreadPool, pool, DeviceSim::global());
+  Histogram3D histogram = smallHistogram();
+
+  AccumulateOptions options;
+  options.strategy = AccumulateStrategy::Tiled;
+  options.tileCapacity = 16;
+  GridAccumulator accumulator(histogram.gridView(), executor, options);
+  const AccumulatorRef sink = accumulator.ref();
+
+  const std::size_t n = 50000;
+  executor.parallelForIndexed(n, [=](std::size_t i, unsigned worker) {
+    sink.add(worker, (i * 17) % 64, 2.0);
+  });
+  accumulator.commit();
+
+  EXPECT_NEAR(histogram.totalSignal(), 2.0 * static_cast<double>(n), 1e-9);
+}
+
+TEST(GridAccumulator, CommitIsIdempotent) {
+  ThreadPool pool(2);
+  const Executor executor(Backend::ThreadPool, pool, DeviceSim::global());
+  Histogram3D histogram = smallHistogram();
+
+  AccumulateOptions options;
+  options.strategy = AccumulateStrategy::Privatized;
+  GridAccumulator accumulator(histogram.gridView(), executor, options);
+  const AccumulatorRef sink = accumulator.ref();
+  executor.parallelForIndexed(100, [=](std::size_t i, unsigned worker) {
+    sink.add(worker, i % 64, 1.0);
+  });
+  accumulator.commit();
+  accumulator.commit(); // must not double-count
+  EXPECT_NEAR(histogram.totalSignal(), 100.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Physics parity: every strategy must reproduce the Atomic grid on a
+// seeded BinMD + MDNorm workload, within 1e-12 relative tolerance.
+
+struct SeededWorkload {
+  SeededWorkload()
+      : setup(WorkloadSpec::benzilCorelli(0.001)),
+        generator(setup.makeGenerator()), run(generator.runInfo(0)),
+        events(generator.generate(0)),
+        normTransforms(mdNormTransforms(setup.projection(), setup.lattice(),
+                                        setup.symmetryMatrices(),
+                                        run.goniometerR)),
+        binTransforms(binMdTransforms(setup.projection(), setup.lattice(),
+                                      setup.symmetryMatrices())) {}
+
+  BinMDInputs binInputs() const {
+    BinMDInputs inputs;
+    inputs.transforms = binTransforms;
+    inputs.qx = events.column(EventTable::Qx).data();
+    inputs.qy = events.column(EventTable::Qy).data();
+    inputs.qz = events.column(EventTable::Qz).data();
+    inputs.signal = events.column(EventTable::Signal).data();
+    inputs.errorSq = events.column(EventTable::ErrorSq).data();
+    inputs.nEvents = events.size();
+    return inputs;
+  }
+
+  MDNormInputs normInputs() const {
+    MDNormInputs inputs;
+    inputs.transforms = normTransforms;
+    inputs.qLabDirections = setup.instrument().qLabDirections();
+    inputs.solidAngles = setup.instrument().solidAngles();
+    inputs.flux = setup.flux().view();
+    inputs.protonCharge = run.protonCharge;
+    inputs.kMin = run.kMin;
+    inputs.kMax = run.kMax;
+    return inputs;
+  }
+
+  ExperimentSetup setup;
+  EventGenerator generator;
+  RunInfo run;
+  EventTable events;
+  std::vector<M33> normTransforms;
+  std::vector<M33> binTransforms;
+};
+
+SeededWorkload& workload() {
+  static SeededWorkload instance;
+  return instance;
+}
+
+double maxRelativeDifference(const Histogram3D& a, const Histogram3D& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ref = a.data()[i];
+    const double diff = std::fabs(b.data()[i] - ref);
+    const double scale = std::fabs(ref) > 0.0 ? std::fabs(ref) : 1.0;
+    worst = std::max(worst, diff / scale);
+  }
+  return worst;
+}
+
+class AccumulateParity
+    : public ::testing::TestWithParam<AccumulateStrategy> {};
+INSTANTIATE_TEST_SUITE_P(Strategies, AccumulateParity,
+                         ::testing::Values(AccumulateStrategy::Privatized,
+                                           AccumulateStrategy::Tiled),
+                         [](const auto& paramInfo) {
+                           return std::string(
+                               accumulateStrategyName(paramInfo.param));
+                         });
+
+TEST_P(AccumulateParity, BinMDMatchesAtomicBinForBin) {
+  SeededWorkload& w = workload();
+  ThreadPool pool(4);
+  const Executor executor(Backend::ThreadPool, pool, DeviceSim::global());
+  const BinMDInputs inputs = w.binInputs();
+
+  Histogram3D reference = w.setup.makeHistogram();
+  Histogram3D referenceErrors = reference.emptyLike();
+  AccumulateOptions atomic;
+  atomic.strategy = AccumulateStrategy::Atomic;
+  runBinMD(executor, inputs, reference.gridView(),
+           referenceErrors.gridView(), atomic);
+
+  Histogram3D histogram = w.setup.makeHistogram();
+  Histogram3D errors = histogram.emptyLike();
+  AccumulateOptions options;
+  options.strategy = GetParam();
+  options.tileCapacity = 256; // small enough to exercise mid-run flushes
+  runBinMD(executor, inputs, histogram.gridView(), errors.gridView(), options);
+
+  EXPECT_LT(maxRelativeDifference(reference, histogram), 1e-12);
+  EXPECT_LT(maxRelativeDifference(referenceErrors, errors), 1e-12);
+}
+
+TEST_P(AccumulateParity, MDNormMatchesAtomicBinForBin) {
+  SeededWorkload& w = workload();
+  ThreadPool pool(4);
+  const Executor executor(Backend::ThreadPool, pool, DeviceSim::global());
+  const MDNormInputs inputs = w.normInputs();
+
+  Histogram3D reference = w.setup.makeHistogram();
+  MDNormOptions atomicOptions;
+  atomicOptions.accumulate.strategy = AccumulateStrategy::Atomic;
+  runMDNorm(executor, inputs, reference.gridView(), atomicOptions);
+
+  Histogram3D histogram = w.setup.makeHistogram();
+  MDNormOptions options;
+  options.accumulate.strategy = GetParam();
+  options.accumulate.tileCapacity = 256;
+  runMDNorm(executor, inputs, histogram.gridView(), options);
+
+  EXPECT_LT(maxRelativeDifference(reference, histogram), 1e-12);
+}
+
+TEST(AccumulateParity, AutoMatchesAtomicAcrossBackends) {
+  // The default (Auto) path every caller now takes must agree with the
+  // explicit Atomic reference on every available backend.
+  SeededWorkload& w = workload();
+  const BinMDInputs inputs = w.binInputs();
+
+  Histogram3D reference = w.setup.makeHistogram();
+  AccumulateOptions atomic;
+  atomic.strategy = AccumulateStrategy::Atomic;
+  runBinMD(Executor(Backend::Serial), inputs, reference.gridView(), atomic);
+
+  for (Backend backend : {Backend::Serial, Backend::OpenMP,
+                          Backend::ThreadPool, Backend::DeviceSim}) {
+    if (!backendAvailable(backend)) {
+      continue;
+    }
+    Histogram3D histogram = w.setup.makeHistogram();
+    runBinMD(Executor(backend), inputs, histogram.gridView());
+    EXPECT_LT(maxRelativeDifference(reference, histogram), 1e-12)
+        << backendName(backend);
+  }
+}
+
+TEST(AccumulateParity, RepeatedRunsAccumulateOnTopOfExistingContent) {
+  // Calling the kernel twice (two "runs") must add, not overwrite —
+  // Privatized folds its replicas on top of whatever the grid held.
+  SeededWorkload& w = workload();
+  ThreadPool pool(4);
+  const Executor executor(Backend::ThreadPool, pool, DeviceSim::global());
+  const BinMDInputs inputs = w.binInputs();
+
+  Histogram3D once = w.setup.makeHistogram();
+  AccumulateOptions options;
+  options.strategy = AccumulateStrategy::Privatized;
+  runBinMD(executor, inputs, once.gridView(), options);
+
+  Histogram3D twice = w.setup.makeHistogram();
+  runBinMD(executor, inputs, twice.gridView(), options);
+  runBinMD(executor, inputs, twice.gridView(), options);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    const double expected = 2.0 * once.data()[i];
+    const double scale = std::fabs(expected) > 0.0 ? std::fabs(expected) : 1.0;
+    worst = std::max(worst, std::fabs(twice.data()[i] - expected) / scale);
+  }
+  EXPECT_LT(worst, 1e-12);
+}
+
+} // namespace
+} // namespace vates

@@ -106,6 +106,81 @@ TEST(ThreadPool, ForRangeEmptyIsNoOp) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, ParseThreadCountAcceptsPlainIntegers) {
+  EXPECT_EQ(ThreadPool::parseThreadCount("1", 7), 1u);
+  EXPECT_EQ(ThreadPool::parseThreadCount("8", 7), 8u);
+  EXPECT_EQ(ThreadPool::parseThreadCount(" 12", 7), 12u); // strtol skips lead
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsMalformedInput) {
+  // Trailing garbage used to be silently accepted ("8abc" → 8).
+  EXPECT_EQ(ThreadPool::parseThreadCount("8abc", 7), 7u);
+  EXPECT_EQ(ThreadPool::parseThreadCount("abc", 7), 7u);
+  EXPECT_EQ(ThreadPool::parseThreadCount("", 7), 7u);
+  EXPECT_EQ(ThreadPool::parseThreadCount("4 ", 7), 7u);
+  EXPECT_EQ(ThreadPool::parseThreadCount("3.5", 7), 7u);
+  EXPECT_EQ(ThreadPool::parseThreadCount(nullptr, 7), 7u);
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsOutOfRangeValues) {
+  EXPECT_EQ(ThreadPool::parseThreadCount("0", 7), 7u);
+  EXPECT_EQ(ThreadPool::parseThreadCount("-3", 7), 7u);
+  // strtol overflow clamps to LONG_MAX; that must not become a size.
+  EXPECT_EQ(ThreadPool::parseThreadCount("99999999999999999999", 7), 7u);
+  EXPECT_EQ(ThreadPool::parseThreadCount("70000", 7), 7u); // > maxThreadCount
+  EXPECT_EQ(ThreadPool::parseThreadCount("65536", 7), 65536u); // boundary ok
+}
+
+TEST(ThreadPool, StressConcurrentCallersWithNestedRegions) {
+  // Several independent caller threads (the in-process MPI-rank
+  // pattern) hammer one pool with regions whose bodies themselves start
+  // nested regions.  Every region's arithmetic must come out exact and
+  // nothing may deadlock.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kIterations = 40;
+  constexpr std::size_t kItems = 257; // not a multiple of the pool size
+  const std::uint64_t perRegion = kItems * (kItems + 1) / 2;
+
+  std::vector<std::uint64_t> callerTotals(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &callerTotals, c] {
+      for (int iteration = 0; iteration < kIterations; ++iteration) {
+        std::atomic<std::uint64_t> regionSum{0};
+        pool.forRange(kItems, [&](std::size_t begin, std::size_t end,
+                                  unsigned) {
+          std::uint64_t local = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            local += i + 1;
+          }
+          // Nested region: executes inline on this worker and must see
+          // worker index 0 without disturbing the outer region.
+          std::atomic<std::uint64_t> nestedHits{0};
+          pool.forRange(8, [&](std::size_t nestedBegin, std::size_t nestedEnd,
+                               unsigned nestedWorker) {
+            if (nestedWorker == 0) {
+              nestedHits += nestedEnd - nestedBegin;
+            }
+          });
+          local += nestedHits.load() - 8; // 8 iff all inline on worker 0
+          regionSum += local;
+        });
+        callerTotals[static_cast<std::size_t>(c)] += regionSum.load();
+      }
+    });
+  }
+  for (auto& caller : callers) {
+    caller.join();
+  }
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(callerTotals[static_cast<std::size_t>(c)],
+              static_cast<std::uint64_t>(kIterations) * perRegion)
+        << "caller " << c;
+  }
+}
+
 TEST(ThreadPool, NestedRunExecutesInline) {
   ThreadPool pool(2);
   std::atomic<int> innerCalls{0};
@@ -254,6 +329,89 @@ TEST_P(ExecutorBackends, ReduceCustomOperatorMax) {
       values.size(), -1.0, [&](std::size_t i) { return values[i]; },
       [](double a, double b) { return a > b ? a : b; });
   EXPECT_DOUBLE_EQ(measured, expected);
+}
+
+TEST_P(ExecutorBackends, IndexedLoopsCoverIndexSpaceWithValidWorkers) {
+  const Executor executor(GetParam());
+  const unsigned concurrency = executor.concurrency();
+  ASSERT_GE(concurrency, 1u);
+
+  const std::size_t n = 5000;
+  std::vector<std::uint64_t> counters(n, 0);
+  std::atomic<bool> workerInRange{true};
+  executor.parallelForIndexed(n, [&](std::size_t i, unsigned worker) {
+    if (worker >= concurrency) {
+      workerInRange = false;
+    }
+    atomicNext(&counters[i]);
+  });
+  EXPECT_TRUE(workerInRange.load());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(counters[i], 1u) << "index " << i;
+  }
+
+  const std::size_t nOuter = 13, nInner = 211;
+  std::vector<std::uint64_t> counters2(nOuter * nInner, 0);
+  executor.parallelFor2DIndexed(
+      nOuter, nInner, [&](std::size_t i, std::size_t j, unsigned worker) {
+        if (worker >= concurrency) {
+          workerInRange = false;
+        }
+        atomicNext(&counters2[i * nInner + j]);
+      });
+  EXPECT_TRUE(workerInRange.load());
+  for (const auto c : counters2) {
+    ASSERT_EQ(c, 1u);
+  }
+}
+
+TEST_P(ExecutorBackends, WorkerPrivateSlotsNeverAlias) {
+  // The contract privatized accumulation rests on: at any instant at
+  // most one work item runs per worker index.  Flag any concurrent
+  // entry into the same slot.
+  const Executor executor(GetParam());
+  const unsigned concurrency = executor.concurrency();
+  std::vector<std::uint64_t> occupied(concurrency, 0);
+  std::atomic<bool> aliased{false};
+  executor.parallelForIndexed(20000, [&](std::size_t, unsigned worker) {
+    std::atomic_ref<std::uint64_t> slot(occupied[worker]);
+    if (slot.fetch_add(1, std::memory_order_acq_rel) != 0) {
+      aliased = true;
+    }
+    slot.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  EXPECT_FALSE(aliased.load());
+}
+
+TEST(Executor, DeviceSimConcurrencyReportsDeviceWorkers) {
+  // A device with its own private pool must report that pool's width,
+  // not the host ThreadPool's (the replica-count decision depends on
+  // it).
+  DeviceOptions options;
+  options.workers = 3;
+  options.jitCostMs = 0.0;
+  DeviceSim device(options);
+  const Executor executor(Backend::DeviceSim, ThreadPool::global(), device);
+  EXPECT_EQ(executor.concurrency(), 3u);
+  EXPECT_EQ(device.concurrency(), 3u);
+
+  // Worker indices observed inside a launch stay within that width.
+  std::atomic<bool> inRange{true};
+  executor.parallelForIndexed(10000, [&](std::size_t, unsigned worker) {
+    if (worker >= 3u) {
+      inRange = false;
+    }
+  });
+  EXPECT_TRUE(inRange.load());
+}
+
+TEST(Executor, DeviceSimOnGlobalPoolReportsGlobalWidth) {
+  DeviceOptions options;
+  options.workers = 0; // borrow the global pool
+  options.jitCostMs = 0.0;
+  DeviceSim device(options);
+  const Executor executor(Backend::DeviceSim, ThreadPool::global(), device);
+  EXPECT_EQ(executor.concurrency(), ThreadPool::global().size());
 }
 
 TEST_P(ExecutorBackends, AtomicHistogramMatchesSerial) {
