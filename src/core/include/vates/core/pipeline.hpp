@@ -30,6 +30,7 @@
 #include "vates/support/timer.hpp"
 
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +42,14 @@ struct ReductionResult {
   Histogram3D normalization; ///< MDNorm denominator, reduced over ranks
   Histogram3D crossSection;  ///< signal / normalization
   StageTimes times;          ///< critical path: per-stage max over ranks
+  /// Per-stage sum over all ranks and overlapped threads — total CPU
+  /// effort per stage.  With overlap enabled `times` (critical path)
+  /// can be much smaller than `timesSummed`; their ratio is the
+  /// achieved overlap.
+  StageTimes timesSummed;
+  /// End-to-end wall time of the whole reduction (all ranks), the
+  /// honest number overlapped stage times must be compared against.
+  double wallSeconds = 0.0;
   DeviceStats deviceStats;   ///< device counters for this execution
   std::size_t maxIntersectionsEstimate = 0; ///< pre-pass result (device)
   std::size_t eventsProcessed = 0;          ///< total events binned
@@ -104,8 +113,23 @@ private:
   void reduceRank(comm::Communicator& communicator, const RunSource& source,
                   std::size_t nFiles, RankState& state) const;
 
+  /// Per-rank execution context for one reduction (defined in the .cpp);
+  /// owns the staged run-invariant tables and the overlap-engine state.
+  struct RankContext;
+
+  /// The intersection pre-pass estimate depends only on (grid, detector
+  /// geometry, symmetry ops, momentum band policy) — all fixed for the
+  /// lifetime of one pipeline — so it is computed at most once per
+  /// reduction and reused for every subsequent file and rank.
+  struct IntersectionEstimateCache {
+    std::mutex mutex;
+    bool valid = false;
+    std::size_t estimate = 0;
+  };
+
   const ExperimentSetup* setup_;
   ReductionConfig config_;
+  mutable IntersectionEstimateCache intersectionCache_;
 };
 
 } // namespace vates::core

@@ -18,6 +18,38 @@ namespace vates::core {
 ///    ConvertToMD per file (reported as its own stage).
 enum class LoadMode : int { QSample = 0, RawTof = 1 };
 
+/// How much of the multi-run loop the pipeline overlaps.
+///  - Off:      Algorithm 1 verbatim — load, MDNorm, BinMD strictly
+///              sequential per file (the paper's measured mode).
+///  - Prefetch: a dedicated background thread loads (and, in RawTof
+///              mode, converts) file i+1 while file i computes, with
+///              bounded-depth backpressure so memory stays flat.
+///  - Full:     Prefetch plus concurrent MDNorm + BinMD for the current
+///              file — the two kernels write disjoint grids
+///              (normalization vs signal), so they run as parallel
+///              sibling tasks.  On Backend::DeviceSim the kernels stay
+///              sequential (a simulated device has no streams; its block
+///              executors are the parallelism) and Full behaves like
+///              Prefetch.
+enum class OverlapMode : int { Off = 0, Prefetch = 1, Full = 2 };
+
+/// "off", "prefetch", "full".
+const char* overlapModeName(OverlapMode mode) noexcept;
+
+/// Parse a mode name (case-insensitive, surrounding whitespace ignored;
+/// accepts the names above plus the aliases "none", "sequential",
+/// "load", and "concurrent").  Throws InvalidArgument for unknown names.
+OverlapMode parseOverlapMode(const std::string& name);
+
+/// Overlapped-execution knobs (see OverlapMode).
+struct OverlapOptions {
+  OverlapMode mode = OverlapMode::Off;
+  /// Bound on fully loaded runs queued ahead of the consumer; 1 is
+  /// classic double buffering (one run computing, one loaded and
+  /// waiting, one loading).
+  std::size_t prefetchDepth = 1;
+};
+
 struct ReductionConfig {
   /// Execution backend for both kernels.
   Backend backend = Backend::Serial;
@@ -39,9 +71,31 @@ struct ReductionConfig {
   /// proxies' defaults; flip for the Mantid-style ablations).
   MDNormOptions mdnorm;
 
+  /// Histogram write path for BinMD's signal (and σ²) accumulation,
+  /// independent of the MDNorm path in `mdnorm.accumulate`.
+  AccumulateOptions binmdAccumulate;
+
   /// Run the paper's pre-allocation estimator kernel before MDNorm on
-  /// the device backend (one extra launch per file, like MiniVATES.jl).
+  /// the device backend.  MiniVATES.jl launches it once per file; here
+  /// the estimate is cached per (grid, geometry) in the pipeline, so it
+  /// runs at most once per reduction.
   bool deviceIntersectionPrePass = true;
+
+  /// Overlapped execution of the multi-run loop.  The VATES_OVERLAP
+  /// environment variable ("off" / "prefetch" / "full"), when set,
+  /// overrides `overlap.mode` at pipeline construction so every
+  /// existing bench and example can ablate without code changes.
+  OverlapOptions overlap;
+
+  /// Benchmarking model of file-arrival latency: at the facility, runs
+  /// stream in from the parallel file system as the measurement
+  /// proceeds, so LOAD blocks on more than local page cache.  When
+  /// > 0, every file's load is preceded by this much blocking wait,
+  /// reported as its own "File wait" stage.  The overlap engine hides
+  /// this wait behind the previous file's compute; the sequential path
+  /// pays it in full — which is exactly the ablation
+  /// bench_ablation_pipeline measures.
+  double simulatedLoadLatencySeconds = 0.0;
 
   /// Construct from a hardware preset plus a backend choice.
   static ReductionConfig fromPreset(const HardwarePreset& preset,

@@ -27,7 +27,10 @@ public:
   /// Render the fixed-width table.  Rows, in the paper's order:
   /// UpdateEvents, MDNorm, BinMD, MDNorm + BinMD, Total.  Columns that
   /// recorded extra stages (H2D staging, pre-pass, D2H) get additional
-  /// rows between BinMD and the totals.
+  /// rows between BinMD and the totals.  When any column carries an
+  /// end-to-end wall time (addColumn from a ReductionResult), a final
+  /// "Wall" row shows it — with the overlap engine the per-stage sums
+  /// exceed the wall clock, and the gap is the overlap won.
   std::string render() const;
 
   /// Ratio helper for speedup lines: columnA.stage / columnB.stage.
@@ -38,6 +41,7 @@ private:
   struct Column {
     std::string header;
     StageTimes times;
+    double wall = -1.0; ///< end-to-end wall seconds; < 0 = not recorded
   };
 
   std::string title_;

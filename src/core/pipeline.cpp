@@ -4,10 +4,16 @@
 #include "vates/kernels/mdnorm.hpp"
 #include "vates/kernels/transforms.hpp"
 #include "vates/parallel/device_array.hpp"
+#include "vates/parallel/prefetcher.hpp"
 #include "vates/support/error.hpp"
 #include "vates/support/log.hpp"
+#include "vates/workflow/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
 
 namespace vates::core {
 
@@ -18,6 +24,18 @@ ReductionPipeline::ReductionPipeline(const ExperimentSetup& setup,
   VATES_REQUIRE(backendAvailable(config_.backend),
                 std::string("backend unavailable: ") +
                     backendName(config_.backend));
+  // Environment override so existing drivers and benchmarks can switch
+  // the overlap engine without a recompile (same spirit as
+  // VATES_NUM_THREADS).  A bad value is reported and ignored rather
+  // than failing a reduction that never asked for overlap.
+  if (const char* env = std::getenv("VATES_OVERLAP")) {
+    try {
+      config_.overlap.mode = parseOverlapMode(env);
+    } catch (const Error& error) {
+      VATES_LOG_WARN("VATES_OVERLAP=\"" << env
+                                        << "\" ignored: " << error.what());
+    }
+  }
 }
 
 ReductionPipeline::RunSource ReductionPipeline::convertingSource(
@@ -119,11 +137,39 @@ ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
                                              std::size_t nFiles) const {
   const int nRanks = config_.ranks;
   const DeviceStats statsBefore = DeviceSim::global().stats();
+  const WallTimer wallTimer;
+
+  // Optional file-arrival latency model: charge the wait to its own
+  // stage so reports keep it separate from the real load cost.  The
+  // wait happens inside the RunSource, i.e. on the prefetch thread when
+  // overlap is enabled — which is what lets the engine hide it.
+  const RunSource* activeSource = &source;
+  RunSource delayedSource;
+  if (config_.simulatedLoadLatencySeconds > 0.0) {
+    delayedSource = [this, &source](std::size_t fileIndex, StageTimes& times) {
+      const WallTimer waitTimer;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config_.simulatedLoadLatencySeconds));
+      times.add("File wait", waitTimer.seconds());
+      return source(fileIndex, times);
+    };
+    activeSource = &delayedSource;
+  }
+
+  // The pre-pass estimate is cached for the duration of one reduction;
+  // a new reduction (possibly a different workload through the same
+  // pipeline) measures afresh.
+  {
+    std::lock_guard<std::mutex> lock(intersectionCache_.mutex);
+    intersectionCache_.valid = false;
+    intersectionCache_.estimate = 0;
+  }
 
   // Shared result slots written by rank 0 / aggregated after the join.
   ReductionResult result{setup_->makeHistogram(), setup_->makeHistogram(),
-                         setup_->makeHistogram(), StageTimes{}, DeviceStats{},
-                         0, 0, std::nullopt, std::nullopt};
+                         setup_->makeHistogram(), StageTimes{}, StageTimes{},
+                         0.0,        DeviceStats{}, 0,
+                         0,          std::nullopt,  std::nullopt};
   std::vector<StageTimes> rankTimes(static_cast<std::size_t>(nRanks));
   std::vector<std::size_t> rankMaxIntersections(
       static_cast<std::size_t>(nRanks), 0);
@@ -137,7 +183,7 @@ ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
     }
     const auto rank = static_cast<std::size_t>(communicator.rank());
 
-    reduceRank(communicator, source, nFiles, state);
+    reduceRank(communicator, *activeSource, nFiles, state);
     rankTimes[rank] = std::move(state.times);
     rankMaxIntersections[rank] = state.maxIntersections;
     rankEvents[rank] = state.events;
@@ -159,6 +205,7 @@ ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
   for (int rank = 0; rank < nRanks; ++rank) {
     const auto r = static_cast<std::size_t>(rank);
     result.times.mergeMax(rankTimes[r]);
+    result.timesSummed.merge(rankTimes[r]);
     result.maxIntersectionsEstimate =
         std::max(result.maxIntersectionsEstimate, rankMaxIntersections[r]);
     result.eventsProcessed += rankEvents[r];
@@ -188,82 +235,143 @@ ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
       statsAfter.jitCompilations - statsBefore.jitCompilations;
   result.deviceStats.jitSeconds =
       statsAfter.jitSeconds - statsBefore.jitSeconds;
+  result.wallSeconds = wallTimer.seconds();
   return result;
 }
 
-void ReductionPipeline::reduceRank(comm::Communicator& communicator,
-                                   const RunSource& source,
-                                   std::size_t nFiles,
-                                   RankState& state) const {
-  Histogram3D& outSignal = state.signal;
-  Histogram3D& outNorm = state.normalization;
-  StageTimes& outTimes = state.times;
-  const bool trackErrors = state.signalErrorSq.has_value();
-  const ExperimentSetup& setup = *setup_;
-  const auto range = communicator.blockRange(nFiles);
-  const bool onDevice = config_.backend == Backend::DeviceSim;
-  const Executor executor(config_.backend);
-  DeviceSim& device = DeviceSim::global();
+/// Per-rank execution context: the staged run-invariant tables, the
+/// grid views the kernels write, and the overlap-engine state.  One
+/// instance lives for the duration of one rank's file loop.
+struct ReductionPipeline::RankContext {
+  const ReductionPipeline& pipeline;
+  const ExperimentSetup& setup;
+  const ReductionConfig& config;
+  RankState& state;
+  const bool onDevice;
+  const bool trackErrors;
+  const Executor executor;
+  DeviceSim& device;
 
-  // Detector tables and the flux table are run-invariant: staged once.
-  const std::span<const V3> qDirections = setup.instrument().qLabDirections();
-  const std::span<const double> solidAngles = setup.instrument().solidAngles();
-  FluxTableView fluxView = setup.flux().view();
-
+  // Run-invariant tables: detector geometry, flux, and the BinMD
+  // transform set (no goniometer dependency — hoisted out of the file
+  // loop, unlike the per-run MDNorm transforms).
+  FluxTableView fluxView;
+  std::vector<M33> binTransforms;
   DeviceArray<V3> dQDirections;
   DeviceArray<double> dSolidAngles;
   DeviceArray<double> dFlux;
   DeviceArray<double> dSignalBins;
   DeviceArray<double> dNormBins;
   DeviceArray<double> dErrorBins;
-  std::span<const V3> kernelQDirections = qDirections;
-  std::span<const double> kernelSolidAngles = solidAngles;
+  DeviceArray<M33> dBinTransforms;
+  std::span<const V3> kernelQDirections;
+  std::span<const double> kernelSolidAngles;
+  std::span<const M33> kernelBinTransforms;
 
-  GridView signalGrid = outSignal.gridView();
-  GridView normGrid = outNorm.gridView();
+  GridView signalGrid;
+  GridView normGrid;
   GridView errorGrid;
-  if (trackErrors) {
-    errorGrid = state.signalErrorSq->gridView();
+
+  // Full-overlap sibling state: BinMD runs on its own executor so the
+  // two kernels overlap instead of serializing on the global pool's
+  // region lock.  The sibling pool deliberately has the SAME width as
+  // the primary (oversubscription, not partitioning): the chunk→worker
+  // mapping and the privatized-replica merge order depend on the pool
+  // width, so equal widths are what keep the overlapped path
+  // bit-identical to the sequential one.
+  std::optional<ThreadPool> siblingPool;
+  std::optional<Executor> siblingExecutor;
+
+  RankContext(const ReductionPipeline& owner, RankState& rankState)
+      : pipeline(owner), setup(*owner.setup_), config(owner.config_),
+        state(rankState),
+        onDevice(owner.config_.backend == Backend::DeviceSim),
+        trackErrors(rankState.signalErrorSq.has_value()),
+        executor(owner.config_.backend), device(DeviceSim::global()),
+        fluxView(setup.flux().view()),
+        kernelQDirections(setup.instrument().qLabDirections()),
+        kernelSolidAngles(setup.instrument().solidAngles()),
+        signalGrid(rankState.signal.gridView()),
+        normGrid(rankState.normalization.gridView()) {
+    if (trackErrors) {
+      errorGrid = state.signalErrorSq->gridView();
+    }
   }
 
-  if (onDevice) {
-    ScopedStage stage(outTimes, "H2D staging");
-    dQDirections = DeviceArray<V3>(device, qDirections);
-    dSolidAngles = DeviceArray<double>(device, solidAngles);
+  /// MDNorm ∥ BinMD applies on the host backends; DeviceSim has no
+  /// concurrent streams (the block executors are its parallelism), so
+  /// Full degrades to Prefetch there.
+  bool concurrentKernels() const noexcept {
+    return config.overlap.mode == OverlapMode::Full && !onDevice;
+  }
+
+  void prepareSiblings() {
+    if (!concurrentKernels()) {
+      return;
+    }
+    if (config.backend == Backend::ThreadPool) {
+      siblingPool.emplace(executor.pool().size());
+      siblingExecutor.emplace(Backend::ThreadPool, *siblingPool, device);
+    } else {
+      // Serial executes inline on the sibling scheduler thread; OpenMP
+      // teams are per-invoking-thread already.
+      siblingExecutor.emplace(config.backend);
+    }
+  }
+
+  /// Stage everything that does not change across files.
+  void stageInvariants(StageTimes& times) {
+    binTransforms = binMdTransforms(setup.projection(), setup.lattice(),
+                                    setup.symmetryMatrices());
+    kernelBinTransforms = binTransforms;
+    if (!onDevice) {
+      return;
+    }
+    ScopedStage stage(times, "H2D staging");
+    dQDirections = DeviceArray<V3>(device, kernelQDirections);
+    dSolidAngles = DeviceArray<double>(device, kernelSolidAngles);
     dFlux = DeviceArray<double>(device, setup.flux().table());
+    dBinTransforms = DeviceArray<M33>(device, binTransforms);
     fluxView.cumulative = dFlux.deviceData();
     kernelQDirections =
         std::span<const V3>(dQDirections.deviceData(), dQDirections.size());
     kernelSolidAngles = std::span<const double>(dSolidAngles.deviceData(),
                                                 dSolidAngles.size());
+    kernelBinTransforms = std::span<const M33>(dBinTransforms.deviceData(),
+                                               dBinTransforms.size());
     // Device-resident histograms for the whole file loop.
-    dSignalBins = DeviceArray<double>(device, outSignal.size());
-    dNormBins = DeviceArray<double>(device, outNorm.size());
+    dSignalBins = DeviceArray<double>(device, state.signal.size());
+    dNormBins = DeviceArray<double>(device, state.normalization.size());
     fillOnDevice(dSignalBins, 0.0);
     fillOnDevice(dNormBins, 0.0);
-    signalGrid = outSignal.gridView(dSignalBins.deviceData());
-    normGrid = outNorm.gridView(dNormBins.deviceData());
+    signalGrid = state.signal.gridView(dSignalBins.deviceData());
+    normGrid = state.normalization.gridView(dNormBins.deviceData());
     if (trackErrors) {
-      dErrorBins = DeviceArray<double>(device, outSignal.size());
+      dErrorBins = DeviceArray<double>(device, state.signal.size());
       fillOnDevice(dErrorBins, 0.0);
       errorGrid = state.signalErrorSq->gridView(dErrorBins.deviceData());
     }
   }
 
-  for (std::size_t fileIndex = range.begin; fileIndex < range.end;
-       ++fileIndex) {
-    // -- LOAD events, rotations, charge (UpdateEvents [+ ConvertToMD]) --
-    const RunFileContent content = source(fileIndex, outTimes);
-    state.events += content.events.size();
+  /// One run's kernel inputs plus the staging that keeps them alive.
+  /// The event columns stay owned by the RunFileContent, which the
+  /// caller keeps alive while the kernels run.
+  struct StagedRun {
+    std::vector<M33> normTransforms;
+    DeviceArray<M33> dNormTransforms;
+    DeviceArray<double> dQx, dQy, dQz, dSignal, dErrorSq;
+    DeviceArray<V3> dTrajectories;
+    MDNormInputs normInputs;
+    BinMDInputs binInputs;
+  };
 
+  StagedRun stageRun(const RunFileContent& content, StageTimes& times) {
+    StagedRun staged;
     const RunInfo& run = content.run;
-    const std::vector<M33> normTransforms =
+    staged.normTransforms =
         mdNormTransforms(setup.projection(), setup.lattice(),
                          setup.symmetryMatrices(), run.goniometerR);
-    const std::vector<M33> binTransforms = binMdTransforms(
-        setup.projection(), setup.lattice(), setup.symmetryMatrices());
 
-    // Event columns and per-run transform tables (device staging).
     const std::span<const double> qx = content.events.column(EventTable::Qx);
     const std::span<const double> qy = content.events.column(EventTable::Qy);
     const std::span<const double> qz = content.events.column(EventTable::Qz);
@@ -272,85 +380,192 @@ void ReductionPipeline::reduceRank(comm::Communicator& communicator,
     const std::span<const double> errorSq =
         content.events.column(EventTable::ErrorSq);
 
-    DeviceArray<M33> dNormTransforms;
-    DeviceArray<M33> dBinTransforms;
-    DeviceArray<double> dQx, dQy, dQz, dSignal, dErrorSq;
+    staged.normInputs.qLabDirections = kernelQDirections;
+    staged.normInputs.solidAngles = kernelSolidAngles;
+    staged.normInputs.flux = fluxView;
+    staged.normInputs.protonCharge = run.protonCharge;
+    staged.normInputs.kMin = run.kMin;
+    staged.normInputs.kMax = run.kMax;
 
-    MDNormInputs normInputs;
-    normInputs.qLabDirections = kernelQDirections;
-    normInputs.solidAngles = kernelSolidAngles;
-    normInputs.flux = fluxView;
-    normInputs.protonCharge = run.protonCharge;
-    normInputs.kMin = run.kMin;
-    normInputs.kMax = run.kMax;
-
-    BinMDInputs binInputs;
-    binInputs.nEvents = content.events.size();
+    staged.binInputs.transforms = kernelBinTransforms;
+    staged.binInputs.nEvents = content.events.size();
 
     if (onDevice) {
-      ScopedStage stage(outTimes, "H2D staging");
-      dNormTransforms = DeviceArray<M33>(device, normTransforms);
-      dBinTransforms = DeviceArray<M33>(device, binTransforms);
-      dQx = DeviceArray<double>(device, qx);
-      dQy = DeviceArray<double>(device, qy);
-      dQz = DeviceArray<double>(device, qz);
-      dSignal = DeviceArray<double>(device, signal);
-      normInputs.transforms = std::span<const M33>(
-          dNormTransforms.deviceData(), dNormTransforms.size());
-      binInputs.transforms = std::span<const M33>(dBinTransforms.deviceData(),
-                                                  dBinTransforms.size());
-      binInputs.qx = dQx.deviceData();
-      binInputs.qy = dQy.deviceData();
-      binInputs.qz = dQz.deviceData();
-      binInputs.signal = dSignal.deviceData();
+      ScopedStage stage(times, "H2D staging");
+      staged.dNormTransforms = DeviceArray<M33>(device, staged.normTransforms);
+      staged.dQx = DeviceArray<double>(device, qx);
+      staged.dQy = DeviceArray<double>(device, qy);
+      staged.dQz = DeviceArray<double>(device, qz);
+      staged.dSignal = DeviceArray<double>(device, signal);
+      staged.normInputs.transforms = std::span<const M33>(
+          staged.dNormTransforms.deviceData(), staged.dNormTransforms.size());
+      staged.binInputs.qx = staged.dQx.deviceData();
+      staged.binInputs.qy = staged.dQy.deviceData();
+      staged.binInputs.qz = staged.dQz.deviceData();
+      staged.binInputs.signal = staged.dSignal.deviceData();
       if (trackErrors) {
-        dErrorSq = DeviceArray<double>(device, errorSq);
-        binInputs.errorSq = dErrorSq.deviceData();
+        staged.dErrorSq = DeviceArray<double>(device, errorSq);
+        staged.binInputs.errorSq = staged.dErrorSq.deviceData();
       }
     } else {
-      normInputs.transforms = normTransforms;
-      binInputs.transforms = binTransforms;
-      binInputs.qx = qx.data();
-      binInputs.qy = qy.data();
-      binInputs.qz = qz.data();
-      binInputs.signal = signal.data();
-      binInputs.errorSq = errorSq.data();
+      staged.normInputs.transforms = staged.normTransforms;
+      staged.binInputs.qx = qx.data();
+      staged.binInputs.qy = qy.data();
+      staged.binInputs.qz = qz.data();
+      staged.binInputs.signal = signal.data();
+      staged.binInputs.errorSq = errorSq.data();
     }
+    return staged;
+  }
 
-    // -- MDNorm += MDNorm(geometry, flux) --------------------------------
-    if (onDevice && config_.deviceIntersectionPrePass) {
-      // MiniVATES.jl's extra sizing kernel, once per file.
+  /// MiniVATES.jl's extra sizing kernel — fused and cached.  The fused
+  /// pass computes the op × detector trajectory table once and hands it
+  /// to both estimateMaxIntersections and this file's runMDNorm, so the
+  /// transform work is not done three times; the cache means later
+  /// files (and other ranks) skip the pre-pass entirely, because the
+  /// estimate is only reported / used for capacity and the momentum
+  /// band it bounds is the same run-synthesis policy for every file.
+  void runPrePass(StagedRun& staged, StageTimes& times) {
+    if (!onDevice || !config.deviceIntersectionPrePass) {
+      return;
+    }
+    IntersectionEstimateCache& cache = pipeline.intersectionCache_;
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    if (!cache.valid) {
       WallTimer prePassTimer;
-      state.maxIntersections = std::max(
-          state.maxIntersections,
-          estimateMaxIntersections(executor, normInputs, normGrid,
-                                   config_.mdnorm.search));
-      outTimes.add("MDNorm pre-pass", prePassTimer.seconds());
+      const std::size_t nTrajectories =
+          staged.normInputs.transforms.size() * kernelQDirections.size();
+      staged.dTrajectories = DeviceArray<V3>(device, nTrajectories);
+      computeTrajectories(executor, staged.normInputs.transforms,
+                          kernelQDirections, staged.dTrajectories.deviceData());
+      staged.normInputs.trajectories = std::span<const V3>(
+          staged.dTrajectories.deviceData(), nTrajectories);
+      cache.estimate = estimateMaxIntersections(
+          executor, staged.normInputs, normGrid, config.mdnorm.search);
+      cache.valid = true;
+      times.add("MDNorm pre-pass", prePassTimer.seconds());
     }
-    {
-      ScopedStage stage(outTimes, "MDNorm");
-      runMDNorm(executor, normInputs, normGrid, config_.mdnorm);
-    }
+    state.maxIntersections =
+        std::max(state.maxIntersections, cache.estimate);
+  }
 
-    // -- BinMD += BinMD(events) ------------------------------------------
+  /// The sequential kernel order: MDNorm then BinMD, both on the
+  /// primary executor.
+  void computeRun(const StagedRun& staged, StageTimes& times) const {
     {
-      ScopedStage stage(outTimes, "BinMD");
+      ScopedStage stage(times, "MDNorm");
+      runMDNorm(executor, staged.normInputs, normGrid, config.mdnorm);
+    }
+    {
+      ScopedStage stage(times, "BinMD");
       if (trackErrors) {
-        runBinMD(executor, binInputs, signalGrid, errorGrid);
+        runBinMD(executor, staged.binInputs, signalGrid, errorGrid,
+                 config.binmdAccumulate);
       } else {
-        runBinMD(executor, binInputs, signalGrid);
+        runBinMD(executor, staged.binInputs, signalGrid,
+                 config.binmdAccumulate);
       }
     }
   }
 
-  if (onDevice) {
-    ScopedStage stage(outTimes, "D2H results");
-    copyToHost(outSignal.data(), dSignalBins);
-    copyToHost(outNorm.data(), dNormBins);
+  /// Full overlap: MDNorm and BinMD write disjoint grids, so they run
+  /// as sibling tasks on a two-worker scheduler — MDNorm on the primary
+  /// executor, BinMD on the equal-width sibling.  Each grid still sees
+  /// exactly the accumulation order of the sequential path.  Stage
+  /// times are recorded on the thread that ran the kernel and merged
+  /// under the shared sink's mutex.
+  void computeConcurrent(const StagedRun& staged,
+                         SharedStageTimes& shared) const {
+    const wf::Scheduler scheduler(2);
+    scheduler.runSiblings(
+        {{"MDNorm",
+          [&] {
+            ScopedSharedStage stage(shared, "MDNorm");
+            runMDNorm(executor, staged.normInputs, normGrid, config.mdnorm);
+          }},
+         {"BinMD", [&] {
+            ScopedSharedStage stage(shared, "BinMD");
+            if (trackErrors) {
+              runBinMD(*siblingExecutor, staged.binInputs, signalGrid,
+                       errorGrid, config.binmdAccumulate);
+            } else {
+              runBinMD(*siblingExecutor, staged.binInputs, signalGrid,
+                       config.binmdAccumulate);
+            }
+          }}});
+  }
+
+  void download(StageTimes& times) {
+    if (!onDevice) {
+      return;
+    }
+    ScopedStage stage(times, "D2H results");
+    copyToHost(state.signal.data(), dSignalBins);
+    copyToHost(state.normalization.data(), dNormBins);
     if (trackErrors) {
       copyToHost(state.signalErrorSq->data(), dErrorBins);
     }
   }
+};
+
+void ReductionPipeline::reduceRank(comm::Communicator& communicator,
+                                   const RunSource& source,
+                                   std::size_t nFiles,
+                                   RankState& state) const {
+  StageTimes& outTimes = state.times;
+  const auto range = communicator.blockRange(nFiles);
+
+  RankContext context(*this, state);
+  context.stageInvariants(outTimes);
+  context.prepareSiblings();
+
+  if (config_.overlap.mode == OverlapMode::Off) {
+    for (std::size_t fileIndex = range.begin; fileIndex < range.end;
+         ++fileIndex) {
+      // -- LOAD events, rotations, charge (UpdateEvents [+ ConvertToMD]) --
+      const RunFileContent content = source(fileIndex, outTimes);
+      state.events += content.events.size();
+      RankContext::StagedRun staged = context.stageRun(content, outTimes);
+      context.runPrePass(staged, outTimes);
+      // -- MDNorm += MDNorm(geometry, flux); BinMD += BinMD(events) ------
+      context.computeRun(staged, outTimes);
+    }
+  } else {
+    // Overlapped engine: LOAD for file i+1 happens on the prefetch
+    // thread while file i computes; items arrive strictly in file
+    // order, so each grid's accumulation order matches the sequential
+    // loop exactly.  Load-side stage times travel with each item and
+    // are merged by the consumer.
+    struct LoadedRun {
+      StageTimes times;
+      std::optional<RunFileContent> content;
+    };
+    Prefetcher<LoadedRun> prefetcher(
+        range.begin, range.end, config_.overlap.prefetchDepth,
+        [&](std::size_t fileIndex) {
+          LoadedRun loaded;
+          loaded.content.emplace(source(fileIndex, loaded.times));
+          return loaded;
+        });
+    SharedStageTimes sharedTimes;
+    const std::size_t nRuns = prefetcher.count();
+    for (std::size_t i = 0; i < nRuns; ++i) {
+      LoadedRun loaded = prefetcher.next();
+      outTimes.merge(loaded.times);
+      state.events += loaded.content->events.size();
+      RankContext::StagedRun staged =
+          context.stageRun(*loaded.content, outTimes);
+      context.runPrePass(staged, outTimes);
+      if (context.concurrentKernels()) {
+        context.computeConcurrent(staged, sharedTimes);
+      } else {
+        context.computeRun(staged, outTimes);
+      }
+    }
+    outTimes.merge(sharedTimes.take());
+  }
+
+  context.download(outTimes);
 }
 
 } // namespace vates::core

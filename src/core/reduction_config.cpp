@@ -1,8 +1,36 @@
 #include "vates/core/reduction_config.hpp"
 
+#include "vates/support/error.hpp"
 #include "vates/support/strings.hpp"
 
 namespace vates::core {
+
+const char* overlapModeName(OverlapMode mode) noexcept {
+  switch (mode) {
+  case OverlapMode::Off:
+    return "off";
+  case OverlapMode::Prefetch:
+    return "prefetch";
+  case OverlapMode::Full:
+    return "full";
+  }
+  return "off";
+}
+
+OverlapMode parseOverlapMode(const std::string& name) {
+  const std::string lower = toLower(trim(name));
+  if (lower == "off" || lower == "none" || lower == "sequential") {
+    return OverlapMode::Off;
+  }
+  if (lower == "prefetch" || lower == "load") {
+    return OverlapMode::Prefetch;
+  }
+  if (lower == "full" || lower == "concurrent") {
+    return OverlapMode::Full;
+  }
+  throw InvalidArgument("unknown overlap mode '" + name +
+                        "' (available: off, prefetch, full)");
+}
 
 ReductionConfig ReductionConfig::fromPreset(const HardwarePreset& preset,
                                             Backend backend) {
@@ -13,12 +41,13 @@ ReductionConfig ReductionConfig::fromPreset(const HardwarePreset& preset,
 }
 
 std::string ReductionConfig::summary() const {
-  return strfmt("backend=%s ranks=%d load=%s search=%s sort=%s prepass=%s",
-                backendName(backend), ranks,
-                loadMode == LoadMode::RawTof ? "raw-tof" : "q-sample",
-                mdnorm.search == PlaneSearch::Roi ? "roi" : "linear",
-                mdnorm.sortPrimitiveKeys ? "keys" : "structs",
-                deviceIntersectionPrePass ? "on" : "off");
+  return strfmt(
+      "backend=%s ranks=%d load=%s search=%s sort=%s prepass=%s overlap=%s",
+      backendName(backend), ranks,
+      loadMode == LoadMode::RawTof ? "raw-tof" : "q-sample",
+      mdnorm.search == PlaneSearch::Roi ? "roi" : "linear",
+      mdnorm.sortPrimitiveKeys ? "keys" : "structs",
+      deviceIntersectionPrePass ? "on" : "off", overlapModeName(overlap.mode));
 }
 
 } // namespace vates::core

@@ -12,11 +12,11 @@ WctTable::WctTable(std::string title) : title_(std::move(title)) {}
 
 void WctTable::addColumn(const std::string& header,
                          const ReductionResult& result) {
-  addColumn(header, result.times);
+  columns_.push_back(Column{header, result.times, result.wallSeconds});
 }
 
 void WctTable::addColumn(const std::string& header, const StageTimes& times) {
-  columns_.push_back(Column{header, times});
+  columns_.push_back(Column{header, times, -1.0});
 }
 
 std::string WctTable::render() const {
@@ -60,6 +60,12 @@ std::string WctTable::render() const {
     return c.times.total("MDNorm") + c.times.total("BinMD");
   });
   row("Total", [](const Column& c) { return c.times.grandTotal(); });
+  const bool anyWall =
+      std::any_of(columns_.begin(), columns_.end(),
+                  [](const Column& c) { return c.wall >= 0.0; });
+  if (anyWall) {
+    row("Wall", [](const Column& c) { return c.wall >= 0.0 ? c.wall : 0.0; });
+  }
   return os.str();
 }
 

@@ -61,6 +61,14 @@ struct MDNormInputs {
   /// masked pixels contribute no normalization, matching the masked
   /// events dropped by ConvertToMD.
   const std::uint8_t* detectorMask = nullptr;
+  /// Optional precomputed trajectory directions t = transforms[op] ·
+  /// qLabDirections[detector], flattened as [op × nDetectors +
+  /// detector].  When non-empty (length must be nOps × nDetectors) the
+  /// kernels skip the per-work-item matrix multiply — the fused
+  /// intersection pass computes this table once per run and shares it
+  /// between estimateMaxIntersections and runMDNorm instead of each
+  /// redoing the full op × detector transform.
+  std::span<const V3> trajectories;
 };
 
 /// Run MDNorm for one run, accumulating into \p normalization (which
@@ -78,5 +86,22 @@ std::size_t estimateMaxIntersections(const Executor& executor,
                                      const MDNormInputs& inputs,
                                      const GridView& grid,
                                      PlaneSearch search = PlaneSearch::Roi);
+
+/// The fused intersection pass's first half: fill \p out (length nOps ×
+/// nDetectors, flattened op-major) with t = transforms[op] ·
+/// qDirections[detector].  On Backend::DeviceSim \p out must be
+/// device-resident and the input spans device-staged, like any kernel
+/// argument.  The products are bit-identical to what the kernels
+/// compute inline, so consuming a precomputed table cannot change
+/// results.
+void computeTrajectories(const Executor& executor,
+                         std::span<const M33> transforms,
+                         std::span<const V3> qDirections, V3* out);
+
+/// Capacity (in Intersection entries) of the calling thread's MDNorm
+/// scratch buffer — test hook for the shrink-on-smaller-grid behavior.
+/// Meaningful after running a kernel on Backend::Serial (which executes
+/// on the calling thread).
+std::size_t mdnormScratchCapacityForTesting();
 
 } // namespace vates

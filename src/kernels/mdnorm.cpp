@@ -19,10 +19,24 @@ struct Scratch {
   std::vector<Intersection> intersections;
   std::vector<double> keys;
 
+  /// Keep at least \p capacity entries available.  The buffers persist
+  /// across kernels and grids (thread_local), so when a much smaller
+  /// grid follows a huge one the oversized allocation is released
+  /// instead of pinning the high-water footprint forever.  The 4×
+  /// hysteresis and the absolute floor keep alternating grids from
+  /// reallocating every launch; within one kernel the capacity is
+  /// constant, so either branch is taken at most once per launch.
   void ensure(std::size_t capacity) {
+    constexpr std::size_t kShrinkFloor = 4096;
     if (intersections.size() < capacity) {
       intersections.resize(capacity);
       keys.resize(capacity);
+    } else if (intersections.size() > capacity * 4 &&
+               intersections.size() > kShrinkFloor) {
+      intersections.resize(capacity);
+      intersections.shrink_to_fit();
+      keys.resize(capacity);
+      keys.shrink_to_fit();
     }
   }
 };
@@ -44,10 +58,15 @@ void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
 
   const std::size_t nOps = inputs.transforms.size();
   const std::size_t nDetectors = inputs.qLabDirections.size();
+  VATES_REQUIRE(inputs.trajectories.empty() ||
+                    inputs.trajectories.size() == nOps * nDetectors,
+                "trajectory table length must be nOps × nDetectors");
   const std::size_t capacity = maxIntersections(normalization);
 
   const M33* transforms = inputs.transforms.data();
   const V3* qDirections = inputs.qLabDirections.data();
+  const V3* trajectories =
+      inputs.trajectories.empty() ? nullptr : inputs.trajectories.data();
   const double* solidAngles = inputs.solidAngles.data();
   const FluxTableView flux = inputs.flux;
   const double charge = inputs.protonCharge;
@@ -71,7 +90,9 @@ void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
         s.ensure(capacity);
         Intersection* buffer = s.intersections.data();
 
-        const V3 t = transforms[op] * qDirections[detector];
+        const V3 t = trajectories != nullptr
+                         ? trajectories[op * nDetectors + detector]
+                         : transforms[op] * qDirections[detector];
         const std::size_t count =
             calculateIntersections(grid, t, kMin, kMax, search, buffer);
         if (count < 2) {
@@ -140,10 +161,15 @@ std::size_t estimateMaxIntersections(const Executor& executor,
                                      PlaneSearch search) {
   const std::size_t nOps = inputs.transforms.size();
   const std::size_t nDetectors = inputs.qLabDirections.size();
+  VATES_REQUIRE(inputs.trajectories.empty() ||
+                    inputs.trajectories.size() == nOps * nDetectors,
+                "trajectory table length must be nOps × nDetectors");
   const std::size_t capacity = maxIntersections(grid);
 
   const M33* transforms = inputs.transforms.data();
   const V3* qDirections = inputs.qLabDirections.data();
+  const V3* trajectories =
+      inputs.trajectories.empty() ? nullptr : inputs.trajectories.data();
   const double kMin = inputs.kMin;
   const double kMax = inputs.kMax;
 
@@ -158,14 +184,38 @@ std::size_t estimateMaxIntersections(const Executor& executor,
       [=](std::size_t flat) {
         Scratch& s = scratch();
         s.ensure(capacity);
-        const std::size_t op = flat / nDetectors;
-        const std::size_t detector = flat % nDetectors;
-        const V3 t = transforms[op] * qDirections[detector];
+        const V3 t = trajectories != nullptr
+                         ? trajectories[flat]
+                         : transforms[flat / nDetectors] *
+                               qDirections[flat % nDetectors];
         return calculateIntersections(grid, t, kMin, kMax, search,
                                       s.intersections.data());
       },
       [](std::size_t a, std::size_t b) { return a > b ? a : b; },
       "mdnorm_max_intersections");
+}
+
+void computeTrajectories(const Executor& executor,
+                         std::span<const M33> transforms,
+                         std::span<const V3> qDirections, V3* out) {
+  const std::size_t nOps = transforms.size();
+  const std::size_t nDetectors = qDirections.size();
+  VATES_REQUIRE(nDetectors == 0 ||
+                    nOps <= std::numeric_limits<std::size_t>::max() / nDetectors,
+                "op × detector index space overflows std::size_t");
+  const M33* transformData = transforms.data();
+  const V3* directionData = qDirections.data();
+  executor.parallelFor(
+      nOps * nDetectors,
+      [=](std::size_t flat) {
+        out[flat] =
+            transformData[flat / nDetectors] * directionData[flat % nDetectors];
+      },
+      "mdnorm_trajectories");
+}
+
+std::size_t mdnormScratchCapacityForTesting() {
+  return scratch().intersections.size();
 }
 
 } // namespace vates

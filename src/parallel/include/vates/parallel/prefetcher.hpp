@@ -1,0 +1,152 @@
+#pragma once
+/// \file prefetcher.hpp
+/// Bounded, in-order prefetch queue: the async-loading primitive behind
+/// the pipeline's overlapped execution engine.
+///
+/// Algorithm 1's outer loop pays LOAD and COMPUTE serially; the paper's
+/// Tables II–VI show load is a large fixed cost.  A Prefetcher moves the
+/// produce step (file load + transpose, or load + ConvertToMD) onto one
+/// dedicated background thread so item i+1 is being produced while item
+/// i is consumed — classic double buffering when depth == 1.
+///
+/// Memory stays flat through *backpressure*: the producer blocks before
+/// producing item i+k+1 until the consumer has taken item i, so at most
+/// `depth` finished items sit in the queue plus one being produced.
+/// The high-water mark of queued items is tracked and exposed so tests
+/// can assert the bound is honored.
+///
+/// Ordering: items are produced and delivered strictly in index order —
+/// the consumer observes exactly the sequence a serial loop would, which
+/// is what lets the overlapped pipeline keep bit-identical accumulation
+/// order per grid.
+///
+/// Error handling: an exception thrown by the producer is captured; the
+/// consumer receives every item completed before the failure, then the
+/// exception is rethrown from next().  Destroying the prefetcher early
+/// (consumer abandons the sequence) wakes and joins the producer without
+/// producing further items.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace vates {
+
+template <typename T>
+class Prefetcher {
+public:
+  using Producer = std::function<T(std::size_t index)>;
+
+  /// Start producing items for indices [\p begin, \p end) on a
+  /// background thread, keeping at most \p depth finished items queued
+  /// (depth >= 1; 1 is double buffering).
+  Prefetcher(std::size_t begin, std::size_t end, std::size_t depth,
+             Producer produce)
+      : next_(begin), end_(end), depth_(depth == 0 ? 1 : depth),
+        produce_(std::move(produce)) {
+    if (begin < end) {
+      thread_ = std::thread([this] { producerLoop(); });
+    }
+  }
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  ~Prefetcher() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+    }
+    spaceAvailable_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+  /// Number of items this prefetcher will deliver in total.
+  std::size_t count() const noexcept { return end_ - next_; }
+
+  /// Configured queue bound.
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Block until the next item (in index order) is ready and return it.
+  /// Rethrows the producer's exception once all items produced before
+  /// the failure have been delivered.  Must not be called more than
+  /// count() times (or past a rethrown error).
+  T next() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    itemAvailable_.wait(lock, [this] { return !queue_.empty() || error_; });
+    if (queue_.empty()) {
+      std::rethrow_exception(error_);
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    spaceAvailable_.notify_all();
+    return item;
+  }
+
+  /// Maximum number of finished items ever queued at once — never
+  /// exceeds depth(); exposed for the backpressure tests.
+  std::size_t highWater() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return highWater_;
+  }
+
+private:
+  void producerLoop() {
+    for (std::size_t index = next_; index < end_; ++index) {
+      {
+        // Backpressure: do not even *start* producing the next item
+        // until there is queue space, so memory stays bounded by
+        // depth queued items + 1 in flight.
+        std::unique_lock<std::mutex> lock(mutex_);
+        spaceAvailable_.wait(
+            lock, [this] { return queue_.size() < depth_ || cancelled_; });
+        if (cancelled_) {
+          return;
+        }
+      }
+      std::optional<T> item;
+      try {
+        item.emplace(produce_(index));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        error_ = std::current_exception();
+        itemAvailable_.notify_all();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (cancelled_) {
+          return;
+        }
+        queue_.push_back(std::move(*item));
+        highWater_ = std::max(highWater_, queue_.size());
+      }
+      itemAvailable_.notify_all();
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable itemAvailable_;
+  std::condition_variable spaceAvailable_;
+  std::deque<T> queue_;
+  std::size_t next_ = 0;
+  std::size_t end_ = 0;
+  std::size_t depth_ = 1;
+  std::size_t highWater_ = 0;
+  bool cancelled_ = false;
+  std::exception_ptr error_;
+  Producer produce_;
+  std::thread thread_;
+};
+
+} // namespace vates

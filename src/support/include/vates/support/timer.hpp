@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,29 @@ private:
   std::vector<std::string> order_;
 };
 
+/// Mutex-guarded StageTimes for stages that run on different threads at
+/// once (the overlapped pipeline: the prefetch thread records
+/// UpdateEvents while the compute thread records MDNorm/BinMD, and the
+/// concurrent-kernel siblings record simultaneously).  Each thread
+/// records the wall time of the stage it ran; merging is serialized
+/// here so StageTimes itself stays single-threaded everywhere else.
+class SharedStageTimes {
+public:
+  /// Thread-safe equivalent of StageTimes::add().
+  void add(const std::string& name, double seconds);
+
+  /// Thread-safe merge of a privately accumulated StageTimes.
+  void merge(const StageTimes& other);
+
+  /// Move the accumulated times out (leaves this empty).  Call after
+  /// every recording thread has been joined.
+  StageTimes take();
+
+private:
+  mutable std::mutex mutex_;
+  StageTimes times_;
+};
+
 /// RAII helper: times a scope and records it into a StageTimes on exit.
 class ScopedStage {
 public:
@@ -83,6 +107,22 @@ public:
 
 private:
   StageTimes& sink_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+/// RAII twin of ScopedStage for a SharedStageTimes sink — used by the
+/// overlapped pipeline's concurrently executing stages.
+class ScopedSharedStage {
+public:
+  ScopedSharedStage(SharedStageTimes& sink, std::string name)
+      : sink_(sink), name_(std::move(name)) {}
+  ScopedSharedStage(const ScopedSharedStage&) = delete;
+  ScopedSharedStage& operator=(const ScopedSharedStage&) = delete;
+  ~ScopedSharedStage() { sink_.add(name_, timer_.seconds()); }
+
+private:
+  SharedStageTimes& sink_;
   std::string name_;
   WallTimer timer_;
 };

@@ -62,6 +62,23 @@ void StageTimes::clear() noexcept {
   order_.clear();
 }
 
+void SharedStageTimes::add(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  times_.add(name, seconds);
+}
+
+void SharedStageTimes::merge(const StageTimes& other) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  times_.merge(other);
+}
+
+StageTimes SharedStageTimes::take() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StageTimes result = std::move(times_);
+  times_.clear();
+  return result;
+}
+
 std::string StageTimes::table(const std::string& title) const {
   std::ostringstream os;
   os << title << '\n';

@@ -6,7 +6,9 @@
 
 #include "vates/workflow/task_graph.hpp"
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vates::wf {
@@ -49,6 +51,17 @@ public:
 
   /// Run the whole graph; validates (cycle check) first.
   WorkflowReport run(const TaskGraph& graph) const;
+
+  /// A task for runSiblings(): a name plus the work.
+  using NamedTask = std::pair<std::string, std::function<void()>>;
+
+  /// Concurrent-sibling execution path: run independent tasks (an
+  /// edgeless graph) concurrently across this scheduler's workers and
+  /// block until all complete.  Same fail-fast semantics as run().
+  /// This is what the reduction pipeline's overlapped engine uses to
+  /// execute MDNorm and BinMD for one run side by side — they write
+  /// disjoint grids, so there is no edge between them.
+  WorkflowReport runSiblings(const std::vector<NamedTask>& tasks) const;
 
 private:
   unsigned workers_;

@@ -45,6 +45,14 @@ Scheduler::Scheduler(unsigned workers) : workers_(workers) {
   VATES_REQUIRE(workers >= 1, "scheduler needs at least one worker");
 }
 
+WorkflowReport Scheduler::runSiblings(const std::vector<NamedTask>& tasks) const {
+  TaskGraph graph;
+  for (const NamedTask& task : tasks) {
+    graph.addTask(task.first, task.second);
+  }
+  return run(graph);
+}
+
 WorkflowReport Scheduler::run(const TaskGraph& graph) const {
   graph.topologicalOrder(); // validates (throws on cycles)
 

@@ -436,6 +436,125 @@ TEST(MDNorm, EstimatorBoundsActualIntersections) {
   EXPECT_LE(estimate, maxIntersections(grid)); // the paper's bound
 }
 
+TEST(MDNorm, PrecomputedTrajectoriesAreBitIdentical) {
+  // The fused pre-pass hands both kernels a trajectory table; consuming
+  // it must not change a single bit versus the inline multiply.
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+  const auto qDirections = setup.instrument().qLabDirections();
+
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = qDirections;
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  const Executor executor(Backend::Serial);
+  Histogram3D inline_ = setup.makeHistogram();
+  runMDNorm(executor, inputs, inline_.gridView());
+  const std::size_t inlineEstimate =
+      estimateMaxIntersections(executor, inputs, inline_.gridView());
+
+  std::vector<V3> table(transforms.size() * qDirections.size());
+  computeTrajectories(executor, transforms, qDirections, table.data());
+  for (std::size_t op = 0; op < transforms.size(); ++op) {
+    for (std::size_t d = 0; d < qDirections.size(); ++d) {
+      const V3 expected = transforms[op] * qDirections[d];
+      const V3& got = table[op * qDirections.size() + d];
+      ASSERT_EQ(got.x, expected.x);
+      ASSERT_EQ(got.y, expected.y);
+      ASSERT_EQ(got.z, expected.z);
+    }
+  }
+
+  inputs.trajectories = table;
+  Histogram3D fused = setup.makeHistogram();
+  runMDNorm(executor, inputs, fused.gridView());
+  EXPECT_EQ(estimateMaxIntersections(executor, inputs, fused.gridView()),
+            inlineEstimate);
+  ASSERT_EQ(fused.size(), inline_.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    ASSERT_EQ(fused.data()[i], inline_.data()[i]) << "bin " << i;
+  }
+}
+
+TEST(MDNorm, MismatchedTrajectoryTableThrows) {
+  Histogram3D histogram(BinAxis("x", -1, 1, 2), BinAxis("y", -1, 1, 2),
+                        BinAxis("z", -1, 1, 2));
+  const M33 identity = M33::identity();
+  const V3 direction{1, 0, 0};
+  const double solidAngle = 1.0;
+  const FluxSpectrum flux = FluxSpectrum::flat(1.0, 2.0, 4, 1.0);
+  const std::vector<V3> wrongLength(3);
+
+  MDNormInputs inputs;
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qLabDirections = std::span<const V3>(&direction, 1);
+  inputs.solidAngles = std::span<const double>(&solidAngle, 1);
+  inputs.flux = flux.view();
+  inputs.kMin = 1.0;
+  inputs.kMax = 2.0;
+  inputs.trajectories = wrongLength; // needs exactly 1 × 1 entries
+  EXPECT_THROW(
+      runMDNorm(Executor(Backend::Serial), inputs, histogram.gridView()),
+      InvalidArgument);
+}
+
+TEST(MDNorm, ScratchShrinksAfterMuchSmallerGrid) {
+  // Thread-local kernel scratch grows to the largest grid seen; a much
+  // smaller follow-up grid must release the oversized buffer instead of
+  // pinning the high-water footprint.  Serial executes on this thread,
+  // so the test observes this thread's scratch.
+  const Executor executor(Backend::Serial);
+  const M33 identity = M33::identity();
+  const V3 direction{1.0, 1.0, 1.0};
+
+  MDNormInputs inputs;
+  inputs.transforms = std::span<const M33>(&identity, 1);
+  inputs.qLabDirections = std::span<const V3>(&direction, 1);
+  inputs.kMin = 1.0;
+  inputs.kMax = 2.0;
+
+  // estimateMaxIntersections only reads grid geometry, so a data-less
+  // view is enough to drive the scratch sizing.
+  const auto geometryOnly = [](std::size_t nx, std::size_t ny, std::size_t nz) {
+    GridView grid;
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      grid.min[axis] = -10.0;
+      grid.max[axis] = 10.0;
+    }
+    grid.n[0] = nx;
+    grid.n[1] = ny;
+    grid.n[2] = nz;
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      grid.inverseWidth[axis] =
+          static_cast<double>(grid.n[axis]) / (grid.max[axis] - grid.min[axis]);
+    }
+    return grid;
+  };
+
+  const GridView huge = geometryOnly(4000, 4000, 4000);
+  estimateMaxIntersections(executor, inputs, huge);
+  EXPECT_GE(mdnormScratchCapacityForTesting(), maxIntersections(huge));
+
+  const GridView small = geometryOnly(8, 8, 8);
+  estimateMaxIntersections(executor, inputs, small);
+  EXPECT_EQ(mdnormScratchCapacityForTesting(), maxIntersections(small));
+
+  // Comparable sizes must NOT thrash: a slightly smaller grid (within
+  // the 4× hysteresis) keeps the existing buffer.
+  const GridView slightlySmaller = geometryOnly(6, 6, 6);
+  estimateMaxIntersections(executor, inputs, slightlySmaller);
+  EXPECT_EQ(mdnormScratchCapacityForTesting(), maxIntersections(small));
+}
+
 TEST(MDNorm, InvalidInputsThrow) {
   Histogram3D histogram(BinAxis("x", -1, 1, 2), BinAxis("y", -1, 1, 2),
                         BinAxis("z", -1, 1, 2));

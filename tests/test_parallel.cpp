@@ -7,12 +7,17 @@
 #include "vates/parallel/device_sim.hpp"
 #include "vates/parallel/executor.hpp"
 #include "vates/parallel/function_ref.hpp"
+#include "vates/parallel/prefetcher.hpp"
 #include "vates/parallel/thread_pool.hpp"
 #include "vates/support/error.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace vates {
@@ -504,6 +509,98 @@ TEST(DeviceArray, MoveTransfersOwnership) {
   EXPECT_EQ(b.size(), 100u);
   EXPECT_EQ(a.size(), 0u); // NOLINT(bugprone-use-after-move): documented state
   EXPECT_EQ(device.stats().bytesLive(), 800u);
+}
+
+// ---------------------------------------------------------------------------
+// Prefetcher — the overlapped pipeline's async load primitive
+// ---------------------------------------------------------------------------
+
+TEST(Prefetcher, DeliversEveryItemInIndexOrder) {
+  Prefetcher<std::size_t> prefetcher(3, 11, 2,
+                                     [](std::size_t index) { return index * 7; });
+  EXPECT_EQ(prefetcher.count(), 8u);
+  for (std::size_t i = 3; i < 11; ++i) {
+    EXPECT_EQ(prefetcher.next(), i * 7);
+  }
+}
+
+TEST(Prefetcher, EmptyRangeDeliversNothing) {
+  Prefetcher<int> prefetcher(5, 5, 1, [](std::size_t) {
+    ADD_FAILURE() << "producer must not run for an empty range";
+    return 0;
+  });
+  EXPECT_EQ(prefetcher.count(), 0u);
+}
+
+TEST(Prefetcher, BackpressureNeverExceedsDepth) {
+  // A fast producer against a slow consumer: the queue's high-water
+  // mark must stay within the configured bound no matter how far ahead
+  // the producer could run.
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{3}}) {
+    Prefetcher<int> prefetcher(0, 32, depth, [](std::size_t index) {
+      return static_cast<int>(index);
+    });
+    for (std::size_t i = 0; i < 32; ++i) {
+      EXPECT_EQ(prefetcher.next(), static_cast<int>(i));
+      if (i % 8 == 0) {
+        // Give the producer every chance to overrun the bound.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    EXPECT_LE(prefetcher.highWater(), depth);
+    EXPECT_GE(prefetcher.highWater(), 1u);
+  }
+}
+
+TEST(Prefetcher, DepthZeroIsClampedToDoubleBuffering) {
+  Prefetcher<int> prefetcher(0, 4, 0,
+                             [](std::size_t index) { return static_cast<int>(index); });
+  EXPECT_EQ(prefetcher.depth(), 1u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(prefetcher.next(), i);
+  }
+}
+
+TEST(Prefetcher, ProducerExceptionArrivesAfterEarlierItems) {
+  Prefetcher<int> prefetcher(0, 10, 4, [](std::size_t index) {
+    if (index == 3) {
+      throw InvalidArgument("file 3 is corrupt");
+    }
+    return static_cast<int>(index);
+  });
+  // Every item completed before the failure is still delivered...
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(prefetcher.next(), i);
+  }
+  // ...then the producer's exception surfaces on the consumer thread.
+  EXPECT_THROW(prefetcher.next(), InvalidArgument);
+}
+
+TEST(Prefetcher, EarlyDestructionStopsTheProducer) {
+  std::atomic<std::size_t> produced{0};
+  {
+    Prefetcher<int> prefetcher(0, 1000, 1, [&produced](std::size_t index) {
+      ++produced;
+      return static_cast<int>(index);
+    });
+    EXPECT_EQ(prefetcher.next(), 0);
+    // Destructor runs here with 998 items never consumed.
+  }
+  // Backpressure means at most depth + in-flight items were produced
+  // before cancellation took effect.
+  EXPECT_LE(produced.load(), 4u);
+}
+
+TEST(Prefetcher, MovesNonCopyableItems) {
+  Prefetcher<std::unique_ptr<int>> prefetcher(
+      0, 3, 1, [](std::size_t index) {
+        return std::make_unique<int>(static_cast<int>(index));
+      });
+  for (int i = 0; i < 3; ++i) {
+    const std::unique_ptr<int> item = prefetcher.next();
+    ASSERT_NE(item, nullptr);
+    EXPECT_EQ(*item, i);
+  }
 }
 
 } // namespace

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 namespace vates::core {
@@ -399,6 +401,227 @@ TEST(Report, RatioAndSpeedupLine) {
   const std::string line = speedupLine("MDNorm", "fast", 1.0, "slow", 10.0);
   EXPECT_NE(line.find("10.0x"), std::string::npos);
   EXPECT_NE(line.find("faster"), std::string::npos);
+}
+
+TEST(Report, WallRowOnlyWithEndToEndTiming) {
+  StageTimes times;
+  times.add("MDNorm", 1.0);
+  WctTable stagesOnly("t");
+  stagesOnly.addColumn("baseline", times);
+  EXPECT_EQ(stagesOnly.render().find("Wall"), std::string::npos);
+
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+  WctTable withWall("t");
+  withWall.addColumn("pipeline", result);
+  EXPECT_NE(withWall.render().find("Wall"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The overlapped execution engine
+// ---------------------------------------------------------------------------
+
+bool bitwiseEqual(const Histogram3D& a, const Histogram3D& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(double)) == 0;
+}
+
+ReductionResult reduceWith(const ExperimentSetup& setup, Backend backend,
+                           OverlapMode mode, AccumulateStrategy strategy,
+                           std::size_t depth = 1) {
+  ReductionConfig config;
+  config.backend = backend;
+  config.overlap.mode = mode;
+  config.overlap.prefetchDepth = depth;
+  config.mdnorm.accumulate.strategy = strategy;
+  config.binmdAccumulate.strategy = strategy;
+  return ReductionPipeline(setup, config).run();
+}
+
+TEST(Overlap, MatchesSequentialAcrossBackendsAndStrategies) {
+  // The acceptance bar for the overlap engine: for every backend and
+  // every accumulation strategy, the overlapped paths reproduce the
+  // sequential result.  Where the sequential path is itself bitwise
+  // reproducible (run-to-run), the overlapped result must be
+  // bit-identical — overlap must introduce no new nondeterminism; the
+  // remaining combinations (e.g. Atomic under real concurrency, whose
+  // float adds commute nondeterministically run-to-run already) are
+  // held to a tight tolerance.
+  const ExperimentSetup setup(tinyBenzil());
+  for (const Backend backend : availableBackends()) {
+    for (const AccumulateStrategy strategy :
+         {AccumulateStrategy::Auto, AccumulateStrategy::Atomic,
+          AccumulateStrategy::Privatized, AccumulateStrategy::Tiled}) {
+      SCOPED_TRACE(std::string(backendName(backend)) + " / " +
+                   accumulateStrategyName(strategy));
+      const ReductionResult sequentialA =
+          reduceWith(setup, backend, OverlapMode::Off, strategy);
+      const ReductionResult sequentialB =
+          reduceWith(setup, backend, OverlapMode::Off, strategy);
+      const bool reproducible =
+          bitwiseEqual(sequentialA.signal, sequentialB.signal) &&
+          bitwiseEqual(sequentialA.normalization, sequentialB.normalization);
+
+      for (const OverlapMode mode :
+           {OverlapMode::Prefetch, OverlapMode::Full}) {
+        SCOPED_TRACE(overlapModeName(mode));
+        const ReductionResult overlapped =
+            reduceWith(setup, backend, mode, strategy);
+        if (reproducible) {
+          EXPECT_TRUE(bitwiseEqual(overlapped.signal, sequentialA.signal));
+          EXPECT_TRUE(bitwiseEqual(overlapped.normalization,
+                                   sequentialA.normalization));
+        }
+        EXPECT_LT(worstAbsDiff(overlapped.signal, sequentialA.signal), 1e-10);
+        EXPECT_LT(worstAbsDiff(overlapped.normalization,
+                               sequentialA.normalization),
+                  1e-10);
+        EXPECT_EQ(overlapped.eventsProcessed, sequentialA.eventsProcessed);
+      }
+    }
+  }
+}
+
+TEST(Overlap, SerialBackendIsAlwaysBitIdentical) {
+  // Serial accumulates in loop order on every path, so here the bitwise
+  // requirement is unconditional — across modes, strategies, and
+  // depths.  Rank count is held fixed: the rank split changes the
+  // (already deterministic) cross-rank summation order, which is a
+  // different degree of freedom than overlap.
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig sequentialConfig;
+  sequentialConfig.backend = Backend::Serial;
+  sequentialConfig.ranks = 2;
+  const ReductionResult sequential =
+      ReductionPipeline(setup, sequentialConfig).run();
+  for (const OverlapMode mode : {OverlapMode::Prefetch, OverlapMode::Full}) {
+    for (const std::size_t depth : {std::size_t{1}, std::size_t{3}}) {
+      ReductionConfig config = sequentialConfig;
+      config.overlap.mode = mode;
+      config.overlap.prefetchDepth = depth;
+      const ReductionResult overlapped =
+          ReductionPipeline(setup, config).run();
+      SCOPED_TRACE(std::string(overlapModeName(mode)) + " depth " +
+                   std::to_string(depth));
+      EXPECT_TRUE(bitwiseEqual(overlapped.signal, sequential.signal));
+      EXPECT_TRUE(
+          bitwiseEqual(overlapped.normalization, sequential.normalization));
+    }
+  }
+}
+
+TEST(Overlap, TrackErrorsMatchesSequential) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  config.trackErrors = true;
+  const ReductionResult sequential = ReductionPipeline(setup, config).run();
+  config.overlap.mode = OverlapMode::Full;
+  const ReductionResult overlapped = ReductionPipeline(setup, config).run();
+  ASSERT_TRUE(sequential.signalErrorSq.has_value());
+  ASSERT_TRUE(overlapped.signalErrorSq.has_value());
+  EXPECT_TRUE(bitwiseEqual(*overlapped.signalErrorSq,
+                           *sequential.signalErrorSq));
+  EXPECT_TRUE(bitwiseEqual(overlapped.signal, sequential.signal));
+}
+
+TEST(Overlap, OverlappedRunsFromFilesMatchSequential) {
+  // The mode the engine exists for: prefetching real file loads.
+  const ExperimentSetup setup(tinyBenzil());
+  const std::filesystem::path directory =
+      std::filesystem::temp_directory_path() / "vates_overlap_test";
+  std::filesystem::create_directories(directory);
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionPipeline pipeline(setup, config);
+  const std::vector<std::string> paths =
+      pipeline.writeRunFiles(directory.string());
+
+  const ReductionResult sequential = pipeline.runFromFiles(paths);
+  config.overlap.mode = OverlapMode::Full;
+  config.overlap.prefetchDepth = 2;
+  const ReductionResult overlapped =
+      ReductionPipeline(setup, config).runFromFiles(paths);
+  EXPECT_TRUE(bitwiseEqual(overlapped.signal, sequential.signal));
+  EXPECT_TRUE(
+      bitwiseEqual(overlapped.normalization, sequential.normalization));
+  // Load timings recorded on the prefetch thread still reach the report.
+  EXPECT_EQ(overlapped.times.count("UpdateEvents"), setup.spec().nFiles);
+  EXPECT_EQ(overlapped.times.count("MDNorm"), setup.spec().nFiles);
+  EXPECT_EQ(overlapped.times.count("BinMD"), setup.spec().nFiles);
+  std::filesystem::remove_all(directory);
+}
+
+TEST(Overlap, ReportsWallAndSummedTimes) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  config.ranks = 2;
+  config.overlap.mode = OverlapMode::Full;
+  const ReductionResult result = ReductionPipeline(setup, config).run();
+  EXPECT_GT(result.wallSeconds, 0.0);
+  // Summed times aggregate every rank; critical path takes the max —
+  // with 2 ranks the sum must dominate.
+  EXPECT_GE(result.timesSummed.grandTotal(), result.times.grandTotal());
+  EXPECT_EQ(result.timesSummed.count("MDNorm"), setup.spec().nFiles);
+}
+
+TEST(Overlap, DevicePrePassRunsOncePerReduction) {
+  if (!backendAvailable(Backend::DeviceSim)) {
+    GTEST_SKIP();
+  }
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::DeviceSim;
+  config.deviceIntersectionPrePass = true;
+  const ReductionPipeline pipeline(setup, config);
+  ASSERT_GT(setup.spec().nFiles, 1u);
+
+  const ReductionResult first = pipeline.run();
+  EXPECT_GT(first.maxIntersectionsEstimate, 0u);
+  // The (grid, geometry) cache: one pre-pass for the whole reduction,
+  // not one per file.
+  EXPECT_EQ(first.times.count("MDNorm pre-pass"), 1u);
+
+  // A fresh reduction through the same pipeline measures afresh.
+  const ReductionResult second = pipeline.run();
+  EXPECT_EQ(second.times.count("MDNorm pre-pass"), 1u);
+  EXPECT_EQ(second.maxIntersectionsEstimate, first.maxIntersectionsEstimate);
+}
+
+TEST(Overlap, EnvOverrideSelectsMode) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+
+  ::setenv("VATES_OVERLAP", "full", 1);
+  EXPECT_EQ(ReductionPipeline(setup, config).config().overlap.mode,
+            OverlapMode::Full);
+  ::setenv("VATES_OVERLAP", "not-a-mode", 1);
+  EXPECT_EQ(ReductionPipeline(setup, config).config().overlap.mode,
+            OverlapMode::Off);
+  ::unsetenv("VATES_OVERLAP");
+  EXPECT_EQ(ReductionPipeline(setup, config).config().overlap.mode,
+            OverlapMode::Off);
+}
+
+TEST(Overlap, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parseOverlapMode("off"), OverlapMode::Off);
+  EXPECT_EQ(parseOverlapMode("  Prefetch "), OverlapMode::Prefetch);
+  EXPECT_EQ(parseOverlapMode("concurrent"), OverlapMode::Full);
+  EXPECT_THROW(parseOverlapMode("bogus"), InvalidArgument);
+  for (const OverlapMode mode :
+       {OverlapMode::Off, OverlapMode::Prefetch, OverlapMode::Full}) {
+    EXPECT_EQ(parseOverlapMode(overlapModeName(mode)), mode);
+  }
+  ReductionConfig config;
+  config.overlap.mode = OverlapMode::Prefetch;
+  EXPECT_NE(config.summary().find("overlap=prefetch"), std::string::npos);
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #include <cmath>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 namespace vates {
 namespace {
@@ -130,6 +131,47 @@ TEST(ScopedStage, RecordsOnScopeExit) {
   }
   EXPECT_GT(times.total("scoped"), 0.0);
   EXPECT_EQ(times.count("scoped"), 1u);
+}
+
+TEST(SharedStageTimes, ConcurrentAddsAllLand) {
+  SharedStageTimes shared;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&shared] {
+      for (int i = 0; i < 100; ++i) {
+        shared.add("MDNorm", 0.001);
+      }
+      StageTimes local;
+      local.add("BinMD", 0.5);
+      shared.merge(local);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const StageTimes times = shared.take();
+  EXPECT_EQ(times.count("MDNorm"), 800u);
+  EXPECT_NEAR(times.total("MDNorm"), 0.8, 1e-9);
+  EXPECT_EQ(times.count("BinMD"), 8u);
+  EXPECT_NEAR(times.total("BinMD"), 4.0, 1e-9);
+}
+
+TEST(SharedStageTimes, TakeDrainsTheSink) {
+  SharedStageTimes shared;
+  shared.add("stage", 1.0);
+  EXPECT_NEAR(shared.take().total("stage"), 1.0, 1e-12);
+  EXPECT_EQ(shared.take().count("stage"), 0u);
+}
+
+TEST(ScopedSharedStage, RecordsOnScopeExit) {
+  SharedStageTimes shared;
+  {
+    ScopedSharedStage stage(shared, "kernel");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const StageTimes times = shared.take();
+  EXPECT_GT(times.total("kernel"), 0.0);
+  EXPECT_EQ(times.count("kernel"), 1u);
 }
 
 TEST(WallTimer, MonotoneNonNegative) {

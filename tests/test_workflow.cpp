@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 
 namespace vates::wf {
 namespace {
@@ -155,6 +157,48 @@ TEST(Scheduler, SingleWorkerMatchesTopologicalSemantics) {
   ASSERT_EQ(order.size(), 2u);
   EXPECT_EQ(order[0], 0);
   EXPECT_EQ(order[1], 1);
+}
+
+TEST(Scheduler, RunSiblingsExecutesEveryTaskConcurrently) {
+  std::atomic<int> executed{0};
+  std::atomic<int> inFlight{0};
+  std::atomic<int> peak{0};
+  const auto task = [&] {
+    const int now = ++inFlight;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    // Linger so the sibling has a chance to be observed in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    --inFlight;
+    ++executed;
+  };
+
+  const Scheduler scheduler(2);
+  const WorkflowReport report =
+      scheduler.runSiblings({{"MDNorm", task}, {"BinMD", task}});
+  EXPECT_EQ(executed.load(), 2);
+  EXPECT_EQ(report.timings.size(), 2u);
+  // Two workers, two independent tasks: they must have overlapped.
+  EXPECT_EQ(peak.load(), 2);
+}
+
+TEST(Scheduler, RunSiblingsFailFast) {
+  std::atomic<int> executed{0};
+  const Scheduler scheduler(1);
+  EXPECT_THROW(
+      scheduler.runSiblings(
+          {{"boom", [] { throw InvalidArgument("sibling failed"); }},
+           {"after", [&] { ++executed; }}}),
+      InvalidArgument);
+  // One worker + fail-fast: the second sibling never starts.
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(Scheduler, RunSiblingsEmptyListIsTrivial) {
+  const Scheduler scheduler(2);
+  const WorkflowReport report = scheduler.runSiblings({});
+  EXPECT_TRUE(report.timings.empty());
 }
 
 TEST(WorkflowReport, TableAndSpeedup) {
