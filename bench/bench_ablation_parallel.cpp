@@ -91,7 +91,7 @@ void BM_MDNorm_Variant(benchmark::State& state) {
   const Executor executor(cpuBackend());
   MDNormOptions options;
   options.search = state.range(0) != 0 ? PlaneSearch::Roi : PlaneSearch::Linear;
-  options.sortPrimitiveKeys = state.range(1) != 0;
+  options.traversal = static_cast<Traversal>(state.range(1));
   const MDNormInputs inputs = f.normInputs();
   for (auto _ : state) {
     f.histogram.fill(0.0);
@@ -100,13 +100,16 @@ void BM_MDNorm_Variant(benchmark::State& state) {
   }
   state.SetLabel(std::string(options.search == PlaneSearch::Roi ? "roi"
                                                                 : "linear") +
-                 (options.sortPrimitiveKeys ? "+keys" : "+structs"));
+                 "+" + traversalName(options.traversal));
 }
 BENCHMARK(BM_MDNorm_Variant)
-    ->Args({0, 0}) // linear + structs  (Mantid-style)
-    ->Args({0, 1}) // linear + keys
-    ->Args({1, 0}) // roi + structs
-    ->Args({1, 1}) // roi + keys       (the proxies)
+    ->Args({0, 0}) // linear + legacy       (Mantid-style)
+    ->Args({0, 1}) // linear + sorted-keys
+    ->Args({1, 0}) // roi + legacy
+    ->Args({1, 1}) // roi + sorted-keys     (the proxies)
+    ->Args({1, 2}) // roi + dda             (streaming walk; the search
+                   // strategy is irrelevant to dda but the roi row keeps
+                   // the ablation table square)
     ->Unit(benchmark::kMillisecond);
 
 // --------------------------------------------------------------------------

@@ -1,20 +1,44 @@
-// Ablation: in-kernel sorting strategies (§III-B).
+// Ablation: MDNorm segment generation — sorting strategies and the
+// sort-free streaming traversal (§III-B and beyond).
 //
-// The paper replaces Mantid's sort-an-array-of-structs with sorting an
-// array of primitive keys ("we sort an array of indices using primitive
-// types") and selects comb sort for its allocation-free inner loop.
-// This microbenchmark quantifies both choices at intersection-list
-// sizes (the Benzil/Bixbyite grids give ~1209-entry worst cases) for
-// random and nearly-sorted inputs (plane-ordered intersections arrive
-// nearly sorted, which comb sort exploits).
+// Two layers:
+//
+//  1. Sort microbenches.  The paper replaces Mantid's
+//     sort-an-array-of-structs with sorting an array of primitive keys
+//     ("we sort an array of indices using primitive types") and selects
+//     comb sort for its allocation-free inner loop.  Quantified at
+//     intersection-list sizes (the Benzil/Bixbyite grids give
+//     ~1209-entry worst cases) for random and nearly-sorted inputs
+//     (plane-ordered intersections arrive nearly sorted, which comb
+//     sort exploits).
+//
+//  2. Traversal ablation on the real MDNorm kernel:
+//     Legacy (generate → struct sort → locate) vs SortedKeys (generate
+//     → key sort → locate) vs Dda (streaming grid walk, no sort at
+//     all), swept over backend × grid size at a Table-4-like Benzil
+//     CORELLI configuration.  Registered as
+//     BM_MDNorm_Traversal/<traversal>/<backend>/<bins>; each row
+//     reports a `mdnorm_s` counter (mean kernel seconds, timed around
+//     runMDNorm alone).  bench/run_perf_smoke.sh aggregates the JSON
+//     output into BENCH_mdnorm.json at the repo root.
 
+#include "vates/events/experiment_setup.hpp"
 #include "vates/kernels/comb_sort.hpp"
 #include "vates/kernels/intersections.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/parallel/executor.hpp"
 #include "vates/support/rng.hpp"
+#include "vates/support/timer.hpp"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace {
@@ -124,6 +148,136 @@ BENCHMARK(BM_CombSortStructs)->Apply(sortArgs);
 BENCHMARK(BM_StdSortStructs)->Apply(sortArgs);
 BENCHMARK(BM_StdSortKeys)->Apply(sortArgs);
 
+// --------------------------------------------------------------------------
+// Traversal ablation on the real MDNorm kernel
+
+using namespace vates;
+
+/// One MDNorm workload per grid shape: Benzil CORELLI geometry at
+/// reduced detector scale, full-resolution or reduced histogram.  Built
+/// lazily and cached (instrument construction dominates setup cost).
+struct TraversalFixture {
+  explicit TraversalFixture(const std::array<std::size_t, 3>& bins)
+      : spec([&] {
+          // Table-4-like configuration: the Benzil CORELLI workload's
+          // [H,K,0] slice.  The detector count is scaled down so one
+          // kernel invocation fits a benchmark iteration; the grid is
+          // the paper's full 603×603 slice (or the reduced sweep row).
+          WorkloadSpec s = WorkloadSpec::benzilCorelli(0.002);
+          s.bins = bins;
+          return s;
+        }()),
+        setup(spec), generator(setup.makeGenerator()),
+        run(generator.runInfo(0)),
+        transforms(mdNormTransforms(setup.projection(), setup.lattice(),
+                                    setup.symmetryMatrices(),
+                                    run.goniometerR)),
+        histogram(setup.makeHistogram()) {}
+
+  MDNormInputs inputs() const {
+    MDNormInputs in;
+    in.transforms = transforms;
+    in.qLabDirections = setup.instrument().qLabDirections();
+    in.solidAngles = setup.instrument().solidAngles();
+    in.flux = setup.flux().view();
+    in.protonCharge = run.protonCharge;
+    in.kMin = run.kMin;
+    in.kMax = run.kMax;
+    return in;
+  }
+
+  WorkloadSpec spec;
+  ExperimentSetup setup;
+  EventGenerator generator;
+  RunInfo run;
+  std::vector<M33> transforms;
+  Histogram3D histogram;
+};
+
+TraversalFixture& traversalFixture(const std::array<std::size_t, 3>& bins) {
+  static std::map<std::array<std::size_t, 3>,
+                  std::unique_ptr<TraversalFixture>>
+      cache;
+  std::unique_ptr<TraversalFixture>& slot = cache[bins];
+  if (!slot) {
+    slot = std::make_unique<TraversalFixture>(bins);
+  }
+  return *slot;
+}
+
+void BM_MDNorm_Traversal(benchmark::State& state) {
+  const auto traversal = static_cast<Traversal>(state.range(0));
+  const auto backend = static_cast<Backend>(state.range(1));
+  const std::array<std::size_t, 3> bins = {
+      static_cast<std::size_t>(state.range(2)),
+      static_cast<std::size_t>(state.range(3)),
+      static_cast<std::size_t>(state.range(4))};
+  if (!backendAvailable(backend)) {
+    state.SkipWithError("backend not available in this build");
+    return;
+  }
+  TraversalFixture& f = traversalFixture(bins);
+  const Executor executor(backend);
+  MDNormOptions options;
+  options.traversal = traversal;
+  const MDNormInputs inputs = f.inputs();
+  double kernelSeconds = 0.0;
+  for (auto _ : state) {
+    f.histogram.fill(0.0);
+    const WallTimer timer;
+    runMDNorm(executor, inputs, f.histogram.gridView(), options);
+    kernelSeconds += timer.seconds();
+    benchmark::DoNotOptimize(f.histogram.data().data());
+  }
+  state.counters["mdnorm_s"] =
+      kernelSeconds / static_cast<double>(state.iterations());
+}
+
+void registerTraversalSweep() {
+  struct GridCase {
+    std::array<std::size_t, 3> bins;
+    const char* label;
+  };
+  // 603×603×1 is the paper's Benzil [H,K,0] slice (Table 4); the
+  // smaller row shows how the sort/locate overhead scales with crossing
+  // count per trajectory.
+  const GridCase grids[] = {{{603, 603, 1}, "603x603x1"},
+                            {{151, 151, 1}, "151x151x1"}};
+  const Backend backends[] = {
+    Backend::Serial,
+#ifdef VATES_HAS_OPENMP
+    Backend::OpenMP,
+#endif
+    Backend::ThreadPool,
+  };
+  for (const GridCase& grid : grids) {
+    for (const Backend backend : backends) {
+      for (const Traversal traversal :
+           {Traversal::Legacy, Traversal::SortedKeys, Traversal::Dda}) {
+        const std::string name = std::string("BM_MDNorm_Traversal/") +
+                                 traversalName(traversal) + "/" +
+                                 backendName(backend) + "/" + grid.label;
+        benchmark::RegisterBenchmark(name.c_str(), BM_MDNorm_Traversal)
+            ->Args({static_cast<long>(traversal), static_cast<long>(backend),
+                    static_cast<long>(grid.bins[0]),
+                    static_cast<long>(grid.bins[1]),
+                    static_cast<long>(grid.bins[2])})
+            ->Unit(benchmark::kMillisecond)
+            ->UseRealTime();
+      }
+    }
+  }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  registerTraversalSweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

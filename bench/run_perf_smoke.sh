@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Traversal-ablation perf smoke: runs the BM_MDNorm_Traversal sweep at
+# the Table-4-like configuration (Benzil CORELLI, 603x603x1 [H,K,0]
+# slice) and aggregates per-backend kernel times into BENCH_mdnorm.json
+# at the repository root.
+#
+# Usage:  BUILD_DIR=/path/to/build bench/run_perf_smoke.sh
+#         (BUILD_DIR defaults to <repo>/build)
+#
+# Wired into ctest as `perf_smoke_mdnorm` behind -DVATES_PERF_SMOKE=ON
+# with LABELS perf, so tier-1 `ctest` runs never pay for it.
+
+set -euo pipefail
+
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+repo_root="$(cd "${script_dir}/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+bench_bin="${build_dir}/bench/bench_ablation_sort"
+out_json="${repo_root}/BENCH_mdnorm.json"
+raw_json="$(mktemp /tmp/bench_mdnorm_raw.XXXXXX.json)"
+trap 'rm -f "${raw_json}"' EXIT
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not found or not executable" >&2
+  echo "build first: cmake --build ${build_dir} --target bench_ablation_sort" >&2
+  exit 1
+fi
+
+"${bench_bin}" \
+  --benchmark_filter='BM_MDNorm_Traversal/.*/603x603x1' \
+  --benchmark_format=json \
+  --benchmark_min_time=0.05 \
+  > "${raw_json}"
+
+python3 - "${raw_json}" "${out_json}" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Rows are named BM_MDNorm_Traversal/<traversal>/<backend>/<bins>[/...].
+backends = {}
+for row in raw.get("benchmarks", []):
+    if row.get("run_type") == "aggregate" or "error_occurred" in row:
+        continue
+    parts = row["name"].split("/")
+    if len(parts) < 4 or parts[0] != "BM_MDNorm_Traversal":
+        continue
+    traversal, backend = parts[1], parts[2]
+    seconds = row.get("mdnorm_s")
+    if seconds is None:
+        continue
+    backends.setdefault(backend, {})[traversal.replace("-", "_") + "_s"] = seconds
+
+for name, entry in backends.items():
+    legacy = entry.get("legacy_s")
+    keys = entry.get("sorted_keys_s")
+    dda = entry.get("dda_s")
+    if legacy and dda:
+        entry["speedup_dda_vs_legacy"] = legacy / dda
+    if keys and dda:
+        entry["speedup_dda_vs_sorted_keys"] = keys / dda
+
+result = {
+    "benchmark": "mdnorm_traversal_ablation",
+    "config": "benzil-corelli scale=0.002 bins=603x603x1",
+    "metric": "mean MDNorm kernel seconds per invocation (mdnorm_s counter)",
+    "backends": backends,
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+for name in sorted(backends):
+    entry = backends[name]
+    speedup = entry.get("speedup_dda_vs_legacy")
+    if speedup is not None:
+        print(f"  {name}: dda vs legacy speedup = {speedup:.2f}x")
+PY

@@ -67,8 +67,12 @@ struct ReductionConfig {
   /// and the result carries cross-section errors (Mantid semantics).
   bool trackErrors = false;
 
-  /// MDNorm algorithm variants (ROI search + primitive-key sort are the
-  /// proxies' defaults; flip for the Mantid-style ablations).
+  /// MDNorm algorithm variants (ROI search + sorted primitive keys are
+  /// the proxies' defaults; `mdnorm.traversal` switches between the
+  /// Legacy / SortedKeys / Dda segment-generation paths).  The
+  /// VATES_TRAVERSAL environment variable ("legacy" / "sorted-keys" /
+  /// "dda"), when set, overrides `mdnorm.traversal` at pipeline
+  /// construction — same contract as VATES_OVERLAP below.
   MDNormOptions mdnorm;
 
   /// Histogram write path for BinMD's signal (and σ²) accumulation,
@@ -78,7 +82,9 @@ struct ReductionConfig {
   /// Run the paper's pre-allocation estimator kernel before MDNorm on
   /// the device backend.  MiniVATES.jl launches it once per file; here
   /// the estimate is cached per (grid, geometry) in the pipeline, so it
-  /// runs at most once per reduction.
+  /// runs at most once per reduction.  With Traversal::Dda there is no
+  /// intersection buffer to size, so the pre-pass is skipped entirely
+  /// regardless of this flag.
   bool deviceIntersectionPrePass = true;
 
   /// Overlapped execution of the multi-run loop.  The VATES_OVERLAP

@@ -36,6 +36,17 @@ ReductionPipeline::ReductionPipeline(const ExperimentSetup& setup,
                                         << "\" ignored: " << error.what());
     }
   }
+  // Same contract for the MDNorm traversal ablation (legacy /
+  // sorted-keys / dda): benches and examples switch segment generation
+  // without a recompile.
+  if (const char* env = std::getenv("VATES_TRAVERSAL")) {
+    try {
+      config_.mdnorm.traversal = parseTraversal(env);
+    } catch (const Error& error) {
+      VATES_LOG_WARN("VATES_TRAVERSAL=\"" << env
+                                          << "\" ignored: " << error.what());
+    }
+  }
 }
 
 ReductionPipeline::RunSource ReductionPipeline::convertingSource(
@@ -44,15 +55,16 @@ ReductionPipeline::RunSource ReductionPipeline::convertingSource(
   // workflow); convertToMD itself downgrades a DeviceSim executor.
   const Executor executor(config_.backend);
   const Instrument* instrument = &setup_->instrument();
+  const DetectorMask* mask = setup_->detectorMask();
   const ConvertOptions options = config_.convert;
-  return [rawSource = std::move(rawSource), executor, instrument,
+  return [rawSource = std::move(rawSource), executor, instrument, mask,
           options](std::size_t fileIndex, StageTimes& times) {
     WallTimer loadTimer;
     RawRunFileContent raw = rawSource(fileIndex);
     times.add("UpdateEvents", loadTimer.seconds());
 
     WallTimer convertTimer;
-    EventTable events = convertToMD(executor, *instrument, nullptr, raw.run,
+    EventTable events = convertToMD(executor, *instrument, mask, raw.run,
                                     raw.events, options);
     times.add("ConvertToMD", convertTimer.seconds());
     return RunFileContent{raw.run, std::move(events)};
@@ -257,6 +269,7 @@ struct ReductionPipeline::RankContext {
   // loop, unlike the per-run MDNorm transforms).
   FluxTableView fluxView;
   std::vector<M33> binTransforms;
+  std::vector<std::uint32_t> activeDetectors;
   DeviceArray<V3> dQDirections;
   DeviceArray<double> dSolidAngles;
   DeviceArray<double> dFlux;
@@ -264,9 +277,14 @@ struct ReductionPipeline::RankContext {
   DeviceArray<double> dNormBins;
   DeviceArray<double> dErrorBins;
   DeviceArray<M33> dBinTransforms;
+  DeviceArray<std::uint32_t> dActiveDetectors;
   std::span<const V3> kernelQDirections;
   std::span<const double> kernelSolidAngles;
   std::span<const M33> kernelBinTransforms;
+  std::span<const std::uint32_t> kernelActiveDetectors;
+  /// Every pixel masked: no normalization accumulates at all, so the
+  /// MDNorm launch (which would have zero real work items) is skipped.
+  bool allDetectorsMasked = false;
 
   GridView signalGrid;
   GridView normGrid;
@@ -324,6 +342,20 @@ struct ReductionPipeline::RankContext {
     binTransforms = binMdTransforms(setup.projection(), setup.lattice(),
                                     setup.symmetryMatrices());
     kernelBinTransforms = binTransforms;
+    // Compact the detector mask once per reduction: MDNorm then
+    // launches over ops × |active| with a table lookup instead of
+    // burning a work item (and a branch) on every masked pixel.
+    if (const DetectorMask* mask = setup.detectorMask()) {
+      const std::span<const std::uint8_t> flags = mask->flags();
+      activeDetectors.reserve(flags.size() - mask->maskedCount());
+      for (std::size_t detector = 0; detector < flags.size(); ++detector) {
+        if (flags[detector] == 0) {
+          activeDetectors.push_back(static_cast<std::uint32_t>(detector));
+        }
+      }
+      kernelActiveDetectors = activeDetectors;
+      allDetectorsMasked = activeDetectors.empty();
+    }
     if (!onDevice) {
       return;
     }
@@ -332,6 +364,12 @@ struct ReductionPipeline::RankContext {
     dSolidAngles = DeviceArray<double>(device, kernelSolidAngles);
     dFlux = DeviceArray<double>(device, setup.flux().table());
     dBinTransforms = DeviceArray<M33>(device, binTransforms);
+    if (!activeDetectors.empty()) {
+      dActiveDetectors = DeviceArray<std::uint32_t>(
+          device, std::span<const std::uint32_t>(activeDetectors));
+      kernelActiveDetectors = std::span<const std::uint32_t>(
+          dActiveDetectors.deviceData(), dActiveDetectors.size());
+    }
     fluxView.cumulative = dFlux.deviceData();
     kernelQDirections =
         std::span<const V3>(dQDirections.deviceData(), dQDirections.size());
@@ -382,6 +420,7 @@ struct ReductionPipeline::RankContext {
 
     staged.normInputs.qLabDirections = kernelQDirections;
     staged.normInputs.solidAngles = kernelSolidAngles;
+    staged.normInputs.activeDetectors = kernelActiveDetectors;
     staged.normInputs.flux = fluxView;
     staged.normInputs.protonCharge = run.protonCharge;
     staged.normInputs.kMin = run.kMin;
@@ -426,7 +465,11 @@ struct ReductionPipeline::RankContext {
   /// estimate is only reported / used for capacity and the momentum
   /// band it bounds is the same run-synthesis policy for every file.
   void runPrePass(StagedRun& staged, StageTimes& times) {
-    if (!onDevice || !config.deviceIntersectionPrePass) {
+    if (!onDevice || !config.deviceIntersectionPrePass ||
+        config.mdnorm.traversal == Traversal::Dda || allDetectorsMasked) {
+      // The Dda walk streams segments with O(1) state — there is no
+      // intersection buffer to size, so the sizing kernel (and its
+      // launch on the per-reduction critical path) disappears.
       return;
     }
     IntersectionEstimateCache& cache = pipeline.intersectionCache_;
@@ -452,7 +495,7 @@ struct ReductionPipeline::RankContext {
   /// The sequential kernel order: MDNorm then BinMD, both on the
   /// primary executor.
   void computeRun(const StagedRun& staged, StageTimes& times) const {
-    {
+    if (!allDetectorsMasked) {
       ScopedStage stage(times, "MDNorm");
       runMDNorm(executor, staged.normInputs, normGrid, config.mdnorm);
     }
@@ -480,6 +523,9 @@ struct ReductionPipeline::RankContext {
     scheduler.runSiblings(
         {{"MDNorm",
           [&] {
+            if (allDetectorsMasked) {
+              return;
+            }
             ScopedSharedStage stage(shared, "MDNorm");
             runMDNorm(executor, staged.normInputs, normGrid, config.mdnorm);
           }},

@@ -56,9 +56,9 @@ const std::set<std::string>& workloadKeys() {
 
 const std::set<std::string>& reductionKeys() {
   static const std::set<std::string> keys = {
-      "backend", "ranks",        "load_mode",   "plane_search",
-      "sort",    "track_errors", "lorentz",     "filter_band",
-      "prepass",
+      "backend",   "ranks",        "load_mode", "plane_search",
+      "sort",      "track_errors", "lorentz",   "filter_band",
+      "prepass",   "traversal",
   };
   return keys;
 }
@@ -202,14 +202,19 @@ ReductionPlan planFromIni(const IniFile& ini) {
     }
   }
   if (ini.has("reduction", "sort")) {
+    // Pre-traversal plans spelled the ablation as sort = keys|structs;
+    // keep reading them (traversal below wins when both are present).
     const std::string sort = toLower(ini.getString("reduction", "sort"));
     if (sort == "keys") {
-      c.mdnorm.sortPrimitiveKeys = true;
+      c.mdnorm.traversal = Traversal::SortedKeys;
     } else if (sort == "structs") {
-      c.mdnorm.sortPrimitiveKeys = false;
+      c.mdnorm.traversal = Traversal::Legacy;
     } else {
       throw InvalidArgument("unknown sort '" + sort + "'");
     }
+  }
+  if (ini.has("reduction", "traversal")) {
+    c.mdnorm.traversal = parseTraversal(ini.getString("reduction", "traversal"));
   }
   c.trackErrors = ini.getBool("reduction", "track_errors", c.trackErrors);
   c.convert.lorentzCorrection =
@@ -266,8 +271,7 @@ IniFile planToIni(const ReductionPlan& plan) {
           c.loadMode == LoadMode::RawTof ? "raw-tof" : "q-sample");
   ini.set("reduction", "plane_search",
           c.mdnorm.search == PlaneSearch::Roi ? "roi" : "linear");
-  ini.set("reduction", "sort",
-          c.mdnorm.sortPrimitiveKeys ? "keys" : "structs");
+  ini.set("reduction", "traversal", traversalName(c.mdnorm.traversal));
   ini.set("reduction", "track_errors", c.trackErrors ? "true" : "false");
   ini.set("reduction", "lorentz",
           c.convert.lorentzCorrection ? "true" : "false");

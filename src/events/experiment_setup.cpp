@@ -35,6 +35,12 @@ ExperimentSetup::ExperimentSetup(const WorkloadSpec& spec)
       projection_(spec.projection()),
       symmetryMatrices_(pointGroup_.matrices()) {}
 
+void ExperimentSetup::setDetectorMask(DetectorMask mask) {
+  VATES_REQUIRE(mask.size() == instrument_.nDetectors(),
+                "detector mask length must match the instrument");
+  mask_.emplace(std::move(mask));
+}
+
 Histogram3D ExperimentSetup::makeHistogram() const {
   return Histogram3D(
       BinAxis(projection_.axisLabel(0), spec_.extentMin[0], spec_.extentMax[0],

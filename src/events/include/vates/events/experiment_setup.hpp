@@ -10,10 +10,13 @@
 #include "vates/events/generator.hpp"
 #include "vates/events/workload.hpp"
 #include "vates/flux/flux_spectrum.hpp"
+#include "vates/geometry/detector_mask.hpp"
 #include "vates/geometry/instrument.hpp"
 #include "vates/geometry/oriented_lattice.hpp"
 #include "vates/geometry/symmetry.hpp"
 #include "vates/histogram/histogram3d.hpp"
+
+#include <optional>
 
 namespace vates {
 
@@ -35,6 +38,19 @@ public:
     return symmetryMatrices_;
   }
 
+  /// Attach a detector mask (beam-stop shadows, dead tubes).  The
+  /// reduction pipeline honors it on both sides of the cross-section:
+  /// masked pixels contribute no normalization (MDNorm launches over a
+  /// compacted active-detector list built once per reduction) and, in
+  /// RawTof mode, their events are dropped by ConvertToMD.  The mask
+  /// length must match the instrument's detector count.
+  void setDetectorMask(DetectorMask mask);
+
+  /// The attached mask, or nullptr when every pixel is live.
+  const DetectorMask* detectorMask() const noexcept {
+    return mask_ ? &*mask_ : nullptr;
+  }
+
   /// A zeroed output histogram with the spec's binning and projection.
   Histogram3D makeHistogram() const;
 
@@ -50,6 +66,7 @@ private:
   PointGroup pointGroup_;
   Projection projection_;
   std::vector<M33> symmetryMatrices_;
+  std::optional<DetectorMask> mask_;
 };
 
 } // namespace vates

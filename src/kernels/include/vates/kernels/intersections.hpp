@@ -37,6 +37,12 @@ struct Intersection {
 
 enum class PlaneSearch : int { Linear = 0, Roi = 1 };
 
+/// |t[axis]| below this is treated as parallel to the axis' planes (no
+/// crossings on that axis).  Shared between calculateIntersections and
+/// the streaming traversal (trajectory_walk.hpp) so both paths classify
+/// every trajectory identically.
+inline constexpr double kTrajectoryParallelTolerance = 1e-12;
+
 /// Upper bound on intersections for \p grid (callers size scratch with
 /// this): n[0]+n[1]+n[2] plane crossings + 2 endpoints.
 inline std::size_t maxIntersections(const GridView& grid) noexcept {
@@ -46,6 +52,15 @@ inline std::size_t maxIntersections(const GridView& grid) noexcept {
 /// Compute all crossings of p(k) = k·t for k in [kMin, kMax] with the
 /// grid's bin planes (plus in-box endpoints), unsorted, into \p out
 /// (capacity >= maxIntersections(grid)).  Returns the count.
+///
+/// Crossings with bitwise-equal momenta are emitted once: a trajectory
+/// through a grid edge or corner crosses two or three planes at the
+/// same k, and a band endpoint can coincide with a plane crossing.
+/// Such duplicates only ever produced zero-width segments (skipped by
+/// every consumer's k2 <= k1 guard), so deduplication cannot change
+/// results — it just stops corners from inflating the intersection
+/// count and wasting sort work.  Near-duplicates (1-ulp apart) are
+/// kept: their segments are degenerate but not provably so.
 std::size_t calculateIntersections(const GridView& grid, const V3& t,
                                    double kMin, double kMax,
                                    PlaneSearch strategy, Intersection* out);

@@ -14,6 +14,11 @@
 ///         solidAngle(d) · protonCharge · (Φ(k₂) − Φ(k₁))
 ///      into the bin containing the segment midpoint (atomically).
 ///
+/// Steps 2–4 are the Traversal::Legacy / Traversal::SortedKeys shape;
+/// Traversal::Dda replaces them with a single streaming grid walk
+/// (trajectory_walk.hpp) that emits the same segments in momentum order
+/// directly, with no buffer, sort, or midpoint locate.
+///
 /// The normalization depends only on geometry and incident flux — not
 /// on the events — which is why Algorithm 1 can accumulate it per run
 /// independently of BinMD.
@@ -28,16 +33,43 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 namespace vates {
+
+/// How MDNorm turns a trajectory into momentum segments.
+///  - Legacy:     generate → sort whole Intersection structs → locate
+///                each segment midpoint (Mantid-style, the ablation
+///                baseline).
+///  - SortedKeys: generate → sort primitive momentum keys → locate
+///                (the paper proxies' §III-B improvement).
+///  - Dda:        streaming grid traversal (trajectory_walk.hpp):
+///                segments are emitted directly in momentum order with
+///                incrementally-stepped bin indices — no intersection
+///                buffer, no sort, no locate, and therefore no
+///                per-thread scratch and no capacity pre-pass.
+enum class Traversal : int { Legacy = 0, SortedKeys = 1, Dda = 2 };
+
+/// "legacy", "sorted-keys", "dda".
+const char* traversalName(Traversal mode) noexcept;
+
+/// Parse a traversal name (case-insensitive, surrounding whitespace
+/// ignored; accepts the names above plus the aliases "structs"/"mantid"
+/// for Legacy, "keys"/"sorted" for SortedKeys, and "walk"/"grid-walk"
+/// for Dda).  Throws InvalidArgument for unknown names.
+Traversal parseTraversal(const std::string& name);
 
 /// Algorithm variants, for the §III-B ablations.
 struct MDNormOptions {
   /// Plane search: Roi (the proxies' improvement) or Linear (Mantid).
+  /// Ignored by Traversal::Dda, which visits exactly the crossed planes
+  /// by construction.
   PlaneSearch search = PlaneSearch::Roi;
-  /// Sort primitive momentum keys (the proxies' improvement) instead of
-  /// whole Intersection structs (Mantid-style).
-  bool sortPrimitiveKeys = true;
+  /// Segment generation strategy (see Traversal).  SortedKeys is the
+  /// paper proxies' published configuration and stays the default; Dda
+  /// is the sort-free streaming walk; Legacy is the Mantid-style
+  /// baseline.
+  Traversal traversal = Traversal::Dda;
   /// Histogram write path (atomic / privatized / tiled; Auto selects by
   /// grid size × concurrency vs. the replica budget).  The non-Atomic
   /// strategies require the normalization grid not be written by other
@@ -59,8 +91,18 @@ struct MDNormInputs {
   double kMax = 0.0;
   /// Optional per-detector mask (1 = skip), length == nDetectors;
   /// masked pixels contribute no normalization, matching the masked
-  /// events dropped by ConvertToMD.
+  /// events dropped by ConvertToMD.  Ignored when `activeDetectors` is
+  /// set (the compaction has already applied the mask).
   const std::uint8_t* detectorMask = nullptr;
+  /// Optional compacted list of unmasked detector indices.  When
+  /// non-empty the kernel launches over ops × activeDetectors.size()
+  /// work items and maps each inner index through this table, so masked
+  /// pixels cost nothing — no wasted work items, no per-item mask
+  /// branch.  Entries must be < qLabDirections.size(); the pipeline
+  /// builds the list once per reduction from the experiment's mask.  On
+  /// Backend::DeviceSim it must be device-resident like any kernel
+  /// argument.
+  std::span<const std::uint32_t> activeDetectors;
   /// Optional precomputed trajectory directions t = transforms[op] ·
   /// qLabDirections[detector], flattened as [op × nDetectors +
   /// detector].  When non-empty (length must be nOps × nDetectors) the

@@ -1,0 +1,229 @@
+#pragma once
+/// \file trajectory_walk.hpp
+/// Sort-free streaming traversal of one trajectory through the
+/// histogram grid — an Amanatides–Woo style 3-D DDA.
+///
+/// The legacy MDNorm shape (calculateIntersections → comb sort →
+/// per-segment grid.locate) materializes every grid-plane crossing of
+/// the ray p(k) = k·t before it can walk segments in momentum order.
+/// But a straight ray crosses the planes of each axis in *monotone*
+/// momentum order, so the merged crossing sequence can be produced
+/// directly: keep, per axis, the momentum of the next plane crossing
+/// (kNext) and repeatedly advance the axis with the smallest one.  Each
+/// advance steps that axis' cell index by ±1, so the flat bin of every
+/// segment is maintained incrementally — no intersection buffer, no
+/// sort, no locate; O(crossings) work with O(1) state, and therefore no
+/// per-thread scratch and no capacity pre-pass.
+///
+/// Parity with the legacy path is engineered, not approximate:
+///  - every crossing momentum is computed as
+///        grid.planeEdge(axis, plane) * (1.0 / t[axis])
+///    — bitwise the expression tryPlane() evaluates — so the emitted
+///    k-sequence equals the sorted legacy k-sequence exactly;
+///  - the band is clipped to the grid hull using the *same* plane-edge
+///    expression for the boundary planes (never min/max divided by t,
+///    which can differ in the last bit);
+///  - a tie (the ray piercing a grid edge or corner) advances every
+///    tied axis in one step, mirroring the zero-width segments the
+///    legacy pair-walk skips via its k2 <= k1 guard;
+///  - segments the legacy path drops because their midpoint lies
+///    outside the grid (crossings admitted by insideAxisClosed's
+///    boundary slack) are never generated here, because the walk starts
+///    and ends at the clipped hull.
+
+#include "vates/geometry/vec3.hpp"
+#include "vates/histogram/grid_view.hpp"
+#include "vates/kernels/intersections.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace vates {
+
+/// Walk p(k) = k·t for k in [kMin, kMax] through \p grid, invoking
+/// visit(k1, k2, bin) for every segment whose cell lies inside the grid,
+/// in strictly increasing momentum order (k1 < k2, bin < grid.size()).
+/// Device-friendly: no allocation, no recursion, plain loops over POD
+/// state.  Returns the number of segments visited.
+template <typename Visitor>
+inline std::size_t traverseTrajectory(const GridView& grid, const V3& t,
+                                      double kMin, double kMax,
+                                      Visitor&& visit) {
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  // ---- Clip the momentum band to the grid hull -------------------------
+  double kStart = kMin;
+  double kEnd = kMax;
+  double inverseT[3] = {0.0, 0.0, 0.0};
+  bool crossesPlanes[3] = {false, false, false};
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    if (std::fabs(t[axis]) < kTrajectoryParallelTolerance) {
+      continue; // parallel to this axis' planes: constrained below
+    }
+    crossesPlanes[axis] = true;
+    const double inv = 1.0 / t[axis];
+    inverseT[axis] = inv;
+    // Same expression tryPlane uses for the boundary planes, so the
+    // clipped endpoints are bitwise the legacy entry/exit crossings.
+    const double kA = grid.planeEdge(axis, 0) * inv;
+    const double kB = grid.planeEdge(axis, grid.n[axis]) * inv;
+    const double kLow = kA < kB ? kA : kB;
+    const double kHigh = kA < kB ? kB : kA;
+    if (kLow > kStart) {
+      kStart = kLow;
+    }
+    if (kHigh < kEnd) {
+      kEnd = kHigh;
+    }
+  }
+  if (!(kStart < kEnd)) {
+    return 0; // band misses the box (also rejects NaN directions)
+  }
+  // Axes the ray is parallel to contribute no crossings, but their
+  // coordinate still drifts by t[axis]·k (sub-tolerance, yet possibly
+  // across several cells of a pathologically thin axis).  They are
+  // binned per segment at the segment midpoint below — exactly the
+  // per-segment locate() the legacy pair-walk performs.
+  const bool hasParallel =
+      !(crossesPlanes[0] && crossesPlanes[1] && crossesPlanes[2]);
+
+  // ---- Per-axis stepping state -----------------------------------------
+  // nextPlane[axis] is the first plane crossed strictly after kStart;
+  // the current cell is derived from it (ascending coordinate: cell =
+  // nextPlane − 1; descending: cell = nextPlane), which stays
+  // consistent even when kStart sits exactly on a plane.
+  std::ptrdiff_t cell[3];
+  std::ptrdiff_t nextPlane[3] = {0, 0, 0};
+  std::ptrdiff_t planeStep[3] = {0, 0, 0};
+  std::ptrdiff_t flatStep[3] = {0, 0, 0};
+  double kNext[3] = {kInfinity, kInfinity, kInfinity};
+  const auto n0 = static_cast<std::ptrdiff_t>(grid.n[0]);
+  const auto n1 = static_cast<std::ptrdiff_t>(grid.n[1]);
+  const auto n2 = static_cast<std::ptrdiff_t>(grid.n[2]);
+  const std::ptrdiff_t nAxis[3] = {n0, n1, n2};
+  const std::ptrdiff_t stride[3] = {n1 * n2, n2, 1};
+
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    const std::ptrdiff_t n = nAxis[axis];
+    if (!crossesPlanes[axis]) {
+      cell[axis] = 0; // excluded from flatBin; resolved per segment
+      continue;
+    }
+    const double inv = inverseT[axis];
+    const bool ascending = inv > 0.0; // coordinate grows with momentum
+    const double entry =
+        (t[axis] * kStart - grid.min[axis]) * grid.inverseWidth[axis];
+    std::ptrdiff_t plane =
+        ascending ? static_cast<std::ptrdiff_t>(std::floor(entry)) + 1
+                  : static_cast<std::ptrdiff_t>(std::ceil(entry)) - 1;
+    // The float candidate can land one plane off when the entry point
+    // sits (nearly) on a plane; nudge until `plane` is the first
+    // crossing strictly beyond kStart.  Each loop runs O(1) times.
+    if (ascending) {
+      while (plane <= n && grid.planeEdge(axis, static_cast<std::size_t>(
+                               plane)) * inv <= kStart) {
+        ++plane;
+      }
+      while (plane > 0 && grid.planeEdge(axis, static_cast<std::size_t>(
+                              plane - 1)) * inv > kStart) {
+        --plane;
+      }
+      cell[axis] = plane - 1;
+    } else {
+      while (plane >= 0 && grid.planeEdge(axis, static_cast<std::size_t>(
+                               plane)) * inv <= kStart) {
+        --plane;
+      }
+      while (plane < n && grid.planeEdge(axis, static_cast<std::size_t>(
+                              plane + 1)) * inv > kStart) {
+        ++plane;
+      }
+      cell[axis] = plane;
+    }
+    if (cell[axis] < 0 || cell[axis] >= n) {
+      return 0; // entry pushed outside by rounding: nothing inside
+    }
+    nextPlane[axis] = plane;
+    planeStep[axis] = ascending ? 1 : -1;
+    flatStep[axis] = ascending ? stride[axis] : -stride[axis];
+    kNext[axis] = plane >= 0 && plane <= n
+                      ? grid.planeEdge(axis, static_cast<std::size_t>(plane)) *
+                            inv
+                      : kInfinity;
+  }
+
+  std::ptrdiff_t flatBin = (cell[0] * n1 + cell[1]) * n2 + cell[2];
+
+  // ---- The walk --------------------------------------------------------
+  std::size_t segments = 0;
+  double k1 = kStart;
+  for (;;) {
+    double k2 = kEnd;
+    if (kNext[0] < k2) {
+      k2 = kNext[0];
+    }
+    if (kNext[1] < k2) {
+      k2 = kNext[1];
+    }
+    if (kNext[2] < k2) {
+      k2 = kNext[2];
+    }
+    if (k2 > k1) {
+      if (!hasParallel) {
+        visit(k1, k2, static_cast<std::size_t>(flatBin));
+        ++segments;
+      } else {
+        // Bin parallel axes at the segment midpoint — the same
+        // expression the sorted-keys locate evaluates, so a coordinate
+        // that drifts across cells (or out of the grid) lands segments
+        // exactly where the legacy path lands them.
+        const double mid = 0.5 * (k1 + k2);
+        std::ptrdiff_t bin = flatBin;
+        bool inside = true;
+        for (std::size_t axis = 0; axis < 3; ++axis) {
+          if (crossesPlanes[axis]) {
+            continue;
+          }
+          const std::size_t c = grid.axisBin(axis, t[axis] * mid);
+          if (c >= grid.n[axis]) {
+            inside = false;
+            break;
+          }
+          bin += static_cast<std::ptrdiff_t>(c) * stride[axis];
+        }
+        if (inside) {
+          visit(k1, k2, static_cast<std::size_t>(bin));
+          ++segments;
+        }
+      }
+    }
+    if (!(k2 < kEnd)) {
+      return segments;
+    }
+    // Step every axis whose crossing is at (or, for degenerate plane
+    // spacings, before) k2 — a corner advances two or three cells in
+    // one iteration with no zero-width segment emitted.
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      if (kNext[axis] <= k2) {
+        cell[axis] += planeStep[axis];
+        if (cell[axis] < 0 || cell[axis] >= nAxis[axis]) {
+          return segments; // stepped out of the hull: walk complete
+        }
+        flatBin += flatStep[axis];
+        nextPlane[axis] += planeStep[axis];
+        // Recomputed from the plane edge each step (no += accumulation
+        // drift), keeping every crossing bitwise equal to tryPlane's.
+        kNext[axis] =
+            nextPlane[axis] >= 0 && nextPlane[axis] <= nAxis[axis]
+                ? grid.planeEdge(axis,
+                                 static_cast<std::size_t>(nextPlane[axis])) *
+                      inverseT[axis]
+                : kInfinity;
+      }
+    }
+    k1 = k2;
+  }
+}
+
+} // namespace vates

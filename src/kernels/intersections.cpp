@@ -6,7 +6,6 @@
 namespace vates {
 
 namespace {
-constexpr double kParallelTolerance = 1e-12;
 
 /// Closed-interval containment with a hair of slack for points that sit
 /// exactly on a boundary plane (they belong to the trajectory's hull).
@@ -19,6 +18,37 @@ inline bool insideAxisClosed(const GridView& grid, std::size_t axis,
 inline bool insideBoxClosed(const GridView& grid, const V3& p) noexcept {
   return insideAxisClosed(grid, 0, p.x) && insideAxisClosed(grid, 1, p.y) &&
          insideAxisClosed(grid, 2, p.z);
+}
+
+/// True when a lower-indexed, non-parallel axis already emitted a
+/// crossing with bitwise this momentum — the ray pierces a grid edge or
+/// corner (or a band endpoint coincides with a crossing).  Analytic, no
+/// scan of the output buffer: recover the lower axis' nearest plane
+/// index from the coordinate at k and re-evaluate tryPlane's exact
+/// momentum expression for it.  Only a bitwise match is reported, so
+/// suppressing the entry is guaranteed result-neutral (an exact
+/// duplicate can only ever bound a zero-width segment, which every
+/// consumer skips via its k2 <= k1 guard).
+inline bool duplicatesLowerAxis(const GridView& grid, const V3& t,
+                                std::size_t axis, double k) noexcept {
+  for (std::size_t lower = 0; lower < axis; ++lower) {
+    const double tLower = t[lower];
+    if (std::fabs(tLower) < kTrajectoryParallelTolerance) {
+      continue;
+    }
+    const double planeFloat =
+        (tLower * k - grid.min[lower]) * grid.inverseWidth[lower];
+    const auto plane = static_cast<std::ptrdiff_t>(std::llround(planeFloat));
+    if (plane < 0 || plane > static_cast<std::ptrdiff_t>(grid.n[lower])) {
+      continue;
+    }
+    const double inverseT = 1.0 / tLower;
+    if (grid.planeEdge(lower, static_cast<std::size_t>(plane)) * inverseT ==
+        k) {
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Test one candidate plane crossing and append it if valid.
@@ -38,6 +68,9 @@ inline void tryPlane(const GridView& grid, const V3& t, double kMin,
       return;
     }
   }
+  if (duplicatesLowerAxis(grid, t, axis, k)) {
+    return; // grid-edge/corner crossing already emitted by a lower axis
+  }
   out[count++] = Intersection{p.x, p.y, p.z, k};
 }
 } // namespace
@@ -49,7 +82,7 @@ std::size_t calculateIntersections(const GridView& grid, const V3& t,
 
   for (std::size_t axis = 0; axis < 3; ++axis) {
     const double tAxis = t[axis];
-    if (std::fabs(tAxis) < kParallelTolerance) {
+    if (std::fabs(tAxis) < kTrajectoryParallelTolerance) {
       continue; // ray parallel to this axis' planes: no crossings
     }
     const double inverseT = 1.0 / tAxis;
@@ -86,9 +119,11 @@ std::size_t calculateIntersections(const GridView& grid, const V3& t,
   }
 
   // Segment endpoints inside the box bound the first/last partial bins.
+  // An endpoint landing bitwise on a plane crossing is already in the
+  // list; emitting it again would only bound a zero-width segment.
   for (const double kEnd : {kMin, kMax}) {
     const V3 p = t * kEnd;
-    if (insideBoxClosed(grid, p)) {
+    if (insideBoxClosed(grid, p) && !duplicatesLowerAxis(grid, t, 3, kEnd)) {
       out[count++] = Intersection{p.x, p.y, p.z, kEnd};
     }
   }

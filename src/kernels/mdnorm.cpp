@@ -1,8 +1,10 @@
 #include "vates/kernels/mdnorm.hpp"
 
 #include "vates/kernels/comb_sort.hpp"
+#include "vates/kernels/trajectory_walk.hpp"
 #include "vates/parallel/atomics.hpp"
 #include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
 
 #include <limits>
 #include <vector>
@@ -48,6 +50,34 @@ Scratch& scratch() {
 
 } // namespace
 
+const char* traversalName(Traversal mode) noexcept {
+  switch (mode) {
+  case Traversal::Legacy:
+    return "legacy";
+  case Traversal::SortedKeys:
+    return "sorted-keys";
+  case Traversal::Dda:
+    return "dda";
+  }
+  return "sorted-keys";
+}
+
+Traversal parseTraversal(const std::string& name) {
+  const std::string lower = toLower(trim(name));
+  if (lower == "legacy" || lower == "structs" || lower == "mantid") {
+    return Traversal::Legacy;
+  }
+  if (lower == "sorted-keys" || lower == "sorted_keys" || lower == "keys" ||
+      lower == "sorted") {
+    return Traversal::SortedKeys;
+  }
+  if (lower == "dda" || lower == "walk" || lower == "grid-walk") {
+    return Traversal::Dda;
+  }
+  throw InvalidArgument("unknown traversal '" + name +
+                        "' (available: legacy, sorted-keys, dda)");
+}
+
 void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
                const GridView& normalization, const MDNormOptions& options) {
   VATES_REQUIRE(normalization.data != nullptr, "normalization view has no data");
@@ -74,34 +104,57 @@ void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
   const double kMax = inputs.kMax;
   const GridView grid = normalization;
   const PlaneSearch search = options.search;
-  const bool primitiveKeys = options.sortPrimitiveKeys;
-  const std::uint8_t* mask = inputs.detectorMask;
+  const Traversal traversal = options.traversal;
+  // Compacted launch: iterate the active-detector list when provided,
+  // the full detector range (with the per-item mask branch) otherwise.
+  const std::uint32_t* active =
+      inputs.activeDetectors.empty() ? nullptr : inputs.activeDetectors.data();
+  const std::size_t nItems =
+      active != nullptr ? inputs.activeDetectors.size() : nDetectors;
+  const std::uint8_t* mask = active != nullptr ? nullptr : inputs.detectorMask;
 
   GridAccumulator accumulator(normalization, executor, options.accumulate);
   const AccumulatorRef sink = accumulator.ref();
 
   executor.parallelFor2DIndexed(
-      nOps, nDetectors,
-      [=](std::size_t op, std::size_t detector, unsigned worker) {
+      nOps, nItems,
+      [=](std::size_t op, std::size_t item, unsigned worker) {
+        const std::size_t detector = active != nullptr ? active[item] : item;
         if (mask != nullptr && mask[detector] != 0) {
           return;
         }
-        Scratch& s = scratch();
-        s.ensure(capacity);
-        Intersection* buffer = s.intersections.data();
 
         const V3 t = trajectories != nullptr
                          ? trajectories[op * nDetectors + detector]
                          : transforms[op] * qDirections[detector];
+        const double weightFactor = solidAngles[detector] * charge;
+
+        if (traversal == Traversal::Dda) {
+          // Streaming walk: segments arrive already in momentum order
+          // with their bin index — nothing to buffer, sort, or locate,
+          // so the thread-local scratch is never touched.
+          traverseTrajectory(grid, t, kMin, kMax,
+                             [&](double k1, double k2, std::size_t bin) {
+                               const double deposit =
+                                   weightFactor * flux.bandIntegral(k1, k2);
+                               if (deposit > 0.0) {
+                                 sink.add(worker, bin, deposit);
+                               }
+                             });
+          return;
+        }
+
+        Scratch& s = scratch();
+        s.ensure(capacity);
+        Intersection* buffer = s.intersections.data();
+
         const std::size_t count =
             calculateIntersections(grid, t, kMin, kMax, search, buffer);
         if (count < 2) {
           return;
         }
 
-        const double weightFactor = solidAngles[detector] * charge;
-
-        if (primitiveKeys) {
+        if (traversal == Traversal::SortedKeys) {
           // Proxy-style: extract the momentum keys and sort only them;
           // positions are recomputed from the ray parameterization.
           double* keys = s.keys.data();
@@ -172,22 +225,29 @@ std::size_t estimateMaxIntersections(const Executor& executor,
       inputs.trajectories.empty() ? nullptr : inputs.trajectories.data();
   const double kMin = inputs.kMin;
   const double kMax = inputs.kMax;
+  // Match runMDNorm's launch shape: only active detectors contribute to
+  // the bound when a compacted list is provided.
+  const std::uint32_t* active =
+      inputs.activeDetectors.empty() ? nullptr : inputs.activeDetectors.data();
+  const std::size_t nItems =
+      active != nullptr ? inputs.activeDetectors.size() : nDetectors;
 
   // The flattened (op × detector) index space must fit std::size_t, or
   // the reduce below silently iterates a wrapped-around count.
-  VATES_REQUIRE(nDetectors == 0 ||
-                    nOps <= std::numeric_limits<std::size_t>::max() / nDetectors,
+  VATES_REQUIRE(nItems == 0 ||
+                    nOps <= std::numeric_limits<std::size_t>::max() / nItems,
                 "op × detector index space overflows std::size_t");
 
   return executor.parallelReduce(
-      nOps * nDetectors, std::size_t{0},
+      nOps * nItems, std::size_t{0},
       [=](std::size_t flat) {
         Scratch& s = scratch();
         s.ensure(capacity);
+        const std::size_t detector =
+            active != nullptr ? active[flat % nItems] : flat % nItems;
         const V3 t = trajectories != nullptr
-                         ? trajectories[flat]
-                         : transforms[flat / nDetectors] *
-                               qDirections[flat % nDetectors];
+                         ? trajectories[(flat / nItems) * nDetectors + detector]
+                         : transforms[flat / nItems] * qDirections[detector];
         return calculateIntersections(grid, t, kMin, kMax, search,
                                       s.intersections.data());
       },

@@ -304,8 +304,9 @@ TEST(MDNorm, ClippedTrajectoryDepositsPartialIntegral) {
 }
 
 TEST(MDNorm, VariantsProduceIdenticalHistograms) {
-  // ROI vs Linear search and keys vs structs sorting are pure
-  // optimizations: all four combinations must agree bin-for-bin.
+  // ROI vs Linear search and legacy vs sorted-keys vs streaming-DDA
+  // traversal are pure optimizations: every combination must agree
+  // bin-for-bin.
   const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
   const EventGenerator generator = setup.makeGenerator();
   const RunInfo run = generator.runInfo(0);
@@ -324,13 +325,14 @@ TEST(MDNorm, VariantsProduceIdenticalHistograms) {
 
   Histogram3D reference = setup.makeHistogram();
   runMDNorm(Executor(Backend::Serial), inputs, reference.gridView(),
-            MDNormOptions{PlaneSearch::Linear, false});
+            MDNormOptions{PlaneSearch::Linear, Traversal::Legacy});
 
   for (const PlaneSearch search : {PlaneSearch::Linear, PlaneSearch::Roi}) {
-    for (const bool keys : {false, true}) {
+    for (const Traversal traversal :
+         {Traversal::Legacy, Traversal::SortedKeys, Traversal::Dda}) {
       Histogram3D histogram = setup.makeHistogram();
       runMDNorm(Executor(Backend::Serial), inputs, histogram.gridView(),
-                MDNormOptions{search, keys});
+                MDNormOptions{search, traversal});
       double worst = 0.0;
       for (std::size_t i = 0; i < histogram.size(); ++i) {
         worst = std::max(worst, std::fabs(histogram.data()[i] -
@@ -338,7 +340,7 @@ TEST(MDNorm, VariantsProduceIdenticalHistograms) {
       }
       EXPECT_LT(worst, 1e-12)
           << "search=" << (search == PlaneSearch::Roi ? "roi" : "linear")
-          << " keys=" << keys;
+          << " traversal=" << traversalName(traversal);
     }
   }
 }

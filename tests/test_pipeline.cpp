@@ -102,6 +102,8 @@ TEST(Pipeline, DeviceBackendReportsStats) {
   const ExperimentSetup setup(tinyBenzil());
   ReductionConfig config;
   config.backend = Backend::DeviceSim;
+  // The estimate pre-pass only exists for the sort-based traversals.
+  config.mdnorm.traversal = Traversal::SortedKeys;
   const ReductionResult result = ReductionPipeline(setup, config).run();
 
   EXPECT_GT(result.deviceStats.kernelLaunches, 0u);
@@ -163,12 +165,65 @@ TEST(Pipeline, MdnormVariantsAgreeEndToEnd) {
   ReductionConfig linearStructs;
   linearStructs.backend = Backend::Serial;
   linearStructs.mdnorm.search = PlaneSearch::Linear;
-  linearStructs.mdnorm.sortPrimitiveKeys = false;
+  linearStructs.mdnorm.traversal = Traversal::Legacy;
   const ReductionResult mantidStyle =
       ReductionPipeline(setup, linearStructs).run();
 
   EXPECT_LT(worstAbsDiff(roiResult.normalization, mantidStyle.normalization),
             1e-10);
+
+  ReductionConfig dda;
+  dda.backend = Backend::Serial;
+  dda.mdnorm.traversal = Traversal::Dda;
+  const ReductionResult walked = ReductionPipeline(setup, dda).run();
+  EXPECT_LT(worstAbsDiff(roiResult.normalization, walked.normalization),
+            1e-12);
+}
+
+TEST(Pipeline, DetectorMaskCompactsTheLaunch) {
+  ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+  const ReductionResult unmasked = ReductionPipeline(setup, config).run();
+
+  DetectorMask mask(setup.instrument().nDetectors());
+  mask.maskRandomFraction(0.4, 7);
+  ASSERT_GT(mask.maskedCount(), 0u);
+  setup.setDetectorMask(mask);
+
+  // Masked reduction drops normalization signal, and every traversal
+  // mode sees the same compacted active-detector list.
+  const ReductionResult legacy = [&] {
+    ReductionConfig c = config;
+    c.mdnorm.traversal = Traversal::Legacy;
+    return ReductionPipeline(setup, c).run();
+  }();
+  const ReductionResult dda = [&] {
+    ReductionConfig c = config;
+    c.mdnorm.traversal = Traversal::Dda;
+    return ReductionPipeline(setup, c).run();
+  }();
+  EXPECT_LT(legacy.normalization.totalSignal(),
+            unmasked.normalization.totalSignal());
+  EXPECT_LT(worstAbsDiff(legacy.normalization, dda.normalization), 1e-12);
+
+  // Device path stages the active list on the device.
+  if (backendAvailable(Backend::DeviceSim)) {
+    ReductionConfig device = config;
+    device.backend = Backend::DeviceSim;
+    const ReductionResult onDevice = ReductionPipeline(setup, device).run();
+    EXPECT_LT(worstAbsDiff(legacy.normalization, onDevice.normalization),
+              1e-10);
+  }
+
+  // Everything masked: the MDNorm launch is skipped outright and the
+  // normalization stays identically zero.
+  DetectorMask all(setup.instrument().nDetectors());
+  all.maskRandomFraction(1.0, 7);
+  ASSERT_EQ(all.maskedCount(), all.size());
+  setup.setDetectorMask(all);
+  const ReductionResult none = ReductionPipeline(setup, config).run();
+  EXPECT_EQ(none.normalization.totalSignal(), 0.0);
 }
 
 TEST(Pipeline, AgreesWithIndependentBaseline) {
@@ -318,12 +373,12 @@ TEST(Pipeline, ConfigSummaryNamesEveryKnob) {
   config.backend = Backend::Serial;
   config.loadMode = LoadMode::RawTof;
   config.mdnorm.search = PlaneSearch::Linear;
-  config.mdnorm.sortPrimitiveKeys = false;
+  config.mdnorm.traversal = Traversal::Legacy;
   const std::string summary = config.summary();
   EXPECT_NE(summary.find("serial"), std::string::npos);
   EXPECT_NE(summary.find("raw-tof"), std::string::npos);
   EXPECT_NE(summary.find("linear"), std::string::npos);
-  EXPECT_NE(summary.find("structs"), std::string::npos);
+  EXPECT_NE(summary.find("legacy"), std::string::npos);
 }
 
 TEST(Pipeline, InvalidConfigThrows) {
@@ -579,6 +634,9 @@ TEST(Overlap, DevicePrePassRunsOncePerReduction) {
   ReductionConfig config;
   config.backend = Backend::DeviceSim;
   config.deviceIntersectionPrePass = true;
+  // The pre-pass sizes scratch for the sort-based traversals; the
+  // default dda walk needs no capacity and skips it outright.
+  config.mdnorm.traversal = Traversal::SortedKeys;
   const ReductionPipeline pipeline(setup, config);
   ASSERT_GT(setup.spec().nFiles, 1u);
 
@@ -608,6 +666,26 @@ TEST(Overlap, EnvOverrideSelectsMode) {
   ::unsetenv("VATES_OVERLAP");
   EXPECT_EQ(ReductionPipeline(setup, config).config().overlap.mode,
             OverlapMode::Off);
+}
+
+TEST(Traversal, EnvOverrideSelectsMode) {
+  const ExperimentSetup setup(tinyBenzil());
+  ReductionConfig config;
+  config.backend = Backend::Serial;
+
+  ::setenv("VATES_TRAVERSAL", "dda", 1);
+  EXPECT_EQ(ReductionPipeline(setup, config).config().mdnorm.traversal,
+            Traversal::Dda);
+  ::setenv("VATES_TRAVERSAL", "legacy", 1);
+  EXPECT_EQ(ReductionPipeline(setup, config).config().mdnorm.traversal,
+            Traversal::Legacy);
+  // Bad values are ignored with a warning; the configured mode stands.
+  ::setenv("VATES_TRAVERSAL", "not-a-mode", 1);
+  EXPECT_EQ(ReductionPipeline(setup, config).config().mdnorm.traversal,
+            Traversal::Dda);
+  ::unsetenv("VATES_TRAVERSAL");
+  EXPECT_EQ(ReductionPipeline(setup, config).config().mdnorm.traversal,
+            Traversal::Dda);
 }
 
 TEST(Overlap, ParseAndNameRoundTrip) {

@@ -122,7 +122,7 @@ lorentz = true
   EXPECT_EQ(plan.config.ranks, 3);
   EXPECT_EQ(plan.config.loadMode, core::LoadMode::RawTof);
   EXPECT_EQ(plan.config.mdnorm.search, PlaneSearch::Linear);
-  EXPECT_FALSE(plan.config.mdnorm.sortPrimitiveKeys);
+  EXPECT_EQ(plan.config.mdnorm.traversal, Traversal::Legacy);
   EXPECT_TRUE(plan.config.trackErrors);
   EXPECT_TRUE(plan.config.convert.lorentzCorrection);
 }

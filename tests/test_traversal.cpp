@@ -1,0 +1,512 @@
+// Parity and determinism tests for the streaming trajectory walk
+// (trajectory_walk.hpp) against the legacy generate → sort → locate
+// paths.  The walk is engineered for *exact* agreement: every crossing
+// momentum is computed with the same expression tryPlane uses, so the
+// segment sequences are compared bitwise, not within a tolerance.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/geometry/detector_mask.hpp"
+#include "vates/histogram/histogram3d.hpp"
+#include "vates/kernels/comb_sort.hpp"
+#include "vates/kernels/intersections.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/trajectory_walk.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace vates {
+namespace {
+
+struct Segment {
+  double k1 = 0.0;
+  double k2 = 0.0;
+  std::size_t bin = 0;
+};
+
+/// The legacy pipeline, reduced to its observable output: generate all
+/// crossings, sort, walk adjacent pairs, keep segments whose midpoint
+/// locates to a real bin.  `structMidpoints` selects the Legacy
+/// (stored-position average) vs SortedKeys (ray re-evaluation) midpoint
+/// form — both must agree with the walk.
+std::vector<Segment> referenceSegments(const GridView& grid, const V3& t,
+                                       double kMin, double kMax,
+                                       PlaneSearch search,
+                                       bool structMidpoints) {
+  std::vector<Intersection> buffer(maxIntersections(grid));
+  const std::size_t count =
+      calculateIntersections(grid, t, kMin, kMax, search, buffer.data());
+  combSortStructs(buffer.data(), count,
+                  [](const Intersection& p) { return p.k; });
+  std::vector<Segment> segments;
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    const Intersection& a = buffer[i];
+    const Intersection& b = buffer[i + 1];
+    if (b.k <= a.k) {
+      continue;
+    }
+    const V3 mid = structMidpoints
+                       ? V3{0.5 * (a.x + b.x), 0.5 * (a.y + b.y),
+                            0.5 * (a.z + b.z)}
+                       : t * (0.5 * (a.k + b.k));
+    const std::size_t bin = grid.locate(mid);
+    if (bin < grid.size()) {
+      segments.push_back({a.k, b.k, bin});
+    }
+  }
+  return segments;
+}
+
+std::vector<Segment> walkSegments(const GridView& grid, const V3& t,
+                                  double kMin, double kMax) {
+  std::vector<Segment> segments;
+  traverseTrajectory(grid, t, kMin, kMax,
+                     [&](double k1, double k2, std::size_t bin) {
+                       segments.push_back({k1, k2, bin});
+                     });
+  return segments;
+}
+
+std::string describe(const V3& t, double kMin, double kMax) {
+  std::ostringstream out;
+  out << "t=(" << t.x << ", " << t.y << ", " << t.z << ") band=[" << kMin
+      << ", " << kMax << "]";
+  return out.str();
+}
+
+void expectIdenticalSegments(const std::vector<Segment>& reference,
+                             const std::vector<Segment>& walked,
+                             const std::string& context) {
+  ASSERT_EQ(reference.size(), walked.size()) << context;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Bitwise: the walk evaluates the same plane-edge expressions.
+    EXPECT_EQ(reference[i].k1, walked[i].k1) << context << " segment " << i;
+    EXPECT_EQ(reference[i].k2, walked[i].k2) << context << " segment " << i;
+    EXPECT_EQ(reference[i].bin, walked[i].bin) << context << " segment " << i;
+  }
+}
+
+void expectParity(const GridView& grid, const V3& t, double kMin,
+                  double kMax) {
+  const std::string context = describe(t, kMin, kMax);
+  const std::vector<Segment> walked = walkSegments(grid, t, kMin, kMax);
+  for (const PlaneSearch search : {PlaneSearch::Linear, PlaneSearch::Roi}) {
+    for (const bool structMidpoints : {false, true}) {
+      expectIdenticalSegments(
+          referenceSegments(grid, t, kMin, kMax, search, structMidpoints),
+          walked, context);
+    }
+  }
+}
+
+Histogram3D makeGrid(std::size_t nx, std::size_t ny, std::size_t nz,
+                     double halfX = 5.0, double halfY = 5.0,
+                     double halfZ = 0.5) {
+  return Histogram3D(BinAxis("x", -halfX, halfX, nx),
+                     BinAxis("y", -halfY, halfY, ny),
+                     BinAxis("z", -halfZ, halfZ, nz));
+}
+
+// --------------------------------------------------------------------------
+// Randomized property sweep
+
+class TraversalParity : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TraversalParity,
+                         ::testing::Range(0, 16));
+
+TEST_P(TraversalParity, RandomGridsTrajectoriesAndBands) {
+  Xoshiro256 rng(4242 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto nx = static_cast<std::size_t>(rng.uniform(1.0, 9.0));
+    const auto ny = static_cast<std::size_t>(rng.uniform(1.0, 9.0));
+    const auto nz = static_cast<std::size_t>(rng.uniform(1.0, 4.0));
+    Histogram3D histogram =
+        makeGrid(nx, ny, nz, rng.uniform(0.5, 6.0), rng.uniform(0.5, 6.0),
+                 rng.uniform(0.1, 2.0));
+    const GridView grid = histogram.gridView();
+
+    // Components are zeroed with decent probability so rays parallel to
+    // one or two axes (and the fully degenerate all-zero ray) are
+    // exercised constantly, not just in the dedicated tests below.
+    V3 t;
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      t[axis] = rng.uniform(0.0, 1.0) < 0.25
+                    ? 0.0
+                    : rng.uniform(-1.5, 1.5);
+    }
+    double kMin = rng.uniform(0.05, 3.0);
+    double kMax = kMin + rng.uniform(0.01, 8.0);
+
+    // Sometimes pin a band endpoint bitwise onto a plane crossing.
+    if (rng.uniform(0.0, 1.0) < 0.2) {
+      for (std::size_t axis = 0; axis < 3; ++axis) {
+        if (std::fabs(t[axis]) < kTrajectoryParallelTolerance) {
+          continue;
+        }
+        const auto plane =
+            static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 0.999 *
+                                     static_cast<double>(grid.n[axis] + 1));
+        const double k = grid.planeEdge(axis, plane) * (1.0 / t[axis]);
+        if (k > 0.0 && std::isfinite(k)) {
+          if (rng.uniform(0.0, 1.0) < 0.5) {
+            kMin = k;
+            kMax = std::max(kMax, kMin + 0.5);
+          } else {
+            kMax = std::max(k, kMin + 1e-6);
+          }
+        }
+        break;
+      }
+    }
+
+    expectParity(grid, t, kMin, kMax);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Engineered degenerate cases
+
+TEST(TrajectoryWalk, AxisParallelRays) {
+  Histogram3D histogram = makeGrid(10, 10, 1);
+  const GridView grid = histogram.gridView();
+  // Parallel to y and z: only x planes cross.
+  expectParity(grid, V3{0.5, 0.0, 0.0}, 1.0, 9.0);
+  // Parallel to z only.
+  expectParity(grid, V3{0.4, -0.3, 0.0}, 1.0, 9.0);
+  // Parallel to all three axes: the "ray" never leaves the origin, so
+  // both paths produce one whole-band segment binned at the origin.
+  expectParity(grid, V3{0.0, 0.0, 0.0}, 1.0, 9.0);
+  const std::vector<Segment> pinned =
+      walkSegments(grid, V3{0.0, 0.0, 0.0}, 1.0, 9.0);
+  ASSERT_EQ(pinned.size(), 1u);
+  EXPECT_EQ(pinned.front().bin, grid.locate(V3{0.0, 0.0, 0.0}));
+  // Parallel component exactly on the lower boundary (inside, [min,max)).
+  Histogram3D shifted = Histogram3D(BinAxis("x", 0.0, 4.0, 4),
+                                    BinAxis("y", 0.0, 4.0, 4),
+                                    BinAxis("z", -0.5, 0.5, 1));
+  expectParity(shifted.gridView(), V3{1.0, 0.0, 0.0}, 0.5, 3.5);
+}
+
+TEST(TrajectoryWalk, CornerDiagonalStepsAllAxesAtOnce) {
+  // Unit-pitch grid from the origin: t = (1,1,1) pierces a grid corner
+  // at every integer momentum — a three-way tie each step.
+  Histogram3D histogram = Histogram3D(BinAxis("x", 0.0, 4.0, 4),
+                                      BinAxis("y", 0.0, 4.0, 4),
+                                      BinAxis("z", 0.0, 4.0, 4));
+  const GridView grid = histogram.gridView();
+  const V3 t{1.0, 1.0, 1.0};
+  expectParity(grid, t, 0.5, 3.5);
+
+  const std::vector<Segment> segments = walkSegments(grid, t, 0.5, 3.5);
+  ASSERT_EQ(segments.size(), 4u);
+  const std::size_t stride = (4 * 4) + 4 + 1; // +1 on every axis per step
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(segments[i].bin, i * stride);
+  }
+  EXPECT_EQ(segments.front().k1, 0.5);
+  EXPECT_EQ(segments.back().k2, 3.5);
+}
+
+TEST(TrajectoryWalk, TwoAxisEdgeGraze) {
+  // t = (1,1,0.01): x and y tie at every crossing (two-way corner),
+  // while z advances independently.
+  Histogram3D histogram = Histogram3D(BinAxis("x", 0.0, 4.0, 4),
+                                      BinAxis("y", 0.0, 4.0, 4),
+                                      BinAxis("z", -0.5, 0.5, 2));
+  expectParity(histogram.gridView(), V3{1.0, 1.0, 0.01}, 0.25, 3.75);
+}
+
+TEST(TrajectoryWalk, GrazingBoundaryPlanes) {
+  // Ray running exactly in the lower boundary plane y = 0: inside by
+  // the [min, max) convention, so segments bin into row 0.
+  Histogram3D histogram = Histogram3D(BinAxis("x", 0.0, 4.0, 4),
+                                      BinAxis("y", 0.0, 4.0, 4),
+                                      BinAxis("z", -0.5, 0.5, 1));
+  const GridView grid = histogram.gridView();
+  expectParity(grid, V3{1.0, 0.0, 0.0}, 0.5, 3.5);
+  const std::vector<Segment> onLower = walkSegments(grid, V3{1.0, 0.0, 0.0},
+                                                    0.5, 3.5);
+  ASSERT_FALSE(onLower.empty());
+  for (const Segment& s : onLower) {
+    EXPECT_LT(s.bin, grid.size());
+  }
+
+  // Ray running exactly in the *upper* boundary plane y = max: outside
+  // by the same convention — no segments from either path.
+  Histogram3D upper = Histogram3D(BinAxis("x", 0.0, 4.0, 4),
+                                  BinAxis("y", -4.0, 0.0, 4),
+                                  BinAxis("z", -0.5, 0.5, 1));
+  expectParity(upper.gridView(), V3{1.0, 0.0, 0.0}, 0.5, 3.5);
+  EXPECT_TRUE(
+      walkSegments(upper.gridView(), V3{1.0, 0.0, 0.0}, 0.5, 3.5).empty());
+}
+
+TEST(TrajectoryWalk, BandEntirelyOutsideGrid) {
+  Histogram3D histogram = makeGrid(8, 8, 1);
+  const GridView grid = histogram.gridView();
+  // Band beyond the box on the ray's axis of travel.
+  EXPECT_TRUE(walkSegments(grid, V3{1.0, 0.0, 0.0}, 20.0, 30.0).empty());
+  expectParity(grid, V3{1.0, 0.0, 0.0}, 20.0, 30.0);
+  // Ray that leaves the thin z-slab before the band begins.
+  EXPECT_TRUE(walkSegments(grid, V3{0.1, 0.1, 1.0}, 2.0, 9.0).empty());
+  expectParity(grid, V3{0.1, 0.1, 1.0}, 2.0, 9.0);
+}
+
+TEST(TrajectoryWalk, BandEndpointsExactlyOnPlaneEdges) {
+  Histogram3D histogram = Histogram3D(BinAxis("x", 0.0, 8.0, 8),
+                                      BinAxis("y", -4.0, 4.0, 8),
+                                      BinAxis("z", -0.5, 0.5, 1));
+  const GridView grid = histogram.gridView();
+  const V3 t{2.0, 0.5, 0.0};
+  // planeEdge(0, p) = p on pitch-1 planes; k = p / 2 exactly.
+  const double inverseT = 1.0 / t.x;
+  const double kOnPlane1 = grid.planeEdge(0, 2) * inverseT; // = 1.0
+  const double kOnPlane2 = grid.planeEdge(0, 6) * inverseT; // = 3.0
+  expectParity(grid, t, kOnPlane1, kOnPlane2);
+  // Band start exactly on the grid's entry face.
+  const double kEntry = grid.planeEdge(0, 0) * inverseT; // = 0.0 edge
+  expectParity(grid, t, std::max(kEntry, 0.25), 3.5);
+  // Negative-direction components with endpoints on planes.
+  expectParity(grid, V3{2.0, -0.5, 0.0}, kOnPlane1, kOnPlane2);
+}
+
+TEST(TrajectoryWalk, DegeneratePlaneSpacingTerminates) {
+  // A pathologically thin axis: all planes nearly coincide.  The walk
+  // must terminate and agree with the reference (most segments are
+  // zero-width and skipped).
+  Histogram3D histogram = Histogram3D(BinAxis("x", 0.0, 4.0, 4),
+                                      BinAxis("y", 0.0, 1e-13, 4),
+                                      BinAxis("z", -0.5, 0.5, 1));
+  expectParity(histogram.gridView(), V3{1.0, 1e-14, 0.0}, 0.5, 3.5);
+}
+
+// --------------------------------------------------------------------------
+// Corner dedupe (legacy path)
+
+TEST(Intersections, CornerCrossingsEmittedOnce) {
+  // The (1,1,1) diagonal through a unit grid crosses three planes at
+  // every integer momentum; pre-dedupe the legacy path emitted each
+  // crossing three times.
+  Histogram3D histogram = Histogram3D(BinAxis("x", 0.0, 4.0, 4),
+                                      BinAxis("y", 0.0, 4.0, 4),
+                                      BinAxis("z", 0.0, 4.0, 4));
+  const GridView grid = histogram.gridView();
+  std::vector<Intersection> buffer(maxIntersections(grid));
+  for (const PlaneSearch search : {PlaneSearch::Linear, PlaneSearch::Roi}) {
+    const std::size_t count = calculateIntersections(
+        grid, V3{1.0, 1.0, 1.0}, 0.5, 3.5, search, buffer.data());
+    std::multiset<double> momenta;
+    for (std::size_t i = 0; i < count; ++i) {
+      momenta.insert(buffer[i].k);
+    }
+    // Crossings at k = 1, 2, 3 plus the two band endpoints — each once.
+    EXPECT_EQ(count, 5u);
+    for (const double k : momenta) {
+      EXPECT_EQ(momenta.count(k), 1u) << "duplicate momentum " << k;
+    }
+  }
+}
+
+TEST(Intersections, EndpointOnPlaneEmittedOnce) {
+  Histogram3D histogram = Histogram3D(BinAxis("x", 0.0, 8.0, 8),
+                                      BinAxis("y", -4.0, 4.0, 8),
+                                      BinAxis("z", -0.5, 0.5, 1));
+  const GridView grid = histogram.gridView();
+  std::vector<Intersection> buffer(maxIntersections(grid));
+  const V3 t{2.0, 0.5, 0.0};
+  // kMin = 1.0 sits bitwise on the x-plane at 2.0; the endpoint entry
+  // must be suppressed in favor of the plane crossing.
+  const std::size_t count = calculateIntersections(
+      grid, t, 1.0, 3.0, PlaneSearch::Roi, buffer.data());
+  std::size_t atKMin = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (buffer[i].k == 1.0) {
+      ++atKMin;
+    }
+  }
+  EXPECT_EQ(atKMin, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Full-kernel composition: backends × accumulate strategies
+
+TEST(TrajectoryWalk, DdaKernelDeterministicAcrossBackendsAndStrategies) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  Histogram3D reference = setup.makeHistogram();
+  runMDNorm(Executor(Backend::Serial), inputs, reference.gridView(),
+            MDNormOptions{PlaneSearch::Roi, Traversal::Legacy});
+
+  for (const Backend backend :
+       {Backend::Serial, Backend::OpenMP, Backend::ThreadPool,
+        Backend::DeviceSim}) {
+    if (!backendAvailable(backend)) {
+      continue;
+    }
+    for (const AccumulateStrategy strategy :
+         {AccumulateStrategy::Atomic, AccumulateStrategy::Privatized,
+          AccumulateStrategy::Tiled, AccumulateStrategy::Auto}) {
+      MDNormOptions options;
+      options.traversal = Traversal::Dda;
+      options.accumulate.strategy = strategy;
+      // Note: no device staging here — DeviceSim executes host-side in
+      // this simulator, so host spans are reachable; the pipeline-level
+      // tests cover the staged path.
+      Histogram3D first = setup.makeHistogram();
+      runMDNorm(Executor(backend), inputs, first.gridView(), options);
+      Histogram3D second = setup.makeHistogram();
+      runMDNorm(Executor(backend), inputs, second.gridView(), options);
+
+      const std::string context =
+          std::string("backend=") + backendName(backend) + " strategy=" +
+          accumulateStrategyName(strategy);
+      double worst = 0.0;
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        // Bitwise repeatability for a fixed configuration.
+        ASSERT_EQ(first.data()[i], second.data()[i]) << context;
+        worst = std::max(worst, std::fabs(first.data()[i] -
+                                          reference.data()[i]));
+      }
+      // And 1e-12-level agreement with the Legacy serial result.
+      EXPECT_LT(worst, 1e-12) << context;
+    }
+  }
+}
+
+TEST(TrajectoryWalk, DdaLeavesScratchUntouched) {
+  // The walk needs no intersection buffer: the calling thread's scratch
+  // capacity must not change, whatever grid size the kernel sees.
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  MDNormOptions options;
+  options.traversal = Traversal::Dda;
+  Histogram3D histogram = setup.makeHistogram();
+  const std::size_t before = mdnormScratchCapacityForTesting();
+  runMDNorm(Executor(Backend::Serial), inputs, histogram.gridView(), options);
+  EXPECT_EQ(mdnormScratchCapacityForTesting(), before);
+}
+
+// --------------------------------------------------------------------------
+// Compacted active-detector launch
+
+TEST(MDNorm, ActiveDetectorListMatchesMaskBranch) {
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+  const RunInfo run = generator.runInfo(0);
+  const auto transforms =
+      mdNormTransforms(setup.projection(), setup.lattice(),
+                       setup.symmetryMatrices(), run.goniometerR);
+
+  DetectorMask mask(setup.instrument().nDetectors());
+  mask.maskRandomFraction(0.35, 99);
+  ASSERT_GT(mask.maskedCount(), 0u);
+  std::vector<std::uint32_t> active;
+  for (std::size_t d = 0; d < mask.size(); ++d) {
+    if (!mask.isMasked(d)) {
+      active.push_back(static_cast<std::uint32_t>(d));
+    }
+  }
+
+  MDNormInputs inputs;
+  inputs.transforms = transforms;
+  inputs.qLabDirections = setup.instrument().qLabDirections();
+  inputs.solidAngles = setup.instrument().solidAngles();
+  inputs.flux = setup.flux().view();
+  inputs.protonCharge = run.protonCharge;
+  inputs.kMin = run.kMin;
+  inputs.kMax = run.kMax;
+
+  for (const Traversal traversal :
+       {Traversal::Legacy, Traversal::SortedKeys, Traversal::Dda}) {
+    MDNormOptions options;
+    options.traversal = traversal;
+
+    MDNormInputs branchy = inputs;
+    branchy.detectorMask = mask.flags().data();
+    Histogram3D viaMask = setup.makeHistogram();
+    runMDNorm(Executor(Backend::Serial), branchy, viaMask.gridView(),
+              options);
+
+    MDNormInputs compacted = inputs;
+    compacted.activeDetectors = active;
+    Histogram3D viaList = setup.makeHistogram();
+    runMDNorm(Executor(Backend::Serial), compacted, viaList.gridView(),
+              options);
+
+    // Same detectors in the same order on one thread → bitwise equal.
+    for (std::size_t i = 0; i < viaMask.size(); ++i) {
+      ASSERT_EQ(viaMask.data()[i], viaList.data()[i])
+          << "traversal=" << traversalName(traversal) << " bin " << i;
+    }
+
+    // Parallel launch over the compacted list agrees to tolerance (the
+    // accumulation order differs, not the set of deposits).
+    Histogram3D viaListThreads = setup.makeHistogram();
+    runMDNorm(Executor(Backend::ThreadPool), compacted,
+              viaListThreads.gridView(), options);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < viaMask.size(); ++i) {
+      worst = std::max(worst, std::fabs(viaListThreads.data()[i] -
+                                        viaMask.data()[i]));
+    }
+    EXPECT_LT(worst, 1e-12) << "traversal=" << traversalName(traversal);
+
+    // The mask must actually remove signal relative to the full array.
+    Histogram3D unmasked = setup.makeHistogram();
+    runMDNorm(Executor(Backend::Serial), inputs, unmasked.gridView(),
+              options);
+    EXPECT_LT(viaMask.totalSignal(), unmasked.totalSignal());
+  }
+}
+
+TEST(MDNorm, TraversalNamesRoundTrip) {
+  for (const Traversal mode :
+       {Traversal::Legacy, Traversal::SortedKeys, Traversal::Dda}) {
+    EXPECT_EQ(parseTraversal(traversalName(mode)), mode);
+  }
+  EXPECT_EQ(parseTraversal("  Keys "), Traversal::SortedKeys);
+  EXPECT_EQ(parseTraversal("structs"), Traversal::Legacy);
+  EXPECT_EQ(parseTraversal("WALK"), Traversal::Dda);
+  EXPECT_THROW(parseTraversal("quantum"), InvalidArgument);
+}
+
+} // namespace
+} // namespace vates
