@@ -46,7 +46,10 @@ public:
 
   /// Element-wise sum of \p data across ranks, deposited into the root
   /// rank's buffer (other ranks' buffers are unchanged).  All ranks must
-  /// pass buffers of identical length.
+  /// pass buffers of identical length: lengths are exchanged first and a
+  /// mismatch throws InvalidArgument on *every* rank (the world unwinds
+  /// cleanly instead of deadlocking or reading out of bounds).  The same
+  /// check guards allReduceSum and bcast.
   void reduceSum(std::span<double> data, int root = 0);
   void reduceSum(std::span<float> data, int root = 0);
   void reduceSum(std::span<std::uint64_t> data, int root = 0);
@@ -85,6 +88,8 @@ public:
 private:
   friend class World;
   Communicator(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  void requireMatchingSizes(std::size_t count, const char* what);
 
   template <typename T>
   void reduceSumImpl(std::span<T> data, int root);

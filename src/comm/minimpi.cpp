@@ -69,9 +69,29 @@ int Communicator::size() const noexcept { return world_->size_; }
 
 void Communicator::barrier() { world_->barrier(); }
 
+void Communicator::requireMatchingSizes(std::size_t count, const char* what) {
+  // Exchange buffer lengths before touching any buffer: with real MPI a
+  // length mismatch is undefined behavior (here it would be an
+  // out-of-bounds read of another rank's buffer).  Every rank gathers
+  // every size, so every rank observes the mismatch and throws — the
+  // world unwinds instead of deadlocking at a later barrier.
+  const auto sizes = allGatherImpl(static_cast<std::uint64_t>(count));
+  for (int r = 0; r < size(); ++r) {
+    if (sizes[static_cast<std::size_t>(r)] != sizes[0]) {
+      throw InvalidArgument(std::string(what) +
+                            ": buffer length mismatch across ranks (rank 0 has " +
+                            std::to_string(sizes[0]) + " elements, rank " +
+                            std::to_string(r) + " has " +
+                            std::to_string(sizes[static_cast<std::size_t>(r)]) +
+                            ")");
+    }
+  }
+}
+
 template <typename T>
 void Communicator::reduceSumImpl(std::span<T> data, int root) {
   VATES_REQUIRE(root >= 0 && root < size(), "invalid root rank");
+  requireMatchingSizes(data.size(), "reduceSum");
   world_->publish(rank_, data.data());
   world_->barrier();
   if (rank_ == root) {
@@ -91,6 +111,7 @@ void Communicator::reduceSumImpl(std::span<T> data, int root) {
 
 template <typename T>
 void Communicator::allReduceSumImpl(std::span<T> data) {
+  requireMatchingSizes(data.size(), "allReduceSum");
   world_->publish(rank_, data.data());
   world_->barrier();
   // Every rank computes the rank-ordered sum into a private scratch so
@@ -109,6 +130,7 @@ void Communicator::allReduceSumImpl(std::span<T> data) {
 template <typename T>
 void Communicator::bcastImpl(std::span<T> data, int root) {
   VATES_REQUIRE(root >= 0 && root < size(), "invalid root rank");
+  requireMatchingSizes(data.size(), "bcast");
   world_->publish(rank_, data.data());
   world_->barrier();
   if (rank_ != root) {

@@ -1,0 +1,146 @@
+#include "vates/verify/diff.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace vates::verify {
+
+namespace {
+
+/// Map a double onto a monotonically ordered signed integer scale so
+/// ULP distance is a plain subtraction (the classic sign-magnitude →
+/// offset-binary trick).
+std::int64_t orderedBits(double value) noexcept {
+  const auto bits = std::bit_cast<std::int64_t>(value);
+  return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits : bits;
+}
+
+double binCenter(const BinAxis& axis, std::size_t index) {
+  return axis.min() + (static_cast<double>(index) + 0.5) * axis.width();
+}
+
+} // namespace
+
+std::uint64_t ulpDistance(double a, double b) noexcept {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return 0;
+  }
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::int64_t oa = orderedBits(a);
+  const std::int64_t ob = orderedBits(b);
+  return oa > ob ? static_cast<std::uint64_t>(oa) - static_cast<std::uint64_t>(ob)
+                 : static_cast<std::uint64_t>(ob) - static_cast<std::uint64_t>(oa);
+}
+
+std::string DiffReport::summary() const {
+  char buffer[512];
+  if (!worst) {
+    std::snprintf(buffer, sizeof buffer, "[%s] %s: %zu bins identical",
+                  pass ? "PASS" : "FAIL", label.c_str(), binsCompared);
+    return buffer;
+  }
+  std::snprintf(
+      buffer, sizeof buffer,
+      "[%s] %s: %zu/%zu bins out of tolerance (%zu NaN mismatches, "
+      "floor=%.3g); worst bin [%zu,%zu,%zu] at (H,K,L)=(%.6g, %.6g, %.6g): "
+      "oracle=%.17g candidate=%.17g absDiff=%.3g relDiff=%.3g ulps=%llu",
+      pass ? "PASS" : "FAIL", label.c_str(), binsMismatched, binsCompared,
+      nanMismatches, absoluteFloor, worst->index[0], worst->index[1],
+      worst->index[2], worst->center[0], worst->center[1], worst->center[2],
+      worst->oracle, worst->candidate, worst->absDiff, worst->relDiff,
+      static_cast<unsigned long long>(worst->ulps));
+  return buffer;
+}
+
+DiffReport compareHistograms(const Histogram3D& oracle,
+                             const Histogram3D& candidate,
+                             const Tolerance& tolerance, std::string label) {
+  VATES_REQUIRE(oracle.sameShape(candidate),
+                "diff: oracle and candidate histogram shapes differ");
+
+  DiffReport report;
+  report.label = std::move(label);
+  report.binsCompared = oracle.size();
+
+  double maxAbsOracle = 0.0;
+  for (const double value : oracle.data()) {
+    if (!std::isnan(value)) {
+      maxAbsOracle = std::max(maxAbsOracle, std::fabs(value));
+    }
+  }
+  report.absoluteFloor = tolerance.absoluteFloorScale * maxAbsOracle;
+
+  const std::size_t ny = oracle.axis(1).nBins();
+  const std::size_t nz = oracle.axis(2).nBins();
+  double worstBadness = 0.0; // absDiff; NaN mismatch = +inf
+  bool worstFailing = false;
+
+  for (std::size_t flat = 0; flat < oracle.size(); ++flat) {
+    const double expected = oracle.data()[flat];
+    const double actual = candidate.data()[flat];
+    const bool expectedNan = std::isnan(expected);
+    const bool actualNan = std::isnan(actual);
+
+    double absDiff = 0.0;
+    double relDiff = 0.0;
+    std::uint64_t ulps = 0;
+    bool ok = true;
+    double badness = 0.0;
+
+    if (expectedNan || actualNan) {
+      if (expectedNan != actualNan) {
+        ok = false;
+        ++report.nanMismatches;
+        absDiff = std::numeric_limits<double>::infinity();
+        relDiff = std::numeric_limits<double>::infinity();
+        ulps = std::numeric_limits<std::uint64_t>::max();
+        badness = std::numeric_limits<double>::infinity();
+      }
+    } else if (expected != actual) {
+      absDiff = std::fabs(expected - actual);
+      const double scale = std::max(std::fabs(expected), std::fabs(actual));
+      relDiff = scale > 0.0 ? absDiff / scale : 0.0;
+      ulps = ulpDistance(expected, actual);
+      ok = absDiff <= report.absoluteFloor || relDiff <= tolerance.relative ||
+           ulps <= tolerance.maxUlps;
+      badness = absDiff;
+    }
+
+    if (!ok) {
+      ++report.binsMismatched;
+    }
+    // Keep the largest difference seen, preferring failing bins: a
+    // mismatch must never be shadowed by a bigger in-tolerance one.
+    const bool record =
+        badness > 0.0 && (!ok ? (!worstFailing || badness > worstBadness)
+                              : (!worstFailing && badness > worstBadness));
+    if (record) {
+      const std::size_t i = flat / (ny * nz);
+      const std::size_t j = (flat / nz) % ny;
+      const std::size_t k = flat % nz;
+      report.worst = BinDiff{flat,
+                             {i, j, k},
+                             {binCenter(oracle.axis(0), i),
+                              binCenter(oracle.axis(1), j),
+                              binCenter(oracle.axis(2), k)},
+                             expected,
+                             actual,
+                             absDiff,
+                             relDiff,
+                             ulps};
+      worstBadness = badness;
+      worstFailing = !ok;
+    }
+  }
+
+  report.pass = report.binsMismatched == 0;
+  return report;
+}
+
+} // namespace vates::verify

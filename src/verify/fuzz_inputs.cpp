@@ -1,0 +1,191 @@
+#include "vates/verify/fuzz_inputs.hpp"
+
+#include <iterator>
+#include <utility>
+
+namespace vates::verify {
+
+namespace {
+
+/// Small groups keep the oracle's (op × detector × plane) scan cheap;
+/// the occasional "mmm"/"422" still exercises multi-op symmetry
+/// deposition and duplicate-crossing handling.
+const char* const kFuzzPointGroups[] = {"1", "-1", "2", "m", "2/m", "222",
+                                        "mmm", "4", "422"};
+
+/// A compact baseline every fuzz case starts from: big enough to cover
+/// real trajectory/bin interaction, small enough that the scalar oracle
+/// and a full config sweep stay in the millisecond range.
+WorkloadSpec tinyBaseline() {
+  WorkloadSpec spec = WorkloadSpec::benzilCorelli(1.0);
+  spec.name = "fuzz-baseline";
+  spec.nFiles = 2;
+  spec.nDetectors = 48;
+  spec.eventsPerFile = 800;
+  spec.bins = {10, 10, 2};
+  spec.extentMin = {-4.0, -4.0, -1.0};
+  spec.extentMax = {4.0, 4.0, 1.0};
+  spec.pointGroup = "2/m";
+  return spec;
+}
+
+} // namespace
+
+FuzzExperiment randomExperiment(Xoshiro256& rng, std::size_t index) {
+  WorkloadSpec spec = tinyBaseline();
+  spec.name = "fuzz-random-" + std::to_string(index);
+
+  spec.instrument = rng.uniformInt(2) == 0 ? "corelli" : "topaz";
+  spec.nFiles = 1 + rng.uniformInt(3);
+  spec.nDetectors = 30 + rng.uniformInt(51);
+  spec.eventsPerFile = 200 + rng.uniformInt(1801);
+
+  spec.latticeA = rng.uniform(3.0, 15.0);
+  spec.latticeB = rng.uniform(3.0, 15.0);
+  spec.latticeC = rng.uniform(3.0, 15.0);
+  spec.latticeGamma = rng.uniform(80.0, 120.0);
+  spec.pointGroup =
+      kFuzzPointGroups[rng.uniformInt(std::size(kFuzzPointGroups))];
+
+  spec.omegaStartDeg = rng.uniform(-90.0, 90.0);
+  spec.omegaStepDeg = rng.uniform(0.0, 12.0);
+  spec.protonCharge = rng.uniform(0.25, 4.0);
+
+  spec.lambdaMin = rng.uniform(0.5, 1.5);
+  spec.lambdaMax = spec.lambdaMin + rng.uniform(0.5, 2.5);
+
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    spec.bins[axis] = 1 + rng.uniformInt(14);
+    spec.extentMin[axis] = rng.uniform(-6.0, -2.0);
+    spec.extentMax[axis] = spec.extentMin[axis] + rng.uniform(2.0, 8.0);
+  }
+
+  spec.braggAmplitude = rng.uniform(20.0, 200.0);
+  spec.diffuseBackground = rng.uniform(0.1, 1.0);
+  spec.seed = rng.next();
+
+  FuzzExperiment experiment{spec.name, std::move(spec), 0.0};
+  // One in four experiments also runs masked, like production
+  // reductions with beam-stop shadows and dead tubes.
+  if (rng.uniformInt(4) == 0) {
+    experiment.maskFraction = rng.uniform(0.05, 0.5);
+  }
+  return experiment;
+}
+
+std::vector<FuzzExperiment> degenerateExperiments() {
+  std::vector<FuzzExperiment> cases;
+  const auto add = [&cases](const std::string& name, auto mutate,
+                            double maskFraction = 0.0) {
+    WorkloadSpec spec = tinyBaseline();
+    spec.name = name;
+    mutate(spec);
+    cases.push_back({name, std::move(spec), maskFraction});
+  };
+
+  // Every run shares one goniometer orientation: per-run transform
+  // caching must not collapse distinct runs' deposits.
+  add("degenerate-goniometer", [](WorkloadSpec& spec) {
+    spec.omegaStepDeg = 0.0;
+    spec.nFiles = 3;
+  });
+  // Runs exactly 180° apart: R and Rᵀ differ only in off-diagonal
+  // signs, a classic transpose-confusion detector.
+  add("goniometer-180", [](WorkloadSpec& spec) {
+    spec.omegaStartDeg = 0.0;
+    spec.omegaStepDeg = 180.0;
+  });
+  // γ → 180° makes B nearly singular: UB⁻¹ entries blow up and the
+  // composed transform is ill-conditioned but still well-defined.
+  add("near-singular-ub", [](WorkloadSpec& spec) {
+    spec.latticeGamma = 179.5;
+    spec.pointGroup = "1";
+  });
+  // All pixels masked: zero normalization everywhere, all-NaN
+  // cross-section, and the compacted active-detector list is empty.
+  add(
+      "empty-detector-set", [](WorkloadSpec&) {}, 1.0);
+  // 90% masked: the compacted launch list is much shorter than the
+  // detector table, so any index confusion binned the wrong pixel.
+  add(
+      "masked-majority", [](WorkloadSpec&) {}, 0.9);
+  // One bin per axis: every trajectory has at most two hull crossings
+  // and the whole band deposits into flat index 0.
+  add("single-bin-grid", [](WorkloadSpec& spec) {
+    spec.bins = {1, 1, 1};
+  });
+  // Hairline wavelength band (kMax − kMin ≈ 1e-9·kMin): segment widths
+  // underflow toward zero and flux integrals catastrophically cancel.
+  add("hairline-flux-band", [](WorkloadSpec& spec) {
+    spec.lambdaMin = 1.0;
+    spec.lambdaMax = 1.0 + 1e-9;
+  });
+  // A slab one thin bin deep on L: most trajectories clip the hull.
+  add("thin-slab", [](WorkloadSpec& spec) {
+    spec.bins = {9, 9, 1};
+    spec.extentMin[2] = -0.05;
+    spec.extentMax[2] = 0.05;
+  });
+  // No events at all: BinMD must leave the signal identically zero
+  // while MDNorm still fills the normalization.
+  add("zero-events", [](WorkloadSpec& spec) { spec.eventsPerFile = 0; });
+
+  return cases;
+}
+
+std::vector<FuzzExperiment> goldenExperiments() {
+  std::vector<FuzzExperiment> cases;
+
+  // Benzil-on-CORELLI in miniature: the paper's first use case with a
+  // multi-op point group and several goniometer settings.
+  WorkloadSpec benzil = tinyBaseline();
+  benzil.name = "golden-benzil-tiny";
+  cases.push_back({benzil.name, std::move(benzil), 0.0});
+
+  // Bixbyite-on-TOPAZ in miniature: the second instrument geometry and
+  // a cubic point group, so the goldens cover both branch families.
+  WorkloadSpec bixbyite = WorkloadSpec::bixbyiteTopaz(1.0);
+  bixbyite.name = "golden-bixbyite-tiny";
+  bixbyite.nFiles = 2;
+  bixbyite.nDetectors = 40;
+  bixbyite.eventsPerFile = 600;
+  bixbyite.bins = {8, 8, 3};
+  bixbyite.extentMin = {-3.0, -3.0, -1.5};
+  bixbyite.extentMax = {3.0, 3.0, 1.5};
+  cases.push_back({bixbyite.name, std::move(bixbyite), 0.0});
+
+  // A masked reduction: goldens must pin the masked-normalization
+  // semantics (masked pixels deposit nothing, BinMD bins everything).
+  WorkloadSpec masked = tinyBaseline();
+  masked.name = "golden-masked";
+  masked.seed = 0x901dcafeULL; // distinct event stream from the benzil golden
+  cases.push_back({masked.name, std::move(masked), 0.3});
+
+  return cases;
+}
+
+ExperimentSetup makeSetup(const FuzzExperiment& experiment) {
+  ExperimentSetup setup(experiment.spec);
+  if (experiment.maskFraction > 0.0) {
+    const std::size_t nDetectors = setup.instrument().nDetectors();
+    DetectorMask mask(nDetectors);
+    if (experiment.maskFraction >= 1.0) {
+      for (std::size_t d = 0; d < nDetectors; ++d) {
+        mask.mask(d);
+      }
+    } else {
+      // Seeded by the spec so the same experiment always masks the
+      // same pixels, independent of call order.
+      Xoshiro256 rng(experiment.spec.seed, /*streamId=*/0x6d61736bULL);
+      for (std::size_t d = 0; d < nDetectors; ++d) {
+        if (rng.uniform() < experiment.maskFraction) {
+          mask.mask(d);
+        }
+      }
+    }
+    setup.setDetectorMask(std::move(mask));
+  }
+  return setup;
+}
+
+} // namespace vates::verify

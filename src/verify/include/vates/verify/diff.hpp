@@ -1,0 +1,81 @@
+#pragma once
+/// \file diff.hpp
+/// Histogram differencing for the oracle harness: compare an optimized
+/// path's output against the reference oracle bin by bin, under a
+/// tolerance that understands both floating-point noise (ULPs, relative
+/// error) and the accumulated-magnitude floor below which differences
+/// are physically meaningless.  A failed comparison pinpoints the worst
+/// bin by its (H, K, L) axis coordinates and carries the label of the
+/// configuration that produced it, so a regression report reads
+/// "dda/Privatized/OpenMP/full, seed 7: bin (H,K,L)=(−1.25, 0.75, 0)
+/// off by 3.1e-4" rather than "histograms differ".
+
+#include "vates/histogram/histogram3d.hpp"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vates::verify {
+
+/// A per-bin comparison passes when ANY of these holds:
+///  - |oracle − candidate| ≤ absoluteFloorScale · max|oracle bin|
+///    (differences far below the histogram's own scale);
+///  - relative error ≤ `relative`;
+///  - the values are within `maxUlps` representable doubles.
+/// NaN patterns must match exactly (the zero-normalization policy is
+/// part of the contract), so NaN-vs-number is always a failure.
+struct Tolerance {
+  double relative = 1e-8;
+  std::uint64_t maxUlps = 16;
+  double absoluteFloorScale = 1e-9;
+
+  /// Exact-match tolerance (golden regression: same code, same inputs).
+  static Tolerance bitwise() { return {0.0, 0, 0.0}; }
+};
+
+/// Distance in representable doubles between \p a and \p b; 0 for
+/// bitwise-equal values (including same-signed zeros and identical NaN
+/// payloads), max for any NaN/number or NaN/NaN-payload mismatch.
+std::uint64_t ulpDistance(double a, double b) noexcept;
+
+/// The worst-offending bin of one comparison.
+struct BinDiff {
+  std::size_t flatIndex = 0;
+  std::array<std::size_t, 3> index{};  ///< (i, j, k) bin indices
+  std::array<double, 3> center{};      ///< bin-center axis coordinates
+  double oracle = 0.0;
+  double candidate = 0.0;
+  double absDiff = 0.0;
+  double relDiff = 0.0;
+  std::uint64_t ulps = 0;
+};
+
+/// Result of one histogram-vs-oracle comparison.
+struct DiffReport {
+  std::string label;  ///< histogram name + contributing configuration
+  bool pass = true;
+  std::size_t binsCompared = 0;
+  std::size_t binsMismatched = 0;
+  std::size_t nanMismatches = 0;  ///< NaN on one side only
+  double absoluteFloor = 0.0;     ///< resolved floor for this comparison
+  /// The bin with the largest absolute difference (NaN mismatches rank
+  /// worst); present whenever any bin differed at all, even within
+  /// tolerance, so passing reports still show the noise level.
+  std::optional<BinDiff> worst;
+
+  /// One-line human-readable verdict with the worst bin's (H, K, L).
+  std::string summary() const;
+};
+
+/// Compare \p candidate against \p oracle bin-by-bin under \p tolerance.
+/// Throws InvalidArgument on shape mismatch (a shape drift is a harness
+/// bug, not a numerical difference).  \p label names the comparison in
+/// the report (e.g. "normalization dda/Atomic/OpenMP/off seed=3").
+DiffReport compareHistograms(const Histogram3D& oracle,
+                             const Histogram3D& candidate,
+                             const Tolerance& tolerance = {},
+                             std::string label = {});
+
+} // namespace vates::verify

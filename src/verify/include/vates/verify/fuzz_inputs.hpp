@@ -1,0 +1,49 @@
+#pragma once
+/// \file fuzz_inputs.hpp
+/// Fuzz-style experiment generators shared between the oracle
+/// differential tests and the existing edge-case suites: seeded random
+/// small workloads (cheap enough that the scalar oracle runs in
+/// milliseconds) plus a fixed roster of named degenerate cases —
+/// identity/180° goniometers, a near-singular UB, empty and
+/// majority-masked detector sets, hairline flux bands, single-bin grids
+/// — each of which has historically been where trajectory/binning code
+/// breaks first.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/support/rng.hpp"
+
+#include <string>
+#include <vector>
+
+namespace vates::verify {
+
+/// One fuzz experiment: a workload plus masking policy.  Kept as a
+/// value type so test parameter sweeps can print and copy it freely.
+struct FuzzExperiment {
+  std::string name;
+  WorkloadSpec spec;
+  /// Fraction of detectors masked (seeded-random selection); 1.0 masks
+  /// every detector (the "empty detector set" case).
+  double maskFraction = 0.0;
+};
+
+/// A randomized small experiment drawn from \p rng: 30–80 detectors on
+/// a random instrument, 1–3 files, ≤ 2000 events/file, random small
+/// point group, random wavelength band, and a random coarse grid.
+/// Deterministic for a given rng state.
+FuzzExperiment randomExperiment(Xoshiro256& rng, std::size_t index);
+
+/// The named degenerate cases, in a fixed order (stable test names).
+std::vector<FuzzExperiment> degenerateExperiments();
+
+/// The experiments whose oracle reductions are committed under
+/// tests/golden/ as <name>.nxl (CRC-stamped nxlite files).  Shared by
+/// tools/gen_golden (writer) and the golden regression tests (reader)
+/// so the two can never disagree about what a golden contains.
+std::vector<FuzzExperiment> goldenExperiments();
+
+/// Realize the experiment: build the setup and attach the (seeded)
+/// random detector mask when maskFraction > 0.
+ExperimentSetup makeSetup(const FuzzExperiment& experiment);
+
+} // namespace vates::verify

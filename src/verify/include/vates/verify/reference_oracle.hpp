@@ -1,0 +1,107 @@
+#pragma once
+/// \file reference_oracle.hpp
+/// The reference oracle: a deliberately slow, scalar, double-precision
+/// second implementation of the full Algorithm-1 chain (MDNorm + BinMD
+/// + cross-section divide), written for obvious correctness rather than
+/// speed and sharing **no** kernel code with src/kernels/.
+///
+/// Every correctness claim the optimized paths make about each other is
+/// pairwise (legacy vs dda, serial vs threaded, host vs device-sim): if
+/// two fast paths inherit the same subtle geometry bug, parity tests
+/// between them cannot see it.  The oracle breaks that symmetry the way
+/// the paper's own validation does (MiniVATES vs the Garnet/Mantid
+/// baseline, Tables II-VI): an independent implementation of the same
+/// physics that the differential harness (diff.hpp, tests/
+/// test_oracle_diff.cpp) compares every traversal × accumulator ×
+/// backend × overlap configuration against.
+///
+/// Independence rules observed here:
+///  - no header from src/kernels/ is included (no intersections.hpp,
+///    trajectory_walk.hpp, transforms.hpp, mdnorm.hpp, binmd.hpp);
+///  - plane crossings are found by a naive full scan of every bin plane
+///    on every axis, momenta sorted with std::sort;
+///  - the flux table is interpolated by this file's own scalar code,
+///    not FluxTableView's inline interpolator;
+///  - transform chains (N_op, B_op) are composed locally from the
+///    geometry primitives;
+///  - accumulation is sequential into plain doubles — no executor, no
+///    GridAccumulator, no atomics.
+///
+/// What *is* shared: the input-side data model (ExperimentSetup,
+/// EventGenerator, Histogram3D as a container) — the oracle must reduce
+/// exactly the same experiment the pipeline reduces, so the synthetic
+/// data source is common by design.  Algorithmic contracts that are
+/// part of the specification (the [min, max) bin convention, the
+/// 1e-12 parallel-trajectory tolerance, the closed-hull slack on plane
+/// crossings, the zero-normalization NaN policy) are re-stated locally
+/// as named constants; tests assert they equal the kernels' published
+/// values so the two implementations cannot silently drift apart.
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/histogram/histogram3d.hpp"
+
+#include <optional>
+
+namespace vates::verify {
+
+/// |t[axis]| below this is treated as parallel to that axis' bin planes
+/// (no crossings).  Must equal vates::kTrajectoryParallelTolerance —
+/// asserted by the differential tests, restated here so the oracle does
+/// not include kernel headers.
+inline constexpr double kOracleParallelTolerance = 1e-12;
+
+/// Bins where the normalization is below this yield NaN cross-section
+/// (the pipeline's Histogram3D::divide default epsilon).
+inline constexpr double kOracleDivideEpsilon = 1e-300;
+
+/// Reference MDNorm for one run: for every (symmetry op × unmasked
+/// detector), intersect the trajectory p(k) = k·t with every bin plane
+/// over the run's momentum band, sort the crossing momenta, and deposit
+/// solidAngle · protonCharge · (Φ(k2) − Φ(k1)) into the bin containing
+/// each segment midpoint.  Accumulates on top of \p normalization's
+/// existing contents (like the kernels, so multi-run loops compose).
+/// Honors setup.detectorMask() exactly as the pipeline does: masked
+/// pixels contribute nothing.
+void referenceMDNorm(const ExperimentSetup& setup, const RunInfo& run,
+                     Histogram3D& normalization);
+
+/// Reference BinMD for one run's events: sequential loop over
+/// (symmetry op × event), projecting each sample-frame Q through the
+/// locally composed per-op transform and accumulating the event signal
+/// (and, when \p errorSq is non-null, its squared error) into the
+/// containing bin.  Accumulates on top of existing contents.
+void referenceBinMD(const ExperimentSetup& setup, const EventTable& events,
+                    Histogram3D& signal, Histogram3D* errorSq = nullptr);
+
+/// Bin-wise signal / normalization with the pipeline's
+/// zero-normalization policy: denominators below \p epsilon yield NaN
+/// (uncovered reciprocal space, masked downstream).
+Histogram3D referenceCrossSection(const Histogram3D& signal,
+                                  const Histogram3D& normalization,
+                                  double epsilon = kOracleDivideEpsilon);
+
+/// σ² of the cross-section under the pipeline's convention: the
+/// normalization is exact, so σ²(S/N) = σ²(S)/N²; NaN where the
+/// normalization is below \p epsilon.
+Histogram3D referenceCrossSectionErrorSq(const Histogram3D& signalErrorSq,
+                                         const Histogram3D& normalization,
+                                         double epsilon = kOracleDivideEpsilon);
+
+/// The oracle's answer for a whole experiment.
+struct OracleResult {
+  Histogram3D signal;
+  Histogram3D normalization;
+  Histogram3D crossSection;
+  std::optional<Histogram3D> signalErrorSq;
+  std::optional<Histogram3D> crossSectionErrorSq;
+  std::size_t eventsProcessed = 0;
+};
+
+/// Run the full reference chain over every file of the setup's workload
+/// (the single-rank, strictly sequential Algorithm 1).  With
+/// \p trackErrors the σ² histograms are populated alongside, mirroring
+/// ReductionConfig::trackErrors.
+OracleResult referenceReduce(const ExperimentSetup& setup,
+                             bool trackErrors = false);
+
+} // namespace vates::verify

@@ -1,0 +1,266 @@
+#include "vates/verify/reference_oracle.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/units/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace vates::verify {
+
+namespace {
+
+/// Closed-hull slack for crossing acceptance: a crossing on one axis
+/// belongs to the trajectory's hull when it lies within the box on the
+/// other two axes, with a hair of slack for points sitting exactly on a
+/// boundary plane.  Same contract as the kernels' insideAxisClosed
+/// (1e-9 of one bin width), restated independently.
+bool insideAxisClosed(const BinAxis& axis, double value) {
+  const double slack = 1e-9 * axis.width();
+  return value >= axis.min() - slack && value <= axis.max() + slack;
+}
+
+bool insideBoxClosed(const Histogram3D& histogram, const V3& p) {
+  return insideAxisClosed(histogram.axis(0), p.x) &&
+         insideAxisClosed(histogram.axis(1), p.y) &&
+         insideAxisClosed(histogram.axis(2), p.z);
+}
+
+/// Scalar [min, max) binning, written from the axis definition (lower
+/// edge + index·width) rather than the kernels' inverse-width multiply.
+std::optional<std::size_t> axisBin(const BinAxis& axis, double value) {
+  if (!(value >= axis.min() && value < axis.max())) {
+    return std::nullopt;
+  }
+  auto index =
+      static_cast<std::size_t>(std::floor((value - axis.min()) / axis.width()));
+  if (index >= axis.nBins()) {
+    index = axis.nBins() - 1;
+  }
+  return index;
+}
+
+std::optional<std::size_t> locateBin(const Histogram3D& histogram,
+                                     const V3& p) {
+  const auto i = axisBin(histogram.axis(0), p.x);
+  const auto j = axisBin(histogram.axis(1), p.y);
+  const auto k = axisBin(histogram.axis(2), p.z);
+  if (!i || !j || !k) {
+    return std::nullopt;
+  }
+  return histogram.flatIndex(*i, *j, *k);
+}
+
+/// Integrated flux Φ(k), interpolated linearly on the spectrum's
+/// uniform cumulative table and clamped to the band — the oracle's own
+/// scalar interpolator, independent of FluxTableView's inline one.
+double integratedFlux(const FluxSpectrum& flux, double k) {
+  const std::span<const double> table = flux.table();
+  const std::size_t n = table.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  if (k <= flux.kMin()) {
+    return table.front();
+  }
+  if (k >= flux.kMax()) {
+    return table.back();
+  }
+  const double step =
+      (flux.kMax() - flux.kMin()) / static_cast<double>(n - 1);
+  const double position = (k - flux.kMin()) / step;
+  auto index = static_cast<std::size_t>(std::floor(position));
+  if (index >= n - 1) {
+    index = n - 2;
+  }
+  const double fraction = position - static_cast<double>(index);
+  return table[index] + fraction * (table[index + 1] - table[index]);
+}
+
+/// MDNorm's per-op trajectory transform for one run:
+///   N_op = W⁻¹ · op · (U·B)⁻¹ · R⁻¹ / 2π
+/// composed locally from geometry primitives (R⁻¹ = Rᵀ for a rotation).
+M33 mdnormTransform(const Projection& projection,
+                    const OrientedLattice& lattice, const M33& op,
+                    const M33& goniometerR) {
+  return (projection.Winv() * op * lattice.UBinv() *
+          goniometerR.transposed()) *
+         (1.0 / units::kTwoPi);
+}
+
+/// BinMD's per-op transform (events already carry sample-frame Q):
+///   B_op = W⁻¹ · op · (U·B)⁻¹ / 2π
+M33 binmdTransform(const Projection& projection,
+                   const OrientedLattice& lattice, const M33& op) {
+  return (projection.Winv() * op * lattice.UBinv()) * (1.0 / units::kTwoPi);
+}
+
+/// All momenta in [kMin, kMax] at which the ray p(k) = k·t crosses a
+/// bin plane of the histogram (plus the in-box band endpoints),
+/// unsorted, duplicates allowed — a naive full scan of every plane of
+/// every axis.  Zero-width segments between duplicates are skipped by
+/// the caller's k2 > k1 guard, so deduplication is unnecessary.
+std::vector<double> crossingMomenta(const Histogram3D& histogram, const V3& t,
+                                    double kMin, double kMax) {
+  std::vector<double> momenta;
+  for (std::size_t axisIndex = 0; axisIndex < 3; ++axisIndex) {
+    const double tAxis = t[axisIndex];
+    if (std::fabs(tAxis) < kOracleParallelTolerance) {
+      continue; // ray parallel to this axis' planes: no crossings
+    }
+    const BinAxis& axis = histogram.axis(axisIndex);
+    for (std::size_t plane = 0; plane <= axis.nBins(); ++plane) {
+      const double k = axis.edge(plane) / tAxis;
+      if (!(k >= kMin && k <= kMax)) {
+        continue;
+      }
+      const V3 p = t * k;
+      bool onHull = true;
+      for (std::size_t other = 0; other < 3; ++other) {
+        if (other != axisIndex &&
+            !insideAxisClosed(histogram.axis(other), p[other])) {
+          onHull = false;
+          break;
+        }
+      }
+      if (onHull) {
+        momenta.push_back(k);
+      }
+    }
+  }
+  for (const double kEnd : {kMin, kMax}) {
+    if (insideBoxClosed(histogram, t * kEnd)) {
+      momenta.push_back(kEnd);
+    }
+  }
+  return momenta;
+}
+
+} // namespace
+
+void referenceMDNorm(const ExperimentSetup& setup, const RunInfo& run,
+                     Histogram3D& normalization) {
+  VATES_REQUIRE(run.kMax > run.kMin && run.kMin > 0.0,
+                "need 0 < kMin < kMax");
+  const Instrument& instrument = setup.instrument();
+  const DetectorMask* mask = setup.detectorMask();
+  const FluxSpectrum& flux = setup.flux();
+  const std::span<double> bins = normalization.data();
+
+  for (const M33& op : setup.symmetryMatrices()) {
+    const M33 transform =
+        mdnormTransform(setup.projection(), setup.lattice(), op,
+                        run.goniometerR);
+    for (std::size_t detector = 0; detector < instrument.nDetectors();
+         ++detector) {
+      if (mask != nullptr && mask->isMasked(detector)) {
+        continue;
+      }
+      const V3 t = transform * instrument.qLabDirection(detector);
+      const double weightFactor =
+          instrument.solidAngle(detector) * run.protonCharge;
+
+      std::vector<double> momenta =
+          crossingMomenta(normalization, t, run.kMin, run.kMax);
+      std::sort(momenta.begin(), momenta.end());
+
+      for (std::size_t i = 0; i + 1 < momenta.size(); ++i) {
+        const double k1 = momenta[i];
+        const double k2 = momenta[i + 1];
+        if (k2 <= k1) {
+          continue; // duplicate crossing (grid edge/corner): zero width
+        }
+        const double deposit =
+            weightFactor * (integratedFlux(flux, k2) - integratedFlux(flux, k1));
+        if (deposit <= 0.0) {
+          continue;
+        }
+        const V3 midpoint = t * (0.5 * (k1 + k2));
+        if (const auto bin = locateBin(normalization, midpoint)) {
+          bins[*bin] += deposit;
+        }
+      }
+    }
+  }
+}
+
+void referenceBinMD(const ExperimentSetup& setup, const EventTable& events,
+                    Histogram3D& signal, Histogram3D* errorSq) {
+  if (errorSq != nullptr) {
+    VATES_REQUIRE(signal.sameShape(*errorSq),
+                  "signal and error histograms disagree in shape");
+  }
+  const std::span<double> signalBins = signal.data();
+
+  for (const M33& op : setup.symmetryMatrices()) {
+    const M33 transform =
+        binmdTransform(setup.projection(), setup.lattice(), op);
+    for (std::size_t event = 0; event < events.size(); ++event) {
+      const V3 p = transform * events.qSample(event);
+      if (const auto bin = locateBin(signal, p)) {
+        signalBins[*bin] += events.signal(event);
+        if (errorSq != nullptr) {
+          errorSq->data()[*bin] += events.errorSq(event);
+        }
+      }
+    }
+  }
+}
+
+Histogram3D referenceCrossSection(const Histogram3D& signal,
+                                  const Histogram3D& normalization,
+                                  double epsilon) {
+  VATES_REQUIRE(signal.sameShape(normalization), "histogram shapes differ");
+  Histogram3D out = signal.emptyLike();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double denominator = normalization.data()[i];
+    out.data()[i] = std::fabs(denominator) > epsilon
+                        ? signal.data()[i] / denominator
+                        : std::numeric_limits<double>::quiet_NaN();
+  }
+  return out;
+}
+
+Histogram3D referenceCrossSectionErrorSq(const Histogram3D& signalErrorSq,
+                                         const Histogram3D& normalization,
+                                         double epsilon) {
+  VATES_REQUIRE(signalErrorSq.sameShape(normalization),
+                "histogram shapes differ");
+  Histogram3D out = signalErrorSq.emptyLike();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double denominator = normalization.data()[i];
+    out.data()[i] = std::fabs(denominator) > epsilon
+                        ? signalErrorSq.data()[i] / (denominator * denominator)
+                        : std::numeric_limits<double>::quiet_NaN();
+  }
+  return out;
+}
+
+OracleResult referenceReduce(const ExperimentSetup& setup, bool trackErrors) {
+  OracleResult result{setup.makeHistogram(), setup.makeHistogram(),
+                      setup.makeHistogram(), std::nullopt, std::nullopt, 0};
+  if (trackErrors) {
+    result.signalErrorSq = setup.makeHistogram();
+  }
+  const EventGenerator generator = setup.makeGenerator();
+  for (std::size_t fileIndex = 0; fileIndex < setup.spec().nFiles;
+       ++fileIndex) {
+    const RunInfo run = generator.runInfo(fileIndex);
+    referenceMDNorm(setup, run, result.normalization);
+    const EventTable events = generator.generate(fileIndex);
+    result.eventsProcessed += events.size();
+    referenceBinMD(setup, events, result.signal,
+                   trackErrors ? &*result.signalErrorSq : nullptr);
+  }
+  result.crossSection =
+      referenceCrossSection(result.signal, result.normalization);
+  if (trackErrors) {
+    result.crossSectionErrorSq = referenceCrossSectionErrorSq(
+        *result.signalErrorSq, result.normalization);
+  }
+  return result;
+}
+
+} // namespace vates::verify

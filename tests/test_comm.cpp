@@ -2,6 +2,10 @@
 
 #include "vates/comm/minimpi.hpp"
 
+#include "vates/verify/diff.hpp"
+#include "vates/verify/fuzz_inputs.hpp"
+#include "vates/verify/reference_oracle.hpp"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -178,6 +182,115 @@ TEST(MiniMpi, InvalidRootThrows) {
 
 // ---------------------------------------------------------------------------
 // Block decomposition (Algorithm 1's range(MPI_Rank, MPI_Size))
+
+TEST(MiniMpi, SelfOnlyCollectivesAreIdentity) {
+  // A one-rank world must leave every buffer untouched through the full
+  // collective surface (the degenerate "MPI_COMM_SELF" case).
+  World::run(1, [](Communicator& comm) {
+    std::vector<double> reduced{3.5, -1.25, 0.0};
+    const std::vector<double> original = reduced;
+    comm.reduceSum(std::span<double>(reduced), /*root=*/0);
+    EXPECT_EQ(reduced, original);
+
+    std::vector<std::uint64_t> counts{7, 0, 42};
+    const std::vector<std::uint64_t> originalCounts = counts;
+    comm.allReduceSum(std::span<std::uint64_t>(counts));
+    EXPECT_EQ(counts, originalCounts);
+
+    std::vector<double> payload{9.0};
+    comm.bcast(std::span<double>(payload), /*root=*/0);
+    EXPECT_DOUBLE_EQ(payload[0], 9.0);
+
+    EXPECT_DOUBLE_EQ(comm.allReduceSum(2.5), 2.5);
+    EXPECT_EQ(comm.allGather(1.0).size(), 1u);
+  });
+}
+
+TEST(MiniMpi, MismatchedBufferSizesRejected) {
+  // Rank-dependent lengths: every collective must throw on every rank
+  // (not deadlock, not read out of bounds).  World::run rethrows the
+  // first rank's exception.
+  const auto mismatchedLength = [](const Communicator& comm) {
+    return static_cast<std::size_t>(3 + comm.rank());
+  };
+  EXPECT_THROW(World::run(3,
+                          [&](Communicator& comm) {
+                            std::vector<double> data(mismatchedLength(comm));
+                            comm.allReduceSum(std::span<double>(data));
+                          }),
+               InvalidArgument);
+  EXPECT_THROW(World::run(3,
+                          [&](Communicator& comm) {
+                            std::vector<double> data(mismatchedLength(comm));
+                            comm.reduceSum(std::span<double>(data));
+                          }),
+               InvalidArgument);
+  EXPECT_THROW(World::run(3,
+                          [&](Communicator& comm) {
+                            std::vector<std::uint64_t> data(
+                                mismatchedLength(comm));
+                            comm.bcast(std::span<std::uint64_t>(data));
+                          }),
+               InvalidArgument);
+  // Matching lengths still work afterwards (the world unwound cleanly).
+  World::run(3, [](Communicator& comm) {
+    std::vector<double> data{1.0};
+    comm.allReduceSum(std::span<double>(data));
+    EXPECT_DOUBLE_EQ(data[0], 3.0);
+  });
+}
+
+TEST(MiniMpi, HistogramAllreduceMatchesOracleSingleRankSum) {
+  // Distribute the oracle's file loop over 4 ranks, Allreduce the
+  // per-rank histograms, and compare against the strictly sequential
+  // single-rank oracle — the same check Algorithm 1's MPI_Reduce step
+  // needs in production.
+  verify::FuzzExperiment experiment;
+  for (verify::FuzzExperiment& candidate : verify::degenerateExperiments()) {
+    if (candidate.name == "degenerate-goniometer") {
+      experiment = std::move(candidate); // 3 files, multi-op point group
+    }
+  }
+  ASSERT_FALSE(experiment.name.empty());
+  experiment.spec.nFiles = 4;
+  const ExperimentSetup setup = verify::makeSetup(experiment);
+  const verify::OracleResult sequential = verify::referenceReduce(setup);
+
+  const int nRanks = 4;
+  std::vector<Histogram3D> signals(static_cast<std::size_t>(nRanks),
+                                   setup.makeHistogram());
+  std::vector<Histogram3D> norms(static_cast<std::size_t>(nRanks),
+                                 setup.makeHistogram());
+  World::run(nRanks, [&](Communicator& comm) {
+    Histogram3D& signal = signals[static_cast<std::size_t>(comm.rank())];
+    Histogram3D& norm = norms[static_cast<std::size_t>(comm.rank())];
+    const EventGenerator generator = setup.makeGenerator();
+    const auto range = comm.blockRange(setup.spec().nFiles);
+    for (std::size_t file = range.begin; file < range.end; ++file) {
+      verify::referenceMDNorm(setup, generator.runInfo(file), norm);
+      verify::referenceBinMD(setup, generator.generate(file), signal);
+    }
+    comm.allReduceSum(signal.data());
+    comm.allReduceSum(norm.data());
+  });
+
+  // Every rank holds the identical reduced result (deterministic
+  // rank-ordered summation) ...
+  for (int rank = 1; rank < nRanks; ++rank) {
+    const verify::DiffReport identical = verify::compareHistograms(
+        signals[0], signals[static_cast<std::size_t>(rank)],
+        verify::Tolerance::bitwise(), "rank" + std::to_string(rank));
+    EXPECT_TRUE(identical.pass) << identical.summary();
+  }
+  // ... and it matches the sequential oracle within summation-order
+  // tolerance (the rank partition re-associates the per-bin sums).
+  const verify::DiffReport signalReport = verify::compareHistograms(
+      sequential.signal, signals[0], {}, "allreduce signal");
+  EXPECT_TRUE(signalReport.pass) << signalReport.summary();
+  const verify::DiffReport normReport = verify::compareHistograms(
+      sequential.normalization, norms[0], {}, "allreduce normalization");
+  EXPECT_TRUE(normReport.pass) << normReport.summary();
+}
 
 TEST(BlockRange, PartitionsWithoutGapsOrOverlap) {
   for (const std::size_t count : {0ul, 1ul, 7ul, 22ul, 36ul, 1000ul}) {

@@ -9,6 +9,9 @@
 #include "vates/io/nxlite.hpp"
 #include "vates/support/error.hpp"
 #include "vates/support/rng.hpp"
+#include "vates/verify/diff.hpp"
+#include "vates/verify/fuzz_inputs.hpp"
+#include "vates/verify/reference_oracle.hpp"
 
 #include <gtest/gtest.h>
 
@@ -352,6 +355,83 @@ TEST_F(IoTest, ReducedDataShapeMismatchThrows) {
   Histogram3D b(BinAxis("x", 0, 1, 3), BinAxis("y", 0, 1, 2),
                 BinAxis("z", 0, 1, 1));
   EXPECT_THROW(saveReducedData(path("bad.nxl"), a, b, a), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle-golden round trips: the golden files committed under
+// tests/golden/ go through exactly this save/load path, so these pin
+// the bit-identity and damage-detection guarantees the golden
+// regression (test_oracle_diff) depends on.
+
+TEST_F(IoTest, OracleGoldenRoundTripIsBitIdentical) {
+  for (const verify::FuzzExperiment& experiment :
+       verify::goldenExperiments()) {
+    const ExperimentSetup setup = verify::makeSetup(experiment);
+    const verify::OracleResult oracle = verify::referenceReduce(setup);
+    const std::string file = path(experiment.name + ".nxl");
+    saveReducedData(file, oracle.signal, oracle.normalization,
+                    oracle.crossSection);
+    const ReducedData loaded = loadReducedData(file);
+
+    const auto check = [&](const char* what, const Histogram3D& expected,
+                           const Histogram3D& actual) {
+      // Bitwise: NaN payloads included — the loader must hand back the
+      // exact bytes the oracle produced.
+      const verify::DiffReport report = verify::compareHistograms(
+          expected, actual, verify::Tolerance::bitwise(),
+          experiment.name + " roundtrip " + what);
+      EXPECT_TRUE(report.pass) << report.summary();
+    };
+    check("signal", oracle.signal, loaded.signal);
+    check("normalization", oracle.normalization, loaded.normalization);
+    check("crossSection", oracle.crossSection, loaded.crossSection);
+    EXPECT_TRUE(loaded.signal.sameShape(oracle.signal));
+  }
+}
+
+TEST_F(IoTest, TruncatedGoldenReturnsErrorNotCrash) {
+  const verify::FuzzExperiment experiment =
+      verify::goldenExperiments().front();
+  const ExperimentSetup setup = verify::makeSetup(experiment);
+  const verify::OracleResult oracle = verify::referenceReduce(setup);
+  const std::string file = path("truncated_golden.nxl");
+  saveReducedData(file, oracle.signal, oracle.normalization,
+                  oracle.crossSection);
+
+  const auto fullSize = std::filesystem::file_size(file);
+  // Cut at several depths: mid-directory, mid-payload, almost-complete.
+  for (const std::uintmax_t keep :
+       {fullSize / 8, fullSize / 2, fullSize - 16}) {
+    std::filesystem::resize_file(file, keep);
+    EXPECT_THROW(loadReducedData(file), IOError) << "kept " << keep
+                                                 << " of " << fullSize;
+  }
+}
+
+TEST_F(IoTest, CorruptGoldenFailsCrcNotCrash) {
+  const verify::FuzzExperiment experiment =
+      verify::goldenExperiments().front();
+  const ExperimentSetup setup = verify::makeSetup(experiment);
+  const verify::OracleResult oracle = verify::referenceReduce(setup);
+  const std::string file = path("corrupt_golden.nxl");
+  saveReducedData(file, oracle.signal, oracle.normalization,
+                  oracle.crossSection);
+
+  // Flip one payload byte in the middle of the file: some dataset's
+  // CRC no longer matches, and the loader must report it as an IOError
+  // rather than silently returning bent bins.
+  const auto offset =
+      static_cast<std::streamoff>(std::filesystem::file_size(file) / 2);
+  std::fstream stream(file, std::ios::in | std::ios::out | std::ios::binary);
+  stream.seekg(offset);
+  char byte = 0;
+  stream.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5A);
+  stream.seekp(offset);
+  stream.write(&byte, 1);
+  stream.close();
+
+  EXPECT_THROW(loadReducedData(file), IOError);
 }
 
 // ---------------------------------------------------------------------------

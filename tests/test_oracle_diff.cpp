@@ -1,0 +1,466 @@
+/// \file test_oracle_diff.cpp
+/// The differential verification harness: every optimized configuration
+/// (traversal × accumulator × backend × overlap × ranks) of the
+/// reduction pipeline is compared bin-by-bin against the independent
+/// scalar reference oracle (src/verify/) on seeded randomized
+/// experiments, named degenerate inputs, and committed golden files.
+///
+/// When a future PR bends the physics, the failure report names the
+/// configuration and the worst bin's (H, K, L) — see DESIGN.md's
+/// "Verification" section for the documented corruption drill.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/kernels/intersections.hpp"
+#include "vates/kernels/transforms.hpp"
+#include "vates/verify/diff.hpp"
+#include "vates/verify/fuzz_inputs.hpp"
+#include "vates/verify/reference_oracle.hpp"
+
+#include "vates/io/histogram_file.hpp"
+#include "vates/support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace vates;
+using core::OverlapMode;
+using core::ReductionConfig;
+using core::ReductionPipeline;
+using core::ReductionResult;
+
+std::vector<Backend> availableBackends() {
+  std::vector<Backend> backends;
+  for (const Backend candidate : {Backend::Serial, Backend::OpenMP,
+                                  Backend::ThreadPool, Backend::DeviceSim}) {
+    if (backendAvailable(candidate)) {
+      backends.push_back(candidate);
+    }
+  }
+  return backends;
+}
+
+constexpr Traversal kTraversals[] = {Traversal::Legacy, Traversal::SortedKeys,
+                                     Traversal::Dda};
+constexpr AccumulateStrategy kStrategies[] = {
+    AccumulateStrategy::Auto, AccumulateStrategy::Atomic,
+    AccumulateStrategy::Privatized, AccumulateStrategy::Tiled};
+constexpr OverlapMode kOverlaps[] = {OverlapMode::Off, OverlapMode::Prefetch,
+                                     OverlapMode::Full};
+
+ReductionConfig makeConfig(Traversal traversal, AccumulateStrategy strategy,
+                           Backend backend, OverlapMode overlap, int ranks) {
+  ReductionConfig config;
+  config.backend = backend;
+  config.ranks = ranks;
+  config.mdnorm.traversal = traversal;
+  config.mdnorm.accumulate.strategy = strategy;
+  config.binmdAccumulate.strategy = strategy;
+  config.overlap.mode = overlap;
+  return config;
+}
+
+std::string configLabel(const ReductionConfig& config, std::uint64_t seed) {
+  return std::string(traversalName(config.mdnorm.traversal)) + "/" +
+         accumulateStrategyName(config.mdnorm.accumulate.strategy) + "/" +
+         backendName(config.backend) + "/" +
+         overlapModeName(config.overlap.mode) + "/ranks=" +
+         std::to_string(config.ranks) + " seed=" + std::to_string(seed);
+}
+
+/// Compare all three result histograms against the oracle; on failure
+/// the assertion message is the DiffReport summary (worst bin + HKL).
+void expectMatchesOracle(const verify::OracleResult& oracle,
+                         const ReductionResult& result,
+                         const std::string& label,
+                         const verify::Tolerance& tolerance = {}) {
+  const auto check = [&](const Histogram3D& expected,
+                         const Histogram3D& actual, const char* what) {
+    const verify::DiffReport report = verify::compareHistograms(
+        expected, actual, tolerance, std::string(what) + " " + label);
+    EXPECT_TRUE(report.pass) << report.summary();
+  };
+  check(oracle.signal, result.signal, "signal");
+  check(oracle.normalization, result.normalization, "normalization");
+  check(oracle.crossSection, result.crossSection, "crossSection");
+}
+
+std::filesystem::path goldenDir() {
+#ifdef VATES_GOLDEN_DIR
+  return VATES_GOLDEN_DIR;
+#else
+  return "tests/golden";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Contract constants: the oracle restates kernel-side constants so it
+// can avoid kernel headers; these pins stop silent drift.
+
+TEST(OracleContract, ParallelToleranceMatchesKernels) {
+  EXPECT_EQ(verify::kOracleParallelTolerance, kTrajectoryParallelTolerance);
+}
+
+TEST(OracleContract, DivideEpsilonMatchesPipelineDefault) {
+  // Histogram3D::divide's default epsilon (1e-300) is the pipeline's
+  // zero-normalization gate; the oracle restates it.
+  EXPECT_EQ(verify::kOracleDivideEpsilon, 1e-300);
+}
+
+TEST(OracleContract, CrossSectionMatchesHistogramDivideBitwise) {
+  Xoshiro256 rng(0xd1f4u);
+  const verify::FuzzExperiment experiment = verify::randomExperiment(rng, 0);
+  const ExperimentSetup setup = verify::makeSetup(experiment);
+  const verify::OracleResult oracle = verify::referenceReduce(setup);
+
+  const Histogram3D viaKernel =
+      Histogram3D::divide(oracle.signal, oracle.normalization);
+  const verify::DiffReport report =
+      verify::compareHistograms(oracle.crossSection, viaKernel,
+                                verify::Tolerance::bitwise(), "divide policy");
+  EXPECT_TRUE(report.pass) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// The diff engine itself: it must detect what it claims to detect,
+// otherwise a green sweep proves nothing.
+
+TEST(UlpDistance, CountsRepresentableSteps) {
+  EXPECT_EQ(verify::ulpDistance(1.0, 1.0), 0u);
+  const double next = std::nextafter(1.0, 2.0);
+  EXPECT_EQ(verify::ulpDistance(1.0, next), 1u);
+  EXPECT_EQ(verify::ulpDistance(next, 1.0), 1u);
+  EXPECT_EQ(verify::ulpDistance(1.0, std::nextafter(next, 2.0)), 2u);
+  // Across zero: -0.0 and +0.0 are one representation apart on the
+  // ordered scale but bitwise-distinct; distance must stay tiny.
+  EXPECT_LE(verify::ulpDistance(-0.0, 0.0), 1u);
+  EXPECT_EQ(verify::ulpDistance(0.0, 0.0), 0u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(verify::ulpDistance(nan, 1.0),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(verify::ulpDistance(nan, nan), 0u); // identical payloads
+}
+
+class DiffEngineTest : public ::testing::Test {
+protected:
+  verify::OracleResult oracle_ = [] {
+    Xoshiro256 rng(0xbadb1u);
+    const verify::FuzzExperiment experiment = verify::randomExperiment(rng, 0);
+    const ExperimentSetup setup = verify::makeSetup(experiment);
+    return verify::referenceReduce(setup);
+  }();
+};
+
+TEST_F(DiffEngineTest, PassesOnIdenticalHistograms) {
+  const verify::DiffReport report = verify::compareHistograms(
+      oracle_.normalization, oracle_.normalization,
+      verify::Tolerance::bitwise(), "self");
+  EXPECT_TRUE(report.pass) << report.summary();
+  EXPECT_EQ(report.binsMismatched, 0u);
+  EXPECT_FALSE(report.worst.has_value());
+}
+
+TEST_F(DiffEngineTest, DetectsSingleBinCorruption) {
+  Histogram3D corrupted = oracle_.normalization;
+  // Pick the largest bin and knock it by 0.1% — far past any tolerance.
+  std::size_t target = 0;
+  for (std::size_t i = 0; i < corrupted.size(); ++i) {
+    if (corrupted.data()[i] > corrupted.data()[target]) {
+      target = i;
+    }
+  }
+  ASSERT_GT(corrupted.data()[target], 0.0);
+  corrupted.data()[target] *= 1.001;
+
+  const verify::DiffReport report = verify::compareHistograms(
+      oracle_.normalization, corrupted, {}, "corruption drill");
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.binsMismatched, 1u);
+  ASSERT_TRUE(report.worst.has_value());
+  EXPECT_EQ(report.worst->flatIndex, target);
+
+  // The report localizes the bin: indices recompose to the flat index
+  // and the quoted (H,K,L) center lies inside that bin on every axis.
+  const auto& worst = *report.worst;
+  EXPECT_EQ(oracle_.normalization.flatIndex(worst.index[0], worst.index[1],
+                                            worst.index[2]),
+            target);
+  for (std::size_t axis = 0; axis < 3; ++axis) {
+    const BinAxis& binAxis = oracle_.normalization.axis(axis);
+    const double lo =
+        binAxis.min() + static_cast<double>(worst.index[axis]) * binAxis.width();
+    EXPECT_GE(worst.center[axis], lo);
+    EXPECT_LE(worst.center[axis], lo + binAxis.width());
+  }
+  EXPECT_NE(report.summary().find("FAIL"), std::string::npos);
+}
+
+TEST_F(DiffEngineTest, FailingBinOutranksLargerPassingNoise) {
+  // Bin 0: a large value with an in-tolerance wiggle (relative 8e-9,
+  // absolute 8e-3).  Bin 5: a small value corrupted by 50% (absolute
+  // 2e-3 — smaller than bin 0's wiggle but out of every tolerance).
+  // The report must point at bin 5, not the bigger passing diff.
+  Histogram3D expected(BinAxis("H", 0.0, 3.0, 3), BinAxis("K", 0.0, 3.0, 3),
+                       BinAxis("L", 0.0, 1.0, 1));
+  expected.data()[0] = 1e6;
+  expected.data()[5] = 4e-3;
+  Histogram3D candidate = expected;
+  candidate.data()[0] += 8e-3;
+  candidate.data()[5] *= 1.5;
+
+  const verify::DiffReport report =
+      verify::compareHistograms(expected, candidate, {}, "ranking");
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.binsMismatched, 1u);
+  ASSERT_TRUE(report.worst.has_value());
+  EXPECT_EQ(report.worst->flatIndex, 5u);
+}
+
+TEST_F(DiffEngineTest, DetectsNanMismatchBothWays) {
+  Histogram3D corrupted = oracle_.crossSection;
+  // The cross-section of a partial-coverage experiment has both NaN
+  // (uncovered) and finite bins; flip one of each.
+  std::size_t nanBin = corrupted.size();
+  std::size_t finiteBin = corrupted.size();
+  for (std::size_t i = 0; i < corrupted.size(); ++i) {
+    if (std::isnan(corrupted.data()[i])) {
+      nanBin = i;
+    } else {
+      finiteBin = i;
+    }
+  }
+  ASSERT_LT(nanBin, corrupted.size());
+  ASSERT_LT(finiteBin, corrupted.size());
+
+  Histogram3D nanToNumber = corrupted;
+  nanToNumber.data()[nanBin] = 0.0;
+  verify::DiffReport report = verify::compareHistograms(
+      oracle_.crossSection, nanToNumber, {}, "NaN→number");
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.nanMismatches, 1u);
+  ASSERT_TRUE(report.worst.has_value());
+  EXPECT_EQ(report.worst->flatIndex, nanBin);
+
+  Histogram3D numberToNan = corrupted;
+  numberToNan.data()[finiteBin] = std::numeric_limits<double>::quiet_NaN();
+  report = verify::compareHistograms(oracle_.crossSection, numberToNan, {},
+                                     "number→NaN");
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.nanMismatches, 1u);
+}
+
+TEST_F(DiffEngineTest, ShapeMismatchThrowsLoudly) {
+  Histogram3D other(BinAxis("H", -1.0, 1.0, 3), BinAxis("K", -1.0, 1.0, 3),
+                    BinAxis("L", -1.0, 1.0, 3));
+  EXPECT_THROW(static_cast<void>(verify::compareHistograms(
+                   oracle_.signal, other, {}, "shape")),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// The sweep: ≥ 20 seeded random experiments, each checked through every
+// traversal × accumulator × backend × overlap combination.
+
+class OracleDiffSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleDiffSweep, AllConfigurationsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(0x0c0ffee0u + seed, /*streamId=*/seed);
+  // A random grid can land entirely off the instrument's trajectory
+  // hull (empty normalization — legal but uninformative); redraw from
+  // the same deterministic stream until the experiment has coverage.
+  verify::FuzzExperiment experiment;
+  std::optional<ExperimentSetup> setupStorage;
+  std::optional<verify::OracleResult> oracleStorage;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    experiment = verify::randomExperiment(rng, static_cast<std::size_t>(seed));
+    setupStorage.emplace(verify::makeSetup(experiment));
+    oracleStorage = verify::referenceReduce(*setupStorage);
+    if (oracleStorage->normalization.nonZeroBins() > 0) {
+      break;
+    }
+  }
+  const ExperimentSetup& setup = *setupStorage;
+  const verify::OracleResult& oracle = *oracleStorage;
+  ASSERT_GT(oracle.normalization.nonZeroBins(), 0u)
+      << experiment.name << ": no coverage after 8 redraws";
+
+  const int ranks = 1 + static_cast<int>(seed % 2);
+  for (const Traversal traversal : kTraversals) {
+    for (const AccumulateStrategy strategy : kStrategies) {
+      for (const Backend backend : availableBackends()) {
+        for (const OverlapMode overlap : kOverlaps) {
+          const ReductionConfig config =
+              makeConfig(traversal, strategy, backend, overlap, ranks);
+          const ReductionResult result =
+              ReductionPipeline(setup, config).run();
+          expectMatchesOracle(oracle, result,
+                              experiment.name + " " +
+                                  configLabel(config, seed));
+          if (HasFailure()) {
+            // One bin-level report per configuration is actionable;
+            // thousands of identical ones are noise.
+            return;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededExperiments, OracleDiffSweep,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(OracleDiff, ErrorPropagationMatchesOracle) {
+  Xoshiro256 rng(0xe4405u);
+  for (std::size_t index = 0; index < 4; ++index) {
+    const verify::FuzzExperiment experiment =
+        verify::randomExperiment(rng, index);
+    const ExperimentSetup setup = verify::makeSetup(experiment);
+    const verify::OracleResult oracle =
+        verify::referenceReduce(setup, /*trackErrors=*/true);
+    ASSERT_TRUE(oracle.signalErrorSq.has_value());
+    ASSERT_TRUE(oracle.crossSectionErrorSq.has_value());
+
+    ReductionConfig config = makeConfig(
+        Traversal::Dda, AccumulateStrategy::Auto,
+        index % 2 == 0 ? Backend::Serial : Backend::ThreadPool,
+        index % 2 == 0 ? OverlapMode::Off : OverlapMode::Full, 1);
+    config.trackErrors = true;
+    const ReductionResult result = ReductionPipeline(setup, config).run();
+    ASSERT_TRUE(result.signalErrorSq.has_value());
+    ASSERT_TRUE(result.crossSectionErrorSq.has_value());
+
+    expectMatchesOracle(oracle, result, experiment.name + " trackErrors");
+    verify::DiffReport report = verify::compareHistograms(
+        *oracle.signalErrorSq, *result.signalErrorSq, {},
+        experiment.name + " signalErrorSq");
+    EXPECT_TRUE(report.pass) << report.summary();
+    report = verify::compareHistograms(*oracle.crossSectionErrorSq,
+                                       *result.crossSectionErrorSq, {},
+                                       experiment.name + " crossSectionErrorSq");
+    EXPECT_TRUE(report.pass) << report.summary();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs: the named fuzz roster, each swept through a
+// representative configuration slice (every traversal, both threaded
+// backends, the device sim, and full overlap).
+
+class OracleDiffDegenerate
+    : public ::testing::TestWithParam<verify::FuzzExperiment> {};
+
+TEST_P(OracleDiffDegenerate, MatchesOracle) {
+  const verify::FuzzExperiment& experiment = GetParam();
+  const ExperimentSetup setup = verify::makeSetup(experiment);
+  const verify::OracleResult oracle = verify::referenceReduce(setup);
+
+  std::vector<ReductionConfig> configs;
+  for (const Traversal traversal : kTraversals) {
+    configs.push_back(makeConfig(traversal, AccumulateStrategy::Atomic,
+                                 Backend::Serial, OverlapMode::Off, 1));
+  }
+  for (const Backend backend : availableBackends()) {
+    if (backend != Backend::Serial) {
+      configs.push_back(makeConfig(Traversal::Dda, AccumulateStrategy::Auto,
+                                   backend, OverlapMode::Full, 2));
+    }
+  }
+  for (const ReductionConfig& config : configs) {
+    const ReductionResult result = ReductionPipeline(setup, config).run();
+    expectMatchesOracle(oracle, result,
+                        experiment.name + " " + configLabel(config, 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamedCases, OracleDiffDegenerate,
+    ::testing::ValuesIn(verify::degenerateExperiments()),
+    [](const ::testing::TestParamInfo<verify::FuzzExperiment>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(OracleDegenerateSemantics, EmptyDetectorSetIsAllNaN) {
+  for (const verify::FuzzExperiment& experiment :
+       verify::degenerateExperiments()) {
+    if (experiment.name != "empty-detector-set") {
+      continue;
+    }
+    const ExperimentSetup setup = verify::makeSetup(experiment);
+    const verify::OracleResult oracle = verify::referenceReduce(setup);
+    EXPECT_EQ(oracle.normalization.nonZeroBins(), 0u);
+    for (const double value : oracle.crossSection.data()) {
+      EXPECT_TRUE(std::isnan(value));
+    }
+    return;
+  }
+  FAIL() << "empty-detector-set case missing from the fuzz roster";
+}
+
+TEST(OracleDegenerateSemantics, ZeroEventsLeavesSignalEmpty) {
+  for (const verify::FuzzExperiment& experiment :
+       verify::degenerateExperiments()) {
+    if (experiment.name != "zero-events") {
+      continue;
+    }
+    const ExperimentSetup setup = verify::makeSetup(experiment);
+    const verify::OracleResult oracle = verify::referenceReduce(setup);
+    EXPECT_EQ(oracle.eventsProcessed, 0u);
+    EXPECT_EQ(oracle.signal.nonZeroBins(), 0u);
+    EXPECT_GT(oracle.normalization.nonZeroBins(), 0u);
+    return;
+  }
+  FAIL() << "zero-events case missing from the fuzz roster";
+}
+
+// ---------------------------------------------------------------------------
+// Golden regression: committed CRC-stamped oracle outputs must match a
+// freshly computed oracle.  Tolerance is tight but not bitwise: the
+// flux table is built with libm transcendentals, which may differ by an
+// ulp across toolchains; everything downstream is plain arithmetic.
+
+TEST(OracleGolden, CommittedGoldensMatchFreshOracle) {
+  const verify::Tolerance tight{1e-10, 8, 1e-12};
+  for (const verify::FuzzExperiment& experiment :
+       verify::goldenExperiments()) {
+    const std::filesystem::path path =
+        goldenDir() / (experiment.name + ".nxl");
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << path << " missing — regenerate with tools/gen_golden (see "
+                   "DESIGN.md 'Verification')";
+
+    const ReducedData golden = loadReducedData(path.string());
+    const ExperimentSetup setup = verify::makeSetup(experiment);
+    const verify::OracleResult oracle = verify::referenceReduce(setup);
+
+    // Shape drift fails before any numeric comparison.
+    ASSERT_TRUE(golden.signal.sameShape(oracle.signal))
+        << experiment.name << ": golden histogram shape drifted";
+
+    const auto check = [&](const char* name, const Histogram3D& expected,
+                           const Histogram3D& actual) {
+      const verify::DiffReport report = verify::compareHistograms(
+          expected, actual, tight, experiment.name + " golden " + name);
+      EXPECT_TRUE(report.pass) << report.summary();
+    };
+    check("signal", golden.signal, oracle.signal);
+    check("normalization", golden.normalization, oracle.normalization);
+    check("crossSection", golden.crossSection, oracle.crossSection);
+  }
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/// \file gen_golden.cpp
+/// Golden-dataset generator: runs the reference oracle (src/verify/)
+/// over the fixed goldenExperiments() roster and writes each result as
+/// a CRC-stamped nxlite reduction file under tests/golden/.
+///
+///   gen_golden [--check] [output-dir]
+///
+/// Without --check, (re)writes <output-dir>/<name>.nxl for every golden
+/// experiment.  With --check, loads each committed golden instead and
+/// compares it against a freshly computed oracle, exiting non-zero on
+/// any drift — the same comparison the OracleGolden test performs, as a
+/// standalone command for CI or for validating a regeneration before
+/// committing it.  The default output dir is the source tree's
+/// tests/golden (compiled in as VATES_GOLDEN_DIR).
+
+#include "vates/io/histogram_file.hpp"
+#include "vates/verify/diff.hpp"
+#include "vates/verify/fuzz_inputs.hpp"
+#include "vates/verify/reference_oracle.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+#ifndef VATES_GOLDEN_DIR
+#define VATES_GOLDEN_DIR "tests/golden"
+#endif
+
+int generate(const std::filesystem::path& directory) {
+  std::filesystem::create_directories(directory);
+  for (const vates::verify::FuzzExperiment& experiment :
+       vates::verify::goldenExperiments()) {
+    const vates::ExperimentSetup setup = vates::verify::makeSetup(experiment);
+    const vates::verify::OracleResult oracle =
+        vates::verify::referenceReduce(setup);
+    const std::filesystem::path path = directory / (experiment.name + ".nxl");
+    vates::saveReducedData(path.string(), oracle.signal, oracle.normalization,
+                           oracle.crossSection);
+    std::printf("wrote %s (%zu bins, %zu events, %zu nonzero norm bins)\n",
+                path.string().c_str(), oracle.signal.size(),
+                oracle.eventsProcessed, oracle.normalization.nonZeroBins());
+  }
+  return 0;
+}
+
+int check(const std::filesystem::path& directory) {
+  // Matches OracleGolden.CommittedGoldensMatchFreshOracle: tight but
+  // not bitwise (the flux table uses libm transcendentals).
+  const vates::verify::Tolerance tight{1e-10, 8, 1e-12};
+  int failures = 0;
+  for (const vates::verify::FuzzExperiment& experiment :
+       vates::verify::goldenExperiments()) {
+    const std::filesystem::path path = directory / (experiment.name + ".nxl");
+    if (!std::filesystem::exists(path)) {
+      std::fprintf(stderr, "MISSING %s\n", path.string().c_str());
+      ++failures;
+      continue;
+    }
+    const vates::ReducedData golden =
+        vates::loadReducedData(path.string()); // throws on CRC/format damage
+    const vates::ExperimentSetup setup = vates::verify::makeSetup(experiment);
+    const vates::verify::OracleResult oracle =
+        vates::verify::referenceReduce(setup);
+    if (!golden.signal.sameShape(oracle.signal)) {
+      std::fprintf(stderr, "SHAPE DRIFT %s\n", experiment.name.c_str());
+      ++failures;
+      continue;
+    }
+    const auto compare = [&](const char* name,
+                             const vates::Histogram3D& expected,
+                             const vates::Histogram3D& actual) {
+      const vates::verify::DiffReport report =
+          vates::verify::compareHistograms(expected, actual, tight,
+                                           experiment.name + " " + name);
+      std::printf("%s\n", report.summary().c_str());
+      if (!report.pass) {
+        ++failures;
+      }
+    };
+    compare("signal", golden.signal, oracle.signal);
+    compare("normalization", golden.normalization, oracle.normalization);
+    compare("crossSection", golden.crossSection, oracle.crossSection);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool checkMode = false;
+  std::filesystem::path directory = VATES_GOLDEN_DIR;
+  for (int i = 1; i < argc; ++i) {
+    const std::string argument = argv[i];
+    if (argument == "--check") {
+      checkMode = true;
+    } else if (argument == "--help" || argument == "-h") {
+      std::printf("usage: gen_golden [--check] [output-dir]\n");
+      return 0;
+    } else {
+      directory = argument;
+    }
+  }
+  try {
+    return checkMode ? check(directory) : generate(directory);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "gen_golden: %s\n", error.what());
+    return 2;
+  }
+}
