@@ -1,0 +1,196 @@
+// Ablation: the multi-tenant reduction service, end to end.
+//
+// A facility front end rarely sees one job at a time: many users submit
+// reductions of the *same* measurement grid (same instrument, lattice,
+// flux band, binning) over different data.  The service's shared-grid
+// batching computes the MDNorm normalization once per batch and reuses
+// it for every follower, so the interesting sweep is
+//
+//   job count × worker count × batching (on/off)
+//
+// over a duplicate-grid job set (jobs differ only in their event seed —
+// exactly the case the normalization key declares compatible).  For
+// each cell the bench reports wall time, throughput, queue-wait and run
+// latency percentiles, and — the headline — how many MDNorm passes the
+// service actually paid (normalization_passes) versus the job count.
+//
+// Output: a JSON document on stdout (aggregated into BENCH_service.json
+// by bench/run_perf_smoke.sh).
+
+#include "vates/core/plan.hpp"
+#include "vates/service/reduction_service.hpp"
+#include "vates/service/wire.hpp"
+#include "vates/support/cli.hpp"
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+namespace {
+
+using namespace vates;
+using namespace vates::service;
+
+Backend cpuBackend() {
+#ifdef VATES_HAS_OPENMP
+  return Backend::OpenMP;
+#else
+  return Backend::ThreadPool;
+#endif
+}
+
+struct CellResult {
+  std::size_t jobs = 0;
+  std::size_t workers = 0;
+  bool batching = false;
+  double wallSeconds = 0.0;
+  double throughputJobsPerSecond = 0.0;
+  LatencyStats queueWait;
+  LatencyStats run;
+  std::uint64_t normalizationPasses = 0;
+  std::uint64_t sharedNormalizationJobs = 0;
+  double batchHitRate = 0.0;
+  std::uint64_t doneJobs = 0;
+};
+
+CellResult runCell(double scale, std::size_t nFiles, std::size_t jobs,
+                   std::size_t workers, bool batching) {
+  ServiceOptions options;
+  options.workers = workers;
+  options.queueCapacity = jobs; // admit the whole burst
+  options.batching = batching;
+  options.maxBatch = jobs;
+
+  CellResult cell;
+  cell.jobs = jobs;
+  cell.workers = workers;
+  cell.batching = batching;
+
+  WallTimer timer;
+  ReductionService serviceInstance(options);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    JobRequest request;
+    request.plan.workload = WorkloadSpec::benzilCorelli(scale);
+    request.plan.workload.nFiles = nFiles;
+    // Different data, same grid: only the seed varies, so every job
+    // shares one normalization key.
+    request.plan.workload.seed += i;
+    request.plan.config.backend = cpuBackend();
+    request.tag = "cell-" + std::to_string(i);
+    const SubmitReceipt receipt = serviceInstance.submit(std::move(request));
+    if (receipt.accepted) {
+      ids.push_back(receipt.id);
+    }
+  }
+  for (const std::uint64_t id : ids) {
+    serviceInstance.wait(id);
+  }
+  cell.wallSeconds = timer.seconds();
+
+  const ServiceMetrics metrics = serviceInstance.metrics();
+  cell.doneJobs = metrics.done;
+  cell.normalizationPasses = metrics.normalizationPasses;
+  cell.sharedNormalizationJobs = metrics.sharedNormalizationJobs;
+  cell.batchHitRate = metrics.batchHitRate();
+  if (const auto it = metrics.latency.find("queue-wait");
+      it != metrics.latency.end()) {
+    cell.queueWait = it->second;
+  }
+  if (const auto it = metrics.latency.find("run");
+      it != metrics.latency.end()) {
+    cell.run = it->second;
+  }
+  if (cell.wallSeconds > 0.0) {
+    cell.throughputJobsPerSecond =
+        static_cast<double>(metrics.done) / cell.wallSeconds;
+  }
+  serviceInstance.shutdown(true);
+  return cell;
+}
+
+std::string latencyJson(const LatencyStats& stats) {
+  return JsonObject()
+      .field("count", std::uint64_t{stats.count})
+      .field("p50_s", stats.p50)
+      .field("p95_s", stats.p95)
+      .field("max_s", stats.max)
+      .str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_ablation_service",
+                 "Service throughput/latency sweep: jobs x workers x "
+                 "batching over a duplicate-grid job set");
+  args.addOption("scale", "Workload scale factor", "0.0005");
+  args.addOption("files", "Files (runs) per job", "2");
+  args.addOption("jobs", "Comma-separated job counts", "4,8");
+  args.addOption("workers", "Comma-separated worker counts", "1,2");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+  const double scale = args.getDouble("scale");
+  const auto nFiles = static_cast<std::size_t>(args.getInt("files"));
+
+  const auto parseList = [](const std::string& text) {
+    std::vector<std::size_t> values;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t comma = text.find(',', start);
+      const std::string item =
+          text.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      if (!item.empty()) {
+        values.push_back(static_cast<std::size_t>(std::stoul(item)));
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+    return values;
+  };
+
+  std::string cells;
+  for (const std::size_t jobs : parseList(args.getString("jobs"))) {
+    for (const std::size_t workers : parseList(args.getString("workers"))) {
+      for (const bool batching : {false, true}) {
+        const CellResult cell = runCell(scale, nFiles, jobs, workers, batching);
+        if (!cells.empty()) {
+          cells += ',';
+        }
+        cells += JsonObject()
+                     .field("jobs", std::uint64_t{cell.jobs})
+                     .field("workers", std::uint64_t{cell.workers})
+                     .field("batching", cell.batching)
+                     .field("done", cell.doneJobs)
+                     .field("wall_s", cell.wallSeconds)
+                     .field("throughput_jobs_per_s",
+                            cell.throughputJobsPerSecond)
+                     .field("normalization_passes", cell.normalizationPasses)
+                     .field("shared_normalization_jobs",
+                            cell.sharedNormalizationJobs)
+                     .field("batch_hit_rate", cell.batchHitRate)
+                     .fieldRaw("queue_wait", latencyJson(cell.queueWait))
+                     .fieldRaw("run", latencyJson(cell.run))
+                     .str();
+        std::cerr << "jobs=" << cell.jobs << " workers=" << cell.workers
+                  << " batching=" << (cell.batching ? "on" : "off")
+                  << " wall=" << cell.wallSeconds
+                  << "s norm_passes=" << cell.normalizationPasses << '\n';
+      }
+    }
+  }
+
+  JsonObject document;
+  document.field("benchmark", "service_batching_ablation")
+      .field("config", "benzil-corelli scale=" + args.getString("scale") +
+                           " files=" + args.getString("files") +
+                           " duplicate-grid jobs (seed varies)")
+      .fieldRaw("cells", "[" + cells + "]");
+  std::cout << document.str() << '\n';
+  return 0;
+}

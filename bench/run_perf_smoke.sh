@@ -1,20 +1,58 @@
 #!/usr/bin/env bash
-# Traversal-ablation perf smoke: runs the BM_MDNorm_Traversal sweep at
-# the Table-4-like configuration (Benzil CORELLI, 603x603x1 [H,K,0]
-# slice) and aggregates per-backend kernel times into BENCH_mdnorm.json
-# at the repository root.
+# Perf smoke steps, each aggregating one JSON report at the repo root:
+#
+#   mdnorm  — the BM_MDNorm_Traversal sweep at the Table-4-like
+#             configuration (Benzil CORELLI, 603x603x1 [H,K,0] slice)
+#             → BENCH_mdnorm.json
+#   service — the reduction-service jobs x workers x batching sweep over
+#             a duplicate-grid job set → BENCH_service.json
 #
 # Usage:  BUILD_DIR=/path/to/build bench/run_perf_smoke.sh
-#         (BUILD_DIR defaults to <repo>/build)
+#         (BUILD_DIR defaults to <repo>/build; set
+#          VATES_PERF_SMOKE_ONLY=mdnorm|service to run one step)
 #
-# Wired into ctest as `perf_smoke_mdnorm` behind -DVATES_PERF_SMOKE=ON
-# with LABELS perf, so tier-1 `ctest` runs never pay for it.
+# Wired into ctest as `perf_smoke_mdnorm` / `perf_smoke_service` behind
+# -DVATES_PERF_SMOKE=ON with LABELS perf, so tier-1 `ctest` runs never
+# pay for it.
 
 set -euo pipefail
 
 script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
 repo_root="$(cd "${script_dir}/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
+only="${VATES_PERF_SMOKE_ONLY:-all}"
+
+run_service_step() {
+  local bench_bin="${build_dir}/bench/bench_ablation_service"
+  local out_json="${repo_root}/BENCH_service.json"
+  if [[ ! -x "${bench_bin}" ]]; then
+    echo "error: ${bench_bin} not found or not executable" >&2
+    echo "build first: cmake --build ${build_dir} --target bench_ablation_service" >&2
+    exit 1
+  fi
+  "${bench_bin}" --jobs 4,8 --workers 1,2 > "${out_json}"
+  python3 - "${out_json}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {path}")
+for cell in doc.get("cells", []):
+    print("  jobs={jobs} workers={workers} batching={batching}: "
+          "norm_passes={normalization_passes} wall={wall_s:.2f}s".format(**cell))
+PY
+}
+
+if [[ "${only}" == "service" ]]; then
+  run_service_step
+  exit 0
+fi
+
 bench_bin="${build_dir}/bench/bench_ablation_sort"
 out_json="${repo_root}/BENCH_mdnorm.json"
 raw_json="$(mktemp /tmp/bench_mdnorm_raw.XXXXXX.json)"
@@ -79,3 +117,7 @@ for name in sorted(backends):
     if speedup is not None:
         print(f"  {name}: dda vs legacy speedup = {speedup:.2f}x")
 PY
+
+if [[ "${only}" == "all" ]]; then
+  run_service_step
+fi

@@ -6,7 +6,10 @@
 #include "vates/kernels/convert_to_md.hpp"
 #include "vates/kernels/mdnorm.hpp"
 #include "vates/parallel/backend.hpp"
+#include "vates/support/timer.hpp"
 
+#include <atomic>
+#include <cstddef>
 #include <string>
 
 namespace vates::core {
@@ -48,6 +51,27 @@ struct OverlapOptions {
   /// classic double buffering (one run computing, one loaded and
   /// waiting, one loading).
   std::size_t prefetchDepth = 1;
+};
+
+/// Non-owning observation and control hooks a long-running caller (the
+/// reduction service) threads into one pipeline execution.  All
+/// pointers may be null; every pointee must outlive the run() call.
+struct PipelineHooks {
+  /// Cooperative cancellation: the pipeline polls this flag between
+  /// runs (std::stop_token-style).  When it becomes true, every rank
+  /// stops after its current file, the collectives still complete (so
+  /// no rank deadlocks), and run() throws vates::Cancelled instead of
+  /// returning — a cancelled reduction never exposes partial sums.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Incremented once per fully computed file, across all ranks —
+  /// live progress for job-status queries.
+  std::atomic<std::size_t>* filesCompleted = nullptr;
+
+  /// Live per-stage timing: each file's stage times are merged here as
+  /// the file completes (in addition to the result's own totals), so a
+  /// concurrent observer can report per-stage progress mid-reduction.
+  SharedStageTimes* progress = nullptr;
 };
 
 struct ReductionConfig {
@@ -92,6 +116,19 @@ struct ReductionConfig {
   /// overrides `overlap.mode` at pipeline construction so every
   /// existing bench and example can ablate without code changes.
   OverlapOptions overlap;
+
+  /// Skip the MDNorm normalization pass entirely: the result's
+  /// normalization histogram stays zero and the cross-section is
+  /// all-NaN until the caller divides by a denominator it already has.
+  /// This is the follower mode of the service's shared-grid batching —
+  /// jobs whose normalization inputs match reuse one MDNorm pass, so
+  /// only the per-job BinMD signal is computed here.  The signal is
+  /// bit-identical to a full run's: skipping MDNorm changes no BinMD
+  /// accumulation order.
+  bool skipNormalization = false;
+
+  /// Cancellation / progress observation hooks (see PipelineHooks).
+  PipelineHooks hooks;
 
   /// Benchmarking model of file-arrival latency: at the facility, runs
   /// stream in from the parallel file system as the measurement

@@ -214,6 +214,15 @@ ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
     }
   });
 
+  // A cancelled reduction surfaces as an exception, never as a result:
+  // every rank has stopped after its current file and joined the
+  // collectives above, so nothing deadlocks, and the partially
+  // accumulated histograms die with this scope.
+  if (config_.hooks.cancel != nullptr &&
+      config_.hooks.cancel->load(std::memory_order_relaxed)) {
+    throw Cancelled("reduction cancelled between runs");
+  }
+
   for (int rank = 0; rank < nRanks; ++rank) {
     const auto r = static_cast<std::size_t>(rank);
     result.times.mergeMax(rankTimes[r]);
@@ -466,7 +475,8 @@ struct ReductionPipeline::RankContext {
   /// band it bounds is the same run-synthesis policy for every file.
   void runPrePass(StagedRun& staged, StageTimes& times) {
     if (!onDevice || !config.deviceIntersectionPrePass ||
-        config.mdnorm.traversal == Traversal::Dda || allDetectorsMasked) {
+        config.mdnorm.traversal == Traversal::Dda || allDetectorsMasked ||
+        config.skipNormalization) {
       // The Dda walk streams segments with O(1) state — there is no
       // intersection buffer to size, so the sizing kernel (and its
       // launch on the per-reduction critical path) disappears.
@@ -495,7 +505,7 @@ struct ReductionPipeline::RankContext {
   /// The sequential kernel order: MDNorm then BinMD, both on the
   /// primary executor.
   void computeRun(const StagedRun& staged, StageTimes& times) const {
-    if (!allDetectorsMasked) {
+    if (!allDetectorsMasked && !config.skipNormalization) {
       ScopedStage stage(times, "MDNorm");
       runMDNorm(executor, staged.normInputs, normGrid, config.mdnorm);
     }
@@ -523,7 +533,7 @@ struct ReductionPipeline::RankContext {
     scheduler.runSiblings(
         {{"MDNorm",
           [&] {
-            if (allDetectorsMasked) {
+            if (allDetectorsMasked || config.skipNormalization) {
               return;
             }
             ScopedSharedStage stage(shared, "MDNorm");
@@ -565,23 +575,52 @@ void ReductionPipeline::reduceRank(comm::Communicator& communicator,
   context.stageInvariants(outTimes);
   context.prepareSiblings();
 
+  // Cooperative cancellation: polled between files only, so a set flag
+  // stops the rank after its current file finishes.  The rank still
+  // reaches the collectives (no deadlock); reduceAll() then throws
+  // Cancelled instead of returning partial sums.
+  const std::atomic<bool>* cancelFlag = config_.hooks.cancel;
+  const auto cancelRequested = [cancelFlag] {
+    return cancelFlag != nullptr &&
+           cancelFlag->load(std::memory_order_relaxed);
+  };
+  // Each completed file's stage times are merged into the rank totals
+  // and, when a live observer is attached, into its shared sink — so a
+  // status query mid-reduction sees per-stage progress so far.
+  const auto publishFile = [this, &outTimes](StageTimes& fileTimes) {
+    outTimes.merge(fileTimes);
+    if (config_.hooks.progress != nullptr) {
+      config_.hooks.progress->merge(fileTimes);
+    }
+    if (config_.hooks.filesCompleted != nullptr) {
+      config_.hooks.filesCompleted->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
   if (config_.overlap.mode == OverlapMode::Off) {
     for (std::size_t fileIndex = range.begin; fileIndex < range.end;
          ++fileIndex) {
+      if (cancelRequested()) {
+        break;
+      }
+      StageTimes fileTimes;
       // -- LOAD events, rotations, charge (UpdateEvents [+ ConvertToMD]) --
-      const RunFileContent content = source(fileIndex, outTimes);
+      const RunFileContent content = source(fileIndex, fileTimes);
       state.events += content.events.size();
-      RankContext::StagedRun staged = context.stageRun(content, outTimes);
-      context.runPrePass(staged, outTimes);
+      RankContext::StagedRun staged = context.stageRun(content, fileTimes);
+      context.runPrePass(staged, fileTimes);
       // -- MDNorm += MDNorm(geometry, flux); BinMD += BinMD(events) ------
-      context.computeRun(staged, outTimes);
+      context.computeRun(staged, fileTimes);
+      publishFile(fileTimes);
     }
   } else {
     // Overlapped engine: LOAD for file i+1 happens on the prefetch
     // thread while file i computes; items arrive strictly in file
     // order, so each grid's accumulation order matches the sequential
     // loop exactly.  Load-side stage times travel with each item and
-    // are merged by the consumer.
+    // are merged by the consumer.  On cancellation the loop just stops
+    // consuming; the Prefetcher destructor wakes and joins the
+    // producer without loading further files.
     struct LoadedRun {
       StageTimes times;
       std::optional<RunFileContent> content;
@@ -593,22 +632,28 @@ void ReductionPipeline::reduceRank(comm::Communicator& communicator,
           loaded.content.emplace(source(fileIndex, loaded.times));
           return loaded;
         });
-    SharedStageTimes sharedTimes;
     const std::size_t nRuns = prefetcher.count();
     for (std::size_t i = 0; i < nRuns; ++i) {
+      if (cancelRequested()) {
+        break;
+      }
       LoadedRun loaded = prefetcher.next();
-      outTimes.merge(loaded.times);
+      StageTimes fileTimes = std::move(loaded.times);
       state.events += loaded.content->events.size();
       RankContext::StagedRun staged =
-          context.stageRun(*loaded.content, outTimes);
-      context.runPrePass(staged, outTimes);
+          context.stageRun(*loaded.content, fileTimes);
+      context.runPrePass(staged, fileTimes);
       if (context.concurrentKernels()) {
-        context.computeConcurrent(staged, sharedTimes);
+        // Concurrent siblings record on their own threads into a
+        // per-file shared sink, folded back once both have joined.
+        SharedStageTimes fileShared;
+        context.computeConcurrent(staged, fileShared);
+        fileTimes.merge(fileShared.take());
       } else {
-        context.computeRun(staged, outTimes);
+        context.computeRun(staged, fileTimes);
       }
+      publishFile(fileTimes);
     }
-    outTimes.merge(sharedTimes.take());
   }
 
   context.download(outTimes);

@@ -1,0 +1,170 @@
+#pragma once
+/// \file job.hpp
+/// Reduction jobs — the unit of work of the multi-tenant service.
+///
+/// The paper's deployment model is a *facility service*: SNS/HFIR users
+/// submit reductions that run on OLCF hardware (the data-management
+/// layer of Godoy et al., arXiv:2101.02591, sitting between scientists
+/// and the kernels the way Mantid does).  A JobRequest is one user's
+/// reduction — a plan plus scheduling metadata (priority, deadline,
+/// correlation tag) — and a Job is the service's record of it moving
+/// through the lifecycle
+///
+///   submit → Queued → Running → Done / Failed / Cancelled / Expired
+///
+/// with cooperative cancellation (a shared flag the pipeline polls
+/// between runs) and live progress (files completed, per-stage times)
+/// observable at every step.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/core/plan.hpp"
+#include "vates/support/timer.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace vates::service {
+
+/// Lifecycle states.  Queued/Running are transient; the other four are
+/// terminal and final (no transitions out).
+enum class JobState : int {
+  Queued = 0,   ///< admitted, waiting for a worker
+  Running = 1,  ///< a worker is executing it
+  Done = 2,     ///< completed; the outcome carries the result
+  Failed = 3,   ///< the reduction threw; the status carries the error
+  Cancelled = 4,///< cancelled while queued or between runs
+  Expired = 5,  ///< its deadline passed before a worker reached it
+};
+
+/// "queued", "running", "done", "failed", "cancelled", "expired".
+const char* jobStateName(JobState state) noexcept;
+
+/// True for Done/Failed/Cancelled/Expired.
+bool jobStateTerminal(JobState state) noexcept;
+
+/// What kind of work the job is.
+enum class JobKind : int {
+  Plan = 0, ///< batch reduction of a ReductionPlan through the pipeline
+  Live = 1, ///< streamed reduction: DAQ replay → EventChannel → LiveReducer
+};
+
+/// "plan", "live".
+const char* jobKindName(JobKind kind) noexcept;
+
+/// One user's reduction request.
+struct JobRequest {
+  core::ReductionPlan plan;
+  JobKind kind = JobKind::Plan;
+  /// Higher priorities are dequeued first; FIFO within one priority.
+  int priority = 0;
+  /// Seconds after submission by which the job must have *started*; a
+  /// job still queued past its deadline is marked Expired instead of
+  /// running late.  0 disables the deadline.
+  double deadlineSeconds = 0.0;
+  /// Client correlation label, echoed in statuses and journal lines.
+  std::string tag;
+};
+
+/// Shared cooperative-cancellation flag: the submitter-side handle sets
+/// it; the pipeline polls it between runs via PipelineHooks::cancel.
+/// Copies share the flag.
+class CancellationToken {
+public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void requestCancel() noexcept {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+  bool cancelRequested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  /// The raw flag, for wiring into PipelineHooks (non-owning view; the
+  /// token must outlive the pipeline run).
+  const std::atomic<bool>* flag() const noexcept { return flag_.get(); }
+
+private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Live progress of a running job.
+struct JobProgress {
+  std::size_t filesCompleted = 0;
+  std::size_t filesTotal = 0;
+  /// Per-stage wall time accumulated so far (UpdateEvents / MDNorm /
+  /// BinMD / ...), merged file by file as the pipeline advances.
+  StageTimes stages;
+};
+
+/// A point-in-time copy of one job's externally visible state.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+  JobKind kind = JobKind::Plan;
+  int priority = 0;
+  std::string tag;
+  /// True when the job ran as a shared-grid batch follower: its MDNorm
+  /// normalization was computed once by the batch leader and reused.
+  bool sharedNormalization = false;
+  /// Failure / rejection detail (Failed, Cancelled, Expired).
+  std::string error;
+  double queuedSeconds = 0.0; ///< submit → start (or now, while queued)
+  double runSeconds = 0.0;    ///< start → finish (or now, while running)
+  JobProgress progress;
+};
+
+/// Terminal outcome: the final status plus, for Done jobs, the full
+/// reduction result (histograms, timings, counters).
+struct JobOutcome {
+  JobStatus status;
+  std::optional<core::ReductionResult> result;
+};
+
+/// The service's internal record of one job.  The atomics and the
+/// SharedStageTimes are written by the worker/pipeline and read by
+/// status queries without further locking; every other mutable field is
+/// guarded by the owning service's mutex.
+struct Job {
+  std::uint64_t id = 0;
+  /// Admission order — the FIFO tiebreak within one priority.
+  std::uint64_t sequence = 0;
+  JobRequest request;
+  /// Normalization-compatibility key (see normalizationKey()); equal
+  /// keys ⇒ bitwise-equal MDNorm normalization ⇒ batchable.
+  std::string batchKey;
+  CancellationToken cancel;
+  std::chrono::steady_clock::time_point submitted;
+  /// Absolute start-by time; nullopt when the request has no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  // -- live progress (lock-free to observe) --------------------------
+  std::atomic<std::size_t> filesCompleted{0};
+  std::size_t filesTotal = 0;
+  SharedStageTimes progressStages;
+
+  // -- guarded by the service mutex ----------------------------------
+  JobState state = JobState::Queued;
+  bool sharedNormalization = false;
+  std::string error;
+  std::optional<std::chrono::steady_clock::time_point> started;
+  std::optional<std::chrono::steady_clock::time_point> finished;
+  std::shared_ptr<const JobOutcome> outcome; ///< set on terminal states
+};
+
+/// The shared-grid batching key: a string serialization of every plan
+/// field the MDNorm normalization depends on — instrument geometry,
+/// lattice/orientation, symmetry, goniometer schedule, wavelength band,
+/// proton charge, output grid, projection, file count — plus the
+/// execution-config fields that change the accumulation *order*
+/// (backend, ranks, traversal, accumulate strategy, overlap mode), so
+/// equal keys guarantee bitwise-identical normalization histograms.
+/// Deliberately excluded: the event seed, events per file, synthetic
+/// signal shape, load mode, error tracking and BinMD accumulate options
+/// — none of them touch the normalization, and excluding them is what
+/// lets "same grid, different data" jobs coalesce.
+std::string normalizationKey(const core::ReductionPlan& plan);
+
+} // namespace vates::service

@@ -1,0 +1,89 @@
+#pragma once
+/// \file job_queue.hpp
+/// Bounded, thread-safe priority queue of reduction jobs — the
+/// admission-controlled front door of the service.
+///
+/// Admission is non-blocking by design: when the queue is full,
+/// tryPush() rejects with a reason instead of blocking the caller — a
+/// facility front end must tell the user "resubmit later" rather than
+/// hang their session (load shedding, not backpressure, at the user
+/// boundary).  Ordering is priority-major (higher first), submission
+/// FIFO within one priority.  Workers may additionally drain queued
+/// jobs that share a batch key with the one they just popped — the
+/// shared-grid batching hook — which deliberately lifts same-key jobs
+/// over head-of-line ones: riding an already-paid normalization is
+/// cheaper for *everyone* in the queue.
+
+#include "vates/service/job.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vates::service {
+
+/// Outcome of a tryPush() admission attempt.
+enum class Admission : int {
+  Accepted = 0,  ///< enqueued
+  QueueFull = 1, ///< bounded capacity reached — resubmit later
+  Closed = 2,    ///< queue closed (service shutting down)
+};
+
+/// "accepted", "queue-full", "closed".
+const char* admissionName(Admission admission) noexcept;
+
+class JobQueue {
+public:
+  /// \p capacity >= 1 queued jobs.
+  explicit JobQueue(std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Non-blocking admission: enqueue or reject with a reason.
+  Admission tryPush(std::shared_ptr<Job> job);
+
+  /// Block until a job is available and return the best one (highest
+  /// priority, FIFO within priority).  Returns nullptr once the queue
+  /// is closed and — when close() asked for a drain — empty.
+  std::shared_ptr<Job> pop();
+
+  /// Non-blocking: remove and return up to \p maxJobs queued jobs whose
+  /// batchKey equals \p key, in submission order.  Used by workers to
+  /// coalesce a shared-grid batch around a just-popped leader.
+  std::vector<std::shared_ptr<Job>> popCompatible(const std::string& key,
+                                                  std::size_t maxJobs);
+
+  /// Remove a specific queued job (cancellation while queued).  Returns
+  /// it, or nullptr when it is no longer queued.
+  std::shared_ptr<Job> remove(std::uint64_t id);
+
+  /// Close the queue: subsequent tryPush() returns Closed.  With
+  /// \p drainRemaining, blocked pop() calls keep serving the remaining
+  /// jobs and return nullptr only once empty; without it, pop() returns
+  /// nullptr immediately and the evicted jobs are handed back to the
+  /// caller (to be marked cancelled).  Idempotent.
+  std::vector<std::shared_ptr<Job>> close(bool drainRemaining);
+
+  bool closed() const;
+  std::size_t depth() const;
+  /// Highest queue depth ever observed (admission-pressure telemetry).
+  std::size_t maxDepth() const;
+
+private:
+  /// Index of the best job (priority-major, sequence-minor); npos when
+  /// empty.  Caller holds the mutex.
+  std::size_t bestIndex() const noexcept;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::vector<std::shared_ptr<Job>> jobs_;
+  std::size_t maxDepth_ = 0;
+  bool closed_ = false;
+  bool drainOnClose_ = true;
+};
+
+} // namespace vates::service

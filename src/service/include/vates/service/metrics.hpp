@@ -1,0 +1,73 @@
+#pragma once
+/// \file metrics.hpp
+/// Operational telemetry of the reduction service: admission counters,
+/// terminal-state counters, shared-grid batching effectiveness, and
+/// per-stage latency distributions — the numbers a facility operator
+/// watches to size workers and queue depth.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vates::service {
+
+/// Summary of one latency population (seconds).
+struct LatencyStats {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+  double total = 0.0;
+};
+
+/// Nearest-rank percentile summary of \p seconds (consumed; sorted
+/// internally).  Empty input yields all zeros.
+LatencyStats summarizeLatencies(std::vector<double> seconds);
+
+/// A point-in-time copy of the service's counters.
+struct ServiceMetrics {
+  // -- capacity ------------------------------------------------------
+  std::size_t workers = 0;
+  std::size_t queueCapacity = 0;
+  std::size_t queueDepth = 0;    ///< queued right now
+  std::size_t maxQueueDepth = 0; ///< high-water mark since start
+  std::size_t running = 0;       ///< jobs executing right now
+
+  // -- admission -----------------------------------------------------
+  std::uint64_t submitted = 0; ///< submit() calls, admitted or not
+  std::uint64_t admitted = 0;
+  std::uint64_t rejectedQueueFull = 0;
+  std::uint64_t rejectedClosed = 0;
+  std::uint64_t rejectedInvalid = 0;
+
+  // -- terminal states -----------------------------------------------
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+
+  // -- shared-grid batching ------------------------------------------
+  std::uint64_t batches = 0; ///< leader+followers groups executed
+  /// Plan jobs that completed as batch followers, reusing a leader's
+  /// normalization instead of running their own MDNorm pass.
+  std::uint64_t sharedNormalizationJobs = 0;
+  /// Full MDNorm normalization passes actually executed.
+  std::uint64_t normalizationPasses = 0;
+
+  /// Fraction of completed plan-job normalizations served by a batch
+  /// leader instead of computed: shared / (shared + passes).
+  double batchHitRate() const noexcept;
+
+  // -- latency -------------------------------------------------------
+  /// "queue-wait" (submit → start) and "run" (start → finish), plus one
+  /// entry per pipeline stage ("MDNorm", "BinMD", ...) fed from
+  /// completed jobs' stage totals.
+  std::map<std::string, LatencyStats> latency;
+
+  /// Render as a JSON object (nested "latency" object keyed by stage).
+  std::string toJson() const;
+};
+
+} // namespace vates::service

@@ -1,0 +1,176 @@
+#pragma once
+/// \file reduction_service.hpp
+/// The multi-tenant reduction service: a fixed worker pool draining a
+/// bounded priority queue of reduction jobs through the existing
+/// pipeline — the in-process shape of the paper's facility deployment,
+/// where many SNS/HFIR users share one OLCF-side reduction backend.
+///
+/// Three properties define the design:
+///
+///  1. *Admission control, never blocking.*  submit() always returns
+///     immediately: either an id, or a rejection with a reason
+///     ("queue-full", "closed", "invalid: ...").  A full queue sheds
+///     load at the front door instead of hanging user sessions.
+///
+///  2. *Shared-grid batching.*  When a worker pops a plan job it also
+///     drains queued jobs with the same normalization key (same
+///     instrument geometry, lattice, symmetry, goniometer schedule,
+///     flux band, grid, and accumulation-order config — see
+///     normalizationKey()).  The leader runs the full pipeline once;
+///     followers run signal-only (ReductionConfig::skipNormalization)
+///     and divide by the leader's normalization.  Because the key pins
+///     every input *and* every accumulation-order knob, each follower's
+///     cross-section is bit-identical to what its own full run would
+///     have produced — the MDNorm pre-pass is simply not paid N times.
+///
+///  3. *Cooperative cancellation.*  cancel() removes queued jobs
+///     immediately; running plan jobs observe a shared flag between
+///     files (the pipeline then throws vates::Cancelled, never exposing
+///     partial sums), and running live jobs get their channel closed
+///     and reducer stopped.
+///
+/// The service is in-process and thread-safe: any thread may submit,
+/// query, cancel, or wait.  tools/vates_serve wraps it in an NDJSON
+/// daemon for out-of-process use.
+
+#include "vates/service/job.hpp"
+#include "vates/service/job_queue.hpp"
+#include "vates/service/metrics.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vates::service {
+
+/// Service sizing knobs.
+struct ServiceOptions {
+  std::size_t workers = 2;       ///< concurrent reduction executors
+  std::size_t queueCapacity = 16;///< admission bound (queued, not running)
+  /// Largest shared-grid batch (leader + followers); 1 disables
+  /// coalescing even when batching is on.
+  std::size_t maxBatch = 8;
+  bool batching = true;
+  /// Packets in flight for live jobs' DAQ → reducer channel.
+  std::size_t liveChannelCapacity = 256;
+
+  /// Defaults overridden by VATES_SERVICE_WORKERS,
+  /// VATES_SERVICE_QUEUE, and VATES_SERVICE_BATCH (0 disables
+  /// batching); malformed values are ignored.
+  static ServiceOptions fromEnv();
+};
+
+/// What submit() decided.
+struct SubmitReceipt {
+  bool accepted = false;
+  std::uint64_t id = 0; ///< valid when accepted
+  std::string reason;   ///< rejection reason when not accepted
+};
+
+class ReductionService {
+public:
+  explicit ReductionService(ServiceOptions options = {});
+
+  /// Equivalent to shutdown(false): queued jobs are cancelled, running
+  /// jobs are asked to cancel, workers are joined.
+  ~ReductionService();
+
+  ReductionService(const ReductionService&) = delete;
+  ReductionService& operator=(const ReductionService&) = delete;
+
+  const ServiceOptions& options() const noexcept { return options_; }
+
+  /// Admit a job or reject it with a reason; never blocks on queue
+  /// space.  Accepted jobs are queued for the worker pool.
+  SubmitReceipt submit(JobRequest request);
+
+  /// Point-in-time status of a job (any state); nullopt for unknown
+  /// ids.
+  std::optional<JobStatus> status(std::uint64_t id) const;
+
+  /// The terminal outcome, or nullptr while the job is still queued or
+  /// running (and for unknown ids).
+  std::shared_ptr<const JobOutcome> outcome(std::uint64_t id) const;
+
+  /// Request cancellation.  Queued jobs transition to Cancelled
+  /// immediately; running jobs are signalled cooperatively and
+  /// transition once the pipeline observes the flag (between files).
+  /// Returns false for unknown or already-terminal jobs.
+  bool cancel(std::uint64_t id);
+
+  /// Block until the job reaches a terminal state; returns its outcome
+  /// (nullptr for unknown ids).
+  std::shared_ptr<const JobOutcome> wait(std::uint64_t id);
+
+  /// Statuses of every job the service has seen, submission order.
+  std::vector<JobStatus> jobs() const;
+
+  /// Close admission and stop the workers.  With \p drainQueued the
+  /// pool finishes everything already admitted; without it, queued
+  /// jobs are cancelled and running jobs are asked to cancel.
+  /// Idempotent; blocks until the workers exit.
+  void shutdown(bool drainQueued = true);
+
+  /// Snapshot of the operational counters.
+  ServiceMetrics metrics() const;
+
+private:
+  struct LiveControl; // running live job's channel + reducer handles
+
+  void workerLoop();
+  void process(const std::shared_ptr<Job>& leader);
+  /// Run one plan job's pipeline; with \p sharedNorm the job runs
+  /// signal-only and divides by it.  Returns true when the job finished
+  /// Done (false: Failed/Cancelled).
+  bool runPlanJob(const std::shared_ptr<Job>& job,
+                  const Histogram3D* sharedNorm);
+  void runLiveJob(const std::shared_ptr<Job>& job);
+
+  /// Start-of-run bookkeeping: deadline/cancel gate + Running
+  /// transition.  Returns false when the job was finished early
+  /// (Expired/Cancelled) instead of started.
+  bool beginRun(const std::shared_ptr<Job>& job);
+  void finishJob(const std::shared_ptr<Job>& job, JobState state,
+                 std::string error,
+                 std::optional<core::ReductionResult> result);
+
+  JobStatus statusLocked(const Job& job) const;
+
+  const ServiceOptions options_;
+  JobQueue queue_;
+
+  /// Serializes shutdown() callers (thread join is not reentrant).
+  std::mutex shutdownMutex_;
+  mutable std::mutex mutex_;
+  std::condition_variable terminal_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobsById_;
+  std::map<std::uint64_t, std::shared_ptr<LiveControl>> liveControls_;
+  std::uint64_t nextId_ = 1;
+  bool shutdown_ = false;
+  std::size_t running_ = 0;
+
+  // -- counters (guarded by mutex_) ------------------------------------
+  std::uint64_t submitted_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejectedQueueFull_ = 0;
+  std::uint64_t rejectedClosed_ = 0;
+  std::uint64_t rejectedInvalid_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t sharedNormalizationJobs_ = 0;
+  std::uint64_t normalizationPasses_ = 0;
+  std::map<std::string, std::vector<double>> latencySamples_;
+
+  std::vector<std::thread> workers_;
+};
+
+} // namespace vates::service

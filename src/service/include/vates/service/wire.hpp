@@ -1,0 +1,61 @@
+#pragma once
+/// \file wire.hpp
+/// The service's newline-delimited JSON wire format.
+///
+/// vates_serve reads one JSON object per line from a FIFO/stdin and
+/// appends one JSON object per event to a journal file; vates_submit
+/// writes the former and tails the latter.  The dialect is deliberately
+/// flat — one object, scalar values only — so this hand-rolled
+/// scanner (no external JSON dependency exists in this environment)
+/// stays small and obviously correct.  Nested objects/arrays are
+/// rejected with a line-positioned error.
+///
+/// JsonObject is the matching writer: insertion-ordered fields, correct
+/// string escaping, full-precision numbers, and a fieldRaw() escape
+/// hatch so composite documents (metrics with nested sections) can
+/// still be assembled from the same primitives.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vates::service {
+
+/// Backslash-escape \p text for embedding inside a JSON string literal
+/// (quotes, backslash, control characters as \uXXXX).
+std::string jsonEscape(const std::string& text);
+
+/// Quoted, escaped JSON string literal.
+std::string jsonQuote(const std::string& text);
+
+/// Full-precision JSON number; NaN/inf (not representable in JSON)
+/// render as null.
+std::string jsonNumber(double value);
+
+/// Insertion-ordered flat JSON object builder.
+class JsonObject {
+public:
+  JsonObject& field(const std::string& key, const std::string& value);
+  JsonObject& field(const std::string& key, const char* value);
+  JsonObject& field(const std::string& key, double value);
+  JsonObject& field(const std::string& key, std::uint64_t value);
+  JsonObject& field(const std::string& key, std::int64_t value);
+  JsonObject& field(const std::string& key, bool value);
+  /// Append pre-rendered JSON (a nested object/array) under \p key.
+  JsonObject& fieldRaw(const std::string& key, const std::string& rawJson);
+
+  /// Render "{...}".
+  std::string str() const;
+
+private:
+  JsonObject& append(const std::string& key, const std::string& rendered);
+  std::string body_;
+};
+
+/// Parse one flat JSON object — string/number/boolean/null values only.
+/// Returns key → value text, with string values unescaped and null
+/// rendered as an empty string.  Throws InvalidArgument (naming the
+/// character position) on malformed input, nesting, or duplicate keys.
+std::map<std::string, std::string> parseFlatObject(const std::string& line);
+
+} // namespace vates::service

@@ -1,0 +1,105 @@
+#include "vates/service/job.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vates::service {
+
+const char* jobStateName(JobState state) noexcept {
+  switch (state) {
+  case JobState::Queued:    return "queued";
+  case JobState::Running:   return "running";
+  case JobState::Done:      return "done";
+  case JobState::Failed:    return "failed";
+  case JobState::Cancelled: return "cancelled";
+  case JobState::Expired:   return "expired";
+  }
+  return "?";
+}
+
+bool jobStateTerminal(JobState state) noexcept {
+  switch (state) {
+  case JobState::Queued:
+  case JobState::Running:
+    return false;
+  case JobState::Done:
+  case JobState::Failed:
+  case JobState::Cancelled:
+  case JobState::Expired:
+    return true;
+  }
+  return false;
+}
+
+const char* jobKindName(JobKind kind) noexcept {
+  switch (kind) {
+  case JobKind::Plan: return "plan";
+  case JobKind::Live: return "live";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Round-trippable double rendering: equal keys must mean equal bits,
+/// so every floating field is serialized at full precision.
+void putDouble(std::ostringstream& os, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  os << buffer << ';';
+}
+
+void putV3(std::ostringstream& os, const V3& v) {
+  putDouble(os, v.x);
+  putDouble(os, v.y);
+  putDouble(os, v.z);
+}
+
+} // namespace
+
+std::string normalizationKey(const core::ReductionPlan& plan) {
+  const WorkloadSpec& w = plan.workload;
+  const core::ReductionConfig& c = plan.config;
+  std::ostringstream os;
+
+  // Workload fields the normalization integral reads: detector
+  // geometry, orientation schedule, symmetry, flux band, charge, and
+  // the output grid it is accumulated on.
+  os << "inst=" << w.instrument << ';' << "ndet=" << w.nDetectors << ';'
+     << "files=" << w.nFiles << ';';
+  putDouble(os, w.latticeA);
+  putDouble(os, w.latticeB);
+  putDouble(os, w.latticeC);
+  putDouble(os, w.latticeAlpha);
+  putDouble(os, w.latticeBeta);
+  putDouble(os, w.latticeGamma);
+  putV3(os, w.uVector);
+  putV3(os, w.vVector);
+  os << "pg=" << w.pointGroup << ';';
+  putDouble(os, w.omegaStartDeg);
+  putDouble(os, w.omegaStepDeg);
+  putDouble(os, w.protonCharge);
+  putDouble(os, w.lambdaMin);
+  putDouble(os, w.lambdaMax);
+  os << "bins=" << w.bins[0] << ',' << w.bins[1] << ',' << w.bins[2] << ';';
+  for (int axis = 0; axis < 3; ++axis) {
+    putDouble(os, w.extentMin[static_cast<std::size_t>(axis)]);
+    putDouble(os, w.extentMax[static_cast<std::size_t>(axis)]);
+  }
+  putV3(os, w.projectionU);
+  putV3(os, w.projectionV);
+  putV3(os, w.projectionW);
+
+  // Execution-config fields that change the normalization's
+  // floating-point accumulation order (bit-identity, not just physics).
+  os << "be=" << backendName(c.backend) << ';' << "ranks=" << c.ranks << ';'
+     << "trav=" << traversalName(c.mdnorm.traversal) << ';'
+     << "search=" << static_cast<int>(c.mdnorm.search) << ';'
+     << "acc=" << accumulateStrategyName(c.mdnorm.accumulate.strategy) << ';'
+     << "accbudget=" << c.mdnorm.accumulate.replicaBudgetBytes << ';'
+     << "acctile=" << c.mdnorm.accumulate.tileCapacity << ';'
+     << "ov=" << overlapModeName(c.overlap.mode) << ';';
+  return os.str();
+}
+
+} // namespace vates::service

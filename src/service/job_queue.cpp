@@ -1,0 +1,146 @@
+#include "vates/service/job_queue.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <algorithm>
+
+namespace vates::service {
+
+const char* admissionName(Admission admission) noexcept {
+  switch (admission) {
+  case Admission::Accepted:  return "accepted";
+  case Admission::QueueFull: return "queue-full";
+  case Admission::Closed:    return "closed";
+  }
+  return "?";
+}
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  VATES_REQUIRE(capacity >= 1, "job queue capacity must be >= 1");
+}
+
+Admission JobQueue::tryPush(std::shared_ptr<Job> job) {
+  VATES_REQUIRE(job != nullptr, "cannot enqueue a null job");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return Admission::Closed;
+    }
+    if (jobs_.size() >= capacity_) {
+      return Admission::QueueFull;
+    }
+    jobs_.push_back(std::move(job));
+    maxDepth_ = std::max(maxDepth_, jobs_.size());
+  }
+  available_.notify_one();
+  return Admission::Accepted;
+}
+
+std::size_t JobQueue::bestIndex() const noexcept {
+  std::size_t best = jobs_.size();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (best == jobs_.size()) {
+      best = i;
+      continue;
+    }
+    const Job& candidate = *jobs_[i];
+    const Job& incumbent = *jobs_[best];
+    if (candidate.request.priority > incumbent.request.priority ||
+        (candidate.request.priority == incumbent.request.priority &&
+         candidate.sequence < incumbent.sequence)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_.wait(lock, [this] { return !jobs_.empty() || closed_; });
+  if (jobs_.empty() || (closed_ && !drainOnClose_)) {
+    return nullptr;
+  }
+  const std::size_t index = bestIndex();
+  std::shared_ptr<Job> job = std::move(jobs_[index]);
+  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(index));
+  return job;
+}
+
+std::vector<std::shared_ptr<Job>>
+JobQueue::popCompatible(const std::string& key, std::size_t maxJobs) {
+  std::vector<std::shared_ptr<Job>> batch;
+  if (maxJobs == 0) {
+    return batch;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ && !drainOnClose_) {
+    return batch;
+  }
+  // Submission order within the batch: stable scan over the queue's
+  // admission order, filtered by key.
+  std::vector<std::size_t> picked;
+  for (std::size_t i = 0; i < jobs_.size() && picked.size() < maxJobs; ++i) {
+    if (jobs_[i]->batchKey == key) {
+      picked.push_back(i);
+    }
+  }
+  std::sort(picked.begin(), picked.end(),
+            [this](std::size_t a, std::size_t b) {
+              return jobs_[a]->sequence < jobs_[b]->sequence;
+            });
+  for (const std::size_t index : picked) {
+    batch.push_back(jobs_[index]);
+  }
+  // Erase back-to-front so earlier indices stay valid.
+  std::sort(picked.rbegin(), picked.rend());
+  for (const std::size_t index : picked) {
+    jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+  return batch;
+}
+
+std::shared_ptr<Job> JobQueue::remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i]->id == id) {
+      std::shared_ptr<Job> job = std::move(jobs_[i]);
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::close(bool drainRemaining) {
+  std::vector<std::shared_ptr<Job>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!closed_) {
+      closed_ = true;
+      drainOnClose_ = drainRemaining;
+    }
+    if (!drainOnClose_) {
+      evicted = std::move(jobs_);
+      jobs_.clear();
+    }
+  }
+  available_.notify_all();
+  return evicted;
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+std::size_t JobQueue::maxDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return maxDepth_;
+}
+
+} // namespace vates::service

@@ -1,0 +1,76 @@
+#include "vates/service/metrics.hpp"
+
+#include "vates/service/wire.hpp"
+
+#include <algorithm>
+
+namespace vates::service {
+
+LatencyStats summarizeLatencies(std::vector<double> seconds) {
+  LatencyStats stats;
+  if (seconds.empty()) {
+    return stats;
+  }
+  std::sort(seconds.begin(), seconds.end());
+  stats.count = seconds.size();
+  // Nearest-rank: the ceil(p * n)-th smallest sample (1-based).
+  const auto rank = [&](double p) {
+    const auto n = static_cast<double>(seconds.size());
+    std::size_t r = static_cast<std::size_t>(p * n + (1.0 - 1e-12));
+    r = std::clamp<std::size_t>(r, 1, seconds.size());
+    return seconds[r - 1];
+  };
+  stats.p50 = rank(0.50);
+  stats.p95 = rank(0.95);
+  stats.max = seconds.back();
+  for (const double s : seconds) {
+    stats.total += s;
+  }
+  return stats;
+}
+
+double ServiceMetrics::batchHitRate() const noexcept {
+  const std::uint64_t denominator = sharedNormalizationJobs + normalizationPasses;
+  if (denominator == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sharedNormalizationJobs) /
+         static_cast<double>(denominator);
+}
+
+std::string ServiceMetrics::toJson() const {
+  JsonObject latencyJson;
+  for (const auto& [stage, stats] : latency) {
+    latencyJson.fieldRaw(stage,
+                         JsonObject()
+                             .field("count", std::uint64_t{stats.count})
+                             .field("p50_s", stats.p50)
+                             .field("p95_s", stats.p95)
+                             .field("max_s", stats.max)
+                             .field("total_s", stats.total)
+                             .str());
+  }
+  return JsonObject()
+      .field("workers", std::uint64_t{workers})
+      .field("queue_capacity", std::uint64_t{queueCapacity})
+      .field("queue_depth", std::uint64_t{queueDepth})
+      .field("max_queue_depth", std::uint64_t{maxQueueDepth})
+      .field("running", std::uint64_t{running})
+      .field("submitted", submitted)
+      .field("admitted", admitted)
+      .field("rejected_queue_full", rejectedQueueFull)
+      .field("rejected_closed", rejectedClosed)
+      .field("rejected_invalid", rejectedInvalid)
+      .field("done", done)
+      .field("failed", failed)
+      .field("cancelled", cancelled)
+      .field("expired", expired)
+      .field("batches", batches)
+      .field("shared_normalization_jobs", sharedNormalizationJobs)
+      .field("normalization_passes", normalizationPasses)
+      .field("batch_hit_rate", batchHitRate())
+      .fieldRaw("latency", latencyJson.str())
+      .str();
+}
+
+} // namespace vates::service

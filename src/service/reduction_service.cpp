@@ -1,0 +1,551 @@
+#include "vates/service/reduction_service.hpp"
+
+#include "vates/core/pipeline.hpp"
+#include "vates/events/experiment_setup.hpp"
+#include "vates/parallel/executor.hpp"
+#include "vates/stream/daq_simulator.hpp"
+#include "vates/stream/event_channel.hpp"
+#include "vates/stream/live_reducer.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/log.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace vates::service {
+
+namespace {
+
+std::chrono::steady_clock::time_point now() {
+  return std::chrono::steady_clock::now();
+}
+
+double secondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Parse a positive size_t environment variable; nullopt when unset or
+/// malformed.
+std::optional<std::size_t> envSize(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+} // namespace
+
+ServiceOptions ServiceOptions::fromEnv() {
+  ServiceOptions options;
+  if (const auto workers = envSize("VATES_SERVICE_WORKERS");
+      workers && *workers >= 1) {
+    options.workers = *workers;
+  }
+  if (const auto queue = envSize("VATES_SERVICE_QUEUE"); queue && *queue >= 1) {
+    options.queueCapacity = *queue;
+  }
+  if (const auto batch = envSize("VATES_SERVICE_BATCH")) {
+    if (*batch == 0) {
+      options.batching = false;
+    } else {
+      options.maxBatch = *batch;
+    }
+  }
+  return options;
+}
+
+/// Handles a worker registers while its live job runs, letting cancel()
+/// reach the channel/reducer owned by the worker's stack.  Only valid
+/// while registered in liveControls_ (guarded by the service mutex).
+struct ReductionService::LiveControl {
+  stream::EventChannel* channel = nullptr;
+  stream::LiveReducer* reducer = nullptr;
+};
+
+ReductionService::ReductionService(ServiceOptions options)
+    : options_(options), queue_(options.queueCapacity) {
+  VATES_REQUIRE(options_.workers >= 1, "service needs at least one worker");
+  VATES_REQUIRE(options_.maxBatch >= 1, "maxBatch must be >= 1");
+  VATES_REQUIRE(options_.liveChannelCapacity >= 1,
+                "liveChannelCapacity must be >= 1");
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ReductionService::~ReductionService() { shutdown(false); }
+
+SubmitReceipt ReductionService::submit(JobRequest request) {
+  SubmitReceipt receipt;
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    std::string invalid;
+    if (request.plan.workload.nFiles < 1) {
+      invalid = "workload.files must be >= 1";
+    } else if (request.plan.config.ranks < 1) {
+      invalid = "reduction.ranks must be >= 1";
+    } else if (request.deadlineSeconds < 0.0) {
+      invalid = "deadline must be >= 0";
+    }
+    if (!invalid.empty()) {
+      ++rejectedInvalid_;
+      receipt.reason = "invalid: " + invalid;
+      return receipt;
+    }
+    job = std::make_shared<Job>();
+    job->id = nextId_++;
+    job->sequence = job->id;
+    job->request = std::move(request);
+    job->batchKey = job->request.kind == JobKind::Plan
+                        ? normalizationKey(job->request.plan)
+                        : "live#" + std::to_string(job->id);
+    job->submitted = now();
+    if (job->request.deadlineSeconds > 0.0) {
+      job->deadline =
+          job->submitted +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(job->request.deadlineSeconds));
+    }
+    job->filesTotal = job->request.plan.workload.nFiles;
+    jobsById_.emplace(job->id, job);
+  }
+
+  switch (queue_.tryPush(job)) {
+  case Admission::Accepted: {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++admitted_;
+    receipt.accepted = true;
+    receipt.id = job->id;
+    return receipt;
+  }
+  case Admission::QueueFull: {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejectedQueueFull_;
+    jobsById_.erase(job->id);
+    receipt.reason = admissionName(Admission::QueueFull);
+    return receipt;
+  }
+  case Admission::Closed: {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++rejectedClosed_;
+    jobsById_.erase(job->id);
+    receipt.reason = admissionName(Admission::Closed);
+    return receipt;
+  }
+  }
+  return receipt; // unreachable
+}
+
+JobStatus ReductionService::statusLocked(const Job& job) const {
+  JobStatus status;
+  status.id = job.id;
+  status.state = job.state;
+  status.kind = job.request.kind;
+  status.priority = job.request.priority;
+  status.tag = job.request.tag;
+  status.sharedNormalization = job.sharedNormalization;
+  status.error = job.error;
+  const auto reference = now();
+  status.queuedSeconds =
+      secondsBetween(job.submitted, job.started.value_or(reference));
+  if (job.started) {
+    status.runSeconds =
+        secondsBetween(*job.started, job.finished.value_or(reference));
+  }
+  status.progress.filesCompleted =
+      job.filesCompleted.load(std::memory_order_relaxed);
+  status.progress.filesTotal = job.filesTotal;
+  status.progress.stages = job.progressStages.snapshot();
+  return status;
+}
+
+std::optional<JobStatus> ReductionService::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobsById_.find(id);
+  if (it == jobsById_.end()) {
+    return std::nullopt;
+  }
+  return statusLocked(*it->second);
+}
+
+std::shared_ptr<const JobOutcome>
+ReductionService::outcome(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobsById_.find(id);
+  return it == jobsById_.end() ? nullptr : it->second->outcome;
+}
+
+std::shared_ptr<const JobOutcome> ReductionService::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobsById_.find(id);
+  if (it == jobsById_.end()) {
+    return nullptr;
+  }
+  const std::shared_ptr<Job> job = it->second;
+  terminal_.wait(lock, [&job] { return jobStateTerminal(job->state); });
+  return job->outcome;
+}
+
+std::vector<JobStatus> ReductionService::jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobStatus> statuses;
+  statuses.reserve(jobsById_.size());
+  for (const auto& [id, job] : jobsById_) {
+    statuses.push_back(statusLocked(*job));
+  }
+  return statuses;
+}
+
+bool ReductionService::cancel(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobsById_.find(id);
+    if (it == jobsById_.end() || jobStateTerminal(it->second->state)) {
+      return false;
+    }
+    it->second->cancel.requestCancel();
+    // A running live job has no between-files poll point; reach into its
+    // channel/reducer directly (valid while registered — the worker
+    // deregisters under this same mutex before destroying them).
+    const auto live = liveControls_.find(id);
+    if (live != liveControls_.end()) {
+      live->second->reducer->requestStop();
+      live->second->channel->close();
+    }
+  }
+  // Still queued?  Pull it out so it never starts.
+  if (const std::shared_ptr<Job> removed = queue_.remove(id)) {
+    finishJob(removed, JobState::Cancelled, "cancelled while queued",
+              std::nullopt);
+  }
+  return true;
+}
+
+void ReductionService::shutdown(bool drainQueued) {
+  const std::lock_guard<std::mutex> shutdownLock(shutdownMutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  const std::vector<std::shared_ptr<Job>> evicted = queue_.close(drainQueued);
+  for (const std::shared_ptr<Job>& job : evicted) {
+    finishJob(job, JobState::Cancelled, "service shutdown", std::nullopt);
+  }
+  if (!drainQueued) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobsById_) {
+      if (!jobStateTerminal(job->state)) {
+        job->cancel.requestCancel();
+      }
+    }
+    for (const auto& [id, control] : liveControls_) {
+      control->reducer->requestStop();
+      control->channel->close();
+    }
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+ServiceMetrics ReductionService::metrics() const {
+  ServiceMetrics m;
+  m.workers = options_.workers;
+  m.queueCapacity = queue_.capacity();
+  m.queueDepth = queue_.depth();
+  m.maxQueueDepth = queue_.maxDepth();
+  std::lock_guard<std::mutex> lock(mutex_);
+  m.running = running_;
+  m.submitted = submitted_;
+  m.admitted = admitted_;
+  m.rejectedQueueFull = rejectedQueueFull_;
+  m.rejectedClosed = rejectedClosed_;
+  m.rejectedInvalid = rejectedInvalid_;
+  m.done = done_;
+  m.failed = failed_;
+  m.cancelled = cancelled_;
+  m.expired = expired_;
+  m.batches = batches_;
+  m.sharedNormalizationJobs = sharedNormalizationJobs_;
+  m.normalizationPasses = normalizationPasses_;
+  for (const auto& [name, samples] : latencySamples_) {
+    m.latency[name] = summarizeLatencies(samples);
+  }
+  return m;
+}
+
+void ReductionService::workerLoop() {
+  while (std::shared_ptr<Job> job = queue_.pop()) {
+    process(job);
+  }
+}
+
+bool ReductionService::beginRun(const std::shared_ptr<Job>& job) {
+  if (job->deadline && now() > *job->deadline) {
+    finishJob(job, JobState::Expired, "deadline expired before start",
+              std::nullopt);
+    return false;
+  }
+  if (job->cancel.cancelRequested()) {
+    finishJob(job, JobState::Cancelled, "cancelled before start",
+              std::nullopt);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (job->state != JobState::Queued) {
+    return false; // finished by a concurrent cancel/shutdown
+  }
+  job->state = JobState::Running;
+  job->started = now();
+  ++running_;
+  return true;
+}
+
+void ReductionService::finishJob(const std::shared_ptr<Job>& job,
+                                 JobState state, std::string error,
+                                 std::optional<core::ReductionResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (jobStateTerminal(job->state)) {
+      return; // already terminal (cancel races with the worker)
+    }
+    if (job->state == JobState::Running) {
+      --running_;
+    }
+    job->state = state;
+    job->error = std::move(error);
+    job->finished = now();
+    switch (state) {
+    case JobState::Done:      ++done_; break;
+    case JobState::Failed:    ++failed_; break;
+    case JobState::Cancelled: ++cancelled_; break;
+    case JobState::Expired:   ++expired_; break;
+    case JobState::Queued:
+    case JobState::Running:   break; // not terminal; unreachable
+    }
+    latencySamples_["queue-wait"].push_back(secondsBetween(
+        job->submitted, job->started.value_or(*job->finished)));
+    if (job->started) {
+      latencySamples_["run"].push_back(
+          secondsBetween(*job->started, *job->finished));
+    }
+    if (result) {
+      for (const std::string& stage : result->times.names()) {
+        latencySamples_[stage].push_back(result->times.total(stage));
+      }
+    }
+    JobOutcome outcome;
+    outcome.status = statusLocked(*job);
+    outcome.result = std::move(result);
+    job->outcome = std::make_shared<const JobOutcome>(std::move(outcome));
+  }
+  terminal_.notify_all();
+}
+
+void ReductionService::process(const std::shared_ptr<Job>& leader) {
+  if (leader->request.kind == JobKind::Live) {
+    if (beginRun(leader)) {
+      runLiveJob(leader);
+    }
+    return;
+  }
+
+  // Coalesce a shared-grid batch: drain queued jobs whose normalization
+  // key matches the one we just popped.  Live jobs have per-job keys
+  // and can never match.
+  std::vector<std::shared_ptr<Job>> group;
+  group.push_back(leader);
+  if (options_.batching && options_.maxBatch > 1) {
+    std::vector<std::shared_ptr<Job>> followers =
+        queue_.popCompatible(leader->batchKey, options_.maxBatch - 1);
+    group.insert(group.end(), followers.begin(), followers.end());
+  }
+
+  // The first member that survives its deadline/cancel gate leads and
+  // pays the normalization pass.
+  std::size_t leaderIndex = 0;
+  while (leaderIndex < group.size() && !beginRun(group[leaderIndex])) {
+    ++leaderIndex;
+  }
+  if (leaderIndex == group.size()) {
+    return;
+  }
+  const std::shared_ptr<Job>& active = group[leaderIndex];
+  const bool leaderDone = runPlanJob(active, nullptr);
+
+  const Histogram3D* sharedNorm = nullptr;
+  std::shared_ptr<const JobOutcome> leaderOutcome;
+  if (leaderDone) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leaderOutcome = active->outcome; // keeps the histogram alive below
+    if (leaderOutcome && leaderOutcome->result) {
+      sharedNorm = &leaderOutcome->result->normalization;
+    }
+  }
+
+  std::uint64_t sharedCount = 0;
+  for (std::size_t i = leaderIndex + 1; i < group.size(); ++i) {
+    const std::shared_ptr<Job>& follower = group[i];
+    if (!beginRun(follower)) {
+      continue;
+    }
+    // Leader failed or was cancelled: followers fall back to full
+    // independent runs (each pays its own normalization pass).
+    if (runPlanJob(follower, sharedNorm) && sharedNorm != nullptr) {
+      ++sharedCount;
+    }
+  }
+
+  // Compatible jobs that arrived *while* the batch ran can still reuse
+  // the leader's normalization — re-drain until the budget is spent or
+  // the queue has no more matches.
+  while (options_.batching && sharedNorm != nullptr &&
+         group.size() < options_.maxBatch) {
+    std::vector<std::shared_ptr<Job>> arrivals = queue_.popCompatible(
+        leader->batchKey, options_.maxBatch - group.size());
+    if (arrivals.empty()) {
+      break;
+    }
+    for (const std::shared_ptr<Job>& follower : arrivals) {
+      group.push_back(follower);
+      if (!beginRun(follower)) {
+        continue;
+      }
+      if (runPlanJob(follower, sharedNorm)) {
+        ++sharedCount;
+      }
+    }
+  }
+
+  if (sharedCount > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_;
+    sharedNormalizationJobs_ += sharedCount;
+  }
+}
+
+bool ReductionService::runPlanJob(const std::shared_ptr<Job>& job,
+                                  const Histogram3D* sharedNorm) {
+  core::ReductionPlan plan = job->request.plan;
+  plan.config.skipNormalization = sharedNorm != nullptr;
+  plan.config.hooks.cancel = job->cancel.flag();
+  plan.config.hooks.filesCompleted = &job->filesCompleted;
+  plan.config.hooks.progress = &job->progressStages;
+  if (sharedNorm != nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->sharedNormalization = true;
+  }
+  try {
+    ExperimentSetup setup(plan.workload);
+    core::ReductionPipeline pipeline(setup, plan.config);
+    core::ReductionResult result = pipeline.run();
+    if (sharedNorm != nullptr) {
+      // Splice the leader's normalization under this job's signal; the
+      // matching batch key guarantees this is bitwise the histogram the
+      // job's own MDNorm pass would have produced.
+      result.normalization = *sharedNorm;
+      if (result.signalErrorSq) {
+        HistogramRatio ratio = Histogram3D::divideWithErrors(
+            result.signal, *result.signalErrorSq, *sharedNorm);
+        result.crossSection = std::move(ratio.value);
+        result.crossSectionErrorSq = std::move(ratio.errorSq);
+      } else {
+        result.crossSection =
+            Histogram3D::divide(result.signal, *sharedNorm);
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++normalizationPasses_;
+    }
+    finishJob(job, JobState::Done, "", std::move(result));
+    return true;
+  } catch (const Cancelled& cancelledError) {
+    finishJob(job, JobState::Cancelled, cancelledError.what(), std::nullopt);
+  } catch (const std::exception& error) {
+    finishJob(job, JobState::Failed, error.what(), std::nullopt);
+  }
+  return false;
+}
+
+void ReductionService::runLiveJob(const std::shared_ptr<Job>& job) {
+  const core::ReductionPlan& plan = job->request.plan;
+  try {
+    ExperimentSetup setup(plan.workload);
+    const EventGenerator generator = setup.makeGenerator();
+    stream::EventChannel channel(options_.liveChannelCapacity);
+    stream::LiveReducer reducer(setup, Executor(plan.config.backend),
+                                plan.config.convert);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto control = std::make_shared<LiveControl>();
+      control->channel = &channel;
+      control->reducer = &reducer;
+      liveControls_.emplace(job->id, std::move(control));
+      // A cancel that landed before registration could not reach the
+      // channel; apply it now under the same lock so no request is lost.
+      if (job->cancel.cancelRequested()) {
+        reducer.requestStop();
+        channel.close();
+      }
+    }
+    std::thread producer([&generator, &channel] {
+      try {
+        stream::DaqSimulator(generator).streamAllAndClose(channel);
+      } catch (const Error&) {
+        // Channel closed mid-stream by a cancellation — expected.
+      }
+    });
+    stream::LiveStats stats;
+    try {
+      stats = reducer.consume(channel);
+    } catch (...) {
+      channel.close();
+      producer.join();
+      std::lock_guard<std::mutex> lock(mutex_);
+      liveControls_.erase(job->id);
+      throw;
+    }
+    channel.close();
+    producer.join();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      liveControls_.erase(job->id);
+    }
+    if (job->cancel.cancelRequested()) {
+      finishJob(job, JobState::Cancelled, "cancelled during live reduction",
+                std::nullopt);
+      return;
+    }
+    stream::LiveSnapshot snapshot = reducer.snapshot();
+    job->filesCompleted.store(snapshot.stats.runsReduced,
+                              std::memory_order_relaxed);
+    core::ReductionResult result{std::move(snapshot.signal),
+                                 std::move(snapshot.normalization),
+                                 std::move(snapshot.crossSection),
+                                 /*times=*/{},
+                                 /*timesSummed=*/{},
+                                 /*wallSeconds=*/0.0,
+                                 /*deviceStats=*/{},
+                                 /*maxIntersectionsEstimate=*/0,
+                                 /*eventsProcessed=*/stats.eventsConsumed,
+                                 /*signalErrorSq=*/std::nullopt,
+                                 /*crossSectionErrorSq=*/std::nullopt};
+    finishJob(job, JobState::Done, "", std::move(result));
+  } catch (const std::exception& error) {
+    finishJob(job, JobState::Failed, error.what(), std::nullopt);
+  }
+}
+
+} // namespace vates::service

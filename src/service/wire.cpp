@@ -1,0 +1,305 @@
+#include "vates/service/wire.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vates::service {
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+    case '"':  out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\b': out += "\\b"; break;
+    case '\f': out += "\\f"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buffer;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+std::string jsonQuote(const std::string& text) {
+  return '"' + jsonEscape(text) + '"';
+}
+
+std::string jsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null"; // JSON has no NaN/inf
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+JsonObject& JsonObject::append(const std::string& key,
+                               const std::string& rendered) {
+  if (!body_.empty()) {
+    body_ += ',';
+  }
+  body_ += jsonQuote(key);
+  body_ += ':';
+  body_ += rendered;
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key,
+                              const std::string& value) {
+  return append(key, jsonQuote(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, const char* value) {
+  return append(key, jsonQuote(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, double value) {
+  return append(key, jsonNumber(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, std::uint64_t value) {
+  return append(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, std::int64_t value) {
+  return append(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::field(const std::string& key, bool value) {
+  return append(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::fieldRaw(const std::string& key,
+                                 const std::string& rawJson) {
+  return append(key, rawJson);
+}
+
+std::string JsonObject::str() const { return '{' + body_ + '}'; }
+
+namespace {
+
+/// Single-pass scanner over one line of flat JSON.
+class Scanner {
+public:
+  explicit Scanner(const std::string& line) : line_(line) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("JSON parse error at position " +
+                          std::to_string(pos_) + ": " + what);
+  }
+
+  void skipSpace() {
+    while (pos_ < line_.size() &&
+           (line_[pos_] == ' ' || line_[pos_] == '\t' || line_[pos_] == '\r' ||
+            line_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return pos_ >= line_.size();
+  }
+
+  char peek() {
+    skipSpace();
+    if (pos_ >= line_.size()) {
+      fail("unexpected end of input");
+    }
+    return line_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + line_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skipSpace();
+    if (pos_ < line_.size() && line_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Parse a quoted string with escapes; returns the unescaped text.
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= line_.size()) {
+        fail("unterminated string");
+      }
+      const char c = line_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= line_.size()) {
+        fail("unterminated escape");
+      }
+      const char escape = line_[pos_++];
+      switch (escape) {
+      case '"':  out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/':  out += '/'; break;
+      case 'b':  out += '\b'; break;
+      case 'f':  out += '\f'; break;
+      case 'n':  out += '\n'; break;
+      case 'r':  out += '\r'; break;
+      case 't':  out += '\t'; break;
+      case 'u':  appendCodePoint(out, parseHex4()); break;
+      default:   fail(std::string("unknown escape '\\") + escape + "'");
+      }
+    }
+  }
+
+  /// Parse an unquoted scalar token (number / true / false / null) and
+  /// return its raw text (null renders as empty).
+  std::string parseScalar() {
+    const char c = peek();
+    if (c == '{' || c == '[') {
+      fail("nested objects/arrays are not supported by this wire format");
+    }
+    const std::size_t start = pos_;
+    while (pos_ < line_.size()) {
+      const char t = line_[pos_];
+      if (t == ',' || t == '}' || t == ' ' || t == '\t' || t == '\r' ||
+          t == '\n') {
+        break;
+      }
+      ++pos_;
+    }
+    const std::string token = line_.substr(start, pos_ - start);
+    if (token == "null") {
+      return "";
+    }
+    if (token == "true" || token == "false") {
+      return token;
+    }
+    // Validate as a JSON number.
+    char* end = nullptr;
+    (void)std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      fail("invalid value token '" + token + "'");
+    }
+    return token;
+  }
+
+private:
+  unsigned parseHex4() {
+    if (pos_ + 4 > line_.size()) {
+      fail("truncated \\u escape");
+    }
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = line_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return value;
+  }
+
+  /// UTF-8 encode one \uXXXX code point, combining surrogate pairs.
+  void appendCodePoint(std::string& out, unsigned code) {
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a \uXXXX low surrogate must follow.
+      if (pos_ + 1 < line_.size() && line_[pos_] == '\\' &&
+          line_[pos_ + 1] == 'u') {
+        pos_ += 2;
+        const unsigned low = parseHex4();
+        if (low < 0xDC00 || low > 0xDFFF) {
+          fail("invalid low surrogate");
+        }
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      } else {
+        fail("unpaired high surrogate");
+      }
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired low surrogate");
+    }
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  const std::string& line_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::map<std::string, std::string> parseFlatObject(const std::string& line) {
+  Scanner scanner(line);
+  std::map<std::string, std::string> fields;
+  scanner.expect('{');
+  if (!scanner.consume('}')) {
+    while (true) {
+      if (scanner.peek() != '"') {
+        scanner.fail("expected a quoted key");
+      }
+      const std::string key = scanner.parseString();
+      if (fields.count(key) != 0) {
+        scanner.fail("duplicate key \"" + key + "\"");
+      }
+      scanner.expect(':');
+      std::string value;
+      if (scanner.peek() == '"') {
+        value = scanner.parseString();
+      } else {
+        value = scanner.parseScalar();
+      }
+      fields.emplace(key, std::move(value));
+      if (scanner.consume('}')) {
+        break;
+      }
+      scanner.expect(',');
+    }
+  }
+  if (!scanner.atEnd()) {
+    scanner.fail("trailing content after object");
+  }
+  return fields;
+}
+
+} // namespace vates::service

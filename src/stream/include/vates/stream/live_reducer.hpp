@@ -9,6 +9,7 @@
 #include "vates/kernels/convert_to_md.hpp"
 #include "vates/stream/event_channel.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 
@@ -36,10 +37,17 @@ public:
   LiveReducer(const ExperimentSetup& setup, const Executor& executor,
               ConvertOptions convert = {});
 
-  /// Consume packets until the channel closes and drains.  Each run is
-  /// reduced (ConvertToMD + MDNorm + BinMD) when its endOfRun packet
-  /// arrives.  Callable from a dedicated consumer thread.
+  /// Consume packets until the channel closes and drains, or until
+  /// requestStop() is observed.  Each run is reduced (ConvertToMD +
+  /// MDNorm + BinMD) when its endOfRun packet arrives.  Callable from a
+  /// dedicated consumer thread.
   LiveStats consume(EventChannel& channel);
+
+  /// Cooperative cancellation: ask a concurrently running consume() to
+  /// return after the packet it is currently processing.  Runs already
+  /// folded into the accumulated state stay; the partially buffered run
+  /// is discarded.  Thread-safe; sticky until the next consume() call.
+  void requestStop() noexcept;
 
   /// Thread-safe copy of the current accumulated state.
   LiveSnapshot snapshot() const;
@@ -55,6 +63,7 @@ private:
   Histogram3D signal_;
   Histogram3D normalization_;
   LiveStats stats_;
+  std::atomic<bool> stopRequested_{false};
 
   // Per-run staging of not-yet-complete pulse streams.
   RawEventList pending_;

@@ -55,7 +55,13 @@ void LiveReducer::reduceCompletedRun(std::uint32_t runIndex,
 }
 
 LiveStats LiveReducer::consume(EventChannel& channel) {
+  stopRequested_.store(false, std::memory_order_relaxed);
+  hasPending_ = false;
   for (;;) {
+    if (stopRequested_.load(std::memory_order_relaxed)) {
+      hasPending_ = false; // discard the partially buffered run
+      break;
+    }
     std::optional<PulsePacket> packet = channel.pop();
     if (!packet) {
       break; // closed and drained
@@ -83,6 +89,10 @@ LiveStats LiveReducer::consume(EventChannel& channel) {
   }
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+void LiveReducer::requestStop() noexcept {
+  stopRequested_.store(true, std::memory_order_relaxed);
 }
 
 LiveSnapshot LiveReducer::snapshot() const {

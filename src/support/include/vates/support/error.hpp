@@ -44,6 +44,14 @@ public:
   explicit NumericalError(const std::string& what) : Error(what) {}
 };
 
+/// A cooperative cancellation request stopped the operation before it
+/// completed.  Thrown instead of returning partial results: a cancelled
+/// reduction never exposes half-accumulated histograms.
+class Cancelled : public Error {
+public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throwRequire(const char* expr, const char* file, int line,
                                const std::string& message);

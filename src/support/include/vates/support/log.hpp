@@ -25,7 +25,10 @@ LogLevel parseLogLevel(const std::string& text);
 /// Process-wide logger.  All member functions are thread-safe.
 class Logger {
 public:
-  /// The global instance used by the VATES_LOG_* macros.
+  /// The global instance used by the VATES_LOG_* macros.  On first use
+  /// it honors the VATES_LOG_TIMESTAMPS environment variable ("1",
+  /// "true", "on", "yes" enable) so daemons get correlatable logs
+  /// without a code change.
   static Logger& global();
 
   /// Messages below \p level are discarded.
@@ -36,13 +39,22 @@ public:
   /// the logger's use; pass nullptr to restore the default.
   void setStream(std::ostream* stream) noexcept;
 
-  /// Emit one line "[TAG] message" if \p level passes the filter.
+  /// Prefix every line with "[<ISO-8601 UTC ms> #<thread-id>] " so a
+  /// multi-worker daemon's interleaved lines can be ordered and
+  /// attributed.  Off by default: the unprefixed output stays
+  /// byte-identical to what log-scraping callers already parse.
+  void setTimestamps(bool enabled) noexcept;
+  bool timestamps() const noexcept;
+
+  /// Emit one line "[TAG] message" (with the optional timestamp/thread
+  /// prefix) if \p level passes the filter.
   void write(LogLevel level, const std::string& message);
 
 private:
   mutable std::mutex mutex_;
   LogLevel level_ = LogLevel::Info;
   std::ostream* stream_ = nullptr;
+  bool timestamps_ = false;
 };
 
 namespace detail {

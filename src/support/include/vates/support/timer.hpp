@@ -91,6 +91,11 @@ public:
   /// every recording thread has been joined.
   StageTimes take();
 
+  /// Thread-safe copy of the accumulated times so far — the live
+  /// mid-reduction view a job-status query reads while recording
+  /// threads keep merging.
+  StageTimes snapshot() const;
+
 private:
   mutable std::mutex mutex_;
   StageTimes times_;

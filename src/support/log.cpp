@@ -4,9 +4,52 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
+#include <thread>
 
 namespace vates {
+
+namespace {
+
+bool envTruthy(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return false;
+  }
+  std::string lower(value);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return lower == "1" || lower == "true" || lower == "on" || lower == "yes";
+}
+
+/// "2026-08-07T12:34:56.789Z" — UTC wall clock with millisecond
+/// resolution, the prefix that lets journal and daemon lines from
+/// different workers (and different hosts) be collated.
+std::string isoTimestampUtc() {
+  using namespace std::chrono;
+  const system_clock::time_point now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &seconds);
+#else
+  gmtime_r(&seconds, &utc);
+#endif
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
+
+} // namespace
 
 const char* logLevelTag(LogLevel level) noexcept {
   switch (level) {
@@ -33,6 +76,13 @@ LogLevel parseLogLevel(const std::string& text) {
 
 Logger& Logger::global() {
   static Logger instance;
+  // One-time environment pickup (Logger holds a mutex, so it cannot be
+  // returned from an initializing lambda by value).
+  static const bool envApplied = [] {
+    instance.setTimestamps(envTruthy("VATES_LOG_TIMESTAMPS"));
+    return true;
+  }();
+  (void)envApplied;
   return instance;
 }
 
@@ -51,13 +101,32 @@ void Logger::setStream(std::ostream* stream) noexcept {
   stream_ = stream;
 }
 
+void Logger::setTimestamps(bool enabled) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  timestamps_ = enabled;
+}
+
+bool Logger::timestamps() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timestamps_;
+}
+
 void Logger::write(LogLevel level, const std::string& message) {
+  // The timestamp is rendered before taking the emit lock so queueing
+  // on a contended logger does not skew the recorded time.
+  std::string prefix;
+  if (timestamps()) {
+    std::ostringstream os;
+    os << '[' << isoTimestampUtc() << " #" << std::this_thread::get_id()
+       << "] ";
+    prefix = os.str();
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (static_cast<int>(level) < static_cast<int>(level_)) {
     return;
   }
   std::ostream& os = stream_ != nullptr ? *stream_ : std::clog;
-  os << '[' << logLevelTag(level) << "] " << message << '\n';
+  os << prefix << '[' << logLevelTag(level) << "] " << message << '\n';
 }
 
 } // namespace vates

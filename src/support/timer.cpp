@@ -79,6 +79,11 @@ StageTimes SharedStageTimes::take() {
   return result;
 }
 
+StageTimes SharedStageTimes::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return times_;
+}
+
 std::string StageTimes::table(const std::string& title) const {
   std::ostringstream os;
   os << title << '\n';

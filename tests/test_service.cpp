@@ -1,0 +1,785 @@
+/// \file test_service.cpp
+/// The multi-tenant reduction service: wire format, job queue admission
+/// and ordering, service lifecycle (submit → status → outcome),
+/// shared-grid batching bit-identity against direct pipeline runs and
+/// the reference oracle, cancellation, deadlines, live jobs, metrics,
+/// and the 64-job mixed-priority stress (run under TSan in CI).
+
+#include "vates/core/pipeline.hpp"
+#include "vates/events/experiment_setup.hpp"
+#include "vates/service/job.hpp"
+#include "vates/service/job_queue.hpp"
+#include "vates/service/metrics.hpp"
+#include "vates/service/reduction_service.hpp"
+#include "vates/service/wire.hpp"
+#include "vates/support/error.hpp"
+#include "vates/verify/diff.hpp"
+#include "vates/verify/fuzz_inputs.hpp"
+#include "vates/verify/reference_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+namespace vates::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire format
+
+TEST(Wire, EscapeRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const std::string line =
+      JsonObject().field("key", nasty).field("n", 1.5).str();
+  const auto fields = parseFlatObject(line);
+  EXPECT_EQ(fields.at("key"), nasty);
+  EXPECT_EQ(fields.at("n"), "1.5");
+}
+
+TEST(Wire, ParsesScalarTypes) {
+  const auto fields = parseFlatObject(
+      R"({"s":"text","i":42,"f":-1.25e3,"t":true,"x":false,"z":null})");
+  EXPECT_EQ(fields.at("s"), "text");
+  EXPECT_EQ(fields.at("i"), "42");
+  EXPECT_EQ(fields.at("f"), "-1.25e3");
+  EXPECT_EQ(fields.at("t"), "true");
+  EXPECT_EQ(fields.at("x"), "false");
+  EXPECT_EQ(fields.at("z"), "");
+}
+
+TEST(Wire, UnicodeEscapes) {
+  const auto fields = parseFlatObject(R"({"u":"éA"})");
+  EXPECT_EQ(fields.at("u"), "\xc3\xa9"
+                            "A");
+}
+
+TEST(Wire, RejectsMalformedInput) {
+  EXPECT_THROW(parseFlatObject("not json"), InvalidArgument);
+  EXPECT_THROW(parseFlatObject(R"({"a":1)"), InvalidArgument);
+  EXPECT_THROW(parseFlatObject(R"({"a":{"nested":1}})"), InvalidArgument);
+  EXPECT_THROW(parseFlatObject(R"({"a":[1,2]})"), InvalidArgument);
+  EXPECT_THROW(parseFlatObject(R"({"a":1,"a":2})"), InvalidArgument);
+  EXPECT_THROW(parseFlatObject(R"({"a":1} trailing)"), InvalidArgument);
+  EXPECT_THROW(parseFlatObject(R"({"a":bogus})"), InvalidArgument);
+}
+
+TEST(Wire, EmptyObjectAndNumbers) {
+  EXPECT_TRUE(parseFlatObject("{}").empty());
+  EXPECT_EQ(jsonNumber(0.5), "0.5");
+  EXPECT_EQ(jsonNumber(std::nan("")), "null");
+}
+
+// ---------------------------------------------------------------------------
+// Latency summaries
+
+TEST(Metrics, NearestRankPercentiles) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) {
+    samples.push_back(static_cast<double>(i)); // 1..100, reversed
+  }
+  const LatencyStats stats = summarizeLatencies(samples);
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_DOUBLE_EQ(stats.p50, 50.0);
+  EXPECT_DOUBLE_EQ(stats.p95, 95.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  EXPECT_DOUBLE_EQ(stats.total, 5050.0);
+
+  const LatencyStats one = summarizeLatencies({2.5});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.p50, 2.5);
+  EXPECT_DOUBLE_EQ(one.p95, 2.5);
+
+  EXPECT_EQ(summarizeLatencies({}).count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue
+
+std::shared_ptr<Job> makeQueuedJob(std::uint64_t id, int priority,
+                                   const std::string& key = "k") {
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->sequence = id;
+  job->request.priority = priority;
+  job->batchKey = key;
+  return job;
+}
+
+TEST(JobQueue, PriorityMajorFifoMinor) {
+  JobQueue queue(8);
+  EXPECT_EQ(queue.tryPush(makeQueuedJob(1, 0)), Admission::Accepted);
+  EXPECT_EQ(queue.tryPush(makeQueuedJob(2, 5)), Admission::Accepted);
+  EXPECT_EQ(queue.tryPush(makeQueuedJob(3, 5)), Admission::Accepted);
+  EXPECT_EQ(queue.tryPush(makeQueuedJob(4, 1)), Admission::Accepted);
+  EXPECT_EQ(queue.pop()->id, 2u); // highest priority, earliest sequence
+  EXPECT_EQ(queue.pop()->id, 3u);
+  EXPECT_EQ(queue.pop()->id, 4u);
+  EXPECT_EQ(queue.pop()->id, 1u);
+}
+
+TEST(JobQueue, AdmissionControlRejectsWithReason) {
+  JobQueue queue(2);
+  EXPECT_EQ(queue.tryPush(makeQueuedJob(1, 0)), Admission::Accepted);
+  EXPECT_EQ(queue.tryPush(makeQueuedJob(2, 0)), Admission::Accepted);
+  EXPECT_EQ(queue.tryPush(makeQueuedJob(3, 0)), Admission::QueueFull);
+  EXPECT_EQ(queue.depth(), 2u);
+  queue.close(true);
+  EXPECT_EQ(queue.tryPush(makeQueuedJob(4, 0)), Admission::Closed);
+  EXPECT_STREQ(admissionName(Admission::QueueFull), "queue-full");
+  EXPECT_STREQ(admissionName(Admission::Closed), "closed");
+}
+
+TEST(JobQueue, PopCompatibleDrainsMatchingKeysInOrder) {
+  JobQueue queue(8);
+  queue.tryPush(makeQueuedJob(1, 0, "a"));
+  queue.tryPush(makeQueuedJob(2, 9, "b")); // higher priority, other key
+  queue.tryPush(makeQueuedJob(3, 0, "a"));
+  queue.tryPush(makeQueuedJob(4, 0, "a"));
+  const auto batch = queue.popCompatible("a", 2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0]->id, 1u); // submission order, not priority order
+  EXPECT_EQ(batch[1]->id, 3u);
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.pop()->id, 2u);
+  EXPECT_EQ(queue.pop()->id, 4u);
+}
+
+TEST(JobQueue, RemoveAndCloseEvict) {
+  JobQueue queue(8);
+  queue.tryPush(makeQueuedJob(1, 0));
+  queue.tryPush(makeQueuedJob(2, 0));
+  const auto removed = queue.remove(1);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->id, 1u);
+  EXPECT_EQ(queue.remove(99), nullptr);
+  const auto evicted = queue.close(/*drainRemaining=*/false);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0]->id, 2u);
+  EXPECT_EQ(queue.pop(), nullptr);
+}
+
+TEST(JobQueue, CloseWithDrainServesRemainder) {
+  JobQueue queue(4);
+  queue.tryPush(makeQueuedJob(1, 0));
+  const auto evicted = queue.close(/*drainRemaining=*/true);
+  EXPECT_TRUE(evicted.empty());
+  ASSERT_NE(queue.pop(), nullptr);
+  EXPECT_EQ(queue.pop(), nullptr); // drained
+}
+
+// ---------------------------------------------------------------------------
+// Normalization key (the batching compatibility contract)
+
+core::ReductionPlan smallPlan(double scale = 0.0005, std::size_t nFiles = 2) {
+  core::ReductionPlan plan;
+  plan.workload = WorkloadSpec::benzilCorelli(scale);
+  plan.workload.nFiles = nFiles;
+  return plan;
+}
+
+TEST(NormalizationKey, IgnoresDataOnlyFields) {
+  const core::ReductionPlan base = smallPlan();
+  core::ReductionPlan differentData = base;
+  differentData.workload.seed ^= 0xabcdef;
+  differentData.workload.eventsPerFile *= 2;
+  differentData.config.trackErrors = true;
+  EXPECT_EQ(normalizationKey(base), normalizationKey(differentData));
+}
+
+TEST(NormalizationKey, SensitiveToGridAndOrderFields) {
+  const core::ReductionPlan base = smallPlan();
+  const std::string key = normalizationKey(base);
+
+  core::ReductionPlan otherGrid = base;
+  otherGrid.workload.bins[0] += 1;
+  EXPECT_NE(normalizationKey(otherGrid), key);
+
+  core::ReductionPlan otherRanks = base;
+  otherRanks.config.ranks = 2;
+  EXPECT_NE(normalizationKey(otherRanks), key);
+
+  core::ReductionPlan otherTraversal = base;
+  otherTraversal.config.mdnorm.traversal = Traversal::Legacy;
+  EXPECT_NE(normalizationKey(otherTraversal), key);
+
+  core::ReductionPlan otherFlux = base;
+  otherFlux.workload.lambdaMax += 0.1;
+  EXPECT_NE(normalizationKey(otherFlux), key);
+}
+
+// ---------------------------------------------------------------------------
+// Service lifecycle + equivalence
+
+JobRequest planRequest(const core::ReductionPlan& plan, int priority = 0,
+                       const std::string& tag = "") {
+  JobRequest request;
+  request.plan = plan;
+  request.priority = priority;
+  request.tag = tag;
+  return request;
+}
+
+void expectBitwiseEqual(const core::ReductionResult& direct,
+                        const core::ReductionResult& viaService,
+                        const std::string& label) {
+  for (const auto& [name, expected, actual] :
+       {std::tuple<const char*, const Histogram3D&, const Histogram3D&>(
+            "signal", direct.signal, viaService.signal),
+        {"normalization", direct.normalization, viaService.normalization},
+        {"crossSection", direct.crossSection, viaService.crossSection}}) {
+    const verify::DiffReport report =
+        verify::compareHistograms(expected, actual, verify::Tolerance::bitwise(),
+                                  std::string(name) + " " + label);
+    EXPECT_TRUE(report.pass) << report.summary();
+  }
+}
+
+TEST(ReductionService, SingleJobMatchesDirectPipelineRun) {
+  const core::ReductionPlan plan = smallPlan();
+  const ExperimentSetup setup(plan.workload);
+  const core::ReductionResult direct =
+      core::ReductionPipeline(setup, plan.config).run();
+
+  ServiceOptions options;
+  options.workers = 1;
+  ReductionService serviceInstance(options);
+  const SubmitReceipt receipt = serviceInstance.submit(planRequest(plan));
+  ASSERT_TRUE(receipt.accepted) << receipt.reason;
+  const auto outcome = serviceInstance.wait(receipt.id);
+  ASSERT_NE(outcome, nullptr);
+  ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
+  ASSERT_TRUE(outcome->result.has_value());
+
+  expectBitwiseEqual(direct, *outcome->result, "service single job");
+
+  const auto status = serviceInstance.status(receipt.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::Done);
+  EXPECT_EQ(status->progress.filesCompleted, plan.workload.nFiles);
+  EXPECT_EQ(status->progress.filesTotal, plan.workload.nFiles);
+  EXPECT_GT(status->progress.stages.total("BinMD"), 0.0);
+  serviceInstance.shutdown(true);
+}
+
+// Oracle differential check on the service path: the golden-benzil-tiny
+// workload (the repo's oracle-contract domain — unmasked, so the
+// service's ExperimentSetup(workload) matches the oracle's setup).
+TEST(ReductionService, JobMatchesReferenceOracle) {
+  const verify::FuzzExperiment experiment = verify::goldenExperiments().front();
+  ASSERT_EQ(experiment.maskFraction, 0.0);
+  core::ReductionPlan plan;
+  plan.workload = experiment.spec;
+  const verify::OracleResult oracle =
+      verify::referenceReduce(ExperimentSetup(plan.workload));
+
+  ServiceOptions options;
+  options.workers = 1;
+  ReductionService serviceInstance(options);
+  const SubmitReceipt receipt = serviceInstance.submit(planRequest(plan));
+  ASSERT_TRUE(receipt.accepted) << receipt.reason;
+  const auto outcome = serviceInstance.wait(receipt.id);
+  ASSERT_NE(outcome, nullptr);
+  ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
+  ASSERT_TRUE(outcome->result.has_value());
+  const auto check = [&](const Histogram3D& expected, const Histogram3D& actual,
+                         const char* what) {
+    const verify::DiffReport report = verify::compareHistograms(
+        expected, actual, {}, std::string(what) + " service vs oracle");
+    EXPECT_TRUE(report.pass) << report.summary();
+  };
+  check(oracle.signal, outcome->result->signal, "signal");
+  check(oracle.normalization, outcome->result->normalization, "normalization");
+  check(oracle.crossSection, outcome->result->crossSection, "crossSection");
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, BatchedFollowersAreBitIdenticalToFullRuns) {
+  constexpr std::size_t kJobs = 3;
+  std::vector<core::ReductionPlan> plans;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    core::ReductionPlan plan = smallPlan();
+    plan.workload.seed += 1000 * i; // same grid, different data
+    plans.push_back(plan);
+  }
+
+  // One worker guarantees every job is still queued when the worker pops
+  // the first one, so all of them coalesce into one batch.
+  ServiceOptions options;
+  options.workers = 1;
+  options.maxBatch = kJobs;
+  options.batching = true;
+  ReductionService serviceInstance(options);
+  std::vector<std::uint64_t> ids;
+  for (const core::ReductionPlan& plan : plans) {
+    const SubmitReceipt receipt = serviceInstance.submit(planRequest(plan));
+    ASSERT_TRUE(receipt.accepted) << receipt.reason;
+    ids.push_back(receipt.id);
+  }
+
+  std::size_t followers = 0;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const auto outcome = serviceInstance.wait(ids[i]);
+    ASSERT_NE(outcome, nullptr);
+    ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
+    ASSERT_TRUE(outcome->result.has_value());
+    if (outcome->status.sharedNormalization) {
+      ++followers;
+    }
+    // Every job — leader or follower — must match its own full direct
+    // pipeline run bit for bit.
+    const ExperimentSetup setup(plans[i].workload);
+    const core::ReductionResult direct =
+        core::ReductionPipeline(setup, plans[i].config).run();
+    expectBitwiseEqual(direct, *outcome->result,
+                       "batched job " + std::to_string(i));
+  }
+
+  const ServiceMetrics metrics = serviceInstance.metrics();
+  EXPECT_EQ(metrics.done, kJobs);
+  EXPECT_LT(metrics.normalizationPasses, kJobs); // the whole point
+  EXPECT_GE(metrics.sharedNormalizationJobs, 1u);
+  EXPECT_EQ(metrics.sharedNormalizationJobs, followers);
+  EXPECT_GE(metrics.batches, 1u);
+  EXPECT_GT(metrics.batchHitRate(), 0.0);
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, LateArrivalJoinsRunningLeadersBatch) {
+  // A compatible job submitted while the leader is already mid-flight
+  // must still reuse the finished leader's normalization (the
+  // post-leader re-drain), not pay its own pass.
+  ServiceOptions options;
+  options.workers = 1;
+  options.maxBatch = 4;
+  core::ReductionPlan leaderPlan = smallPlan(0.0005, 8);
+  ReductionService serviceInstance(options);
+  const SubmitReceipt lead = serviceInstance.submit(planRequest(leaderPlan));
+  ASSERT_TRUE(lead.accepted);
+  for (int i = 0; i < 20000; ++i) {
+    const auto status = serviceInstance.status(lead.id);
+    if (status && status->state == JobState::Running) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  core::ReductionPlan latePlan = leaderPlan;
+  latePlan.workload.seed += 42; // same key, different data
+  const SubmitReceipt late = serviceInstance.submit(planRequest(latePlan));
+  ASSERT_TRUE(late.accepted);
+
+  const auto leadOutcome = serviceInstance.wait(lead.id);
+  const auto lateOutcome = serviceInstance.wait(late.id);
+  ASSERT_EQ(leadOutcome->status.state, JobState::Done);
+  ASSERT_EQ(lateOutcome->status.state, JobState::Done);
+  EXPECT_TRUE(lateOutcome->status.sharedNormalization)
+      << "leader finished before the late submit landed — enlarge the "
+         "leader workload";
+  // The shared result still matches the late job's own full run.
+  const ExperimentSetup setup(latePlan.workload);
+  const core::ReductionResult direct =
+      core::ReductionPipeline(setup, latePlan.config).run();
+  expectBitwiseEqual(direct, *lateOutcome->result, "late-arrival follower");
+  const ServiceMetrics metrics = serviceInstance.metrics();
+  EXPECT_EQ(metrics.normalizationPasses, 1u);
+  EXPECT_EQ(metrics.sharedNormalizationJobs, 1u);
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, BatchingOffRunsEveryNormalization) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.batching = false;
+  ReductionService serviceInstance(options);
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < 2; ++i) {
+    core::ReductionPlan plan = smallPlan(0.0005, 1);
+    plan.workload.seed += i;
+    const SubmitReceipt receipt = serviceInstance.submit(planRequest(plan));
+    ASSERT_TRUE(receipt.accepted);
+    ids.push_back(receipt.id);
+  }
+  for (const std::uint64_t id : ids) {
+    const auto outcome = serviceInstance.wait(id);
+    ASSERT_EQ(outcome->status.state, JobState::Done);
+    EXPECT_FALSE(outcome->status.sharedNormalization);
+  }
+  const ServiceMetrics metrics = serviceInstance.metrics();
+  EXPECT_EQ(metrics.normalizationPasses, 2u);
+  EXPECT_EQ(metrics.sharedNormalizationJobs, 0u);
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, TrackErrorsFollowerPropagatesAgainstSharedNorm) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.maxBatch = 2;
+  ReductionService serviceInstance(options);
+  std::vector<std::uint64_t> ids;
+  std::vector<core::ReductionPlan> plans;
+  for (std::size_t i = 0; i < 2; ++i) {
+    core::ReductionPlan plan = smallPlan(0.0005, 1);
+    plan.workload.seed += 7 * i;
+    plan.config.trackErrors = true;
+    plans.push_back(plan);
+    const SubmitReceipt receipt = serviceInstance.submit(planRequest(plan));
+    ASSERT_TRUE(receipt.accepted);
+    ids.push_back(receipt.id);
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto outcome = serviceInstance.wait(ids[i]);
+    ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
+    ASSERT_TRUE(outcome->result->crossSectionErrorSq.has_value());
+    const ExperimentSetup setup(plans[i].workload);
+    const core::ReductionResult direct =
+        core::ReductionPipeline(setup, plans[i].config).run();
+    const verify::DiffReport report = verify::compareHistograms(
+        *direct.crossSectionErrorSq, *outcome->result->crossSectionErrorSq,
+        verify::Tolerance::bitwise(), "crossSectionErrorSq job " +
+                                          std::to_string(i));
+    EXPECT_TRUE(report.pass) << report.summary();
+  }
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, RejectsInvalidAndOverflowingSubmissions) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queueCapacity = 1;
+  ReductionService serviceInstance(options);
+
+  core::ReductionPlan invalid = smallPlan();
+  invalid.workload.nFiles = 0;
+  const SubmitReceipt bad = serviceInstance.submit(planRequest(invalid));
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_NE(bad.reason.find("invalid"), std::string::npos);
+
+  // Flood a capacity-1 queue: submissions are microseconds apart while
+  // each job needs milliseconds, so at least one must be shed.
+  std::size_t rejectedQueueFull = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    core::ReductionPlan plan = smallPlan(0.0005, 1);
+    plan.workload.seed += i;
+    const SubmitReceipt receipt = serviceInstance.submit(planRequest(plan));
+    if (!receipt.accepted) {
+      EXPECT_EQ(receipt.reason, "queue-full");
+      ++rejectedQueueFull;
+    }
+  }
+  EXPECT_GE(rejectedQueueFull, 1u);
+  const ServiceMetrics metrics = serviceInstance.metrics();
+  EXPECT_EQ(metrics.rejectedQueueFull, rejectedQueueFull);
+  EXPECT_EQ(metrics.rejectedInvalid, 1u);
+  serviceInstance.shutdown(true);
+
+  const SubmitReceipt closed = serviceInstance.submit(planRequest(smallPlan()));
+  EXPECT_FALSE(closed.accepted);
+  EXPECT_EQ(closed.reason, "closed");
+}
+
+TEST(ReductionService, CancelWhileQueuedIsImmediate) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.batching = false;
+  ReductionService serviceInstance(options);
+  // Occupy the single worker, then queue a victim behind it.
+  const SubmitReceipt busy =
+      serviceInstance.submit(planRequest(smallPlan(0.0005, 4)));
+  ASSERT_TRUE(busy.accepted);
+  core::ReductionPlan victimPlan = smallPlan();
+  victimPlan.workload.seed += 99; // different key: batching can't steal it
+  const SubmitReceipt victim = serviceInstance.submit(planRequest(victimPlan));
+  ASSERT_TRUE(victim.accepted);
+
+  EXPECT_TRUE(serviceInstance.cancel(victim.id));
+  const auto outcome = serviceInstance.wait(victim.id);
+  ASSERT_NE(outcome, nullptr);
+  // The worker may already have popped it into a batch group before the
+  // cancel landed; either way it must terminate Cancelled, without a
+  // result.
+  EXPECT_EQ(outcome->status.state, JobState::Cancelled);
+  EXPECT_FALSE(outcome->result.has_value());
+  EXPECT_FALSE(serviceInstance.cancel(victim.id)); // already terminal
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, CancelMidFlightLeavesNoResult) {
+  ServiceOptions options;
+  options.workers = 1;
+  ReductionService serviceInstance(options);
+  const SubmitReceipt receipt =
+      serviceInstance.submit(planRequest(smallPlan(0.0005, 12)));
+  ASSERT_TRUE(receipt.accepted);
+
+  // Wait for the job to actually start, then cancel it mid-reduction.
+  for (int i = 0; i < 20000; ++i) {
+    const auto status = serviceInstance.status(receipt.id);
+    ASSERT_TRUE(status.has_value());
+    if (status->state == JobState::Running) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_TRUE(serviceInstance.cancel(receipt.id));
+  const auto outcome = serviceInstance.wait(receipt.id);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->status.state, JobState::Cancelled)
+      << "job finished before the cancel landed — enlarge the workload";
+  EXPECT_FALSE(outcome->result.has_value());
+  EXPECT_FALSE(outcome->status.error.empty());
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, DeadlineExpiresBeforeStart) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.batching = false;
+  ReductionService serviceInstance(options);
+  // Busy job first; the deadlined job behind it cannot start in time.
+  const SubmitReceipt busy =
+      serviceInstance.submit(planRequest(smallPlan(0.0005, 4)));
+  ASSERT_TRUE(busy.accepted);
+  core::ReductionPlan latePlan = smallPlan();
+  latePlan.workload.seed += 1; // different key: no batch rescue
+  JobRequest lateRequest = planRequest(latePlan);
+  lateRequest.deadlineSeconds = 1e-4;
+  const SubmitReceipt late = serviceInstance.submit(std::move(lateRequest));
+  ASSERT_TRUE(late.accepted);
+
+  const auto outcome = serviceInstance.wait(late.id);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->status.state, JobState::Expired);
+  EXPECT_FALSE(outcome->result.has_value());
+  const ServiceMetrics metrics = serviceInstance.metrics();
+  EXPECT_GE(metrics.expired, 1u);
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, LiveJobReducesToCompletion) {
+  ServiceOptions options;
+  options.workers = 1;
+  ReductionService serviceInstance(options);
+  JobRequest request;
+  request.plan = smallPlan(0.0005, 2);
+  request.kind = JobKind::Live;
+  const SubmitReceipt receipt = serviceInstance.submit(std::move(request));
+  ASSERT_TRUE(receipt.accepted);
+  const auto outcome = serviceInstance.wait(receipt.id);
+  ASSERT_NE(outcome, nullptr);
+  ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
+  ASSERT_TRUE(outcome->result.has_value());
+  EXPECT_GT(outcome->result->eventsProcessed, 0u);
+  EXPECT_GT(outcome->result->signal.totalSignal(), 0.0);
+  EXPECT_GT(outcome->result->normalization.totalSignal(), 0.0);
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, LiveJobCancels) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.liveChannelCapacity = 2; // throttle so the cancel can land
+  ReductionService serviceInstance(options);
+  JobRequest request;
+  request.plan = smallPlan(0.001, 8);
+  request.kind = JobKind::Live;
+  const SubmitReceipt receipt = serviceInstance.submit(std::move(request));
+  ASSERT_TRUE(receipt.accepted);
+  for (int i = 0; i < 20000; ++i) {
+    const auto status = serviceInstance.status(receipt.id);
+    if (status && status->state == JobState::Running) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  serviceInstance.cancel(receipt.id);
+  const auto outcome = serviceInstance.wait(receipt.id);
+  ASSERT_NE(outcome, nullptr);
+  // The reduction may beat the cancel on fast machines; cancellation
+  // must never produce a third state though.
+  EXPECT_TRUE(outcome->status.state == JobState::Cancelled ||
+              outcome->status.state == JobState::Done);
+  serviceInstance.shutdown(true);
+}
+
+TEST(ReductionService, MetricsSerializeToJson) {
+  ServiceOptions options;
+  options.workers = 1;
+  ReductionService serviceInstance(options);
+  const SubmitReceipt receipt =
+      serviceInstance.submit(planRequest(smallPlan(0.0005, 1)));
+  ASSERT_TRUE(receipt.accepted);
+  serviceInstance.wait(receipt.id);
+  const std::string json = serviceInstance.metrics().toJson();
+  for (const char* key :
+       {"\"workers\":1", "\"done\":1", "\"queue_capacity\":", "\"latency\":",
+        "\"queue-wait\":", "\"run\":", "\"batch_hit_rate\":",
+        "\"normalization_passes\":1"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing in\n"
+                                                 << json;
+  }
+  serviceInstance.shutdown(true);
+}
+
+TEST(ServiceOptions, FromEnvParsesAndClamps) {
+  ::setenv("VATES_SERVICE_WORKERS", "3", 1);
+  ::setenv("VATES_SERVICE_QUEUE", "7", 1);
+  ::setenv("VATES_SERVICE_BATCH", "0", 1);
+  ServiceOptions options = ServiceOptions::fromEnv();
+  EXPECT_EQ(options.workers, 3u);
+  EXPECT_EQ(options.queueCapacity, 7u);
+  EXPECT_FALSE(options.batching);
+
+  ::setenv("VATES_SERVICE_BATCH", "5", 1);
+  ::setenv("VATES_SERVICE_WORKERS", "bogus", 1);
+  options = ServiceOptions::fromEnv();
+  EXPECT_EQ(options.workers, ServiceOptions{}.workers); // malformed ignored
+  EXPECT_EQ(options.maxBatch, 5u);
+  EXPECT_TRUE(options.batching);
+
+  ::unsetenv("VATES_SERVICE_WORKERS");
+  ::unsetenv("VATES_SERVICE_QUEUE");
+  ::unsetenv("VATES_SERVICE_BATCH");
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-level cancellation hook (the mechanism the service rides)
+
+TEST(PipelineHooks, PresetCancelFlagThrowsCancelledBeforeAnyFile) {
+  const core::ReductionPlan plan = smallPlan();
+  const ExperimentSetup setup(plan.workload);
+  std::atomic<bool> cancelFlag{true};
+  core::ReductionConfig config = plan.config;
+  config.hooks.cancel = &cancelFlag;
+  const core::ReductionPipeline pipeline(setup, config);
+  EXPECT_THROW(pipeline.run(), Cancelled);
+}
+
+TEST(PipelineHooks, ProgressAndFileCountsAreReported) {
+  const core::ReductionPlan plan = smallPlan(0.0005, 3);
+  const ExperimentSetup setup(plan.workload);
+  std::atomic<std::size_t> filesCompleted{0};
+  SharedStageTimes progress;
+  core::ReductionConfig config = plan.config;
+  config.hooks.filesCompleted = &filesCompleted;
+  config.hooks.progress = &progress;
+  const core::ReductionResult result =
+      core::ReductionPipeline(setup, config).run();
+  EXPECT_EQ(filesCompleted.load(), plan.workload.nFiles);
+  const StageTimes stages = progress.snapshot();
+  EXPECT_GT(stages.total("MDNorm"), 0.0);
+  EXPECT_GT(stages.total("BinMD"), 0.0);
+  // The per-file merges must add up to the result's own accounting.
+  EXPECT_EQ(stages.count("BinMD"), result.timesSummed.count("BinMD"));
+}
+
+TEST(PipelineHooks, SkipNormalizationLeavesSignalBitIdentical) {
+  const core::ReductionPlan plan = smallPlan();
+  const ExperimentSetup setup(plan.workload);
+  const core::ReductionResult full =
+      core::ReductionPipeline(setup, plan.config).run();
+  core::ReductionConfig skipConfig = plan.config;
+  skipConfig.skipNormalization = true;
+  const core::ReductionResult skipped =
+      core::ReductionPipeline(setup, skipConfig).run();
+  const verify::DiffReport report = verify::compareHistograms(
+      full.signal, skipped.signal, verify::Tolerance::bitwise(),
+      "signal full vs skipNormalization");
+  EXPECT_TRUE(report.pass) << report.summary();
+  EXPECT_DOUBLE_EQ(skipped.normalization.totalSignal(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stress: 64 jobs, 4 workers, mixed priorities, one deadline expiry,
+// one mid-flight cancellation (run under TSan in CI).
+
+TEST(ReductionServiceStress, MixedPriorityBurstWithExpiryAndCancellation) {
+  constexpr std::size_t kJobs = 64;
+  ServiceOptions options;
+  options.workers = 4;
+  options.queueCapacity = kJobs + 1;
+  options.maxBatch = 4;
+  ReductionService serviceInstance(options);
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    core::ReductionPlan plan = smallPlan(0.0003, 1);
+    plan.workload.seed += i / 8; // 8 duplicate-grid cohorts
+    JobRequest request = planRequest(plan, static_cast<int>(i % 3),
+                                     "stress-" + std::to_string(i));
+    if (i == kJobs - 1) {
+      // Lowest priority + microscopic deadline: it is still queued when
+      // its turn comes, so it expires instead of running.
+      request.priority = -1;
+      request.deadlineSeconds = 1e-4;
+    }
+    const SubmitReceipt receipt = serviceInstance.submit(std::move(request));
+    ASSERT_TRUE(receipt.accepted) << receipt.reason;
+    ids.push_back(receipt.id);
+  }
+
+  // One mid-flight cancellation: cancel the first job observed Running.
+  bool cancelled = false;
+  for (int attempt = 0; attempt < 1000 && !cancelled; ++attempt) {
+    for (const JobStatus& status : serviceInstance.jobs()) {
+      if (status.state == JobState::Running) {
+        cancelled = serviceInstance.cancel(status.id);
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  std::size_t done = 0;
+  std::size_t expired = 0;
+  std::size_t cancelledCount = 0;
+  for (const std::uint64_t id : ids) {
+    const auto outcome = serviceInstance.wait(id);
+    ASSERT_NE(outcome, nullptr);
+    switch (outcome->status.state) {
+    case JobState::Done:      ++done; break;
+    case JobState::Expired:   ++expired; break;
+    case JobState::Cancelled: ++cancelledCount; break;
+    default:
+      FAIL() << "unexpected terminal state "
+             << jobStateName(outcome->status.state) << ": "
+             << outcome->status.error;
+    }
+  }
+  EXPECT_EQ(done + expired + cancelledCount, kJobs);
+  EXPECT_GE(expired, 1u);
+  EXPECT_GE(done, kJobs / 2);
+  const ServiceMetrics metrics = serviceInstance.metrics();
+  EXPECT_EQ(metrics.submitted, kJobs);
+  EXPECT_EQ(metrics.admitted, kJobs);
+  EXPECT_EQ(metrics.done + metrics.expired + metrics.cancelled, kJobs);
+  serviceInstance.shutdown(true);
+}
+
+// Destruction while jobs are still queued/running must cancel and join
+// cleanly (the dtor is shutdown(false)).
+TEST(ReductionService, DestructorCancelsOutstandingWork) {
+  std::vector<std::uint64_t> ids;
+  {
+    ServiceOptions options;
+    options.workers = 2;
+    options.queueCapacity = 8;
+    ReductionService serviceInstance(options);
+    for (std::size_t i = 0; i < 6; ++i) {
+      core::ReductionPlan plan = smallPlan(0.0005, 2);
+      plan.workload.seed += i;
+      const SubmitReceipt receipt = serviceInstance.submit(planRequest(plan));
+      if (receipt.accepted) {
+        ids.push_back(receipt.id);
+      }
+    }
+    // Scope exit: destructor runs with work outstanding.
+  }
+  SUCCEED();
+}
+
+} // namespace
+} // namespace vates::service

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cmath>
 #include <thread>
+#include <vector>
 
 namespace vates::stream {
 namespace {
@@ -104,6 +105,40 @@ TEST(EventChannel, StatsTrackDepth) {
 
 TEST(EventChannel, InvalidCapacityThrows) {
   EXPECT_THROW(EventChannel channel(0), InvalidArgument);
+}
+
+TEST(EventChannel, CloseWakesPendingProducers) {
+  // Several producers blocked in push() on a full channel must all wake
+  // when the channel closes, and must all report the closure instead of
+  // silently dropping their packet.
+  EventChannel channel(1);
+  channel.push(makePacket(0, 0)); // fill the single slot
+  std::atomic<int> throws{0};
+  std::vector<std::thread> producers;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    producers.emplace_back([&channel, &throws, i] {
+      try {
+        channel.push(makePacket(0, 100 + i));
+      } catch (const InvalidArgument&) {
+        ++throws;
+      }
+    });
+  }
+  // Wait until all three are actually parked in push().
+  for (int i = 0; i < 2000 && channel.stats().producerBlocked < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(channel.stats().producerBlocked, 3u);
+  channel.close();
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  EXPECT_EQ(throws.load(), 3);
+  // The packet that made it in before the close is still drainable.
+  const auto packet = channel.pop();
+  ASSERT_TRUE(packet.has_value());
+  EXPECT_EQ(packet->pulseIndex, 0u);
+  EXPECT_FALSE(channel.pop().has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -215,6 +250,66 @@ TEST_F(StreamFixture, SnapshotCoverageGrowsMonotonically) {
   channel.close();
   consumer.join();
   EXPECT_GT(previousCoverage, 0.0);
+}
+
+TEST_F(StreamFixture, RequestStopEndsConsumeEarly) {
+  // Capacity exceeds one run's packet count so the producer can finish
+  // before the consumer starts.
+  EventChannel channel(100000);
+  const DaqSimulator daq(generator_);
+  LiveReducer reducer(setup_, Executor(Backend::Serial));
+
+  // Fold exactly one run, then stop; the remaining runs stay unread.
+  daq.streamRuns(channel, 0, 1);
+  std::thread consumer([&] { reducer.consume(channel); });
+  while (reducer.snapshot().stats.runsReduced < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reducer.requestStop();
+  channel.close(); // wake the consumer if it is parked in pop()
+  consumer.join();
+
+  const LiveSnapshot snapshot = reducer.snapshot();
+  EXPECT_GE(snapshot.stats.runsReduced, 1u);
+  EXPECT_GT(snapshot.signal.totalSignal(), 0.0); // folded work is kept
+}
+
+TEST_F(StreamFixture, SnapshotIsSafeDuringConcurrentConsume) {
+  // TSan-targeted stress: hammer snapshot() from two reader threads
+  // while consume() folds runs on a third.  The snapshots themselves
+  // must always be internally consistent (monotone run counts).
+  EventChannel channel(16);
+  const DaqSimulator daq(generator_);
+  LiveReducer reducer(setup_, Executor(Backend::Serial));
+
+  std::thread consumer([&] { reducer.consume(channel); });
+  std::atomic<bool> stop{false};
+  std::atomic<bool> monotone{true};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      std::size_t lastRuns = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const LiveSnapshot snapshot = reducer.snapshot();
+        if (snapshot.stats.runsReduced < lastRuns) {
+          monotone = false;
+        }
+        lastRuns = snapshot.stats.runsReduced;
+      }
+    });
+  }
+
+  daq.streamAllAndClose(channel);
+  consumer.join();
+  stop = true;
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_TRUE(monotone.load());
+  const LiveSnapshot final = reducer.snapshot();
+  EXPECT_EQ(final.stats.runsReduced, setup_.spec().nFiles);
+  EXPECT_EQ(final.stats.eventsConsumed,
+            setup_.spec().nFiles * setup_.spec().eventsPerFile);
 }
 
 } // namespace

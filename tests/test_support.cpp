@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <sstream>
 #include <thread>
@@ -58,6 +59,44 @@ TEST(Logger, FiltersBelowLevel) {
   log.setLevel(LogLevel::Info);
   EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
   EXPECT_NE(sink.str().find("visible"), std::string::npos);
+}
+
+TEST(Logger, TimestampPrefixShapeAndDefaultUnchanged) {
+  Logger& log = Logger::global();
+
+  // Default: no prefix — the line is byte-identical to the historical
+  // "[TAG] message\n" form that log-scraping callers parse.
+  std::ostringstream plain;
+  log.setStream(&plain);
+  VATES_LOG_INFO("plain line");
+  EXPECT_EQ(plain.str(), "[INFO ] plain line\n");
+
+  // Opt-in: "[<ISO-8601 UTC ms> #<thread-id>] [TAG] message".
+  std::ostringstream stamped;
+  log.setStream(&stamped);
+  log.setTimestamps(true);
+  VATES_LOG_INFO("stamped line");
+  log.setTimestamps(false);
+  log.setStream(nullptr);
+
+  const std::string line = stamped.str();
+  // Shape: [YYYY-MM-DDTHH:MM:SS.mmmZ #tid] [INFO ] stamped line
+  ASSERT_GE(line.size(), 30u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line.substr(5, 1), "-");
+  EXPECT_EQ(line.substr(8, 1), "-");
+  EXPECT_EQ(line.substr(11, 1), "T");
+  EXPECT_EQ(line.substr(14, 1), ":");
+  EXPECT_EQ(line.substr(17, 1), ":");
+  EXPECT_EQ(line.substr(20, 1), ".");
+  EXPECT_EQ(line.substr(24, 3), "Z #");
+  for (const std::size_t digitIndex : {1u, 2u, 3u, 4u, 6u, 7u, 9u, 10u, 12u,
+                                       13u, 15u, 16u, 18u, 19u, 21u, 22u,
+                                       23u}) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[digitIndex])))
+        << "position " << digitIndex << " in " << line;
+  }
+  EXPECT_NE(line.find("] [INFO ] stamped line\n"), std::string::npos) << line;
 }
 
 TEST(Logger, ParseLevelRoundTrip) {

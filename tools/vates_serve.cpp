@@ -1,0 +1,341 @@
+/// vates_serve — NDJSON front end for the in-process reduction service.
+///
+/// Reads one JSON request object per line from a FIFO (or stdin) and
+/// appends one JSON event object per line to a journal file, which
+/// clients (vates_submit, dashboards, tests) tail.  The daemon is the
+/// out-of-process face of ReductionService: a facility deployment runs
+/// one of these next to the data, and user-side tooling only ever
+/// touches the two files.
+///
+/// Requests:
+///   {"op":"submit","plan":"<plan.ini>","kind":"plan"|"live",
+///    "priority":0,"deadline_s":0,"tag":"<client label>"}
+///   {"op":"status","id":3}
+///   {"op":"cancel","id":3}
+///   {"op":"metrics"}
+///   {"op":"shutdown","drain":true}
+///
+/// Journal events: "accepted", "rejected", "status", "metrics",
+/// "error", and one terminal event per job ("done" / "failed" /
+/// "cancelled" / "expired").  Done jobs with --output-dir set also
+/// write their histograms to <dir>/job-<id>.nxl.
+
+#include "vates/core/plan.hpp"
+#include "vates/io/histogram_file.hpp"
+#include "vates/service/reduction_service.hpp"
+#include "vates/service/wire.hpp"
+#include "vates/support/cli.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/log.hpp"
+
+#include <sys/stat.h>
+
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace vates;
+using namespace vates::service;
+
+/// Serialized, flushed append of journal lines (waiter threads and the
+/// request loop both write).
+class Journal {
+public:
+  explicit Journal(const std::string& path) : out_(path, std::ios::app) {
+    if (!out_) {
+      throw IOError("cannot open journal file: " + path);
+    }
+  }
+
+  void write(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line << '\n';
+    out_.flush();
+  }
+
+private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+JsonObject statusJson(const JobStatus& status) {
+  JsonObject object;
+  object.field("id", std::uint64_t{status.id})
+      .field("state", jobStateName(status.state))
+      .field("kind", jobKindName(status.kind))
+      .field("priority", std::int64_t{status.priority})
+      .field("tag", status.tag)
+      .field("shared_normalization", status.sharedNormalization)
+      .field("queued_s", status.queuedSeconds)
+      .field("run_s", status.runSeconds)
+      .field("files_completed", std::uint64_t{status.progress.filesCompleted})
+      .field("files_total", std::uint64_t{status.progress.filesTotal});
+  if (!status.error.empty()) {
+    object.field("error", status.error);
+  }
+  return object;
+}
+
+struct ServeState {
+  ReductionService* serviceInstance = nullptr;
+  Journal* journal = nullptr;
+  std::string outputDir;
+  std::atomic<bool> stop{false};
+  bool stopDrain = true;
+  std::mutex waitersMutex;
+  std::vector<std::thread> waiters;
+};
+
+/// Per-job waiter: blocks on the job's terminal state, emits the
+/// terminal journal event, and writes the histograms for done jobs.
+void watchJob(ServeState& state, std::uint64_t id) {
+  const std::shared_ptr<const JobOutcome> outcome =
+      state.serviceInstance->wait(id);
+  if (outcome == nullptr) {
+    return;
+  }
+  std::string outputPath;
+  if (outcome->status.state == JobState::Done && outcome->result &&
+      !state.outputDir.empty()) {
+    outputPath =
+        state.outputDir + "/job-" + std::to_string(id) + ".nxl";
+    try {
+      saveReducedData(outputPath, outcome->result->signal,
+                      outcome->result->normalization,
+                      outcome->result->crossSection);
+    } catch (const std::exception& error) {
+      outputPath.clear();
+      VATES_LOG_WARN("failed to write job output: " << error.what());
+    }
+  }
+  JsonObject full;
+  full.field("event", jobStateName(outcome->status.state));
+  full.fieldRaw("status", statusJson(outcome->status).str());
+  if (!outputPath.empty()) {
+    full.field("output", outputPath);
+  }
+  state.journal->write(full.str());
+}
+
+std::string fieldOr(const std::map<std::string, std::string>& fields,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+void handleSubmit(ServeState& state,
+                  const std::map<std::string, std::string>& fields) {
+  const std::string planPath = fieldOr(fields, "plan", "");
+  const std::string tag = fieldOr(fields, "tag", "");
+  try {
+    if (planPath.empty()) {
+      throw InvalidArgument("submit requires a \"plan\" path");
+    }
+    JobRequest request;
+    request.plan = core::loadReductionPlan(planPath);
+    const std::string kind = fieldOr(fields, "kind", "plan");
+    if (kind == "live") {
+      request.kind = JobKind::Live;
+    } else if (kind != "plan") {
+      throw InvalidArgument("unknown job kind: " + kind);
+    }
+    request.priority = std::stoi(fieldOr(fields, "priority", "0"));
+    request.deadlineSeconds = std::stod(fieldOr(fields, "deadline_s", "0"));
+    request.tag = tag;
+
+    const SubmitReceipt receipt =
+        state.serviceInstance->submit(std::move(request));
+    if (receipt.accepted) {
+      state.journal->write(JsonObject()
+                               .field("event", "accepted")
+                               .field("id", receipt.id)
+                               .field("tag", tag)
+                               .str());
+      std::lock_guard<std::mutex> lock(state.waitersMutex);
+      state.waiters.emplace_back(
+          [&state, id = receipt.id] { watchJob(state, id); });
+    } else {
+      state.journal->write(JsonObject()
+                               .field("event", "rejected")
+                               .field("tag", tag)
+                               .field("reason", receipt.reason)
+                               .str());
+    }
+  } catch (const std::exception& error) {
+    state.journal->write(JsonObject()
+                             .field("event", "rejected")
+                             .field("tag", tag)
+                             .field("reason", std::string("invalid: ") +
+                                                  error.what())
+                             .str());
+  }
+}
+
+void handleLine(ServeState& state, const std::string& line) {
+  std::map<std::string, std::string> fields;
+  try {
+    fields = parseFlatObject(line);
+  } catch (const std::exception& error) {
+    state.journal->write(JsonObject()
+                             .field("event", "error")
+                             .field("detail", error.what())
+                             .str());
+    return;
+  }
+  const std::string op = fieldOr(fields, "op", "");
+  try {
+    if (op == "submit") {
+      handleSubmit(state, fields);
+    } else if (op == "status") {
+      const auto id =
+          static_cast<std::uint64_t>(std::stoull(fieldOr(fields, "id", "0")));
+      const auto status = state.serviceInstance->status(id);
+      if (status) {
+        JsonObject event;
+        event.field("event", "status");
+        event.fieldRaw("status", statusJson(*status).str());
+        state.journal->write(event.str());
+      } else {
+        state.journal->write(JsonObject()
+                                 .field("event", "error")
+                                 .field("detail", "unknown job id " +
+                                                      std::to_string(id))
+                                 .str());
+      }
+    } else if (op == "cancel") {
+      const auto id =
+          static_cast<std::uint64_t>(std::stoull(fieldOr(fields, "id", "0")));
+      const bool requested = state.serviceInstance->cancel(id);
+      state.journal->write(JsonObject()
+                               .field("event", "cancel")
+                               .field("id", id)
+                               .field("requested", requested)
+                               .str());
+    } else if (op == "metrics") {
+      JsonObject event;
+      event.field("event", "metrics");
+      event.fieldRaw("metrics", state.serviceInstance->metrics().toJson());
+      state.journal->write(event.str());
+    } else if (op == "shutdown") {
+      state.stopDrain = fieldOr(fields, "drain", "true") != "false";
+      state.stop.store(true);
+    } else {
+      state.journal->write(JsonObject()
+                               .field("event", "error")
+                               .field("detail", "unknown op: " + op)
+                               .str());
+    }
+  } catch (const std::exception& error) {
+    state.journal->write(JsonObject()
+                             .field("event", "error")
+                             .field("detail", error.what())
+                             .str());
+  }
+}
+
+bool isFifo(const std::string& path) {
+  struct stat info {};
+  return ::stat(path.c_str(), &info) == 0 && S_ISFIFO(info.st_mode);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("vates_serve",
+                 "Reduction-service daemon: NDJSON requests in, journal "
+                 "events out");
+  args.addOption("input", "Request source: '-' for stdin, or a FIFO/file path",
+                 "-");
+  args.addOption("journal", "Journal file events are appended to",
+                 "vates_serve.journal");
+  args.addOption("output-dir",
+                 "Directory for done jobs' histograms (empty: don't write)",
+                 "");
+  args.addOption("workers", "Worker pool size (0: VATES_SERVICE_WORKERS or 2)",
+                 "0");
+  args.addOption("queue", "Queue capacity (0: VATES_SERVICE_QUEUE or 16)",
+                 "0");
+  args.addOption("batch", "Max shared-grid batch (0: VATES_SERVICE_BATCH or 8)",
+                 "0");
+  args.addFlag("no-batching", "Disable shared-grid batching");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+
+    ServiceOptions options = ServiceOptions::fromEnv();
+    if (args.getInt("workers") > 0) {
+      options.workers = static_cast<std::size_t>(args.getInt("workers"));
+    }
+    if (args.getInt("queue") > 0) {
+      options.queueCapacity = static_cast<std::size_t>(args.getInt("queue"));
+    }
+    if (args.getInt("batch") > 0) {
+      options.maxBatch = static_cast<std::size_t>(args.getInt("batch"));
+    }
+    if (args.getFlag("no-batching")) {
+      options.batching = false;
+    }
+
+    ReductionService serviceInstance(options);
+    Journal journal(args.getString("journal"));
+    ServeState state;
+    state.serviceInstance = &serviceInstance;
+    state.journal = &journal;
+    state.outputDir = args.getString("output-dir");
+
+    journal.write(JsonObject()
+                      .field("event", "serving")
+                      .field("workers", std::uint64_t{options.workers})
+                      .field("queue", std::uint64_t{options.queueCapacity})
+                      .field("batch", std::uint64_t{options.maxBatch})
+                      .field("batching", options.batching)
+                      .str());
+
+    const std::string inputPath = args.getString("input");
+    const bool fromStdin = inputPath == "-";
+    // A FIFO sees EOF whenever its last writer closes; the daemon
+    // reopens and keeps serving.  Regular files and stdin serve once.
+    const bool reopenOnEof = !fromStdin && isFifo(inputPath);
+    while (!state.stop.load()) {
+      std::ifstream fileInput;
+      if (!fromStdin) {
+        fileInput.open(inputPath);
+        if (!fileInput) {
+          throw IOError("cannot open input: " + inputPath);
+        }
+      }
+      std::istream& in = fromStdin ? std::cin : fileInput;
+      std::string line;
+      while (!state.stop.load() && std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) {
+          continue;
+        }
+        handleLine(state, line);
+      }
+      if (!reopenOnEof) {
+        break;
+      }
+    }
+
+    serviceInstance.shutdown(state.stopDrain);
+    {
+      std::lock_guard<std::mutex> lock(state.waitersMutex);
+      for (std::thread& waiter : state.waiters) {
+        if (waiter.joinable()) {
+          waiter.join();
+        }
+      }
+    }
+    journal.write(JsonObject().field("event", "stopped").str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "vates_serve: " << error.what() << '\n';
+    return 1;
+  }
+}

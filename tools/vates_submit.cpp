@@ -1,0 +1,173 @@
+/// vates_submit — submit one reduction plan to a running vates_serve
+/// daemon and wait for the result.
+///
+/// Appends a submit request to the daemon's input FIFO, then tails the
+/// journal for this submission's events: the "accepted"/"rejected"
+/// acknowledgement (matched by a unique tag), then the job's terminal
+/// event (matched by id).  Exit code 0 iff the job completed Done.
+
+#include "vates/service/wire.hpp"
+#include "vates/support/cli.hpp"
+#include "vates/support/error.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace {
+
+using namespace vates;
+using namespace vates::service;
+
+std::string fieldOr(const std::map<std::string, std::string>& fields,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+/// Tail \p path from the current position: deliver each complete new
+/// line to \p onLine until it returns true (done) or the deadline
+/// passes (returns false).
+template <typename OnLine>
+bool tailUntil(std::ifstream& journal, double timeoutSeconds, OnLine onLine) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeoutSeconds);
+  std::string line;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (std::getline(journal, line)) {
+      if (!line.empty() && onLine(line)) {
+        return true;
+      }
+      continue;
+    }
+    // EOF for now — clear the state and poll for appended lines.
+    journal.clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("vates_submit",
+                 "Submit a reduction plan to a vates_serve daemon and wait");
+  args.addOption("plan", "Reduction plan INI file to submit", "plan.ini");
+  args.addOption("input", "The daemon's request FIFO/file", "vates_serve.in");
+  args.addOption("journal", "The daemon's journal file",
+                 "vates_serve.journal");
+  args.addOption("kind", "Job kind: plan or live", "plan");
+  args.addOption("priority", "Scheduling priority (higher runs first)", "0");
+  args.addOption("deadline", "Start-by deadline in seconds (0: none)", "0");
+  args.addOption("tag", "Correlation tag (default: generated)", "");
+  args.addOption("timeout", "Seconds to wait for the result", "600");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+
+    std::string tag = args.getString("tag");
+    if (tag.empty()) {
+      const auto ticks = std::chrono::steady_clock::now().time_since_epoch();
+      tag = "submit-" + std::to_string(::getpid()) + "-" +
+            std::to_string(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               ticks)
+                               .count());
+    }
+
+    // Open the journal *before* submitting and seek to its end, so only
+    // events newer than this submission are considered.
+    std::ifstream journal(args.getString("journal"));
+    if (!journal) {
+      throw IOError("cannot open journal: " + args.getString("journal"));
+    }
+    journal.seekg(0, std::ios::end);
+
+    {
+      std::ofstream request(args.getString("input"), std::ios::app);
+      if (!request) {
+        throw IOError("cannot open daemon input: " + args.getString("input"));
+      }
+      request << JsonObject()
+                     .field("op", "submit")
+                     .field("plan", args.getString("plan"))
+                     .field("kind", args.getString("kind"))
+                     .field("priority", std::int64_t{args.getInt("priority")})
+                     .field("deadline_s", args.getDouble("deadline"))
+                     .field("tag", tag)
+                     .str()
+              << '\n';
+      request.flush();
+    }
+
+    const double timeout = args.getDouble("timeout");
+    std::uint64_t id = 0;
+    bool accepted = false;
+    std::string rejection;
+    if (!tailUntil(journal, timeout, [&](const std::string& line) {
+          std::map<std::string, std::string> fields;
+          try {
+            fields = parseFlatObject(line);
+          } catch (const std::exception&) {
+            return false; // not a flat event line (nested status) — skip
+          }
+          if (fieldOr(fields, "tag", "") != tag) {
+            return false;
+          }
+          const std::string event = fieldOr(fields, "event", "");
+          if (event == "accepted") {
+            accepted = true;
+            id = std::stoull(fieldOr(fields, "id", "0"));
+            return true;
+          }
+          if (event == "rejected") {
+            rejection = fieldOr(fields, "reason", "unspecified");
+            return true;
+          }
+          return false;
+        })) {
+      std::cerr << "vates_submit: no acknowledgement within "
+                << timeout << "s (is vates_serve running?)\n";
+      return 1;
+    }
+    if (!accepted) {
+      std::cerr << "vates_submit: rejected: " << rejection << '\n';
+      return 2;
+    }
+    std::cout << "accepted as job " << id << " (tag " << tag << ")\n";
+
+    // Terminal events embed the status as a nested object, which the
+    // flat parser rejects — match them textually by id, then report.
+    const std::string idField = "\"id\":" + std::to_string(id) + ",";
+    std::string terminalLine;
+    if (!tailUntil(journal, timeout, [&](const std::string& line) {
+          if (line.find(idField) == std::string::npos) {
+            return false;
+          }
+          for (const char* event :
+               {"\"event\":\"done\"", "\"event\":\"failed\"",
+                "\"event\":\"cancelled\"", "\"event\":\"expired\""}) {
+            if (line.find(event) != std::string::npos) {
+              terminalLine = line;
+              return true;
+            }
+          }
+          return false;
+        })) {
+      std::cerr << "vates_submit: job " << id << " did not finish within "
+                << timeout << "s\n";
+      return 1;
+    }
+    std::cout << terminalLine << '\n';
+    return terminalLine.find("\"event\":\"done\"") != std::string::npos ? 0
+                                                                        : 3;
+  } catch (const std::exception& error) {
+    std::cerr << "vates_submit: " << error.what() << '\n';
+    return 1;
+  }
+}
