@@ -15,20 +15,29 @@
 //  2. Traversal ablation on the real MDNorm kernel:
 //     Legacy (generate → struct sort → locate) vs SortedKeys (generate
 //     → key sort → locate) vs Dda (streaming grid walk, no sort at
-//     all), swept over backend × grid size at a Table-4-like Benzil
-//     CORELLI configuration.  Registered as
-//     BM_MDNorm_Traversal/<traversal>/<backend>/<bins>; each row
-//     reports a `mdnorm_s` counter (mean kernel seconds, timed around
-//     runMDNorm alone).  bench/run_perf_smoke.sh aggregates the JSON
-//     output into BENCH_mdnorm.json at the repo root.
+//     all), swept over backend × grid size × simd mode at a
+//     Table-4-like Benzil CORELLI configuration.  Registered as
+//     BM_MDNorm_Traversal/<traversal>/<backend>/<simd>/<bins> (simd ∈
+//     {scalar, simd}; the vector row is registered for dda only, the
+//     sole traversal that consults MDNormOptions::simd).  Each row
+//     reports `mdnorm_s` (mean kernel seconds, timed around runMDNorm
+//     alone), `events_per_s` (deposit segments per second), and
+//     `roofline_pct` (achieved bytes/s over the STREAM-triad bandwidth
+//     measured by bench_common.hpp).  bench/run_perf_smoke.sh
+//     aggregates the JSON output into BENCH_mdnorm.json at the repo
+//     root.
+
+#include "bench_common.hpp"
 
 #include "vates/events/experiment_setup.hpp"
 #include "vates/kernels/comb_sort.hpp"
 #include "vates/kernels/intersections.hpp"
 #include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/trajectory_walk.hpp"
 #include "vates/kernels/transforms.hpp"
 #include "vates/parallel/executor.hpp"
 #include "vates/support/rng.hpp"
+#include "vates/support/simd.hpp"
 #include "vates/support/timer.hpp"
 
 #include <benchmark/benchmark.h>
@@ -38,6 +47,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -186,12 +196,34 @@ struct TraversalFixture {
     return in;
   }
 
+  /// Deposit-segment count of one kernel invocation (every op ×
+  /// detector trajectory walked once) — the "event" of the events/s
+  /// counter.  Counted once per fixture with the scalar walk; the
+  /// parity contract makes it identical for every traversal and simd
+  /// variant.
+  std::size_t totalSegments() {
+    if (segments == 0) {
+      const GridView grid = histogram.gridView();
+      const std::span<const V3> directions =
+          setup.instrument().qLabDirections();
+      for (const M33& op : transforms) {
+        for (const V3& direction : directions) {
+          segments += traverseTrajectory(grid, op * direction, run.kMin,
+                                         run.kMax,
+                                         [](double, double, std::size_t) {});
+        }
+      }
+    }
+    return segments;
+  }
+
   WorkloadSpec spec;
   ExperimentSetup setup;
   EventGenerator generator;
   RunInfo run;
   std::vector<M33> transforms;
   Histogram3D histogram;
+  std::size_t segments = 0;
 };
 
 TraversalFixture& traversalFixture(const std::array<std::size_t, 3>& bins) {
@@ -205,6 +237,14 @@ TraversalFixture& traversalFixture(const std::array<std::size_t, 3>& bins) {
   return *slot;
 }
 
+/// Roofline model: one segment's irreducible memory traffic.  Two
+/// flux-table interpolations (each reads a pair of adjacent entries —
+/// 16 B of distinct doubles), plus the normalization bin's
+/// read-modify-write (8 B in + 8 B out): ~48 bytes per segment.
+/// Achieved bytes/s over the measured STREAM-triad bandwidth is the
+/// `roofline_pct` counter.
+constexpr double kBytesPerSegment = 48.0;
+
 void BM_MDNorm_Traversal(benchmark::State& state) {
   const auto traversal = static_cast<Traversal>(state.range(0));
   const auto backend = static_cast<Backend>(state.range(1));
@@ -212,6 +252,7 @@ void BM_MDNorm_Traversal(benchmark::State& state) {
       static_cast<std::size_t>(state.range(2)),
       static_cast<std::size_t>(state.range(3)),
       static_cast<std::size_t>(state.range(4))};
+  const bool simdOn = state.range(5) != 0;
   if (!backendAvailable(backend)) {
     state.SkipWithError("backend not available in this build");
     return;
@@ -220,6 +261,7 @@ void BM_MDNorm_Traversal(benchmark::State& state) {
   const Executor executor(backend);
   MDNormOptions options;
   options.traversal = traversal;
+  options.simd = simdOn ? SimdMode::On : SimdMode::Off;
   const MDNormInputs inputs = f.inputs();
   double kernelSeconds = 0.0;
   for (auto _ : state) {
@@ -229,8 +271,19 @@ void BM_MDNorm_Traversal(benchmark::State& state) {
     kernelSeconds += timer.seconds();
     benchmark::DoNotOptimize(f.histogram.data().data());
   }
-  state.counters["mdnorm_s"] =
+  const double meanSeconds =
       kernelSeconds / static_cast<double>(state.iterations());
+  state.counters["mdnorm_s"] = meanSeconds;
+  if (meanSeconds > 0.0) {
+    const double rate =
+        static_cast<double>(f.totalSegments()) / meanSeconds;
+    state.counters["events_per_s"] = rate;
+    const double triad = vates::bench::streamTriadBandwidth();
+    if (triad > 0.0) {
+      state.counters["roofline_pct"] =
+          100.0 * rate * kBytesPerSegment / triad;
+    }
+  }
 }
 
 void registerTraversalSweep() {
@@ -254,20 +307,40 @@ void registerTraversalSweep() {
     for (const Backend backend : backends) {
       for (const Traversal traversal :
            {Traversal::Legacy, Traversal::SortedKeys, Traversal::Dda}) {
-        const std::string name = std::string("BM_MDNorm_Traversal/") +
-                                 traversalName(traversal) + "/" +
-                                 backendName(backend) + "/" + grid.label;
-        benchmark::RegisterBenchmark(name.c_str(), BM_MDNorm_Traversal)
-            ->Args({static_cast<long>(traversal), static_cast<long>(backend),
-                    static_cast<long>(grid.bins[0]),
-                    static_cast<long>(grid.bins[1]),
-                    static_cast<long>(grid.bins[2])})
-            ->Unit(benchmark::kMillisecond)
-            ->UseRealTime();
+        // The simd axis is an MDNorm option only the Dda traversal
+        // consults; registering a vector row for legacy/sorted-keys
+        // would just duplicate their scalar row.
+        const int simdVariants = traversal == Traversal::Dda ? 2 : 1;
+        for (int simdOn = 0; simdOn < simdVariants; ++simdOn) {
+          const std::string name = std::string("BM_MDNorm_Traversal/") +
+                                   traversalName(traversal) + "/" +
+                                   backendName(backend) + "/" +
+                                   (simdOn != 0 ? "simd" : "scalar") + "/" +
+                                   grid.label;
+          benchmark::RegisterBenchmark(name.c_str(), BM_MDNorm_Traversal)
+              ->Args({static_cast<long>(traversal), static_cast<long>(backend),
+                      static_cast<long>(grid.bins[0]),
+                      static_cast<long>(grid.bins[1]),
+                      static_cast<long>(grid.bins[2]),
+                      static_cast<long>(simdOn)})
+              ->Unit(benchmark::kMillisecond)
+              ->UseRealTime();
+        }
       }
     }
   }
 }
+
+/// The roofline denominator as a benchmark row, so the raw JSON carries
+/// it next to the kernel rows.  The probe measures once (static cache);
+/// the loop only reads the cached value back.
+void BM_StreamTriad(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vates::bench::streamTriadBandwidth());
+  }
+  state.counters["triad_bytes_per_s"] = vates::bench::streamTriadBandwidth();
+}
+BENCHMARK(BM_StreamTriad);
 
 } // namespace
 
@@ -277,6 +350,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
+  benchmark::AddCustomContext("simd_isa", vates::simd::isaName());
+  benchmark::AddCustomContext("simd_width",
+                              std::to_string(vates::simd::kWidth));
+  benchmark::AddCustomContext(
+      "triad_bytes_per_s",
+      std::to_string(vates::bench::streamTriadBandwidth()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -15,11 +15,49 @@
 #include "vates/core/pipeline.hpp"
 #include "vates/core/report.hpp"
 #include "vates/support/cli.hpp"
+#include "vates/support/timer.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 namespace vates::bench {
+
+/// Sustainable memory bandwidth of this machine in bytes/s, measured
+/// with a STREAM-style triad a[i] = b[i] + s·c[i] over three 32 MiB
+/// arrays (far beyond LLC, so the loop streams from DRAM).  Uses
+/// STREAM's 24 B/element accounting — two loads plus one store,
+/// write-allocate traffic not counted — and reports the best of several
+/// passes (the first passes double as page-fault warm-up).  Measured
+/// once and cached: this is the denominator the kernel benches use to
+/// report "% of roofline", so every row must divide by the same number.
+inline double streamTriadBandwidth() {
+  static const double cached = [] {
+    constexpr std::size_t n = std::size_t{1} << 22; // 32 MiB per array
+    std::vector<double> a(n, 0.0);
+    std::vector<double> b(n, 1.0);
+    std::vector<double> c(n, 2.0);
+    const double s = 3.0;
+    volatile double sink = 0.0;
+    double best = 0.0;
+    for (int rep = 0; rep < 7; ++rep) {
+      const WallTimer timer;
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = b[i] + s * c[i];
+      }
+      const double seconds = timer.seconds();
+      sink = a[static_cast<std::size_t>(rep)]; // keep the stores alive
+      if (seconds > 0.0) {
+        const double rate = static_cast<double>(n) * 24.0 / seconds;
+        best = rate > best ? rate : best;
+      }
+    }
+    (void)sink;
+    return best;
+  }();
+  return cached;
+}
 
 struct PaperColumn {
   const char* header;

@@ -78,44 +78,75 @@ raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
 
-# Rows are named BM_MDNorm_Traversal/<traversal>/<backend>/<bins>[/...].
+# Rows are named
+# BM_MDNorm_Traversal/<traversal>/<backend>/<simd>/<bins>[/...]
+# with simd in {scalar, simd} (the vector row exists for dda only).
+# Per backend, a row lands under "<traversal>[_simd]" prefixed keys:
+# seconds, events/s, and % of the STREAM-triad roofline.
 backends = {}
 for row in raw.get("benchmarks", []):
     if row.get("run_type") == "aggregate" or "error_occurred" in row:
         continue
     parts = row["name"].split("/")
-    if len(parts) < 4 or parts[0] != "BM_MDNorm_Traversal":
+    if len(parts) < 5 or parts[0] != "BM_MDNorm_Traversal":
         continue
-    traversal, backend = parts[1], parts[2]
+    traversal, backend, simd = parts[1], parts[2], parts[3]
     seconds = row.get("mdnorm_s")
     if seconds is None:
         continue
-    backends.setdefault(backend, {})[traversal.replace("-", "_") + "_s"] = seconds
+    key = traversal.replace("-", "_") + ("_simd" if simd == "simd" else "")
+    entry = backends.setdefault(backend, {})
+    entry[key + "_s"] = seconds
+    if row.get("events_per_s") is not None:
+        entry[key + "_events_per_s"] = row["events_per_s"]
+    if row.get("roofline_pct") is not None:
+        entry[key + "_roofline_pct"] = row["roofline_pct"]
 
 for name, entry in backends.items():
     legacy = entry.get("legacy_s")
     keys = entry.get("sorted_keys_s")
     dda = entry.get("dda_s")
+    dda_simd = entry.get("dda_simd_s")
     if legacy and dda:
         entry["speedup_dda_vs_legacy"] = legacy / dda
     if keys and dda:
         entry["speedup_dda_vs_sorted_keys"] = keys / dda
+    if dda and dda_simd:
+        entry["speedup_simd_vs_scalar_dda"] = dda / dda_simd
+
+context = raw.get("context", {})
+simd_info = {}
+if "simd_isa" in context:
+    simd_info["isa"] = context["simd_isa"]
+if "simd_width" in context:
+    simd_info["width"] = int(context["simd_width"])
+if "triad_bytes_per_s" in context:
+    simd_info["triad_bytes_per_s"] = float(context["triad_bytes_per_s"])
 
 result = {
     "benchmark": "mdnorm_traversal_ablation",
     "config": "benzil-corelli scale=0.002 bins=603x603x1",
-    "metric": "mean MDNorm kernel seconds per invocation (mdnorm_s counter)",
+    "metric": "mean MDNorm kernel seconds per invocation (mdnorm_s counter); "
+              "events_per_s = deposit segments/s; roofline_pct = achieved "
+              "bytes/s (48 B/segment model) over STREAM-triad bandwidth",
+    "simd": simd_info,
     "backends": backends,
 }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {out_path}")
+if simd_info:
+    print("  simd: isa={isa} width={width}".format(
+        isa=simd_info.get("isa", "?"), width=simd_info.get("width", "?")))
 for name in sorted(backends):
     entry = backends[name]
     speedup = entry.get("speedup_dda_vs_legacy")
     if speedup is not None:
         print(f"  {name}: dda vs legacy speedup = {speedup:.2f}x")
+    simd_speedup = entry.get("speedup_simd_vs_scalar_dda")
+    if simd_speedup is not None:
+        print(f"  {name}: simd vs scalar dda speedup = {simd_speedup:.2f}x")
 PY
 
 if [[ "${only}" == "all" ]]; then

@@ -47,6 +47,17 @@ ReductionPipeline::ReductionPipeline(const ExperimentSetup& setup,
                                           << "\" ignored: " << error.what());
     }
   }
+  // And for the kernels' SIMD batch paths (auto / off / on) — one knob
+  // covers both MDNorm and BinMD, mirroring how the INI `simd` key and
+  // ReductionConfig carry a single mode for the whole reduction.
+  if (const char* env = std::getenv("VATES_SIMD")) {
+    try {
+      config_.mdnorm.simd = parseSimdMode(env);
+    } catch (const Error& error) {
+      VATES_LOG_WARN("VATES_SIMD=\"" << env
+                                     << "\" ignored: " << error.what());
+    }
+  }
 }
 
 ReductionPipeline::RunSource ReductionPipeline::convertingSource(
@@ -513,10 +524,10 @@ struct ReductionPipeline::RankContext {
       ScopedStage stage(times, "BinMD");
       if (trackErrors) {
         runBinMD(executor, staged.binInputs, signalGrid, errorGrid,
-                 config.binmdAccumulate);
+                 config.binmdAccumulate, config.mdnorm.simd);
       } else {
         runBinMD(executor, staged.binInputs, signalGrid,
-                 config.binmdAccumulate);
+                 config.binmdAccumulate, config.mdnorm.simd);
       }
     }
   }
@@ -543,10 +554,10 @@ struct ReductionPipeline::RankContext {
             ScopedSharedStage stage(shared, "BinMD");
             if (trackErrors) {
               runBinMD(*siblingExecutor, staged.binInputs, signalGrid,
-                       errorGrid, config.binmdAccumulate);
+                       errorGrid, config.binmdAccumulate, config.mdnorm.simd);
             } else {
               runBinMD(*siblingExecutor, staged.binInputs, signalGrid,
-                       config.binmdAccumulate);
+                       config.binmdAccumulate, config.mdnorm.simd);
             }
           }}});
   }

@@ -58,7 +58,7 @@ const std::set<std::string>& reductionKeys() {
   static const std::set<std::string> keys = {
       "backend",   "ranks",        "load_mode", "plane_search",
       "sort",      "track_errors", "lorentz",   "filter_band",
-      "prepass",   "traversal",
+      "prepass",   "traversal",    "simd",
   };
   return keys;
 }
@@ -216,6 +216,9 @@ ReductionPlan planFromIni(const IniFile& ini) {
   if (ini.has("reduction", "traversal")) {
     c.mdnorm.traversal = parseTraversal(ini.getString("reduction", "traversal"));
   }
+  if (ini.has("reduction", "simd")) {
+    c.mdnorm.simd = parseSimdMode(ini.getString("reduction", "simd"));
+  }
   c.trackErrors = ini.getBool("reduction", "track_errors", c.trackErrors);
   c.convert.lorentzCorrection =
       ini.getBool("reduction", "lorentz", c.convert.lorentzCorrection);
@@ -272,6 +275,7 @@ IniFile planToIni(const ReductionPlan& plan) {
   ini.set("reduction", "plane_search",
           c.mdnorm.search == PlaneSearch::Roi ? "roi" : "linear");
   ini.set("reduction", "traversal", traversalName(c.mdnorm.traversal));
+  ini.set("reduction", "simd", simdModeName(c.mdnorm.simd));
   ini.set("reduction", "track_errors", c.trackErrors ? "true" : "false");
   ini.set("reduction", "lorentz",
           c.convert.lorentzCorrection ? "true" : "false");

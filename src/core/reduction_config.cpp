@@ -42,12 +42,12 @@ ReductionConfig ReductionConfig::fromPreset(const HardwarePreset& preset,
 
 std::string ReductionConfig::summary() const {
   return strfmt(
-      "backend=%s ranks=%d load=%s search=%s traversal=%s prepass=%s "
-      "overlap=%s",
+      "backend=%s ranks=%d load=%s search=%s traversal=%s simd=%s "
+      "prepass=%s overlap=%s",
       backendName(backend), ranks,
       loadMode == LoadMode::RawTof ? "raw-tof" : "q-sample",
       mdnorm.search == PlaneSearch::Roi ? "roi" : "linear",
-      traversalName(mdnorm.traversal),
+      traversalName(mdnorm.traversal), simdModeName(mdnorm.simd),
       deviceIntersectionPrePass ? "on" : "off", overlapModeName(overlap.mode));
 }
 

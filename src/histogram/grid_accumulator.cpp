@@ -115,6 +115,8 @@ std::size_t GridAccumulator::privateBytes() const noexcept {
 AccumulatorRef GridAccumulator::ref() const noexcept {
   AccumulatorRef handle;
   handle.strategy_ = strategy_;
+  handle.soleWriter_ =
+      strategy_ == AccumulateStrategy::Atomic && workers_ <= 1;
   handle.grid_ = grid_.data;
   handle.replicas_ =
       replicas_.empty() ? nullptr

@@ -152,6 +152,14 @@ public:
   void add(unsigned worker, std::size_t bin, double value) const noexcept {
     switch (strategy_) {
     case AccumulateStrategy::Atomic:
+      // Single-worker launches (Serial, or a pool/OpenMP run pinned to
+      // one thread) have no concurrent writers, so the CAS loop inside
+      // atomicAdd only burns its round trip: a plain add performs the
+      // identical IEEE addition in the identical order, bitwise.
+      if (soleWriter_) {
+        grid_[bin] += value;
+        return;
+      }
       atomicAdd(&grid_[bin], value);
       return;
     case AccumulateStrategy::Privatized:
@@ -165,13 +173,81 @@ public:
     }
   }
 
+  /// Accumulate \p count (bin, value) pairs in order — semantically a
+  /// loop of add() calls (so the result is bitwise identical to making
+  /// them one by one), but with the strategy dispatch hoisted out of
+  /// the loop.  This is the flush edge of the cache-blocked deposit
+  /// tiles (DepositBlock below): the SIMD kernel paths stage a block's
+  /// deposits in L1 and drain them here in one tight per-strategy loop.
+  void addBlock(unsigned worker, const std::size_t* bins,
+                const double* values, std::size_t count) const noexcept {
+    switch (strategy_) {
+    case AccumulateStrategy::Atomic:
+      if (soleWriter_) { // see add(): no concurrency, plain adds
+        for (std::size_t i = 0; i < count; ++i) {
+          grid_[bins[i]] += values[i];
+        }
+        return;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        atomicAdd(&grid_[bins[i]], values[i]);
+      }
+      return;
+    case AccumulateStrategy::Privatized: {
+      double* replica = replicas_ + worker * stride_;
+      for (std::size_t i = 0; i < count; ++i) {
+        replica[bins[i]] += values[i];
+      }
+      return;
+    }
+    case AccumulateStrategy::Tiled: {
+      detail::TileSlot& slot = tiles_[worker];
+      for (std::size_t i = 0; i < count; ++i) {
+        detail::tileAdd(slot, grid_, bins[i], values[i]);
+      }
+      return;
+    }
+    case AccumulateStrategy::Auto: // resolved at construction; unreachable
+      return;
+    }
+  }
+
 private:
   friend class GridAccumulator;
   AccumulateStrategy strategy_ = AccumulateStrategy::Atomic;
+  bool soleWriter_ = false; ///< Atomic with one worker: plain adds suffice
   double* grid_ = nullptr;
   double* replicas_ = nullptr;         ///< Privatized: workers × stride_
   std::size_t stride_ = 0;             ///< replica pitch == grid size
   detail::TileSlot* tiles_ = nullptr;  ///< Tiled: one slot per worker
+};
+
+/// Cache-blocked deposit staging (the P2P blocking idiom): a work item
+/// pushes its (bin, value) deposits into this fixed 4 KiB tile — two
+/// L1-resident arrays — and flushes a full block through
+/// AccumulatorRef::addBlock, amortizing the strategy dispatch over
+/// kCapacity deposits while the tile's stores stay in cache.  Deposits
+/// drain strictly in push order, so staging never changes results: the
+/// committed histogram is bitwise what per-deposit add() calls produce.
+/// Stack-allocate one per work item; call flush() before returning.
+struct DepositBlock {
+  static constexpr std::size_t kCapacity = 256;
+  std::size_t bins[kCapacity];
+  double values[kCapacity];
+  std::size_t count = 0;
+
+  bool full() const noexcept { return count == kCapacity; }
+
+  void push(std::size_t bin, double value) noexcept {
+    bins[count] = bin;
+    values[count] = value;
+    ++count;
+  }
+
+  void flush(const AccumulatorRef& sink, unsigned worker) noexcept {
+    sink.addBlock(worker, bins, values, count);
+    count = 0;
+  }
 };
 
 /// Owns the worker-private accumulation state for one grid over one

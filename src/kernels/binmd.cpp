@@ -1,12 +1,58 @@
 #include "vates/kernels/binmd.hpp"
 
 #include "vates/histogram/grid_accumulator.hpp"
+#include "vates/kernels/simd_batch.hpp"
 #include "vates/support/error.hpp"
+
+#include <bit>
 
 namespace vates {
 
+namespace {
+
+/// Events per work item on the vector path.  One block's SoA columns
+/// (3 × 256 × 8 B coordinates + signal) plus its DepositBlock stay
+/// L1-resident while the (op, block) item runs; the launch becomes
+/// nOps × nBlocks, preserving the scalar launch's op-major /
+/// event-ascending global order on Backend::Serial.
+constexpr std::size_t kEventBlock = 256;
+
+/// Run events [begin, end) of one symmetry op through the vector
+/// locate — full registers through the lanes, the scalar expressions
+/// for the tail (bitwise the same result; simd_batch.hpp) — calling
+/// depositAt(event, bin) for every event that lands inside the grid,
+/// in ascending event order (low set bits drain first).
+template <typename DepositFn>
+inline void binEventBlock(const simd::BinLocateBatch& locate,
+                          const GridView& grid, const M33& transform,
+                          const double* qx, const double* qy,
+                          const double* qz, std::size_t begin,
+                          std::size_t end, DepositFn&& depositAt) {
+  std::size_t event = begin;
+  std::size_t bins[simd::kWidth];
+  for (; event + simd::kWidth <= end; event += simd::kWidth) {
+    unsigned valid = locate.locate(qx + event, qy + event, qz + event, bins);
+    while (valid != 0u) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(valid));
+      valid &= valid - 1u;
+      depositAt(event + lane, bins[lane]);
+    }
+  }
+  for (; event < end; ++event) {
+    const V3 q{qx[event], qy[event], qz[event]};
+    const V3 p = transform * q;
+    const std::size_t bin = grid.locate(p);
+    if (bin < grid.size()) {
+      depositAt(event, bin);
+    }
+  }
+}
+
+} // namespace
+
 void runBinMD(const Executor& executor, const BinMDInputs& inputs,
-              const GridView& histogram, const AccumulateOptions& accumulate) {
+              const GridView& histogram, const AccumulateOptions& accumulate,
+              SimdMode simd) {
   VATES_REQUIRE(histogram.data != nullptr, "histogram view has no data");
   if (inputs.nEvents == 0 || inputs.transforms.empty()) {
     return;
@@ -17,6 +63,7 @@ void runBinMD(const Executor& executor, const BinMDInputs& inputs,
 
   const M33* transforms = inputs.transforms.data();
   const std::size_t nOps = inputs.transforms.size();
+  const std::size_t nEvents = inputs.nEvents;
   const double* qx = inputs.qx;
   const double* qy = inputs.qy;
   const double* qz = inputs.qz;
@@ -26,8 +73,32 @@ void runBinMD(const Executor& executor, const BinMDInputs& inputs,
   GridAccumulator accumulator(histogram, executor, accumulate);
   const AccumulatorRef sink = accumulator.ref();
 
+  if (simdUseVector(simd, executor.backend())) {
+    const std::size_t nBlocks = (nEvents + kEventBlock - 1) / kEventBlock;
+    executor.parallelFor2DIndexed(
+        nOps, nBlocks,
+        [=](std::size_t op, std::size_t block, unsigned worker) {
+          const std::size_t begin = block * kEventBlock;
+          const std::size_t end =
+              begin + kEventBlock < nEvents ? begin + kEventBlock : nEvents;
+          const simd::BinLocateBatch locate(grid, transforms[op]);
+          DepositBlock staged;
+          binEventBlock(locate, grid, transforms[op], qx, qy, qz, begin, end,
+                        [&](std::size_t event, std::size_t bin) {
+                          if (staged.full()) {
+                            staged.flush(sink, worker);
+                          }
+                          staged.push(bin, signal[event]);
+                        });
+          staged.flush(sink, worker);
+        },
+        "binmd");
+    accumulator.commit();
+    return;
+  }
+
   executor.parallelFor2DIndexed(
-      nOps, inputs.nEvents,
+      nOps, nEvents,
       [=](std::size_t op, std::size_t event, unsigned worker) {
         const V3 q{qx[event], qy[event], qz[event]};
         const V3 p = transforms[op] * q;
@@ -43,7 +114,7 @@ void runBinMD(const Executor& executor, const BinMDInputs& inputs,
 
 void runBinMD(const Executor& executor, const BinMDInputs& inputs,
               const GridView& histogram, const GridView& errorSqHistogram,
-              const AccumulateOptions& accumulate) {
+              const AccumulateOptions& accumulate, SimdMode simd) {
   VATES_REQUIRE(histogram.data != nullptr, "histogram view has no data");
   VATES_REQUIRE(errorSqHistogram.data != nullptr,
                 "error histogram view has no data");
@@ -59,6 +130,7 @@ void runBinMD(const Executor& executor, const BinMDInputs& inputs,
 
   const M33* transforms = inputs.transforms.data();
   const std::size_t nOps = inputs.transforms.size();
+  const std::size_t nEvents = inputs.nEvents;
   const double* qx = inputs.qx;
   const double* qy = inputs.qy;
   const double* qz = inputs.qz;
@@ -76,8 +148,37 @@ void runBinMD(const Executor& executor, const BinMDInputs& inputs,
   const AccumulatorRef signalSink = signalAccumulator.ref();
   const AccumulatorRef errorSink = errorAccumulator.ref();
 
+  if (simdUseVector(simd, executor.backend())) {
+    const std::size_t nBlocks = (nEvents + kEventBlock - 1) / kEventBlock;
+    executor.parallelFor2DIndexed(
+        nOps, nBlocks,
+        [=](std::size_t op, std::size_t block, unsigned worker) {
+          const std::size_t begin = block * kEventBlock;
+          const std::size_t end =
+              begin + kEventBlock < nEvents ? begin + kEventBlock : nEvents;
+          const simd::BinLocateBatch locate(grid, transforms[op]);
+          DepositBlock stagedSignal;
+          DepositBlock stagedError;
+          binEventBlock(locate, grid, transforms[op], qx, qy, qz, begin, end,
+                        [&](std::size_t event, std::size_t bin) {
+                          if (stagedSignal.full()) {
+                            stagedSignal.flush(signalSink, worker);
+                            stagedError.flush(errorSink, worker);
+                          }
+                          stagedSignal.push(bin, signal[event]);
+                          stagedError.push(bin, errorSq[event]);
+                        });
+          stagedSignal.flush(signalSink, worker);
+          stagedError.flush(errorSink, worker);
+        },
+        "binmd_with_errors");
+    signalAccumulator.commit();
+    errorAccumulator.commit();
+    return;
+  }
+
   executor.parallelFor2DIndexed(
-      nOps, inputs.nEvents,
+      nOps, nEvents,
       [=](std::size_t op, std::size_t event, unsigned worker) {
         const V3 q{qx[event], qy[event], qz[event]};
         const V3 p = transforms[op] * q;
@@ -95,10 +196,10 @@ void runBinMD(const Executor& executor, const BinMDInputs& inputs,
 
 void runBinMDIdentity(const Executor& executor, const M33& transform,
                       const BinMDInputs& inputs, const GridView& histogram,
-                      const AccumulateOptions& accumulate) {
+                      const AccumulateOptions& accumulate, SimdMode simd) {
   BinMDInputs single = inputs;
   single.transforms = std::span<const M33>(&transform, 1);
-  runBinMD(executor, single, histogram, accumulate);
+  runBinMD(executor, single, histogram, accumulate, simd);
 }
 
 } // namespace vates

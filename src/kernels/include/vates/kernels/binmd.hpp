@@ -16,6 +16,7 @@
 #include "vates/histogram/grid_accumulator.hpp"
 #include "vates/histogram/grid_view.hpp"
 #include "vates/parallel/executor.hpp"
+#include "vates/support/simd.hpp"
 
 #include <span>
 
@@ -41,21 +42,30 @@ struct BinMDInputs {
 /// Atomic-or-better strategies each call's deposits add on top of the
 /// existing bin contents).  \p accumulate selects the write path; the
 /// non-Atomic strategies require the histogram not be written by other
-/// executors concurrently with this call.
+/// executors concurrently with this call.  \p simd selects the
+/// event-blocked vector path (Q-transform + locate a register at a
+/// time over the SoA columns, cache-blocked deposits; simd_batch.hpp):
+/// Auto resolves per backend via simdUseVector, Off is the per-event
+/// scalar body bit for bit, and the vector path deposits the identical
+/// values in the identical per-worker order — bitwise equal on
+/// Backend::Serial, within the oracle tolerance elsewhere.
 void runBinMD(const Executor& executor, const BinMDInputs& inputs,
               const GridView& histogram,
-              const AccumulateOptions& accumulate = {});
+              const AccumulateOptions& accumulate = {},
+              SimdMode simd = SimdMode::Auto);
 
 /// Variant that also accumulates the events' squared errors into
 /// \p errorSqHistogram (same binning; σ² adds linearly for independent
 /// counts).  inputs.errorSq must be non-null.
 void runBinMD(const Executor& executor, const BinMDInputs& inputs,
               const GridView& histogram, const GridView& errorSqHistogram,
-              const AccumulateOptions& accumulate = {});
+              const AccumulateOptions& accumulate = {},
+              SimdMode simd = SimdMode::Auto);
 
 /// Single-op convenience used by tests: bin events without symmetry.
 void runBinMDIdentity(const Executor& executor, const M33& transform,
                       const BinMDInputs& inputs, const GridView& histogram,
-                      const AccumulateOptions& accumulate = {});
+                      const AccumulateOptions& accumulate = {},
+                      SimdMode simd = SimdMode::Auto);
 
 } // namespace vates

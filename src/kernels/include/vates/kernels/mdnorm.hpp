@@ -30,6 +30,7 @@
 #include "vates/histogram/grid_view.hpp"
 #include "vates/kernels/intersections.hpp"
 #include "vates/parallel/executor.hpp"
+#include "vates/support/simd.hpp"
 
 #include <cstdint>
 #include <span>
@@ -75,6 +76,17 @@ struct MDNormOptions {
   /// strategies require the normalization grid not be written by other
   /// executors concurrently with this call.
   AccumulateOptions accumulate;
+  /// Vector-batch execution of the Dda hot path (SoA segment tiles →
+  /// lane-parallel flux interpolation → cache-blocked deposits); see
+  /// simd_batch.hpp.  Auto resolves per backend (simdUseVector); Off is
+  /// the scalar path bit for bit; the vector path itself is bitwise
+  /// identical on Backend::Serial and within the oracle tolerance
+  /// elsewhere.  Ignored by the Legacy/SortedKeys ablation traversals,
+  /// which exist to measure the historical scalar shapes.  The
+  /// VATES_SIMD environment variable ("auto" / "off" / "on"), when set,
+  /// overrides this at pipeline construction — same contract as
+  /// VATES_TRAVERSAL.
+  SimdMode simd = SimdMode::Auto;
 };
 
 /// Everything the kernel reads for one run.  All pointers/views must

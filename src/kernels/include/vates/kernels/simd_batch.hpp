@@ -1,0 +1,180 @@
+#pragma once
+/// \file simd_batch.hpp
+/// SoA batch forms of the kernel inner loops, built on support/simd.hpp.
+///
+/// The DDA traversal (PR 3) removed MDNorm's algorithmic overhead, so
+/// what remains in both kernels is straight-line arithmetic repeated
+/// per segment / per event: the flux band-integral interpolation, and
+/// BinMD's Q-transform + bin locate.  These helpers evaluate that
+/// arithmetic a vector register at a time over structure-of-arrays
+/// tiles, with two hard guarantees:
+///
+///  - **Lane equivalence.**  Each lane performs the identical IEEE
+///    operation sequence as the scalar code it mirrors (documented op
+///    by op at each site), so a vector lane's result is bitwise equal
+///    to the scalar call on the same input.  tests/test_simd.cpp pins
+///    this across random, boundary, and NaN inputs.
+///  - **Order preservation.**  Batch results come back in input order;
+///    callers deposit them in that order, so on Backend::Serial a
+///    SIMD-path histogram is bitwise identical to the scalar path's.
+///
+/// Tails (counts not divisible by simd::kWidth) fall back to the scalar
+/// expression — which by the first guarantee produces the same bits —
+/// so callers never pad or over-read.
+
+#include "vates/flux/flux_spectrum.hpp"
+#include "vates/geometry/mat3.hpp"
+#include "vates/histogram/grid_view.hpp"
+#include "vates/parallel/backend.hpp"
+#include "vates/support/simd.hpp"
+
+#include <cstddef>
+
+namespace vates {
+
+/// Resolve a SimdMode against an execution backend: should this kernel
+/// launch take its vector batch path?  Auto picks vector on the CPU
+/// backends whenever the build has wide lanes, and scalar on DeviceSim
+/// (its simulated SIMT model already maps one work item per lane; a
+/// real GPU backend vectorizes across the warp, not inside the item).
+bool simdUseVector(SimdMode mode, Backend backend) noexcept;
+
+namespace simd {
+
+/// Evaluate phi[i] = flux.integrated(k[i]) for i in [0, count), full
+/// vectors through the lanes and the scalar interpolator for the tail.
+/// Bitwise equal to calling flux.integrated per element.
+///
+/// The vector body mirrors FluxTableView::integrated op for op:
+///   position = (k − kMin) · inverseStep        (sub, mul)
+///   index    = trunc(position) clamped to n−2  (floor == trunc: pos ≥ 0)
+///   fraction = position − index                (sub)
+///   result   = c[idx] + fraction · (c[idx+1] − c[idx])  (sub, mul, add)
+/// then the band clamps, applied high-edge first so the low edge wins
+/// when both hold — the scalar branch order.  Out-of-band (and NaN)
+/// lanes produce garbage interpolants from a *clamped-safe* index, and
+/// the clamp selects overwrite them.
+inline void fluxIntegratedBatch(const FluxTableView& flux, const double* k,
+                                double* phi, std::size_t count) noexcept {
+  std::size_t i = 0;
+  if (flux.n >= 2) {
+    const f64v kMinV = f64v::broadcast(flux.kMin);
+    const f64v kMaxV = f64v::broadcast(flux.kMax);
+    const f64v invStepV = f64v::broadcast(flux.inverseStep);
+    const f64v zeroV = f64v::zero();
+    const f64v maxIdxV =
+        f64v::broadcast(static_cast<double>(flux.n - 2));
+    const f64v lowV = f64v::broadcast(flux.cumulative[0]);
+    const f64v highV = f64v::broadcast(flux.cumulative[flux.n - 1]);
+    for (; i + kWidth <= count; i += kWidth) {
+      const f64v kv = f64v::load(k + i);
+      const f64v position = (kv - kMinV) * invStepV;
+      // floor(position) == the scalar size_t truncation for the in-band
+      // lanes (position ≥ 0 there).  Clamp order is NaN-safe: a NaN
+      // index fails `>= 0` and becomes 0, a valid gather address.
+      f64v indexV = floor(position);
+      indexV = select(cmpGE(indexV, zeroV), indexV, zeroV);
+      indexV = select(cmpLE(indexV, maxIdxV), indexV, maxIdxV);
+      const f64v fraction = position - indexV;
+      alignas(32) double indexLanes[kWidth];
+      alignas(32) double c0[kWidth];
+      alignas(32) double c1[kWidth];
+      indexV.store(indexLanes);
+      for (std::size_t lane = 0; lane < kWidth; ++lane) {
+        const auto index = static_cast<std::size_t>(indexLanes[lane]);
+        c0[lane] = flux.cumulative[index];
+        c1[lane] = flux.cumulative[index + 1];
+      }
+      const f64v c0v = f64v::load(c0);
+      const f64v c1v = f64v::load(c1);
+      f64v result = c0v + fraction * (c1v - c0v);
+      result = select(cmpGE(kv, kMaxV), highV, result);
+      result = select(cmpLE(kv, kMinV), lowV, result);
+      result.store(phi + i);
+    }
+  }
+  for (; i < count; ++i) {
+    phi[i] = flux.integrated(k[i]);
+  }
+}
+
+/// One symmetry operation's Q-transform + grid locate, prepared once
+/// per (op, event-block) and applied a vector at a time.  Broadcasting
+/// the nine matrix entries and the six grid bounds hoists every
+/// loop-invariant load out of the event loop — the SoA event columns
+/// (qx/qy/qz) are then the only streamed inputs.
+struct BinLocateBatch {
+  f64v m[9];
+  f64v gridMin[3];
+  f64v gridMax[3];
+  f64v invWidth[3];
+  f64v axisLast[3]; ///< n[axis] − 1, the scalar overflow clamp
+  f64v n1, n2;
+  const GridView* grid;
+
+  BinLocateBatch(const GridView& g, const M33& transform) noexcept
+      : grid(&g) {
+    for (std::size_t e = 0; e < 9; ++e) {
+      m[e] = f64v::broadcast(transform.m[e]);
+    }
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      gridMin[axis] = f64v::broadcast(g.min[axis]);
+      gridMax[axis] = f64v::broadcast(g.max[axis]);
+      invWidth[axis] = f64v::broadcast(g.inverseWidth[axis]);
+      axisLast[axis] =
+          f64v::broadcast(static_cast<double>(g.n[axis]) - 1.0);
+    }
+    n1 = f64v::broadcast(static_cast<double>(g.n[1]));
+    n2 = f64v::broadcast(static_cast<double>(g.n[2]));
+  }
+
+  /// One axis of GridView::axisBin: in-range mask + clamped bin index.
+  /// The mask mirrors the scalar negated-comparison NaN rejection
+  /// (`value >= min && value < max`; NaN fails both compares), the
+  /// index mirrors `(size_t)((value − min) · invWidth)` (trunc == floor
+  /// for the in-range lanes, whose product is ≥ 0) with the `index ≥ n
+  /// → n − 1` clamp.  Out-of-range lanes still get an in-[0, n−1] index
+  /// (select pushes NaN/overflow to the clamp edge) so the flat-bin
+  /// arithmetic below never overflows; their mask bit is clear.
+  Mask axisBin(std::size_t axis, f64v value, f64v* index) const noexcept {
+    const Mask inRange = maskAnd(cmpGE(value, gridMin[axis]),
+                                 cmpLT(value, gridMax[axis]));
+    f64v idx = floor((value - gridMin[axis]) * invWidth[axis]);
+    idx = select(cmpGE(idx, f64v::zero()), idx, f64v::zero());
+    idx = select(cmpLE(idx, axisLast[axis]), idx, axisLast[axis]);
+    *index = idx;
+    return inRange;
+  }
+
+  /// Locate kWidth events: bins[lane] = grid.locate(transform · q[lane])
+  /// for every lane whose returned bit is set; lanes with a clear bit
+  /// are outside the grid (scalar locate == grid.size()).  Bit l of the
+  /// result is lane l (event order), so iterating set bits low-to-high
+  /// preserves the scalar deposit order.  The flat bin is combined in
+  /// the double domain — exact, since every product stays below 2^53
+  /// for any grid that fits in memory.
+  unsigned locate(const double* qx, const double* qy, const double* qz,
+                  std::size_t* bins) const noexcept {
+    const f64v x = f64v::load(qx);
+    const f64v y = f64v::load(qy);
+    const f64v z = f64v::load(qz);
+    // M33::operator*(V3) evaluates (m0·x + m1·y) + m2·z left to right.
+    const f64v px = m[0] * x + m[1] * y + m[2] * z;
+    const f64v py = m[3] * x + m[4] * y + m[5] * z;
+    const f64v pz = m[6] * x + m[7] * y + m[8] * z;
+    f64v i, j, kIdx;
+    Mask valid = axisBin(0, px, &i);
+    valid = maskAnd(valid, axisBin(1, py, &j));
+    valid = maskAnd(valid, axisBin(2, pz, &kIdx));
+    const f64v flat = (i * n1 + j) * n2 + kIdx;
+    alignas(32) double flatLanes[kWidth];
+    flat.store(flatLanes);
+    for (std::size_t lane = 0; lane < kWidth; ++lane) {
+      bins[lane] = static_cast<std::size_t>(flatLanes[lane]);
+    }
+    return laneBits(valid);
+  }
+};
+
+} // namespace simd
+} // namespace vates

@@ -1,12 +1,16 @@
 #include "vates/kernels/mdnorm.hpp"
 
 #include "vates/kernels/comb_sort.hpp"
+#include "vates/kernels/simd_batch.hpp"
 #include "vates/kernels/trajectory_walk.hpp"
 #include "vates/parallel/atomics.hpp"
 #include "vates/support/error.hpp"
 #include "vates/support/strings.hpp"
 
+#include <bit>
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 namespace vates {
@@ -105,6 +109,7 @@ void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
   const GridView grid = normalization;
   const PlaneSearch search = options.search;
   const Traversal traversal = options.traversal;
+  const bool useVector = simdUseVector(options.simd, executor.backend());
   // Compacted launch: iterate the active-detector list when provided,
   // the full detector range (with the per-item mask branch) otherwise.
   const std::uint32_t* active =
@@ -115,6 +120,212 @@ void runMDNorm(const Executor& executor, const MDNormInputs& inputs,
 
   GridAccumulator accumulator(normalization, executor, options.accumulate);
   const AccumulatorRef sink = accumulator.ref();
+
+  if (traversal == Traversal::Dda && useVector) {
+    // ---- SoA / SIMD Dda path --------------------------------------------
+    // Four vector axes, none of which move a single deposit relative
+    // to the scalar Dda path on Backend::Serial (everything below is
+    // bitwise-pinned by tests/test_simd.cpp and the oracle sweep):
+    //  1. Work items batch simd::kWidth detectors; their trajectories
+    //     come from one vectorized M·q (the exact left-associated
+    //     expression M33::operator*(V3) evaluates, per lane, never
+    //     fused) over per-launch SoA direction columns.
+    //  2. A BandClipBatch evaluates the hull clip across the lanes —
+    //     on thin-slab grids most groups die right there, before any
+    //     per-lane state is even written to the stack.
+    //  3. Surviving lanes walk in lane (= detector) order with
+    //     per-launch plane-edge tables hoisting planeEdge's divide off
+    //     the step chain.  The walk itself stays scalar: it is a serial
+    //     recurrence, and both an in-register 4-lane variant and a
+    //     lockstep walk across independent trajectories measured
+    //     *slower* than the speculated branchy loop (the lockstep's
+    //     per-iteration mask scans mispredict chaotically where the
+    //     per-trajectory branch pattern is learnable).
+    //  4. Each walk fills a tile of crossings (consecutive DDA
+    //     segments share endpoints), the flux interpolant runs a
+    //     vector at a time over the crossing column — one Φ per
+    //     crossing instead of bandIntegral's two per segment — and
+    //     surviving deposits drain through a cache-blocked
+    //     DepositBlock.  Each deposit is weightFactor · (Φ[s+1] −
+    //     Φ[s]): the exact ops of flux.bandIntegral on interpolants
+    //     bitwise equal to the scalar calls, in momentum order.
+    std::vector<double> edgeStorage(grid.n[0] + grid.n[1] + grid.n[2] + 3);
+    PlaneEdges planeEdges;
+    {
+      double* cursor = edgeStorage.data();
+      for (std::size_t axis = 0; axis < 3; ++axis) {
+        planeEdges.e[axis] = cursor;
+        for (std::size_t p = 0; p <= grid.n[axis]; ++p) {
+          *cursor++ = grid.planeEdge(axis, p);
+        }
+      }
+    }
+    const BandClipBatch clip(grid, kMin, kMax);
+
+    constexpr std::size_t kLanes = simd::kWidth;
+    const std::size_t nGroups = (nItems + kLanes - 1) / kLanes;
+    const std::size_t padded = nGroups * kLanes;
+
+    // Launch-time SoA: per-item direction columns (op-invariant — the
+    // per-op transform is applied vectorized per group) and a
+    // per-group live-lane mask folding the detector mask and the tail.
+    // One uninitialized allocation, one fill pass; padding lanes get
+    // direction (1,1,1): finite, clip-safe, and excluded by the mask.
+    const auto columnStore = std::make_unique_for_overwrite<double[]>(3 * padded);
+    const auto groupLive = std::make_unique_for_overwrite<std::uint8_t[]>(nGroups);
+    double* const qxCol = columnStore.get();
+    double* const qyCol = columnStore.get() + padded;
+    double* const qzCol = columnStore.get() + 2 * padded;
+    for (std::size_t group = 0; group < nGroups; ++group) {
+      std::uint8_t live = 0;
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const std::size_t item = group * kLanes + lane;
+        const std::size_t detector =
+            item < nItems ? (active != nullptr ? active[item] : item) : 0;
+        const bool on =
+            item < nItems && (mask == nullptr || mask[detector] == 0);
+        const V3 q = on ? qDirections[detector] : V3{1.0, 1.0, 1.0};
+        qxCol[item] = q.x;
+        qyCol[item] = q.y;
+        qzCol[item] = q.z;
+        live |= static_cast<std::uint8_t>(static_cast<unsigned>(on) << lane);
+      }
+      groupLive[group] = live;
+    }
+    const double* qx = qxCol;
+    const double* qy = qyCol;
+    const double* qz = qzCol;
+    const std::uint8_t* liveMasks = groupLive.get();
+
+    executor.parallelFor2DIndexed(
+        nOps, nGroups,
+        [=](std::size_t op, std::size_t group, unsigned worker) {
+          const unsigned live = liveMasks[group];
+          if (live == 0u) {
+            return;
+          }
+          const std::size_t itemBase = group * kLanes;
+
+          simd::f64v txV, tyV, tzV;
+          if (trajectories != nullptr) {
+            alignas(32) double lt[3][kLanes];
+            for (std::size_t lane = 0; lane < kLanes; ++lane) {
+              if ((live & (1u << lane)) == 0u) {
+                lt[0][lane] = 1.0;
+                lt[1][lane] = 1.0;
+                lt[2][lane] = 1.0;
+                continue;
+              }
+              const std::size_t item = itemBase + lane;
+              const std::size_t detector =
+                  active != nullptr ? active[item] : item;
+              const V3 t = trajectories[op * nDetectors + detector];
+              lt[0][lane] = t.x;
+              lt[1][lane] = t.y;
+              lt[2][lane] = t.z;
+            }
+            txV = simd::f64v::load(lt[0]);
+            tyV = simd::f64v::load(lt[1]);
+            tzV = simd::f64v::load(lt[2]);
+          } else {
+            // t = M·q across the lanes: (m0·x + m1·y) + m2·z per row,
+            // the left-associated expression M33::operator*(V3)
+            // evaluates — one IEEE op per lane per node, no fusion.
+            const double* m = transforms[op].m.data();
+            const simd::f64v qxV = simd::f64v::load(qx + itemBase);
+            const simd::f64v qyV = simd::f64v::load(qy + itemBase);
+            const simd::f64v qzV = simd::f64v::load(qz + itemBase);
+            txV = simd::f64v::broadcast(m[0]) * qxV +
+                  simd::f64v::broadcast(m[1]) * qyV +
+                  simd::f64v::broadcast(m[2]) * qzV;
+            tyV = simd::f64v::broadcast(m[3]) * qxV +
+                  simd::f64v::broadcast(m[4]) * qyV +
+                  simd::f64v::broadcast(m[5]) * qzV;
+            tzV = simd::f64v::broadcast(m[6]) * qxV +
+                  simd::f64v::broadcast(m[7]) * qyV +
+                  simd::f64v::broadcast(m[8]) * qzV;
+          }
+
+          const unsigned walkers = live & ~clip.rejected(txV, tyV, tzV);
+          if (walkers == 0u) {
+            return; // whole group clipped away — the common thin-slab exit
+          }
+
+          alignas(32) double tx[kLanes];
+          alignas(32) double ty[kLanes];
+          alignas(32) double tz[kLanes];
+          txV.store(tx);
+          tyV.store(ty);
+          tzV.store(tz);
+
+          // Walk surviving lanes in lane order — detector order,
+          // exactly the sequence the scalar path deposits in.
+          for (std::size_t lane = 0; lane < kLanes; ++lane) {
+            if ((walkers & (1u << lane)) == 0u) {
+              continue;
+            }
+            const std::size_t item = itemBase + lane;
+            const std::size_t detector =
+                active != nullptr ? active[item] : item;
+            const double weightFactor = solidAngles[detector] * charge;
+            const V3 t{tx[lane], ty[lane], tz[lane]};
+            constexpr std::size_t kSegmentTile = 128;
+            double kCol[kSegmentTile + 1];
+            double phiCol[kSegmentTile + 1];
+            std::size_t binCol[kSegmentTile];
+            std::size_t nSegments = 0;
+            DepositBlock staged;
+            const auto drain = [&] {
+              simd::fluxIntegratedBatch(flux, kCol, phiCol, nSegments + 1);
+              for (std::size_t s = 0; s < nSegments; ++s) {
+                const double deposit =
+                    weightFactor * (phiCol[s + 1] - phiCol[s]);
+                if (deposit > 0.0) {
+                  if (staged.full()) {
+                    staged.flush(sink, worker);
+                  }
+                  staged.push(binCol[s], deposit);
+                }
+              }
+              nSegments = 0;
+            };
+            traverseTrajectorySimd(
+                grid, t, kMin, kMax,
+                [&](double k1, double k2, std::size_t bin) {
+                  // The crossing chain breaks only across segments the
+                  // walk dropped (parallel-axis midpoint outside the
+                  // grid): crossings are strictly increasing, so a
+                  // dropped segment's far end never equals the last
+                  // stored crossing bitwise.  Drain so Φ values never
+                  // pair across the gap.
+                  if (nSegments != 0 &&
+                      std::bit_cast<std::uint64_t>(kCol[nSegments]) !=
+                          std::bit_cast<std::uint64_t>(k1)) {
+                    drain();
+                  }
+                  if (nSegments == 0) {
+                    kCol[0] = k1;
+                  }
+                  kCol[nSegments + 1] = k2;
+                  binCol[nSegments] = bin;
+                  if (++nSegments == kSegmentTile) {
+                    drain();
+                  }
+                },
+                planeEdges);
+            if (nSegments != 0) {
+              drain();
+            }
+            if (staged.count != 0) {
+              staged.flush(sink, worker);
+            }
+          }
+        },
+        "mdnorm_simd");
+
+    accumulator.commit();
+    return;
+  }
 
   executor.parallelFor2DIndexed(
       nOps, nItems,

@@ -1,0 +1,20 @@
+#include "vates/kernels/simd_batch.hpp"
+
+namespace vates {
+
+bool simdUseVector(SimdMode mode, Backend backend) noexcept {
+  switch (mode) {
+  case SimdMode::Off:
+    return false;
+  case SimdMode::On:
+    return true;
+  case SimdMode::Auto:
+    // The batch paths only pay for themselves with real lanes; on the
+    // simulated device each work item is one SIMT lane already, so the
+    // per-item blocking would just serialize inside the "thread".
+    return simd::kWidth > 1 && backend != Backend::DeviceSim;
+  }
+  return false;
+}
+
+} // namespace vates

@@ -98,6 +98,7 @@ std::string normalizationKey(const core::ReductionPlan& plan) {
      << "acc=" << accumulateStrategyName(c.mdnorm.accumulate.strategy) << ';'
      << "accbudget=" << c.mdnorm.accumulate.replicaBudgetBytes << ';'
      << "acctile=" << c.mdnorm.accumulate.tileCapacity << ';'
+     << "simd=" << simdModeName(c.mdnorm.simd) << ';'
      << "ov=" << overlapModeName(c.overlap.mode) << ';';
   return os.str();
 }

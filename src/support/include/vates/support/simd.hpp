@@ -1,0 +1,347 @@
+#pragma once
+/// \file simd.hpp
+/// Portable fixed-width SIMD lanes for the kernel hot paths.
+///
+/// One vector type, `simd::f64v`, wraps the widest double-precision ISA
+/// the translation unit was compiled for:
+///   - AVX2   : 4 × f64 (`__m256d`)          — x86-64 with -mavx2 /
+///              -march=native (see the VATES_NATIVE CMake option),
+///   - NEON   : 2 × f64 (`float64x2_t`)      — AArch64,
+///   - scalar : 1 × f64 (a plain `double`)   — everything else, and any
+///              build configured with -DVATES_SIMD_FORCE_SCALAR=ON.
+///
+/// Design rules, in priority order:
+///
+///  1. **Bit-identity per lane.**  Every operation maps to exactly one
+///     IEEE-754 double operation per lane — add, sub, mul, compare,
+///     floor — and nothing is ever fused (no FMA): a vector expression
+///     built from these ops produces, lane by lane, the same bits as
+///     the equivalent scalar expression.  `min`/`max` are implemented
+///     as `select(a < b, ...)` on every ISA (NEON's native min has
+///     different NaN semantics), so they equal the scalar ternary
+///     `a < b ? a : b` bitwise too.  This is what lets the vectorized
+///     kernels stay inside the reference oracle's tolerance — on the
+///     Serial backend they are bitwise equal to the scalar paths.
+///  2. **Scalar fallback is the same code.**  With width 1 the wrapper
+///     degenerates to plain double arithmetic; the kernels' "vector"
+///     paths then execute the identical expressions the scalar paths
+///     do, which the lane-parity tests (tests/test_simd.cpp) pin.
+///  3. **No allocation, trivially copyable, kernel-argument friendly**
+///     (Per.14/Per.15) — same contract as GridView/FluxTableView.
+///
+/// Masks come back from comparisons as an opaque `simd::Mask`; consume
+/// them with `select` (lanewise ternary) or `laneBits` (one bit per
+/// lane, lane 0 = bit 0) for control flow and tail compaction.
+
+#include <cstddef>
+#include <string>
+
+#if defined(VATES_SIMD_FORCE_SCALAR)
+#define VATES_SIMD_ISA_SCALAR 1
+#elif defined(__AVX2__)
+#define VATES_SIMD_ISA_AVX2 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define VATES_SIMD_ISA_NEON 1
+#include <arm_neon.h>
+#else
+#define VATES_SIMD_ISA_SCALAR 1
+#endif
+
+#if VATES_SIMD_ISA_SCALAR
+#include <cmath>
+#endif
+
+namespace vates {
+
+/// Per-kernel SIMD selection, plumbed as MDNormOptions::simd / the
+/// runBinMD parameter, the INI `simd` key, and the VATES_SIMD
+/// environment override.
+///  - Auto: vector lanes on the CPU backends when the build has a wide
+///          ISA (simd::kWidth > 1); scalar on Backend::DeviceSim, whose
+///          simulated SIMT model executes one work item per lane
+///          already (a real GPU backend vectorizes across the warp, not
+///          inside the work item).
+///  - Off:  always the scalar paths (the pre-SIMD kernels, bit for bit).
+///  - On:   vector lanes wherever the build has them (width 1 builds
+///          still run the scalar expressions — see simd.hpp rule 2).
+enum class SimdMode : int { Auto = 0, Off = 1, On = 2 };
+
+/// "auto", "off", "on".
+const char* simdModeName(SimdMode mode) noexcept;
+
+/// Parse a mode name (case-insensitive, surrounding whitespace ignored;
+/// accepts the names above plus the aliases "scalar" for Off and
+/// "vector"/"simd" for On).  Throws InvalidArgument for unknown names.
+SimdMode parseSimdMode(const std::string& name);
+
+namespace simd {
+
+#if VATES_SIMD_ISA_AVX2
+inline constexpr std::size_t kWidth = 4;
+#elif VATES_SIMD_ISA_NEON
+inline constexpr std::size_t kWidth = 2;
+#else
+inline constexpr std::size_t kWidth = 1;
+#endif
+
+/// "avx2", "neon", or "scalar" — what this binary was compiled with.
+const char* isaName() noexcept;
+
+struct f64v;
+
+/// Lanewise comparison result; consume via select() or laneBits().
+struct Mask {
+#if VATES_SIMD_ISA_AVX2
+  __m256d m;
+#elif VATES_SIMD_ISA_NEON
+  uint64x2_t m;
+#else
+  bool m;
+#endif
+};
+
+/// One bit per lane (lane 0 = bit 0); a set bit means the comparison
+/// held on that lane.
+inline unsigned laneBits(Mask mask) noexcept {
+#if VATES_SIMD_ISA_AVX2
+  return static_cast<unsigned>(_mm256_movemask_pd(mask.m));
+#elif VATES_SIMD_ISA_NEON
+  return static_cast<unsigned>(vgetq_lane_u64(mask.m, 0) & 1u) |
+         (static_cast<unsigned>(vgetq_lane_u64(mask.m, 1) & 1u) << 1);
+#else
+  return mask.m ? 1u : 0u;
+#endif
+}
+
+inline bool anyLane(Mask mask) noexcept { return laneBits(mask) != 0u; }
+
+/// Mask with exactly lane \p lane set (lane < kWidth).  Lets callers
+/// splice one recomputed scalar into a register-resident vector via
+/// select() instead of a store + wide reload, which on x86 defeats
+/// store-to-load forwarding (the wide load overlapping a narrow store
+/// stalls until the store retires).
+inline Mask laneMask(std::size_t lane) noexcept {
+#if VATES_SIMD_ISA_AVX2
+  alignas(32) static constexpr unsigned long long kTable[4][4] = {
+      {~0ull, 0ull, 0ull, 0ull},
+      {0ull, ~0ull, 0ull, 0ull},
+      {0ull, 0ull, ~0ull, 0ull},
+      {0ull, 0ull, 0ull, ~0ull},
+  };
+  return {_mm256_load_pd(reinterpret_cast<const double*>(kTable[lane]))};
+#elif VATES_SIMD_ISA_NEON
+  alignas(16) static constexpr unsigned long long kTable[2][2] = {
+      {~0ull, 0ull},
+      {0ull, ~0ull},
+  };
+  return {vld1q_u64(&kTable[lane][0])};
+#else
+  (void)lane;
+  return {true};
+#endif
+}
+inline bool allLanes(Mask mask) noexcept {
+  return laneBits(mask) == (1u << kWidth) - 1u;
+}
+
+/// kWidth double lanes.  All arithmetic is one IEEE operation per lane;
+/// see the file header for the bit-identity contract.
+struct f64v {
+#if VATES_SIMD_ISA_AVX2
+  __m256d v;
+#elif VATES_SIMD_ISA_NEON
+  float64x2_t v;
+#else
+  double v;
+#endif
+
+  static f64v load(const double* p) noexcept {
+#if VATES_SIMD_ISA_AVX2
+    return {_mm256_loadu_pd(p)};
+#elif VATES_SIMD_ISA_NEON
+    return {vld1q_f64(p)};
+#else
+    return {*p};
+#endif
+  }
+
+  static f64v broadcast(double x) noexcept {
+#if VATES_SIMD_ISA_AVX2
+    return {_mm256_set1_pd(x)};
+#elif VATES_SIMD_ISA_NEON
+    return {vdupq_n_f64(x)};
+#else
+    return {x};
+#endif
+  }
+
+  static f64v zero() noexcept { return broadcast(0.0); }
+
+  void store(double* p) const noexcept {
+#if VATES_SIMD_ISA_AVX2
+    _mm256_storeu_pd(p, v);
+#elif VATES_SIMD_ISA_NEON
+    vst1q_f64(p, v);
+#else
+    *p = v;
+#endif
+  }
+
+  double lane(std::size_t i) const noexcept {
+#if VATES_SIMD_ISA_SCALAR
+    (void)i;
+    return v;
+#else
+    alignas(32) double lanes[kWidth];
+    store(lanes);
+    return lanes[i];
+#endif
+  }
+
+  friend f64v operator+(f64v a, f64v b) noexcept {
+#if VATES_SIMD_ISA_AVX2
+    return {_mm256_add_pd(a.v, b.v)};
+#elif VATES_SIMD_ISA_NEON
+    return {vaddq_f64(a.v, b.v)};
+#else
+    return {a.v + b.v};
+#endif
+  }
+
+  friend f64v operator-(f64v a, f64v b) noexcept {
+#if VATES_SIMD_ISA_AVX2
+    return {_mm256_sub_pd(a.v, b.v)};
+#elif VATES_SIMD_ISA_NEON
+    return {vsubq_f64(a.v, b.v)};
+#else
+    return {a.v - b.v};
+#endif
+  }
+
+  friend f64v operator*(f64v a, f64v b) noexcept {
+#if VATES_SIMD_ISA_AVX2
+    return {_mm256_mul_pd(a.v, b.v)};
+#elif VATES_SIMD_ISA_NEON
+    return {vmulq_f64(a.v, b.v)};
+#else
+    return {a.v * b.v};
+#endif
+  }
+
+  friend f64v operator/(f64v a, f64v b) noexcept {
+#if VATES_SIMD_ISA_AVX2
+    return {_mm256_div_pd(a.v, b.v)};
+#elif VATES_SIMD_ISA_NEON
+    return {vdivq_f64(a.v, b.v)};
+#else
+    return {a.v / b.v};
+#endif
+  }
+};
+
+/// Lanewise |a| — exact (clears the sign bit; IEEE fabs), so it matches
+/// scalar std::fabs bitwise including on NaN and ±0.0 lanes.
+inline f64v abs(f64v a) noexcept {
+#if VATES_SIMD_ISA_AVX2
+  return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+#elif VATES_SIMD_ISA_NEON
+  return {vabsq_f64(a.v)};
+#else
+  return {std::fabs(a.v)};
+#endif
+}
+
+inline Mask cmpLT(f64v a, f64v b) noexcept { // a < b
+#if VATES_SIMD_ISA_AVX2
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+#elif VATES_SIMD_ISA_NEON
+  return {vcltq_f64(a.v, b.v)};
+#else
+  return {a.v < b.v};
+#endif
+}
+
+inline Mask cmpLE(f64v a, f64v b) noexcept { // a <= b
+#if VATES_SIMD_ISA_AVX2
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+#elif VATES_SIMD_ISA_NEON
+  return {vcleq_f64(a.v, b.v)};
+#else
+  return {a.v <= b.v};
+#endif
+}
+
+inline Mask cmpGE(f64v a, f64v b) noexcept { // a >= b
+#if VATES_SIMD_ISA_AVX2
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+#elif VATES_SIMD_ISA_NEON
+  return {vcgeq_f64(a.v, b.v)};
+#else
+  return {a.v >= b.v};
+#endif
+}
+
+inline Mask maskAnd(Mask a, Mask b) noexcept {
+#if VATES_SIMD_ISA_AVX2
+  return {_mm256_and_pd(a.m, b.m)};
+#elif VATES_SIMD_ISA_NEON
+  return {vandq_u64(a.m, b.m)};
+#else
+  return {a.m && b.m};
+#endif
+}
+
+/// Lanewise `mask ? a : b`.
+inline f64v select(Mask mask, f64v a, f64v b) noexcept {
+#if VATES_SIMD_ISA_AVX2
+  return {_mm256_blendv_pd(b.v, a.v, mask.m)};
+#elif VATES_SIMD_ISA_NEON
+  return {vbslq_f64(mask.m, a.v, b.v)};
+#else
+  return {mask.m ? a.v : b.v};
+#endif
+}
+
+/// Lanewise `a < b ? a : b` — matches the scalar ternary bitwise on
+/// every ISA, including its NaN behavior (NaN compares false, so b is
+/// taken).  Deliberately NOT the native min instruction on NEON.
+inline f64v minTernary(f64v a, f64v b) noexcept {
+  return select(cmpLT(a, b), a, b);
+}
+
+/// Lanewise `a < b ? b : a` (scalar max-by-ternary, same rationale).
+inline f64v maxTernary(f64v a, f64v b) noexcept {
+  return select(cmpLT(a, b), b, a);
+}
+
+/// Lanewise floor.  For non-negative lanes this equals the
+/// float→integer truncation the scalar kernels perform.
+inline f64v floor(f64v a) noexcept {
+#if VATES_SIMD_ISA_AVX2
+  return {_mm256_floor_pd(a.v)};
+#elif VATES_SIMD_ISA_NEON
+  return {vrndmq_f64(a.v)};
+#else
+  return {std::floor(a.v)};
+#endif
+}
+
+/// Smallest lane value (exact — min is not a rounding operation).
+/// Lanes holding +inf padding never win unless all lanes are +inf.
+inline double reduceMin(f64v a) noexcept {
+#if VATES_SIMD_ISA_AVX2
+  const __m128d lo = _mm256_castpd256_pd128(a.v);
+  const __m128d hi = _mm256_extractf128_pd(a.v, 1);
+  const __m128d m2 = _mm_min_pd(lo, hi);
+  const __m128d m1 = _mm_min_sd(m2, _mm_unpackhi_pd(m2, m2));
+  return _mm_cvtsd_f64(m1);
+#elif VATES_SIMD_ISA_NEON
+  return vminvq_f64(a.v);
+#else
+  return a.v;
+#endif
+}
+
+} // namespace simd
+} // namespace vates

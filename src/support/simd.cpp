@@ -1,0 +1,48 @@
+#include "vates/support/simd.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+namespace vates {
+
+const char* simdModeName(SimdMode mode) noexcept {
+  switch (mode) {
+  case SimdMode::Auto:
+    return "auto";
+  case SimdMode::Off:
+    return "off";
+  case SimdMode::On:
+    return "on";
+  }
+  return "auto";
+}
+
+SimdMode parseSimdMode(const std::string& name) {
+  const std::string lower = toLower(trim(name));
+  if (lower == "auto") {
+    return SimdMode::Auto;
+  }
+  if (lower == "off" || lower == "scalar") {
+    return SimdMode::Off;
+  }
+  if (lower == "on" || lower == "vector" || lower == "simd") {
+    return SimdMode::On;
+  }
+  throw InvalidArgument("unknown simd mode '" + name +
+                        "' (available: auto, off, on)");
+}
+
+namespace simd {
+
+const char* isaName() noexcept {
+#if VATES_SIMD_ISA_AVX2
+  return "avx2";
+#elif VATES_SIMD_ISA_NEON
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+} // namespace simd
+} // namespace vates

@@ -1,6 +1,6 @@
 /// \file test_oracle_diff.cpp
 /// The differential verification harness: every optimized configuration
-/// (traversal × accumulator × backend × overlap × ranks) of the
+/// (simd × traversal × accumulator × backend × overlap × ranks) of the
 /// reduction pipeline is compared bin-by-bin against the independent
 /// scalar reference oracle (src/verify/) on seeded randomized
 /// experiments, named degenerate inputs, and committed golden files.
@@ -54,14 +54,20 @@ constexpr AccumulateStrategy kStrategies[] = {
     AccumulateStrategy::Privatized, AccumulateStrategy::Tiled};
 constexpr OverlapMode kOverlaps[] = {OverlapMode::Off, OverlapMode::Prefetch,
                                      OverlapMode::Full};
+// Off is the pre-SIMD scalar loop verbatim; On forces the vector path
+// (which falls back to width-1 lanes in builds without vector ISA, so
+// the sweep exercises the batch/tile plumbing everywhere).
+constexpr SimdMode kSimdModes[] = {SimdMode::Off, SimdMode::On};
 
 ReductionConfig makeConfig(Traversal traversal, AccumulateStrategy strategy,
-                           Backend backend, OverlapMode overlap, int ranks) {
+                           Backend backend, OverlapMode overlap, int ranks,
+                           SimdMode simd = SimdMode::Auto) {
   ReductionConfig config;
   config.backend = backend;
   config.ranks = ranks;
   config.mdnorm.traversal = traversal;
   config.mdnorm.accumulate.strategy = strategy;
+  config.mdnorm.simd = simd;
   config.binmdAccumulate.strategy = strategy;
   config.overlap.mode = overlap;
   return config;
@@ -71,7 +77,8 @@ std::string configLabel(const ReductionConfig& config, std::uint64_t seed) {
   return std::string(traversalName(config.mdnorm.traversal)) + "/" +
          accumulateStrategyName(config.mdnorm.accumulate.strategy) + "/" +
          backendName(config.backend) + "/" +
-         overlapModeName(config.overlap.mode) + "/ranks=" +
+         overlapModeName(config.overlap.mode) + "/simd=" +
+         simdModeName(config.mdnorm.simd) + "/ranks=" +
          std::to_string(config.ranks) + " seed=" + std::to_string(seed);
 }
 
@@ -293,21 +300,23 @@ TEST_P(OracleDiffSweep, AllConfigurationsMatchOracle) {
       << experiment.name << ": no coverage after 8 redraws";
 
   const int ranks = 1 + static_cast<int>(seed % 2);
-  for (const Traversal traversal : kTraversals) {
-    for (const AccumulateStrategy strategy : kStrategies) {
-      for (const Backend backend : availableBackends()) {
-        for (const OverlapMode overlap : kOverlaps) {
-          const ReductionConfig config =
-              makeConfig(traversal, strategy, backend, overlap, ranks);
-          const ReductionResult result =
-              ReductionPipeline(setup, config).run();
-          expectMatchesOracle(oracle, result,
-                              experiment.name + " " +
-                                  configLabel(config, seed));
-          if (HasFailure()) {
-            // One bin-level report per configuration is actionable;
-            // thousands of identical ones are noise.
-            return;
+  for (const SimdMode simd : kSimdModes) {
+    for (const Traversal traversal : kTraversals) {
+      for (const AccumulateStrategy strategy : kStrategies) {
+        for (const Backend backend : availableBackends()) {
+          for (const OverlapMode overlap : kOverlaps) {
+            const ReductionConfig config =
+                makeConfig(traversal, strategy, backend, overlap, ranks, simd);
+            const ReductionResult result =
+                ReductionPipeline(setup, config).run();
+            expectMatchesOracle(oracle, result,
+                                experiment.name + " " +
+                                    configLabel(config, seed));
+            if (HasFailure()) {
+              // One bin-level report per configuration is actionable;
+              // thousands of identical ones are noise.
+              return;
+            }
           }
         }
       }
@@ -368,10 +377,17 @@ TEST_P(OracleDiffDegenerate, MatchesOracle) {
     configs.push_back(makeConfig(traversal, AccumulateStrategy::Atomic,
                                  Backend::Serial, OverlapMode::Off, 1));
   }
+  // The degenerate roster is where batch-path edge cases live (empty
+  // detector sets, single crossings): run the forced-vector path on
+  // the serial reference shape too.
+  configs.push_back(makeConfig(Traversal::Dda, AccumulateStrategy::Atomic,
+                               Backend::Serial, OverlapMode::Off, 1,
+                               SimdMode::On));
   for (const Backend backend : availableBackends()) {
     if (backend != Backend::Serial) {
       configs.push_back(makeConfig(Traversal::Dda, AccumulateStrategy::Auto,
-                                   backend, OverlapMode::Full, 2));
+                                   backend, OverlapMode::Full, 2,
+                                   SimdMode::On));
     }
   }
   for (const ReductionConfig& config : configs) {

@@ -1,0 +1,683 @@
+// Tests for the portable SIMD layer (support/simd.hpp), the SoA batch
+// helpers (kernels/simd_batch.hpp), the SIMD trajectory walk, and the
+// cache-blocked deposit path — all pinned against their scalar
+// counterparts *bitwise*, which is the layer's load-bearing contract:
+// the reference oracle (test_oracle_diff.cpp) only stays meaningful if
+// the vector paths reproduce the scalar arithmetic bit for bit.
+//
+// In a default build simd::kWidth is 1 (no arch flags) and these tests
+// pin that the "vector" code paths degenerate to the scalar
+// expressions; under -DVATES_NATIVE=ON (AVX2/NEON) the same assertions
+// pin true lane parity.
+
+#include "vates/flux/flux_spectrum.hpp"
+#include "vates/histogram/grid_accumulator.hpp"
+#include "vates/histogram/histogram3d.hpp"
+#include "vates/kernels/binmd.hpp"
+#include "vates/kernels/mdnorm.hpp"
+#include "vates/kernels/simd_batch.hpp"
+#include "vates/kernels/trajectory_walk.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vates {
+namespace {
+
+std::uint64_t bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+/// Uniform index in [0, n) from the repo's Xoshiro (which only exposes
+/// uniform doubles).
+std::size_t randomIndex(Xoshiro256& rng, std::size_t n) {
+  return static_cast<std::size_t>(rng.uniform(0.0, static_cast<double>(n))) %
+         n;
+}
+
+void expectBitwiseEqual(const Histogram3D& a, const Histogram3D& b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(bits(a.data()[i]), bits(b.data()[i]))
+        << what << ": bin " << i << " differs: " << a.data()[i] << " vs "
+        << b.data()[i];
+  }
+}
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// SimdMode parsing / naming / policy
+
+TEST(SimdMode, NamesRoundTripThroughParse) {
+  for (const SimdMode mode :
+       {SimdMode::Auto, SimdMode::Off, SimdMode::On}) {
+    EXPECT_EQ(parseSimdMode(simdModeName(mode)), mode);
+  }
+  EXPECT_STREQ(simdModeName(SimdMode::Auto), "auto");
+  EXPECT_STREQ(simdModeName(SimdMode::Off), "off");
+  EXPECT_STREQ(simdModeName(SimdMode::On), "on");
+}
+
+TEST(SimdMode, ParseAcceptsAliasesCaseAndWhitespace) {
+  EXPECT_EQ(parseSimdMode("scalar"), SimdMode::Off);
+  EXPECT_EQ(parseSimdMode("vector"), SimdMode::On);
+  EXPECT_EQ(parseSimdMode("simd"), SimdMode::On);
+  EXPECT_EQ(parseSimdMode("  ON "), SimdMode::On);
+  EXPECT_EQ(parseSimdMode("Auto"), SimdMode::Auto);
+}
+
+TEST(SimdMode, ParseRejectsUnknownNames) {
+  EXPECT_THROW(parseSimdMode("turbo"), InvalidArgument);
+  EXPECT_THROW(parseSimdMode(""), InvalidArgument);
+}
+
+TEST(SimdMode, UseVectorPolicy) {
+  const Backend all[] = {Backend::Serial, Backend::OpenMP,
+                         Backend::ThreadPool, Backend::DeviceSim};
+  for (const Backend backend : all) {
+    EXPECT_FALSE(simdUseVector(SimdMode::Off, backend));
+    EXPECT_TRUE(simdUseVector(SimdMode::On, backend));
+  }
+  // Auto: vector on the CPU backends iff the build has wide lanes;
+  // never on DeviceSim (one work item per simulated SIMT lane already).
+  const bool wide = simd::kWidth > 1;
+  EXPECT_EQ(simdUseVector(SimdMode::Auto, Backend::Serial), wide);
+  EXPECT_EQ(simdUseVector(SimdMode::Auto, Backend::OpenMP), wide);
+  EXPECT_EQ(simdUseVector(SimdMode::Auto, Backend::ThreadPool), wide);
+  EXPECT_FALSE(simdUseVector(SimdMode::Auto, Backend::DeviceSim));
+}
+
+TEST(SimdIsa, NameMatchesWidth) {
+  const std::string isa = simd::isaName();
+  if (isa == "avx2") {
+    EXPECT_EQ(simd::kWidth, 4u);
+  } else if (isa == "neon") {
+    EXPECT_EQ(simd::kWidth, 2u);
+  } else {
+    EXPECT_EQ(isa, "scalar");
+    EXPECT_EQ(simd::kWidth, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-level bit identity of the f64v primitives
+
+/// A pool of adversarial doubles: specials, signed zeros, denormals,
+/// exact powers of two, and values that round differently under FMA.
+std::vector<double> specialPool() {
+  return {0.0,    -0.0,   1.0,      -1.0,    0.5,   1e300,
+          1e-300, kNan,   kInf,     -kInf,   1.5,   3.0,
+          1e16,   1e16 + 2.0, 0x1p-1040, -0x1p-1040, 7.25, -123.625};
+}
+
+TEST(SimdLanes, ArithmeticMatchesScalarBitwise) {
+  const std::vector<double> pool = specialPool();
+  Xoshiro256 rng(0x51D0u);
+  for (int trial = 0; trial < 200; ++trial) {
+    double a[simd::kWidth];
+    double b[simd::kWidth];
+    for (std::size_t lane = 0; lane < simd::kWidth; ++lane) {
+      a[lane] = trial < 100 ? pool[randomIndex(rng, pool.size())]
+                            : rng.uniform(-1e6, 1e6);
+      b[lane] = trial < 100 ? pool[randomIndex(rng, pool.size())]
+                            : rng.uniform(-1e6, 1e6);
+    }
+    const simd::f64v av = simd::f64v::load(a);
+    const simd::f64v bv = simd::f64v::load(b);
+    double sum[simd::kWidth], diff[simd::kWidth], prod[simd::kWidth];
+    double mn[simd::kWidth], mx[simd::kWidth], fl[simd::kWidth];
+    (av + bv).store(sum);
+    (av - bv).store(diff);
+    (av * bv).store(prod);
+    simd::minTernary(av, bv).store(mn);
+    simd::maxTernary(av, bv).store(mx);
+    simd::floor(av).store(fl);
+    const unsigned lt = simd::laneBits(simd::cmpLT(av, bv));
+    const unsigned le = simd::laneBits(simd::cmpLE(av, bv));
+    const unsigned ge = simd::laneBits(simd::cmpGE(av, bv));
+    for (std::size_t lane = 0; lane < simd::kWidth; ++lane) {
+      ASSERT_EQ(bits(sum[lane]), bits(a[lane] + b[lane]));
+      ASSERT_EQ(bits(diff[lane]), bits(a[lane] - b[lane]));
+      ASSERT_EQ(bits(prod[lane]), bits(a[lane] * b[lane]));
+      // min/max must equal the scalar ternary including its NaN
+      // behavior (NaN compares false → second operand).
+      ASSERT_EQ(bits(mn[lane]),
+                bits(a[lane] < b[lane] ? a[lane] : b[lane]));
+      ASSERT_EQ(bits(mx[lane]),
+                bits(a[lane] < b[lane] ? b[lane] : a[lane]));
+      ASSERT_EQ(bits(fl[lane]), bits(std::floor(a[lane])));
+      const unsigned bit = 1u << lane;
+      ASSERT_EQ((lt & bit) != 0, a[lane] < b[lane]);
+      ASSERT_EQ((le & bit) != 0, a[lane] <= b[lane]);
+      ASSERT_EQ((ge & bit) != 0, a[lane] >= b[lane]);
+    }
+    // reduceMin must equal the scalar `<` chain over the lanes (the
+    // walk's next-crossing search).  The contract holds when equal
+    // values share bits — the walk's inputs are strictly positive
+    // crossings and +inf — so lanes mixing +0.0 and −0.0 (equal yet
+    // bitwise distinct, making the scalar chain order-dependent) are
+    // outside it, as are NaNs.
+    bool outsideContract = false;
+    bool hasPosZero = false;
+    bool hasNegZero = false;
+    double chain = a[0];
+    for (std::size_t lane = 1; lane < simd::kWidth; ++lane) {
+      if (a[lane] < chain) {
+        chain = a[lane];
+      }
+    }
+    for (std::size_t lane = 0; lane < simd::kWidth; ++lane) {
+      outsideContract = outsideContract || std::isnan(a[lane]);
+      if (a[lane] == 0.0) {
+        (std::signbit(a[lane]) ? hasNegZero : hasPosZero) = true;
+      }
+    }
+    if (!outsideContract && !(hasPosZero && hasNegZero)) {
+      ASSERT_EQ(bits(simd::reduceMin(av)), bits(chain));
+    }
+  }
+}
+
+TEST(SimdLanes, SelectAndLaneAccess) {
+  double a[simd::kWidth];
+  double b[simd::kWidth];
+  for (std::size_t lane = 0; lane < simd::kWidth; ++lane) {
+    a[lane] = static_cast<double>(lane) + 0.25;
+    b[lane] = -static_cast<double>(lane) - 4.5;
+  }
+  const simd::f64v av = simd::f64v::load(a);
+  const simd::f64v bv = simd::f64v::load(b);
+  const simd::f64v picked = simd::select(simd::cmpLT(bv, av), bv, av);
+  for (std::size_t lane = 0; lane < simd::kWidth; ++lane) {
+    EXPECT_EQ(picked.lane(lane), b[lane]); // b < a everywhere
+    EXPECT_EQ(av.lane(lane), a[lane]);
+  }
+  EXPECT_TRUE(simd::allLanes(simd::cmpLT(bv, av)));
+  EXPECT_FALSE(simd::anyLane(simd::cmpLT(av, bv)));
+  EXPECT_EQ(simd::laneBits(simd::cmpLT(av, bv)), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flux band-integral batch: bitwise vs FluxTableView::integrated
+
+TEST(SimdBatch, FluxIntegratedMatchesScalarBitwise) {
+  const FluxSpectrum flux =
+      FluxSpectrum::moderatorMaxwellian(1.0, 10.0, 64, 2.0, 5.0);
+  const FluxTableView view = flux.view();
+
+  Xoshiro256 rng(0xF1u);
+  std::vector<double> k;
+  // Boundaries and near-boundaries first, then random in-band and
+  // out-of-band momenta.
+  k.push_back(view.kMin);
+  k.push_back(view.kMax);
+  k.push_back(std::nextafter(view.kMin, 0.0));
+  k.push_back(std::nextafter(view.kMin, view.kMax));
+  k.push_back(std::nextafter(view.kMax, view.kMin));
+  k.push_back(std::nextafter(view.kMax, 1e30));
+  k.push_back(0.0);
+  k.push_back(1e12);
+  while (k.size() < 4 * simd::kWidth + 9) {
+    k.push_back(rng.uniform(0.5, 11.0));
+  }
+
+  // Every prefix length: exercises the full-vector loop AND every
+  // possible scalar-tail length (counts % kWidth), including 0 and 1.
+  std::vector<double> phi(k.size(), kNan);
+  for (std::size_t count = 0; count <= k.size(); ++count) {
+    simd::fluxIntegratedBatch(view, k.data(), phi.data(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(bits(phi[i]), bits(view.integrated(k[i])))
+          << "count=" << count << " i=" << i << " k=" << k[i];
+    }
+  }
+}
+
+TEST(SimdBatch, FluxBatchHandlesDegenerateTables) {
+  const double k[3] = {1.0, 2.0, 3.0};
+  double phi[3] = {kNan, kNan, kNan};
+
+  // Empty table: integrated() is defined as 0 everywhere.
+  const FluxTableView empty{};
+  simd::fluxIntegratedBatch(empty, k, phi, 3);
+  for (double p : phi) {
+    EXPECT_EQ(bits(p), bits(0.0));
+  }
+
+  // Minimal two-point table.
+  const FluxSpectrum tiny = FluxSpectrum::flat(1.0, 3.0, 2, 4.0);
+  const FluxTableView view = tiny.view();
+  simd::fluxIntegratedBatch(view, k, phi, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(bits(phi[i]), bits(view.integrated(k[i])));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BinMD locate batch: lane bits + bins vs GridView::locate
+
+TEST(SimdBatch, BinLocateMatchesScalarLocate) {
+  Histogram3D histogram(BinAxis("H", -4.0, 4.0, 17),
+                        BinAxis("K", -2.0, 6.0, 11),
+                        BinAxis("L", -1.0, 1.0, 3));
+  const GridView grid = histogram.gridView();
+  const M33 transform =
+      M33::fromRows({0.9, 0.1, -0.2}, {-0.3, 1.1, 0.05}, {0.0, -0.4, 0.8});
+  const simd::BinLocateBatch batch(grid, transform);
+
+  Xoshiro256 rng(0x10CA7Eu);
+  std::vector<double> qx, qy, qz;
+  const auto pushEvent = [&](double x, double y, double z) {
+    qx.push_back(x);
+    qy.push_back(y);
+    qz.push_back(z);
+  };
+  // In-range, out-of-range, exact edges, and NaN coordinates.
+  pushEvent(0.0, 0.0, 0.0);
+  pushEvent(-4.0, -2.0, -1.0); // exactly min (in range: [min, max))
+  pushEvent(4.0, 6.0, 1.0);    // exactly max (out of range)
+  pushEvent(kNan, 0.0, 0.0);
+  pushEvent(0.0, kNan, 0.0);
+  pushEvent(0.0, 0.0, kNan);
+  pushEvent(100.0, 0.0, 0.0);
+  pushEvent(0.0, -100.0, 0.0);
+  while (qx.size() % simd::kWidth != 0 ||
+         qx.size() < 6 * simd::kWidth) {
+    pushEvent(rng.uniform(-6.0, 6.0), rng.uniform(-4.0, 8.0),
+              rng.uniform(-2.0, 2.0));
+  }
+
+  std::size_t bins[simd::kWidth];
+  for (std::size_t base = 0; base < qx.size(); base += simd::kWidth) {
+    const unsigned valid =
+        batch.locate(qx.data() + base, qy.data() + base, qz.data() + base,
+                     bins);
+    for (std::size_t lane = 0; lane < simd::kWidth; ++lane) {
+      const std::size_t i = base + lane;
+      const V3 p = transform * V3{qx[i], qy[i], qz[i]};
+      const std::size_t expected = grid.locate(p);
+      const bool laneValid = (valid & (1u << lane)) != 0;
+      ASSERT_EQ(laneValid, expected < grid.size())
+          << "event " << i << " at (" << p.x << ", " << p.y << ", " << p.z
+          << ")";
+      if (laneValid) {
+        ASSERT_EQ(bins[lane], expected) << "event " << i;
+      } else {
+        // Invalid lanes still return an in-bounds index (clamped), so
+        // the batch arithmetic can never index out of the grid.
+        ASSERT_LT(bins[lane], grid.size());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD trajectory walk: identical segment stream
+
+struct Segment {
+  double k1;
+  double k2;
+  std::size_t bin;
+};
+
+TEST(SimdWalk, SegmentStreamMatchesScalarWalk) {
+  Histogram3D histogram(BinAxis("H", -8.0, 8.0, 37),
+                        BinAxis("K", -8.0, 8.0, 29),
+                        BinAxis("L", -1.5, 1.5, 3));
+  const GridView grid = histogram.gridView();
+  Xoshiro256 rng(0xDDAu);
+  std::size_t nonEmpty = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    V3 t{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+         rng.uniform(-0.3, 0.3)};
+    if (trial % 5 == 0) {
+      t.z = 0.0; // parallel axis: midpoint-binned segments
+    }
+    if (trial % 11 == 0) {
+      t.y = 0.0;
+    }
+    const double kMin = 0.5 + rng.uniform(0.0, 1.0);
+    const double kMax = kMin + rng.uniform(0.5, 20.0);
+
+    std::vector<Segment> scalar, vector;
+    const std::size_t nScalar = traverseTrajectory(
+        grid, t, kMin, kMax, [&](double k1, double k2, std::size_t bin) {
+          scalar.push_back({k1, k2, bin});
+        });
+    const std::size_t nVector = traverseTrajectorySimd(
+        grid, t, kMin, kMax, [&](double k1, double k2, std::size_t bin) {
+          vector.push_back({k1, k2, bin});
+        });
+    ASSERT_EQ(nScalar, scalar.size());
+    ASSERT_EQ(nVector, vector.size());
+    ASSERT_EQ(scalar.size(), vector.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+      ASSERT_EQ(bits(scalar[i].k1), bits(vector[i].k1))
+          << "trial " << trial << " segment " << i;
+      ASSERT_EQ(bits(scalar[i].k2), bits(vector[i].k2))
+          << "trial " << trial << " segment " << i;
+      ASSERT_EQ(scalar[i].bin, vector[i].bin)
+          << "trial " << trial << " segment " << i;
+    }
+    nonEmpty += scalar.empty() ? 0 : 1;
+  }
+  EXPECT_GT(nonEmpty, 100u); // the sweep actually walked trajectories
+}
+
+TEST(SimdWalk, PlaneEdgeTablesMatchOnTheFlyBitwise) {
+  Histogram3D histogram(BinAxis("H", -6.0, 6.0, 41),
+                        BinAxis("K", -6.0, 6.0, 23),
+                        BinAxis("L", -2.0, 2.0, 5));
+  const GridView grid = histogram.gridView();
+  std::vector<double> storage(grid.n[0] + grid.n[1] + grid.n[2] + 3);
+  PlaneEdges edges;
+  {
+    double* cursor = storage.data();
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      edges.e[axis] = cursor;
+      for (std::size_t p = 0; p <= grid.n[axis]; ++p) {
+        *cursor++ = grid.planeEdge(axis, p);
+      }
+    }
+  }
+  Xoshiro256 rng(0xED6Eu);
+  std::size_t nonEmpty = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    V3 t{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+         rng.uniform(-0.4, 0.4)};
+    if (trial % 7 == 0) {
+      t.x = 0.0; // parallel axis still walks through the table path
+    }
+    const double kMin = 0.5 + rng.uniform(0.0, 1.0);
+    const double kMax = kMin + rng.uniform(0.5, 15.0);
+    std::vector<Segment> plain, tabled;
+    traverseTrajectory(grid, t, kMin, kMax,
+                       [&](double k1, double k2, std::size_t bin) {
+                         plain.push_back({k1, k2, bin});
+                       });
+    traverseTrajectorySimd(
+        grid, t, kMin, kMax,
+        [&](double k1, double k2, std::size_t bin) {
+          tabled.push_back({k1, k2, bin});
+        },
+        edges);
+    ASSERT_EQ(plain.size(), tabled.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      ASSERT_EQ(bits(plain[i].k1), bits(tabled[i].k1)) << "trial " << trial;
+      ASSERT_EQ(bits(plain[i].k2), bits(tabled[i].k2)) << "trial " << trial;
+      ASSERT_EQ(plain[i].bin, tabled[i].bin) << "trial " << trial;
+    }
+    nonEmpty += plain.empty() ? 0 : 1;
+  }
+  EXPECT_GT(nonEmpty, 80u);
+}
+
+// ---------------------------------------------------------------------------
+// BandClipBatch: lanewise hull-clip rejection == the scalar clip
+
+TEST(SimdClip, RejectionMatchesScalarClipExactly) {
+  Histogram3D histogram(BinAxis("H", -3.0, 3.0, 603),
+                        BinAxis("K", -3.0, 3.0, 603),
+                        BinAxis("L", -0.1, 0.1, 1));
+  const GridView grid = histogram.gridView();
+  const double kMin = 1.0;
+  const double kMax = 9.0;
+  const BandClipBatch clip(grid, kMin, kMax);
+
+  // The scalar predicate BandClipBatch mirrors: initWalk's hull clip,
+  // replicated expression-for-expression.
+  const auto scalarClipEmpty = [&](const V3& t) {
+    double kStart = kMin;
+    double kEnd = kMax;
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      if (std::fabs(t[axis]) < kTrajectoryParallelTolerance) {
+        continue;
+      }
+      const double inv = 1.0 / t[axis];
+      const double kA = grid.planeEdge(axis, 0) * inv;
+      const double kB = grid.planeEdge(axis, grid.n[axis]) * inv;
+      const double kLow = kA < kB ? kA : kB;
+      const double kHigh = kA < kB ? kB : kA;
+      if (kLow > kStart) {
+        kStart = kLow;
+      }
+      if (kHigh < kEnd) {
+        kEnd = kHigh;
+      }
+    }
+    return !(kStart < kEnd);
+  };
+
+  Xoshiro256 rng(0xC11Fu);
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  std::size_t rejectedLanes = 0;
+  std::size_t keptLanes = 0;
+  for (int batch = 0; batch < 300; ++batch) {
+    alignas(32) double tx[simd::kWidth];
+    alignas(32) double ty[simd::kWidth];
+    alignas(32) double tz[simd::kWidth];
+    V3 lanes[simd::kWidth];
+    for (std::size_t lane = 0; lane < simd::kWidth; ++lane) {
+      V3 t{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+           rng.uniform(-1.0, 1.0)};
+      const int spice = batch % 13;
+      if (spice == 1 && lane == 0) {
+        t.z = 0.0; // axis-parallel lane: that axis must be skipped
+      }
+      if (spice == 2 && lane == simd::kWidth - 1) {
+        // All-NaN direction: every axis' compares are NaN-false, so no
+        // axis tightens the band and the lane must survive the clip.
+        t = V3{kNaN, kNaN, kNaN};
+      }
+      if (spice == 3) {
+        t.z = rng.uniform(-0.01, 0.01); // thin-slab near-miss population
+      }
+      if (spice == 4 && lane == 0) {
+        // One NaN axis: that axis contributes nothing, but the finite
+        // axes still clip — the scalar reference must agree lanewise.
+        t.x = kNaN;
+      }
+      lanes[lane] = t;
+      tx[lane] = t.x;
+      ty[lane] = t.y;
+      tz[lane] = t.z;
+    }
+    const unsigned rejected = clip.rejected(tx, ty, tz);
+    for (std::size_t lane = 0; lane < simd::kWidth; ++lane) {
+      const bool laneRejected = (rejected & (1u << lane)) != 0u;
+      const bool allNan = std::isnan(lanes[lane].x) &&
+                          std::isnan(lanes[lane].y) &&
+                          std::isnan(lanes[lane].z);
+      if (allNan) {
+        EXPECT_FALSE(laneRejected) << "batch " << batch << " lane " << lane;
+        continue;
+      }
+      EXPECT_EQ(laneRejected, scalarClipEmpty(lanes[lane]))
+          << "batch " << batch << " lane " << lane;
+      if (laneRejected) {
+        // Safety: a rejected lane's walk must emit nothing.
+        const std::size_t segments =
+            traverseTrajectory(grid, lanes[lane], kMin, kMax,
+                               [](double, double, std::size_t) {});
+        EXPECT_EQ(segments, 0u) << "batch " << batch << " lane " << lane;
+        ++rejectedLanes;
+      } else {
+        ++keptLanes;
+      }
+    }
+  }
+  EXPECT_GT(rejectedLanes, 50u); // the sweep exercised both outcomes
+  EXPECT_GT(keptLanes, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache-blocked deposits: addBlock / DepositBlock == per-deposit add
+
+TEST(Accumulate, AddBlockMatchesPerDepositAdd) {
+  const Executor executor(Backend::Serial);
+  Xoshiro256 rng(0xB10Cu);
+  for (const AccumulateStrategy strategy :
+       {AccumulateStrategy::Atomic, AccumulateStrategy::Privatized,
+        AccumulateStrategy::Tiled}) {
+    Histogram3D perAdd(BinAxis("H", 0.0, 1.0, 8), BinAxis("K", 0.0, 1.0, 8),
+                       BinAxis("L", 0.0, 1.0, 4));
+    Histogram3D blocked = perAdd;
+
+    // A deposit stream with heavy bin reuse (tests the Tiled cache's
+    // coalescing and flush points) and irregular length.
+    std::vector<std::size_t> bins;
+    std::vector<double> values;
+    for (std::size_t i = 0; i < 10007; ++i) {
+      bins.push_back(randomIndex(rng, perAdd.size() / 2) * 2 % perAdd.size());
+      values.push_back(rng.uniform(0.0, 3.0));
+    }
+
+    AccumulateOptions options;
+    options.strategy = strategy;
+    {
+      GridAccumulator acc(perAdd.gridView(), executor, options);
+      const AccumulatorRef sink = acc.ref();
+      for (std::size_t i = 0; i < bins.size(); ++i) {
+        sink.add(0, bins[i], values[i]);
+      }
+      acc.commit();
+    }
+    {
+      GridAccumulator acc(blocked.gridView(), executor, options);
+      const AccumulatorRef sink = acc.ref();
+      DepositBlock staged;
+      for (std::size_t i = 0; i < bins.size(); ++i) {
+        if (staged.full()) {
+          staged.flush(sink, 0);
+        }
+        staged.push(bins[i], values[i]);
+      }
+      staged.flush(sink, 0);
+      acc.commit();
+    }
+    expectBitwiseEqual(perAdd, blocked,
+                       accumulateStrategyName(strategy));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level parity on Backend::Serial: simd=On must be bitwise
+// identical to simd=Off (deposit-order preservation + lane identity).
+
+TEST(BinMDSimd, OnMatchesOffBitwiseOnSerial) {
+  const Executor executor(Backend::Serial);
+  Histogram3D reference(BinAxis("H", -5.0, 5.0, 13),
+                        BinAxis("K", -5.0, 5.0, 9),
+                        BinAxis("L", -5.0, 5.0, 5));
+  const std::vector<M33> transforms{
+      M33::identity(),
+      M33::fromRows({0.0, -1.0, 0.0}, {1.0, 0.0, 0.0}, {0.0, 0.0, 1.0})};
+
+  Xoshiro256 rng(0xB17Du);
+  // Lane-tail coverage: counts around every multiple of the vector
+  // width and the event block size, including 0 and 1.
+  const std::size_t counts[] = {0,  1,  2,   3,   4,   5,
+                                7,  8,  9,   255, 256, 257};
+  for (const std::size_t n : counts) {
+    std::vector<double> qx(n), qy(n), qz(n), signal(n), errorSq(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      qx[i] = rng.uniform(-6.0, 6.0); // some events out of bounds
+      qy[i] = rng.uniform(-6.0, 6.0);
+      qz[i] = rng.uniform(-6.0, 6.0);
+      signal[i] = rng.uniform(0.1, 2.0);
+      errorSq[i] = rng.uniform(0.01, 0.5);
+    }
+    BinMDInputs inputs;
+    inputs.transforms = transforms;
+    inputs.qx = qx.data();
+    inputs.qy = qy.data();
+    inputs.qz = qz.data();
+    inputs.signal = signal.data();
+    inputs.errorSq = errorSq.data();
+    inputs.nEvents = n;
+
+    Histogram3D scalarSignal = reference;
+    Histogram3D scalarError = reference;
+    Histogram3D vectorSignal = reference;
+    Histogram3D vectorError = reference;
+    runBinMD(executor, inputs, scalarSignal.gridView(),
+             scalarError.gridView(), {}, SimdMode::Off);
+    runBinMD(executor, inputs, vectorSignal.gridView(),
+             vectorError.gridView(), {}, SimdMode::On);
+    expectBitwiseEqual(scalarSignal, vectorSignal, "signal");
+    expectBitwiseEqual(scalarError, vectorError, "errorSq");
+
+    // Signal-only overload too (separate code path).
+    Histogram3D scalarOnly = reference;
+    Histogram3D vectorOnly = reference;
+    runBinMD(executor, inputs, scalarOnly.gridView(), {}, SimdMode::Off);
+    runBinMD(executor, inputs, vectorOnly.gridView(), {}, SimdMode::On);
+    expectBitwiseEqual(scalarOnly, vectorOnly, "signal-only");
+  }
+}
+
+TEST(MDNormSimd, OnMatchesOffBitwiseOnSerial) {
+  const Executor executor(Backend::Serial);
+  const FluxSpectrum flux =
+      FluxSpectrum::moderatorMaxwellian(0.8, 12.0, 96, 2.2, 7.5);
+  const std::vector<M33> transforms{
+      M33::identity(),
+      M33::fromRows({0.8, 0.1, 0.0}, {-0.1, 0.9, 0.2}, {0.05, 0.0, 1.1})};
+
+  Xoshiro256 rng(0x4D0Au);
+  // Detector counts 0 and 1 exercise empty and single-item launches;
+  // the larger counts produce segment tiles with every tail length.
+  for (const std::size_t nDetectors : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{37}, std::size_t{128}}) {
+    std::vector<V3> directions(nDetectors);
+    std::vector<double> solidAngles(nDetectors);
+    for (std::size_t i = 0; i < nDetectors; ++i) {
+      V3 d{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+           rng.uniform(-1.0, 1.0)};
+      const double norm =
+          std::sqrt(d.x * d.x + d.y * d.y + d.z * d.z) + 1e-9;
+      directions[i] = V3{d.x / norm, d.y / norm, d.z / norm};
+      solidAngles[i] = rng.uniform(0.5, 1.5);
+    }
+    MDNormInputs inputs;
+    inputs.transforms = transforms;
+    inputs.qLabDirections = directions;
+    inputs.solidAngles = solidAngles;
+    inputs.flux = flux.view();
+    inputs.protonCharge = 3.25;
+    inputs.kMin = 1.0;
+    inputs.kMax = 11.0;
+
+    Histogram3D scalarNorm(BinAxis("H", -9.0, 9.0, 41),
+                           BinAxis("K", -9.0, 9.0, 31),
+                           BinAxis("L", -9.0, 9.0, 3));
+    Histogram3D vectorNorm = scalarNorm;
+    MDNormOptions options;
+    options.traversal = Traversal::Dda;
+    options.simd = SimdMode::Off;
+    runMDNorm(executor, inputs, scalarNorm.gridView(), options);
+    options.simd = SimdMode::On;
+    runMDNorm(executor, inputs, vectorNorm.gridView(), options);
+    expectBitwiseEqual(scalarNorm, vectorNorm, "normalization");
+    if (nDetectors >= 37) {
+      EXPECT_GT(scalarNorm.nonZeroBins(), 0u); // parity over real work
+    }
+  }
+}
+
+} // namespace
+} // namespace vates
