@@ -6,14 +6,21 @@
 #             → BENCH_mdnorm.json
 #   service — the reduction-service jobs x workers x batching sweep over
 #             a duplicate-grid job set → BENCH_service.json
+#   cache   — the persistent-cache cold/warm/incremental sweep plus the
+#             benzil_small cold-vs-warm headline → BENCH_cache.json
 #
 # Usage:  BUILD_DIR=/path/to/build bench/run_perf_smoke.sh
 #         (BUILD_DIR defaults to <repo>/build; set
-#          VATES_PERF_SMOKE_ONLY=mdnorm|service to run one step)
+#          VATES_PERF_SMOKE_ONLY=mdnorm|service|cache to run one step)
 #
-# Wired into ctest as `perf_smoke_mdnorm` / `perf_smoke_service` behind
-# -DVATES_PERF_SMOKE=ON with LABELS perf, so tier-1 `ctest` runs never
-# pay for it.
+# Wired into ctest as `perf_smoke_mdnorm` / `perf_smoke_service` /
+# `perf_smoke_cache` behind -DVATES_PERF_SMOKE=ON with LABELS perf, so
+# tier-1 `ctest` runs never pay for it.
+#
+# Every binary the selected steps need is verified up front: a missing
+# binary fails the whole run (non-zero) before any BENCH_*.json is
+# written, so a partial report set can never masquerade as a completed
+# smoke.
 
 set -euo pipefail
 
@@ -22,55 +29,53 @@ repo_root="$(cd "${script_dir}/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
 only="${VATES_PERF_SMOKE_ONLY:-all}"
 
-run_service_step() {
-  local bench_bin="${build_dir}/bench/bench_ablation_service"
-  local out_json="${repo_root}/BENCH_service.json"
-  if [[ ! -x "${bench_bin}" ]]; then
-    echo "error: ${bench_bin} not found or not executable" >&2
-    echo "build first: cmake --build ${build_dir} --target bench_ablation_service" >&2
+case "${only}" in
+  all|mdnorm|service|cache) ;;
+  *)
+    echo "error: VATES_PERF_SMOKE_ONLY=${only} (want mdnorm|service|cache|all)" >&2
     exit 1
-  fi
-  "${bench_bin}" --jobs 4,8 --workers 1,2 > "${out_json}"
-  python3 - "${out_json}" <<'PY'
-import json
-import sys
+    ;;
+esac
 
-path = sys.argv[1]
-with open(path) as f:
-    doc = json.load(f)
-with open(path, "w") as f:
-    json.dump(doc, f, indent=2, sort_keys=True)
-    f.write("\n")
-print(f"wrote {path}")
-for cell in doc.get("cells", []):
-    print("  jobs={jobs} workers={workers} batching={batching}: "
-          "norm_passes={normalization_passes} wall={wall_s:.2f}s".format(**cell))
-PY
-}
-
-if [[ "${only}" == "service" ]]; then
-  run_service_step
-  exit 0
+# -- up-front binary check: fail loudly before any JSON is written ------
+required_binaries=()
+if [[ "${only}" == "all" || "${only}" == "mdnorm" ]]; then
+  required_binaries+=("bench_ablation_sort")
+fi
+if [[ "${only}" == "all" || "${only}" == "service" ]]; then
+  required_binaries+=("bench_ablation_service")
+fi
+if [[ "${only}" == "all" || "${only}" == "cache" ]]; then
+  required_binaries+=("bench_ablation_cache")
 fi
 
-bench_bin="${build_dir}/bench/bench_ablation_sort"
-out_json="${repo_root}/BENCH_mdnorm.json"
-raw_json="$(mktemp /tmp/bench_mdnorm_raw.XXXXXX.json)"
-trap 'rm -f "${raw_json}"' EXIT
-
-if [[ ! -x "${bench_bin}" ]]; then
-  echo "error: ${bench_bin} not found or not executable" >&2
-  echo "build first: cmake --build ${build_dir} --target bench_ablation_sort" >&2
+missing=0
+for name in "${required_binaries[@]}"; do
+  if [[ ! -x "${build_dir}/bench/${name}" ]]; then
+    echo "error: ${build_dir}/bench/${name} not found or not executable" >&2
+    echo "build first: cmake --build ${build_dir} --target ${name}" >&2
+    missing=1
+  fi
+done
+if [[ "${missing}" -ne 0 ]]; then
+  echo "error: refusing to run with missing bench binaries; no BENCH_*.json written" >&2
   exit 1
 fi
 
-"${bench_bin}" \
-  --benchmark_filter='BM_MDNorm_Traversal/.*/603x603x1' \
-  --benchmark_format=json \
-  --benchmark_min_time=0.05 \
-  > "${raw_json}"
+run_mdnorm_step() {
+  local bench_bin="${build_dir}/bench/bench_ablation_sort"
+  local out_json="${repo_root}/BENCH_mdnorm.json"
+  local raw_json
+  raw_json="$(mktemp /tmp/bench_mdnorm_raw.XXXXXX.json)"
+  trap 'rm -f "${raw_json}"' RETURN
 
-python3 - "${raw_json}" "${out_json}" <<'PY'
+  "${bench_bin}" \
+    --benchmark_filter='BM_MDNorm_Traversal/.*/603x603x1' \
+    --benchmark_format=json \
+    --benchmark_min_time=0.05 \
+    > "${raw_json}"
+
+  python3 - "${raw_json}" "${out_json}" <<'PY'
 import json
 import sys
 
@@ -148,7 +153,68 @@ for name in sorted(backends):
     if simd_speedup is not None:
         print(f"  {name}: simd vs scalar dda speedup = {simd_speedup:.2f}x")
 PY
+}
 
-if [[ "${only}" == "all" ]]; then
+run_service_step() {
+  local bench_bin="${build_dir}/bench/bench_ablation_service"
+  local out_json="${repo_root}/BENCH_service.json"
+  "${bench_bin}" --jobs 4,8 --workers 1,2 > "${out_json}"
+  python3 - "${out_json}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {path}")
+for cell in doc.get("cells", []):
+    print("  jobs={jobs} workers={workers} batching={batching}: "
+          "norm_passes={normalization_passes} wall={wall_s:.2f}s".format(**cell))
+PY
+}
+
+run_cache_step() {
+  local bench_bin="${build_dir}/bench/bench_ablation_cache"
+  local out_json="${repo_root}/BENCH_cache.json"
+  "${bench_bin}" --files 2,4 --jobs 4 --workers 1,2 > "${out_json}"
+  python3 - "${out_json}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {path}")
+for cell in doc.get("cells", []):
+    print("  mode={mode} files={files} workers={workers}: "
+          "hits={cache_hits} misses={cache_misses} "
+          "norm_passes={normalization_passes} wall={wall_s:.3f}s "
+          "p95={p95:.3f}s".format(p95=cell["run"]["p95_s"], **cell))
+head = doc.get("headline", {})
+if head:
+    print("  headline {plan}: cold_p95={cold_p95:.4f}s warm_p95={warm_p95:.4f}s "
+          "speedup={speedup:.1f}x (wall cold={cold_s:.3f}s warm={warm_s:.3f}s "
+          "warm_first={warm_first_s:.3f}s warm_disk={warm_disk_s:.3f}s)"
+          .format(cold_p95=head["cold_run"]["p95_s"],
+                  warm_p95=head["warm_run"]["p95_s"], **head))
+    if head.get("speedup", 0.0) < 5.0:
+        print("  warning: warm speedup below the 5x acceptance bar",
+              file=sys.stderr)
+PY
+}
+
+if [[ "${only}" == "all" || "${only}" == "mdnorm" ]]; then
+  run_mdnorm_step
+fi
+if [[ "${only}" == "all" || "${only}" == "service" ]]; then
   run_service_step
+fi
+if [[ "${only}" == "all" || "${only}" == "cache" ]]; then
+  run_cache_step
 fi

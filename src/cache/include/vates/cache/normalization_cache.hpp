@@ -1,0 +1,233 @@
+#pragma once
+/// \file normalization_cache.hpp
+/// Persistent on-disk MDNorm result cache — the cross-*process* sibling
+/// of the service's shared-grid batching.
+///
+/// Shared-grid batching (DESIGN.md §8) dedupes normalization passes
+/// across jobs that are co-resident in the queue; every new session
+/// still re-pays the full MDNorm integral.  At a facility the
+/// normalization inputs (instrument geometry, lattice, goniometer
+/// schedule, flux band, output grid) repeat across sessions far more
+/// than they repeat within one queue, so this cache persists results to
+/// disk, keyed by the same `normalizationKey` string the batcher uses:
+/// equal keys ⇒ bitwise-equal normalization histograms, which is what
+/// makes serving a warm run from the cache *exactly* as trustworthy as
+/// recomputing — the skipNormalization divide path is unchanged.
+///
+/// Two entry kinds share one directory:
+///
+///  - *norm* entries (`<hash>-norm.nxc`) store just the normalization
+///    histogram under the full `normalizationKey`.  A hit lets a job
+///    skip its MDNorm pass and divide by the cached denominator.
+///  - *part* entries (`<hash>-part.nxc`) store partial reduction
+///    accumulators — signal, normalization, optional σ², the number of
+///    files they cover — under `incrementalKey` (the normalization key
+///    with the file count canonicalized plus every data-affecting
+///    field).  Appending files to a previously reduced plan then
+///    re-reduces only the delta files, seeded with these accumulators
+///    (see ReductionPipeline::runIncremental for the bit-identity
+///    argument).
+///
+/// On-disk discipline reuses the repo's golden-file machinery: entries
+/// are nxlite containers (per-dataset CRC-32, `src/io/crc32`), stamped
+/// with `kCacheFormatVersion` and the *verbatim key string*, so a hash
+/// collision, a truncation, a flipped payload bit, or a format bump all
+/// read back as a miss — never as wrong bins.  Damaged entries are
+/// deleted on discovery.
+///
+/// Concurrency: single-writer/multi-reader safe across processes
+/// sharing one directory.  Writers publish with write-to-temp +
+/// `std::filesystem::rename` (atomic within a filesystem), so a reader
+/// only ever opens a fully written entry; POSIX keeps an unlinked file
+/// readable by whoever already opened it, so eviction never corrupts a
+/// concurrent read.  Cross-process races (another process evicting an
+/// entry we were about to read) degrade to misses.
+///
+/// Eviction: an in-memory LRU index (seeded by scanning the directory
+/// at construction, recency bumped on every hit) evicts the
+/// least-recently-used entries whenever resident bytes exceed the
+/// budget; the just-written entry is always retained even when it alone
+/// exceeds the budget.
+///
+/// Hot tier: on top of the disk entries, each cache instance keeps the
+/// most recently used *deserialized* entries in RAM (its own LRU byte
+/// budget), so a resident service re-serving the same plan skips the
+/// read + CRC + deserialize entirely.  A RAM entry is only served while
+/// the disk file it came from is provably unchanged — its (inode, size,
+/// mtime) identity is re-stat'ed on every find and any mismatch (or a
+/// missing file, i.e. a cross-process eviction) falls back to the
+/// CRC-verified disk path.  Entries enter the tier carrying bits that
+/// were CRC-verified on read (or just written), so hot hits inherit the
+/// disk tier's integrity guarantees.
+
+#include "vates/histogram/histogram3d.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace vates::cache {
+
+/// Bumped whenever the entry layout changes; mismatched entries are
+/// treated as damaged (deleted, counted, missed) rather than read.
+inline constexpr std::uint32_t kCacheFormatVersion = 1;
+
+/// File extension of every cache entry (norm and part alike).
+inline constexpr const char* kCacheEntryExtension = ".nxc";
+
+/// Where and how big.  An empty directory disables caching entirely.
+struct CacheConfig {
+  std::string directory;
+  /// Resident-bytes ceiling the LRU evicts down to (0: unbounded).
+  std::uint64_t budgetBytes = std::uint64_t{256} << 20;
+  /// Hot-tier ceiling: deserialized entries kept in RAM, LRU-evicted by
+  /// their on-disk byte size (0 disables the tier; finds then always
+  /// take the CRC-verified disk path).
+  std::uint64_t memoryBudgetBytes = std::uint64_t{256} << 20;
+
+  /// Apply the VATES_CACHE_DIR / VATES_CACHE_BUDGET environment
+  /// overrides (same warn-and-ignore contract as VATES_OVERLAP) on top
+  /// of the given plan/service values.
+  static CacheConfig withEnvOverrides(std::string directory,
+                                      std::uint64_t budgetBytes);
+};
+
+/// Counters one cache instance accumulates over its lifetime, plus the
+/// current index footprint.  Aggregated into ServiceMetrics.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  /// Subset of `hits` served from the in-memory hot tier (no file read).
+  std::uint64_t memoryHits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t storeFailures = 0; ///< unwritable dir, ENOSPC, rename races
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidEntries = 0; ///< damaged/stale entries dropped on read
+  std::uint64_t bytes = 0;          ///< resident entry bytes right now
+  std::uint64_t entries = 0;        ///< resident entry count right now
+
+  CacheStats& operator+=(const CacheStats& other) noexcept;
+};
+
+/// Partial (or complete) reduction accumulators for incremental mode:
+/// the rank state after `filesReduced` files, before the final divide.
+struct CachedReduction {
+  std::uint64_t filesReduced = 0;
+  std::uint64_t eventsProcessed = 0;
+  Histogram3D signal;
+  Histogram3D normalization;
+  /// Present iff the producing run tracked errors.
+  std::optional<Histogram3D> signalErrorSq;
+};
+
+/// One cache directory.  Thread-safe; any thread may find/store/clear.
+class NormalizationCache {
+public:
+  /// Opens (and scans) \p config.directory, creating it if absent.  An
+  /// unusable directory (a regular file in the way, no permission)
+  /// degrades to a disabled cache: finds miss, stores fail, nothing
+  /// throws — cold compute always remains available.
+  explicit NormalizationCache(CacheConfig config);
+
+  const CacheConfig& config() const noexcept { return config_; }
+
+  /// True when the directory was usable at construction.
+  bool writable() const noexcept { return writable_; }
+
+  /// Look up a normalization histogram by its normalizationKey.
+  /// Returns nullptr on a miss; hot hits share the cached object
+  /// (immutable), disk hits deserialize and warm the hot tier.
+  std::shared_ptr<const Histogram3D>
+  findNormalization(const std::string& key);
+
+  /// Publish a normalization histogram under \p key.  Returns false
+  /// (and counts a storeFailure) when the entry could not be written.
+  bool storeNormalization(const std::string& key,
+                          const Histogram3D& normalization);
+
+  /// Look up partial reduction accumulators by their incrementalKey.
+  /// Returns nullptr on a miss (same tiering as findNormalization).
+  std::shared_ptr<const CachedReduction>
+  findReduction(const std::string& key);
+
+  /// Publish partial reduction accumulators under \p key, replacing any
+  /// previous entry (the one covering more files wins at the caller).
+  bool storeReduction(const std::string& key, const CachedReduction& value);
+
+  /// Point-in-time counters + footprint.
+  CacheStats stats() const;
+
+  /// Remove every entry (and stray temp file) in the directory;
+  /// returns the number of entries removed.
+  std::size_t clear();
+
+  /// Entry file name for \p key ("<fnv1a64-hex>-norm.nxc" /
+  /// "<hash>-part.nxc"); exposed for tests and the golden-drift check.
+  static std::string entryFileName(const std::string& key, bool partial);
+
+  /// Absolute path of \p key's entry inside this cache's directory.
+  std::string entryPath(const std::string& key, bool partial) const;
+
+private:
+  struct IndexEntry {
+    std::uint64_t bytes = 0;
+    /// Monotonic LRU clock (not wall time): bumped on store and hit.
+    std::uint64_t touched = 0;
+  };
+
+  /// What makes a disk entry "the same file": inode catches atomic
+  /// rename-replacement, size catches truncation, mtime catches
+  /// in-place modification.  A hot-tier entry is served only while the
+  /// file's current identity equals the one recorded at read time.
+  struct FileIdentity {
+    std::uint64_t inode = 0;
+    std::uint64_t size = 0;
+    std::int64_t mtimeNs = 0;
+    bool operator==(const FileIdentity&) const = default;
+  };
+
+  /// One deserialized entry in the hot tier (norm xor part).
+  struct MemoryEntry {
+    FileIdentity identity;
+    std::uint64_t touched = 0;
+    std::shared_ptr<const Histogram3D> normalization;
+    std::shared_ptr<const CachedReduction> reduction;
+  };
+
+  static std::optional<FileIdentity> statIdentity(const std::string& path);
+
+  void scanDirectory();
+  void noteEntryLocked(const std::string& fileName, std::uint64_t bytes);
+  void evictToBudgetLocked(const std::string& keep);
+  void dropDamagedEntry(const std::string& fileName);
+  /// Insert/replace the hot-tier entry for \p fileName and evict the
+  /// tier down to memoryBudgetBytes (never evicting \p fileName).
+  void rememberLocked(const std::string& fileName,
+                      const FileIdentity& identity,
+                      std::shared_ptr<const Histogram3D> normalization,
+                      std::shared_ptr<const CachedReduction> reduction);
+  void forgetLocked(const std::string& fileName);
+
+  CacheConfig config_;
+  bool writable_ = false;
+  mutable std::mutex mutex_;
+  std::map<std::string, IndexEntry> index_; ///< file name → footprint
+  std::uint64_t indexBytes_ = 0;
+  std::uint64_t lruClock_ = 0;
+  std::map<std::string, MemoryEntry> memory_; ///< hot tier, same keys
+  std::uint64_t memoryBytes_ = 0;
+  CacheStats counters_; ///< hits/misses/... (bytes/entries derived)
+};
+
+/// Validate one cache entry file the way a reader would: magic, dataset
+/// CRCs, format version, entry kind, embedded key, histogram layout.
+/// Returns true when the entry is intact; otherwise false with a
+/// human-readable reason in \p error (when non-null).  Used by the
+/// golden-drift tooling (`gen_golden --check-cache`).
+bool verifyCacheEntry(const std::string& path, std::string* error = nullptr);
+
+} // namespace vates::cache

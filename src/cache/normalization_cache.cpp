@@ -1,0 +1,628 @@
+#include "vates/cache/normalization_cache.hpp"
+
+#include "vates/io/histogram_file.hpp"
+#include "vates/io/nxlite.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/log.hpp"
+#include "vates/support/strings.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace vates::cache {
+
+namespace {
+
+/// FNV-1a 64-bit — only a file-name disperser; correctness never rests
+/// on it because every entry embeds (and every read compares) the
+/// verbatim key string.
+std::uint64_t fnv1a64(const std::string& text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+constexpr const char* kVersionDataset = "cache_version";
+constexpr const char* kKindDataset = "cache_kind";
+constexpr const char* kKeyDataset = "cache_key";
+constexpr double kKindNormalization = 0.0;
+constexpr double kKindPartialReduction = 1.0;
+
+void writeKey(nx::Writer& writer, const std::string& key) {
+  std::vector<std::uint32_t> codes(key.size());
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    codes[i] = static_cast<unsigned char>(key[i]);
+  }
+  writer.writeUInt32(kKeyDataset, codes);
+}
+
+std::string readKey(nx::Reader& reader) {
+  const std::vector<std::uint32_t> codes = reader.readUInt32(kKeyDataset);
+  std::string key;
+  key.reserve(codes.size());
+  for (const std::uint32_t code : codes) {
+    key.push_back(static_cast<char>(static_cast<unsigned char>(code)));
+  }
+  return key;
+}
+
+/// Why a read did not produce a usable entry.
+enum class ReadFailure {
+  Damaged,     ///< truncated / CRC mismatch / bad layout / stale version
+  KeyMismatch, ///< intact entry for a *different* key (hash collision)
+};
+
+struct ReadOutcome {
+  std::optional<Histogram3D> normalization; ///< set for norm entries
+  std::optional<CachedReduction> reduction; ///< set for part entries
+  std::optional<ReadFailure> failure;
+};
+
+/// Read + fully validate one entry file.  Never throws: every failure
+/// mode (including IOError from the CRC checks) folds into `failure`.
+ReadOutcome readEntryFile(const std::string& path, bool partial,
+                          const std::string& expectedKey) {
+  ReadOutcome outcome;
+  try {
+    nx::Reader reader(path);
+    if (!reader.has(kVersionDataset) || !reader.has(kKindDataset) ||
+        !reader.has(kKeyDataset)) {
+      outcome.failure = ReadFailure::Damaged;
+      return outcome;
+    }
+    if (reader.readScalar(kVersionDataset) !=
+        static_cast<double>(kCacheFormatVersion)) {
+      outcome.failure = ReadFailure::Damaged;
+      return outcome;
+    }
+    const double expectedKind =
+        partial ? kKindPartialReduction : kKindNormalization;
+    if (reader.readScalar(kKindDataset) != expectedKind) {
+      outcome.failure = ReadFailure::Damaged;
+      return outcome;
+    }
+    if (readKey(reader) != expectedKey) {
+      outcome.failure = ReadFailure::KeyMismatch;
+      return outcome;
+    }
+    Histogram3D normalization = readHistogram(reader, "normalization");
+    if (!partial) {
+      outcome.normalization = std::move(normalization);
+      return outcome;
+    }
+    CachedReduction content{
+        static_cast<std::uint64_t>(reader.readScalar("files_reduced")),
+        static_cast<std::uint64_t>(reader.readScalar("events_processed")),
+        readHistogram(reader, "signal"), std::move(normalization),
+        std::nullopt};
+    if (reader.has("signal_error_sq_data")) {
+      content.signalErrorSq = readHistogram(reader, "signal_error_sq");
+    }
+    if (!content.signal.sameShape(content.normalization) ||
+        (content.signalErrorSq &&
+         !content.signalErrorSq->sameShape(content.signal))) {
+      outcome.failure = ReadFailure::Damaged;
+      return outcome;
+    }
+    outcome.reduction = std::move(content);
+  } catch (const std::exception&) {
+    outcome.failure = ReadFailure::Damaged;
+  }
+  return outcome;
+}
+
+} // namespace
+
+CacheConfig CacheConfig::withEnvOverrides(std::string directory,
+                                          std::uint64_t budgetBytes) {
+  CacheConfig config{std::move(directory), budgetBytes};
+  if (const char* env = std::getenv("VATES_CACHE_DIR")) {
+    config.directory = env;
+  }
+  if (const char* env = std::getenv("VATES_CACHE_BUDGET")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      config.budgetBytes = value;
+    } else {
+      VATES_LOG_WARN("VATES_CACHE_BUDGET=\"" << env
+                                             << "\" ignored: not a byte count");
+    }
+  }
+  return config;
+}
+
+CacheStats& CacheStats::operator+=(const CacheStats& other) noexcept {
+  hits += other.hits;
+  memoryHits += other.memoryHits;
+  misses += other.misses;
+  stores += other.stores;
+  storeFailures += other.storeFailures;
+  evictions += other.evictions;
+  invalidEntries += other.invalidEntries;
+  bytes += other.bytes;
+  entries += other.entries;
+  return *this;
+}
+
+NormalizationCache::NormalizationCache(CacheConfig config)
+    : config_(std::move(config)) {
+  if (config_.directory.empty()) {
+    return; // disabled: every find misses, every store fails
+  }
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  writable_ = !ec && fs::is_directory(config_.directory, ec) && !ec;
+  if (!writable_) {
+    VATES_LOG_WARN("cache directory unusable, falling back to cold compute: "
+                   << config_.directory);
+    return;
+  }
+  scanDirectory();
+}
+
+std::optional<NormalizationCache::FileIdentity>
+NormalizationCache::statIdentity(const std::string& path) {
+  struct ::stat info{};
+  if (::stat(path.c_str(), &info) != 0) {
+    return std::nullopt;
+  }
+  return FileIdentity{static_cast<std::uint64_t>(info.st_ino),
+                      static_cast<std::uint64_t>(info.st_size),
+                      static_cast<std::int64_t>(info.st_mtim.tv_sec) *
+                              1'000'000'000 +
+                          info.st_mtim.tv_nsec};
+}
+
+std::string NormalizationCache::entryFileName(const std::string& key,
+                                              bool partial) {
+  return strfmt("%016llx-%s%s",
+                static_cast<unsigned long long>(fnv1a64(key)),
+                partial ? "part" : "norm", kCacheEntryExtension);
+}
+
+std::string NormalizationCache::entryPath(const std::string& key,
+                                          bool partial) const {
+  return (fs::path(config_.directory) / entryFileName(key, partial)).string();
+}
+
+void NormalizationCache::scanDirectory() {
+  std::error_code ec;
+  fs::directory_iterator it(config_.directory, ec);
+  if (ec) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const fs::directory_entry& entry : it) {
+    std::error_code entryEc;
+    if (!entry.is_regular_file(entryEc) || entryEc ||
+        entry.path().extension() != kCacheEntryExtension) {
+      continue;
+    }
+    const std::uint64_t bytes = entry.file_size(entryEc);
+    if (entryEc) {
+      continue;
+    }
+    noteEntryLocked(entry.path().filename().string(), bytes);
+  }
+}
+
+void NormalizationCache::noteEntryLocked(const std::string& fileName,
+                                         std::uint64_t bytes) {
+  IndexEntry& slot = index_[fileName];
+  indexBytes_ += bytes - slot.bytes;
+  slot.bytes = bytes;
+  slot.touched = ++lruClock_;
+}
+
+void NormalizationCache::evictToBudgetLocked(const std::string& keep) {
+  if (config_.budgetBytes == 0) {
+    return; // unbounded
+  }
+  while (indexBytes_ > config_.budgetBytes) {
+    auto victim = index_.end();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->first == keep) {
+        continue; // the just-written entry is always retained
+      }
+      if (victim == index_.end() || it->second.touched < victim->second.touched) {
+        victim = it;
+      }
+    }
+    if (victim == index_.end()) {
+      return;
+    }
+    std::error_code ec;
+    fs::remove(fs::path(config_.directory) / victim->first, ec);
+    // Counted even when another process already removed the file: the
+    // index slot is gone either way.
+    ++counters_.evictions;
+    indexBytes_ -= victim->second.bytes;
+    forgetLocked(victim->first);
+    index_.erase(victim);
+  }
+}
+
+void NormalizationCache::dropDamagedEntry(const std::string& fileName) {
+  std::error_code ec;
+  fs::remove(fs::path(config_.directory) / fileName, ec);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fileName);
+  if (it != index_.end()) {
+    indexBytes_ -= it->second.bytes;
+    index_.erase(it);
+  }
+  forgetLocked(fileName);
+  ++counters_.invalidEntries;
+}
+
+void NormalizationCache::rememberLocked(
+    const std::string& fileName, const FileIdentity& identity,
+    std::shared_ptr<const Histogram3D> normalization,
+    std::shared_ptr<const CachedReduction> reduction) {
+  if (config_.memoryBudgetBytes == 0) {
+    return; // hot tier disabled
+  }
+  forgetLocked(fileName);
+  MemoryEntry& slot = memory_[fileName];
+  slot.identity = identity;
+  slot.touched = ++lruClock_;
+  slot.normalization = std::move(normalization);
+  slot.reduction = std::move(reduction);
+  memoryBytes_ += identity.size;
+  while (memoryBytes_ > config_.memoryBudgetBytes && memory_.size() > 1) {
+    auto victim = memory_.end();
+    for (auto it = memory_.begin(); it != memory_.end(); ++it) {
+      if (it->first == fileName) {
+        continue; // the just-inserted entry is always retained
+      }
+      if (victim == memory_.end() ||
+          it->second.touched < victim->second.touched) {
+        victim = it;
+      }
+    }
+    if (victim == memory_.end()) {
+      return;
+    }
+    memoryBytes_ -= victim->second.identity.size;
+    memory_.erase(victim);
+  }
+}
+
+void NormalizationCache::forgetLocked(const std::string& fileName) {
+  const auto it = memory_.find(fileName);
+  if (it != memory_.end()) {
+    memoryBytes_ -= it->second.identity.size;
+    memory_.erase(it);
+  }
+}
+
+std::shared_ptr<const Histogram3D>
+NormalizationCache::findNormalization(const std::string& key) {
+  const std::string fileName = entryFileName(key, /*partial=*/false);
+  const std::string path = entryPath(key, /*partial=*/false);
+  // Identity is taken BEFORE the read: if the file is replaced mid-read
+  // the recorded identity no longer matches the new file, so the stale
+  // hot-tier entry can never be served for it.
+  const std::optional<FileIdentity> identity =
+      writable_ ? statIdentity(path) : std::nullopt;
+  if (!identity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.misses;
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = memory_.find(fileName);
+    if (it != memory_.end() && it->second.identity == *identity &&
+        it->second.normalization != nullptr) {
+      ++counters_.hits;
+      ++counters_.memoryHits;
+      it->second.touched = ++lruClock_;
+      if (const auto disk = index_.find(fileName); disk != index_.end()) {
+        disk->second.touched = ++lruClock_; // LRU bump, both tiers
+      }
+      return it->second.normalization;
+    }
+  }
+  ReadOutcome outcome = readEntryFile(path, /*partial=*/false, key);
+  if (outcome.failure == ReadFailure::Damaged) {
+    dropDamagedEntry(fileName);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!outcome.normalization) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  if (const auto it = index_.find(fileName); it != index_.end()) {
+    it->second.touched = ++lruClock_; // LRU bump
+  } else {
+    // Published by another process since our scan; adopt it.
+    noteEntryLocked(fileName, identity->size);
+  }
+  auto shared = std::make_shared<const Histogram3D>(
+      std::move(*outcome.normalization));
+  rememberLocked(fileName, *identity, shared, nullptr);
+  return shared;
+}
+
+std::shared_ptr<const CachedReduction>
+NormalizationCache::findReduction(const std::string& key) {
+  const std::string fileName = entryFileName(key, /*partial=*/true);
+  const std::string path = entryPath(key, /*partial=*/true);
+  const std::optional<FileIdentity> identity =
+      writable_ ? statIdentity(path) : std::nullopt;
+  if (!identity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.misses;
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = memory_.find(fileName);
+    if (it != memory_.end() && it->second.identity == *identity &&
+        it->second.reduction != nullptr) {
+      ++counters_.hits;
+      ++counters_.memoryHits;
+      it->second.touched = ++lruClock_;
+      if (const auto disk = index_.find(fileName); disk != index_.end()) {
+        disk->second.touched = ++lruClock_;
+      }
+      return it->second.reduction;
+    }
+  }
+  ReadOutcome outcome = readEntryFile(path, /*partial=*/true, key);
+  if (outcome.failure == ReadFailure::Damaged) {
+    dropDamagedEntry(fileName);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!outcome.reduction) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  if (const auto it = index_.find(fileName); it != index_.end()) {
+    it->second.touched = ++lruClock_;
+  } else {
+    noteEntryLocked(fileName, identity->size);
+  }
+  auto shared =
+      std::make_shared<const CachedReduction>(std::move(*outcome.reduction));
+  rememberLocked(fileName, *identity, nullptr, shared);
+  return shared;
+}
+
+bool NormalizationCache::storeNormalization(const std::string& key,
+                                            const Histogram3D& normalization) {
+  if (!writable_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.storeFailures;
+    return false;
+  }
+  const std::string fileName = entryFileName(key, /*partial=*/false);
+  static std::atomic<std::uint64_t> tempCounter{0};
+  const fs::path temp =
+      fs::path(config_.directory) /
+      strfmt("%s.tmp-%ld-%llu", fileName.c_str(),
+             static_cast<long>(::getpid()),
+             static_cast<unsigned long long>(
+                 tempCounter.fetch_add(1, std::memory_order_relaxed)));
+  const fs::path target = fs::path(config_.directory) / fileName;
+  std::error_code ec;
+  try {
+    {
+      nx::Writer writer(temp.string());
+      writer.writeScalar(kVersionDataset,
+                         static_cast<double>(kCacheFormatVersion));
+      writer.writeScalar(kKindDataset, kKindNormalization);
+      writeKey(writer, key);
+      writeHistogram(writer, "normalization", normalization);
+      writer.close();
+    }
+    const std::uint64_t bytes = fs::file_size(temp, ec);
+    if (ec) {
+      throw IOError("cannot size cache entry: " + temp.string());
+    }
+    fs::rename(temp, target, ec);
+    if (ec) {
+      throw IOError("cannot publish cache entry: " + target.string());
+    }
+    const std::optional<FileIdentity> identity =
+        statIdentity(target.string());
+    std::lock_guard<std::mutex> lock(mutex_);
+    noteEntryLocked(fileName, bytes);
+    ++counters_.stores;
+    if (identity) {
+      // Warm the hot tier with the bits just published.
+      rememberLocked(fileName, *identity,
+                     std::make_shared<const Histogram3D>(normalization),
+                     nullptr);
+    }
+    evictToBudgetLocked(fileName);
+    return true;
+  } catch (const std::exception& error) {
+    fs::remove(temp, ec);
+    VATES_LOG_WARN("cache store failed (cold compute unaffected): "
+                   << error.what());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.storeFailures;
+    return false;
+  }
+}
+
+bool NormalizationCache::storeReduction(const std::string& key,
+                                        const CachedReduction& value) {
+  if (!writable_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.storeFailures;
+    return false;
+  }
+  const std::string fileName = entryFileName(key, /*partial=*/true);
+  static std::atomic<std::uint64_t> tempCounter{0};
+  const fs::path temp =
+      fs::path(config_.directory) /
+      strfmt("%s.tmp-%ld-%llu", fileName.c_str(),
+             static_cast<long>(::getpid()),
+             static_cast<unsigned long long>(
+                 tempCounter.fetch_add(1, std::memory_order_relaxed)));
+  const fs::path target = fs::path(config_.directory) / fileName;
+  std::error_code ec;
+  try {
+    {
+      nx::Writer writer(temp.string());
+      writer.writeScalar(kVersionDataset,
+                         static_cast<double>(kCacheFormatVersion));
+      writer.writeScalar(kKindDataset, kKindPartialReduction);
+      writeKey(writer, key);
+      writer.writeScalar("files_reduced",
+                         static_cast<double>(value.filesReduced));
+      writer.writeScalar("events_processed",
+                         static_cast<double>(value.eventsProcessed));
+      writeHistogram(writer, "normalization", value.normalization);
+      writeHistogram(writer, "signal", value.signal);
+      if (value.signalErrorSq) {
+        writeHistogram(writer, "signal_error_sq", *value.signalErrorSq);
+      }
+      writer.close();
+    }
+    const std::uint64_t bytes = fs::file_size(temp, ec);
+    if (ec) {
+      throw IOError("cannot size cache entry: " + temp.string());
+    }
+    fs::rename(temp, target, ec);
+    if (ec) {
+      throw IOError("cannot publish cache entry: " + target.string());
+    }
+    const std::optional<FileIdentity> identity =
+        statIdentity(target.string());
+    std::lock_guard<std::mutex> lock(mutex_);
+    noteEntryLocked(fileName, bytes);
+    ++counters_.stores;
+    if (identity) {
+      rememberLocked(fileName, *identity, nullptr,
+                     std::make_shared<const CachedReduction>(value));
+    }
+    evictToBudgetLocked(fileName);
+    return true;
+  } catch (const std::exception& error) {
+    fs::remove(temp, ec);
+    VATES_LOG_WARN("cache store failed (cold compute unaffected): "
+                   << error.what());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.storeFailures;
+    return false;
+  }
+}
+
+CacheStats NormalizationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats snapshot = counters_;
+  snapshot.bytes = indexBytes_;
+  snapshot.entries = index_.size();
+  return snapshot;
+}
+
+std::size_t NormalizationCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t removed = 0;
+  std::error_code ec;
+  fs::directory_iterator it(config_.directory, ec);
+  if (!ec) {
+    for (const fs::directory_entry& entry : it) {
+      std::error_code entryEc;
+      if (!entry.is_regular_file(entryEc) || entryEc) {
+        continue;
+      }
+      const std::string name = entry.path().filename().string();
+      const bool isEntry = entry.path().extension() == kCacheEntryExtension;
+      const bool isStrayTemp = name.find(".tmp-") != std::string::npos;
+      if (!isEntry && !isStrayTemp) {
+        continue;
+      }
+      fs::remove(entry.path(), entryEc);
+      if (!entryEc && isEntry) {
+        ++removed;
+      }
+    }
+  }
+  index_.clear();
+  indexBytes_ = 0;
+  memory_.clear();
+  memoryBytes_ = 0;
+  return removed;
+}
+
+bool verifyCacheEntry(const std::string& path, std::string* error) {
+  const auto fail = [error](const std::string& reason) {
+    if (error != nullptr) {
+      *error = reason;
+    }
+    return false;
+  };
+  try {
+    nx::Reader reader(path);
+    if (!reader.has(kVersionDataset) || !reader.has(kKindDataset) ||
+        !reader.has(kKeyDataset)) {
+      return fail("missing cache header datasets");
+    }
+    const double version = reader.readScalar(kVersionDataset);
+    if (version != static_cast<double>(kCacheFormatVersion)) {
+      return fail(strfmt("format version %g != current %u", version,
+                         kCacheFormatVersion));
+    }
+    const double kind = reader.readScalar(kKindDataset);
+    const std::string key = readKey(reader);
+    if (key.empty()) {
+      return fail("empty cache key");
+    }
+    if (kind == kKindNormalization) {
+      const bool expected = NormalizationCache::entryFileName(
+                                key, /*partial=*/false) ==
+                            fs::path(path).filename().string();
+      if (!expected) {
+        return fail("file name does not match embedded key");
+      }
+      readHistogram(reader, "normalization"); // verifies every CRC
+      return true;
+    }
+    if (kind == kKindPartialReduction) {
+      const bool expected = NormalizationCache::entryFileName(
+                                key, /*partial=*/true) ==
+                            fs::path(path).filename().string();
+      if (!expected) {
+        return fail("file name does not match embedded key");
+      }
+      reader.readScalar("files_reduced");
+      reader.readScalar("events_processed");
+      const Histogram3D normalization = readHistogram(reader, "normalization");
+      const Histogram3D signal = readHistogram(reader, "signal");
+      if (!signal.sameShape(normalization)) {
+        return fail("signal/normalization shape mismatch");
+      }
+      if (reader.has("signal_error_sq_data")) {
+        const Histogram3D errorSq = readHistogram(reader, "signal_error_sq");
+        if (!errorSq.sameShape(signal)) {
+          return fail("error histogram shape mismatch");
+        }
+      }
+      return true;
+    }
+    return fail(strfmt("unknown entry kind %g", kind));
+  } catch (const std::exception& caught) {
+    return fail(caught.what());
+  }
+}
+
+} // namespace vates::cache

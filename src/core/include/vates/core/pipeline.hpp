@@ -59,6 +59,32 @@ struct ReductionResult {
   std::optional<Histogram3D> crossSectionErrorSq;
 };
 
+/// Seed state for an incremental (delta) reduction: the accumulators of
+/// a previous reduction of the same plan over its first
+/// `filesAlreadyReduced` files (typically loaded from the persistent
+/// cache).  runIncremental() continues the file loop from there.
+///
+/// Bit-identity argument: per-file events come from
+/// Xoshiro256(seed, fileIndex) — independent of the total file count —
+/// and with ranks == 1 the single rank accumulates files strictly in
+/// order, so seeding the histograms with the first N files' sums and
+/// accumulating files [N, N+K) reproduces exactly the
+/// (((0+f0)+f1)+...+f(N+K-1)) floating-point order of a from-scratch
+/// run.  With ranks > 1 blockRange() re-partitions when the file count
+/// changes, the per-rank orderings diverge, and the guarantee is lost —
+/// which is why seeded runs require ranks == 1.
+///
+/// All pointers are non-owning and must outlive the runIncremental()
+/// call; signal/normalization are required, signalErrorSq is required
+/// exactly when config.trackErrors is set.
+struct ReductionSeed {
+  const Histogram3D* signal = nullptr;
+  const Histogram3D* normalization = nullptr;
+  const Histogram3D* signalErrorSq = nullptr;
+  std::size_t filesAlreadyReduced = 0;
+  std::size_t eventsAlreadyProcessed = 0;
+};
+
 class ReductionPipeline {
 public:
   /// Borrow the setup (must outlive the pipeline).
@@ -71,6 +97,14 @@ public:
   /// as a raw TOF stream and pushed through ConvertToMD (its own stage
   /// row), exactly like reducing fresh DAQ output.
   ReductionResult run() const;
+
+  /// Like run(), but seeded: continue a previous reduction's
+  /// accumulators over the workload's remaining files
+  /// [seed.filesAlreadyReduced, nFiles) and produce the final result —
+  /// bit-for-bit what run() over all nFiles would return (see
+  /// ReductionSeed).  Requires ranks == 1, !skipNormalization, and a
+  /// seed whose histograms match the workload grid.
+  ReductionResult runIncremental(const ReductionSeed& seed) const;
 
   /// Write every run of the workload to \p directory as nxlite files;
   /// returns the paths in run order.
@@ -108,10 +142,15 @@ private:
     std::size_t events = 0;
   };
 
-  ReductionResult reduceAll(const RunSource& source,
-                            std::size_t nFiles) const;
+  /// run() / runIncremental() share the generated-event entry path;
+  /// \p seed may be null (a plain full reduction).
+  ReductionResult reduceGenerated(const ReductionSeed* seed) const;
+
+  ReductionResult reduceAll(const RunSource& source, std::size_t nFiles,
+                            const ReductionSeed* seed = nullptr) const;
   void reduceRank(comm::Communicator& communicator, const RunSource& source,
-                  std::size_t nFiles, RankState& state) const;
+                  std::size_t nFiles, const ReductionSeed* seed,
+                  RankState& state) const;
 
   /// Per-rank execution context for one reduction (defined in the .cpp);
   /// owns the staged run-invariant tables and the overlap-engine state.

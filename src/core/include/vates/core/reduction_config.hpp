@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace vates::core {
@@ -126,6 +127,28 @@ struct ReductionConfig {
   /// bit-identical to a full run's: skipping MDNorm changes no BinMD
   /// accumulation order.
   bool skipNormalization = false;
+
+  /// Persistent normalization/partial-result cache directory shared by
+  /// service workers (and, via VATES_CACHE_DIR, whole deployments).
+  /// Empty disables the on-disk cache; the pipeline itself never reads
+  /// it — the service resolves it (env > plan > service default) and
+  /// does the cache lookups/stores around pipeline runs.  INI key:
+  /// [reduction] cache_dir.
+  std::string cacheDir;
+
+  /// LRU byte budget of the cache directory (0: unbounded; the
+  /// VATES_CACHE_BUDGET environment variable overrides).  INI key:
+  /// [reduction] cache_budget_bytes.
+  std::uint64_t cacheBudgetBytes = std::uint64_t{256} << 20;
+
+  /// Opt into incremental delta reduction: with a cache directory
+  /// configured, completed runs persist their accumulators, and a later
+  /// plan that only *appends* event files re-reduces just the delta
+  /// files seeded with the cached sums (bit-identical — see
+  /// ReductionSeed; requires ranks == 1 to hold, other configurations
+  /// fall back to the normalization cache or cold compute).  INI key:
+  /// [reduction] incremental.
+  bool incremental = false;
 
   /// Cancellation / progress observation hooks (see PipelineHooks).
   PipelineHooks hooks;

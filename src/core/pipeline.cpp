@@ -83,6 +83,16 @@ ReductionPipeline::RunSource ReductionPipeline::convertingSource(
 }
 
 ReductionResult ReductionPipeline::run() const {
+  return reduceGenerated(nullptr);
+}
+
+ReductionResult
+ReductionPipeline::runIncremental(const ReductionSeed& seed) const {
+  return reduceGenerated(&seed);
+}
+
+ReductionResult
+ReductionPipeline::reduceGenerated(const ReductionSeed* seed) const {
   const EventGenerator generator = setup_->makeGenerator();
   if (config_.loadMode == LoadMode::RawTof) {
     const RunSource source =
@@ -90,7 +100,7 @@ ReductionResult ReductionPipeline::run() const {
           return RawRunFileContent{generator.runInfo(fileIndex),
                                    generator.generateRaw(fileIndex)};
         });
-    return reduceAll(source, setup_->spec().nFiles);
+    return reduceAll(source, setup_->spec().nFiles, seed);
   }
   const RunSource source = [&generator](std::size_t fileIndex,
                                         StageTimes& times) {
@@ -100,7 +110,7 @@ ReductionResult ReductionPipeline::run() const {
     times.add("UpdateEvents", loadTimer.seconds());
     return content;
   };
-  return reduceAll(source, setup_->spec().nFiles);
+  return reduceAll(source, setup_->spec().nFiles, seed);
 }
 
 std::vector<std::string>
@@ -157,8 +167,30 @@ ReductionResult ReductionPipeline::runFromRawFiles(
 }
 
 ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
-                                             std::size_t nFiles) const {
+                                             std::size_t nFiles,
+                                             const ReductionSeed* seed) const {
   const int nRanks = config_.ranks;
+  if (seed != nullptr) {
+    // See ReductionSeed: continuation is only bit-identical to a
+    // from-scratch run when one rank accumulates files strictly in
+    // order, and a skip-normalization run has no normalization
+    // accumulator worth seeding.
+    VATES_REQUIRE(nRanks == 1, "incremental reduction requires ranks == 1");
+    VATES_REQUIRE(!config_.skipNormalization,
+                  "incremental reduction computes its own normalization");
+    VATES_REQUIRE(seed->signal != nullptr && seed->normalization != nullptr,
+                  "incremental seed needs signal and normalization");
+    VATES_REQUIRE(config_.trackErrors == (seed->signalErrorSq != nullptr),
+                  "incremental seed error histogram must match trackErrors");
+    VATES_REQUIRE(seed->filesAlreadyReduced <= nFiles,
+                  "incremental seed covers more files than the workload");
+    const Histogram3D reference = setup_->makeHistogram();
+    VATES_REQUIRE(seed->signal->sameShape(reference) &&
+                      seed->normalization->sameShape(reference) &&
+                      (seed->signalErrorSq == nullptr ||
+                       seed->signalErrorSq->sameShape(reference)),
+                  "incremental seed histograms do not match the workload grid");
+  }
   const DeviceStats statsBefore = DeviceSim::global().stats();
   const WallTimer wallTimer;
 
@@ -206,7 +238,7 @@ ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
     }
     const auto rank = static_cast<std::size_t>(communicator.rank());
 
-    reduceRank(communicator, *activeSource, nFiles, state);
+    reduceRank(communicator, *activeSource, nFiles, seed, state);
     rankTimes[rank] = std::move(state.times);
     rankMaxIntersections[rank] = state.maxIntersections;
     rankEvents[rank] = state.events;
@@ -241,6 +273,9 @@ ReductionResult ReductionPipeline::reduceAll(const RunSource& source,
     result.maxIntersectionsEstimate =
         std::max(result.maxIntersectionsEstimate, rankMaxIntersections[r]);
     result.eventsProcessed += rankEvents[r];
+  }
+  if (seed != nullptr) {
+    result.eventsProcessed += seed->eventsAlreadyProcessed;
   }
 
   if (result.signalErrorSq) {
@@ -320,6 +355,11 @@ struct ReductionPipeline::RankContext {
   std::optional<ThreadPool> siblingPool;
   std::optional<Executor> siblingExecutor;
 
+  /// True when the rank state was pre-loaded with a ReductionSeed's
+  /// accumulators: stageInvariants() then uploads them to the device
+  /// histograms instead of zero-filling.
+  bool seeded = false;
+
   RankContext(const ReductionPipeline& owner, RankState& rankState)
       : pipeline(owner), setup(*owner.setup_), config(owner.config_),
         state(rankState),
@@ -397,16 +437,30 @@ struct ReductionPipeline::RankContext {
                                                 dSolidAngles.size());
     kernelBinTransforms = std::span<const M33>(dBinTransforms.deviceData(),
                                                dBinTransforms.size());
-    // Device-resident histograms for the whole file loop.
-    dSignalBins = DeviceArray<double>(device, state.signal.size());
-    dNormBins = DeviceArray<double>(device, state.normalization.size());
-    fillOnDevice(dSignalBins, 0.0);
-    fillOnDevice(dNormBins, 0.0);
+    // Device-resident histograms for the whole file loop; a seeded run
+    // stages the previous accumulators instead of zeros, so the device
+    // continues exactly where the cached host sums left off.
+    if (seeded) {
+      dSignalBins = DeviceArray<double>(
+          device, std::span<const double>(state.signal.data()));
+      dNormBins = DeviceArray<double>(
+          device, std::span<const double>(state.normalization.data()));
+    } else {
+      dSignalBins = DeviceArray<double>(device, state.signal.size());
+      dNormBins = DeviceArray<double>(device, state.normalization.size());
+      fillOnDevice(dSignalBins, 0.0);
+      fillOnDevice(dNormBins, 0.0);
+    }
     signalGrid = state.signal.gridView(dSignalBins.deviceData());
     normGrid = state.normalization.gridView(dNormBins.deviceData());
     if (trackErrors) {
-      dErrorBins = DeviceArray<double>(device, state.signal.size());
-      fillOnDevice(dErrorBins, 0.0);
+      if (seeded) {
+        dErrorBins = DeviceArray<double>(
+            device, std::span<const double>(state.signalErrorSq->data()));
+      } else {
+        dErrorBins = DeviceArray<double>(device, state.signal.size());
+        fillOnDevice(dErrorBins, 0.0);
+      }
       errorGrid = state.signalErrorSq->gridView(dErrorBins.deviceData());
     }
   }
@@ -578,11 +632,34 @@ struct ReductionPipeline::RankContext {
 void ReductionPipeline::reduceRank(comm::Communicator& communicator,
                                    const RunSource& source,
                                    std::size_t nFiles,
+                                   const ReductionSeed* seed,
                                    RankState& state) const {
   StageTimes& outTimes = state.times;
-  const auto range = communicator.blockRange(nFiles);
+  // Seed the accumulators *before* building the context: the context's
+  // grid views alias the histogram buffers, and copy-assigning a
+  // histogram replaces its buffer.  With ranks == 1 (enforced for
+  // seeded runs) rank 0 both holds the seed and reduces the delta
+  // range [filesAlreadyReduced, nFiles) in file order — the exact
+  // continuation of the from-scratch accumulation order.
+  std::size_t firstFile = 0;
+  bool seeded = false;
+  if (seed != nullptr) {
+    firstFile = seed->filesAlreadyReduced;
+    if (communicator.rank() == 0) {
+      state.signal = *seed->signal;
+      state.normalization = *seed->normalization;
+      if (state.signalErrorSq) {
+        *state.signalErrorSq = *seed->signalErrorSq;
+      }
+      seeded = true;
+    }
+  }
+  const auto delta = communicator.blockRange(nFiles - firstFile);
+  const auto range = decltype(delta){firstFile + delta.begin,
+                                     firstFile + delta.end};
 
   RankContext context(*this, state);
+  context.seeded = seeded;
   context.stageInvariants(outTimes);
   context.prepareSiblings();
 

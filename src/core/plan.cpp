@@ -58,7 +58,8 @@ const std::set<std::string>& reductionKeys() {
   static const std::set<std::string> keys = {
       "backend",   "ranks",        "load_mode", "plane_search",
       "sort",      "track_errors", "lorentz",   "filter_band",
-      "prepass",   "traversal",    "simd",
+      "prepass",   "traversal",    "simd",      "cache_dir",
+      "cache_budget_bytes",        "incremental",
   };
   return keys;
 }
@@ -226,6 +227,13 @@ ReductionPlan planFromIni(const IniFile& ini) {
       ini.getBool("reduction", "filter_band", c.convert.filterMomentumBand);
   c.deviceIntersectionPrePass =
       ini.getBool("reduction", "prepass", c.deviceIntersectionPrePass);
+  c.cacheDir = ini.getString("reduction", "cache_dir", c.cacheDir);
+  if (ini.has("reduction", "cache_budget_bytes")) {
+    const long long budget = ini.getInt("reduction", "cache_budget_bytes");
+    VATES_REQUIRE(budget >= 0, "cache_budget_bytes must be >= 0");
+    c.cacheBudgetBytes = static_cast<std::uint64_t>(budget);
+  }
+  c.incremental = ini.getBool("reduction", "incremental", c.incremental);
 
   return plan;
 }
@@ -283,6 +291,10 @@ IniFile planToIni(const ReductionPlan& plan) {
           c.convert.filterMomentumBand ? "true" : "false");
   ini.set("reduction", "prepass",
           c.deviceIntersectionPrePass ? "true" : "false");
+  ini.set("reduction", "cache_dir", c.cacheDir);
+  ini.set("reduction", "cache_budget_bytes",
+          std::to_string(c.cacheBudgetBytes));
+  ini.set("reduction", "incremental", c.incremental ? "true" : "false");
   return ini;
 }
 

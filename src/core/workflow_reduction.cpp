@@ -24,7 +24,15 @@ runWorkflowReduction(const ExperimentSetup& setup,
   const GridView normGrid = result.normalization.gridView();
 
   // Task bodies run serially; the scheduler provides the concurrency.
+  // That concurrency is invisible to each kernel launch's accumulator
+  // (every launch sees a 1-worker executor), so the shared signal/norm
+  // grids must be flagged: sharedGrid forces real atomic deposits
+  // instead of the single-worker plain-add fast path.
   const Executor executor(Backend::Serial);
+  MDNormOptions mdnormOptions = config.mdnorm;
+  mdnormOptions.accumulate.sharedGrid = true;
+  AccumulateOptions binmdAccumulate;
+  binmdAccumulate.sharedGrid = true;
 
   // Per-file staging slots filled by load tasks, consumed by binmd
   // tasks (then released to bound memory to in-flight files).
@@ -63,7 +71,7 @@ runWorkflowReduction(const ExperimentSetup& setup,
           inputs.protonCharge = run.protonCharge;
           inputs.kMin = run.kMin;
           inputs.kMax = run.kMax;
-          runMDNorm(executor, inputs, normGrid, config.mdnorm);
+          runMDNorm(executor, inputs, normGrid, mdnormOptions);
         });
 
     const wf::TaskId binmdTask = graph.addTask(
@@ -76,7 +84,7 @@ runWorkflowReduction(const ExperimentSetup& setup,
           inputs.qz = events.column(EventTable::Qz).data();
           inputs.signal = events.column(EventTable::Signal).data();
           inputs.nEvents = events.size();
-          runBinMD(executor, inputs, signalGrid);
+          runBinMD(executor, inputs, signalGrid, binmdAccumulate);
           staged[fileIndex].reset(); // release the file's events
         });
 

@@ -69,12 +69,19 @@ AccumulateStrategy GridAccumulator::resolve(
 GridAccumulator::GridAccumulator(const GridView& grid, const Executor& executor,
                                  const AccumulateOptions& options)
     : executor_(&executor), grid_(grid),
-      strategy_(AccumulateStrategy::Atomic), workers_(executor.concurrency()) {
+      strategy_(AccumulateStrategy::Atomic), workers_(executor.concurrency()),
+      sharedGrid_(options.sharedGrid) {
   VATES_REQUIRE(grid_.data != nullptr || grid_.size() == 0,
                 "accumulator grid has no data");
   VATES_REQUIRE(workers_ >= 1, "executor reports zero concurrency");
-  strategy_ = resolve(options.strategy, grid_.size(), workers_,
-                      options.replicaBudgetBytes);
+  // A grid with external concurrent writers admits only atomic deposits:
+  // Privatized/Tiled commit their worker-private state with plain adds,
+  // which would race with the other launches just like the sole-writer
+  // fast path would.
+  strategy_ = sharedGrid_
+                  ? AccumulateStrategy::Atomic
+                  : resolve(options.strategy, grid_.size(), workers_,
+                            options.replicaBudgetBytes);
 
   switch (strategy_) {
   case AccumulateStrategy::Atomic:
@@ -115,8 +122,8 @@ std::size_t GridAccumulator::privateBytes() const noexcept {
 AccumulatorRef GridAccumulator::ref() const noexcept {
   AccumulatorRef handle;
   handle.strategy_ = strategy_;
-  handle.soleWriter_ =
-      strategy_ == AccumulateStrategy::Atomic && workers_ <= 1;
+  handle.soleWriter_ = strategy_ == AccumulateStrategy::Atomic &&
+                       workers_ <= 1 && !sharedGrid_;
   handle.grid_ = grid_.data;
   handle.replicas_ =
       replicas_.empty() ? nullptr

@@ -83,6 +83,13 @@ struct AccumulateOptions {
   /// Entries in each worker's Tiled bin cache (rounded up to a power of
   /// two; the cache flushes at half occupancy to keep probes short).
   std::size_t tileCapacity = 4096;
+  /// Other launches may be writing the same grid concurrently (e.g. the
+  /// workflow scheduler runs several single-worker kernel launches at
+  /// once over one shared histogram).  Forces the Atomic strategy and
+  /// disables the single-worker plain-add fast path: this accumulator's
+  /// worker count no longer bounds the set of concurrent writers, so
+  /// every deposit must be a real atomic.
+  bool sharedGrid = false;
 };
 
 namespace detail {
@@ -297,6 +304,7 @@ private:
   GridView grid_;
   AccumulateStrategy strategy_;
   unsigned workers_;
+  bool sharedGrid_ = false; ///< see AccumulateOptions::sharedGrid
   bool committed_ = false;
 
   std::vector<double> replicas_;            // Privatized

@@ -1,29 +1,72 @@
 #include "vates/io/crc32.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace vates {
 
 namespace {
-std::array<std::uint32_t, 256> buildTable() {
-  std::array<std::uint32_t, 256> table{};
+
+/// Slice-by-8 tables: table[0] is the classic byte-at-a-time table;
+/// table[k][b] is the CRC of byte b followed by k zero bytes.  Eight
+/// bytes are then folded per step with independent lookups, which
+/// pipelines far better than the serial one-byte recurrence (~5-8x on
+/// the multi-megabyte histogram datasets the cache reads back).
+std::array<std::array<std::uint32_t, 256>, 8> buildTables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t value = i;
     for (int bit = 0; bit < 8; ++bit) {
       value = (value & 1u) ? (0xEDB88320u ^ (value >> 1)) : (value >> 1);
     }
-    table[i] = value;
+    tables[0][i] = value;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t value = tables[0][i];
+    for (std::size_t slice = 1; slice < 8; ++slice) {
+      value = tables[0][value & 0xFFu] ^ (value >> 8);
+      tables[slice][i] = value;
+    }
+  }
+  return tables;
 }
+
 } // namespace
 
 std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
-  static const std::array<std::uint32_t, 256> table = buildTable();
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      buildTables();
   const auto* bytePointer = static_cast<const unsigned char*>(data);
   std::uint32_t crc = seed ^ 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    crc = table[(crc ^ bytePointer[i]) & 0xFFu] ^ (crc >> 8);
+
+  // Lead-in: align the hot loop to whole 8-byte groups.
+  while (bytes != 0 &&
+         (reinterpret_cast<std::uintptr_t>(bytePointer) & 7u) != 0) {
+    crc = tables[0][(crc ^ *bytePointer++) & 0xFFu] ^ (crc >> 8);
+    --bytes;
+  }
+
+  while (bytes >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, bytePointer, sizeof(chunk));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    chunk = __builtin_bswap64(chunk);
+#endif
+    chunk ^= crc;
+    crc = tables[7][chunk & 0xFFu] ^
+          tables[6][(chunk >> 8) & 0xFFu] ^
+          tables[5][(chunk >> 16) & 0xFFu] ^
+          tables[4][(chunk >> 24) & 0xFFu] ^
+          tables[3][(chunk >> 32) & 0xFFu] ^
+          tables[2][(chunk >> 40) & 0xFFu] ^
+          tables[1][(chunk >> 48) & 0xFFu] ^
+          tables[0][(chunk >> 56) & 0xFFu];
+    bytePointer += 8;
+    bytes -= 8;
+  }
+
+  while (bytes-- != 0) {
+    crc = tables[0][(crc ^ *bytePointer++) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
 }

@@ -109,6 +109,13 @@ struct JobStatus {
   /// True when the job ran as a shared-grid batch follower: its MDNorm
   /// normalization was computed once by the batch leader and reused.
   bool sharedNormalization = false;
+  /// True when the job's normalization (or its whole partial state, for
+  /// incremental runs) was served from the persistent on-disk cache
+  /// instead of recomputed.
+  bool cachedNormalization = false;
+  /// True when the job ran as an incremental delta reduction: only the
+  /// files appended since the cached partial state were re-reduced.
+  bool incrementalRun = false;
   /// Failure / rejection detail (Failed, Cancelled, Expired).
   std::string error;
   double queuedSeconds = 0.0; ///< submit → start (or now, while queued)
@@ -117,10 +124,14 @@ struct JobStatus {
 };
 
 /// Terminal outcome: the final status plus, for Done jobs, the full
-/// reduction result (histograms, timings, counters).
+/// reduction result (histograms, timings, counters).  The result is
+/// immutable and may be *shared* between jobs: full-replay cache hits
+/// against the same hot-tier entry all reference one assembled result
+/// instead of each paying the histogram copies (nullptr when the job
+/// produced none — Failed/Cancelled/Expired).
 struct JobOutcome {
   JobStatus status;
-  std::optional<core::ReductionResult> result;
+  std::shared_ptr<const core::ReductionResult> result;
 };
 
 /// The service's internal record of one job.  The atomics and the
@@ -148,6 +159,8 @@ struct Job {
   // -- guarded by the service mutex ----------------------------------
   JobState state = JobState::Queued;
   bool sharedNormalization = false;
+  bool cachedNormalization = false;
+  bool incrementalRun = false;
   std::string error;
   std::optional<std::chrono::steady_clock::time_point> started;
   std::optional<std::chrono::steady_clock::time_point> finished;
@@ -166,5 +179,16 @@ struct Job {
 /// — none of them touch the normalization, and excluding them is what
 /// lets "same grid, different data" jobs coalesce.
 std::string normalizationKey(const core::ReductionPlan& plan);
+
+/// The incremental-reduction cache key: normalizationKey with the file
+/// count canonicalized to zero (an entry tracks how many files it
+/// covers itself — that is what lets an appended plan still hit), plus
+/// every field that shapes the *data* accumulators: the event seed,
+/// events per file, synthetic-signal parameters, centering, load mode,
+/// ConvertToMD options, error tracking, and the BinMD accumulation
+/// strategy knobs.  Equal keys ⇒ the cached partial signal/σ²/
+/// normalization sums are bitwise what a from-scratch run of this plan
+/// would have produced after the entry's file count.
+std::string incrementalKey(const core::ReductionPlan& plan);
 
 } // namespace vates::service

@@ -60,10 +60,35 @@ struct ServiceMetrics {
   /// leader instead of computed: shared / (shared + passes).
   double batchHitRate() const noexcept;
 
+  // -- persistent cache ----------------------------------------------
+  /// Plan jobs served (fully or partially) from the on-disk cache: a
+  /// normalization-entry hit or an incremental partial-state hit.
+  std::uint64_t cacheHits = 0;
+  /// Subset of cacheHits served from the in-memory hot tier (no disk
+  /// read or CRC pass — the entry was already deserialized).
+  std::uint64_t cacheMemoryHits = 0;
+  /// Plan jobs that looked in the cache and fell through to cold
+  /// compute.  Jobs with no cache configured count in neither.
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t cacheStores = 0;        ///< entries published
+  std::uint64_t cacheStoreFailures = 0; ///< unwritable dir / ENOSPC / races
+  std::uint64_t cacheEvictions = 0;     ///< LRU byte-budget evictions
+  std::uint64_t cacheInvalidEntries = 0;///< damaged/stale entries dropped
+  std::uint64_t cacheBytes = 0;         ///< resident entry bytes right now
+  std::uint64_t cacheEntries = 0;       ///< resident entry count right now
+  /// Plan jobs that ran as incremental delta reductions.
+  std::uint64_t incrementalJobs = 0;
+
+  /// Fraction of cache lookups that hit: hits / (hits + misses).
+  double cacheHitRate() const noexcept;
+
   // -- latency -------------------------------------------------------
   /// "queue-wait" (submit → start) and "run" (start → finish), plus one
   /// entry per pipeline stage ("MDNorm", "BinMD", ...) fed from
-  /// completed jobs' stage totals.
+  /// completed jobs' stage totals.  Plan jobs additionally split their
+  /// run latency into "run-warm" (normalization or partial state served
+  /// from cache/batch) vs "run-cold" (full compute) — the cold-vs-warm
+  /// p50/p95 a facility operator compares.
   std::map<std::string, LatencyStats> latency;
 
   /// Render as a JSON object (nested "latency" object keyed by stage).

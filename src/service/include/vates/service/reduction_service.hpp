@@ -33,6 +33,7 @@
 /// query, cancel, or wait.  tools/vates_serve wraps it in an NDJSON
 /// daemon for out-of-process use.
 
+#include "vates/cache/normalization_cache.hpp"
 #include "vates/service/job.hpp"
 #include "vates/service/job_queue.hpp"
 #include "vates/service/metrics.hpp"
@@ -59,10 +60,19 @@ struct ServiceOptions {
   bool batching = true;
   /// Packets in flight for live jobs' DAQ → reducer channel.
   std::size_t liveChannelCapacity = 256;
+  /// Persistent-cache directory used by plan jobs whose plan does not
+  /// name its own `cache_dir`; empty (the default) disables caching for
+  /// such jobs.  VATES_CACHE_DIR overrides both.
+  std::string defaultCacheDir;
+  /// Byte budget for caches opened through defaultCacheDir;
+  /// VATES_CACHE_BUDGET overrides.
+  std::uint64_t defaultCacheBudgetBytes = std::uint64_t{256} << 20;
 
   /// Defaults overridden by VATES_SERVICE_WORKERS,
   /// VATES_SERVICE_QUEUE, and VATES_SERVICE_BATCH (0 disables
-  /// batching); malformed values are ignored.
+  /// batching); malformed values are ignored.  (VATES_CACHE_DIR /
+  /// VATES_CACHE_BUDGET are applied later, per cache open — see
+  /// cache::CacheConfig::withEnvOverrides.)
   static ServiceOptions fromEnv();
 };
 
@@ -120,6 +130,14 @@ public:
   /// Snapshot of the operational counters.
   ServiceMetrics metrics() const;
 
+  /// Aggregated counters of every cache directory this service has
+  /// opened (hits/misses/stores/evictions + resident footprint).
+  cache::CacheStats cacheStats() const;
+
+  /// Remove every entry from every opened cache directory; returns the
+  /// number of entries removed.
+  std::size_t clearCaches();
+
 private:
   struct LiveControl; // running live job's channel + reducer handles
 
@@ -132,13 +150,20 @@ private:
                   const Histogram3D* sharedNorm);
   void runLiveJob(const std::shared_ptr<Job>& job);
 
+  /// The cache for \p plan's effective directory (plan cache_dir, else
+  /// the service default, else VATES_CACHE_DIR), opening it on first
+  /// use; nullptr when no directory is configured.  One instance per
+  /// directory is shared by all jobs for LRU/counter coherence.
+  std::shared_ptr<cache::NormalizationCache>
+  cacheFor(const core::ReductionPlan& plan);
+
   /// Start-of-run bookkeeping: deadline/cancel gate + Running
   /// transition.  Returns false when the job was finished early
   /// (Expired/Cancelled) instead of started.
   bool beginRun(const std::shared_ptr<Job>& job);
   void finishJob(const std::shared_ptr<Job>& job, JobState state,
                  std::string error,
-                 std::optional<core::ReductionResult> result);
+                 std::shared_ptr<const core::ReductionResult> result);
 
   JobStatus statusLocked(const Job& job) const;
 
@@ -168,7 +193,27 @@ private:
   std::uint64_t batches_ = 0;
   std::uint64_t sharedNormalizationJobs_ = 0;
   std::uint64_t normalizationPasses_ = 0;
+  std::uint64_t incrementalJobs_ = 0;
   std::map<std::string, std::vector<double>> latencySamples_;
+
+  /// Opened caches, keyed by resolved directory (guarded by its own
+  /// mutex so opening/scanning a directory never stalls status calls).
+  mutable std::mutex cachesMutex_;
+  std::map<std::string, std::shared_ptr<cache::NormalizationCache>> caches_;
+
+  /// Memoized full-replay results, keyed by the hot-tier entry they
+  /// were assembled from: jobs replaying the same cached accumulators
+  /// share one immutable ReductionResult instead of each re-paying the
+  /// divide + histogram copies.  The weak_ptr pins a memo to the exact
+  /// cached object — once the hot tier drops or replaces that entry,
+  /// lock() no longer matches the freshly found pointer and the memo is
+  /// discarded (expired memos are also swept on insert).  Guarded by
+  /// mutex_.
+  struct ReplayMemo {
+    std::weak_ptr<const cache::CachedReduction> source;
+    std::shared_ptr<const core::ReductionResult> result;
+  };
+  std::map<const void*, ReplayMemo> replayMemos_;
 
   std::vector<std::thread> workers_;
 };

@@ -5,6 +5,39 @@
 
 namespace vates::service {
 
+// -- normalizationKey field-list audit --------------------------------
+//
+// The persistent cache trusts the key completely: two plans with equal
+// keys are served the same bits.  A field added to any of these structs
+// without a matching line in normalizationKey()/incrementalKey() would
+// silently alias cache entries, so the exact struct sizes are pinned
+// here — adding a field trips the assert and forces whoever adds it to
+// audit the key functions (and bump kCacheFormatVersion when the new
+// field affects stored bits).  Sizes are ABI-specific; the guard runs
+// on the x86-64 + libstdc++ configuration CI builds.
+#if defined(__x86_64__) && defined(__GLIBCXX__)
+static_assert(sizeof(MDNormOptions) == 48,
+              "MDNormOptions changed: audit normalizationKey() (search/"
+              "traversal/accumulate/simd are serialized) and update this "
+              "pinned size");
+static_assert(sizeof(AccumulateOptions) == 32,
+              "AccumulateOptions changed: audit normalizationKey()/"
+              "incrementalKey() (strategy/budget/tile/sharedGrid are "
+              "serialized) and update this pinned size");
+static_assert(sizeof(core::OverlapOptions) == 16,
+              "OverlapOptions changed: audit normalizationKey() (mode is "
+              "serialized; prefetchDepth is order-neutral) and update this "
+              "pinned size");
+static_assert(sizeof(ConvertOptions) == 2,
+              "ConvertOptions changed: audit incrementalKey() (lorentz/"
+              "filter_band are serialized) and update this pinned size");
+static_assert(sizeof(WorkloadSpec) == 440,
+              "WorkloadSpec changed: audit normalizationKey() (geometry/"
+              "lattice/symmetry/goniometer/flux/grid fields) and "
+              "incrementalKey() (seed/eventsPerFile/signal-shape fields), "
+              "then update this pinned size");
+#endif
+
 const char* jobStateName(JobState state) noexcept {
   switch (state) {
   case JobState::Queued:    return "queued";
@@ -98,8 +131,40 @@ std::string normalizationKey(const core::ReductionPlan& plan) {
      << "acc=" << accumulateStrategyName(c.mdnorm.accumulate.strategy) << ';'
      << "accbudget=" << c.mdnorm.accumulate.replicaBudgetBytes << ';'
      << "acctile=" << c.mdnorm.accumulate.tileCapacity << ';'
+     << "accshared=" << c.mdnorm.accumulate.sharedGrid << ';'
      << "simd=" << simdModeName(c.mdnorm.simd) << ';'
      << "ov=" << overlapModeName(c.overlap.mode) << ';';
+  return os.str();
+}
+
+std::string incrementalKey(const core::ReductionPlan& plan) {
+  // The normalization sub-key with nFiles canonicalized: an incremental
+  // entry records how many files its sums cover, so the key must stay
+  // stable while the plan's file count grows.
+  core::ReductionPlan canonical = plan;
+  canonical.workload.nFiles = 0;
+
+  const WorkloadSpec& w = plan.workload;
+  const core::ReductionConfig& c = plan.config;
+  std::ostringstream os;
+  os << "norm{" << normalizationKey(canonical) << "}";
+
+  // Data-affecting fields the normalization key deliberately excludes:
+  // everything that shapes the per-file event streams and the signal
+  // (and σ²) accumulation order.
+  os << "seed=" << w.seed << ';' << "epf=" << w.eventsPerFile << ';'
+     << "cent=" << centeringSymbol(w.centering) << ';';
+  putDouble(os, w.braggAmplitude);
+  putDouble(os, w.braggSigma);
+  putDouble(os, w.diffuseBackground);
+  os << "load=" << (c.loadMode == core::LoadMode::RawTof ? "raw" : "q") << ';'
+     << "lorentz=" << c.convert.lorentzCorrection << ';'
+     << "band=" << c.convert.filterMomentumBand << ';'
+     << "err=" << c.trackErrors << ';'
+     << "bacc=" << accumulateStrategyName(c.binmdAccumulate.strategy) << ';'
+     << "baccbudget=" << c.binmdAccumulate.replicaBudgetBytes << ';'
+     << "bacctile=" << c.binmdAccumulate.tileCapacity << ';'
+     << "baccshared=" << c.binmdAccumulate.sharedGrid << ';';
   return os.str();
 }
 

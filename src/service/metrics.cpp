@@ -29,6 +29,14 @@ LatencyStats summarizeLatencies(std::vector<double> seconds) {
   return stats;
 }
 
+double ServiceMetrics::cacheHitRate() const noexcept {
+  const std::uint64_t denominator = cacheHits + cacheMisses;
+  if (denominator == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(cacheHits) / static_cast<double>(denominator);
+}
+
 double ServiceMetrics::batchHitRate() const noexcept {
   const std::uint64_t denominator = sharedNormalizationJobs + normalizationPasses;
   if (denominator == 0) {
@@ -69,6 +77,17 @@ std::string ServiceMetrics::toJson() const {
       .field("shared_normalization_jobs", sharedNormalizationJobs)
       .field("normalization_passes", normalizationPasses)
       .field("batch_hit_rate", batchHitRate())
+      .field("cache_hits", cacheHits)
+      .field("cache_memory_hits", cacheMemoryHits)
+      .field("cache_misses", cacheMisses)
+      .field("cache_stores", cacheStores)
+      .field("cache_store_failures", cacheStoreFailures)
+      .field("cache_evictions", cacheEvictions)
+      .field("cache_invalid_entries", cacheInvalidEntries)
+      .field("cache_bytes", cacheBytes)
+      .field("cache_entries", cacheEntries)
+      .field("cache_hit_rate", cacheHitRate())
+      .field("incremental_jobs", incrementalJobs)
       .fieldRaw("latency", latencyJson.str())
       .str();
 }

@@ -154,6 +154,8 @@ JobStatus ReductionService::statusLocked(const Job& job) const {
   status.priority = job.request.priority;
   status.tag = job.request.tag;
   status.sharedNormalization = job.sharedNormalization;
+  status.cachedNormalization = job.cachedNormalization;
+  status.incrementalRun = job.incrementalRun;
   status.error = job.error;
   const auto reference = now();
   status.queuedSeconds =
@@ -226,7 +228,7 @@ bool ReductionService::cancel(std::uint64_t id) {
   // Still queued?  Pull it out so it never starts.
   if (const std::shared_ptr<Job> removed = queue_.remove(id)) {
     finishJob(removed, JobState::Cancelled, "cancelled while queued",
-              std::nullopt);
+              nullptr);
   }
   return true;
 }
@@ -239,7 +241,7 @@ void ReductionService::shutdown(bool drainQueued) {
   }
   const std::vector<std::shared_ptr<Job>> evicted = queue_.close(drainQueued);
   for (const std::shared_ptr<Job>& job : evicted) {
-    finishJob(job, JobState::Cancelled, "service shutdown", std::nullopt);
+    finishJob(job, JobState::Cancelled, "service shutdown", nullptr);
   }
   if (!drainQueued) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -260,13 +262,70 @@ void ReductionService::shutdown(bool drainQueued) {
   }
 }
 
+cache::CacheStats ReductionService::cacheStats() const {
+  cache::CacheStats total;
+  std::lock_guard<std::mutex> lock(cachesMutex_);
+  for (const auto& [directory, instance] : caches_) {
+    total += instance->stats();
+  }
+  return total;
+}
+
+std::size_t ReductionService::clearCaches() {
+  std::vector<std::shared_ptr<cache::NormalizationCache>> caches;
+  {
+    std::lock_guard<std::mutex> lock(cachesMutex_);
+    caches.reserve(caches_.size());
+    for (const auto& [directory, instance] : caches_) {
+      caches.push_back(instance);
+    }
+  }
+  std::size_t removed = 0;
+  for (const auto& instance : caches) {
+    removed += instance->clear();
+  }
+  return removed;
+}
+
+std::shared_ptr<cache::NormalizationCache>
+ReductionService::cacheFor(const core::ReductionPlan& plan) {
+  // Plan-level settings win over the service default; the environment
+  // (VATES_CACHE_DIR / VATES_CACHE_BUDGET) wins over both.
+  const bool planNamesDir = !plan.config.cacheDir.empty();
+  const cache::CacheConfig config = cache::CacheConfig::withEnvOverrides(
+      planNamesDir ? plan.config.cacheDir : options_.defaultCacheDir,
+      planNamesDir ? plan.config.cacheBudgetBytes
+                   : options_.defaultCacheBudgetBytes);
+  if (config.directory.empty()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(cachesMutex_);
+  std::shared_ptr<cache::NormalizationCache>& slot =
+      caches_[config.directory];
+  if (!slot) {
+    slot = std::make_shared<cache::NormalizationCache>(config);
+  }
+  return slot;
+}
+
 ServiceMetrics ReductionService::metrics() const {
   ServiceMetrics m;
   m.workers = options_.workers;
   m.queueCapacity = queue_.capacity();
   m.queueDepth = queue_.depth();
   m.maxQueueDepth = queue_.maxDepth();
+  const cache::CacheStats cacheTotals = cacheStats();
+  m.cacheHits = cacheTotals.hits;
+  m.cacheMemoryHits = cacheTotals.memoryHits;
+  m.cacheMisses = cacheTotals.misses;
+  m.cacheStores = cacheTotals.stores;
+  m.cacheStoreFailures = cacheTotals.storeFailures;
+  m.cacheEvictions = cacheTotals.evictions;
+  m.cacheInvalidEntries = cacheTotals.invalidEntries;
+  m.cacheBytes = cacheTotals.bytes;
+  m.cacheEntries = cacheTotals.entries;
   std::lock_guard<std::mutex> lock(mutex_);
+  m.incrementalJobs = incrementalJobs_;
   m.running = running_;
   m.submitted = submitted_;
   m.admitted = admitted_;
@@ -295,12 +354,12 @@ void ReductionService::workerLoop() {
 bool ReductionService::beginRun(const std::shared_ptr<Job>& job) {
   if (job->deadline && now() > *job->deadline) {
     finishJob(job, JobState::Expired, "deadline expired before start",
-              std::nullopt);
+              nullptr);
     return false;
   }
   if (job->cancel.cancelRequested()) {
     finishJob(job, JobState::Cancelled, "cancelled before start",
-              std::nullopt);
+              nullptr);
     return false;
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -315,7 +374,7 @@ bool ReductionService::beginRun(const std::shared_ptr<Job>& job) {
 
 void ReductionService::finishJob(const std::shared_ptr<Job>& job,
                                  JobState state, std::string error,
-                                 std::optional<core::ReductionResult> result) {
+                                 std::shared_ptr<const core::ReductionResult> result) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (jobStateTerminal(job->state)) {
@@ -345,6 +404,16 @@ void ReductionService::finishJob(const std::shared_ptr<Job>& job,
       for (const std::string& stage : result->times.names()) {
         latencySamples_[stage].push_back(result->times.total(stage));
       }
+    }
+    // The cold-vs-warm comparison operators actually watch: plan jobs
+    // whose normalization (or whole partial state) came from the batch
+    // leader or the persistent cache, vs full computes.
+    if (state == JobState::Done && job->started &&
+        job->request.kind == JobKind::Plan) {
+      const bool warm = job->sharedNormalization || job->cachedNormalization ||
+                        job->incrementalRun;
+      latencySamples_[warm ? "run-warm" : "run-cold"].push_back(
+          secondsBetween(*job->started, *job->finished));
     }
     JobOutcome outcome;
     outcome.status = statusLocked(*job);
@@ -436,45 +505,220 @@ void ReductionService::process(const std::shared_ptr<Job>& leader) {
   }
 }
 
+namespace {
+
+/// Re-divide \p result's cross-section (and its σ², when tracked) by
+/// \p normalization — the shared follower/warm-hit finish: with
+/// matching keys the spliced denominator is bitwise the histogram the
+/// job's own MDNorm pass would have produced.
+void spliceNormalization(core::ReductionResult& result,
+                         const Histogram3D& normalization) {
+  result.normalization = normalization;
+  if (result.signalErrorSq) {
+    HistogramRatio ratio = Histogram3D::divideWithErrors(
+        result.signal, *result.signalErrorSq, normalization);
+    result.crossSection = std::move(ratio.value);
+    result.crossSectionErrorSq = std::move(ratio.errorSq);
+  } else {
+    result.crossSection = Histogram3D::divide(result.signal, normalization);
+  }
+}
+
+} // namespace
+
 bool ReductionService::runPlanJob(const std::shared_ptr<Job>& job,
                                   const Histogram3D* sharedNorm) {
   core::ReductionPlan plan = job->request.plan;
-  plan.config.skipNormalization = sharedNorm != nullptr;
   plan.config.hooks.cancel = job->cancel.flag();
   plan.config.hooks.filesCompleted = &job->filesCompleted;
   plan.config.hooks.progress = &job->progressStages;
+
+  // Batch followers already have a better-than-disk normalization in
+  // hand; everyone else may consult the persistent cache.
+  const std::shared_ptr<cache::NormalizationCache> cache =
+      sharedNorm == nullptr && !plan.config.skipNormalization
+          ? cacheFor(plan)
+          : nullptr;
+  const bool incremental = cache != nullptr && plan.config.incremental &&
+                           plan.config.ranks == 1;
+
   if (sharedNorm != nullptr) {
+    plan.config.skipNormalization = true;
     std::lock_guard<std::mutex> lock(mutex_);
     job->sharedNormalization = true;
   }
+
   try {
+    // -- incremental mode: part entries under incrementalKey ----------
+    if (incremental) {
+      const std::string partKey = incrementalKey(plan);
+      const std::size_t nFiles = plan.workload.nFiles;
+      std::shared_ptr<const cache::CachedReduction> cached =
+          cache->findReduction(partKey);
+      // A part entry from a run with the other trackErrors setting
+      // cannot seed this one (the key pins trackErrors, so this only
+      // guards against hand-edited entries).
+      if (cached &&
+          cached->signalErrorSq.has_value() != plan.config.trackErrors) {
+        cached.reset();
+      }
+
+      if (cached && cached->filesReduced == nFiles) {
+        // Full replay: every file is already in the cached sums — no
+        // pipeline run at all, just the final divide.
+        job->filesCompleted.store(nFiles, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          job->cachedNormalization = true;
+        }
+        // Repeat replays of the same hot-tier entry share one assembled
+        // (immutable) result: serving is then O(1) regardless of grid
+        // size.  The memo is valid exactly while findReduction keeps
+        // returning the same object.
+        std::shared_ptr<const core::ReductionResult> replay;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          const auto memo = replayMemos_.find(cached.get());
+          if (memo != replayMemos_.end() &&
+              memo->second.source.lock() == cached) {
+            replay = memo->second.result;
+          }
+        }
+        if (!replay) {
+          // Assemble the replayed result in parallel: the final divide
+          // and the accumulator copies each stream the full histogram
+          // (~MBs) and are independent, so overlapping them makes the
+          // assembly cost one histogram pass of wall time, not three.
+          // Elementwise work keeps bit-identity regardless of threading.
+          std::optional<Histogram3D> signalCopy;
+          std::optional<Histogram3D> normCopy;
+          std::optional<Histogram3D> errorCopy;
+          std::thread signalThread([&] { signalCopy.emplace(cached->signal); });
+          std::thread normThread([&] {
+            normCopy.emplace(cached->normalization);
+            if (cached->signalErrorSq) {
+              errorCopy.emplace(*cached->signalErrorSq);
+            }
+          });
+          std::optional<Histogram3D> crossErrorSq;
+          std::optional<Histogram3D> crossSection;
+          try {
+            if (cached->signalErrorSq) {
+              HistogramRatio ratio = Histogram3D::divideWithErrors(
+                  cached->signal, *cached->signalErrorSq,
+                  cached->normalization);
+              crossErrorSq = std::move(ratio.errorSq);
+              crossSection = std::move(ratio.value);
+            } else {
+              crossSection =
+                  Histogram3D::divide(cached->signal, cached->normalization);
+            }
+            signalThread.join();
+            normThread.join();
+          } catch (...) {
+            signalThread.join();
+            normThread.join();
+            throw;
+          }
+          replay = std::make_shared<const core::ReductionResult>(
+              core::ReductionResult{std::move(*signalCopy),
+                                    std::move(*normCopy),
+                                    std::move(*crossSection),
+                                    /*times=*/{},
+                                    /*timesSummed=*/{},
+                                    /*wallSeconds=*/0.0,
+                                    /*deviceStats=*/{},
+                                    /*maxIntersectionsEstimate=*/0,
+                                    cached->eventsProcessed,
+                                    std::move(errorCopy),
+                                    std::move(crossErrorSq)});
+          std::lock_guard<std::mutex> lock(mutex_);
+          for (auto it = replayMemos_.begin(); it != replayMemos_.end();) {
+            it = it->second.source.expired() ? replayMemos_.erase(it)
+                                             : std::next(it);
+          }
+          replayMemos_[cached.get()] = {cached, replay};
+        }
+        finishJob(job, JobState::Done, "", std::move(replay));
+        return true;
+      }
+
+      ExperimentSetup setup(plan.workload);
+      core::ReductionPipeline pipeline(setup, plan.config);
+      core::ReductionResult result = [&] {
+        if (cached && cached->filesReduced < nFiles) {
+          // Delta reduction: seed with the cached accumulators and run
+          // only the appended files.
+          core::ReductionSeed seed;
+          seed.signal = &cached->signal;
+          seed.normalization = &cached->normalization;
+          seed.signalErrorSq =
+              cached->signalErrorSq ? &*cached->signalErrorSq : nullptr;
+          seed.filesAlreadyReduced = cached->filesReduced;
+          seed.eventsAlreadyProcessed = cached->eventsProcessed;
+          core::ReductionResult delta = pipeline.runIncremental(seed);
+          std::lock_guard<std::mutex> lock(mutex_);
+          job->incrementalRun = true;
+          ++incrementalJobs_;
+          ++normalizationPasses_; // the delta files' MDNorm pass
+          return delta;
+        }
+        // No usable entry (or the plan shrank, which incremental sums
+        // cannot serve): cold run.
+        core::ReductionResult cold = pipeline.run();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++normalizationPasses_;
+        return cold;
+      }();
+      // Publish the now-current accumulators; the entry covering more
+      // files replaces the stale one under the same key.
+      const cache::CachedReduction update{nFiles, result.eventsProcessed,
+                                          result.signal, result.normalization,
+                                          result.signalErrorSq};
+      cache->storeReduction(partKey, update);
+      finishJob(job, JobState::Done, "",
+              std::make_shared<const core::ReductionResult>(
+                  std::move(result)));
+      return true;
+    }
+
+    // -- batch-follower / norm-entry / cold paths ---------------------
+    std::shared_ptr<const Histogram3D> cachedNorm;
+    if (cache != nullptr) {
+      cachedNorm = cache->findNormalization(job->batchKey);
+      if (cachedNorm) {
+        // Warm: run signal-only (the MDNorm pass is skipped entirely)
+        // and divide by the cached denominator below.
+        plan.config.skipNormalization = true;
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->cachedNormalization = true;
+      }
+    }
+
     ExperimentSetup setup(plan.workload);
     core::ReductionPipeline pipeline(setup, plan.config);
     core::ReductionResult result = pipeline.run();
     if (sharedNorm != nullptr) {
-      // Splice the leader's normalization under this job's signal; the
-      // matching batch key guarantees this is bitwise the histogram the
-      // job's own MDNorm pass would have produced.
-      result.normalization = *sharedNorm;
-      if (result.signalErrorSq) {
-        HistogramRatio ratio = Histogram3D::divideWithErrors(
-            result.signal, *result.signalErrorSq, *sharedNorm);
-        result.crossSection = std::move(ratio.value);
-        result.crossSectionErrorSq = std::move(ratio.errorSq);
-      } else {
-        result.crossSection =
-            Histogram3D::divide(result.signal, *sharedNorm);
-      }
+      spliceNormalization(result, *sharedNorm);
+    } else if (cachedNorm) {
+      spliceNormalization(result, *cachedNorm);
     } else {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++normalizationPasses_;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++normalizationPasses_;
+      }
+      if (cache != nullptr && !plan.config.skipNormalization) {
+        cache->storeNormalization(job->batchKey, result.normalization);
+      }
     }
-    finishJob(job, JobState::Done, "", std::move(result));
+    finishJob(job, JobState::Done, "",
+              std::make_shared<const core::ReductionResult>(
+                  std::move(result)));
     return true;
   } catch (const Cancelled& cancelledError) {
-    finishJob(job, JobState::Cancelled, cancelledError.what(), std::nullopt);
+    finishJob(job, JobState::Cancelled, cancelledError.what(), nullptr);
   } catch (const std::exception& error) {
-    finishJob(job, JobState::Failed, error.what(), std::nullopt);
+    finishJob(job, JobState::Failed, error.what(), nullptr);
   }
   return false;
 }
@@ -525,7 +769,7 @@ void ReductionService::runLiveJob(const std::shared_ptr<Job>& job) {
     }
     if (job->cancel.cancelRequested()) {
       finishJob(job, JobState::Cancelled, "cancelled during live reduction",
-                std::nullopt);
+                nullptr);
       return;
     }
     stream::LiveSnapshot snapshot = reducer.snapshot();
@@ -542,9 +786,11 @@ void ReductionService::runLiveJob(const std::shared_ptr<Job>& job) {
                                  /*eventsProcessed=*/stats.eventsConsumed,
                                  /*signalErrorSq=*/std::nullopt,
                                  /*crossSectionErrorSq=*/std::nullopt};
-    finishJob(job, JobState::Done, "", std::move(result));
+    finishJob(job, JobState::Done, "",
+              std::make_shared<const core::ReductionResult>(
+                  std::move(result)));
   } catch (const std::exception& error) {
-    finishJob(job, JobState::Failed, error.what(), std::nullopt);
+    finishJob(job, JobState::Failed, error.what(), nullptr);
   }
 }
 

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 #include <vector>
 
 namespace vates {
@@ -124,6 +125,42 @@ TEST(GridAccumulator, CommitIsIdempotent) {
   accumulator.commit();
   accumulator.commit(); // must not double-count
   EXPECT_NEAR(histogram.totalSignal(), 100.0, 1e-12);
+}
+
+TEST(GridAccumulator, SharedGridForcesAtomicDeposits) {
+  // The workflow scheduler runs several single-worker kernel launches
+  // concurrently over one grid; each launch's accumulator cannot see
+  // that concurrency, so sharedGrid must force real atomics (no
+  // sole-writer plain adds, no worker-private state committed with
+  // plain adds).  Exercised with genuinely concurrent accumulators so
+  // TSAN catches any non-atomic write path.
+  const Executor executor(Backend::Serial);
+  Histogram3D histogram = smallHistogram();
+
+  AccumulateOptions options;
+  options.strategy = AccumulateStrategy::Privatized; // overridden
+  options.sharedGrid = true;
+  {
+    GridAccumulator probe(histogram.gridView(), executor, options);
+    EXPECT_EQ(probe.strategy(), AccumulateStrategy::Atomic)
+        << "sharedGrid admits only atomic deposits";
+  }
+
+  const std::size_t perThread = 20000;
+  auto deposit = [&] {
+    GridAccumulator accumulator(histogram.gridView(), executor, options);
+    const AccumulatorRef sink = accumulator.ref();
+    for (std::size_t i = 0; i < perThread; ++i) {
+      sink.add(0, i % 64, 1.0);
+    }
+    accumulator.commit();
+  };
+  std::thread other(deposit);
+  deposit();
+  other.join();
+
+  EXPECT_NEAR(histogram.totalSignal(), 2.0 * static_cast<double>(perThread),
+              1e-9);
 }
 
 // ---------------------------------------------------------------------------

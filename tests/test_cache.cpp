@@ -1,0 +1,943 @@
+/// \file test_cache.cpp
+/// Persistent normalization cache + incremental delta reduction:
+/// on-disk entry round-trips, every failure path (truncation, CRC
+/// damage, version bumps, hash collisions, unwritable directories),
+/// LRU eviction under a byte budget with concurrent readers, the
+/// incrementalKey field contract, pipeline-level seeded reruns, and the
+/// service-level warm/incremental paths gated bitwise against direct
+/// pipeline runs and the reference oracle.
+
+#include "vates/cache/normalization_cache.hpp"
+#include "vates/core/pipeline.hpp"
+#include "vates/core/plan.hpp"
+#include "vates/events/experiment_setup.hpp"
+#include "vates/io/histogram_file.hpp"
+#include "vates/io/nxlite.hpp"
+#include "vates/service/job.hpp"
+#include "vates/service/reduction_service.hpp"
+#include "vates/support/error.hpp"
+#include "vates/verify/diff.hpp"
+#include "vates/verify/fuzz_inputs.hpp"
+#include "vates/verify/reference_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace vates::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+/// Temporary directory wiped per test; the environment overrides are
+/// cleared so a developer's VATES_CACHE_DIR can never hijack a test.
+class CacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ::unsetenv("VATES_CACHE_DIR");
+    ::unsetenv("VATES_CACHE_BUDGET");
+    dir_ = fs::temp_directory_path() /
+           ("vates_cache_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& leaf) const {
+    return (dir_ / leaf).string();
+  }
+
+  fs::path dir_;
+};
+
+/// A small deterministic histogram whose bin pattern depends on \p tag,
+/// so distinct entries are distinguishable bit for bit.
+Histogram3D makeHistogram(std::uint64_t tag) {
+  Histogram3D h(BinAxis("H", -1.0, 1.0, 4), BinAxis("K", -1.0, 1.0, 3),
+                BinAxis("L", -1.0, 1.0, 2));
+  std::uint64_t state = tag * 0x9e3779b97f4a7c15ULL + 1;
+  for (double& bin : h.data()) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    bin = static_cast<double>(state >> 16) * 1e-12;
+  }
+  return h;
+}
+
+void expectHistogramsBitwise(const Histogram3D& expected,
+                             const Histogram3D& actual,
+                             const std::string& label) {
+  const verify::DiffReport report = verify::compareHistograms(
+      expected, actual, verify::Tolerance::bitwise(), label);
+  EXPECT_TRUE(report.pass) << report.summary();
+}
+
+void expectBitwiseEqual(const core::ReductionResult& expected,
+                        const core::ReductionResult& actual,
+                        const std::string& label) {
+  expectHistogramsBitwise(expected.signal, actual.signal, "signal " + label);
+  expectHistogramsBitwise(expected.normalization, actual.normalization,
+                          "normalization " + label);
+  expectHistogramsBitwise(expected.crossSection, actual.crossSection,
+                          "crossSection " + label);
+  ASSERT_EQ(expected.signalErrorSq.has_value(),
+            actual.signalErrorSq.has_value());
+  if (expected.signalErrorSq) {
+    expectHistogramsBitwise(*expected.signalErrorSq, *actual.signalErrorSq,
+                            "signalErrorSq " + label);
+    expectHistogramsBitwise(*expected.crossSectionErrorSq,
+                            *actual.crossSectionErrorSq,
+                            "crossSectionErrorSq " + label);
+  }
+  EXPECT_EQ(expected.eventsProcessed, actual.eventsProcessed) << label;
+}
+
+core::ReductionPlan smallPlan(double scale = 0.0005, std::size_t nFiles = 2) {
+  core::ReductionPlan plan;
+  plan.workload = WorkloadSpec::benzilCorelli(scale);
+  plan.workload.nFiles = nFiles;
+  return plan;
+}
+
+JobRequest planRequest(const core::ReductionPlan& plan) {
+  JobRequest request;
+  request.plan = plan;
+  return request;
+}
+
+/// Submit \p plan, wait, and require a Done outcome with a result.
+std::shared_ptr<const JobOutcome> runOne(ReductionService& svc,
+                                         const core::ReductionPlan& plan) {
+  const SubmitReceipt receipt = svc.submit(planRequest(plan));
+  EXPECT_TRUE(receipt.accepted) << receipt.reason;
+  if (!receipt.accepted) {
+    return nullptr;
+  }
+  const auto outcome = svc.wait(receipt.id);
+  EXPECT_NE(outcome, nullptr);
+  if (outcome) {
+    EXPECT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
+    EXPECT_NE(outcome->result, nullptr);
+  }
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Entry round-trips
+
+TEST_F(CacheTest, NormalizationRoundTripIsBitwise) {
+  cache::NormalizationCache instance({dir_.string(), 0});
+  ASSERT_TRUE(instance.writable());
+  const Histogram3D stored = makeHistogram(1);
+  EXPECT_TRUE(instance.storeNormalization("keyA", stored));
+
+  const auto found = instance.findNormalization("keyA");
+  ASSERT_NE(found, nullptr);
+  expectHistogramsBitwise(stored, *found, "norm round trip");
+
+  const cache::CacheStats stats = instance.stats();
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  // A second instance on the same directory (another worker process)
+  // sees the published entry through its construction-time scan.
+  cache::NormalizationCache other({dir_.string(), 0});
+  const auto foundByOther = other.findNormalization("keyA");
+  ASSERT_NE(foundByOther, nullptr);
+  expectHistogramsBitwise(stored, *foundByOther, "norm cross-instance");
+}
+
+TEST_F(CacheTest, PartialReductionRoundTripsWithAndWithoutErrors) {
+  cache::NormalizationCache instance({dir_.string(), 0});
+  const cache::CachedReduction plain{3, 12345, makeHistogram(2),
+                                     makeHistogram(3), std::nullopt};
+  EXPECT_TRUE(instance.storeReduction("plain", plain));
+  const auto foundPlain = instance.findReduction("plain");
+  ASSERT_NE(foundPlain, nullptr);
+  EXPECT_EQ(foundPlain->filesReduced, 3u);
+  EXPECT_EQ(foundPlain->eventsProcessed, 12345u);
+  expectHistogramsBitwise(plain.signal, foundPlain->signal, "part signal");
+  expectHistogramsBitwise(plain.normalization, foundPlain->normalization,
+                          "part normalization");
+  EXPECT_FALSE(foundPlain->signalErrorSq.has_value());
+
+  const cache::CachedReduction tracked{5, 99, makeHistogram(4),
+                                       makeHistogram(5), makeHistogram(6)};
+  EXPECT_TRUE(instance.storeReduction("tracked", tracked));
+  const auto foundTracked = instance.findReduction("tracked");
+  ASSERT_NE(foundTracked, nullptr);
+  ASSERT_TRUE(foundTracked->signalErrorSq.has_value());
+  expectHistogramsBitwise(*tracked.signalErrorSq, *foundTracked->signalErrorSq,
+                          "part errorSq");
+}
+
+TEST_F(CacheTest, AbsentKeysMiss) {
+  cache::NormalizationCache instance({dir_.string(), 0});
+  EXPECT_EQ(instance.findNormalization("nothing"), nullptr);
+  EXPECT_EQ(instance.findReduction("nothing"), nullptr);
+  EXPECT_EQ(instance.stats().misses, 2u);
+  EXPECT_EQ(instance.stats().invalidEntries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Hot tier
+
+TEST_F(CacheTest, HotTierServesRepeatFindsAndRevalidatesIdentity) {
+  cache::NormalizationCache instance({dir_.string(), 0});
+  const Histogram3D stored = makeHistogram(1);
+  ASSERT_TRUE(instance.storeNormalization("keyA", stored));
+
+  // The store primed the hot tier, so same-instance finds never re-read
+  // the file; repeat finds return the very same shared object.
+  const auto first = instance.findNormalization("keyA");
+  ASSERT_NE(first, nullptr);
+  const auto second = instance.findNormalization("keyA");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first.get(), second.get());
+  expectHistogramsBitwise(stored, *first, "hot-tier hit");
+  EXPECT_EQ(instance.stats().memoryHits, 2u);
+  EXPECT_EQ(instance.stats().hits, 2u);
+
+  // Another process republishing the entry (write-temp + rename, hence a
+  // new inode) invalidates the RAM copy: the next find falls back to the
+  // CRC-verified disk path and returns the *new* bits, never stale ones.
+  const Histogram3D replacement = makeHistogram(7);
+  cache::NormalizationCache writer({dir_.string(), 0});
+  ASSERT_TRUE(writer.storeNormalization("keyA", replacement));
+  const auto reread = instance.findNormalization("keyA");
+  ASSERT_NE(reread, nullptr);
+  expectHistogramsBitwise(replacement, *reread, "post-replace reread");
+  EXPECT_EQ(instance.stats().memoryHits, 2u); // disk path, not RAM
+  EXPECT_EQ(instance.stats().hits, 3u);
+
+  // memoryBudgetBytes == 0 disables the tier outright.
+  cache::NormalizationCache coldOnly({dir_.string(), 0, 0});
+  EXPECT_NE(coldOnly.findNormalization("keyA"), nullptr);
+  EXPECT_NE(coldOnly.findNormalization("keyA"), nullptr);
+  EXPECT_EQ(coldOnly.stats().memoryHits, 0u);
+  EXPECT_EQ(coldOnly.stats().hits, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure paths
+
+TEST_F(CacheTest, TruncatedEntryReadsAsMissAndIsDropped) {
+  cache::NormalizationCache instance({dir_.string(), 0});
+  ASSERT_TRUE(instance.storeNormalization("keyA", makeHistogram(1)));
+  const std::string entry = instance.entryPath("keyA", /*partial=*/false);
+  fs::resize_file(entry, fs::file_size(entry) / 2);
+
+  EXPECT_EQ(instance.findNormalization("keyA"), nullptr);
+  EXPECT_FALSE(fs::exists(entry)) << "damaged entry should be deleted";
+  const cache::CacheStats stats = instance.stats();
+  EXPECT_EQ(stats.invalidEntries, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST_F(CacheTest, CrcDamagedEntryReadsAsMissAndIsDropped) {
+  // Hot tier off: the in-place same-size bit flip below can land within
+  // one mtime clock tick, so the file identity would still match and the
+  // RAM copy would mask the corruption this test aims at the CRC-verified
+  // disk read path.
+  cache::NormalizationCache instance({dir_.string(), 0, 0});
+  ASSERT_TRUE(instance.storeReduction(
+      "keyA", {2, 7, makeHistogram(1), makeHistogram(2), std::nullopt}));
+  const std::string entry = instance.entryPath("keyA", /*partial=*/true);
+  {
+    std::fstream file(entry, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    const auto offset =
+        static_cast<std::streamoff>(fs::file_size(entry) * 2 / 3);
+    file.seekg(offset);
+    char byte = 0;
+    file.get(byte);
+    file.seekp(offset);
+    file.put(static_cast<char>(byte ^ 0x40)); // flip one payload bit
+  }
+  EXPECT_EQ(instance.findReduction("keyA"), nullptr);
+  EXPECT_FALSE(fs::exists(entry));
+  EXPECT_EQ(instance.stats().invalidEntries, 1u);
+}
+
+TEST_F(CacheTest, FutureFormatVersionInvalidatesEntry) {
+  const std::string key = "vkey";
+  const Histogram3D h = makeHistogram(1);
+  cache::NormalizationCache writerSide({dir_.string(), 0});
+  ASSERT_TRUE(writerSide.storeNormalization(key, h));
+  // Rewrite the entry as a (hypothetical) newer format: same layout,
+  // bumped version stamp — exactly what an old reader must reject.
+  const std::string entry = writerSide.entryPath(key, /*partial=*/false);
+  {
+    nx::Writer writer(entry);
+    writer.writeScalar("cache_version",
+                       static_cast<double>(cache::kCacheFormatVersion + 1));
+    writer.writeScalar("cache_kind", 0.0);
+    std::vector<std::uint32_t> codes(key.size());
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      codes[i] = static_cast<unsigned char>(key[i]);
+    }
+    writer.writeUInt32("cache_key", codes);
+    writeHistogram(writer, "normalization", h);
+    writer.close();
+  }
+  cache::NormalizationCache readerSide({dir_.string(), 0});
+  EXPECT_EQ(readerSide.findNormalization(key), nullptr);
+  EXPECT_EQ(readerSide.stats().invalidEntries, 1u);
+  EXPECT_FALSE(fs::exists(entry));
+}
+
+TEST_F(CacheTest, HashCollisionMissesWithoutDeleting) {
+  cache::NormalizationCache instance({dir_.string(), 0});
+  ASSERT_TRUE(instance.storeNormalization("ownerKey", makeHistogram(1)));
+  // Simulate an fnv1a64 collision: another key's lookup lands on
+  // ownerKey's file.  The embedded-key comparison must miss WITHOUT
+  // deleting the resident entry — it is intact and belongs to ownerKey.
+  const std::string ownerPath =
+      instance.entryPath("ownerKey", /*partial=*/false);
+  const std::string impostorPath =
+      instance.entryPath("impostorKey", /*partial=*/false);
+  fs::copy_file(ownerPath, impostorPath);
+
+  EXPECT_EQ(instance.findNormalization("impostorKey"), nullptr);
+  EXPECT_TRUE(fs::exists(impostorPath))
+      << "collision victim must not be deleted";
+  EXPECT_EQ(instance.stats().invalidEntries, 0u);
+  EXPECT_NE(instance.findNormalization("ownerKey"), nullptr);
+}
+
+TEST_F(CacheTest, UnusableDirectoryDegradesToColdCompute) {
+  // A regular file where the directory should be: the ctor must not
+  // throw, finds miss, stores fail — cold compute stays available.
+  const std::string blocked = path("blocked");
+  std::ofstream(blocked) << "not a directory";
+  cache::NormalizationCache instance({blocked, 0});
+  EXPECT_FALSE(instance.writable());
+  EXPECT_EQ(instance.findNormalization("k"), nullptr);
+  EXPECT_FALSE(instance.storeNormalization("k", makeHistogram(1)));
+  EXPECT_FALSE(
+      instance.storeReduction("k", {1, 1, makeHistogram(1), makeHistogram(2),
+                                    std::nullopt}));
+  const cache::CacheStats stats = instance.stats();
+  EXPECT_EQ(stats.storeFailures, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(CacheTest, ClearRemovesEntriesAndStrayTemps) {
+  cache::NormalizationCache instance({dir_.string(), 0});
+  ASSERT_TRUE(instance.storeNormalization("a", makeHistogram(1)));
+  ASSERT_TRUE(instance.storeNormalization("b", makeHistogram(2)));
+  // A stray temp file from a crashed writer.
+  std::ofstream(path("deadbeef-norm.nxc.tmp-123-0")) << "partial";
+  EXPECT_EQ(instance.clear(), 2u);
+  EXPECT_EQ(instance.stats().entries, 0u);
+  EXPECT_EQ(instance.stats().bytes, 0u);
+  std::size_t remaining = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    (void)entry;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// LRU eviction
+
+/// Bytes of one norm entry with a single-character key (all entries in
+/// these tests use equal-length keys and equal-shape histograms, so
+/// sizes are uniform).
+std::uint64_t probeEntryBytes(const fs::path& base) {
+  const fs::path probeDir = base / "probe";
+  cache::NormalizationCache probe({probeDir.string(), 0});
+  probe.storeNormalization("p", makeHistogram(0));
+  return probe.stats().bytes;
+}
+
+TEST_F(CacheTest, LruEvictsColdestAndHitsProtect) {
+  const std::uint64_t entryBytes = probeEntryBytes(dir_);
+  ASSERT_GT(entryBytes, 0u);
+  // Budget for two entries (plus slack): storing a third must evict the
+  // least recently *touched* one.
+  const fs::path mainDir = dir_ / "main";
+  cache::NormalizationCache instance(
+      {mainDir.string(), entryBytes * 2 + entryBytes / 2});
+  ASSERT_TRUE(instance.storeNormalization("a", makeHistogram(1)));
+  ASSERT_TRUE(instance.storeNormalization("b", makeHistogram(2)));
+  ASSERT_NE(instance.findNormalization("a"), nullptr); // bump a
+  ASSERT_TRUE(instance.storeNormalization("c", makeHistogram(3)));
+
+  EXPECT_EQ(instance.findNormalization("b"), nullptr)
+      << "b was coldest and must have been evicted";
+  EXPECT_NE(instance.findNormalization("a"), nullptr);
+  EXPECT_NE(instance.findNormalization("c"), nullptr);
+  const cache::CacheStats stats = instance.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, entryBytes * 2 + entryBytes / 2);
+}
+
+TEST_F(CacheTest, JustWrittenEntryIsRetainedEvenOverBudget) {
+  const std::uint64_t entryBytes = probeEntryBytes(dir_);
+  const fs::path mainDir = dir_ / "main";
+  cache::NormalizationCache instance({mainDir.string(), entryBytes / 2});
+  ASSERT_TRUE(instance.storeNormalization("a", makeHistogram(1)));
+  EXPECT_NE(instance.findNormalization("a"), nullptr)
+      << "an entry larger than the whole budget is still usable";
+  EXPECT_EQ(instance.stats().evictions, 0u);
+  // The next store displaces it: the newcomer is the protected one now.
+  ASSERT_TRUE(instance.storeNormalization("b", makeHistogram(2)));
+  EXPECT_EQ(instance.findNormalization("a"), nullptr);
+  EXPECT_NE(instance.findNormalization("b"), nullptr);
+  EXPECT_EQ(instance.stats().evictions, 1u);
+}
+
+TEST_F(CacheTest, ConcurrentReadersSurviveEviction) {
+  const std::uint64_t entryBytes = probeEntryBytes(dir_);
+  const fs::path mainDir = dir_ / "main";
+  // Budget for ~1.5 entries: every store evicts the previous entry
+  // while readers are mid-lookup — reads must come back either as the
+  // correct bits or a clean miss, never garbage or a crash.
+  cache::NormalizationCache instance(
+      {mainDir.string(), entryBytes + entryBytes / 2});
+  const std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+  std::vector<Histogram3D> expected;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    expected.push_back(makeHistogram(100 + i));
+  }
+  std::atomic<bool> done{false};
+  std::atomic<int> corrupt{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          const auto found = instance.findNormalization(keys[i]);
+          if (!found) {
+            continue; // evicted — a clean miss
+          }
+          const auto got = found->data();
+          const auto want = expected[i].data();
+          if (got.size() != want.size() ||
+              !std::equal(got.begin(), got.end(), want.begin())) {
+            corrupt.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t i = static_cast<std::size_t>(round) % keys.size();
+    ASSERT_TRUE(instance.storeNormalization(keys[i], expected[i]));
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(corrupt.load(), 0) << "a reader observed wrong bits";
+  EXPECT_GT(instance.stats().evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Config + verification helpers
+
+TEST_F(CacheTest, EnvOverridesWinOverPlanValues) {
+  ::setenv("VATES_CACHE_DIR", "/env/dir", 1);
+  ::setenv("VATES_CACHE_BUDGET", "12345", 1);
+  cache::CacheConfig config =
+      cache::CacheConfig::withEnvOverrides("/plan/dir", 777);
+  EXPECT_EQ(config.directory, "/env/dir");
+  EXPECT_EQ(config.budgetBytes, 12345u);
+
+  ::setenv("VATES_CACHE_BUDGET", "not-a-number", 1);
+  config = cache::CacheConfig::withEnvOverrides("/plan/dir", 777);
+  EXPECT_EQ(config.budgetBytes, 777u) << "malformed budget must be ignored";
+
+  ::unsetenv("VATES_CACHE_DIR");
+  ::unsetenv("VATES_CACHE_BUDGET");
+  config = cache::CacheConfig::withEnvOverrides("/plan/dir", 777);
+  EXPECT_EQ(config.directory, "/plan/dir");
+  EXPECT_EQ(config.budgetBytes, 777u);
+}
+
+TEST_F(CacheTest, VerifyCacheEntryCatchesDamageAndMisnaming) {
+  cache::NormalizationCache instance({dir_.string(), 0});
+  ASSERT_TRUE(instance.storeNormalization("good", makeHistogram(1)));
+  ASSERT_TRUE(instance.storeReduction(
+      "part", {2, 9, makeHistogram(2), makeHistogram(3), makeHistogram(4)}));
+  const std::string normPath = instance.entryPath("good", /*partial=*/false);
+  const std::string partPath = instance.entryPath("part", /*partial=*/true);
+
+  std::string reason;
+  EXPECT_TRUE(cache::verifyCacheEntry(normPath, &reason)) << reason;
+  EXPECT_TRUE(cache::verifyCacheEntry(partPath, &reason)) << reason;
+
+  // A renamed (mis-filed) entry fails the name↔key consistency check.
+  const std::string renamed = path("0000000000000000-norm.nxc");
+  fs::copy_file(normPath, renamed);
+  EXPECT_FALSE(cache::verifyCacheEntry(renamed, &reason));
+  EXPECT_NE(reason.find("does not match"), std::string::npos) << reason;
+
+  // A flipped payload byte fails a dataset CRC.
+  {
+    std::fstream file(normPath,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    const auto offset =
+        static_cast<std::streamoff>(fs::file_size(normPath) * 2 / 3);
+    file.seekg(offset);
+    char byte = 0;
+    file.get(byte);
+    file.seekp(offset);
+    file.put(static_cast<char>(byte ^ 0x01));
+  }
+  EXPECT_FALSE(cache::verifyCacheEntry(normPath, &reason));
+}
+
+// ---------------------------------------------------------------------------
+// Key contracts
+
+TEST(IncrementalKey, StableAcrossFileCountSensitiveToData) {
+  const core::ReductionPlan base = smallPlan();
+  const std::string key = incrementalKey(base);
+
+  core::ReductionPlan appended = base;
+  appended.workload.nFiles += 3;
+  EXPECT_EQ(incrementalKey(appended), key)
+      << "appending files must keep hitting the same part entry";
+
+  core::ReductionPlan otherSeed = base;
+  otherSeed.workload.seed ^= 0x1234;
+  EXPECT_NE(incrementalKey(otherSeed), key);
+
+  core::ReductionPlan otherEvents = base;
+  otherEvents.workload.eventsPerFile *= 2;
+  EXPECT_NE(incrementalKey(otherEvents), key);
+
+  core::ReductionPlan otherErrors = base;
+  otherErrors.config.trackErrors = true;
+  EXPECT_NE(incrementalKey(otherErrors), key);
+
+  core::ReductionPlan otherBinmd = base;
+  otherBinmd.config.binmdAccumulate.strategy = AccumulateStrategy::Privatized;
+  EXPECT_NE(incrementalKey(otherBinmd), key);
+
+  core::ReductionPlan otherConvert = base;
+  otherConvert.config.convert.lorentzCorrection =
+      !otherConvert.config.convert.lorentzCorrection;
+  EXPECT_NE(incrementalKey(otherConvert), key);
+
+  // Normalization-affecting fields flow through the wrapped sub-key.
+  core::ReductionPlan otherGrid = base;
+  otherGrid.workload.bins[1] += 1;
+  EXPECT_NE(incrementalKey(otherGrid), key);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-level incremental reduction
+
+TEST(IncrementalPipeline, SeededRerunMatchesFromScratchBitwise) {
+  for (const Backend backend : {Backend::Serial, Backend::ThreadPool}) {
+    core::ReductionPlan plan = smallPlan(0.0005, 5);
+    plan.config.backend = backend;
+    const ExperimentSetup setup(plan.workload);
+    const core::ReductionResult full =
+        core::ReductionPipeline(setup, plan.config).run();
+
+    core::ReductionPlan firstPlan = plan;
+    firstPlan.workload.nFiles = 3;
+    const ExperimentSetup firstSetup(firstPlan.workload);
+    const core::ReductionResult first =
+        core::ReductionPipeline(firstSetup, firstPlan.config).run();
+
+    core::ReductionSeed seed;
+    seed.signal = &first.signal;
+    seed.normalization = &first.normalization;
+    seed.filesAlreadyReduced = 3;
+    seed.eventsAlreadyProcessed = first.eventsProcessed;
+    const core::ReductionResult resumed =
+        core::ReductionPipeline(setup, plan.config).runIncremental(seed);
+
+    expectBitwiseEqual(full, resumed,
+                       std::string("incremental vs from-scratch, ") +
+                           backendName(backend));
+  }
+}
+
+TEST(IncrementalPipeline, SeededRerunWithErrorsMatchesBitwise) {
+  core::ReductionPlan plan = smallPlan(0.0005, 4);
+  plan.config.trackErrors = true;
+  const ExperimentSetup setup(plan.workload);
+  const core::ReductionResult full =
+      core::ReductionPipeline(setup, plan.config).run();
+
+  core::ReductionPlan firstPlan = plan;
+  firstPlan.workload.nFiles = 2;
+  const core::ReductionResult first =
+      core::ReductionPipeline(ExperimentSetup(firstPlan.workload),
+                              firstPlan.config)
+          .run();
+  ASSERT_TRUE(first.signalErrorSq.has_value());
+
+  core::ReductionSeed seed;
+  seed.signal = &first.signal;
+  seed.normalization = &first.normalization;
+  seed.signalErrorSq = &*first.signalErrorSq;
+  seed.filesAlreadyReduced = 2;
+  seed.eventsAlreadyProcessed = first.eventsProcessed;
+  const core::ReductionResult resumed =
+      core::ReductionPipeline(setup, plan.config).runIncremental(seed);
+  expectBitwiseEqual(full, resumed, "incremental with errors");
+}
+
+TEST(IncrementalPipeline, RejectsInvalidSeeds) {
+  core::ReductionPlan plan = smallPlan(0.0005, 4);
+  const ExperimentSetup setup(plan.workload);
+  const core::ReductionResult first =
+      core::ReductionPipeline(setup, plan.config).run();
+
+  core::ReductionSeed seed;
+  seed.signal = &first.signal;
+  seed.normalization = &first.normalization;
+  seed.filesAlreadyReduced = 2;
+
+  // Multi-rank incremental is rejected (blockRange re-partitions files,
+  // breaking the bit-identity argument).
+  core::ReductionPlan ranked = plan;
+  ranked.config.ranks = 2;
+  EXPECT_THROW(core::ReductionPipeline(setup, ranked.config)
+                   .runIncremental(seed),
+               Error);
+
+  // trackErrors mismatch between seed and config.
+  core::ReductionPlan tracked = plan;
+  tracked.config.trackErrors = true;
+  EXPECT_THROW(core::ReductionPipeline(setup, tracked.config)
+                   .runIncremental(seed),
+               Error);
+
+  // Seed histograms from a different grid.
+  const Histogram3D wrongShape = makeHistogram(1);
+  core::ReductionSeed misShaped;
+  misShaped.signal = &wrongShape;
+  misShaped.normalization = &wrongShape;
+  misShaped.filesAlreadyReduced = 2;
+  EXPECT_THROW(core::ReductionPipeline(setup, plan.config)
+                   .runIncremental(misShaped),
+               Error);
+
+  // More files "already reduced" than the plan has.
+  core::ReductionSeed tooMany = seed;
+  tooMany.filesAlreadyReduced = 9;
+  EXPECT_THROW(core::ReductionPipeline(setup, plan.config)
+                   .runIncremental(tooMany),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level warm path
+
+TEST_F(CacheTest, WarmServiceRunSkipsMDNormBitwise) {
+  core::ReductionPlan plan = smallPlan();
+  plan.config.cacheDir = dir_.string();
+  const core::ReductionResult direct =
+      core::ReductionPipeline(ExperimentSetup(plan.workload), plan.config)
+          .run();
+
+  // Cold service: computes, publishes the norm entry.
+  {
+    ServiceOptions options;
+    options.workers = 1;
+    ReductionService cold(options);
+    const auto outcome = runOne(cold, plan);
+    ASSERT_NE(outcome, nullptr);
+    EXPECT_FALSE(outcome->status.cachedNormalization);
+    const ServiceMetrics metrics = cold.metrics();
+    EXPECT_EQ(metrics.cacheMisses, 1u);
+    EXPECT_EQ(metrics.cacheStores, 1u);
+    EXPECT_EQ(metrics.cacheEntries, 1u);
+    EXPECT_EQ(metrics.normalizationPasses, 1u);
+    EXPECT_EQ(metrics.latency.count("run-cold"), 1u);
+    cold.shutdown(true);
+  }
+
+  // Warm service (fresh process in spirit): the same plan hits the
+  // entry, skips MDNorm entirely, and reproduces the cold bits.
+  ServiceOptions options;
+  options.workers = 1;
+  ReductionService warm(options);
+  const auto outcome = runOne(warm, plan);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_TRUE(outcome->status.cachedNormalization);
+  EXPECT_FALSE(outcome->status.incrementalRun);
+  EXPECT_EQ(outcome->result->times.total("MDNorm"), 0.0)
+      << "warm run must not execute an MDNorm pass";
+  expectBitwiseEqual(direct, *outcome->result, "warm service run");
+
+  const ServiceMetrics metrics = warm.metrics();
+  EXPECT_EQ(metrics.cacheHits, 1u);
+  EXPECT_EQ(metrics.cacheMisses, 0u);
+  EXPECT_EQ(metrics.normalizationPasses, 0u);
+  EXPECT_EQ(metrics.cacheHitRate(), 1.0);
+  EXPECT_EQ(metrics.latency.count("run-warm"), 1u);
+  EXPECT_NE(metrics.toJson().find("\"cache_hits\":1"), std::string::npos);
+  warm.shutdown(true);
+}
+
+TEST_F(CacheTest, WarmHitIsBitwiseAcrossKernelConfigs) {
+  struct Combo {
+    Traversal traversal;
+    AccumulateStrategy accumulate;
+    Backend backend;
+    SimdMode simd;
+  };
+  const std::vector<Combo> combos = {
+      {Traversal::SortedKeys, AccumulateStrategy::Auto, Backend::Serial,
+       SimdMode::Auto},
+      {Traversal::Legacy, AccumulateStrategy::Atomic, Backend::ThreadPool,
+       SimdMode::Off},
+      {Traversal::Dda, AccumulateStrategy::Privatized, Backend::ThreadPool,
+       SimdMode::Auto},
+      {Traversal::SortedKeys, AccumulateStrategy::Tiled, Backend::DeviceSim,
+       SimdMode::Off},
+  };
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const Combo& combo = combos[i];
+    core::ReductionPlan plan = smallPlan(0.0005, 2);
+    plan.config.cacheDir = (dir_ / ("combo" + std::to_string(i))).string();
+    plan.config.mdnorm.traversal = combo.traversal;
+    plan.config.mdnorm.accumulate.strategy = combo.accumulate;
+    plan.config.backend = combo.backend;
+    plan.config.mdnorm.simd = combo.simd;
+    const std::string label =
+        std::string(traversalName(combo.traversal)) + "/" +
+        accumulateStrategyName(combo.accumulate) + "/" +
+        backendName(combo.backend) + "/" + simdModeName(combo.simd);
+
+    const core::ReductionResult direct =
+        core::ReductionPipeline(ExperimentSetup(plan.workload), plan.config)
+            .run();
+    ServiceOptions options;
+    options.workers = 1;
+    {
+      ReductionService cold(options);
+      ASSERT_NE(runOne(cold, plan), nullptr) << label;
+      cold.shutdown(true);
+    }
+    ReductionService warm(options);
+    const auto outcome = runOne(warm, plan);
+    ASSERT_NE(outcome, nullptr) << label;
+    EXPECT_TRUE(outcome->status.cachedNormalization) << label;
+    expectBitwiseEqual(direct, *outcome->result, "warm " + label);
+    warm.shutdown(true);
+  }
+}
+
+// Oracle differential gate on the warm path: golden-benzil-tiny through
+// a cold service, then a warm one; the warm bits must match both the
+// cold run (bitwise) and the reference oracle (tolerance).
+TEST_F(CacheTest, WarmHitMatchesReferenceOracle) {
+  const verify::FuzzExperiment experiment = verify::goldenExperiments().front();
+  ASSERT_EQ(experiment.maskFraction, 0.0);
+  core::ReductionPlan plan;
+  plan.workload = experiment.spec;
+  plan.config.cacheDir = dir_.string();
+  const verify::OracleResult oracle =
+      verify::referenceReduce(ExperimentSetup(plan.workload));
+
+  ServiceOptions options;
+  options.workers = 1;
+  std::shared_ptr<const JobOutcome> coldOutcome;
+  {
+    ReductionService cold(options);
+    coldOutcome = runOne(cold, plan);
+    ASSERT_NE(coldOutcome, nullptr);
+    cold.shutdown(true);
+  }
+  ReductionService warm(options);
+  const auto warmOutcome = runOne(warm, plan);
+  ASSERT_NE(warmOutcome, nullptr);
+  EXPECT_TRUE(warmOutcome->status.cachedNormalization);
+  expectBitwiseEqual(*coldOutcome->result, *warmOutcome->result,
+                     "warm vs cold golden");
+  const auto check = [](const Histogram3D& expected, const Histogram3D& actual,
+                        const char* what) {
+    const verify::DiffReport report = verify::compareHistograms(
+        expected, actual, {}, std::string(what) + " warm vs oracle");
+    EXPECT_TRUE(report.pass) << report.summary();
+  };
+  check(oracle.signal, warmOutcome->result->signal, "signal");
+  check(oracle.normalization, warmOutcome->result->normalization,
+        "normalization");
+  check(oracle.crossSection, warmOutcome->result->crossSection,
+        "crossSection");
+  warm.shutdown(true);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level incremental reduction
+
+TEST_F(CacheTest, IncrementalAppendReducesOnlyDeltaFiles) {
+  core::ReductionPlan plan = smallPlan(0.0005, 3);
+  plan.config.cacheDir = dir_.string();
+  plan.config.incremental = true;
+
+  ServiceOptions options;
+  options.workers = 1;
+  // Batching off: the full-replay resubmission shares the second job's
+  // batch key and must hit the cache, not the batcher.
+  options.batching = false;
+  ReductionService svc(options);
+
+  // Cold: 3 files, publishes the part entry.
+  const auto first = runOne(svc, plan);
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(first->status.incrementalRun);
+  EXPECT_EQ(first->status.progress.filesCompleted, 3u);
+
+  // Append 2 files: only the delta is reduced.
+  core::ReductionPlan appended = plan;
+  appended.workload.nFiles = 5;
+  const core::ReductionResult direct =
+      core::ReductionPipeline(ExperimentSetup(appended.workload),
+                              appended.config)
+          .run();
+  const auto second = runOne(svc, appended);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(second->status.incrementalRun);
+  EXPECT_EQ(second->status.progress.filesCompleted, 2u)
+      << "only the 2 appended files may be re-reduced";
+  EXPECT_EQ(second->status.progress.filesTotal, 5u);
+  expectBitwiseEqual(direct, *second->result, "incremental append");
+
+  // Same plan again: the part entry now covers all 5 files — a full
+  // replay with no pipeline work at all.
+  const auto third = runOne(svc, appended);
+  ASSERT_NE(third, nullptr);
+  EXPECT_TRUE(third->status.cachedNormalization);
+  EXPECT_FALSE(third->status.incrementalRun);
+  EXPECT_EQ(third->status.progress.filesCompleted, 5u);
+  EXPECT_EQ(third->result->times.grandTotal(), 0.0)
+      << "full replay must not run any pipeline stage";
+  expectBitwiseEqual(direct, *third->result, "full replay");
+
+  const ServiceMetrics metrics = svc.metrics();
+  EXPECT_EQ(metrics.incrementalJobs, 1u);
+  EXPECT_EQ(metrics.cacheHits, 2u);  // delta hit + full replay
+  EXPECT_EQ(metrics.cacheMisses, 1u);
+  EXPECT_EQ(metrics.cacheStores, 2u);
+  svc.shutdown(true);
+}
+
+TEST_F(CacheTest, RepeatFullReplaysShareOneResult) {
+  core::ReductionPlan plan = smallPlan(0.0005, 2);
+  plan.config.cacheDir = dir_.string();
+  plan.config.incremental = true;
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.batching = false;
+  ReductionService svc(options);
+
+  // Cold run publishes the part entry (and primes the hot tier).
+  const auto cold = runOne(svc, plan);
+  ASSERT_NE(cold, nullptr);
+
+  // Two full replays of the same hot-tier entry: the first assembles
+  // and memoizes the result, the second must share the very same
+  // immutable object instead of re-paying the histogram copies.
+  const auto first = runOne(svc, plan);
+  const auto second = runOne(svc, plan);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(first->status.cachedNormalization);
+  EXPECT_TRUE(second->status.cachedNormalization);
+  EXPECT_EQ(first->result, second->result)
+      << "repeat replays must share one assembled result";
+  EXPECT_NE(cold->result, first->result);
+  expectBitwiseEqual(*cold->result, *first->result, "shared replay");
+  svc.shutdown(true);
+}
+
+TEST_F(CacheTest, IncrementalAppendWithErrorsMatchesBitwise) {
+  core::ReductionPlan plan = smallPlan(0.0005, 2);
+  plan.config.cacheDir = dir_.string();
+  plan.config.incremental = true;
+  plan.config.trackErrors = true;
+
+  ServiceOptions options;
+  options.workers = 1;
+  ReductionService svc(options);
+  ASSERT_NE(runOne(svc, plan), nullptr);
+
+  core::ReductionPlan appended = plan;
+  appended.workload.nFiles = 4;
+  const core::ReductionResult direct =
+      core::ReductionPipeline(ExperimentSetup(appended.workload),
+                              appended.config)
+          .run();
+  ASSERT_TRUE(direct.signalErrorSq.has_value());
+  const auto outcome = runOne(svc, appended);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_TRUE(outcome->status.incrementalRun);
+  expectBitwiseEqual(direct, *outcome->result, "incremental with errors");
+  svc.shutdown(true);
+}
+
+TEST_F(CacheTest, UnusableCacheDirFallsBackToColdService) {
+  const std::string blocked = path("blocked-file");
+  std::ofstream(blocked) << "in the way";
+  core::ReductionPlan plan = smallPlan();
+  plan.config.cacheDir = blocked;
+  const core::ReductionResult direct =
+      core::ReductionPipeline(ExperimentSetup(plan.workload), plan.config)
+          .run();
+
+  ServiceOptions options;
+  options.workers = 1;
+  ReductionService svc(options);
+  const auto outcome = runOne(svc, plan);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_FALSE(outcome->status.cachedNormalization);
+  expectBitwiseEqual(direct, *outcome->result, "unusable cache dir");
+  const ServiceMetrics metrics = svc.metrics();
+  EXPECT_EQ(metrics.cacheMisses, 1u);
+  EXPECT_EQ(metrics.cacheStoreFailures, 1u);
+  EXPECT_EQ(metrics.cacheHits, 0u);
+  svc.shutdown(true);
+}
+
+TEST_F(CacheTest, ClearCachesEmptiesEveryOpenedDirectory) {
+  core::ReductionPlan plan = smallPlan();
+  plan.config.cacheDir = dir_.string();
+  ServiceOptions options;
+  options.workers = 1;
+  // Batching off: a same-key resubmission must exercise the cache, not
+  // join the previous leader's still-draining batch.
+  options.batching = false;
+  ReductionService svc(options);
+  ASSERT_NE(runOne(svc, plan), nullptr);
+  EXPECT_EQ(svc.cacheStats().entries, 1u);
+  EXPECT_EQ(svc.clearCaches(), 1u);
+  EXPECT_EQ(svc.cacheStats().entries, 0u);
+
+  // The next identical submission recomputes and republishes.
+  const auto outcome = runOne(svc, plan);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_FALSE(outcome->status.cachedNormalization);
+  EXPECT_EQ(svc.cacheStats().entries, 1u);
+  svc.shutdown(true);
+}
+
+} // namespace
+} // namespace vates::service

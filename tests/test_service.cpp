@@ -252,7 +252,7 @@ TEST(ReductionService, SingleJobMatchesDirectPipelineRun) {
   const auto outcome = serviceInstance.wait(receipt.id);
   ASSERT_NE(outcome, nullptr);
   ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
-  ASSERT_TRUE(outcome->result.has_value());
+  ASSERT_NE(outcome->result, nullptr);
 
   expectBitwiseEqual(direct, *outcome->result, "service single job");
 
@@ -284,7 +284,7 @@ TEST(ReductionService, JobMatchesReferenceOracle) {
   const auto outcome = serviceInstance.wait(receipt.id);
   ASSERT_NE(outcome, nullptr);
   ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
-  ASSERT_TRUE(outcome->result.has_value());
+  ASSERT_NE(outcome->result, nullptr);
   const auto check = [&](const Histogram3D& expected, const Histogram3D& actual,
                          const char* what) {
     const verify::DiffReport report = verify::compareHistograms(
@@ -325,7 +325,7 @@ TEST(ReductionService, BatchedFollowersAreBitIdenticalToFullRuns) {
     const auto outcome = serviceInstance.wait(ids[i]);
     ASSERT_NE(outcome, nullptr);
     ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
-    ASSERT_TRUE(outcome->result.has_value());
+    ASSERT_NE(outcome->result, nullptr);
     if (outcome->status.sharedNormalization) {
       ++followers;
     }
@@ -501,7 +501,7 @@ TEST(ReductionService, CancelWhileQueuedIsImmediate) {
   // cancel landed; either way it must terminate Cancelled, without a
   // result.
   EXPECT_EQ(outcome->status.state, JobState::Cancelled);
-  EXPECT_FALSE(outcome->result.has_value());
+  EXPECT_EQ(outcome->result, nullptr);
   EXPECT_FALSE(serviceInstance.cancel(victim.id)); // already terminal
   serviceInstance.shutdown(true);
 }
@@ -528,7 +528,7 @@ TEST(ReductionService, CancelMidFlightLeavesNoResult) {
   ASSERT_NE(outcome, nullptr);
   EXPECT_EQ(outcome->status.state, JobState::Cancelled)
       << "job finished before the cancel landed — enlarge the workload";
-  EXPECT_FALSE(outcome->result.has_value());
+  EXPECT_EQ(outcome->result, nullptr);
   EXPECT_FALSE(outcome->status.error.empty());
   serviceInstance.shutdown(true);
 }
@@ -552,7 +552,7 @@ TEST(ReductionService, DeadlineExpiresBeforeStart) {
   const auto outcome = serviceInstance.wait(late.id);
   ASSERT_NE(outcome, nullptr);
   EXPECT_EQ(outcome->status.state, JobState::Expired);
-  EXPECT_FALSE(outcome->result.has_value());
+  EXPECT_EQ(outcome->result, nullptr);
   const ServiceMetrics metrics = serviceInstance.metrics();
   EXPECT_GE(metrics.expired, 1u);
   serviceInstance.shutdown(true);
@@ -570,7 +570,7 @@ TEST(ReductionService, LiveJobReducesToCompletion) {
   const auto outcome = serviceInstance.wait(receipt.id);
   ASSERT_NE(outcome, nullptr);
   ASSERT_EQ(outcome->status.state, JobState::Done) << outcome->status.error;
-  ASSERT_TRUE(outcome->result.has_value());
+  ASSERT_NE(outcome->result, nullptr);
   EXPECT_GT(outcome->result->eventsProcessed, 0u);
   EXPECT_GT(outcome->result->signal.totalSignal(), 0.0);
   EXPECT_GT(outcome->result->normalization.totalSignal(), 0.0);

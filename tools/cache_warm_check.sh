@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Cache warm-run check: the CI leg for the persistent normalization
+# cache (DESIGN.md §9).
+#
+#   tools/cache_warm_check.sh [build-dir] [plan.ini]
+#
+# Runs the same plan through two *separate* vates_serve processes that
+# share one cache directory, then asserts:
+#
+#   1. the warm (second) run served its normalization from the cache —
+#      its journal's terminal event reports cached_normalization=true
+#      and its cache-stats event reports hits >= 1;
+#   2. the warm run's output histogram file is byte-identical to the
+#      cold run's;
+#   3. every entry the cold run published survives a full reader-style
+#      validation (gen_golden --check-cache: magic, CRCs, version, key).
+#
+# Exits non-zero, with the offending evidence on stderr, on any failure.
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+plan="${2:-examples/plans/benzil_small.ini}"
+serve="${build_dir}/tools/vates_serve"
+gen_golden="${build_dir}/tools/gen_golden"
+
+for binary in "${serve}" "${gen_golden}"; do
+  if [[ ! -x "${binary}" ]]; then
+    echo "cache_warm_check: missing binary ${binary} (build first)" >&2
+    exit 1
+  fi
+done
+if [[ ! -f "${plan}" ]]; then
+  echo "cache_warm_check: missing plan ${plan}" >&2
+  exit 1
+fi
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/vates-cache-warm.XXXXXX")"
+trap 'rm -rf "${work}"' EXIT
+cache_dir="${work}/cache"
+mkdir -p "${cache_dir}"
+
+# One submit plus a cache-stats query.  submit is asynchronous, so give
+# the tiny plan time to finish before the stats op is read; the daemon
+# blocks on stdin in between, and drains any straggler on EOF anyway
+# (the terminal journal event is always complete).
+requests() {
+  printf '{"op":"submit","plan":"%s"}\n' "${plan}"
+  sleep 2
+  printf '{"op":"cache","action":"stats"}\n'
+}
+
+run_once() { # <name>
+  local name="$1"
+  mkdir -p "${work}/${name}-out"
+  requests | "${serve}" --input - \
+    --output-dir "${work}/${name}-out" \
+    --journal "${work}/${name}.journal" \
+    --cache-dir "${cache_dir}" --no-batching >/dev/null
+}
+
+echo "cold run (publishes cache entries) ..."
+run_once cold
+echo "warm run (separate process, shared cache dir) ..."
+run_once warm
+
+python3 - "${work}/warm.journal" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+done = None
+stats = None
+with open(path) as journal:
+    for line in journal:
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        if event.get("event") == "done":
+            done = event
+        if event.get("event") == "cache" and event.get("action") == "stats":
+            stats = event
+
+if done is None:
+    sys.exit("warm journal has no terminal 'done' event")
+status = done.get("status") or {}
+if not status.get("cached_normalization"):
+    sys.exit(f"warm run did not hit the cache: {done}")
+if stats is None:
+    sys.exit("warm journal has no cache-stats event")
+counters = stats.get("stats") or {}
+if int(counters.get("hits", 0)) < 1:
+    sys.exit(f"warm run reported no cache hits: {stats}")
+print(f"warm run hit the cache: hits={counters['hits']} "
+      f"memory_hits={counters.get('memory_hits', 0)} "
+      f"entries={counters.get('entries', 0)}")
+PY
+
+cold_out="$(find "${work}/cold-out" -name 'job-*.nxl' | sort | head -n 1)"
+warm_out="$(find "${work}/warm-out" -name 'job-*.nxl' | sort | head -n 1)"
+if [[ -z "${cold_out}" || -z "${warm_out}" ]]; then
+  echo "cache_warm_check: missing job output (cold='${cold_out}' warm='${warm_out}')" >&2
+  exit 1
+fi
+if ! cmp "${cold_out}" "${warm_out}"; then
+  echo "cache_warm_check: warm output differs from cold output" >&2
+  exit 1
+fi
+echo "cold and warm outputs are byte-identical"
+
+"${gen_golden}" --check-cache "${cache_dir}"
+
+echo "cache warm check passed"

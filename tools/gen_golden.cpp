@@ -3,7 +3,7 @@
 /// over the fixed goldenExperiments() roster and writes each result as
 /// a CRC-stamped nxlite reduction file under tests/golden/.
 ///
-///   gen_golden [--check] [output-dir]
+///   gen_golden [--check] [--check-cache <cache-dir>] [output-dir]
 ///
 /// Without --check, (re)writes <output-dir>/<name>.nxl for every golden
 /// experiment.  With --check, loads each committed golden instead and
@@ -12,7 +12,16 @@
 /// standalone command for CI or for validating a regeneration before
 /// committing it.  The default output dir is the source tree's
 /// tests/golden (compiled in as VATES_GOLDEN_DIR).
+///
+/// With --check-cache <dir>, additionally (or instead) validates every
+/// persistent-cache entry (*.nxc) in <dir> the way a cache reader
+/// would — magic, per-dataset CRCs, format version, entry kind,
+/// embedded key, histogram layout — exiting non-zero on any damaged
+/// entry.  CI runs this over the cache directory its warm-run leg
+/// populated, so cache-entry format drift is caught the same way
+/// golden drift is.
 
+#include "vates/cache/normalization_cache.hpp"
 #include "vates/io/histogram_file.hpp"
 #include "vates/verify/diff.hpp"
 #include "vates/verify/fuzz_inputs.hpp"
@@ -86,23 +95,66 @@ int check(const std::filesystem::path& directory) {
   return failures == 0 ? 0 : 1;
 }
 
+int checkCache(const std::filesystem::path& directory) {
+  if (!std::filesystem::is_directory(directory)) {
+    std::fprintf(stderr, "no such cache directory: %s\n",
+                 directory.string().c_str());
+    return 1;
+  }
+  int failures = 0;
+  std::size_t entries = 0;
+  for (const auto& item : std::filesystem::directory_iterator(directory)) {
+    if (!item.is_regular_file() ||
+        item.path().extension() != vates::cache::kCacheEntryExtension) {
+      continue;
+    }
+    ++entries;
+    std::string reason;
+    if (vates::cache::verifyCacheEntry(item.path().string(), &reason)) {
+      std::printf("OK   %s\n", item.path().filename().string().c_str());
+    } else {
+      std::fprintf(stderr, "BAD  %s: %s\n",
+                   item.path().filename().string().c_str(), reason.c_str());
+      ++failures;
+    }
+  }
+  std::printf("%zu cache entries checked, %d damaged\n", entries, failures);
+  return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   bool checkMode = false;
   std::filesystem::path directory = VATES_GOLDEN_DIR;
+  std::filesystem::path cacheDirectory;
+  bool cacheMode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string argument = argv[i];
     if (argument == "--check") {
       checkMode = true;
+    } else if (argument == "--check-cache") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--check-cache needs a directory\n");
+        return 2;
+      }
+      cacheMode = true;
+      cacheDirectory = argv[++i];
     } else if (argument == "--help" || argument == "-h") {
-      std::printf("usage: gen_golden [--check] [output-dir]\n");
+      std::printf(
+          "usage: gen_golden [--check] [--check-cache <dir>] [output-dir]\n");
       return 0;
     } else {
       directory = argument;
     }
   }
   try {
+    if (cacheMode) {
+      const int cacheStatus = checkCache(cacheDirectory);
+      if (cacheStatus != 0 || !checkMode) {
+        return cacheStatus;
+      }
+    }
     return checkMode ? check(directory) : generate(directory);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "gen_golden: %s\n", error.what());

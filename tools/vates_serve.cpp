@@ -13,6 +13,7 @@
 ///   {"op":"status","id":3}
 ///   {"op":"cancel","id":3}
 ///   {"op":"metrics"}
+///   {"op":"cache","action":"stats"|"clear"}
 ///   {"op":"shutdown","drain":true}
 ///
 /// Journal events: "accepted", "rejected", "status", "metrics",
@@ -71,6 +72,8 @@ JsonObject statusJson(const JobStatus& status) {
       .field("priority", std::int64_t{status.priority})
       .field("tag", status.tag)
       .field("shared_normalization", status.sharedNormalization)
+      .field("cached_normalization", status.cachedNormalization)
+      .field("incremental", status.incrementalRun)
       .field("queued_s", status.queuedSeconds)
       .field("run_s", status.runSeconds)
       .field("files_completed", std::uint64_t{status.progress.filesCompleted})
@@ -221,6 +224,35 @@ void handleLine(ServeState& state, const std::string& line) {
       event.field("event", "metrics");
       event.fieldRaw("metrics", state.serviceInstance->metrics().toJson());
       state.journal->write(event.str());
+    } else if (op == "cache") {
+      const std::string action = fieldOr(fields, "action", "stats");
+      JsonObject event;
+      event.field("event", "cache").field("action", action);
+      if (action == "clear") {
+        event.field("cleared",
+                    std::uint64_t{state.serviceInstance->clearCaches()});
+      } else if (action != "stats") {
+        state.journal->write(JsonObject()
+                                 .field("event", "error")
+                                 .field("detail",
+                                        "unknown cache action: " + action)
+                                 .str());
+        return;
+      }
+      const cache::CacheStats stats = state.serviceInstance->cacheStats();
+      event.fieldRaw("stats", JsonObject()
+                                  .field("hits", stats.hits)
+                                  .field("memory_hits", stats.memoryHits)
+                                  .field("misses", stats.misses)
+                                  .field("stores", stats.stores)
+                                  .field("store_failures", stats.storeFailures)
+                                  .field("evictions", stats.evictions)
+                                  .field("invalid_entries",
+                                         stats.invalidEntries)
+                                  .field("bytes", stats.bytes)
+                                  .field("entries", stats.entries)
+                                  .str());
+      state.journal->write(event.str());
     } else if (op == "shutdown") {
       state.stopDrain = fieldOr(fields, "drain", "true") != "false";
       state.stop.store(true);
@@ -263,6 +295,15 @@ int main(int argc, char** argv) {
   args.addOption("batch", "Max shared-grid batch (0: VATES_SERVICE_BATCH or 8)",
                  "0");
   args.addFlag("no-batching", "Disable shared-grid batching");
+  args.addOption("cache-dir",
+                 "Persistent normalization-cache directory for plans that "
+                 "don't set reduction.cache_dir (empty: no default cache; "
+                 "VATES_CACHE_DIR overrides)",
+                 "");
+  args.addOption("cache-budget",
+                 "Cache byte budget for --cache-dir (0: unbounded; "
+                 "VATES_CACHE_BUDGET overrides)",
+                 std::to_string(std::uint64_t{256} << 20));
   try {
     if (!args.parse(argc, argv)) {
       return 0;
@@ -281,6 +322,11 @@ int main(int argc, char** argv) {
     if (args.getFlag("no-batching")) {
       options.batching = false;
     }
+    options.defaultCacheDir = args.getString("cache-dir");
+    if (args.getInt("cache-budget") >= 0) {
+      options.defaultCacheBudgetBytes =
+          static_cast<std::uint64_t>(args.getInt("cache-budget"));
+    }
 
     ReductionService serviceInstance(options);
     Journal journal(args.getString("journal"));
@@ -295,6 +341,7 @@ int main(int argc, char** argv) {
                       .field("queue", std::uint64_t{options.queueCapacity})
                       .field("batch", std::uint64_t{options.maxBatch})
                       .field("batching", options.batching)
+                      .field("cache_dir", options.defaultCacheDir)
                       .str());
 
     const std::string inputPath = args.getString("input");
