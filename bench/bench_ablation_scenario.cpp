@@ -1,0 +1,214 @@
+// Ablation: the virtual-experiment scenario sweep, autotuned vs fixed
+// configuration.
+//
+// Each cell is one generated scenario shape x mask x event-count point:
+// the scenario's workload is reduced once with the default (fixed)
+// config, once with the config the runtime autotuner locks after
+// probing, and — as the reference ceiling — once with every roster
+// candidate to find the true fastest ("oracle" config, exhaustive
+// search the autotuner tries to approximate from one file).  Reported
+// per cell: events/s for fixed and tuned runs, the probe's wall cost,
+// the locked decision, and how close the tuned pick came to the
+// exhaustive best (tuned_vs_best, 1.0 = the probe chose the true
+// fastest).
+//
+// Output: a JSON document on stdout (aggregated into
+// BENCH_scenario.json by bench/run_perf_smoke.sh).
+
+#include "vates/core/autotune.hpp"
+#include "vates/core/pipeline.hpp"
+#include "vates/scenario/scenario.hpp"
+#include "vates/service/wire.hpp" // JsonObject
+#include "vates/support/cli.hpp"
+#include "vates/support/timer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace vates;
+using vates::scenario::Scenario;
+using vates::service::JsonObject;
+
+struct CellResult {
+  std::string scenario;
+  std::string shape;
+  double maskFraction = 0.0;
+  std::uint64_t events = 0;
+  double fixedSeconds = 0.0;
+  double fixedEventsPerSecond = 0.0;
+  double tunedSeconds = 0.0;
+  double tunedEventsPerSecond = 0.0;
+  double probeSeconds = 0.0;
+  std::size_t candidates = 0;
+  std::string decision;
+  double bestSeconds = 0.0; ///< exhaustive roster minimum
+  double tunedVsBest = 0.0; ///< best_s / tuned_s (1.0 = probe found it)
+  double speedup = 0.0;     ///< fixed_s / tuned_s
+};
+
+/// Best-of-N wall time of one config on \p setup (N small: this is a
+/// smoke-scale sweep, not a statistics run).
+double timeConfig(const ExperimentSetup& setup,
+                  const core::ReductionConfig& config, int repeats) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    WallTimer timer;
+    const core::ReductionResult result =
+        core::ReductionPipeline(setup, config).run();
+    best = std::min(best, timer.seconds());
+    // Keep the optimizer honest.
+    if (result.eventsProcessed == std::numeric_limits<std::size_t>::max()) {
+      std::cerr << "";
+    }
+  }
+  return best;
+}
+
+CellResult runCell(std::size_t index, double eventScale, int repeats) {
+  Scenario scenario = scenario::makeScenario(index);
+  scenario.workload.eventsPerFile = static_cast<std::size_t>(
+      static_cast<double>(scenario.workload.eventsPerFile) * eventScale);
+
+  CellResult cell;
+  cell.scenario = scenario.name;
+  cell.shape = scenario::instrumentShapeName(scenario.shape);
+  cell.maskFraction = scenario.maskFraction;
+  cell.events = scenario.workload.totalEvents();
+
+  const ExperimentSetup setup(scenario.workload);
+
+  // Fixed config: the out-of-the-box default every plan starts from.
+  const core::ReductionConfig fixed;
+  cell.fixedSeconds = timeConfig(setup, fixed, repeats);
+
+  // Tuned config: probe, lock, run — the same path a service job takes.
+  core::ReductionConfig base;
+  base.autotune.enabled = true;
+  const core::AutotuneDecision decision = core::autotunePlan(setup, base);
+  const core::ReductionConfig tuned = core::lockAutotuneDecision(base, decision);
+  cell.probeSeconds = decision.probeSeconds;
+  cell.candidates = decision.candidatesSampled;
+  cell.decision = decision.summary();
+  cell.tunedSeconds = timeConfig(setup, tuned, repeats);
+
+  // Exhaustive reference: time every roster candidate at full size.
+  cell.bestSeconds = std::numeric_limits<double>::infinity();
+  for (const core::AutotuneCandidate& candidate : core::autotuneRoster(base)) {
+    core::ReductionConfig config = base;
+    config.autotune.enabled = false;
+    config.backend = candidate.backend;
+    config.mdnorm.traversal = candidate.traversal;
+    config.mdnorm.accumulate.strategy = candidate.accumulate;
+    config.binmdAccumulate.strategy = candidate.accumulate;
+    config.mdnorm.simd = candidate.simd;
+    cell.bestSeconds = std::min(cell.bestSeconds,
+                                timeConfig(setup, config, repeats));
+  }
+
+  if (cell.fixedSeconds > 0.0) {
+    cell.fixedEventsPerSecond =
+        static_cast<double>(cell.events) / cell.fixedSeconds;
+  }
+  if (cell.tunedSeconds > 0.0) {
+    cell.tunedEventsPerSecond =
+        static_cast<double>(cell.events) / cell.tunedSeconds;
+    cell.speedup = cell.fixedSeconds / cell.tunedSeconds;
+    cell.tunedVsBest = cell.bestSeconds / cell.tunedSeconds;
+  }
+  return cell;
+}
+
+std::string cellJson(const CellResult& cell) {
+  return JsonObject()
+      .field("scenario", cell.scenario)
+      .field("shape", cell.shape)
+      .field("mask_fraction", cell.maskFraction)
+      .field("events", cell.events)
+      .field("fixed_s", cell.fixedSeconds)
+      .field("fixed_events_per_s", cell.fixedEventsPerSecond)
+      .field("tuned_s", cell.tunedSeconds)
+      .field("tuned_events_per_s", cell.tunedEventsPerSecond)
+      .field("probe_s", cell.probeSeconds)
+      .field("candidates", std::uint64_t{cell.candidates})
+      .field("decision", cell.decision)
+      .field("best_s", cell.bestSeconds)
+      .field("tuned_vs_best", cell.tunedVsBest)
+      .field("speedup_tuned_vs_fixed", cell.speedup)
+      .str();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_ablation_scenario",
+                 "Scenario shape x mask x events sweep, autotuned vs fixed "
+                 "config, with the exhaustive roster best as reference");
+  // Matrix indices 0..5 cover every shape x mask combination once.
+  args.addOption("indices", "Comma-separated scenario matrix indices",
+                 "0,1,2,3,4,5");
+  args.addOption("event-scales", "Comma-separated event-count multipliers",
+                 "1,4");
+  args.addOption("repeats", "Timed repeats per config (best-of)", "3");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+
+  const auto parseList = [](const std::string& text) {
+    std::vector<double> values;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t comma = text.find(',', start);
+      const std::string item =
+          text.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      if (!item.empty()) {
+        values.push_back(std::stod(item));
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+    return values;
+  };
+
+  const int repeats = std::max(1, static_cast<int>(args.getInt("repeats")));
+  std::string cells;
+  for (const double indexValue : parseList(args.getString("indices"))) {
+    for (const double eventScale : parseList(args.getString("event-scales"))) {
+      const CellResult cell =
+          runCell(static_cast<std::size_t>(indexValue), eventScale, repeats);
+      if (!cells.empty()) {
+        cells += ',';
+      }
+      cells += cellJson(cell);
+      std::cerr << cell.scenario << " x" << eventScale
+                << ": fixed=" << cell.fixedSeconds
+                << "s tuned=" << cell.tunedSeconds
+                << "s probe=" << cell.probeSeconds << "s ["
+                << cell.decision << "] tuned_vs_best=" << cell.tunedVsBest
+                << '\n';
+    }
+  }
+
+  JsonObject document;
+  document.field("benchmark", "scenario_autotune_ablation")
+      .field("config", "scenario matrix indices " + args.getString("indices") +
+                           " x event scales " + args.getString("event-scales") +
+                           "; best-of-" + std::to_string(repeats) +
+                           " wall per config")
+      .field("metric",
+             "fixed = default config; tuned = autotuner probe + locked "
+             "config; best = exhaustive roster minimum at full size; "
+             "tuned_vs_best = best_s / tuned_s (1.0 means the one-file "
+             "probe picked the true fastest)")
+      .fieldRaw("cells", "[" + cells + "]");
+  std::cout << document.str() << '\n';
+  return 0;
+}

@@ -8,14 +8,17 @@
 #             a duplicate-grid job set → BENCH_service.json
 #   cache   — the persistent-cache cold/warm/incremental sweep plus the
 #             benzil_small cold-vs-warm headline → BENCH_cache.json
+#   scenario — the generated-scenario shape x mask x events sweep,
+#             autotuned vs fixed config → BENCH_scenario.json
 #
 # Usage:  BUILD_DIR=/path/to/build bench/run_perf_smoke.sh
 #         (BUILD_DIR defaults to <repo>/build; set
-#          VATES_PERF_SMOKE_ONLY=mdnorm|service|cache to run one step)
+#          VATES_PERF_SMOKE_ONLY=mdnorm|service|cache|scenario to run
+#          one step)
 #
 # Wired into ctest as `perf_smoke_mdnorm` / `perf_smoke_service` /
-# `perf_smoke_cache` behind -DVATES_PERF_SMOKE=ON with LABELS perf, so
-# tier-1 `ctest` runs never pay for it.
+# `perf_smoke_cache` / `perf_smoke_scenario` behind -DVATES_PERF_SMOKE=ON
+# with LABELS perf, so tier-1 `ctest` runs never pay for it.
 #
 # Every binary the selected steps need is verified up front: a missing
 # binary fails the whole run (non-zero) before any BENCH_*.json is
@@ -30,9 +33,9 @@ build_dir="${BUILD_DIR:-${repo_root}/build}"
 only="${VATES_PERF_SMOKE_ONLY:-all}"
 
 case "${only}" in
-  all|mdnorm|service|cache) ;;
+  all|mdnorm|service|cache|scenario) ;;
   *)
-    echo "error: VATES_PERF_SMOKE_ONLY=${only} (want mdnorm|service|cache|all)" >&2
+    echo "error: VATES_PERF_SMOKE_ONLY=${only} (want mdnorm|service|cache|scenario|all)" >&2
     exit 1
     ;;
 esac
@@ -47,6 +50,9 @@ if [[ "${only}" == "all" || "${only}" == "service" ]]; then
 fi
 if [[ "${only}" == "all" || "${only}" == "cache" ]]; then
   required_binaries+=("bench_ablation_cache")
+fi
+if [[ "${only}" == "all" || "${only}" == "scenario" ]]; then
+  required_binaries+=("bench_ablation_scenario")
 fi
 
 missing=0
@@ -209,6 +215,30 @@ if head:
 PY
 }
 
+run_scenario_step() {
+  local bench_bin="${build_dir}/bench/bench_ablation_scenario"
+  local out_json="${repo_root}/BENCH_scenario.json"
+  "${bench_bin}" --indices 0,1,2,3,4,5 --event-scales 1,4 --repeats 3 \
+    > "${out_json}"
+  python3 - "${out_json}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {path}")
+for cell in doc.get("cells", []):
+    print("  {scenario} ({shape} mask={mask_fraction:g} events={events}): "
+          "fixed={fixed_events_per_s:.3g} ev/s tuned={tuned_events_per_s:.3g} "
+          "ev/s probe={probe_s:.3f}s tuned_vs_best={tuned_vs_best:.2f} "
+          "[{decision}]".format(**cell))
+PY
+}
+
 if [[ "${only}" == "all" || "${only}" == "mdnorm" ]]; then
   run_mdnorm_step
 fi
@@ -217,4 +247,7 @@ if [[ "${only}" == "all" || "${only}" == "service" ]]; then
 fi
 if [[ "${only}" == "all" || "${only}" == "cache" ]]; then
   run_cache_step
+fi
+if [[ "${only}" == "all" || "${only}" == "scenario" ]]; then
+  run_scenario_step
 fi

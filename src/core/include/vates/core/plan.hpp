@@ -37,12 +37,20 @@
 #include "vates/support/inifile.hpp"
 
 #include <string>
+#include <vector>
 
 namespace vates::core {
 
 struct ReductionPlan {
   WorkloadSpec workload;
   ReductionConfig config;
+  /// Pre-recorded raw event files to reduce instead of synthesizing
+  /// events from the workload seed — one path per run, run order, and
+  /// the count must equal workload.files ([workload] event_files,
+  /// whitespace-separated).  Relative paths are resolved against the
+  /// plan file's own directory by loadReductionPlan(), so committed
+  /// example plans run from any working directory.
+  std::vector<std::string> eventFiles;
 };
 
 /// Build the plan from parsed INI content; throws InvalidArgument on
@@ -52,7 +60,8 @@ ReductionPlan planFromIni(const IniFile& ini);
 /// Render the plan into INI form.
 IniFile planToIni(const ReductionPlan& plan);
 
-/// File conveniences.
+/// File conveniences.  loadReductionPlan additionally resolves relative
+/// [workload] event_files entries against the plan's parent directory.
 ReductionPlan loadReductionPlan(const std::string& path);
 void saveReductionPlan(const std::string& path, const ReductionPlan& plan);
 

@@ -75,6 +75,26 @@ struct PipelineHooks {
   SharedStageTimes* progress = nullptr;
 };
 
+/// Runtime autotuning of the execution configuration (see
+/// core/autotune.hpp).  When enabled, the first file of the workload is
+/// reduced once per candidate backend × traversal × accumulate × simd
+/// combination into discarded scratch histograms; the fastest candidate
+/// is then locked in for the job's real run.  Because the probe runs
+/// never touch the job's accumulators, the tuned run is bitwise
+/// identical to running the same plan with the chosen config pinned
+/// manually — the oracle-gated guarantee tests/test_oracle_diff.cpp
+/// enforces.  INI key: [reduction] autotune; the VATES_AUTOTUNE
+/// environment variable ("on"/"off"), when set, overrides the plan at
+/// service submission.
+struct AutotuneOptions {
+  bool enabled = false;
+  /// Upper bound on sampled candidates (the roster is truncated, never
+  /// reordered, so the bound keeps the probe deterministic).
+  std::size_t maxCandidates = 16;
+  /// Timed probe repetitions per candidate; the minimum is scored.
+  std::size_t repeats = 1;
+};
+
 struct ReductionConfig {
   /// Execution backend for both kernels.
   Backend backend = Backend::Serial;
@@ -149,6 +169,10 @@ struct ReductionConfig {
   /// fall back to the normalization cache or cold compute).  INI key:
   /// [reduction] incremental.
   bool incremental = false;
+
+  /// First-file runtime autotuning of backend/traversal/accumulate/simd
+  /// (see AutotuneOptions).
+  AutotuneOptions autotune;
 
   /// Cancellation / progress observation hooks (see PipelineHooks).
   PipelineHooks hooks;

@@ -4,6 +4,7 @@
 #include "vates/support/strings.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <set>
 #include <sstream>
 
@@ -38,6 +39,24 @@ std::string tripleText(const V3& v) {
   return strfmt("%.17g %.17g %.17g", v.x, v.y, v.z);
 }
 
+/// Seeds are full-range uint64 (the scenario generator draws them from
+/// the raw RNG stream), so they can exceed what IniFile::getInt's
+/// signed stoll accepts — parse them unsigned.
+std::uint64_t parseSeed(const IniFile& ini, const std::string& key) {
+  const std::string text = ini.getString("workload", key);
+  try {
+    std::size_t pos = 0;
+    const unsigned long long parsed = std::stoull(text, &pos);
+    if (pos != text.size()) {
+      throw std::invalid_argument(text);
+    }
+    return static_cast<std::uint64_t>(parsed);
+  } catch (const std::exception&) {
+    throw InvalidArgument("ini key [workload] " + key + " = '" + text +
+                          "' is not an unsigned integer");
+  }
+}
+
 const std::set<std::string>& workloadKeys() {
   static const std::set<std::string> keys = {
       "base",        "scale",          "name",
@@ -49,7 +68,8 @@ const std::set<std::string>& workloadKeys() {
       "projection_v", "projection_w",   "lattice",
       "lattice_angles", "u_vector",     "v_vector",
       "bragg_amplitude", "bragg_sigma", "diffuse_background",
-      "seed",
+      "seed",        "mask_fraction",   "mask_seed",
+      "event_files",
   };
   return keys;
 }
@@ -60,6 +80,7 @@ const std::set<std::string>& reductionKeys() {
       "sort",      "track_errors", "lorentz",   "filter_band",
       "prepass",   "traversal",    "simd",      "cache_dir",
       "cache_budget_bytes",        "incremental",
+      "autotune",  "autotune_max_candidates",
   };
   return keys;
 }
@@ -172,7 +193,22 @@ ReductionPlan planFromIni(const IniFile& ini) {
   w.diffuseBackground =
       ini.getDouble("workload", "diffuse_background", w.diffuseBackground);
   if (ini.has("workload", "seed")) {
-    w.seed = static_cast<std::uint64_t>(ini.getInt("workload", "seed"));
+    w.seed = parseSeed(ini, "seed");
+  }
+  w.maskFraction = ini.getDouble("workload", "mask_fraction", w.maskFraction);
+  VATES_REQUIRE(w.maskFraction >= 0.0, "mask_fraction must be >= 0");
+  if (ini.has("workload", "mask_seed")) {
+    w.maskSeed = parseSeed(ini, "mask_seed");
+  }
+  if (ini.has("workload", "event_files")) {
+    std::istringstream stream(ini.getString("workload", "event_files"));
+    std::string path;
+    while (stream >> path) {
+      plan.eventFiles.push_back(path);
+    }
+    VATES_REQUIRE(plan.eventFiles.empty() ||
+                      plan.eventFiles.size() == w.nFiles,
+                  "event_files must list exactly [workload] files paths");
   }
 
   // --- [reduction] ----------------------------------------------------------
@@ -234,6 +270,13 @@ ReductionPlan planFromIni(const IniFile& ini) {
     c.cacheBudgetBytes = static_cast<std::uint64_t>(budget);
   }
   c.incremental = ini.getBool("reduction", "incremental", c.incremental);
+  c.autotune.enabled =
+      ini.getBool("reduction", "autotune", c.autotune.enabled);
+  if (ini.has("reduction", "autotune_max_candidates")) {
+    const long long bound = ini.getInt("reduction", "autotune_max_candidates");
+    VATES_REQUIRE(bound >= 1, "autotune_max_candidates must be >= 1");
+    c.autotune.maxCandidates = static_cast<std::size_t>(bound);
+  }
 
   return plan;
 }
@@ -275,6 +318,18 @@ IniFile planToIni(const ReductionPlan& plan) {
   ini.set("workload", "diffuse_background",
           strfmt("%.17g", w.diffuseBackground));
   ini.set("workload", "seed", std::to_string(w.seed));
+  ini.set("workload", "mask_fraction", strfmt("%.17g", w.maskFraction));
+  ini.set("workload", "mask_seed", std::to_string(w.maskSeed));
+  if (!plan.eventFiles.empty()) {
+    std::string joined;
+    for (const std::string& path : plan.eventFiles) {
+      if (!joined.empty()) {
+        joined += ' ';
+      }
+      joined += path;
+    }
+    ini.set("workload", "event_files", joined);
+  }
 
   ini.set("reduction", "backend", backendName(c.backend));
   ini.set("reduction", "ranks", std::to_string(c.ranks));
@@ -295,11 +350,25 @@ IniFile planToIni(const ReductionPlan& plan) {
   ini.set("reduction", "cache_budget_bytes",
           std::to_string(c.cacheBudgetBytes));
   ini.set("reduction", "incremental", c.incremental ? "true" : "false");
+  ini.set("reduction", "autotune", c.autotune.enabled ? "true" : "false");
+  ini.set("reduction", "autotune_max_candidates",
+          std::to_string(c.autotune.maxCandidates));
   return ini;
 }
 
 ReductionPlan loadReductionPlan(const std::string& path) {
-  return planFromIni(IniFile::load(path));
+  ReductionPlan plan = planFromIni(IniFile::load(path));
+  // Relative event files are plan-relative, so a committed plan + data
+  // directory pair works from any CWD.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  for (std::string& file : plan.eventFiles) {
+    const std::filesystem::path p(file);
+    if (p.is_relative() && !parent.empty()) {
+      file = (parent / p).string();
+    }
+  }
+  return plan;
 }
 
 void saveReductionPlan(const std::string& path, const ReductionPlan& plan) {

@@ -1,6 +1,7 @@
 #include "vates/events/experiment_setup.hpp"
 
 #include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
 #include "vates/units/units.hpp"
 
 namespace vates {
@@ -33,7 +34,27 @@ ExperimentSetup::ExperimentSetup(const WorkloadSpec& spec)
       lattice_(spec.lattice(), spec.uVector, spec.vVector),
       flux_(buildFlux(spec)), pointGroup_(spec.pointGroup),
       projection_(spec.projection()),
-      symmetryMatrices_(pointGroup_.matrices()) {}
+      symmetryMatrices_(pointGroup_.matrices()) {
+  if (spec.maskFraction > 0.0) {
+    const std::size_t nDetectors = instrument_.nDetectors();
+    DetectorMask mask(nDetectors);
+    if (spec.maskFraction >= 1.0) {
+      for (std::size_t d = 0; d < nDetectors; ++d) {
+        mask.mask(d);
+      }
+    } else {
+      // Seeded per spec so the same workload always masks the same
+      // pixels, independent of call order.  The stream id spells "mask".
+      Xoshiro256 rng(spec.effectiveMaskSeed(), /*streamId=*/0x6d61736bULL);
+      for (std::size_t d = 0; d < nDetectors; ++d) {
+        if (rng.uniform() < spec.maskFraction) {
+          mask.mask(d);
+        }
+      }
+    }
+    mask_.emplace(std::move(mask));
+  }
+}
 
 void ExperimentSetup::setDetectorMask(DetectorMask mask) {
   VATES_REQUIRE(mask.size() == instrument_.nDetectors(),

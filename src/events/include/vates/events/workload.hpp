@@ -63,6 +63,22 @@ struct WorkloadSpec {
 
   std::uint64_t seed = 0x5eed0123456789abULL;
 
+  // Detector masking (beam-stop shadows, dead tubes).  When
+  // maskFraction > 0, ExperimentSetup attaches a seeded-random detector
+  // mask at construction: each detector is masked independently with
+  // this probability (>= 1.0 masks every detector).  The selection is
+  // deterministic per (maskSeed, detector index), so the same spec
+  // always masks the same pixels.
+  double maskFraction = 0.0;
+  /// Seed of the mask selection stream; 0 (the default) derives it from
+  /// `seed`, so mask and events share one reproducibility knob.
+  std::uint64_t maskSeed = 0;
+
+  /// The seed the mask stream actually uses.
+  std::uint64_t effectiveMaskSeed() const noexcept {
+    return maskSeed != 0 ? maskSeed : seed;
+  }
+
   /// Total events across all files.
   std::size_t totalEvents() const noexcept { return nFiles * eventsPerFile; }
 

@@ -1,0 +1,131 @@
+#pragma once
+/// \file scenario.hpp
+/// Virtual-experiment scenario generation — parameterized synthetic
+/// experiments with *hidden ground truth*, the test-data counterpart of
+/// the paper's artifact methodology ("The CORELLI and TOPAZ reduction
+/// files were modified to match the parameters used in the proxies").
+///
+/// A Scenario is one fully specified virtual experiment: instrument
+/// shape (CORELLI-style cylinder or TOPAZ-style rectangular banks),
+/// lattice constrained to the point group's crystal family, any of the
+/// 21 supported point groups, wavelength band, detector-mask fraction,
+/// goniometer sequence, and event statistics.  Every parameter derives
+/// deterministically from (index, matrixSeed) — no wall clock, no
+/// global state — so scenario N is bitwise the same scenario on every
+/// machine, forever.
+///
+/// The ground-truth scheme follows the synthetic-device pattern: the
+/// generator *knows* what it emitted (event count, Neumaier-summed
+/// total weight, a CRC over the canonical event serialization, a CRC
+/// over the plan text) and stamps those into a manifest next to the
+/// emitted artifacts.  Verification then recomputes everything from the
+/// artifacts alone — the emitted .nxl event files and the plan INI —
+/// and compares against the stamp.  A verifier that trusted the
+/// generator's in-memory state would always pass; re-deriving from the
+/// files is what catches serialization bugs, truncated writes, and
+/// drifted generators.
+
+#include "vates/core/plan.hpp"
+#include "vates/events/workload.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vates::scenario {
+
+/// The two detector layouts of the paper's Table II instruments.
+enum class InstrumentShape : int {
+  Cylinder = 0, ///< CORELLI-style cylindrical array
+  Banks = 1,    ///< TOPAZ-style flat square banks on a sphere
+};
+
+/// "cylinder", "banks".
+const char* instrumentShapeName(InstrumentShape shape) noexcept;
+
+/// Default matrix seed — part of the scenario contract: goldens and
+/// committed example plans are generated with it.
+inline constexpr std::uint64_t kDefaultMatrixSeed = 0x5ce11a71000000ULL;
+
+/// One virtual experiment.
+struct Scenario {
+  std::string name; ///< "scn<index>-<shape>-m<mask%>-<pointgroup>"
+  std::size_t index = 0;
+  InstrumentShape shape = InstrumentShape::Cylinder;
+  double maskFraction = 0.0;
+  WorkloadSpec workload;
+};
+
+/// Deterministically derive scenario \p index of the matrix seeded by
+/// \p matrixSeed.  The structured axes cycle so any 24 consecutive
+/// indices cover all 21 point groups, both instrument shapes, and the
+/// mask fractions {0, 0.3, 0.9}:
+///
+///   point group   = the canonical 21-group list[index % 21]
+///   shape         = index % 2          (cylinder, banks, ...)
+///   mask fraction = {0, 0.3, 0.9}[index % 3]
+///
+/// Everything else (lattice constants within the point group's crystal
+/// family, centering, detector/file/event counts, wavelength band,
+/// binning, extents, goniometer schedule, Bragg model, event seed) is
+/// drawn from Xoshiro256(matrixSeed, index) in a fixed order.
+Scenario makeScenario(std::size_t index,
+                      std::uint64_t matrixSeed = kDefaultMatrixSeed);
+
+/// Scenarios [0, count) of one matrix.
+std::vector<Scenario> scenarioMatrix(std::size_t count = 24,
+                                     std::uint64_t matrixSeed =
+                                         kDefaultMatrixSeed);
+
+/// What the generator knows it emitted — stamped into the manifest at
+/// emission, recomputed from the artifacts at verification.
+struct ScenarioGroundTruth {
+  std::size_t eventCount = 0; ///< events across all runs
+  /// Neumaier-compensated sum of every event weight, run order then
+  /// event order — bit-reproducible, so verification compares with ==.
+  double totalWeight = 0.0;
+  /// CRC-32 chained over the canonical little-endian serialization of
+  /// every event in order: u32 detector, f64 TOF, u32 pulse, f64
+  /// weight; files chain in run order.
+  std::uint32_t eventsCrc = 0;
+  /// CRC-32 of the emitted plan INI text.
+  std::uint32_t planCrc = 0;
+};
+
+/// The reduction plan a scenario emits: its workload, a default
+/// execution config (scientist-editable after emission), and the
+/// event_files entries naming the emitted raw-run files *relative* to
+/// the plan — which is what lets committed example plans load from any
+/// working directory (loadReductionPlan resolves them against the plan's
+/// own location).
+core::ReductionPlan scenarioPlan(const Scenario& scenario);
+
+/// The ground truth of \p scenario, computed through the generator's
+/// own internal path (ExperimentSetup → EventGenerator::generateRaw per
+/// run).  This is the "hidden" side of the contract; verification never
+/// calls it.
+ScenarioGroundTruth computeGroundTruth(const Scenario& scenario);
+
+/// The artifacts writeScenario() produced.
+struct EmittedScenario {
+  std::vector<std::string> eventFiles; ///< raw-run .nxl, run order
+  std::string planPath;
+  std::string manifestPath;
+  ScenarioGroundTruth truth; ///< as stamped into the manifest
+};
+
+/// Emit \p scenario into \p directory: one raw-run event file per run,
+/// the plan INI (event_files relative), and the ground-truth manifest.
+/// Deterministic: emitting the same scenario twice produces
+/// byte-identical files.
+EmittedScenario writeScenario(const Scenario& scenario,
+                              const std::string& directory);
+
+/// Re-derive the ground truth of an emitted scenario from its artifacts
+/// alone — re-read every event file, re-serialize, re-CRC, re-sum, and
+/// CRC the plan text — and compare against the manifest stamp.  Throws
+/// InvalidArgument naming the first mismatch; returns the (verified)
+/// truth on success.
+ScenarioGroundTruth verifyEmittedScenario(const std::string& manifestPath);
+
+} // namespace vates::scenario

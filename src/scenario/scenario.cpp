@@ -1,0 +1,418 @@
+#include "vates/scenario/scenario.hpp"
+
+#include "vates/events/experiment_setup.hpp"
+#include "vates/events/generator.hpp"
+#include "vates/io/crc32.hpp"
+#include "vates/io/event_file.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/rng.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace vates::scenario {
+
+namespace {
+
+/// The canonical 21 point groups the matrix cycles through, in
+/// crystal-family order (triclinic → cubic).  PointGroup supports a few
+/// more symbols (-4, 4mm, 622, ...); this fixed list is what guarantees
+/// any 21 consecutive scenario indices span all 21 groups — an index
+/// into supportedSymbols() would tie scenario identity to a map's
+/// iteration order and silently reshuffle if a symbol were added.
+const char* const kPointGroups[21] = {
+    "1",   "-1",  "2",     "m",  "2/m", "222", "mmm",
+    "4",   "4/m", "422",   "4/mmm",
+    "3",   "-3",  "32",    "-3m",
+    "6",   "6/m",
+    "23",  "m-3", "432",   "m-3m",
+};
+
+/// Crystal families of the 21 matrix point groups — the lattice the
+/// scenario draws must be *compatible* with the symmetry it symmetrizes
+/// by, or the "virtual experiment" would be physically impossible.
+enum class Family { Triclinic, Monoclinic, Orthorhombic, Tetragonal,
+                    Hexagonal, Cubic };
+
+Family familyOf(const std::string& pointGroup) {
+  if (pointGroup == "1" || pointGroup == "-1") {
+    return Family::Triclinic;
+  }
+  if (pointGroup == "2" || pointGroup == "m" || pointGroup == "2/m") {
+    return Family::Monoclinic;
+  }
+  if (pointGroup == "222" || pointGroup == "mmm") {
+    return Family::Orthorhombic;
+  }
+  if (pointGroup == "4" || pointGroup == "4/m" || pointGroup == "422" ||
+      pointGroup == "4/mmm") {
+    return Family::Tetragonal;
+  }
+  if (pointGroup == "3" || pointGroup == "-3" || pointGroup == "32" ||
+      pointGroup == "-3m" || pointGroup == "6" || pointGroup == "6/m") {
+    return Family::Hexagonal; // trigonal on hexagonal axes
+  }
+  return Family::Cubic; // 23, m-3, 432, m-3m
+}
+
+/// File names are derived from the workload name, so the point-group
+/// symbol must not smuggle path separators ("2/m" → "2_m").
+std::string sanitize(std::string text) {
+  for (char& c : text) {
+    if (c == '/' || c == '\\' || c == ' ') {
+      c = '_';
+    }
+  }
+  return text;
+}
+
+std::string planFileName(const Scenario& scenario) {
+  return scenario.workload.name + "_plan.ini";
+}
+
+std::string manifestFileName(const Scenario& scenario) {
+  return scenario.workload.name + "_manifest.ini";
+}
+
+/// Canonical little-endian event serialization the events CRC chains
+/// over.  Doubles are IEEE-754 bit patterns; on the (little-endian)
+/// platforms this project targets a memcpy is the LE encoding.
+void appendEventBytes(std::vector<unsigned char>& buffer,
+                      std::uint32_t detectorId, double tof,
+                      std::uint32_t pulseIndex, double weight) {
+  const auto put32 = [&buffer](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buffer.push_back(static_cast<unsigned char>((value >> shift) & 0xffu));
+    }
+  };
+  const auto put64 = [&buffer](double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    for (int shift = 0; shift < 64; shift += 8) {
+      buffer.push_back(static_cast<unsigned char>((bits >> shift) & 0xffu));
+    }
+  };
+  put32(detectorId);
+  put64(tof);
+  put32(pulseIndex);
+  put64(weight);
+}
+
+/// Accumulate one run's events into a ground truth in progress:
+/// Neumaier-compensated weight sum plus the chained CRC.
+void accumulateRun(const RawEventList& events, ScenarioGroundTruth& truth,
+                   double& weightSum, double& weightCompensation,
+                   std::vector<unsigned char>& scratch) {
+  scratch.clear();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    appendEventBytes(scratch, events.detectorId(i), events.tof(i),
+                     events.pulseIndex(i), events.weight(i));
+    const double w = events.weight(i);
+    const double sum = weightSum + w;
+    if (std::abs(weightSum) >= std::abs(w)) {
+      weightCompensation += (weightSum - sum) + w;
+    } else {
+      weightCompensation += (w - sum) + weightSum;
+    }
+    weightSum = sum;
+  }
+  truth.eventCount += events.size();
+  truth.eventsCrc = crc32(scratch.data(), scratch.size(), truth.eventsCrc);
+}
+
+std::string readFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IOError("cannot read: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+} // namespace
+
+const char* instrumentShapeName(InstrumentShape shape) noexcept {
+  return shape == InstrumentShape::Cylinder ? "cylinder" : "banks";
+}
+
+Scenario makeScenario(std::size_t index, std::uint64_t matrixSeed) {
+  Scenario scenario;
+  scenario.index = index;
+  scenario.shape =
+      index % 2 == 0 ? InstrumentShape::Cylinder : InstrumentShape::Banks;
+  const double maskFractions[3] = {0.0, 0.3, 0.9};
+  scenario.maskFraction = maskFractions[index % 3];
+
+  WorkloadSpec& w = scenario.workload;
+  w.pointGroup = kPointGroups[index % 21];
+  w.instrument =
+      scenario.shape == InstrumentShape::Cylinder ? "corelli" : "topaz";
+
+  // Draw order is part of the scenario contract — inserting a draw
+  // shifts every later parameter of every scenario, which the golden
+  // scenarios in tests/golden/ would catch.
+  Xoshiro256 rng(matrixSeed, index);
+
+  // Lattice constants, constrained to the point group's crystal family.
+  const double a = rng.uniform(3.0, 12.0);
+  const double b = rng.uniform(3.0, 12.0);
+  const double c = rng.uniform(3.0, 12.0);
+  const double beta = rng.uniform(95.0, 120.0);
+  const double alpha = rng.uniform(70.0, 110.0);
+  const double gamma = rng.uniform(70.0, 110.0);
+  switch (familyOf(w.pointGroup)) {
+  case Family::Triclinic:
+    w.latticeA = a; w.latticeB = b; w.latticeC = c;
+    w.latticeAlpha = alpha; w.latticeBeta = beta; w.latticeGamma = gamma;
+    break;
+  case Family::Monoclinic:
+    w.latticeA = a; w.latticeB = b; w.latticeC = c;
+    w.latticeBeta = beta;
+    break;
+  case Family::Orthorhombic:
+    w.latticeA = a; w.latticeB = b; w.latticeC = c;
+    break;
+  case Family::Tetragonal:
+    w.latticeA = a; w.latticeB = a; w.latticeC = c;
+    break;
+  case Family::Hexagonal:
+    w.latticeA = a; w.latticeB = a; w.latticeC = c;
+    w.latticeGamma = 120.0;
+    break;
+  case Family::Cubic:
+    w.latticeA = a; w.latticeB = a; w.latticeC = a;
+    break;
+  }
+
+  // Centering: keep P for the cubic F/I-incompatible families simple —
+  // P/I/C for non-cubic, P/I/F for cubic (all extinction rules are
+  // exercised across the matrix either way).
+  const std::uint64_t centeringDraw = rng.uniformInt(3);
+  if (familyOf(w.pointGroup) == Family::Cubic) {
+    const Centering table[3] = {Centering::P, Centering::I, Centering::F};
+    w.centering = table[centeringDraw];
+  } else {
+    const Centering table[3] = {Centering::P, Centering::I, Centering::C};
+    w.centering = table[centeringDraw];
+  }
+
+  // Instrument and ensemble scale — deliberately small: a scenario is a
+  // correctness specimen, not a benchmark workload.
+  w.nDetectors = 40 + rng.uniformInt(41);       // 40..80
+  w.nFiles = 1 + rng.uniformInt(2);             // 1..2
+  w.eventsPerFile = 300 + rng.uniformInt(1201); // 300..1500
+  w.omegaStartDeg = rng.uniform(0.0, 360.0);
+  w.omegaStepDeg = rng.uniform(2.0, 15.0);
+  w.protonCharge = rng.uniform(0.5, 2.0);
+
+  // Wavelength band.
+  w.lambdaMin = rng.uniform(0.6, 1.2);
+  w.lambdaMax = w.lambdaMin + rng.uniform(1.0, 2.5);
+
+  // Output grid.
+  w.bins[0] = 6 + rng.uniformInt(7); // 6..12
+  w.bins[1] = 6 + rng.uniformInt(7);
+  w.bins[2] = 1 + rng.uniformInt(3); // 1..3
+  for (int axis = 0; axis < 3; ++axis) {
+    const double extent = rng.uniform(3.0, 6.0);
+    w.extentMin[axis] = -extent;
+    w.extentMax[axis] = extent;
+  }
+
+  // Synthetic-signal shape.
+  w.braggAmplitude = rng.uniform(50.0, 200.0);
+  w.braggSigma = rng.uniform(0.04, 0.12);
+  w.diffuseBackground = rng.uniform(0.1, 0.8);
+
+  w.seed = rng.next();
+  w.maskFraction = scenario.maskFraction;
+  w.maskSeed = 0; // derive from the event seed — one knob
+
+  w.name = strfmt("scn%02zu-%s-m%02d-%s", index,
+                  scenario.shape == InstrumentShape::Cylinder ? "cyl"
+                                                              : "banks",
+                  static_cast<int>(std::lround(scenario.maskFraction * 100)),
+                  sanitize(w.pointGroup).c_str());
+  scenario.name = w.name;
+  return scenario;
+}
+
+std::vector<Scenario> scenarioMatrix(std::size_t count,
+                                     std::uint64_t matrixSeed) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    scenarios.push_back(makeScenario(index, matrixSeed));
+  }
+  return scenarios;
+}
+
+core::ReductionPlan scenarioPlan(const Scenario& scenario) {
+  core::ReductionPlan plan;
+  plan.workload = scenario.workload;
+  for (std::size_t i = 0; i < scenario.workload.nFiles; ++i) {
+    // Relative to the plan file — the emitted events sit next to it.
+    plan.eventFiles.push_back(std::filesystem::path(
+                                  rawRunFilePath(".", scenario.workload.name,
+                                                 i))
+                                  .filename()
+                                  .string());
+  }
+  // Recorded raw streams are reduced the way the DAQ recorded them.
+  plan.config.loadMode = core::LoadMode::RawTof;
+  return plan;
+}
+
+ScenarioGroundTruth computeGroundTruth(const Scenario& scenario) {
+  const ExperimentSetup setup(scenario.workload);
+  const EventGenerator generator = setup.makeGenerator();
+
+  ScenarioGroundTruth truth;
+  double weightSum = 0.0;
+  double weightCompensation = 0.0;
+  std::vector<unsigned char> scratch;
+  for (std::size_t i = 0; i < scenario.workload.nFiles; ++i) {
+    const RawEventList events = generator.generateRaw(i);
+    accumulateRun(events, truth, weightSum, weightCompensation, scratch);
+  }
+  truth.totalWeight = weightSum + weightCompensation;
+
+  const core::ReductionPlan plan = scenarioPlan(scenario);
+  const std::string planText = core::planToIni(plan).serialize();
+  truth.planCrc = crc32(planText.data(), planText.size());
+  return truth;
+}
+
+EmittedScenario writeScenario(const Scenario& scenario,
+                              const std::string& directory) {
+  std::filesystem::create_directories(directory);
+
+  const ExperimentSetup setup(scenario.workload);
+  const EventGenerator generator = setup.makeGenerator();
+
+  EmittedScenario emitted;
+  ScenarioGroundTruth truth;
+  double weightSum = 0.0;
+  double weightCompensation = 0.0;
+  std::vector<unsigned char> scratch;
+  for (std::size_t i = 0; i < scenario.workload.nFiles; ++i) {
+    const RawEventList events = generator.generateRaw(i);
+    const std::string path =
+        rawRunFilePath(directory, scenario.workload.name, i);
+    saveRawRunFile(path, generator.runInfo(i), events);
+    emitted.eventFiles.push_back(path);
+    accumulateRun(events, truth, weightSum, weightCompensation, scratch);
+  }
+  truth.totalWeight = weightSum + weightCompensation;
+
+  const core::ReductionPlan plan = scenarioPlan(scenario);
+  const std::string planText = core::planToIni(plan).serialize();
+  truth.planCrc = crc32(planText.data(), planText.size());
+  emitted.planPath =
+      (std::filesystem::path(directory) / planFileName(scenario)).string();
+  {
+    std::ofstream out(emitted.planPath, std::ios::binary);
+    if (!out) {
+      throw IOError("cannot write plan: " + emitted.planPath);
+    }
+    out << planText;
+  }
+
+  IniFile manifest;
+  manifest.set("scenario", "index", std::to_string(scenario.index));
+  manifest.set("scenario", "name", scenario.name);
+  manifest.set("scenario", "shape", instrumentShapeName(scenario.shape));
+  manifest.set("scenario", "mask_fraction",
+               strfmt("%.17g", scenario.maskFraction));
+  manifest.set("scenario", "point_group", scenario.workload.pointGroup);
+  manifest.set("files", "plan", planFileName(scenario));
+  manifest.set("files", "count", std::to_string(emitted.eventFiles.size()));
+  for (std::size_t i = 0; i < emitted.eventFiles.size(); ++i) {
+    manifest.set("files", "event_" + std::to_string(i),
+                 std::filesystem::path(emitted.eventFiles[i])
+                     .filename()
+                     .string());
+  }
+  manifest.set("truth", "event_count", std::to_string(truth.eventCount));
+  manifest.set("truth", "total_weight", strfmt("%.17g", truth.totalWeight));
+  manifest.set("truth", "events_crc", std::to_string(truth.eventsCrc));
+  manifest.set("truth", "plan_crc", std::to_string(truth.planCrc));
+  emitted.manifestPath =
+      (std::filesystem::path(directory) / manifestFileName(scenario))
+          .string();
+  manifest.save(emitted.manifestPath);
+
+  emitted.truth = truth;
+  return emitted;
+}
+
+ScenarioGroundTruth verifyEmittedScenario(const std::string& manifestPath) {
+  const IniFile manifest = IniFile::load(manifestPath);
+  const std::filesystem::path directory =
+      std::filesystem::path(manifestPath).parent_path();
+
+  ScenarioGroundTruth stamped;
+  stamped.eventCount = static_cast<std::size_t>(
+      manifest.getInt("truth", "event_count"));
+  stamped.totalWeight = manifest.getDouble("truth", "total_weight");
+  stamped.eventsCrc = static_cast<std::uint32_t>(
+      manifest.getInt("truth", "events_crc"));
+  stamped.planCrc =
+      static_cast<std::uint32_t>(manifest.getInt("truth", "plan_crc"));
+
+  // Re-derive everything from the artifacts; never consult the
+  // generator (that is the whole point of the hidden ground truth).
+  const std::string planText = readFileText(
+      (directory / manifest.getString("files", "plan")).string());
+  const std::uint32_t planCrc = crc32(planText.data(), planText.size());
+  if (planCrc != stamped.planCrc) {
+    throw InvalidArgument(strfmt(
+        "scenario plan CRC mismatch: manifest says %u, plan text has %u",
+        stamped.planCrc, planCrc));
+  }
+
+  ScenarioGroundTruth derived;
+  derived.planCrc = planCrc;
+  double weightSum = 0.0;
+  double weightCompensation = 0.0;
+  std::vector<unsigned char> scratch;
+  const auto count =
+      static_cast<std::size_t>(manifest.getInt("files", "count"));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string path =
+        (directory / manifest.getString("files", "event_" +
+                                                     std::to_string(i)))
+            .string();
+    const RawRunFileContent content = loadRawRunFile(path);
+    accumulateRun(content.events, derived, weightSum, weightCompensation,
+                  scratch);
+  }
+  derived.totalWeight = weightSum + weightCompensation;
+
+  if (derived.eventCount != stamped.eventCount) {
+    throw InvalidArgument(strfmt(
+        "scenario event count mismatch: manifest says %zu, files hold %zu",
+        stamped.eventCount, derived.eventCount));
+  }
+  if (derived.eventsCrc != stamped.eventsCrc) {
+    throw InvalidArgument(strfmt(
+        "scenario events CRC mismatch: manifest says %u, files hash to %u",
+        stamped.eventsCrc, derived.eventsCrc));
+  }
+  // The weight sum re-runs the same Neumaier order, so bit equality is
+  // the correct comparison (a tolerance would mask real drift).
+  if (derived.totalWeight != stamped.totalWeight) {
+    throw InvalidArgument(strfmt(
+        "scenario total weight mismatch: manifest says %.17g, files sum "
+        "to %.17g",
+        stamped.totalWeight, derived.totalWeight));
+  }
+  return derived;
+}
+
+} // namespace vates::scenario

@@ -116,6 +116,11 @@ struct JobStatus {
   /// True when the job ran as an incremental delta reduction: only the
   /// files appended since the cached partial state were re-reduced.
   bool incrementalRun = false;
+  /// The locked autotune decision (core::AutotuneDecision::summary())
+  /// when the job's plan enabled runtime autotuning; empty otherwise.
+  /// Recorded so any tuned run can be replayed with the chosen config
+  /// pinned manually (the bitwise-parity guarantee).
+  std::string autotunedConfig;
   /// Failure / rejection detail (Failed, Cancelled, Expired).
   std::string error;
   double queuedSeconds = 0.0; ///< submit → start (or now, while queued)
@@ -161,6 +166,7 @@ struct Job {
   bool sharedNormalization = false;
   bool cachedNormalization = false;
   bool incrementalRun = false;
+  std::string autotunedConfig;
   std::string error;
   std::optional<std::chrono::steady_clock::time_point> started;
   std::optional<std::chrono::steady_clock::time_point> finished;

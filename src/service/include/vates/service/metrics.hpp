@@ -79,6 +79,13 @@ struct ServiceMetrics {
   /// Plan jobs that ran as incremental delta reductions.
   std::uint64_t incrementalJobs = 0;
 
+  // -- runtime autotuning --------------------------------------------
+  /// Plan jobs whose execution config was locked by the runtime
+  /// autotuner (probe on the first file, fastest candidate pinned for
+  /// the rest of the job).  The probe wall time feeds the "autotune"
+  /// latency population.
+  std::uint64_t autotunedJobs = 0;
+
   /// Fraction of cache lookups that hit: hits / (hits + misses).
   double cacheHitRate() const noexcept;
 

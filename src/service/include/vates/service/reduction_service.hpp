@@ -194,6 +194,7 @@ private:
   std::uint64_t sharedNormalizationJobs_ = 0;
   std::uint64_t normalizationPasses_ = 0;
   std::uint64_t incrementalJobs_ = 0;
+  std::uint64_t autotunedJobs_ = 0;
   std::map<std::string, std::vector<double>> latencySamples_;
 
   /// Opened caches, keyed by resolved directory (guarded by its own

@@ -31,9 +31,9 @@ static_assert(sizeof(core::OverlapOptions) == 16,
 static_assert(sizeof(ConvertOptions) == 2,
               "ConvertOptions changed: audit incrementalKey() (lorentz/"
               "filter_band are serialized) and update this pinned size");
-static_assert(sizeof(WorkloadSpec) == 440,
+static_assert(sizeof(WorkloadSpec) == 456,
               "WorkloadSpec changed: audit normalizationKey() (geometry/"
-              "lattice/symmetry/goniometer/flux/grid fields) and "
+              "lattice/symmetry/goniometer/flux/grid/mask fields) and "
               "incrementalKey() (seed/eventsPerFile/signal-shape fields), "
               "then update this pinned size");
 #endif
@@ -122,6 +122,19 @@ std::string normalizationKey(const core::ReductionPlan& plan) {
   putV3(os, w.projectionU);
   putV3(os, w.projectionV);
   putV3(os, w.projectionW);
+
+  // Detector masking removes pixels from the normalization integral.
+  // Serialized only when active so pre-mask keys (and the "same grid,
+  // different event seed" batching guarantee for unmasked plans) are
+  // unchanged; an active fractional mask pins the *effective* mask seed,
+  // which defaults to the event seed.
+  if (w.maskFraction > 0.0) {
+    os << "mask=";
+    putDouble(os, w.maskFraction);
+    if (w.maskFraction < 1.0) {
+      os << "mseed=" << w.effectiveMaskSeed() << ';';
+    }
+  }
 
   // Execution-config fields that change the normalization's
   // floating-point accumulation order (bit-identity, not just physics).

@@ -88,6 +88,7 @@ std::string ServiceMetrics::toJson() const {
       .field("cache_entries", cacheEntries)
       .field("cache_hit_rate", cacheHitRate())
       .field("incremental_jobs", incrementalJobs)
+      .field("autotuned_jobs", autotunedJobs)
       .fieldRaw("latency", latencyJson.str())
       .str();
 }

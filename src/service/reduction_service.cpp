@@ -1,5 +1,6 @@
 #include "vates/service/reduction_service.hpp"
 
+#include "vates/core/autotune.hpp"
 #include "vates/core/pipeline.hpp"
 #include "vates/events/experiment_setup.hpp"
 #include "vates/parallel/executor.hpp"
@@ -38,6 +39,37 @@ std::optional<std::size_t> envSize(const char* name) {
     return std::nullopt;
   }
   return static_cast<std::size_t>(value);
+}
+
+/// VATES_AUTOTUNE=on/off (1/0, true/false) overrides the plan's
+/// autotune flag at submission; malformed values are ignored.
+void applyAutotuneEnv(core::AutotuneOptions& autotune) {
+  const char* raw = std::getenv("VATES_AUTOTUNE");
+  if (raw == nullptr || *raw == '\0') {
+    return;
+  }
+  const std::string value(raw);
+  if (value == "on" || value == "1" || value == "true") {
+    autotune.enabled = true;
+  } else if (value == "off" || value == "0" || value == "false") {
+    autotune.enabled = false;
+  }
+}
+
+///// The plan's shared-grid batch key: the normalization key, plus the
+/// recorded event-file list when the plan reduces pre-recorded streams
+/// — file-backed runs take their goniometer/charge metadata from the
+/// files, so only identical file sets may share a normalization.
+std::string planBatchKey(const core::ReductionPlan& plan) {
+  std::string key = normalizationKey(plan);
+  if (!plan.eventFiles.empty()) {
+    key += ";ev=";
+    for (const std::string& path : plan.eventFiles) {
+      key += path;
+      key += '|';
+    }
+  }
+  return key;
 }
 
 } // namespace
@@ -94,6 +126,10 @@ SubmitReceipt ReductionService::submit(JobRequest request) {
       invalid = "workload.files must be >= 1";
     } else if (request.plan.config.ranks < 1) {
       invalid = "reduction.ranks must be >= 1";
+    } else if (!request.plan.eventFiles.empty() &&
+               request.plan.eventFiles.size() !=
+                   request.plan.workload.nFiles) {
+      invalid = "event_files count must equal workload.files";
     } else if (request.deadlineSeconds < 0.0) {
       invalid = "deadline must be >= 0";
     }
@@ -106,9 +142,17 @@ SubmitReceipt ReductionService::submit(JobRequest request) {
     job->id = nextId_++;
     job->sequence = job->id;
     job->request = std::move(request);
-    job->batchKey = job->request.kind == JobKind::Plan
-                        ? normalizationKey(job->request.plan)
-                        : "live#" + std::to_string(job->id);
+    applyAutotuneEnv(job->request.plan.config.autotune);
+    // An autotune-enabled job's execution config is not known until its
+    // probe runs, so it gets a unique key (it can neither lead nor
+    // follow a shared-normalization batch while unresolved); the worker
+    // recomputes the real key once the decision is locked.
+    job->batchKey =
+        job->request.kind != JobKind::Plan
+            ? "live#" + std::to_string(job->id)
+            : (job->request.plan.config.autotune.enabled
+                   ? "tune#" + std::to_string(job->id)
+                   : planBatchKey(job->request.plan));
     job->submitted = now();
     if (job->request.deadlineSeconds > 0.0) {
       job->deadline =
@@ -156,6 +200,7 @@ JobStatus ReductionService::statusLocked(const Job& job) const {
   status.sharedNormalization = job.sharedNormalization;
   status.cachedNormalization = job.cachedNormalization;
   status.incrementalRun = job.incrementalRun;
+  status.autotunedConfig = job.autotunedConfig;
   status.error = job.error;
   const auto reference = now();
   status.queuedSeconds =
@@ -326,6 +371,7 @@ ServiceMetrics ReductionService::metrics() const {
   m.cacheEntries = cacheTotals.entries;
   std::lock_guard<std::mutex> lock(mutex_);
   m.incrementalJobs = incrementalJobs_;
+  m.autotunedJobs = autotunedJobs_;
   m.running = running_;
   m.submitted = submitted_;
   m.admitted = admitted_;
@@ -533,14 +579,40 @@ bool ReductionService::runPlanJob(const std::shared_ptr<Job>& job,
   plan.config.hooks.filesCompleted = &job->filesCompleted;
   plan.config.hooks.progress = &job->progressStages;
 
+  // Runtime autotuning: probe the candidate configs on the workload's
+  // first file (results discarded), lock the fastest, and record the
+  // decision.  Everything downstream — cache keys, batch key, the real
+  // run — sees only the locked, concrete config, so a tuned job is
+  // indistinguishable from one submitted with that config pinned.
+  if (plan.config.autotune.enabled && sharedNorm == nullptr) {
+    try {
+      const ExperimentSetup tuneSetup(plan.workload);
+      const core::AutotuneDecision decision =
+          core::autotunePlan(tuneSetup, plan.config);
+      plan.config = core::lockAutotuneDecision(plan.config, decision);
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->autotunedConfig = decision.summary();
+      job->batchKey = planBatchKey(plan);
+      ++autotunedJobs_;
+      latencySamples_["autotune"].push_back(decision.probeSeconds);
+    } catch (const std::exception& error) {
+      finishJob(job, JobState::Failed, error.what(), nullptr);
+      return false;
+    }
+  }
+
   // Batch followers already have a better-than-disk normalization in
   // hand; everyone else may consult the persistent cache.
   const std::shared_ptr<cache::NormalizationCache> cache =
       sharedNorm == nullptr && !plan.config.skipNormalization
           ? cacheFor(plan)
           : nullptr;
+  // Incremental partial sums are keyed on the synthetic event stream;
+  // pre-recorded event files replace that stream, so file-backed plans
+  // always run full (cache/batch reuse of the normalization still
+  // applies — it never depends on event data).
   const bool incremental = cache != nullptr && plan.config.incremental &&
-                           plan.config.ranks == 1;
+                           plan.config.ranks == 1 && plan.eventFiles.empty();
 
   if (sharedNorm != nullptr) {
     plan.config.skipNormalization = true;
@@ -697,7 +769,10 @@ bool ReductionService::runPlanJob(const std::shared_ptr<Job>& job,
 
     ExperimentSetup setup(plan.workload);
     core::ReductionPipeline pipeline(setup, plan.config);
-    core::ReductionResult result = pipeline.run();
+    core::ReductionResult result = plan.eventFiles.empty()
+                                       ? pipeline.run()
+                                       : pipeline.runFromRawFiles(
+                                             plan.eventFiles);
     if (sharedNorm != nullptr) {
       spliceNormalization(result, *sharedNorm);
     } else if (cachedNorm) {

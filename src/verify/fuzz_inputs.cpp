@@ -165,27 +165,16 @@ std::vector<FuzzExperiment> goldenExperiments() {
 }
 
 ExperimentSetup makeSetup(const FuzzExperiment& experiment) {
-  ExperimentSetup setup(experiment.spec);
+  // Masking now lives on the spec itself (ExperimentSetup applies the
+  // seeded selection at construction, bitwise the scheme this function
+  // used to implement inline — same stream id, same >= 1.0 semantics).
+  // The FuzzExperiment-level fraction is kept for the roster's
+  // ergonomics and overrides the spec's own when set.
+  WorkloadSpec spec = experiment.spec;
   if (experiment.maskFraction > 0.0) {
-    const std::size_t nDetectors = setup.instrument().nDetectors();
-    DetectorMask mask(nDetectors);
-    if (experiment.maskFraction >= 1.0) {
-      for (std::size_t d = 0; d < nDetectors; ++d) {
-        mask.mask(d);
-      }
-    } else {
-      // Seeded by the spec so the same experiment always masks the
-      // same pixels, independent of call order.
-      Xoshiro256 rng(experiment.spec.seed, /*streamId=*/0x6d61736bULL);
-      for (std::size_t d = 0; d < nDetectors; ++d) {
-        if (rng.uniform() < experiment.maskFraction) {
-          mask.mask(d);
-        }
-      }
-    }
-    setup.setDetectorMask(std::move(mask));
+    spec.maskFraction = experiment.maskFraction;
   }
-  return setup;
+  return ExperimentSetup(spec);
 }
 
 } // namespace vates::verify

@@ -28,25 +28,20 @@ bool insideBoxClosed(const Histogram3D& histogram, const V3& p) {
          insideAxisClosed(histogram.axis(2), p.z);
 }
 
-/// Scalar [min, max) binning, written from the axis definition (lower
-/// edge + index·width) rather than the kernels' inverse-width multiply.
-std::optional<std::size_t> axisBin(const BinAxis& axis, double value) {
-  if (!(value >= axis.min() && value < axis.max())) {
-    return std::nullopt;
-  }
-  auto index =
-      static_cast<std::size_t>(std::floor((value - axis.min()) / axis.width()));
-  if (index >= axis.nBins()) {
-    index = axis.nBins() - 1;
-  }
-  return index;
-}
-
+/// Bin location delegates to BinAxis::bin — the axis's own [min, max)
+/// locator — rather than restating it.  Bin *assignment* is part of the
+/// reduction's definition, not of the arithmetic under test: a
+/// coordinate sitting exactly on a bin plane (events at K = 0 with a
+/// plane there, say) must land in the same bin on both sides of the
+/// diff, and a restated `(value − min) / width` rounds differently from
+/// the production `(value − min) · inverseWidth` precisely at those
+/// planes.  The scenario matrix caught that divergence (scn10: 8 bins
+/// across ±3.89…, half the in-plane events one bin off).
 std::optional<std::size_t> locateBin(const Histogram3D& histogram,
                                      const V3& p) {
-  const auto i = axisBin(histogram.axis(0), p.x);
-  const auto j = axisBin(histogram.axis(1), p.y);
-  const auto k = axisBin(histogram.axis(2), p.z);
+  const auto i = histogram.axis(0).bin(p.x);
+  const auto j = histogram.axis(1).bin(p.y);
+  const auto k = histogram.axis(2).bin(p.z);
   if (!i || !j || !k) {
     return std::nullopt;
   }

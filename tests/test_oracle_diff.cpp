@@ -9,9 +9,12 @@
 /// configuration and the worst bin's (H, K, L) — see DESIGN.md's
 /// "Verification" section for the documented corruption drill.
 
+#include "vates/core/autotune.hpp"
 #include "vates/core/pipeline.hpp"
 #include "vates/kernels/intersections.hpp"
 #include "vates/kernels/transforms.hpp"
+#include "vates/scenario/scenario.hpp"
+#include "vates/service/reduction_service.hpp"
 #include "vates/verify/diff.hpp"
 #include "vates/verify/fuzz_inputs.hpp"
 #include "vates/verify/reference_oracle.hpp"
@@ -324,8 +327,116 @@ TEST_P(OracleDiffSweep, AllConfigurationsMatchOracle) {
   }
 }
 
+// 14 random experiments: 6 sweep slots moved to structured scenario
+// workloads (OracleDiffScenario below), which cover the same ground
+// deliberately instead of by draw.
 INSTANTIATE_TEST_SUITE_P(SeededExperiments, OracleDiffSweep,
-                         ::testing::Range<std::uint64_t>(0, 20));
+                         ::testing::Range<std::uint64_t>(0, 14));
+
+// ---------------------------------------------------------------------------
+// Scenario workloads through the full configuration sweep: the first
+// six scenarios of the default matrix span both instrument shapes and
+// all three mask fractions (0 / 0.3 / 0.9), with family-consistent
+// lattices — structured coverage the random experiments only reach by
+// accident.  (The full ≥24-scenario matrix runs in test_scenario.cpp
+// under the "scenario-matrix" ctest label.)
+
+class OracleDiffScenario : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OracleDiffScenario, AllConfigurationsMatchOracle) {
+  const scenario::Scenario experiment = scenario::makeScenario(GetParam());
+  const ExperimentSetup setup(experiment.workload);
+  const verify::OracleResult oracle = verify::referenceReduce(setup);
+
+  const int ranks = 1 + static_cast<int>(GetParam() % 2);
+  for (const SimdMode simd : kSimdModes) {
+    for (const Traversal traversal : kTraversals) {
+      for (const AccumulateStrategy strategy : kStrategies) {
+        for (const Backend backend : availableBackends()) {
+          for (const OverlapMode overlap : kOverlaps) {
+            const ReductionConfig config =
+                makeConfig(traversal, strategy, backend, overlap, ranks, simd);
+            const ReductionResult result =
+                ReductionPipeline(setup, config).run();
+            expectMatchesOracle(oracle, result,
+                                experiment.name + " " +
+                                    configLabel(config, GetParam()));
+            if (HasFailure()) {
+              return;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScenarioMatrix, OracleDiffScenario,
+                         ::testing::Range<std::size_t>(0, 6));
+
+// ---------------------------------------------------------------------------
+// Autotune parity: a job reduced with the runtime autotuner enabled
+// must be *bitwise* identical to the same plan run with the recorded
+// decision pinned manually — the probe may only choose a config, never
+// perturb the result.
+
+TEST(OracleAutotune, TunedJobBitwiseMatchesPinnedRerun) {
+  core::ReductionPlan plan;
+  plan.workload = scenario::makeScenario(3).workload; // banks, unmasked
+  plan.config.autotune.enabled = true;
+  plan.config.autotune.maxCandidates = 6; // keep the probe cheap
+
+  service::ServiceOptions options;
+  options.workers = 1;
+  service::ReductionService svc(options);
+  service::JobRequest request;
+  request.plan = plan;
+  const service::SubmitReceipt receipt = svc.submit(request);
+  ASSERT_TRUE(receipt.accepted) << receipt.reason;
+  const std::shared_ptr<const service::JobOutcome> outcome =
+      svc.wait(receipt.id);
+  ASSERT_NE(outcome, nullptr);
+  ASSERT_EQ(outcome->status.state, service::JobState::Done)
+      << outcome->status.error;
+  ASSERT_NE(outcome->result, nullptr);
+  ASSERT_FALSE(outcome->status.autotunedConfig.empty());
+
+  // Pin the recorded decision by hand and run the pipeline directly —
+  // no autotuner anywhere in this path.
+  core::AutotuneDecision decision;
+  decision.tuned = true;
+  decision.chosen =
+      core::parseAutotuneSummary(outcome->status.autotunedConfig);
+  core::ReductionConfig pinned =
+      core::lockAutotuneDecision(plan.config, decision);
+  ASSERT_FALSE(pinned.autotune.enabled);
+  const ExperimentSetup setup(plan.workload);
+  const ReductionResult rerun = ReductionPipeline(setup, pinned).run();
+
+  const auto checkBitwise = [&](const char* what, const Histogram3D& tuned,
+                                const Histogram3D& manual) {
+    const verify::DiffReport report = verify::compareHistograms(
+        tuned, manual, verify::Tolerance::bitwise(),
+        std::string("autotune parity ") + what + " (" +
+            outcome->status.autotunedConfig + ")");
+    EXPECT_TRUE(report.pass) << report.summary();
+  };
+  checkBitwise("signal", outcome->result->signal, rerun.signal);
+  checkBitwise("normalization", outcome->result->normalization,
+               rerun.normalization);
+  checkBitwise("crossSection", outcome->result->crossSection,
+               rerun.crossSection);
+
+  // And the tuned run still matches the independent oracle.
+  const verify::OracleResult oracle = verify::referenceReduce(setup);
+  expectMatchesOracle(oracle, *outcome->result, "autotuned job vs oracle");
+
+  const service::ServiceMetrics metrics = svc.metrics();
+  EXPECT_EQ(metrics.autotunedJobs, 1u);
+  const auto latency = metrics.latency.find("autotune");
+  ASSERT_NE(latency, metrics.latency.end());
+  EXPECT_EQ(latency->second.count, 1u);
+}
 
 TEST(OracleDiff, ErrorPropagationMatchesOracle) {
   Xoshiro256 rng(0xe4405u);

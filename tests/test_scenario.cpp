@@ -1,0 +1,366 @@
+/// \file test_scenario.cpp
+/// The virtual-experiment scenario generator and its hidden-ground-truth
+/// contract:
+///
+///  - the default matrix spans all 21 point groups, both instrument
+///    shapes, and the three mask fractions within 24 scenarios;
+///  - generation and emission are bit-deterministic (same index → byte
+///    identical artifacts, forever);
+///  - the stamped checksums verify from the artifacts alone, and any
+///    corruption — event bytes, plan text, manifest stamp — is caught;
+///  - reducing an emitted scenario through the pipeline reproduces the
+///    stamped event count and matches the independent scalar oracle
+///    across the whole ≥24-scenario matrix (the "scenario-matrix"
+///    ctest label CI runs as its own tier-1 step);
+///  - the two committed golden scenarios regression-lock the
+///    generator's draw order.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/io/histogram_file.hpp"
+#include "vates/scenario/scenario.hpp"
+#include "vates/support/error.hpp"
+#include "vates/verify/diff.hpp"
+#include "vates/verify/reference_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace vates;
+using namespace vates::scenario;
+
+namespace fs = std::filesystem;
+
+fs::path freshDir(const std::string& tag) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("vates_scenario_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string readBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeBytes(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out << bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix structure.
+
+TEST(ScenarioMatrix, TwentyFourScenariosSpanTheParameterSpace) {
+  const std::vector<Scenario> matrix = scenarioMatrix(24);
+  ASSERT_EQ(matrix.size(), 24u);
+
+  std::set<std::string> pointGroups;
+  std::set<InstrumentShape> shapes;
+  std::set<double> masks;
+  std::set<std::string> names;
+  for (const Scenario& scenario : matrix) {
+    pointGroups.insert(scenario.workload.pointGroup);
+    shapes.insert(scenario.shape);
+    masks.insert(scenario.maskFraction);
+    names.insert(scenario.name);
+
+    // Internal consistency of every drawn workload.
+    EXPECT_EQ(scenario.workload.maskFraction, scenario.maskFraction);
+    EXPECT_EQ(scenario.workload.instrument,
+              scenario.shape == InstrumentShape::Cylinder ? "corelli"
+                                                          : "topaz");
+    EXPECT_LT(scenario.workload.lambdaMin, scenario.workload.lambdaMax);
+    EXPECT_GE(scenario.workload.nFiles, 1u);
+    EXPECT_GE(scenario.workload.nDetectors, 40u);
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_LT(scenario.workload.extentMin[axis],
+                scenario.workload.extentMax[axis]);
+    }
+    // The point group must actually construct (and with it the whole
+    // experiment setup — lattice, instrument, flux).
+    EXPECT_NO_THROW(static_cast<void>(ExperimentSetup(scenario.workload)))
+        << scenario.name;
+  }
+  EXPECT_EQ(pointGroups.size(), 21u) << "matrix must span all 21 groups";
+  EXPECT_EQ(shapes.size(), 2u) << "matrix must span both instrument shapes";
+  EXPECT_EQ(masks, (std::set<double>{0.0, 0.3, 0.9}));
+  EXPECT_EQ(names.size(), 24u) << "scenario names must be unique";
+}
+
+TEST(ScenarioMatrix, LatticeRespectsCrystalFamily) {
+  // Spot-check the family constraints: cubic → a=b=c and 90°,
+  // hexagonal/trigonal → a=b, γ=120°, tetragonal → a=b.
+  for (const Scenario& scenario : scenarioMatrix(24)) {
+    const WorkloadSpec& w = scenario.workload;
+    const std::string& pg = w.pointGroup;
+    if (pg == "23" || pg == "m-3" || pg == "432" || pg == "m-3m") {
+      EXPECT_EQ(w.latticeA, w.latticeB) << scenario.name;
+      EXPECT_EQ(w.latticeA, w.latticeC) << scenario.name;
+      EXPECT_EQ(w.latticeGamma, 90.0) << scenario.name;
+    } else if (pg == "3" || pg == "-3" || pg == "32" || pg == "-3m" ||
+               pg == "6" || pg == "6/m") {
+      EXPECT_EQ(w.latticeA, w.latticeB) << scenario.name;
+      EXPECT_EQ(w.latticeGamma, 120.0) << scenario.name;
+    } else if (pg == "4" || pg == "4/m" || pg == "422" || pg == "4/mmm") {
+      EXPECT_EQ(w.latticeA, w.latticeB) << scenario.name;
+      EXPECT_EQ(w.latticeGamma, 90.0) << scenario.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism.
+
+TEST(ScenarioDeterminism, SameIndexSameScenario) {
+  for (const std::size_t index : {std::size_t{0}, std::size_t{7},
+                                  std::size_t{23}}) {
+    const Scenario a = makeScenario(index);
+    const Scenario b = makeScenario(index);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.workload.seed, b.workload.seed);
+    EXPECT_EQ(a.workload.lambdaMin, b.workload.lambdaMin);
+    EXPECT_EQ(a.workload.omegaStartDeg, b.workload.omegaStartDeg);
+    EXPECT_EQ(a.workload.braggSigma, b.workload.braggSigma);
+  }
+  // Different matrix seeds give different draws (structured axes stay).
+  const Scenario base = makeScenario(5);
+  const Scenario reseeded = makeScenario(5, 0x0dd5eedULL);
+  EXPECT_EQ(base.workload.pointGroup, reseeded.workload.pointGroup);
+  EXPECT_NE(base.workload.seed, reseeded.workload.seed);
+}
+
+TEST(ScenarioDeterminism, DoubleEmissionIsByteIdentical) {
+  const Scenario scenario = makeScenario(1); // banks, masked
+  const fs::path dirA = freshDir("emitA");
+  const fs::path dirB = freshDir("emitB");
+  const EmittedScenario a = writeScenario(scenario, dirA.string());
+  const EmittedScenario b = writeScenario(scenario, dirB.string());
+
+  ASSERT_EQ(a.eventFiles.size(), b.eventFiles.size());
+  for (std::size_t i = 0; i < a.eventFiles.size(); ++i) {
+    EXPECT_EQ(readBytes(a.eventFiles[i]), readBytes(b.eventFiles[i]))
+        << "event file " << i << " differs between emissions";
+  }
+  EXPECT_EQ(readBytes(a.planPath), readBytes(b.planPath));
+  EXPECT_EQ(readBytes(a.manifestPath), readBytes(b.manifestPath));
+
+  fs::remove_all(dirA);
+  fs::remove_all(dirB);
+}
+
+// ---------------------------------------------------------------------------
+// The hidden-ground-truth contract.
+
+TEST(ScenarioGroundTruthTest, EmittedArtifactsVerify) {
+  const Scenario scenario = makeScenario(2); // cylinder, 90% masked
+  const fs::path dir = freshDir("verify");
+  const EmittedScenario emitted = writeScenario(scenario, dir.string());
+
+  // The stamp matches the generator's internal path...
+  const ScenarioGroundTruth internal = computeGroundTruth(scenario);
+  EXPECT_EQ(emitted.truth.eventCount, internal.eventCount);
+  EXPECT_EQ(emitted.truth.totalWeight, internal.totalWeight);
+  EXPECT_EQ(emitted.truth.eventsCrc, internal.eventsCrc);
+  EXPECT_EQ(emitted.truth.planCrc, internal.planCrc);
+  EXPECT_GT(emitted.truth.eventCount, 0u);
+
+  // ...and re-deriving from the artifacts alone agrees.
+  const ScenarioGroundTruth rederived =
+      verifyEmittedScenario(emitted.manifestPath);
+  EXPECT_EQ(rederived.eventCount, emitted.truth.eventCount);
+  EXPECT_EQ(rederived.totalWeight, emitted.truth.totalWeight);
+  EXPECT_EQ(rederived.eventsCrc, emitted.truth.eventsCrc);
+
+  fs::remove_all(dir);
+}
+
+TEST(ScenarioGroundTruthTest, PlanTamperingIsCaught) {
+  const Scenario scenario = makeScenario(0);
+  const fs::path dir = freshDir("tamper_plan");
+  const EmittedScenario emitted = writeScenario(scenario, dir.string());
+
+  std::string plan = readBytes(emitted.planPath);
+  // A scientist "fixing" one digit of the seed must not verify.
+  const std::size_t at = plan.find("seed = ");
+  ASSERT_NE(at, std::string::npos);
+  plan[at + 7] = plan[at + 7] == '1' ? '2' : '1';
+  writeBytes(emitted.planPath, plan);
+
+  EXPECT_THROW(static_cast<void>(verifyEmittedScenario(emitted.manifestPath)),
+               InvalidArgument);
+  fs::remove_all(dir);
+}
+
+TEST(ScenarioGroundTruthTest, ManifestStampTamperingIsCaught) {
+  const Scenario scenario = makeScenario(0);
+  const fs::path dir = freshDir("tamper_manifest");
+  const EmittedScenario emitted = writeScenario(scenario, dir.string());
+
+  std::string manifest = readBytes(emitted.manifestPath);
+  const std::string key = "event_count = ";
+  const std::size_t at = manifest.find(key);
+  ASSERT_NE(at, std::string::npos);
+  manifest[at + key.size()] =
+      manifest[at + key.size()] == '1' ? '2' : '1';
+  writeBytes(emitted.manifestPath, manifest);
+
+  EXPECT_THROW(static_cast<void>(verifyEmittedScenario(emitted.manifestPath)),
+               InvalidArgument);
+  fs::remove_all(dir);
+}
+
+TEST(ScenarioGroundTruthTest, EventFileCorruptionIsCaught) {
+  const Scenario scenario = makeScenario(0);
+  const fs::path dir = freshDir("tamper_events");
+  const EmittedScenario emitted = writeScenario(scenario, dir.string());
+
+  std::string bytes = readBytes(emitted.eventFiles[0]);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  writeBytes(emitted.eventFiles[0], bytes);
+
+  // Either the nxlite CRC layer rejects the block or the re-derived
+  // event checksum misses the stamp; both are loud failures.
+  EXPECT_ANY_THROW(
+      static_cast<void>(verifyEmittedScenario(emitted.manifestPath)));
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Reduction integration: an emitted scenario reduces from its files and
+// reproduces the stamp.
+
+TEST(ScenarioReduction, EmittedPlanReducesAndReproducesEventCount) {
+  for (const std::size_t index : {std::size_t{0}, std::size_t{1}}) {
+    const Scenario scenario = makeScenario(index);
+    const fs::path dir = freshDir("reduce" + std::to_string(index));
+    const EmittedScenario emitted = writeScenario(scenario, dir.string());
+
+    // Load through the plan (resolving the relative event_files), like
+    // a service or the CLI would — not through the in-memory paths.
+    const core::ReductionPlan plan =
+        core::loadReductionPlan(emitted.planPath);
+    ASSERT_EQ(plan.eventFiles.size(), scenario.workload.nFiles);
+    for (const std::string& path : plan.eventFiles) {
+      EXPECT_TRUE(fs::exists(path)) << path;
+    }
+
+    const ExperimentSetup setup(plan.workload);
+    const core::ReductionPipeline pipeline(setup, plan.config);
+    const core::ReductionResult result =
+        pipeline.runFromRawFiles(plan.eventFiles);
+    // Masked events are zero-weighted, not removed, so the processed
+    // count equals the stamp for every mask fraction.
+    EXPECT_EQ(result.eventsProcessed, emitted.truth.eventCount)
+        << scenario.name;
+
+    fs::remove_all(dir);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The scenario-matrix oracle sweep — the acceptance gate: all 24
+// scenarios (21 point groups × both shapes × mask {0, 0.3, 0.9})
+// against the independent scalar oracle, through a representative
+// config slice (the full config × scenario cross-product lives in
+// test_oracle_diff's OracleDiffScenario sweep).
+
+class ScenarioOracleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScenarioOracleSweep, MatchesOracle) {
+  const Scenario scenario = makeScenario(GetParam());
+  const ExperimentSetup setup(scenario.workload);
+  const verify::OracleResult oracle = verify::referenceReduce(setup);
+
+  std::vector<core::ReductionConfig> configs;
+  {
+    core::ReductionConfig serial;
+    serial.backend = Backend::Serial;
+    serial.mdnorm.traversal = Traversal::Dda;
+    configs.push_back(serial);
+  }
+  {
+    core::ReductionConfig threaded;
+    threaded.backend = backendAvailable(Backend::OpenMP)
+                           ? Backend::OpenMP
+                           : Backend::ThreadPool;
+    threaded.mdnorm.traversal = Traversal::SortedKeys;
+    threaded.mdnorm.simd = SimdMode::On;
+    threaded.overlap.mode = core::OverlapMode::Full;
+    threaded.ranks = 2;
+    configs.push_back(threaded);
+  }
+  for (const core::ReductionConfig& config : configs) {
+    const core::ReductionResult result =
+        core::ReductionPipeline(setup, config).run();
+    const auto check = [&](const char* what, const Histogram3D& expected,
+                           const Histogram3D& actual) {
+      const verify::DiffReport report = verify::compareHistograms(
+          expected, actual, {},
+          scenario.name + " " + what + " backend=" +
+              backendName(config.backend));
+      EXPECT_TRUE(report.pass) << report.summary();
+    };
+    check("signal", oracle.signal, result.signal);
+    check("normalization", oracle.normalization, result.normalization);
+    check("crossSection", oracle.crossSection, result.crossSection);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ScenarioOracleSweep,
+                         ::testing::Range<std::size_t>(0, 24));
+
+// ---------------------------------------------------------------------------
+// Golden scenarios: the committed oracle reductions of matrix indices 0
+// and 1 pin the generator's draw order — any change to the draw
+// sequence, the intensity model, or the lattice-family rules shows up
+// as golden drift here (and in gen_golden --check).
+
+TEST(ScenarioGolden, CommittedGoldensMatchFreshOracle) {
+  const fs::path dir =
+#ifdef VATES_GOLDEN_DIR
+      VATES_GOLDEN_DIR;
+#else
+      "tests/golden";
+#endif
+  const verify::Tolerance tight{1e-10, 8, 1e-12};
+  for (const std::size_t index : {std::size_t{0}, std::size_t{1}}) {
+    const std::string name = "golden-scenario-" + std::to_string(index);
+    const fs::path path = dir / (name + ".nxl");
+    ASSERT_TRUE(fs::exists(path))
+        << path << " missing — regenerate with tools/gen_golden";
+
+    Scenario scenario = makeScenario(index);
+    scenario.workload.name = name; // as gen_golden stamps it
+    const ExperimentSetup setup(scenario.workload);
+    const verify::OracleResult oracle = verify::referenceReduce(setup);
+
+    const ReducedData golden = loadReducedData(path.string());
+    ASSERT_TRUE(golden.signal.sameShape(oracle.signal))
+        << name << ": golden histogram shape drifted";
+    const auto check = [&](const char* what, const Histogram3D& expected,
+                           const Histogram3D& actual) {
+      const verify::DiffReport report = verify::compareHistograms(
+          expected, actual, tight, name + std::string(" golden ") + what);
+      EXPECT_TRUE(report.pass) << report.summary();
+    };
+    check("signal", golden.signal, oracle.signal);
+    check("normalization", golden.normalization, oracle.normalization);
+    check("crossSection", golden.crossSection, oracle.crossSection);
+  }
+}
+
+} // namespace

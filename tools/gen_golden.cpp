@@ -23,6 +23,7 @@
 
 #include "vates/cache/normalization_cache.hpp"
 #include "vates/io/histogram_file.hpp"
+#include "vates/scenario/scenario.hpp"
 #include "vates/verify/diff.hpp"
 #include "vates/verify/fuzz_inputs.hpp"
 #include "vates/verify/reference_oracle.hpp"
@@ -37,10 +38,31 @@ namespace {
 #define VATES_GOLDEN_DIR "tests/golden"
 #endif
 
+/// The golden roster: the verify layer's fixed experiments plus the
+/// first two scenarios of the default matrix (cylinder/unmasked and
+/// banks/30%-masked), pinned under stable names so the scenario
+/// generator's draw order is regression-locked by the committed
+/// goldens.  tests/test_scenario.cpp builds the same two entries the
+/// same way, so writer and reader can never disagree.
+std::vector<vates::verify::FuzzExperiment> goldenRoster() {
+  std::vector<vates::verify::FuzzExperiment> roster =
+      vates::verify::goldenExperiments();
+  for (const std::size_t index : {std::size_t{0}, std::size_t{1}}) {
+    const vates::scenario::Scenario scenario =
+        vates::scenario::makeScenario(index);
+    vates::verify::FuzzExperiment experiment;
+    experiment.name = "golden-scenario-" + std::to_string(index);
+    experiment.spec = scenario.workload;
+    experiment.spec.name = experiment.name;
+    experiment.maskFraction = scenario.maskFraction;
+    roster.push_back(experiment);
+  }
+  return roster;
+}
+
 int generate(const std::filesystem::path& directory) {
   std::filesystem::create_directories(directory);
-  for (const vates::verify::FuzzExperiment& experiment :
-       vates::verify::goldenExperiments()) {
+  for (const vates::verify::FuzzExperiment& experiment : goldenRoster()) {
     const vates::ExperimentSetup setup = vates::verify::makeSetup(experiment);
     const vates::verify::OracleResult oracle =
         vates::verify::referenceReduce(setup);
@@ -59,8 +81,7 @@ int check(const std::filesystem::path& directory) {
   // not bitwise (the flux table uses libm transcendentals).
   const vates::verify::Tolerance tight{1e-10, 8, 1e-12};
   int failures = 0;
-  for (const vates::verify::FuzzExperiment& experiment :
-       vates::verify::goldenExperiments()) {
+  for (const vates::verify::FuzzExperiment& experiment : goldenRoster()) {
     const std::filesystem::path path = directory / (experiment.name + ".nxl");
     if (!std::filesystem::exists(path)) {
       std::fprintf(stderr, "MISSING %s\n", path.string().c_str());

@@ -1,0 +1,150 @@
+/// vates_scenario — virtual-experiment scenario workbench.
+///
+/// Front end for the scenario generator (scenario/scenario.hpp):
+///
+///   vates_scenario list   [--count 24] [--matrix-seed N]
+///   vates_scenario emit   --index 7 --count 1 --out dir/
+///                         (default: the whole 24-scenario matrix)
+///   vates_scenario verify --manifest dir/<name>_manifest.ini
+///   vates_scenario replay --manifest dir/<name>_manifest.ini
+///                         [--autotune]
+///
+/// `emit` writes the raw event files, the reduction plan, and the
+/// ground-truth manifest; `verify` re-derives the checksums from the
+/// artifacts alone and fails loudly on any drift; `replay` reduces the
+/// emitted plan through the pipeline (optionally autotuned) and reports
+/// the outcome — the one-command way to reproduce a scenario end to
+/// end.
+
+#include "vates/core/autotune.hpp"
+#include "vates/core/pipeline.hpp"
+#include "vates/core/plan.hpp"
+#include "vates/scenario/scenario.hpp"
+#include "vates/support/cli.hpp"
+#include "vates/support/error.hpp"
+#include "vates/support/strings.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+namespace {
+
+using namespace vates;
+using namespace vates::scenario;
+
+int runList(std::size_t count, std::uint64_t matrixSeed) {
+  std::printf("%-5s %-22s %-8s %-6s %-5s %-6s %-7s\n", "index", "name",
+              "shape", "mask", "files", "dets", "events");
+  for (const Scenario& scenario : scenarioMatrix(count, matrixSeed)) {
+    std::printf("%-5zu %-22s %-8s %-6.2f %-5zu %-6zu %-7zu\n",
+                scenario.index, scenario.name.c_str(),
+                instrumentShapeName(scenario.shape), scenario.maskFraction,
+                scenario.workload.nFiles, scenario.workload.nDetectors,
+                scenario.workload.totalEvents());
+  }
+  return 0;
+}
+
+int runEmit(std::size_t first, std::size_t count, std::uint64_t matrixSeed,
+            const std::string& directory) {
+  for (std::size_t index = first; index < first + count; ++index) {
+    const Scenario scenario = makeScenario(index, matrixSeed);
+    const EmittedScenario emitted = writeScenario(scenario, directory);
+    std::cout << scenario.name << ": " << emitted.eventFiles.size()
+              << " event file(s), " << emitted.truth.eventCount
+              << " events, events_crc=" << emitted.truth.eventsCrc
+              << ", plan=" << emitted.planPath << '\n';
+  }
+  return 0;
+}
+
+int runVerify(const std::string& manifestPath) {
+  const ScenarioGroundTruth truth = verifyEmittedScenario(manifestPath);
+  std::cout << "verified " << manifestPath << ": " << truth.eventCount
+            << " events, total_weight=" << strfmt("%.17g", truth.totalWeight)
+            << ", events_crc=" << truth.eventsCrc
+            << ", plan_crc=" << truth.planCrc << '\n';
+  return 0;
+}
+
+int runReplay(const std::string& manifestPath, bool autotune) {
+  // The manifest names the plan; the plan names the event files — all
+  // relative, so replay works from any working directory.
+  const IniFile manifest = IniFile::load(manifestPath);
+  const std::string planPath =
+      (std::filesystem::path(manifestPath).parent_path() /
+       manifest.getString("files", "plan"))
+          .string();
+  core::ReductionPlan plan = core::loadReductionPlan(planPath);
+
+  const ExperimentSetup setup(plan.workload);
+  std::string tuned;
+  if (autotune) {
+    plan.config.autotune.enabled = true;
+    const core::AutotuneDecision decision =
+        core::autotunePlan(setup, plan.config);
+    plan.config = core::lockAutotuneDecision(plan.config, decision);
+    tuned = decision.summary();
+  }
+  const core::ReductionPipeline pipeline(setup, plan.config);
+  const core::ReductionResult result =
+      pipeline.runFromRawFiles(plan.eventFiles);
+  std::cout << "replayed " << plan.workload.name << ": "
+            << result.eventsProcessed << " events in "
+            << strfmt("%.3f", result.wallSeconds) << " s";
+  if (!tuned.empty()) {
+    std::cout << " (autotuned: " << tuned << ")";
+  }
+  std::cout << '\n';
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("vates_scenario",
+                 "Generate, verify, and replay virtual-experiment "
+                 "scenarios (modes: list, emit, verify, replay)");
+  args.addOption("index", "First scenario index (emit)", "0");
+  args.addOption("count", "Scenarios to list/emit", "24");
+  args.addOption("matrix-seed", "Scenario matrix seed (0: default)", "0");
+  args.addOption("out", "Output directory (emit)", "scenarios");
+  args.addOption("manifest", "Manifest path (verify, replay)", "");
+  args.addFlag("autotune", "Autotune the execution config (replay)");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+    if (args.positional().size() != 1) {
+      throw InvalidArgument(
+          "expected exactly one mode: list, emit, verify, or replay");
+    }
+    const std::string mode = args.positional()[0];
+    const std::uint64_t matrixSeed =
+        args.getInt("matrix-seed") == 0
+            ? vates::scenario::kDefaultMatrixSeed
+            : static_cast<std::uint64_t>(args.getInt("matrix-seed"));
+    if (mode == "list") {
+      return runList(static_cast<std::size_t>(args.getInt("count")),
+                     matrixSeed);
+    }
+    if (mode == "emit") {
+      return runEmit(static_cast<std::size_t>(args.getInt("index")),
+                     static_cast<std::size_t>(args.getInt("count")),
+                     matrixSeed, args.getString("out"));
+    }
+    if (mode == "verify" || mode == "replay") {
+      const std::string manifest = args.getString("manifest");
+      if (manifest.empty()) {
+        throw InvalidArgument(mode + " requires --manifest");
+      }
+      return mode == "verify" ? runVerify(manifest)
+                              : runReplay(manifest, args.getFlag("autotune"));
+    }
+    throw InvalidArgument("unknown mode: " + mode);
+  } catch (const std::exception& error) {
+    std::cerr << "vates_scenario: " << error.what() << '\n';
+    return 1;
+  }
+}

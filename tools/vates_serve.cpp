@@ -74,6 +74,7 @@ JsonObject statusJson(const JobStatus& status) {
       .field("shared_normalization", status.sharedNormalization)
       .field("cached_normalization", status.cachedNormalization)
       .field("incremental", status.incrementalRun)
+      .field("autotuned", status.autotunedConfig)
       .field("queued_s", status.queuedSeconds)
       .field("run_s", status.runSeconds)
       .field("files_completed", std::uint64_t{status.progress.filesCompleted})

@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -93,9 +94,14 @@ int main(int argc, char** argv) {
       if (!request) {
         throw IOError("cannot open daemon input: " + args.getString("input"));
       }
+      // The daemon resolves the plan (and its relative event_files)
+      // from *its* working directory, so send an absolute path — this
+      // is what lets the committed example plans submit from any CWD.
+      const std::string planPath =
+          std::filesystem::absolute(args.getString("plan")).string();
       request << JsonObject()
                      .field("op", "submit")
-                     .field("plan", args.getString("plan"))
+                     .field("plan", planPath)
                      .field("kind", args.getString("kind"))
                      .field("priority", std::int64_t{args.getInt("priority")})
                      .field("deadline_s", args.getDouble("deadline"))
