@@ -1,0 +1,247 @@
+// Ablation: the shm ring transport, end to end.
+//
+// A beamline DAQ publishes pulse frames into the shared-memory ring;
+// one or more live consumers (reducers, monitors) poll them back out.
+// The interesting sweep is
+//
+//   ring size (frames) × concurrent readers × backpressure policy
+//
+// with a fixed synthetic pulse shape.  The producer side encodes each
+// packet (the codec is part of the transported cost) and publishes;
+// readers poll + CRC-verify every frame.  For each cell the bench
+// reports producer events/s (the acceptance headline), per-reader
+// drop/lag counters, and the publish→poll latency.  Block policy shows
+// the lock-step cost of never losing a frame; drop-oldest shows the
+// free-running producer rate and how far slow readers fall behind.
+//
+// Output: a JSON document on stdout (aggregated into BENCH_stream.json
+// by bench/run_perf_smoke.sh).
+
+#include "vates/events/raw_events.hpp"
+#include "vates/service/wire.hpp"
+#include "vates/stream/event_channel.hpp"
+#include "vates/support/cli.hpp"
+#include "vates/support/timer.hpp"
+#include "vates/transport/packet_codec.hpp"
+#include "vates/transport/shm_ring.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace vates;
+using namespace vates::transport;
+using service::JsonObject;
+
+struct ReaderCell {
+  std::uint64_t framesRead = 0;
+  std::uint64_t framesDropped = 0;
+  std::uint64_t overruns = 0;
+  std::uint64_t crcFailures = 0;
+  std::uint64_t maxLagFrames = 0;
+  double maxLatencySeconds = 0.0;
+};
+
+struct CellResult {
+  std::size_t frames = 0;
+  std::size_t readers = 0;
+  BackpressurePolicy policy = BackpressurePolicy::Block;
+  std::uint64_t pulses = 0;
+  std::uint64_t events = 0;
+  double wallSeconds = 0.0;
+  double eventsPerSecond = 0.0;
+  double framesPerSecond = 0.0;
+  std::uint64_t backpressureWaits = 0;
+  std::vector<ReaderCell> perReader;
+};
+
+CellResult runCell(const std::string& ringName, std::size_t frames,
+                   std::size_t readers, BackpressurePolicy policy,
+                   std::uint64_t pulses, std::size_t eventsPerPulse) {
+  CellResult cell;
+  cell.frames = frames;
+  cell.readers = readers;
+  cell.policy = policy;
+  cell.pulses = pulses;
+  cell.events = pulses * eventsPerPulse;
+
+  RingConfig config;
+  config.name = ringName;
+  config.frameCount = frames;
+  config.framePayloadBytes = packetFrameBytes(eventsPerPulse) + 64;
+  config.policy = policy;
+  unlinkRing(ringName);
+  ShmRingWriter writer(config);
+
+  cell.perReader.resize(readers);
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  std::atomic<std::size_t> attached{0};
+  for (std::size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      ReaderConfig readerConfig;
+      readerConfig.name = ringName;
+      readerConfig.attachTimeoutSeconds = 10.0;
+      ShmRingReader reader(readerConfig);
+      attached.fetch_add(1);
+      std::vector<std::uint8_t> payload;
+      ReaderCell& out = cell.perReader[r];
+      for (;;) {
+        const PollResult result = reader.poll(payload);
+        if (result.status == PollStatus::EndOfStream) {
+          break;
+        }
+        if (result.status == PollStatus::Frame &&
+            result.latencySeconds > out.maxLatencySeconds) {
+          out.maxLatencySeconds = result.latencySeconds;
+        }
+      }
+      const ReaderStats stats = reader.stats();
+      out.framesRead = stats.framesRead;
+      out.framesDropped = stats.framesDropped;
+      out.overruns = stats.overruns;
+      out.crcFailures = stats.crcFailures;
+      out.maxLagFrames = stats.maxLagFrames;
+    });
+  }
+  while (attached.load() < readers) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // One synthetic pulse, re-encoded every iteration: the codec is part
+  // of the producer-side cost a real DAQ pays per pulse.
+  stream::PulsePacket packet;
+  packet.runIndex = 0;
+  for (std::size_t i = 0; i < eventsPerPulse; ++i) {
+    packet.events.append(static_cast<std::uint32_t>(i % 1024),
+                         1000.0 + 0.125 * static_cast<double>(i), 0,
+                         1.0);
+  }
+
+  WallTimer timer;
+  std::vector<std::uint8_t> frame;
+  for (std::uint64_t p = 0; p < pulses; ++p) {
+    packet.pulseIndex = static_cast<std::uint32_t>(p);
+    packet.endOfRun = p + 1 == pulses;
+    encodePacket(packet, p == 0, frame);
+    writer.publish(frame.data(), frame.size());
+  }
+  writer.finish();
+  cell.wallSeconds = timer.seconds();
+
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  cell.backpressureWaits = writer.stats().backpressureWaits;
+  if (cell.wallSeconds > 0.0) {
+    cell.eventsPerSecond =
+        static_cast<double>(cell.events) / cell.wallSeconds;
+    cell.framesPerSecond =
+        static_cast<double>(cell.pulses) / cell.wallSeconds;
+  }
+  return cell;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_ablation_stream",
+                 "Shm ring transport sweep: events/s x ring size x "
+                 "readers x backpressure policy");
+  args.addOption("pulses", "Pulses (frames) per cell", "2000");
+  args.addOption("events", "Events per pulse", "4096");
+  args.addOption("rings", "Comma-separated ring sizes (frames)", "256,1024");
+  args.addOption("readers", "Comma-separated reader counts", "1,2,4");
+  if (!args.parse(argc, argv)) {
+    return 0;
+  }
+  const auto pulses = static_cast<std::uint64_t>(args.getInt("pulses"));
+  const auto eventsPerPulse =
+      static_cast<std::size_t>(args.getInt("events"));
+  const std::string ringName =
+      "/vates-bench-stream-" + std::to_string(::getpid());
+
+  const auto parseList = [](const std::string& text) {
+    std::vector<std::size_t> values;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const std::size_t comma = text.find(',', start);
+      const std::string item =
+          text.substr(start, comma == std::string::npos ? std::string::npos
+                                                        : comma - start);
+      if (!item.empty()) {
+        values.push_back(static_cast<std::size_t>(std::stoul(item)));
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      start = comma + 1;
+    }
+    return values;
+  };
+
+  double peakEventsPerSecond = 0.0;
+  std::string cells;
+  for (const std::size_t frames : parseList(args.getString("rings"))) {
+    for (const std::size_t readers : parseList(args.getString("readers"))) {
+      for (const BackpressurePolicy policy :
+           {BackpressurePolicy::Block, BackpressurePolicy::DropOldest}) {
+        const CellResult cell = runCell(ringName, frames, readers, policy,
+                                        pulses, eventsPerPulse);
+        if (cell.eventsPerSecond > peakEventsPerSecond) {
+          peakEventsPerSecond = cell.eventsPerSecond;
+        }
+        std::string perReader;
+        for (const ReaderCell& reader : cell.perReader) {
+          if (!perReader.empty()) {
+            perReader += ',';
+          }
+          perReader += JsonObject()
+                           .field("frames_read", reader.framesRead)
+                           .field("frames_dropped", reader.framesDropped)
+                           .field("overruns", reader.overruns)
+                           .field("crc_failures", reader.crcFailures)
+                           .field("max_lag_frames", reader.maxLagFrames)
+                           .field("max_latency_s", reader.maxLatencySeconds)
+                           .str();
+        }
+        if (!cells.empty()) {
+          cells += ',';
+        }
+        cells += JsonObject()
+                     .field("ring_frames", std::uint64_t{cell.frames})
+                     .field("readers", std::uint64_t{cell.readers})
+                     .field("policy", backpressurePolicyName(cell.policy))
+                     .field("pulses", cell.pulses)
+                     .field("events", cell.events)
+                     .field("wall_s", cell.wallSeconds)
+                     .field("events_per_second", cell.eventsPerSecond)
+                     .field("frames_per_second", cell.framesPerSecond)
+                     .field("backpressure_waits", cell.backpressureWaits)
+                     .fieldRaw("reader_stats", "[" + perReader + "]")
+                     .str();
+        std::cerr << "frames=" << cell.frames << " readers=" << cell.readers
+                  << " policy=" << backpressurePolicyName(cell.policy)
+                  << " events/s=" << cell.eventsPerSecond << '\n';
+      }
+    }
+  }
+  unlinkRing(ringName);
+
+  JsonObject document;
+  document.field("benchmark", "stream_transport_ablation")
+      .field("config", "synthetic pulses=" + args.getString("pulses") +
+                           " events_per_pulse=" + args.getString("events") +
+                           " single producer, poll+CRC readers")
+      .field("peak_events_per_second", peakEventsPerSecond)
+      .fieldRaw("cells", "[" + cells + "]");
+  std::cout << document.str() << '\n';
+  return 0;
+}

@@ -10,14 +10,17 @@
 #             benzil_small cold-vs-warm headline → BENCH_cache.json
 #   scenario — the generated-scenario shape x mask x events sweep,
 #             autotuned vs fixed config → BENCH_scenario.json
+#   stream  — the shm ring transport events/s x ring size x readers x
+#             policy sweep → BENCH_stream.json
 #
 # Usage:  BUILD_DIR=/path/to/build bench/run_perf_smoke.sh
 #         (BUILD_DIR defaults to <repo>/build; set
-#          VATES_PERF_SMOKE_ONLY=mdnorm|service|cache|scenario to run
-#          one step)
+#          VATES_PERF_SMOKE_ONLY=mdnorm|service|cache|scenario|stream
+#          to run one step)
 #
 # Wired into ctest as `perf_smoke_mdnorm` / `perf_smoke_service` /
-# `perf_smoke_cache` / `perf_smoke_scenario` behind -DVATES_PERF_SMOKE=ON
+# `perf_smoke_cache` / `perf_smoke_scenario` / `perf_smoke_stream`
+# behind -DVATES_PERF_SMOKE=ON
 # with LABELS perf, so tier-1 `ctest` runs never pay for it.
 #
 # Every binary the selected steps need is verified up front: a missing
@@ -33,9 +36,9 @@ build_dir="${BUILD_DIR:-${repo_root}/build}"
 only="${VATES_PERF_SMOKE_ONLY:-all}"
 
 case "${only}" in
-  all|mdnorm|service|cache|scenario) ;;
+  all|mdnorm|service|cache|scenario|stream) ;;
   *)
-    echo "error: VATES_PERF_SMOKE_ONLY=${only} (want mdnorm|service|cache|scenario|all)" >&2
+    echo "error: VATES_PERF_SMOKE_ONLY=${only} (want mdnorm|service|cache|scenario|stream|all)" >&2
     exit 1
     ;;
 esac
@@ -53,6 +56,9 @@ if [[ "${only}" == "all" || "${only}" == "cache" ]]; then
 fi
 if [[ "${only}" == "all" || "${only}" == "scenario" ]]; then
   required_binaries+=("bench_ablation_scenario")
+fi
+if [[ "${only}" == "all" || "${only}" == "stream" ]]; then
+  required_binaries+=("bench_ablation_stream")
 fi
 
 missing=0
@@ -239,6 +245,36 @@ for cell in doc.get("cells", []):
 PY
 }
 
+run_stream_step() {
+  local bench_bin="${build_dir}/bench/bench_ablation_stream"
+  local out_json="${repo_root}/BENCH_stream.json"
+  "${bench_bin}" --pulses 2000 --events 4096 --rings 256,1024 \
+    --readers 1,2,4 > "${out_json}"
+  python3 - "${out_json}" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {path}")
+for cell in doc.get("cells", []):
+    dropped = sum(r["frames_dropped"] for r in cell["reader_stats"])
+    print("  frames={ring_frames} readers={readers} policy={policy}: "
+          "{events_per_second:.3g} ev/s waits={backpressure_waits} "
+          "dropped={dropped}".format(dropped=dropped, **cell))
+peak = doc.get("peak_events_per_second", 0.0)
+print(f"  peak: {peak:.3g} events/s")
+if peak < 1e6:
+    print("  warning: peak below the 1M events/s acceptance bar",
+          file=sys.stderr)
+    sys.exit(1)
+PY
+}
+
 if [[ "${only}" == "all" || "${only}" == "mdnorm" ]]; then
   run_mdnorm_step
 fi
@@ -250,4 +286,7 @@ if [[ "${only}" == "all" || "${only}" == "cache" ]]; then
 fi
 if [[ "${only}" == "all" || "${only}" == "scenario" ]]; then
   run_scenario_step
+fi
+if [[ "${only}" == "all" || "${only}" == "stream" ]]; then
+  run_stream_step
 fi

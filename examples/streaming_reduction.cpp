@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
 
     stream::EventChannel channel(
         static_cast<std::size_t>(args.getInt("capacity")));
-    const stream::DaqSimulator daq(generator);
+    stream::DaqSimulator daq(generator);
     stream::LiveReducer reducer(setup, executor);
 
     std::printf("Streaming %zu runs (%zu events each) through a "

@@ -1,0 +1,94 @@
+#pragma once
+/// \file live_ingest.hpp
+/// One live shm ingestion session: an ShmEventSource drain thread, an
+/// EventChannel, and a LiveReducer consumer thread, glued together so a
+/// daemon (vates_serve's live verbs) can attach to a beamline feed,
+/// serve concurrent snapshots while events keep flowing, and stop with
+/// a final reduced result.
+
+#include "vates/core/plan.hpp"
+#include "vates/service/metrics.hpp"
+#include "vates/stream/event_channel.hpp"
+#include "vates/stream/live_reducer.hpp"
+#include "vates/transport/shm_event_source.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace vates::service {
+
+struct LiveIngestOptions {
+  /// Ring attachment (shm name, timeouts, start position, producer-loss
+  /// policy).  Typically transport::ReaderConfig::withEnvOverrides plus
+  /// request fields.
+  transport::SourceConfig source;
+  /// In-process channel between the drain and the reducer.
+  std::size_t channelCapacity = 256;
+  /// Byte budget of the channel (0: packet-count bound only).  Bounds
+  /// the daemon's memory when the reducer falls behind; backpressure
+  /// then propagates to ring lag and, under drop-oldest, to drops.
+  std::size_t channelByteBudget = std::size_t{128} << 20;
+};
+
+/// Owns the two threads of a live session.  snapshot(), streamMetrics()
+/// and stop() are safe to call from any number of client threads while
+/// ingestion continues — multi-client concurrent snapshots are the
+/// point.
+class LiveIngestSession {
+public:
+  /// Builds the reduction state from \p plan (workload geometry,
+  /// backend, convert options) and starts both threads.  Attachment
+  /// happens asynchronously on the drain thread; a failed attach
+  /// surfaces through error() / finished(), not the constructor.
+  LiveIngestSession(std::string name, const core::ReductionPlan& plan,
+                    LiveIngestOptions options);
+  ~LiveIngestSession();
+
+  LiveIngestSession(const LiveIngestSession&) = delete;
+  LiveIngestSession& operator=(const LiveIngestSession&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& shmName() const noexcept {
+    return options_.source.reader.name;
+  }
+
+  /// Thread-safe copy of the evolving reduced state.
+  stream::LiveSnapshot snapshot() const;
+
+  /// Drop / lag / latency counters for the metrics verb.
+  StreamMetrics streamMetrics() const;
+
+  /// Both threads have exited (end of stream, producer lost, stop, or
+  /// error).
+  bool finished() const noexcept;
+
+  /// First ingest/reduce failure, or empty.
+  std::string error() const;
+
+  /// Idempotent: stop the drain and the reducer, join both threads, and
+  /// return the final snapshot.
+  stream::LiveSnapshot stop();
+
+private:
+  void noteError(const std::string& what);
+
+  std::string name_;
+  LiveIngestOptions options_;
+  ExperimentSetup setup_;
+  stream::EventChannel channel_;
+  stream::LiveReducer reducer_;
+  transport::ShmEventSource source_;
+
+  std::atomic<bool> ingestDone_{false};
+  std::atomic<bool> reduceDone_{false};
+  mutable std::mutex errorMutex_;
+  std::string error_;
+
+  std::mutex stopMutex_; ///< serializes stop() callers around the joins
+  std::thread ingestThread_;
+  std::thread reduceThread_;
+};
+
+} // namespace vates::service

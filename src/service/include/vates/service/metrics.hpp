@@ -26,6 +26,32 @@ struct LatencyStats {
 /// internally).  Empty input yields all zeros.
 LatencyStats summarizeLatencies(std::vector<double> seconds);
 
+/// Per-stream counters of one live shm ingestion session (drop / lag /
+/// latency — the backpressure health of a beamline feed).
+struct StreamMetrics {
+  std::string name;    ///< session name (journal verbs address it)
+  std::string shmName; ///< POSIX shm segment backing the ring
+  std::uint64_t framesIngested = 0;
+  std::uint64_t pulsesIngested = 0;
+  std::uint64_t eventsIngested = 0;
+  std::uint64_t bytesIngested = 0;
+  std::uint64_t crcFailures = 0;
+  std::uint64_t overruns = 0;
+  std::uint64_t framesDropped = 0;
+  std::uint64_t runsDropped = 0;
+  std::uint64_t producerRestarts = 0;
+  std::uint64_t lagFrames = 0;
+  std::uint64_t maxLagFrames = 0;
+  std::uint64_t runsReduced = 0;
+  bool endOfStream = false;
+  bool producerLost = false;
+  /// Publish → ingest age of frames (ring-buffered sample population).
+  LatencyStats ingestLatency;
+
+  /// Render as a JSON object (one element of metrics' "streams" array).
+  std::string toJson() const;
+};
+
 /// A point-in-time copy of the service's counters.
 struct ServiceMetrics {
   // -- capacity ------------------------------------------------------
@@ -98,7 +124,13 @@ struct ServiceMetrics {
   /// p50/p95 a facility operator compares.
   std::map<std::string, LatencyStats> latency;
 
-  /// Render as a JSON object (nested "latency" object keyed by stage).
+  // -- live ingestion ------------------------------------------------
+  /// One entry per attached live shm stream (filled in by the daemon
+  /// owning the sessions; empty when none are attached).
+  std::vector<StreamMetrics> streams;
+
+  /// Render as a JSON object (nested "latency" object keyed by stage,
+  /// "streams" array of per-stream counters).
   std::string toJson() const;
 };
 

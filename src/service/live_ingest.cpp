@@ -1,0 +1,97 @@
+#include "vates/service/live_ingest.hpp"
+
+namespace vates::service {
+
+LiveIngestSession::LiveIngestSession(std::string name,
+                                     const core::ReductionPlan& plan,
+                                     LiveIngestOptions options)
+    : name_(std::move(name)), options_(options), setup_(plan.workload),
+      channel_(options.channelCapacity, options.channelByteBudget),
+      reducer_(setup_, Executor(plan.config.backend), plan.config.convert),
+      source_(options.source) {
+  ingestThread_ = std::thread([this] {
+    try {
+      source_.run(channel_);
+    } catch (const std::exception& error) {
+      noteError(error.what());
+      channel_.close(); // unblock the reducer
+    }
+    ingestDone_.store(true, std::memory_order_release);
+  });
+  reduceThread_ = std::thread([this] {
+    try {
+      reducer_.consume(channel_);
+    } catch (const std::exception& error) {
+      noteError(error.what());
+      source_.requestStop(); // nobody is consuming; stop the drain
+    }
+    reduceDone_.store(true, std::memory_order_release);
+  });
+}
+
+LiveIngestSession::~LiveIngestSession() { stop(); }
+
+void LiveIngestSession::noteError(const std::string& what) {
+  std::lock_guard<std::mutex> lock(errorMutex_);
+  if (error_.empty()) {
+    error_ = what;
+  }
+}
+
+std::string LiveIngestSession::error() const {
+  std::lock_guard<std::mutex> lock(errorMutex_);
+  return error_;
+}
+
+bool LiveIngestSession::finished() const noexcept {
+  return ingestDone_.load(std::memory_order_acquire) &&
+         reduceDone_.load(std::memory_order_acquire);
+}
+
+stream::LiveSnapshot LiveIngestSession::snapshot() const {
+  return reducer_.snapshot();
+}
+
+StreamMetrics LiveIngestSession::streamMetrics() const {
+  const transport::IngestStats ingest = source_.stats();
+  StreamMetrics metrics;
+  metrics.name = name_;
+  metrics.shmName = options_.source.reader.name;
+  metrics.framesIngested = ingest.framesIngested;
+  metrics.pulsesIngested = ingest.pulsesIngested;
+  metrics.eventsIngested = ingest.eventsIngested;
+  metrics.bytesIngested = ingest.bytesIngested;
+  metrics.crcFailures = ingest.crcFailures;
+  metrics.overruns = ingest.overruns;
+  metrics.framesDropped = ingest.framesDropped;
+  metrics.producerRestarts = ingest.producerRestarts;
+  metrics.lagFrames = ingest.lagFrames;
+  metrics.maxLagFrames = ingest.maxLagFrames;
+  metrics.endOfStream = ingest.endOfStream;
+  metrics.producerLost = ingest.producerLost;
+  metrics.ingestLatency = summarizeLatencies(source_.latencySamples());
+  const stream::LiveStats live = reducer_.snapshot().stats;
+  metrics.runsReduced = live.runsReduced;
+  // The source counts every dropped run (in-flight aborts and runs
+  // skipped while hunting for a boundary); the reducer's own discard
+  // counter is a subset of the aborts, so only the source total is
+  // reported.
+  metrics.runsDropped = ingest.runsDropped;
+  return metrics;
+}
+
+stream::LiveSnapshot LiveIngestSession::stop() {
+  std::lock_guard<std::mutex> lock(stopMutex_);
+  source_.requestStop();
+  if (ingestThread_.joinable()) {
+    ingestThread_.join();
+  }
+  // The drain closed the channel on exit; the reducer finishes whatever
+  // is queued and returns.  Runs fully received are still reduced.
+  if (reduceThread_.joinable()) {
+    reduceThread_.join();
+  }
+  return reducer_.snapshot();
+}
+
+} // namespace vates::service

@@ -46,6 +46,35 @@ double ServiceMetrics::batchHitRate() const noexcept {
          static_cast<double>(denominator);
 }
 
+std::string StreamMetrics::toJson() const {
+  return JsonObject()
+      .field("name", name)
+      .field("shm", shmName)
+      .field("frames_ingested", framesIngested)
+      .field("pulses_ingested", pulsesIngested)
+      .field("events_ingested", eventsIngested)
+      .field("bytes_ingested", bytesIngested)
+      .field("crc_failures", crcFailures)
+      .field("overruns", overruns)
+      .field("frames_dropped", framesDropped)
+      .field("runs_dropped", runsDropped)
+      .field("producer_restarts", producerRestarts)
+      .field("lag_frames", lagFrames)
+      .field("max_lag_frames", maxLagFrames)
+      .field("runs_reduced", runsReduced)
+      .field("end_of_stream", endOfStream)
+      .field("producer_lost", producerLost)
+      .fieldRaw("ingest_latency",
+                JsonObject()
+                    .field("count", std::uint64_t{ingestLatency.count})
+                    .field("p50_s", ingestLatency.p50)
+                    .field("p95_s", ingestLatency.p95)
+                    .field("max_s", ingestLatency.max)
+                    .field("total_s", ingestLatency.total)
+                    .str())
+      .str();
+}
+
 std::string ServiceMetrics::toJson() const {
   JsonObject latencyJson;
   for (const auto& [stage, stats] : latency) {
@@ -90,6 +119,16 @@ std::string ServiceMetrics::toJson() const {
       .field("incremental_jobs", incrementalJobs)
       .field("autotuned_jobs", autotunedJobs)
       .fieldRaw("latency", latencyJson.str())
+      .fieldRaw("streams", [this] {
+        std::string array = "[";
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+          if (i != 0) {
+            array += ',';
+          }
+          array += streams[i].toJson();
+        }
+        return array + "]";
+      }())
       .str();
 }
 

@@ -2,16 +2,37 @@
 
 #include "vates/support/error.hpp"
 
+#include <chrono>
+
 namespace vates::stream {
 
 DaqSimulator::DaqSimulator(const EventGenerator& generator)
     : generator_(&generator) {}
 
+void DaqSimulator::requestStop() noexcept {
+  stopRequested_.store(true, std::memory_order_relaxed);
+}
+
 DaqStats DaqSimulator::streamRuns(EventChannel& channel, std::size_t firstRun,
-                                  std::size_t lastRun) const {
+                                  std::size_t lastRun) {
   VATES_REQUIRE(firstRun <= lastRun, "invalid run range");
+  stopRequested_.store(false, std::memory_order_relaxed);
   DaqStats stats;
+  // Push with a bounded wait so a requestStop() is observed even while
+  // the channel exerts backpressure; the packet survives timeouts.
+  const auto pushCooperatively = [&](PulsePacket&& packet) {
+    while (!channel.tryPushFor(packet, std::chrono::milliseconds(10))) {
+      if (stopRequested_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+    }
+    return true;
+  };
   for (std::size_t runIndex = firstRun; runIndex < lastRun; ++runIndex) {
+    if (stopRequested_.load(std::memory_order_relaxed)) {
+      stats.stopped = true;
+      return stats;
+    }
     const RawEventList raw = generator_->generateRaw(runIndex);
     // Slice the run into per-pulse packets (pulse indices are
     // non-decreasing by construction).
@@ -31,9 +52,13 @@ DaqStats DaqSimulator::streamRuns(EventChannel& channel, std::size_t firstRun,
         packet.events.append(raw.detectorId(i), raw.tof(i), raw.pulseIndex(i),
                              raw.weight(i));
       }
-      stats.eventsEmitted += packet.events.size();
+      const std::uint64_t packetEvents = packet.events.size();
+      if (!pushCooperatively(std::move(packet))) {
+        stats.stopped = true;
+        return stats;
+      }
+      stats.eventsEmitted += packetEvents;
       ++stats.pulsesEmitted;
-      channel.push(std::move(packet));
       begin = end;
     }
     if (raw.empty()) {
@@ -41,15 +66,18 @@ DaqStats DaqSimulator::streamRuns(EventChannel& channel, std::size_t firstRun,
       PulsePacket packet;
       packet.runIndex = static_cast<std::uint32_t>(runIndex);
       packet.endOfRun = true;
+      if (!pushCooperatively(std::move(packet))) {
+        stats.stopped = true;
+        return stats;
+      }
       ++stats.pulsesEmitted;
-      channel.push(std::move(packet));
     }
     ++stats.runsEmitted;
   }
   return stats;
 }
 
-DaqStats DaqSimulator::streamAllAndClose(EventChannel& channel) const {
+DaqStats DaqSimulator::streamAllAndClose(EventChannel& channel) {
   const DaqStats stats =
       streamRuns(channel, 0, generator_->spec().nFiles);
   channel.close();

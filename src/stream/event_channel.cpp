@@ -6,25 +6,82 @@
 
 namespace vates::stream {
 
-EventChannel::EventChannel(std::size_t capacity) : capacity_(capacity) {
+std::size_t packetPayloadBytes(const PulsePacket& packet) noexcept {
+  // SoA columns: u32 id + f64 tof + u32 pulse + f64 weight per event,
+  // plus the packet struct itself.
+  return sizeof(PulsePacket) +
+         packet.events.size() * (2 * sizeof(std::uint32_t) +
+                                 2 * sizeof(double));
+}
+
+EventChannel::EventChannel(std::size_t capacity, std::size_t byteCapacity)
+    : capacity_(capacity), byteCapacity_(byteCapacity) {
   VATES_REQUIRE(capacity >= 1, "channel capacity must be >= 1");
 }
 
+bool EventChannel::hasSpace(std::size_t packetBytes) const {
+  if (queue_.size() >= capacity_) {
+    return false;
+  }
+  if (byteCapacity_ != 0 && !queue_.empty() &&
+      queuedBytes_ + packetBytes > byteCapacity_) {
+    // A packet bigger than the whole budget still passes once the
+    // queue drains empty; otherwise it could never be admitted.
+    return false;
+  }
+  return true;
+}
+
+void EventChannel::enqueueLocked(PulsePacket&& packet,
+                                 std::size_t packetBytes) {
+  queue_.push_back(std::move(packet));
+  queuedBytes_ += packetBytes;
+  ++stats_.pushed;
+  stats_.maxDepth = std::max(stats_.maxDepth, queue_.size());
+  stats_.maxBytes = std::max(stats_.maxBytes, queuedBytes_);
+}
+
 void EventChannel::push(PulsePacket packet) {
+  const std::size_t packetBytes = packetPayloadBytes(packet);
   std::unique_lock<std::mutex> lock(mutex_);
-  if (queue_.size() >= capacity_ && !closed_) {
+  if (!hasSpace(packetBytes) && !closed_) {
     ++stats_.producerBlocked;
+    if (queue_.size() < capacity_) {
+      ++stats_.producerBlockedOnBytes;
+    }
     notFull_.wait(lock,
-                  [this] { return queue_.size() < capacity_ || closed_; });
+                  [&] { return hasSpace(packetBytes) || closed_; });
   }
   if (closed_) {
     throw InvalidArgument("push on a closed event channel");
   }
-  queue_.push_back(std::move(packet));
-  ++stats_.pushed;
-  stats_.maxDepth = std::max(stats_.maxDepth, queue_.size());
+  enqueueLocked(std::move(packet), packetBytes);
   lock.unlock();
   notEmpty_.notify_one();
+}
+
+bool EventChannel::tryPushFor(PulsePacket& packet,
+                              std::chrono::milliseconds timeout) {
+  const std::size_t packetBytes = packetPayloadBytes(packet);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!hasSpace(packetBytes) && !closed_) {
+    ++stats_.producerBlocked;
+    if (queue_.size() < capacity_) {
+      ++stats_.producerBlockedOnBytes;
+    }
+    if (!notFull_.wait_for(lock, timeout, [&] {
+          return hasSpace(packetBytes) || closed_;
+        })) {
+      return false; // timed out; the caller keeps the packet
+    }
+  }
+  if (closed_) {
+    throw InvalidArgument("push on a closed event channel");
+  }
+  enqueueLocked(std::move(packet), packetBytes);
+  lock.unlock();
+  notEmpty_.notify_one();
+  return true;
 }
 
 std::optional<PulsePacket> EventChannel::pop() {
@@ -35,9 +92,17 @@ std::optional<PulsePacket> EventChannel::pop() {
   }
   PulsePacket packet = std::move(queue_.front());
   queue_.pop_front();
+  queuedBytes_ -= std::min(queuedBytes_, packetPayloadBytes(packet));
   ++stats_.popped;
   lock.unlock();
-  notFull_.notify_one();
+  // With a byte bound, freed bytes may admit a *different* waiter than
+  // the one notify_one would pick — wake them all and let the
+  // predicates sort it out.
+  if (byteCapacity_ != 0) {
+    notFull_.notify_all();
+  } else {
+    notFull_.notify_one();
+  }
   return packet;
 }
 
@@ -58,6 +123,11 @@ bool EventChannel::closed() const {
 std::size_t EventChannel::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+std::size_t EventChannel::depthBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queuedBytes_;
 }
 
 ChannelStats EventChannel::stats() const {

@@ -7,6 +7,7 @@
 #include "vates/events/generator.hpp"
 #include "vates/stream/event_channel.hpp"
 
+#include <atomic>
 #include <cstdint>
 
 namespace vates::stream {
@@ -15,6 +16,7 @@ struct DaqStats {
   std::uint64_t pulsesEmitted = 0;
   std::uint64_t eventsEmitted = 0;
   std::uint64_t runsEmitted = 0;
+  bool stopped = false; ///< a requestStop() cut the stream short
 };
 
 /// Replays generator runs into a channel.  Packets within a run are
@@ -30,13 +32,22 @@ public:
   /// backpressure.  Does not close the channel (callers may chain
   /// several simulators); returns emission statistics.
   DaqStats streamRuns(EventChannel& channel, std::size_t firstRun,
-                      std::size_t lastRun) const;
+                      std::size_t lastRun);
 
   /// Convenience: stream every run of the workload, then close.
-  DaqStats streamAllAndClose(EventChannel& channel) const;
+  DaqStats streamAllAndClose(EventChannel& channel);
+
+  /// Cooperative cancellation, mirroring LiveReducer::requestStop():
+  /// ask a concurrently running streamRuns() to return after the packet
+  /// it is currently pushing — including while *blocked* on channel
+  /// backpressure, which it waits out in bounded slices so the token is
+  /// observed within ~10 ms.  Thread-safe; sticky until the next
+  /// streamRuns() call.
+  void requestStop() noexcept;
 
 private:
   const EventGenerator* generator_;
+  std::atomic<bool> stopRequested_{false};
 };
 
 } // namespace vates::stream

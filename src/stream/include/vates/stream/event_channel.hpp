@@ -12,6 +12,7 @@
 
 #include "vates/events/raw_events.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -26,26 +27,52 @@ struct PulsePacket {
   std::uint32_t pulseIndex = 0;
   RawEventList events;
   bool endOfRun = false; ///< last packet of its run
+  /// The run this packet belongs to is known to be incomplete (the
+  /// transport dropped frames): consumers must discard whatever they
+  /// have buffered for it instead of reducing a hole-ridden run.  Such
+  /// packets carry no events.
+  bool abortRun = false;
 };
+
+/// Approximate in-memory footprint of a packet's event payload — the
+/// unit of the channel's byte bound.
+std::size_t packetPayloadBytes(const PulsePacket& packet) noexcept;
 
 /// Channel statistics (cumulative).
 struct ChannelStats {
   std::uint64_t pushed = 0;
   std::uint64_t popped = 0;
   std::uint64_t producerBlocked = 0; ///< pushes that had to wait (backpressure)
+  /// Pushes that had to wait specifically for the byte bound (a burst
+  /// of giant pulses) rather than the packet-count bound.
+  std::uint64_t producerBlockedOnBytes = 0;
   std::size_t maxDepth = 0;
+  std::size_t maxBytes = 0; ///< high-water mark of queued payload bytes
 };
 
 /// Bounded blocking FIFO of pulse packets.  Thread-safe for any number
 /// of producers and consumers (the simulated beamline uses one of each).
+///
+/// Two bounds apply: a packet-count capacity and an optional payload
+/// *byte* capacity, so a burst of giant pulses cannot blow memory while
+/// the consumer is busy.  A packet larger than the whole byte budget is
+/// still admitted once the queue is empty (the bound degrades to
+/// one-packet-at-a-time instead of deadlocking).
 class EventChannel {
 public:
-  /// \p capacity >= 1 packets in flight.
-  explicit EventChannel(std::size_t capacity);
+  /// \p capacity >= 1 packets in flight; \p byteCapacity bounds the
+  /// queued payload bytes (0: unbounded).
+  explicit EventChannel(std::size_t capacity, std::size_t byteCapacity = 0);
 
   /// Block until space is available, then enqueue.  Throws
   /// InvalidArgument if the channel is closed.
   void push(PulsePacket packet);
+
+  /// push() with a bounded wait: if no space opens within \p timeout
+  /// the packet is returned untouched and the call yields false.
+  /// Throws InvalidArgument if the channel is closed — same contract as
+  /// push().  Producers with a stop token poll it between attempts.
+  bool tryPushFor(PulsePacket& packet, std::chrono::milliseconds timeout);
 
   /// Block until a packet arrives; returns nullopt once the channel is
   /// closed *and* drained.
@@ -57,14 +84,22 @@ public:
 
   bool closed() const;
   std::size_t depth() const;
+  /// Queued payload bytes right now.
+  std::size_t depthBytes() const;
   ChannelStats stats() const;
 
 private:
+  /// Space check under mutex_: count bound, then byte bound.
+  bool hasSpace(std::size_t packetBytes) const;
+  void enqueueLocked(PulsePacket&& packet, std::size_t packetBytes);
+
   const std::size_t capacity_;
+  const std::size_t byteCapacity_;
   mutable std::mutex mutex_;
   std::condition_variable notFull_;
   std::condition_variable notEmpty_;
   std::deque<PulsePacket> queue_;
+  std::size_t queuedBytes_ = 0;
   ChannelStats stats_;
   bool closed_ = false;
 };

@@ -19,6 +19,9 @@ struct LiveStats {
   std::uint64_t pulsesConsumed = 0;
   std::uint64_t eventsConsumed = 0;
   std::uint64_t runsReduced = 0;
+  /// Partially buffered runs discarded on an abortRun packet (the
+  /// transport dropped frames mid-run) — never folded into the state.
+  std::uint64_t runsDropped = 0;
 };
 
 /// A snapshot of the live state (copies; safe to inspect while the

@@ -66,6 +66,16 @@ LiveStats LiveReducer::consume(EventChannel& channel) {
     if (!packet) {
       break; // closed and drained
     }
+    if (packet->abortRun) {
+      // The transport lost part of this run; reducing the remainder
+      // would bake a hole into the accumulated state.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (hasPending_) {
+        hasPending_ = false;
+        ++stats_.runsDropped;
+      }
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.pulsesConsumed;

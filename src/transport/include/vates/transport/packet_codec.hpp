@@ -1,0 +1,68 @@
+#pragma once
+/// \file packet_codec.hpp
+/// Serialization of stream::PulsePacket for the shm ring frames.
+///
+/// The encoding is exact: TOF and weight doubles travel as their IEEE
+/// bit patterns, so a live-ingested run reduces bitwise-identically to
+/// the offline reduction of the same generated events — the payoff
+/// claim of the whole transport layer.
+///
+/// Layout (little-endian, as the host writes it — the ring never
+/// crosses a machine boundary):
+///
+///   u32 kind        (1 = pulse)
+///   u32 runIndex
+///   u32 pulseIndex
+///   u32 flags       (bit 0: endOfRun, bit 1: runStart)
+///   u32 nEvents
+///   u32 reserved
+///   u32 detectorIds[nEvents]
+///   u32 pulseIndices[nEvents]
+///   u64 tofBits[nEvents]
+///   u64 weightBits[nEvents]
+///
+/// Frame-level integrity (CRC-32, seqlock) lives in shm_ring.hpp; the
+/// decoder here only validates structure, so a CRC-clean frame that
+/// still fails to decode indicates a version/logic bug, not bit rot.
+
+#include "vates/stream/event_channel.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vates::transport {
+
+/// Codec header flags.
+inline constexpr std::uint32_t kPacketEndOfRun = 1u << 0;
+/// First packet of its run — the resync anchor a reader skips to after
+/// an overrun (DESIGN.md §11 resync rules).
+inline constexpr std::uint32_t kPacketRunStart = 1u << 1;
+
+inline constexpr std::size_t kPacketHeaderBytes = 24;
+/// Serialized bytes per event (u32 id + u32 pulse + f64 tof + f64 w).
+inline constexpr std::size_t kPacketBytesPerEvent = 24;
+
+/// Serialized size of a packet with \p nEvents events.
+std::size_t packetFrameBytes(std::size_t nEvents) noexcept;
+
+/// Largest event count whose packet fits a frame payload of
+/// \p payloadCapacity bytes (0 if even an empty packet does not fit).
+std::size_t maxEventsPerFrame(std::size_t payloadCapacity) noexcept;
+
+/// Encode \p packet into \p out (resized to the exact frame size).
+/// \p runStart marks the first packet of a run.
+void encodePacket(const stream::PulsePacket& packet, bool runStart,
+                  std::vector<std::uint8_t>& out);
+
+/// A decoded frame: the packet plus its codec flags.
+struct DecodedPacket {
+  stream::PulsePacket packet;
+  bool runStart = false;
+};
+
+/// Decode one frame; throws IOError on any structural mismatch
+/// (unknown kind, size inconsistent with the event count).
+DecodedPacket decodePacket(const std::uint8_t* data, std::size_t bytes);
+
+} // namespace vates::transport

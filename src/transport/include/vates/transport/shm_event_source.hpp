@@ -1,0 +1,95 @@
+#pragma once
+/// \file shm_event_source.hpp
+/// Adapter from the shm ring to the in-process stream layer: drains
+/// frames, decodes pulse packets, and pushes them into an EventChannel
+/// so LiveReducer consumes a cross-process stream unchanged.
+///
+/// The source owns the *drop-oldest-run* semantics of the transport's
+/// backpressure story.  Whenever frames are lost — an overrun resync, a
+/// CRC-corrupt frame, a producer restart — the run in flight is
+/// unsalvageable: the source pushes an abortRun packet (LiveReducer
+/// discards its partial buffer) and then skips forward to the next
+/// run-start packet, counting every distinct run dropped on the floor.
+/// Runs are either reduced complete or not at all; the accumulated
+/// histograms never contain a hole-ridden run.
+
+#include "vates/stream/event_channel.hpp"
+#include "vates/transport/shm_ring.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace vates::transport {
+
+/// Cumulative ingestion counters (a superset of ReaderStats, at pulse
+/// granularity).
+struct IngestStats {
+  std::uint64_t framesIngested = 0;
+  std::uint64_t pulsesIngested = 0;
+  std::uint64_t eventsIngested = 0;
+  std::uint64_t bytesIngested = 0;
+  std::uint64_t crcFailures = 0;
+  std::uint64_t overruns = 0;
+  std::uint64_t framesDropped = 0;
+  /// Distinct runs abandoned because the transport lost frames of
+  /// theirs (overrun / corruption / restart) — the drop-oldest-run
+  /// counter a facility operator watches.
+  std::uint64_t runsDropped = 0;
+  std::uint64_t producerRestarts = 0;
+  std::uint64_t lagFrames = 0; ///< at the last poll
+  std::uint64_t maxLagFrames = 0;
+  double lastLatencySeconds = 0.0; ///< publish → ingest age of last frame
+  bool endOfStream = false;
+  bool producerLost = false;
+  bool stopped = false; ///< requestStop() ended the drain
+};
+
+struct SourceConfig {
+  ReaderConfig reader;
+  /// Sleep between empty polls (the ring has no doorbell by design —
+  /// the producer never blocks on a syscall).
+  double idleSleepSeconds = 200e-6;
+  /// End the drain when the producer's heartbeat goes stale; with
+  /// false the source keeps waiting for a restart (epoch bump).
+  bool stopOnProducerLost = true;
+  /// Close the channel when the drain ends (EndOfStream, producer
+  /// lost, or requestStop) so the consumer unblocks.
+  bool closeChannelOnExit = true;
+};
+
+/// Drains one shm ring into one EventChannel.  run() blocks (give it a
+/// thread); stats() and requestStop() are safe from any thread.
+class ShmEventSource {
+public:
+  explicit ShmEventSource(SourceConfig config);
+
+  /// Attach (honoring reader.attachTimeoutSeconds) and drain until
+  /// end-of-stream, producer loss, or requestStop().  Returns the final
+  /// counters.
+  IngestStats run(stream::EventChannel& channel);
+
+  /// Ask a concurrently running run() to return promptly (bounded by
+  /// one idle sleep / one channel-push slice).  Thread-safe; sticky.
+  void requestStop() noexcept;
+
+  /// Point-in-time copy of the counters (valid during and after run()).
+  IngestStats stats() const;
+
+  /// Recent per-frame ingest latencies, oldest first (bounded buffer;
+  /// feed to service::summarizeLatencies for p50/p95).
+  std::vector<double> latencySamples() const;
+
+private:
+  void mergeReaderStats(const ReaderStats& reader);
+
+  SourceConfig config_;
+  std::atomic<bool> stopRequested_{false};
+  mutable std::mutex mutex_;
+  IngestStats stats_;
+  std::vector<double> latencies_;
+  std::size_t latencyNext_ = 0; ///< ring index once the buffer is full
+};
+
+} // namespace vates::transport

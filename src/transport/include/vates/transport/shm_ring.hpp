@@ -1,0 +1,301 @@
+#pragma once
+/// \file shm_ring.hpp
+/// Cross-process event transport: a fixed-capacity POSIX shared-memory
+/// ring of seqlock'd, CRC-32-stamped frames — the ADARA-style link that
+/// moves beamline pulse packets from a DAQ producer process into live
+/// reduction consumers before any file exists.
+///
+/// Topology is single producer, multiple concurrent readers.  Frames
+/// are *broadcast*: every reader sees every frame (readers never
+/// consume), and each frame slot is guarded by a per-slot sequence
+/// word.  The writer publishes frame number f into slot f % frameCount
+/// by storing seq = 2f+1 (write in progress), copying the payload, then
+/// storing seq = 2f+2 (stable).  A reader wanting frame f loads seq,
+/// copies the payload, and re-checks seq: any concurrent overwrite is
+/// detected and surfaces as an overrun, never as torn data.  Payload
+/// words are copied through relaxed std::atomic_ref so the protocol is
+/// exactly representable to ThreadSanitizer — no "benign race" carve-out.
+///
+/// A versioned superblock (magic, layout version, geometry, producer
+/// heartbeat/epoch, reader registry) lets a reader attach cold, detect
+/// producer restarts (epoch bump) and producer death (stale heartbeat),
+/// and lets a Block-policy writer wait on the slowest live reader
+/// instead of overwriting it.  Every payload carries a CRC-32
+/// (io/crc32.hpp) verified after the seqlock copy, so real memory
+/// corruption — as opposed to a detected overwrite — is caught too.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vates::transport {
+
+// ---------------------------------------------------------------------------
+// On-segment layout (layout version 1)
+
+/// "VATESHM1" little-endian.
+inline constexpr std::uint64_t kShmMagic = 0x314D485345544156ull;
+inline constexpr std::uint32_t kShmLayoutVersion = 1;
+/// Reader-registry capacity (slots in the superblock).
+inline constexpr std::size_t kMaxReaders = 16;
+/// Superblock size; frame 0 starts at this offset.
+inline constexpr std::size_t kSuperblockBytes = 4096;
+/// Frame header size; the payload of a frame starts at this offset
+/// within its slot.
+inline constexpr std::size_t kFrameHeaderBytes = 64;
+
+/// Producer lifecycle, stored in the superblock.
+enum class ProducerState : std::uint32_t {
+  Absent = 0,   ///< no producer has attached since creation
+  Active = 1,   ///< producer attached and (supposedly) alive
+  Finished = 2, ///< producer published everything and detached cleanly
+};
+
+/// One registered reader (64 bytes in the superblock).  All fields are
+/// accessed through std::atomic_ref.
+struct ReaderSlot {
+  std::uint32_t state = 0; ///< 0 free, 1 claimed
+  std::uint32_t pid = 0;   ///< claimant's pid (diagnostics only)
+  std::uint64_t cursor = 0;
+  std::uint64_t heartbeatNs = 0;
+  std::uint8_t pad[40] = {};
+};
+static_assert(sizeof(ReaderSlot) == 64);
+
+/// Page 0 of the segment.  Plain fields; cross-process synchronization
+/// goes through std::atomic_ref (address-free on this platform, as
+/// static_asserted in the implementation).
+struct Superblock {
+  std::uint64_t magic = 0;
+  std::uint32_t layoutVersion = 0;
+  std::uint32_t reserved0 = 0;
+  std::uint64_t frameCount = 0;
+  std::uint64_t framePayloadBytes = 0; ///< payload capacity per frame
+  std::uint64_t head = 0;              ///< frames published so far
+  std::uint64_t epoch = 0;             ///< bumped on every producer attach
+  std::uint64_t heartbeatNs = 0;       ///< producer steady-clock liveness
+  std::uint32_t producerState = 0;     ///< ProducerState
+  std::uint32_t reserved1 = 0;
+  std::uint8_t pad[192] = {};
+  ReaderSlot readers[kMaxReaders];
+};
+static_assert(sizeof(Superblock) == 256 + 64 * kMaxReaders);
+static_assert(sizeof(Superblock) <= kSuperblockBytes);
+
+/// Per-frame seqlock header (64 bytes, at the start of each slot).
+struct FrameHeader {
+  std::uint64_t seq = 0; ///< 2f+1 while writing frame f, 2f+2 stable
+  std::uint32_t payloadBytes = 0;
+  std::uint32_t crc = 0;         ///< CRC-32 of the payload bytes
+  std::uint64_t timestampNs = 0; ///< producer steady clock at publish
+  std::uint8_t pad[40] = {};
+};
+static_assert(sizeof(FrameHeader) == kFrameHeaderBytes);
+
+/// Stride of one frame slot (header + payload, 64-byte aligned).
+std::size_t frameStride(std::size_t framePayloadBytes) noexcept;
+/// Total segment size for a geometry.
+std::size_t segmentBytes(std::size_t frameCount,
+                         std::size_t framePayloadBytes) noexcept;
+/// Byte offset of frame number \p frame's slot within the segment.
+std::size_t frameOffset(std::uint64_t frame, std::size_t frameCount,
+                        std::size_t framePayloadBytes) noexcept;
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+/// What the writer does when the slowest *live* registered reader is a
+/// full ring behind.
+enum class BackpressurePolicy {
+  /// Never overwrite an unread frame of a live reader: wait (bounded
+  /// spin + sleep) until it advances or its heartbeat goes stale.
+  Block,
+  /// Overwrite; the lapped reader detects the overrun via the seqlock
+  /// sequence and resyncs, dropping the overwritten frames (and the
+  /// runs they carried).
+  DropOldest,
+};
+
+/// "block" / "drop-oldest" (InvalidArgument otherwise).
+BackpressurePolicy parseBackpressurePolicy(const std::string& text);
+const char* backpressurePolicyName(BackpressurePolicy policy) noexcept;
+
+/// Ring geometry + producer policy.
+struct RingConfig {
+  std::string name = "/vates-daq"; ///< shm name (leading '/')
+  std::size_t frameCount = 1024;
+  std::size_t framePayloadBytes = std::size_t{256} * 1024;
+  BackpressurePolicy policy = BackpressurePolicy::Block;
+  /// A registered reader whose heartbeat is older than this no longer
+  /// blocks the writer (it is presumed dead or stuck).
+  double readerTimeoutSeconds = 2.0;
+  /// Unlink the segment when the writer is destroyed cleanly.
+  bool unlinkOnDestroy = true;
+
+  /// Apply VATES_SHM_NAME / VATES_SHM_FRAMES / VATES_SHM_FRAME_BYTES /
+  /// VATES_SHM_POLICY on top of \p base; malformed values are ignored.
+  static RingConfig withEnvOverrides(RingConfig base);
+};
+
+// ---------------------------------------------------------------------------
+// Writer
+
+struct WriterStats {
+  std::uint64_t framesPublished = 0;
+  std::uint64_t bytesPublished = 0;
+  /// Block-policy waits (each one a bounded sleep, not a spin).
+  std::uint64_t backpressureWaits = 0;
+};
+
+/// Single producer end.  Creates the segment (or adopts a compatible
+/// existing one, bumping the epoch so attached readers notice the
+/// restart).  Not thread-safe: one publishing thread.
+class ShmRingWriter {
+public:
+  explicit ShmRingWriter(RingConfig config);
+  ~ShmRingWriter();
+
+  ShmRingWriter(const ShmRingWriter&) = delete;
+  ShmRingWriter& operator=(const ShmRingWriter&) = delete;
+
+  const RingConfig& config() const noexcept { return config_; }
+  std::size_t framePayloadCapacity() const noexcept {
+    return config_.framePayloadBytes;
+  }
+  /// True when this writer adopted an existing segment (producer
+  /// restart) instead of creating a fresh one.
+  bool adoptedExistingSegment() const noexcept { return adopted_; }
+
+  /// Publish one frame.  Blocks per the backpressure policy; a \p stop
+  /// token (checked while blocked) aborts the wait and returns false
+  /// without publishing.  Throws InvalidArgument when \p bytes exceeds
+  /// the frame payload capacity.
+  bool publish(const void* payload, std::size_t bytes,
+               const std::atomic<bool>* stop = nullptr);
+
+  /// Refresh the producer heartbeat without publishing (call from an
+  /// idle pacing loop so readers don't declare the producer lost).
+  void heartbeat() noexcept;
+
+  /// Mark the stream complete (ProducerState::Finished).  Readers that
+  /// drain past head then see EndOfStream.  Idempotent; also invoked by
+  /// the destructor.
+  void finish() noexcept;
+
+  /// Number of registered live readers (fresh heartbeat) right now.
+  std::size_t liveReaders() const noexcept;
+
+  WriterStats stats() const noexcept { return stats_; }
+
+private:
+  std::uint64_t minLiveReaderCursor(std::uint64_t fallback) const noexcept;
+
+  RingConfig config_;
+  Superblock* super_ = nullptr;
+  std::uint8_t* base_ = nullptr;
+  std::size_t mappedBytes_ = 0;
+  std::uint64_t head_ = 0;
+  bool adopted_ = false;
+  bool finished_ = false;
+  WriterStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Reader
+
+/// Where a cold-attaching reader starts.
+enum class StartFrom {
+  Oldest, ///< earliest frame still (probably) resident in the ring
+  Head,   ///< only frames published after the attach
+};
+
+struct ReaderConfig {
+  std::string name = "/vates-daq";
+  /// Keep retrying the attach for this long when the segment does not
+  /// exist yet (0: fail immediately) — lets a consumer start before
+  /// the producer.
+  double attachTimeoutSeconds = 0.0;
+  StartFrom startFrom = StartFrom::Oldest;
+  /// An Active producer whose heartbeat is older than this is reported
+  /// as lost (0: never).
+  double producerTimeoutSeconds = 5.0;
+
+  /// Apply VATES_SHM_NAME on top of \p base.
+  static ReaderConfig withEnvOverrides(ReaderConfig base);
+};
+
+enum class PollStatus {
+  Frame,        ///< a stable, CRC-verified frame was copied out
+  Waiting,      ///< no new frame yet; producer looks alive
+  EndOfStream,  ///< producer finished and everything is drained
+  Overrun,      ///< writer lapped this reader; cursor was resynced
+  Corrupt,      ///< stable frame failed its CRC; frame skipped
+  ProducerLost, ///< producer Active but heartbeat stale
+  Restarted,    ///< producer epoch changed under us
+};
+
+const char* pollStatusName(PollStatus status) noexcept;
+
+struct PollResult {
+  PollStatus status = PollStatus::Waiting;
+  std::uint64_t frameNumber = 0;  ///< valid for Frame/Corrupt
+  std::uint64_t framesSkipped = 0;///< dropped by an Overrun resync
+  double latencySeconds = 0.0;    ///< publish → poll age (Frame only)
+};
+
+struct ReaderStats {
+  std::uint64_t framesRead = 0;
+  std::uint64_t bytesRead = 0;
+  std::uint64_t crcFailures = 0;
+  std::uint64_t overruns = 0;      ///< resync events
+  std::uint64_t framesDropped = 0; ///< frames skipped by resyncs
+  std::uint64_t producerRestarts = 0;
+  std::uint64_t lagFrames = 0;    ///< head - cursor at the last poll
+  std::uint64_t maxLagFrames = 0;
+};
+
+/// One reader end.  Registers in the superblock's reader table (so a
+/// Block-policy writer can wait on it) and releases its slot on
+/// destruction.  Not thread-safe: one polling thread per reader; open
+/// several ShmRingReaders for concurrent consumers.
+class ShmRingReader {
+public:
+  explicit ShmRingReader(ReaderConfig config);
+  ~ShmRingReader();
+
+  ShmRingReader(const ShmRingReader&) = delete;
+  ShmRingReader& operator=(const ShmRingReader&) = delete;
+
+  const ReaderConfig& config() const noexcept { return config_; }
+  std::size_t framePayloadCapacity() const noexcept { return payloadBytes_; }
+  std::uint64_t cursor() const noexcept { return cursor_; }
+
+  /// Non-blocking poll.  On Frame, \p payload holds the frame bytes.
+  PollResult poll(std::vector<std::uint8_t>& payload);
+
+  ReaderStats stats() const noexcept { return stats_; }
+
+private:
+  void attach();
+  void resync(std::uint64_t head, PollResult& result);
+  void publishCursor() noexcept;
+
+  ReaderConfig config_;
+  Superblock* super_ = nullptr;
+  std::uint8_t* base_ = nullptr;
+  std::size_t mappedBytes_ = 0;
+  std::size_t frameCount_ = 0;
+  std::size_t payloadBytes_ = 0;
+  std::size_t slotIndex_ = kMaxReaders; ///< registry slot, if claimed
+  std::uint64_t cursor_ = 0;
+  std::uint64_t epoch_ = 0;
+  ReaderStats stats_;
+};
+
+/// Remove a named segment (ignores "does not exist").  Tools call this
+/// to clean up after a crashed producer.
+void unlinkRing(const std::string& name);
+
+} // namespace vates::transport

@@ -1,0 +1,98 @@
+#include "vates/transport/packet_codec.hpp"
+
+#include "vates/support/error.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace vates::transport {
+
+namespace {
+
+constexpr std::uint32_t kKindPulse = 1;
+
+void putU32(std::uint8_t* dst, std::uint32_t value) noexcept {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+std::uint32_t getU32(const std::uint8_t* src) noexcept {
+  std::uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+} // namespace
+
+std::size_t packetFrameBytes(std::size_t nEvents) noexcept {
+  return kPacketHeaderBytes + nEvents * kPacketBytesPerEvent;
+}
+
+std::size_t maxEventsPerFrame(std::size_t payloadCapacity) noexcept {
+  if (payloadCapacity < kPacketHeaderBytes) {
+    return 0;
+  }
+  return (payloadCapacity - kPacketHeaderBytes) / kPacketBytesPerEvent;
+}
+
+void encodePacket(const stream::PulsePacket& packet, bool runStart,
+                  std::vector<std::uint8_t>& out) {
+  const std::size_t n = packet.events.size();
+  out.resize(packetFrameBytes(n));
+  std::uint8_t* p = out.data();
+  putU32(p + 0, kKindPulse);
+  putU32(p + 4, packet.runIndex);
+  putU32(p + 8, packet.pulseIndex);
+  putU32(p + 12, (packet.endOfRun ? kPacketEndOfRun : 0u) |
+                     (runStart ? kPacketRunStart : 0u));
+  putU32(p + 16, static_cast<std::uint32_t>(n));
+  putU32(p + 20, 0);
+  p += kPacketHeaderBytes;
+  std::memcpy(p, packet.events.detectorIds().data(), n * sizeof(std::uint32_t));
+  p += n * sizeof(std::uint32_t);
+  std::memcpy(p, packet.events.pulseIndices().data(),
+              n * sizeof(std::uint32_t));
+  p += n * sizeof(std::uint32_t);
+  std::memcpy(p, packet.events.tofs().data(), n * sizeof(double));
+  p += n * sizeof(double);
+  std::memcpy(p, packet.events.weights().data(), n * sizeof(double));
+}
+
+DecodedPacket decodePacket(const std::uint8_t* data, std::size_t bytes) {
+  if (bytes < kPacketHeaderBytes) {
+    throw IOError("pulse frame shorter than its header (" +
+                  std::to_string(bytes) + " bytes)");
+  }
+  const std::uint32_t kind = getU32(data + 0);
+  if (kind != kKindPulse) {
+    throw IOError("unknown pulse-frame kind " + std::to_string(kind));
+  }
+  const std::uint32_t n = getU32(data + 16);
+  if (bytes != packetFrameBytes(n)) {
+    throw IOError("pulse frame size mismatch: " + std::to_string(bytes) +
+                  " bytes for " + std::to_string(n) + " events");
+  }
+  const std::uint32_t flags = getU32(data + 12);
+  DecodedPacket decoded;
+  decoded.packet.runIndex = getU32(data + 4);
+  decoded.packet.pulseIndex = getU32(data + 8);
+  decoded.packet.endOfRun = (flags & kPacketEndOfRun) != 0;
+  decoded.runStart = (flags & kPacketRunStart) != 0;
+  decoded.packet.events.reserve(n);
+  const std::uint8_t* ids = data + kPacketHeaderBytes;
+  const std::uint8_t* pulses = ids + std::size_t{n} * sizeof(std::uint32_t);
+  const std::uint8_t* tofs = pulses + std::size_t{n} * sizeof(std::uint32_t);
+  const std::uint8_t* weights = tofs + std::size_t{n} * sizeof(double);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double tof;
+    double weight;
+    std::memcpy(&tof, tofs + std::size_t{i} * sizeof(double), sizeof(double));
+    std::memcpy(&weight, weights + std::size_t{i} * sizeof(double),
+                sizeof(double));
+    decoded.packet.events.append(
+        getU32(ids + std::size_t{i} * sizeof(std::uint32_t)), tof,
+        getU32(pulses + std::size_t{i} * sizeof(std::uint32_t)), weight);
+  }
+  return decoded;
+}
+
+} // namespace vates::transport

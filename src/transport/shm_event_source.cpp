@@ -1,0 +1,260 @@
+#include "vates/transport/shm_event_source.hpp"
+
+#include "vates/support/error.hpp"
+#include "vates/transport/packet_codec.hpp"
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace vates::transport {
+namespace {
+
+constexpr std::size_t kLatencyBufferCap = 8192;
+
+} // namespace
+
+ShmEventSource::ShmEventSource(SourceConfig config)
+    : config_(std::move(config)) {}
+
+void ShmEventSource::requestStop() noexcept {
+  stopRequested_.store(true, std::memory_order_relaxed);
+}
+
+IngestStats ShmEventSource::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<double> ShmEventSource::latencySamples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (latencies_.size() < kLatencyBufferCap) {
+    return latencies_;
+  }
+  // Unroll the ring so callers see samples oldest-first.
+  std::vector<double> ordered;
+  ordered.reserve(latencies_.size());
+  ordered.insert(ordered.end(), latencies_.begin() + latencyNext_,
+                 latencies_.end());
+  ordered.insert(ordered.end(), latencies_.begin(),
+                 latencies_.begin() + latencyNext_);
+  return ordered;
+}
+
+void ShmEventSource::mergeReaderStats(const ReaderStats& reader) {
+  stats_.crcFailures = reader.crcFailures;
+  stats_.overruns = reader.overruns;
+  stats_.framesDropped = reader.framesDropped;
+  stats_.producerRestarts = reader.producerRestarts;
+  stats_.lagFrames = reader.lagFrames;
+  stats_.maxLagFrames = reader.maxLagFrames;
+}
+
+IngestStats ShmEventSource::run(stream::EventChannel& channel) {
+  stopRequested_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = IngestStats{};
+    latencies_.clear();
+    latencyNext_ = 0;
+  }
+
+  // Attach with our own retry pacing (single-shot attempts) so a
+  // requestStop() is honored even while waiting for the producer to
+  // create the segment.
+  std::optional<ShmRingReader> reader;
+  {
+    ReaderConfig attempt = config_.reader;
+    const double budget = attempt.attachTimeoutSeconds;
+    attempt.attachTimeoutSeconds = 0.0;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(budget));
+    for (;;) {
+      if (stopRequested_.load(std::memory_order_relaxed)) {
+        if (config_.closeChannelOnExit) {
+          channel.close();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.stopped = true;
+        return stats_;
+      }
+      try {
+        reader.emplace(attempt);
+        break;
+      } catch (const IOError&) {
+        if (budget <= 0.0 || std::chrono::steady_clock::now() >= deadline) {
+          if (config_.closeChannelOnExit) {
+            channel.close();
+          }
+          throw;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }
+  const auto idleSleep = std::chrono::duration<double>(
+      config_.idleSleepSeconds > 0 ? config_.idleSleepSeconds : 200e-6);
+
+  // Run-boundary state machine.  We start in the skipping state: when
+  // attaching mid-stream (StartFrom::Head, or Oldest after frames were
+  // already recycled) the first frame is usually mid-run, and a partial
+  // run must never reach the reducer.  A run-start frame flips us to
+  // forwarding; any frame loss flips us back.
+  bool forwarding = false;
+  bool midRun = false;          // forwarded packets of an unfinished run
+  std::uint32_t currentRun = 0; // run of the last forwarded packet
+  bool skipRunValid = false;
+  std::uint32_t skipRun = 0; // last run counted dropped while skipping
+
+  const auto pushCooperatively = [&](stream::PulsePacket&& packet) {
+    while (!channel.tryPushFor(packet, std::chrono::milliseconds(10))) {
+      if (stopRequested_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Frame loss (overrun resync, corrupt frame, producer restart): the
+  // in-flight run cannot be completed, so tell the reducer to discard
+  // its partial buffer and hunt for the next run boundary.
+  const auto abortInFlightRun = [&]() -> bool {
+    if (forwarding && midRun) {
+      stream::PulsePacket abort;
+      abort.abortRun = true;
+      if (!pushCooperatively(std::move(abort))) {
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.runsDropped;
+      }
+      // Remember which run we just counted so the skip phase doesn't
+      // count its remaining frames a second time.
+      skipRunValid = true;
+      skipRun = currentRun;
+    } else {
+      skipRunValid = false;
+    }
+    forwarding = false;
+    midRun = false;
+    return true;
+  };
+
+  std::vector<std::uint8_t> payload;
+  bool done = false;
+  while (!done) {
+    if (stopRequested_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.stopped = true;
+      break;
+    }
+    const PollResult poll = reader->poll(payload);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      mergeReaderStats(reader->stats());
+    }
+    switch (poll.status) {
+    case PollStatus::Waiting:
+      std::this_thread::sleep_for(idleSleep);
+      continue;
+    case PollStatus::EndOfStream: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.endOfStream = true;
+      done = true;
+      continue;
+    }
+    case PollStatus::ProducerLost: {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.producerLost = true;
+      }
+      if (config_.stopOnProducerLost) {
+        done = true;
+        continue;
+      }
+      if (!abortInFlightRun()) {
+        done = true;
+        continue;
+      }
+      // Wait for the producer to come back (epoch bump → Restarted).
+      std::this_thread::sleep_for(idleSleep);
+      continue;
+    }
+    case PollStatus::Overrun:
+    case PollStatus::Corrupt:
+    case PollStatus::Restarted:
+      if (!abortInFlightRun()) {
+        done = true;
+      }
+      continue;
+    case PollStatus::Frame:
+      break;
+    }
+
+    DecodedPacket decoded;
+    try {
+      decoded = decodePacket(payload.data(), payload.size());
+    } catch (const Error&) {
+      // Structurally invalid despite a clean CRC (e.g. a producer with
+      // a newer codec): treat like a corrupt frame.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.crcFailures;
+      }
+      if (!abortInFlightRun()) {
+        done = true;
+      }
+      continue;
+    }
+
+    if (!forwarding) {
+      if (!decoded.runStart) {
+        // Mid-run frame while hunting for a boundary: count each
+        // distinct abandoned run once.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!skipRunValid || skipRun != decoded.packet.runIndex) {
+          skipRunValid = true;
+          skipRun = decoded.packet.runIndex;
+          ++stats_.runsDropped;
+        }
+        continue;
+      }
+      forwarding = true;
+      skipRunValid = false;
+    }
+
+    const bool endOfRun = decoded.packet.endOfRun;
+    currentRun = decoded.packet.runIndex;
+    const std::uint64_t packetEvents = decoded.packet.events.size();
+    if (!pushCooperatively(std::move(decoded.packet))) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.stopped = true;
+      break;
+    }
+    midRun = !endOfRun;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.framesIngested;
+    ++stats_.pulsesIngested;
+    stats_.eventsIngested += packetEvents;
+    stats_.bytesIngested += payload.size();
+    stats_.lastLatencySeconds = poll.latencySeconds;
+    if (latencies_.size() < kLatencyBufferCap) {
+      latencies_.push_back(poll.latencySeconds);
+    } else {
+      latencies_[latencyNext_] = poll.latencySeconds;
+      latencyNext_ = (latencyNext_ + 1) % kLatencyBufferCap;
+    }
+  }
+
+  if (config_.closeChannelOnExit) {
+    channel.close();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+} // namespace vates::transport

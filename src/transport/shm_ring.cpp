@@ -1,0 +1,639 @@
+#include "vates/transport/shm_ring.hpp"
+
+#include "vates/io/crc32.hpp"
+#include "vates/support/error.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace vates::transport {
+
+namespace {
+
+// The whole protocol rests on atomic_ref being address-free (the same
+// word is mapped at different addresses in different processes).
+static_assert(std::atomic_ref<std::uint64_t>::is_always_lock_free);
+static_assert(std::atomic_ref<std::uint32_t>::is_always_lock_free);
+
+std::atomic_ref<std::uint64_t> ref64(std::uint64_t& word) noexcept {
+  return std::atomic_ref<std::uint64_t>(word);
+}
+
+std::atomic_ref<std::uint32_t> ref32(std::uint32_t& word) noexcept {
+  return std::atomic_ref<std::uint32_t>(word);
+}
+
+std::uint64_t steadyNowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Copy \p bytes (rounded up to whole 8-byte words; the slot always has
+/// word slack) through relaxed atomics — the TSan-visible spelling of
+/// the seqlock payload copy.  Alignment of both sides is guaranteed by
+/// the 64-byte slot layout.
+void copyWordsOut(const std::uint8_t* src, std::uint8_t* dst,
+                  std::size_t bytes) noexcept {
+  const std::size_t words = (bytes + 7) / 8;
+  // atomic_ref<const T> only lands in C++26; the loads are const in
+  // spirit.
+  auto* from = reinterpret_cast<std::uint64_t*>(const_cast<std::uint8_t*>(src));
+  auto* to = reinterpret_cast<std::uint64_t*>(dst);
+  for (std::size_t i = 0; i < words; ++i) {
+    to[i] = ref64(from[i]).load(std::memory_order_relaxed);
+  }
+}
+
+void copyWordsIn(const std::uint8_t* src, std::size_t bytes,
+                 std::uint8_t* dst) noexcept {
+  const std::size_t whole = bytes / 8;
+  auto* to = reinterpret_cast<std::uint64_t*>(dst);
+  for (std::size_t i = 0; i < whole; ++i) {
+    std::uint64_t word;
+    std::memcpy(&word, src + i * 8, 8);
+    ref64(to[i]).store(word, std::memory_order_relaxed);
+  }
+  const std::size_t tail = bytes % 8;
+  if (tail != 0) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, src + whole * 8, tail);
+    ref64(to[whole]).store(word, std::memory_order_relaxed);
+  }
+}
+
+std::string normalizeName(std::string name) {
+  VATES_REQUIRE(!name.empty(), "shm ring name must not be empty");
+  if (name.front() != '/') {
+    name.insert(name.begin(), '/');
+  }
+  VATES_REQUIRE(name.find('/', 1) == std::string::npos,
+                "shm ring name must not contain '/' past the first");
+  return name;
+}
+
+std::size_t roundUp64(std::size_t bytes) noexcept {
+  return (bytes + 63) & ~std::size_t{63};
+}
+
+struct Mapping {
+  int fd = -1;
+  void* base = MAP_FAILED;
+  std::size_t bytes = 0;
+};
+
+void closeMapping(Mapping& mapping) noexcept {
+  if (mapping.base != MAP_FAILED) {
+    ::munmap(mapping.base, mapping.bytes);
+    mapping.base = MAP_FAILED;
+  }
+  if (mapping.fd >= 0) {
+    ::close(mapping.fd);
+    mapping.fd = -1;
+  }
+}
+
+} // namespace
+
+std::size_t frameStride(std::size_t framePayloadBytes) noexcept {
+  return kFrameHeaderBytes + roundUp64(framePayloadBytes);
+}
+
+std::size_t segmentBytes(std::size_t frameCount,
+                         std::size_t framePayloadBytes) noexcept {
+  return kSuperblockBytes + frameCount * frameStride(framePayloadBytes);
+}
+
+std::size_t frameOffset(std::uint64_t frame, std::size_t frameCount,
+                        std::size_t framePayloadBytes) noexcept {
+  return kSuperblockBytes +
+         static_cast<std::size_t>(frame % frameCount) *
+             frameStride(framePayloadBytes);
+}
+
+BackpressurePolicy parseBackpressurePolicy(const std::string& text) {
+  if (text == "block") {
+    return BackpressurePolicy::Block;
+  }
+  if (text == "drop-oldest") {
+    return BackpressurePolicy::DropOldest;
+  }
+  throw InvalidArgument("unknown backpressure policy: \"" + text +
+                        "\" (want block or drop-oldest)");
+}
+
+const char* backpressurePolicyName(BackpressurePolicy policy) noexcept {
+  return policy == BackpressurePolicy::Block ? "block" : "drop-oldest";
+}
+
+RingConfig RingConfig::withEnvOverrides(RingConfig base) {
+  if (const char* name = std::getenv("VATES_SHM_NAME");
+      name != nullptr && *name != '\0') {
+    base.name = name;
+  }
+  const auto positive = [](const char* env) -> std::size_t {
+    const char* raw = std::getenv(env);
+    if (raw == nullptr || *raw == '\0') {
+      return 0;
+    }
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(raw, &end, 10);
+    return (end == raw || *end != '\0') ? 0 : static_cast<std::size_t>(value);
+  };
+  if (const std::size_t frames = positive("VATES_SHM_FRAMES"); frames >= 2) {
+    base.frameCount = frames;
+  }
+  if (const std::size_t bytes = positive("VATES_SHM_FRAME_BYTES");
+      bytes >= 64) {
+    base.framePayloadBytes = bytes;
+  }
+  if (const char* policy = std::getenv("VATES_SHM_POLICY");
+      policy != nullptr && *policy != '\0') {
+    try {
+      base.policy = parseBackpressurePolicy(policy);
+    } catch (const InvalidArgument&) {
+      // Malformed env values are ignored, matching the service knobs.
+    }
+  }
+  return base;
+}
+
+ReaderConfig ReaderConfig::withEnvOverrides(ReaderConfig base) {
+  if (const char* name = std::getenv("VATES_SHM_NAME");
+      name != nullptr && *name != '\0') {
+    base.name = name;
+  }
+  return base;
+}
+
+const char* pollStatusName(PollStatus status) noexcept {
+  switch (status) {
+  case PollStatus::Frame:
+    return "frame";
+  case PollStatus::Waiting:
+    return "waiting";
+  case PollStatus::EndOfStream:
+    return "end-of-stream";
+  case PollStatus::Overrun:
+    return "overrun";
+  case PollStatus::Corrupt:
+    return "corrupt";
+  case PollStatus::ProducerLost:
+    return "producer-lost";
+  case PollStatus::Restarted:
+    return "restarted";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+ShmRingWriter::ShmRingWriter(RingConfig config) : config_(std::move(config)) {
+  config_.name = normalizeName(config_.name);
+  VATES_REQUIRE(config_.frameCount >= 2, "ring needs at least 2 frames");
+  VATES_REQUIRE(config_.framePayloadBytes >= 64,
+                "frame payload capacity must be >= 64 bytes");
+  config_.framePayloadBytes = roundUp64(config_.framePayloadBytes);
+  const std::size_t wantBytes =
+      segmentBytes(config_.frameCount, config_.framePayloadBytes);
+
+  Mapping mapping;
+  mapping.fd = ::shm_open(config_.name.c_str(), O_RDWR | O_CREAT, 0600);
+  if (mapping.fd < 0) {
+    throw IOError("shm_open failed for " + config_.name + ": " +
+                  std::strerror(errno));
+  }
+  struct stat info {};
+  if (::fstat(mapping.fd, &info) != 0) {
+    closeMapping(mapping);
+    throw IOError("fstat failed for " + config_.name);
+  }
+  const bool fresh = info.st_size == 0;
+  if (fresh && ::ftruncate(mapping.fd, static_cast<off_t>(wantBytes)) != 0) {
+    closeMapping(mapping);
+    throw IOError("ftruncate failed for " + config_.name + ": " +
+                  std::strerror(errno));
+  }
+  mapping.bytes = fresh ? wantBytes : static_cast<std::size_t>(info.st_size);
+  mapping.base = ::mmap(nullptr, mapping.bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, mapping.fd, 0);
+  if (mapping.base == MAP_FAILED) {
+    closeMapping(mapping);
+    throw IOError("mmap failed for " + config_.name);
+  }
+  ::close(mapping.fd);
+  mapping.fd = -1;
+
+  base_ = static_cast<std::uint8_t*>(mapping.base);
+  mappedBytes_ = mapping.bytes;
+  super_ = reinterpret_cast<Superblock*>(base_);
+
+  if (fresh) {
+    // Geometry first, magic last (release): a cold reader that sees the
+    // magic is guaranteed to see a fully initialized superblock.
+    super_->layoutVersion = kShmLayoutVersion;
+    super_->frameCount = config_.frameCount;
+    super_->framePayloadBytes = config_.framePayloadBytes;
+    ref64(super_->head).store(0, std::memory_order_relaxed);
+    ref64(super_->epoch).store(1, std::memory_order_relaxed);
+    ref64(super_->heartbeatNs).store(steadyNowNs(), std::memory_order_relaxed);
+    ref32(super_->producerState)
+        .store(static_cast<std::uint32_t>(ProducerState::Active),
+               std::memory_order_relaxed);
+    ref64(super_->magic).store(kShmMagic, std::memory_order_release);
+    head_ = 0;
+  } else {
+    // Producer restart: adopt the segment if (and only if) it is
+    // exactly the layout and geometry we were asked for; bump the
+    // epoch so attached readers observe the restart.
+    if (ref64(super_->magic).load(std::memory_order_acquire) != kShmMagic ||
+        super_->layoutVersion != kShmLayoutVersion) {
+      const std::string name = config_.name;
+      ::munmap(base_, mappedBytes_);
+      throw IOError("existing shm segment " + name +
+                    " has a foreign or half-initialized layout "
+                    "(unlink it or pick another name)");
+    }
+    if (super_->frameCount != config_.frameCount ||
+        super_->framePayloadBytes != config_.framePayloadBytes ||
+        mappedBytes_ < wantBytes) {
+      const std::string name = config_.name;
+      ::munmap(base_, mappedBytes_);
+      throw InvalidArgument(
+          "existing shm segment " + name +
+          " has a different geometry; unlink it or match its config");
+    }
+    adopted_ = true;
+    head_ = ref64(super_->head).load(std::memory_order_acquire);
+    ref64(super_->heartbeatNs).store(steadyNowNs(), std::memory_order_relaxed);
+    ref32(super_->producerState)
+        .store(static_cast<std::uint32_t>(ProducerState::Active),
+               std::memory_order_relaxed);
+    ref64(super_->epoch).fetch_add(1, std::memory_order_release);
+  }
+}
+
+ShmRingWriter::~ShmRingWriter() {
+  if (super_ != nullptr) {
+    finish();
+    ::munmap(base_, mappedBytes_);
+    super_ = nullptr;
+    if (config_.unlinkOnDestroy) {
+      ::shm_unlink(config_.name.c_str());
+    }
+  }
+}
+
+void ShmRingWriter::heartbeat() noexcept {
+  ref64(super_->heartbeatNs).store(steadyNowNs(), std::memory_order_relaxed);
+}
+
+void ShmRingWriter::finish() noexcept {
+  if (!finished_) {
+    finished_ = true;
+    heartbeat();
+    ref32(super_->producerState)
+        .store(static_cast<std::uint32_t>(ProducerState::Finished),
+               std::memory_order_release);
+  }
+}
+
+std::uint64_t
+ShmRingWriter::minLiveReaderCursor(std::uint64_t fallback) const noexcept {
+  const std::uint64_t now = steadyNowNs();
+  const std::uint64_t timeoutNs = static_cast<std::uint64_t>(
+      config_.readerTimeoutSeconds * 1e9);
+  std::uint64_t floor = fallback;
+  bool any = false;
+  for (std::size_t i = 0; i < kMaxReaders; ++i) {
+    ReaderSlot& slot = super_->readers[i];
+    if (ref32(slot.state).load(std::memory_order_acquire) != 1) {
+      continue;
+    }
+    if (timeoutNs > 0) {
+      const std::uint64_t beat =
+          ref64(slot.heartbeatNs).load(std::memory_order_relaxed);
+      if (now > beat && now - beat > timeoutNs) {
+        continue; // presumed dead; never let it block the beamline
+      }
+    }
+    const std::uint64_t cursor =
+        ref64(slot.cursor).load(std::memory_order_relaxed);
+    floor = any ? std::min(floor, cursor) : cursor;
+    any = true;
+  }
+  return floor;
+}
+
+std::size_t ShmRingWriter::liveReaders() const noexcept {
+  const std::uint64_t now = steadyNowNs();
+  const std::uint64_t timeoutNs = static_cast<std::uint64_t>(
+      config_.readerTimeoutSeconds * 1e9);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < kMaxReaders; ++i) {
+    ReaderSlot& slot = super_->readers[i];
+    if (ref32(slot.state).load(std::memory_order_acquire) != 1) {
+      continue;
+    }
+    const std::uint64_t beat =
+        ref64(slot.heartbeatNs).load(std::memory_order_relaxed);
+    if (timeoutNs == 0 || now <= beat || now - beat <= timeoutNs) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+bool ShmRingWriter::publish(const void* payload, std::size_t bytes,
+                            const std::atomic<bool>* stop) {
+  VATES_REQUIRE(bytes <= config_.framePayloadBytes,
+                "frame payload exceeds the ring's frame capacity");
+  VATES_REQUIRE(!finished_, "publish after finish()");
+  if (config_.policy == BackpressurePolicy::Block) {
+    while (head_ - minLiveReaderCursor(head_) >= config_.frameCount) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        return false;
+      }
+      ++stats_.backpressureWaits;
+      heartbeat();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  std::uint8_t* slot =
+      base_ + frameOffset(head_, config_.frameCount, config_.framePayloadBytes);
+  auto* header = reinterpret_cast<FrameHeader*>(slot);
+  ref64(header->seq).store(head_ * 2 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  ref32(header->payloadBytes)
+      .store(static_cast<std::uint32_t>(bytes), std::memory_order_relaxed);
+  ref32(header->crc).store(crc32(payload, bytes), std::memory_order_relaxed);
+  ref64(header->timestampNs).store(steadyNowNs(), std::memory_order_relaxed);
+  copyWordsIn(static_cast<const std::uint8_t*>(payload), bytes,
+              slot + kFrameHeaderBytes);
+  ref64(header->seq).store(head_ * 2 + 2, std::memory_order_release);
+  ++head_;
+  ref64(super_->head).store(head_, std::memory_order_release);
+  heartbeat();
+  ++stats_.framesPublished;
+  stats_.bytesPublished += bytes;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+ShmRingReader::ShmRingReader(ReaderConfig config) : config_(std::move(config)) {
+  config_.name = normalizeName(config_.name);
+  attach();
+}
+
+void ShmRingReader::attach() {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.attachTimeoutSeconds));
+  Mapping mapping;
+  for (;;) {
+    mapping.fd = ::shm_open(config_.name.c_str(), O_RDWR, 0);
+    if (mapping.fd >= 0) {
+      struct stat info {};
+      if (::fstat(mapping.fd, &info) != 0) {
+        closeMapping(mapping);
+        throw IOError("fstat failed for " + config_.name);
+      }
+      if (static_cast<std::size_t>(info.st_size) >= kSuperblockBytes) {
+        mapping.bytes = static_cast<std::size_t>(info.st_size);
+        mapping.base = ::mmap(nullptr, mapping.bytes, PROT_READ | PROT_WRITE,
+                              MAP_SHARED, mapping.fd, 0);
+        if (mapping.base == MAP_FAILED) {
+          closeMapping(mapping);
+          throw IOError("mmap failed for " + config_.name);
+        }
+        ::close(mapping.fd);
+        mapping.fd = -1;
+        auto* super = static_cast<Superblock*>(mapping.base);
+        if (ref64(super->magic).load(std::memory_order_acquire) == kShmMagic) {
+          // Fully initialized; validate before touching any frame.
+          if (super->layoutVersion != kShmLayoutVersion) {
+            const std::uint32_t version = super->layoutVersion;
+            closeMapping(mapping);
+            throw IOError("shm segment " + config_.name +
+                          " has layout version " + std::to_string(version) +
+                          " (this build speaks " +
+                          std::to_string(kShmLayoutVersion) + ")");
+          }
+          const std::size_t frameCount =
+              static_cast<std::size_t>(super->frameCount);
+          const std::size_t payloadBytes =
+              static_cast<std::size_t>(super->framePayloadBytes);
+          if (frameCount < 2 || payloadBytes < 64 || payloadBytes % 64 != 0 ||
+              segmentBytes(frameCount, payloadBytes) > mapping.bytes) {
+            closeMapping(mapping);
+            throw IOError("shm segment " + config_.name +
+                          " is truncated or its geometry is corrupt");
+          }
+          base_ = static_cast<std::uint8_t*>(mapping.base);
+          mappedBytes_ = mapping.bytes;
+          super_ = super;
+          frameCount_ = frameCount;
+          payloadBytes_ = payloadBytes;
+          break;
+        }
+        // Magic not published yet: producer is mid-initialization.
+        ::munmap(mapping.base, mapping.bytes);
+        mapping.base = MAP_FAILED;
+      } else {
+        closeMapping(mapping);
+      }
+    }
+    closeMapping(mapping);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw IOError("cannot attach to shm ring " + config_.name +
+                    (config_.attachTimeoutSeconds <= 0.0
+                         ? ": no such segment or not yet initialized"
+                         : ": timed out waiting for the producer"));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Claim a registry slot so a Block-policy producer can wait on us.
+  for (std::size_t i = 0; i < kMaxReaders; ++i) {
+    std::uint32_t expected = 0;
+    if (ref32(super_->readers[i].state)
+            .compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) {
+      slotIndex_ = i;
+      break;
+    }
+  }
+  if (slotIndex_ == kMaxReaders) {
+    ::munmap(base_, mappedBytes_);
+    super_ = nullptr;
+    throw Unsupported("shm ring " + config_.name + " already has " +
+                      std::to_string(kMaxReaders) + " readers");
+  }
+
+  epoch_ = ref64(super_->epoch).load(std::memory_order_acquire);
+  const std::uint64_t head = ref64(super_->head).load(std::memory_order_acquire);
+  cursor_ = config_.startFrom == StartFrom::Head
+                ? head
+                : (head > frameCount_ ? head - frameCount_ : 0);
+  ref32(super_->readers[slotIndex_].pid)
+      .store(static_cast<std::uint32_t>(::getpid()), std::memory_order_relaxed);
+  publishCursor();
+}
+
+ShmRingReader::~ShmRingReader() {
+  if (super_ != nullptr) {
+    if (slotIndex_ < kMaxReaders) {
+      ref32(super_->readers[slotIndex_].state)
+          .store(0, std::memory_order_release);
+    }
+    ::munmap(base_, mappedBytes_);
+    super_ = nullptr;
+  }
+}
+
+void ShmRingReader::publishCursor() noexcept {
+  ReaderSlot& slot = super_->readers[slotIndex_];
+  ref64(slot.cursor).store(cursor_, std::memory_order_relaxed);
+  ref64(slot.heartbeatNs).store(steadyNowNs(), std::memory_order_relaxed);
+}
+
+void ShmRingReader::resync(std::uint64_t head, PollResult& result) {
+  // Skip to a little past the oldest slot so the producer doesn't lap
+  // us again before the first copy completes.
+  const std::uint64_t margin = frameCount_ / 8 + 1;
+  const std::uint64_t oldest =
+      head > frameCount_ ? head - frameCount_ + margin : 0;
+  // Always make progress, even if head lagged behind the slot we just
+  // saw overwritten.
+  const std::uint64_t target = std::max(oldest, cursor_ + 1);
+  result.status = PollStatus::Overrun;
+  result.framesSkipped = target - cursor_;
+  stats_.framesDropped += result.framesSkipped;
+  ++stats_.overruns;
+  cursor_ = target;
+  publishCursor();
+}
+
+PollResult ShmRingReader::poll(std::vector<std::uint8_t>& payload) {
+  PollResult result;
+  const std::uint64_t epochNow =
+      ref64(super_->epoch).load(std::memory_order_acquire);
+  if (epochNow != epoch_) {
+    epoch_ = epochNow;
+    ++stats_.producerRestarts;
+    result.status = PollStatus::Restarted;
+    return result;
+  }
+  const std::uint64_t head = ref64(super_->head).load(std::memory_order_acquire);
+  stats_.lagFrames = head > cursor_ ? head - cursor_ : 0;
+  stats_.maxLagFrames = std::max(stats_.maxLagFrames, stats_.lagFrames);
+
+  if (cursor_ >= head) {
+    publishCursor();
+    const auto state = static_cast<ProducerState>(
+        ref32(super_->producerState).load(std::memory_order_acquire));
+    if (state == ProducerState::Finished &&
+        cursor_ >= ref64(super_->head).load(std::memory_order_acquire)) {
+      result.status = PollStatus::EndOfStream;
+    } else if (state == ProducerState::Active &&
+               config_.producerTimeoutSeconds > 0.0) {
+      const std::uint64_t beat =
+          ref64(super_->heartbeatNs).load(std::memory_order_relaxed);
+      const std::uint64_t now = steadyNowNs();
+      const auto timeoutNs = static_cast<std::uint64_t>(
+          config_.producerTimeoutSeconds * 1e9);
+      result.status = (now > beat && now - beat > timeoutNs)
+                          ? PollStatus::ProducerLost
+                          : PollStatus::Waiting;
+    } else {
+      result.status = PollStatus::Waiting;
+    }
+    return result;
+  }
+
+  std::uint8_t* slot =
+      base_ + frameOffset(cursor_, frameCount_, payloadBytes_);
+  auto* header = reinterpret_cast<FrameHeader*>(slot);
+  const std::uint64_t want = cursor_ * 2 + 2;
+  const std::uint64_t s1 = ref64(header->seq).load(std::memory_order_acquire);
+  if (s1 < want) {
+    // head said the frame exists but its slot is behind — the writer is
+    // mid-commit.  Usually that resolves in nanoseconds; if the
+    // heartbeat is stale the producer died mid-frame, and waiting
+    // forever would hang the consumer.
+    const auto state = static_cast<ProducerState>(
+        ref32(super_->producerState).load(std::memory_order_acquire));
+    if (state == ProducerState::Active && config_.producerTimeoutSeconds > 0.0) {
+      const std::uint64_t beat =
+          ref64(super_->heartbeatNs).load(std::memory_order_relaxed);
+      const std::uint64_t now = steadyNowNs();
+      const auto timeoutNs =
+          static_cast<std::uint64_t>(config_.producerTimeoutSeconds * 1e9);
+      if (now > beat && now - beat > timeoutNs) {
+        result.status = PollStatus::ProducerLost;
+        return result;
+      }
+    }
+    result.status = PollStatus::Waiting;
+    return result;
+  }
+  if (s1 > want) {
+    resync(head, result);
+    return result;
+  }
+  const std::uint32_t storedBytes =
+      ref32(header->payloadBytes).load(std::memory_order_relaxed);
+  const std::uint32_t storedCrc =
+      ref32(header->crc).load(std::memory_order_relaxed);
+  const std::uint64_t stampNs =
+      ref64(header->timestampNs).load(std::memory_order_relaxed);
+  const std::size_t bytes =
+      std::min<std::size_t>(storedBytes, payloadBytes_); // clamp torn sizes
+  payload.resize((bytes + 7) / 8 * 8);
+  copyWordsOut(slot + kFrameHeaderBytes, payload.data(), bytes);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint64_t s2 = ref64(header->seq).load(std::memory_order_relaxed);
+  if (s2 != s1) {
+    resync(ref64(super_->head).load(std::memory_order_acquire), result);
+    return result;
+  }
+  payload.resize(bytes);
+  result.frameNumber = cursor_;
+  if (storedBytes > payloadBytes_ || crc32(payload.data(), bytes) != storedCrc) {
+    // A *stable* frame whose checksum disagrees: genuine corruption
+    // (or an injected fault in the failure tests), not a race.
+    ++stats_.crcFailures;
+    ++cursor_;
+    publishCursor();
+    result.status = PollStatus::Corrupt;
+    return result;
+  }
+  const std::uint64_t now = steadyNowNs();
+  result.latencySeconds =
+      now > stampNs ? static_cast<double>(now - stampNs) * 1e-9 : 0.0;
+  result.status = PollStatus::Frame;
+  ++cursor_;
+  publishCursor();
+  ++stats_.framesRead;
+  stats_.bytesRead += bytes;
+  return result;
+}
+
+void unlinkRing(const std::string& name) {
+  ::shm_unlink(normalizeName(name).c_str());
+}
+
+} // namespace vates::transport

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -157,7 +158,7 @@ TEST_F(StreamFixture, DaqEmitsEveryEventExactlyOnce) {
   // Capacity exceeds the total packet count: the producer can finish
   // before the consumer starts (no concurrent pop below).
   EventChannel channel(100000);
-  const DaqSimulator daq(generator_);
+  DaqSimulator daq(generator_);
   const DaqStats stats = daq.streamRuns(channel, 0, 2);
   channel.close();
 
@@ -201,7 +202,7 @@ TEST_F(StreamFixture, LiveReductionMatchesBatchPipeline) {
   // as they complete.  The final state must equal the batch raw-mode
   // pipeline.
   EventChannel channel(64); // modest capacity: real backpressure
-  const DaqSimulator daq(generator_);
+  DaqSimulator daq(generator_);
   LiveReducer reducer(setup_, Executor(Backend::Serial));
 
   std::thread producer([&] { daq.streamAllAndClose(channel); });
@@ -231,7 +232,7 @@ TEST_F(StreamFixture, LiveReductionMatchesBatchPipeline) {
 
 TEST_F(StreamFixture, SnapshotCoverageGrowsMonotonically) {
   EventChannel channel(64);
-  const DaqSimulator daq(generator_);
+  DaqSimulator daq(generator_);
   LiveReducer reducer(setup_, Executor(Backend::Serial));
 
   std::thread consumer([&] { reducer.consume(channel); });
@@ -256,7 +257,7 @@ TEST_F(StreamFixture, RequestStopEndsConsumeEarly) {
   // Capacity exceeds one run's packet count so the producer can finish
   // before the consumer starts.
   EventChannel channel(100000);
-  const DaqSimulator daq(generator_);
+  DaqSimulator daq(generator_);
   LiveReducer reducer(setup_, Executor(Backend::Serial));
 
   // Fold exactly one run, then stop; the remaining runs stay unread.
@@ -279,7 +280,7 @@ TEST_F(StreamFixture, SnapshotIsSafeDuringConcurrentConsume) {
   // while consume() folds runs on a third.  The snapshots themselves
   // must always be internally consistent (monotone run counts).
   EventChannel channel(16);
-  const DaqSimulator daq(generator_);
+  DaqSimulator daq(generator_);
   LiveReducer reducer(setup_, Executor(Backend::Serial));
 
   std::thread consumer([&] { reducer.consume(channel); });
@@ -310,6 +311,223 @@ TEST_F(StreamFixture, SnapshotIsSafeDuringConcurrentConsume) {
   EXPECT_EQ(final.stats.runsReduced, setup_.spec().nFiles);
   EXPECT_EQ(final.stats.eventsConsumed,
             setup_.spec().nFiles * setup_.spec().eventsPerFile);
+}
+
+// ---------------------------------------------------------------------------
+// Byte bound (the second capacity dimension)
+
+TEST(EventChannelBytes, ByteBoundBlocksProducerUntilPop) {
+  // Generous packet-count capacity; the byte budget is the binding
+  // constraint: two 5-event packets fit, a third must wait for a pop.
+  const std::size_t packetBytes = packetPayloadBytes(makePacket(0, 0, 5));
+  ASSERT_GT(packetBytes, 0u);
+  EventChannel channel(64, 2 * packetBytes);
+
+  channel.push(makePacket(0, 0, 5));
+  channel.push(makePacket(0, 1, 5));
+  EXPECT_EQ(channel.depthBytes(), 2 * packetBytes);
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    channel.push(makePacket(0, 2, 5));
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load()); // count bound is slack; bytes block it
+
+  ASSERT_TRUE(channel.pop().has_value()); // frees one packet's bytes
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+
+  const ChannelStats stats = channel.stats();
+  EXPECT_GE(stats.producerBlockedOnBytes, 1u);
+  EXPECT_GE(stats.producerBlocked, 1u);
+  EXPECT_EQ(stats.maxBytes, 2 * packetBytes);
+  channel.close();
+}
+
+TEST(EventChannelBytes, OversizedPacketAdmittedWhenQueueEmpty) {
+  // A packet bigger than the whole byte budget must not deadlock: the
+  // bound degrades to one-packet-at-a-time.
+  EventChannel channel(4, 64);
+  PulsePacket giant = makePacket(0, 0, 100); // ≫ 64 bytes of payload
+  ASSERT_GT(packetPayloadBytes(giant), 64u);
+  channel.push(std::move(giant)); // empty queue: admitted
+
+  // While the giant packet is queued, even a tiny packet waits.
+  PulsePacket tiny = makePacket(0, 1, 1);
+  EXPECT_FALSE(channel.tryPushFor(tiny, std::chrono::milliseconds(10)));
+  EXPECT_EQ(tiny.pulseIndex, 1u); // returned untouched
+
+  ASSERT_TRUE(channel.pop().has_value());
+  EXPECT_TRUE(channel.tryPushFor(tiny, std::chrono::milliseconds(10)));
+  channel.close();
+}
+
+TEST(EventChannelBytes, ZeroByteCapacityMeansUnbounded) {
+  EventChannel channel(4); // default: no byte bound
+  channel.push(makePacket(0, 0, 1000));
+  channel.push(makePacket(0, 1, 1000));
+  EXPECT_EQ(channel.stats().producerBlockedOnBytes, 0u);
+  EXPECT_GT(channel.depthBytes(), 0u);
+  channel.close();
+}
+
+TEST(EventChannelBytes, PopWakesByteBlockedProducerPromptly) {
+  const std::size_t packetBytes = packetPayloadBytes(makePacket(0, 0, 4));
+  EventChannel channel(64, packetBytes); // budget: exactly one packet
+  channel.push(makePacket(0, 0, 4));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    channel.push(makePacket(0, 1, 4));
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto popStart = std::chrono::steady_clock::now();
+  ASSERT_TRUE(channel.pop().has_value());
+  producer.join();
+  // The wake must come from pop's notify, not a timeout sweep.
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          popStart)
+                .count(),
+            1.0);
+  EXPECT_TRUE(pushed.load());
+  channel.close();
+}
+
+TEST(EventChannelBytes, TryPushForTimesOutAndLeavesPacketIntact) {
+  EventChannel channel(1);
+  channel.push(makePacket(0, 0, 2));
+
+  PulsePacket packet = makePacket(1, 7, 3);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(channel.tryPushFor(packet, std::chrono::milliseconds(30)));
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(waited, 0.025);
+  // The packet is handed back untouched for a retry.
+  EXPECT_EQ(packet.runIndex, 1u);
+  EXPECT_EQ(packet.pulseIndex, 7u);
+  EXPECT_EQ(packet.events.size(), 3u);
+
+  ASSERT_TRUE(channel.pop().has_value());
+  EXPECT_TRUE(channel.tryPushFor(packet, std::chrono::milliseconds(30)));
+  channel.close();
+}
+
+TEST(EventChannelBytes, TryPushForThrowsOnClosedChannel) {
+  EventChannel channel(1);
+  channel.close();
+  PulsePacket packet = makePacket(0, 0, 1);
+  EXPECT_THROW(channel.tryPushFor(packet, std::chrono::milliseconds(1)),
+               InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// DAQ stop token
+
+TEST_F(StreamFixture, DaqRequestStopUnblocksBackpressuredProducer) {
+  // Capacity 1 and no consumer: the simulator wedges on backpressure
+  // almost immediately.  requestStop() must get it back within the
+  // bounded-wait slice, with the stream marked cut-short.
+  EventChannel channel(1);
+  DaqSimulator daq(generator_);
+
+  DaqStats stats;
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    stats = daq.streamRuns(channel, 0, setup_.spec().nFiles);
+    returned = true;
+  });
+
+  // Wait until it is genuinely blocked on the full channel.
+  while (channel.depth() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+
+  const auto stopStart = std::chrono::steady_clock::now();
+  daq.requestStop();
+  producer.join();
+  const double stopLatency =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    stopStart)
+          .count();
+
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_LT(stopLatency, 1.0); // ~10 ms slices, with head-room for CI
+  EXPECT_LT(stats.runsEmitted, static_cast<std::uint64_t>(
+                                   setup_.spec().nFiles));
+  channel.close();
+
+  // The token resets on the next call: a fresh stream runs to the end.
+  EventChannel freshChannel(1024);
+  const DaqStats fresh = daq.streamRuns(freshChannel, 0, 1);
+  EXPECT_FALSE(fresh.stopped);
+  EXPECT_EQ(fresh.runsEmitted, 1u);
+  freshChannel.close();
+}
+
+// ---------------------------------------------------------------------------
+// abortRun handling in the reducer
+
+TEST_F(StreamFixture, AbortRunDiscardsPartialBufferAndCounts) {
+  EventChannel channel(64);
+  LiveReducer reducer(setup_, Executor(Backend::Serial));
+
+  std::thread consumer([&] { reducer.consume(channel); });
+
+  // Run 0 completes; run 1 is cut down mid-stream by an abort packet;
+  // run 2 completes.  Only runs 0 and 2 may reach the accumulated
+  // state.
+  DaqSimulator daq(generator_);
+  daq.streamRuns(channel, 0, 1);
+  channel.push(makePacket(1, 0, 50));
+  channel.push(makePacket(1, 1, 50));
+  PulsePacket abort;
+  abort.abortRun = true;
+  channel.push(std::move(abort));
+  daq.streamRuns(channel, 2, 3);
+  channel.close();
+  consumer.join();
+
+  const LiveSnapshot snapshot = reducer.snapshot();
+  EXPECT_EQ(snapshot.stats.runsReduced, 2u);
+  EXPECT_EQ(snapshot.stats.runsDropped, 1u);
+
+  // The aborted run left no trace: the state equals reducing runs 0
+  // and 2 alone.
+  EventChannel cleanChannel(64);
+  LiveReducer cleanReducer(setup_, Executor(Backend::Serial));
+  std::thread cleanConsumer([&] { cleanReducer.consume(cleanChannel); });
+  DaqSimulator cleanDaq(generator_);
+  cleanDaq.streamRuns(cleanChannel, 0, 1);
+  cleanDaq.streamRuns(cleanChannel, 2, 3);
+  cleanChannel.close();
+  cleanConsumer.join();
+
+  const LiveSnapshot clean = cleanReducer.snapshot();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < snapshot.signal.size(); ++i) {
+    worst = std::max(worst, std::fabs(snapshot.signal.data()[i] -
+                                      clean.signal.data()[i]));
+  }
+  EXPECT_EQ(worst, 0.0); // same runs, same order: identical bits
+}
+
+TEST_F(StreamFixture, AbortRunWithNoPendingRunIsHarmless) {
+  EventChannel channel(8);
+  LiveReducer reducer(setup_, Executor(Backend::Serial));
+  PulsePacket abort;
+  abort.abortRun = true;
+  channel.push(std::move(abort)); // nothing buffered yet
+  channel.close();
+  const LiveStats stats = reducer.consume(channel);
+  EXPECT_EQ(stats.runsReduced, 0u);
+  EXPECT_EQ(stats.runsDropped, 0u); // nothing was actually discarded
 }
 
 } // namespace

@@ -1,0 +1,825 @@
+// Tests for the shm ring transport: packet codec exactness, seqlock
+// round trips, the failure paths (CRC damage, truncated segment,
+// producer death and restart, slow-reader overrun), backpressure
+// policies, the ShmEventSource run-boundary state machine, and the
+// bitwise equivalence of transported live reduction with the batch
+// pipeline.
+
+#include "vates/core/pipeline.hpp"
+#include "vates/stream/daq_simulator.hpp"
+#include "vates/stream/event_channel.hpp"
+#include "vates/stream/live_reducer.hpp"
+#include "vates/support/error.hpp"
+#include "vates/transport/packet_codec.hpp"
+#include "vates/transport/shm_event_source.hpp"
+#include "vates/transport/shm_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace vates::transport {
+namespace {
+
+using stream::PulsePacket;
+
+/// Unique-per-test shm name so parallel ctest invocations never collide.
+std::string testRingName(const std::string& tag) {
+  return "/vates-test-" + tag + "-" + std::to_string(::getpid());
+}
+
+/// RAII unlink so failed tests don't leak segments into later ones.
+struct RingGuard {
+  explicit RingGuard(std::string n) : name(std::move(n)) { unlinkRing(name); }
+  ~RingGuard() { unlinkRing(name); }
+  std::string name;
+};
+
+PulsePacket makePacket(std::uint32_t run, std::uint32_t pulse,
+                       std::size_t events, bool endOfRun) {
+  PulsePacket packet;
+  packet.runIndex = run;
+  packet.pulseIndex = pulse;
+  packet.endOfRun = endOfRun;
+  for (std::size_t i = 0; i < events; ++i) {
+    packet.events.append(run * 1000 + static_cast<std::uint32_t>(i),
+                         1234.5 + 0.25 * static_cast<double>(i), pulse,
+                         1.0 / (1.0 + static_cast<double>(i)));
+  }
+  return packet;
+}
+
+/// Map an existing segment for fault injection.  Stores go through
+/// atomic_ref so the TSan leg sees the same synchronization the
+/// transport itself uses.
+struct RawSegment {
+  explicit RawSegment(const std::string& name) {
+    const int fd = ::shm_open(name.c_str(), O_RDWR, 0);
+    if (fd >= 0) {
+      bytes = static_cast<std::size_t>(::lseek(fd, 0, SEEK_END));
+      base = static_cast<std::uint8_t*>(::mmap(
+          nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0));
+      ::close(fd);
+    }
+  }
+  ~RawSegment() {
+    if (base != MAP_FAILED) {
+      ::munmap(base, bytes);
+    }
+  }
+  bool ok() const { return base != MAP_FAILED; }
+  void store64(std::size_t offset, std::uint64_t value) {
+    std::atomic_ref<std::uint64_t>(
+        *reinterpret_cast<std::uint64_t*>(base + offset))
+        .store(value, std::memory_order_release);
+  }
+  std::uint64_t load64(std::size_t offset) {
+    return std::atomic_ref<std::uint64_t>(
+               *reinterpret_cast<std::uint64_t*>(base + offset))
+        .load(std::memory_order_acquire);
+  }
+  std::uint8_t* base = static_cast<std::uint8_t*>(MAP_FAILED);
+  std::size_t bytes = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Packet codec
+
+TEST(PacketCodec, RoundTripIsExact) {
+  PulsePacket packet = makePacket(7, 42, 5, true);
+  // Bit-pattern-hostile values: denormal, negative zero, huge.
+  packet.events.append(99, 5e-324, 42, -0.0);
+  packet.events.append(100, 1.7976931348623157e308, 42, 0.1);
+
+  std::vector<std::uint8_t> frame;
+  encodePacket(packet, true, frame);
+  EXPECT_EQ(frame.size(), packetFrameBytes(packet.events.size()));
+
+  const DecodedPacket decoded = decodePacket(frame.data(), frame.size());
+  EXPECT_TRUE(decoded.runStart);
+  EXPECT_EQ(decoded.packet.runIndex, 7u);
+  EXPECT_EQ(decoded.packet.pulseIndex, 42u);
+  EXPECT_TRUE(decoded.packet.endOfRun);
+  ASSERT_EQ(decoded.packet.events.size(), packet.events.size());
+  for (std::size_t i = 0; i < packet.events.size(); ++i) {
+    EXPECT_EQ(decoded.packet.events.detectorId(i), packet.events.detectorId(i));
+    EXPECT_EQ(decoded.packet.events.pulseIndex(i), packet.events.pulseIndex(i));
+    // Bitwise, not approximate: memcmp the doubles.
+    const double tofA = decoded.packet.events.tof(i);
+    const double tofB = packet.events.tof(i);
+    EXPECT_EQ(std::memcmp(&tofA, &tofB, sizeof tofA), 0);
+    const double weightA = decoded.packet.events.weight(i);
+    const double weightB = packet.events.weight(i);
+    EXPECT_EQ(std::memcmp(&weightA, &weightB, sizeof weightA), 0);
+  }
+}
+
+TEST(PacketCodec, EmptyPacketRoundTrips) {
+  const PulsePacket packet = makePacket(3, 0, 0, true);
+  std::vector<std::uint8_t> frame;
+  encodePacket(packet, false, frame);
+  const DecodedPacket decoded = decodePacket(frame.data(), frame.size());
+  EXPECT_FALSE(decoded.runStart);
+  EXPECT_TRUE(decoded.packet.endOfRun);
+  EXPECT_EQ(decoded.packet.events.size(), 0u);
+}
+
+TEST(PacketCodec, StructuralDamageThrows) {
+  std::vector<std::uint8_t> frame;
+  encodePacket(makePacket(0, 0, 3, false), false, frame);
+  // Truncated buffer.
+  EXPECT_THROW(decodePacket(frame.data(), frame.size() - 1), IOError);
+  // Unknown kind word.
+  std::vector<std::uint8_t> bad = frame;
+  bad[0] = 0xFF;
+  EXPECT_THROW(decodePacket(bad.data(), bad.size()), IOError);
+  // Event count inconsistent with the size.
+  bad = frame;
+  bad[16] = 77; // nEvents field
+  EXPECT_THROW(decodePacket(bad.data(), bad.size()), IOError);
+  // Too short to even hold a header.
+  EXPECT_THROW(decodePacket(frame.data(), 4), IOError);
+}
+
+TEST(PacketCodec, MaxEventsMatchesFrameBytes) {
+  EXPECT_EQ(maxEventsPerFrame(kPacketHeaderBytes), 0u);
+  const std::size_t capacity = 64 * 1024;
+  const std::size_t maxEvents = maxEventsPerFrame(capacity);
+  EXPECT_GT(maxEvents, 0u);
+  EXPECT_LE(packetFrameBytes(maxEvents), capacity);
+  EXPECT_GT(packetFrameBytes(maxEvents + 1), capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Ring round trip + cold attach
+
+TEST(ShmRing, WriterReaderRoundTrip) {
+  const RingGuard guard(testRingName("roundtrip"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 16;
+  config.framePayloadBytes = 4096;
+  ShmRingWriter writer(config);
+  EXPECT_FALSE(writer.adoptedExistingSegment());
+
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  ShmRingReader reader(readerConfig);
+
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> payload(100 + 7 * i);
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+      payload[b] = static_cast<std::uint8_t>(i + b);
+    }
+    ASSERT_TRUE(writer.publish(payload.data(), payload.size()));
+    sent.push_back(std::move(payload));
+  }
+  writer.finish();
+
+  std::vector<std::uint8_t> payload;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    PollResult result = reader.poll(payload);
+    ASSERT_EQ(result.status, PollStatus::Frame) << pollStatusName(result.status);
+    EXPECT_EQ(result.frameNumber, i);
+    EXPECT_EQ(payload, sent[i]);
+    EXPECT_GE(result.latencySeconds, 0.0);
+  }
+  EXPECT_EQ(reader.poll(payload).status, PollStatus::EndOfStream);
+  EXPECT_EQ(reader.stats().framesRead, 10u);
+  EXPECT_EQ(reader.stats().crcFailures, 0u);
+  EXPECT_EQ(writer.stats().framesPublished, 10u);
+}
+
+TEST(ShmRing, ColdAttachTimesOutWithoutProducer) {
+  const RingGuard guard(testRingName("noproducer"));
+  ReaderConfig config;
+  config.name = guard.name;
+  config.attachTimeoutSeconds = 0.05;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(ShmRingReader reader(config), IOError);
+  EXPECT_GE(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count(),
+            0.04);
+}
+
+TEST(ShmRing, GeometryMismatchOnAdoptThrows) {
+  const RingGuard guard(testRingName("geometry"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 8;
+  config.framePayloadBytes = 1024;
+  config.unlinkOnDestroy = false;
+  { ShmRingWriter writer(config); }
+  RingConfig other = config;
+  other.frameCount = 16;
+  EXPECT_THROW(ShmRingWriter writer(other), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Failure paths
+
+TEST(ShmRing, CrcDamagedFrameIsSkippedAndCounted) {
+  const RingGuard guard(testRingName("crc"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 8;
+  config.framePayloadBytes = 256;
+  ShmRingWriter writer(config);
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  ShmRingReader reader(readerConfig);
+
+  std::vector<std::uint8_t> payload(128, 0xAB);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(writer.publish(payload.data(), payload.size()));
+  }
+  writer.finish();
+
+  // Flip an aligned payload word of frame 1 behind the CRC's back.
+  RawSegment segment(guard.name);
+  ASSERT_TRUE(segment.ok());
+  const std::size_t target =
+      frameOffset(1, config.frameCount, config.framePayloadBytes) +
+      kFrameHeaderBytes;
+  segment.store64(target, ~segment.load64(target));
+
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(reader.poll(out).status, PollStatus::Frame);
+  const PollResult damaged = reader.poll(out);
+  EXPECT_EQ(damaged.status, PollStatus::Corrupt);
+  EXPECT_EQ(damaged.frameNumber, 1u);
+  EXPECT_EQ(reader.poll(out).status, PollStatus::Frame); // frame 2 intact
+  EXPECT_EQ(reader.poll(out).status, PollStatus::EndOfStream);
+  EXPECT_EQ(reader.stats().crcFailures, 1u);
+  EXPECT_EQ(reader.stats().framesRead, 2u);
+}
+
+TEST(ShmRing, TruncatedSegmentIsRejectedOnAttach) {
+  const RingGuard guard(testRingName("truncated"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 8;
+  config.framePayloadBytes = 1024;
+  config.unlinkOnDestroy = false;
+  { ShmRingWriter writer(config); } // leaves a valid segment behind
+
+  // Shear off the frame area: the superblock still advertises 8 frames.
+  const int fd = ::shm_open(guard.name.c_str(), O_RDWR, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::ftruncate(fd, static_cast<off_t>(kSuperblockBytes)), 0);
+  ::close(fd);
+
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  try {
+    ShmRingReader reader(readerConfig);
+    FAIL() << "attach to a truncated segment must throw";
+  } catch (const IOError& error) {
+    EXPECT_NE(std::string(error.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(ShmRing, ProducerDeathMidFrameIsDetected) {
+  const RingGuard guard(testRingName("midframe"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 8;
+  config.framePayloadBytes = 256;
+  ShmRingWriter writer(config);
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  readerConfig.producerTimeoutSeconds = 0.05;
+  ShmRingReader reader(readerConfig);
+
+  std::vector<std::uint8_t> payload(64, 0x11);
+  ASSERT_TRUE(writer.publish(payload.data(), payload.size()));
+
+  // Forge a producer that died mid-commit: frame 1 announced via head,
+  // its slot seq left odd (write in progress), heartbeat frozen.
+  RawSegment segment(guard.name);
+  ASSERT_TRUE(segment.ok());
+  const std::size_t headOffset = offsetof(Superblock, head);
+  const std::size_t seqOffset =
+      frameOffset(1, config.frameCount, config.framePayloadBytes) +
+      offsetof(FrameHeader, seq);
+  segment.store64(seqOffset, 2 * 1 + 1);
+  segment.store64(headOffset, 2);
+  const std::size_t beatOffset = offsetof(Superblock, heartbeatNs);
+  segment.store64(beatOffset, 1); // ancient
+
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(reader.poll(out).status, PollStatus::Frame); // frame 0 fine
+  // Frame 1 never completes; once the heartbeat is stale the reader
+  // reports the producer lost instead of waiting forever.
+  PollStatus status = PollStatus::Waiting;
+  for (int i = 0; i < 100 && status == PollStatus::Waiting; ++i) {
+    status = reader.poll(out).status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(status, PollStatus::ProducerLost);
+}
+
+TEST(ShmRing, StaleHeartbeatWhileDrainedIsProducerLost) {
+  const RingGuard guard(testRingName("stale"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 4;
+  config.framePayloadBytes = 256;
+  ShmRingWriter writer(config);
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  readerConfig.producerTimeoutSeconds = 0.05;
+  ShmRingReader reader(readerConfig);
+
+  RawSegment segment(guard.name);
+  ASSERT_TRUE(segment.ok());
+  segment.store64(offsetof(Superblock, heartbeatNs), 1);
+
+  std::vector<std::uint8_t> out;
+  PollStatus status = PollStatus::Waiting;
+  for (int i = 0; i < 100 && status == PollStatus::Waiting; ++i) {
+    status = reader.poll(out).status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(status, PollStatus::ProducerLost);
+}
+
+TEST(ShmRing, ProducerRestartBumpsEpoch) {
+  const RingGuard guard(testRingName("restart"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 8;
+  config.framePayloadBytes = 256;
+  config.unlinkOnDestroy = false;
+
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  std::vector<std::uint8_t> payload(64, 0x22);
+  std::vector<std::uint8_t> out;
+
+  auto first = std::make_unique<ShmRingWriter>(config);
+  ShmRingReader reader(readerConfig);
+  ASSERT_TRUE(first->publish(payload.data(), payload.size()));
+  EXPECT_EQ(reader.poll(out).status, PollStatus::Frame);
+  first.reset(); // producer exits; the segment survives
+
+  // Writer 2 adopts the surviving segment (a producer restart).
+  ShmRingWriter writer(config);
+  EXPECT_TRUE(writer.adoptedExistingSegment());
+  ASSERT_TRUE(writer.publish(payload.data(), payload.size()));
+
+  EXPECT_EQ(reader.poll(out).status, PollStatus::Restarted);
+  EXPECT_EQ(reader.stats().producerRestarts, 1u);
+  // After acknowledging the restart the reader keeps consuming.
+  PollStatus status = PollStatus::Waiting;
+  for (int i = 0; i < 100 && status == PollStatus::Waiting; ++i) {
+    status = reader.poll(out).status;
+  }
+  EXPECT_EQ(status, PollStatus::Frame);
+}
+
+TEST(ShmRing, SlowReaderOverrunsAndResyncs) {
+  const RingGuard guard(testRingName("overrun"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 8;
+  config.framePayloadBytes = 256;
+  config.policy = BackpressurePolicy::DropOldest;
+  ShmRingWriter writer(config);
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  ShmRingReader reader(readerConfig);
+
+  const std::uint64_t total = 64;
+  std::vector<std::uint8_t> payload(64);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    std::memcpy(payload.data(), &i, sizeof i);
+    ASSERT_TRUE(writer.publish(payload.data(), payload.size()));
+  }
+  writer.finish();
+
+  // The reader was lapped several times over: it must detect the
+  // overrun, resync forward, and account for every frame as either
+  // read or dropped.
+  std::uint64_t read = 0;
+  bool sawOverrun = false;
+  std::vector<std::uint8_t> out;
+  for (;;) {
+    const PollResult result = reader.poll(out);
+    if (result.status == PollStatus::EndOfStream) {
+      break;
+    }
+    if (result.status == PollStatus::Overrun) {
+      sawOverrun = true;
+      continue;
+    }
+    ASSERT_EQ(result.status, PollStatus::Frame);
+    ++read;
+    // Frames that survive the resync are never torn: their payload
+    // matches their frame number exactly.
+    std::uint64_t tag = 0;
+    std::memcpy(&tag, out.data(), sizeof tag);
+    EXPECT_EQ(tag, result.frameNumber);
+  }
+  EXPECT_TRUE(sawOverrun);
+  EXPECT_GE(reader.stats().overruns, 1u);
+  EXPECT_EQ(reader.stats().framesRead, read);
+  EXPECT_EQ(reader.stats().framesRead + reader.stats().framesDropped, total);
+  EXPECT_EQ(reader.stats().crcFailures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure
+
+TEST(ShmRing, BlockPolicyWaitsForSlowReaderAndHonorsStop) {
+  const RingGuard guard(testRingName("block"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 4;
+  config.framePayloadBytes = 256;
+  config.policy = BackpressurePolicy::Block;
+  config.readerTimeoutSeconds = 30.0; // the parked reader stays "live"
+  ShmRingWriter writer(config);
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  ShmRingReader reader(readerConfig);
+
+  std::vector<std::uint8_t> payload(64, 0x33);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(writer.publish(payload.data(), payload.size()));
+  }
+  // Ring full, reader parked at 0: the fifth publish must block until
+  // the stop token flips.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> returned{false};
+  std::atomic<bool> published{true};
+  std::thread publisher([&] {
+    published = writer.publish(payload.data(), payload.size(), &stop);
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(returned.load());
+  stop = true;
+  publisher.join();
+  EXPECT_FALSE(published.load());
+  EXPECT_GE(writer.stats().backpressureWaits, 1u);
+  EXPECT_EQ(writer.stats().framesPublished, 4u);
+
+  // The parked frames are all still intact for the reader.
+  std::vector<std::uint8_t> out;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(reader.poll(out).status, PollStatus::Frame);
+  }
+}
+
+TEST(ShmRing, DeadReaderDoesNotBlockTheBeamline) {
+  const RingGuard guard(testRingName("deadreader"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 4;
+  config.framePayloadBytes = 256;
+  config.policy = BackpressurePolicy::Block;
+  config.readerTimeoutSeconds = 0.05; // presumed dead quickly
+  ShmRingWriter writer(config);
+  ReaderConfig readerConfig;
+  readerConfig.name = guard.name;
+  ShmRingReader reader(readerConfig); // attaches, then never polls
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // Its heartbeat is now stale: publishes must sail through even though
+  // its cursor never moves.
+  std::vector<std::uint8_t> payload(64, 0x44);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(writer.publish(payload.data(), payload.size()));
+  }
+  EXPECT_EQ(writer.stats().framesPublished, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// ShmEventSource
+
+/// Publish packets for a run: one frame per packet.
+void publishRun(ShmRingWriter& writer, std::uint32_t run,
+                std::uint32_t pulses, bool withRunStart = true) {
+  std::vector<std::uint8_t> frame;
+  for (std::uint32_t p = 0; p < pulses; ++p) {
+    const PulsePacket packet = makePacket(run, p, 3, p + 1 == pulses);
+    encodePacket(packet, withRunStart && p == 0, frame);
+    ASSERT_TRUE(writer.publish(frame.data(), frame.size()));
+  }
+}
+
+TEST(ShmEventSource, DrainsAllFramesIntoChannel) {
+  const RingGuard guard(testRingName("source"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 64;
+  config.framePayloadBytes = 4096;
+  ShmRingWriter writer(config);
+  publishRun(writer, 0, 5);
+  publishRun(writer, 1, 4);
+  writer.finish();
+
+  SourceConfig sourceConfig;
+  sourceConfig.reader.name = guard.name;
+  ShmEventSource source(sourceConfig);
+  stream::EventChannel channel(64);
+  std::thread drain([&] { source.run(channel); });
+
+  std::vector<PulsePacket> received;
+  while (auto packet = channel.pop()) {
+    received.push_back(std::move(*packet));
+  }
+  drain.join();
+
+  ASSERT_EQ(received.size(), 9u);
+  EXPECT_EQ(received[0].runIndex, 0u);
+  EXPECT_TRUE(received[4].endOfRun);
+  EXPECT_EQ(received[5].runIndex, 1u);
+  EXPECT_TRUE(received[8].endOfRun);
+  const IngestStats stats = source.stats();
+  EXPECT_EQ(stats.framesIngested, 9u);
+  EXPECT_EQ(stats.eventsIngested, 9u * 3u);
+  EXPECT_EQ(stats.runsDropped, 0u);
+  EXPECT_TRUE(stats.endOfStream);
+  EXPECT_EQ(source.latencySamples().size(), 9u);
+}
+
+TEST(ShmEventSource, MidStreamAttachSkipsToNextRunBoundary) {
+  const RingGuard guard(testRingName("skip"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 64;
+  config.framePayloadBytes = 4096;
+  ShmRingWriter writer(config);
+  // Run 0's packets carry no run-start flag — as if the reader attached
+  // after the stream began (its true first frames already recycled).
+  publishRun(writer, 0, 4, /*withRunStart=*/false);
+  publishRun(writer, 1, 3);
+  writer.finish();
+
+  SourceConfig sourceConfig;
+  sourceConfig.reader.name = guard.name;
+  ShmEventSource source(sourceConfig);
+  stream::EventChannel channel(64);
+  std::thread drain([&] { source.run(channel); });
+
+  std::vector<PulsePacket> received;
+  while (auto packet = channel.pop()) {
+    received.push_back(std::move(*packet));
+  }
+  drain.join();
+
+  // Only complete run 1 reached the channel; run 0 was dropped whole.
+  ASSERT_EQ(received.size(), 3u);
+  for (const PulsePacket& packet : received) {
+    EXPECT_EQ(packet.runIndex, 1u);
+    EXPECT_FALSE(packet.abortRun);
+  }
+  EXPECT_EQ(source.stats().runsDropped, 1u);
+}
+
+TEST(ShmEventSource, RequestStopInterruptsAttachWait) {
+  const RingGuard guard(testRingName("stopattach"));
+  SourceConfig sourceConfig;
+  sourceConfig.reader.name = guard.name; // never created
+  sourceConfig.reader.attachTimeoutSeconds = 30.0;
+  ShmEventSource source(sourceConfig);
+  stream::EventChannel channel(4);
+  std::thread drain([&] { source.run(channel); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  source.requestStop();
+  drain.join(); // must return promptly, long before the 30 s budget
+  EXPECT_TRUE(source.stats().stopped);
+  EXPECT_TRUE(channel.closed());
+}
+
+TEST(ShmEventSource, AbortsPartialRunOnProducerRestart) {
+  const RingGuard guard(testRingName("abort"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 64;
+  config.framePayloadBytes = 4096;
+  config.unlinkOnDestroy = false;
+
+  SourceConfig sourceConfig;
+  sourceConfig.reader.name = guard.name;
+  sourceConfig.reader.attachTimeoutSeconds = 5.0;
+  sourceConfig.reader.producerTimeoutSeconds = 0.1;
+  sourceConfig.stopOnProducerLost = false;
+  ShmEventSource source(sourceConfig);
+  stream::EventChannel channel(64);
+
+  // Run 0 starts but never finishes: the producer "crashes" — it stops
+  // publishing and heartbeating without marking the stream finished.
+  // (Destroying the writer would call finish(), which is a clean
+  // shutdown, not a crash; so the crashed writer merely goes silent.)
+  ShmRingWriter crashed(config);
+  std::vector<std::uint8_t> frame;
+  encodePacket(makePacket(0, 0, 3, false), true, frame);
+  ASSERT_TRUE(crashed.publish(frame.data(), frame.size()));
+
+  // A consumer that understands abortRun: count what it would reduce.
+  std::uint64_t completedRuns = 0;
+  std::uint64_t abortsSeen = 0;
+  std::thread consumer([&] {
+    while (auto packet = channel.pop()) {
+      if (packet->abortRun) {
+        ++abortsSeen;
+        continue;
+      }
+      if (packet->endOfRun) {
+        ++completedRuns;
+      }
+    }
+  });
+  std::thread drain([&] { source.run(channel); });
+
+  // Wait until the source has forwarded run 0's first pulse, then let
+  // the heartbeat go stale (ProducerLost after ~0.1 s of silence).
+  while (source.stats().framesIngested < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  while (!source.stats().producerLost) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Restarted producer: adopts the segment, epoch bumps, run 1 streams
+  // complete, clean shutdown.
+  {
+    ShmRingWriter writer(config);
+    EXPECT_TRUE(writer.adoptedExistingSegment());
+    publishRun(writer, 1, 3);
+    writer.finish();
+  }
+  drain.join();
+  consumer.join();
+
+  EXPECT_EQ(abortsSeen, 1u);      // run 0 was explicitly aborted
+  EXPECT_EQ(completedRuns, 1u);   // run 1 arrived whole
+  const IngestStats stats = source.stats();
+  EXPECT_EQ(stats.producerRestarts, 1u);
+  EXPECT_GE(stats.runsDropped, 1u);
+  unlinkRing(guard.name);
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise equivalence through the whole transport
+
+TEST(ShmTransport, LiveIngestedReductionIsBitwiseIdenticalToBatch) {
+  const RingGuard guard(testRingName("bitwise"));
+  const ExperimentSetup setup(WorkloadSpec::benzilCorelli(0.0005));
+  const EventGenerator generator = setup.makeGenerator();
+
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 128;
+  config.framePayloadBytes = 64 * 1024;
+  ShmRingWriter writer(config);
+
+  // Consumer side first: ShmEventSource → EventChannel → LiveReducer,
+  // as vates_serve's live mode does.
+  SourceConfig sourceConfig;
+  sourceConfig.reader.name = guard.name;
+  ShmEventSource source(sourceConfig);
+  stream::EventChannel channel(256);
+  stream::LiveReducer reducer(setup, Executor(Backend::Serial));
+  std::thread drain([&] { source.run(channel); });
+
+  // As vates_daq --wait-readers does: don't start the beam until the
+  // consumer is registered, or the ring can wrap before it attaches
+  // and the first runs are lost.
+  while (writer.liveReaders() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Producer side: DaqSimulator → encode → publish, as vates_daq does.
+  stream::EventChannel daqChannel(256);
+  stream::DaqSimulator daq(generator);
+  std::thread producer([&] {
+    std::vector<std::uint8_t> frame;
+    std::thread slicer([&] { daq.streamAllAndClose(daqChannel); });
+    bool runOpen = false;
+    std::uint32_t openRun = 0;
+    while (auto packet = daqChannel.pop()) {
+      const bool runStart = !runOpen || packet->runIndex != openRun;
+      runOpen = !packet->endOfRun;
+      openRun = packet->runIndex;
+      encodePacket(*packet, runStart, frame);
+      ASSERT_TRUE(writer.publish(frame.data(), frame.size()));
+    }
+    slicer.join();
+    writer.finish();
+  });
+
+  const stream::LiveStats liveStats = reducer.consume(channel);
+  producer.join();
+  drain.join();
+
+  EXPECT_EQ(liveStats.runsReduced, setup.spec().nFiles);
+  EXPECT_EQ(source.stats().runsDropped, 0u);
+  EXPECT_EQ(source.stats().crcFailures, 0u);
+
+  core::ReductionConfig batchConfig;
+  batchConfig.backend = Backend::Serial;
+  batchConfig.loadMode = core::LoadMode::RawTof;
+  const core::ReductionResult batch =
+      core::ReductionPipeline(setup, batchConfig).run();
+
+  const stream::LiveSnapshot live = reducer.snapshot();
+  ASSERT_EQ(live.signal.size(), batch.signal.size());
+  // Bitwise, not within-epsilon: the codec moves IEEE bit patterns and
+  // the reduction order is identical, so memcmp must agree.
+  EXPECT_EQ(std::memcmp(live.signal.data().data(), batch.signal.data().data(),
+                        live.signal.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(live.normalization.data().data(),
+                        batch.normalization.data().data(),
+                        live.normalization.size() * sizeof(double)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-reader stress (the TSan leg runs this with full instrumentation)
+
+TEST(ShmTransport, MultiReaderBurstStressIsRaceFree) {
+  const RingGuard guard(testRingName("stress"));
+  RingConfig config;
+  config.name = guard.name;
+  config.frameCount = 32;
+  config.framePayloadBytes = 512;
+  config.policy = BackpressurePolicy::DropOldest;
+  ShmRingWriter writer(config);
+
+  constexpr std::size_t kReaders = 3;
+  constexpr std::uint64_t kFrames = 2000;
+
+  std::vector<std::unique_ptr<ShmRingReader>> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    ReaderConfig readerConfig;
+    readerConfig.name = guard.name;
+    readers.push_back(std::make_unique<ShmRingReader>(readerConfig));
+  }
+
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> threads;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      std::vector<std::uint8_t> out;
+      for (;;) {
+        const PollResult result = readers[r]->poll(out);
+        if (result.status == PollStatus::EndOfStream) {
+          return;
+        }
+        if (result.status == PollStatus::Frame) {
+          // Tear check: every byte of a frame must carry its tag.
+          std::uint64_t tag = 0;
+          std::memcpy(&tag, out.data(), sizeof tag);
+          if (tag != result.frameNumber) {
+            ++torn;
+          }
+          for (std::size_t b = 8; b < out.size(); ++b) {
+            if (out[b] != static_cast<std::uint8_t>(result.frameNumber)) {
+              ++torn;
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<std::uint8_t> payload(256);
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    std::memcpy(payload.data(), &i, sizeof i);
+    std::fill(payload.begin() + 8, payload.end(),
+              static_cast<std::uint8_t>(i));
+    ASSERT_TRUE(writer.publish(payload.data(), payload.size()));
+  }
+  writer.finish();
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(torn.load(), 0u);
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    const ReaderStats stats = readers[r]->stats();
+    EXPECT_EQ(stats.crcFailures, 0u);
+    EXPECT_EQ(stats.framesRead + stats.framesDropped, kFrames);
+  }
+}
+
+} // namespace
+} // namespace vates::transport

@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Live ingestion check: the CI leg for the shm ring transport
+# (DESIGN.md §11).
+#
+#   tools/live_ingest_check.sh [build-dir] [plan.ini]
+#
+# Drives a real two-process live session — vates_daq publishing the
+# plan's runs into a shared-memory ring, vates_serve ingesting them in
+# live mode — then asserts:
+#
+#   1. the producer drained the whole campaign (daq-finished reports
+#      every run, no stop) and the consumer ingested every frame with
+#      zero CRC failures, zero overruns, and zero dropped runs (metrics
+#      verb, streams block);
+#   2. a mid-session snapshot made progress (runs_reduced >= 1): live
+#      clients can watch the state evolve before the beam is done;
+#   3. the final live histogram written by live-stop is byte-identical
+#      to an offline batch reduction of the same plan in the same serve
+#      process — the transported stream loses nothing, bit for bit.
+#
+# Exits non-zero, with the offending evidence on stderr, on any failure.
+
+set -euo pipefail
+
+build_dir="${1:-build}"
+plan="${2:-examples/plans/benzil_small.ini}"
+serve="${build_dir}/tools/vates_serve"
+daq="${build_dir}/tools/vates_daq"
+
+for binary in "${serve}" "${daq}"; do
+  if [[ ! -x "${binary}" ]]; then
+    echo "live_ingest_check: missing binary ${binary} (build first)" >&2
+    exit 1
+  fi
+done
+if [[ ! -f "${plan}" ]]; then
+  echo "live_ingest_check: missing plan ${plan}" >&2
+  exit 1
+fi
+plan="$(cd "$(dirname "${plan}")" && pwd)/$(basename "${plan}")"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/vates-live-ingest.XXXXXX")"
+shm_name="/vates-ci-$$"
+cleanup() {
+  rm -rf "${work}"
+  rm -f "/dev/shm${shm_name}"
+}
+trap cleanup EXIT
+
+# Producer: waits for the live reader to register before streaming, so
+# the ring cannot wrap before the consumer attaches (block policy).
+VATES_SHM_NAME="${shm_name}" "${daq}" --plan "${plan}" \
+  --policy block --wait-readers 1 --wait-timeout 30 \
+  > "${work}/daq.json" 2> "${work}/daq.err" &
+daq_pid=$!
+
+# Consumer: attach, snapshot mid-session, read the drop/lag metrics,
+# stop (writes live-<name>.nxl), then reduce the same plan offline in
+# the same process for the bitwise comparison.
+requests() {
+  printf '{"op":"live-attach","plan":"%s","name":"ci","attach_timeout_s":15,"shm":"%s"}\n' \
+    "${plan}" "${shm_name}"
+  sleep 4
+  printf '{"op":"live-snapshot","name":"ci","tag":"mid"}\n'
+  sleep 2
+  printf '{"op":"metrics"}\n'
+  printf '{"op":"live-stop","name":"ci"}\n'
+  sleep 2
+  printf '{"op":"submit","plan":"%s","tag":"offline"}\n' "${plan}"
+  sleep 15
+}
+requests | "${serve}" --input - \
+  --output-dir "${work}" \
+  --journal "${work}/serve.journal" \
+  --no-batching >/dev/null
+
+if ! wait "${daq_pid}"; then
+  echo "live_ingest_check: vates_daq failed:" >&2
+  cat "${work}/daq.err" >&2
+  exit 1
+fi
+
+python3 - "${work}/daq.json" "${work}/serve.journal" <<'PY'
+import json
+import sys
+
+daq_path, journal_path = sys.argv[1], sys.argv[2]
+
+with open(daq_path) as f:
+    daq = json.loads(f.read().strip())
+if daq.get("event") != "daq-finished":
+    sys.exit(f"daq did not finish cleanly: {daq}")
+if daq.get("stopped"):
+    sys.exit(f"daq was cut short: {daq}")
+if int(daq.get("events", 0)) < 1:
+    sys.exit(f"daq streamed no events: {daq}")
+
+attached = snapshot = metrics = stopped = done = None
+with open(journal_path) as journal:
+    for line in journal:
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        kind = event.get("event")
+        if kind == "live-attached":
+            attached = event
+        elif kind == "live-snapshot" and snapshot is None:
+            snapshot = event
+        elif kind == "metrics":
+            metrics = event
+        elif kind == "live-stopped":
+            stopped = event
+        elif kind == "done":
+            done = event
+        elif kind == "error":
+            sys.exit(f"serve journal has an error event: {event}")
+
+if attached is None:
+    sys.exit("journal has no live-attached event")
+if snapshot is None:
+    sys.exit("journal has no live-snapshot event")
+live = snapshot.get("live") or {}
+if live.get("error"):
+    sys.exit(f"live session errored: {live}")
+if int(live.get("runs_reduced", 0)) < 1:
+    sys.exit(f"mid-session snapshot shows no progress: {live}")
+print(f"mid-session snapshot: runs_reduced={live['runs_reduced']} "
+      f"coverage={live.get('coverage', 0):.3f}")
+
+if metrics is None:
+    sys.exit("journal has no metrics event")
+streams = (metrics.get("metrics") or {}).get("streams") or []
+if not streams:
+    sys.exit(f"metrics verb reported no streams block: {metrics}")
+stream = streams[0]
+if int(stream.get("frames_ingested", 0)) < 1:
+    sys.exit(f"stream ingested no frames: {stream}")
+for counter in ("crc_failures", "overruns", "frames_dropped", "runs_dropped"):
+    if int(stream.get(counter, 0)) != 0:
+        sys.exit(f"stream lost data ({counter}={stream[counter]}): {stream}")
+latency = stream.get("ingest_latency") or {}
+print(f"stream metrics: frames_ingested={stream['frames_ingested']} "
+      f"max_lag_frames={stream.get('max_lag_frames', 0)} "
+      f"latency_p50={latency.get('p50_s', 0):.6f}s")
+
+if stopped is None:
+    sys.exit("journal has no live-stopped event")
+final = stopped.get("live") or {}
+if int(final.get("runs_dropped", 1)) != 0:
+    sys.exit(f"final live state dropped runs: {final}")
+if done is None:
+    sys.exit("journal has no terminal done event for the offline job")
+print(f"final live state: runs_reduced={final.get('runs_reduced')} "
+      f"events_consumed={final.get('events_consumed')}")
+PY
+
+live_out="${work}/live-ci.nxl"
+offline_out="$(find "${work}" -name 'job-*.nxl' | sort | head -n 1)"
+if [[ ! -f "${live_out}" || -z "${offline_out}" ]]; then
+  echo "live_ingest_check: missing output (live='${live_out}' offline='${offline_out}')" >&2
+  exit 1
+fi
+if ! cmp "${live_out}" "${offline_out}"; then
+  echo "live_ingest_check: live histogram differs from offline reduction" >&2
+  exit 1
+fi
+echo "live and offline outputs are byte-identical"
+
+echo "live ingest check passed"

@@ -1,0 +1,335 @@
+/// vates_daq — DAQ-simulator producer for the shm ring transport.
+///
+/// Replays a reduction plan's workload (or a scenario-matrix entry) as
+/// per-pulse packets published into a POSIX shared-memory seqlock ring
+/// (see DESIGN.md §11), where live consumers — vates_serve's live mode,
+/// test readers, the stream bench — pick them up.  This is the
+/// process-boundary stand-in for a beamline DAQ front end: start one
+/// vates_daq next to as many reader processes as you like.
+///
+/// Pacing: --rate throttles to N pulses/s; --burst-every/--burst-size
+/// periodically release a burst of unpaced pulses on top, the way real
+/// accelerator pulse charge fluctuates.  Unset, it streams flat out
+/// (the throughput-bench configuration).
+///
+/// The ring is created fresh by default (any stale segment of the same
+/// name is unlinked first, and the segment is unlinked again on clean
+/// exit).  --adopt instead attaches to an existing compatible segment,
+/// bumps the producer epoch — attached readers observe a producer
+/// restart — and leaves the segment in place on exit.
+///
+/// SIGINT/SIGTERM stop the stream cleanly (publishes stop, the ring is
+/// marked Finished) and still print the stats line.  Exit output is a
+/// single JSON object on stdout.
+
+#include "vates/core/plan.hpp"
+#include "vates/events/experiment_setup.hpp"
+#include "vates/scenario/scenario.hpp"
+#include "vates/service/wire.hpp"
+#include "vates/stream/daq_simulator.hpp"
+#include "vates/stream/event_channel.hpp"
+#include "vates/support/cli.hpp"
+#include "vates/support/error.hpp"
+#include "vates/transport/packet_codec.hpp"
+#include "vates/transport/shm_ring.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <optional>
+#include <thread>
+
+namespace {
+
+using namespace vates;
+
+std::atomic<bool> g_stop{false};
+
+void onSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+/// Sleep until \p deadline in slices, keeping the producer heartbeat
+/// fresh and honoring the stop flag (slow pulse rates can out-wait a
+/// reader's producer-timeout otherwise).
+void paceUntil(transport::ShmRingWriter& writer,
+               std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    if (g_stop.load(std::memory_order_relaxed)) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return;
+    }
+    const auto slice =
+        std::min<std::chrono::steady_clock::duration>(
+            deadline - now, std::chrono::milliseconds(100));
+    std::this_thread::sleep_for(slice);
+    writer.heartbeat();
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("vates_daq",
+                 "Stream a workload's pulse packets into a shared-memory "
+                 "ring for live consumers");
+  args.addOption("plan", "Reduction plan whose workload is replayed", "");
+  args.addOption("scenario",
+                 "Scenario-matrix index to replay instead of --plan", "-1");
+  args.addOption("matrix-seed", "Scenario matrix seed (with --scenario)",
+                 std::to_string(scenario::kDefaultMatrixSeed));
+  args.addOption("runs", "Replay only the first N runs (0: all)", "0");
+  args.addOption("shm", "Ring name (default: VATES_SHM_NAME or /vates-daq)",
+                 "");
+  args.addOption("frames", "Ring frame count (default: VATES_SHM_FRAMES)",
+                 "0");
+  args.addOption("frame-bytes",
+                 "Frame payload capacity (default: VATES_SHM_FRAME_BYTES)",
+                 "0");
+  args.addOption("policy",
+                 "Backpressure policy: block | drop-oldest (default: "
+                 "VATES_SHM_POLICY or block)",
+                 "");
+  args.addOption("rate", "Pulse rate in pulses/s (0: unthrottled)", "0");
+  args.addOption("burst-every",
+                 "Release a burst after every N paced pulses (0: never)",
+                 "0");
+  args.addOption("burst-size", "Unpaced pulses per burst", "16");
+  args.addOption("wait-readers",
+                 "Wait for N live readers before streaming (0: start at "
+                 "once)",
+                 "0");
+  args.addOption("wait-timeout", "Reader-wait timeout in seconds", "30");
+  args.addFlag("adopt",
+               "Adopt an existing segment (bumps the epoch; keeps the "
+               "segment on exit) instead of creating fresh");
+  try {
+    if (!args.parse(argc, argv)) {
+      return 0;
+    }
+
+    // Workload: a plan file or a scenario-matrix entry.
+    const std::string planPath = args.getString("plan");
+    const std::int64_t scenarioIndex = args.getInt("scenario");
+    WorkloadSpec workload;
+    std::string workloadName;
+    if (!planPath.empty()) {
+      workload = core::loadReductionPlan(planPath).workload;
+      workloadName = planPath;
+    } else if (scenarioIndex >= 0) {
+      const scenario::Scenario scn = scenario::makeScenario(
+          static_cast<std::size_t>(scenarioIndex),
+          static_cast<std::uint64_t>(args.getInt("matrix-seed")));
+      workload = scn.workload;
+      workloadName = scn.name;
+    } else {
+      throw InvalidArgument("need --plan or --scenario");
+    }
+
+    transport::RingConfig ring =
+        transport::RingConfig::withEnvOverrides(transport::RingConfig{});
+    if (!args.getString("shm").empty()) {
+      ring.name = args.getString("shm");
+    }
+    if (args.getInt("frames") > 0) {
+      ring.frameCount = static_cast<std::size_t>(args.getInt("frames"));
+    }
+    if (args.getInt("frame-bytes") > 0) {
+      ring.framePayloadBytes =
+          static_cast<std::size_t>(args.getInt("frame-bytes"));
+    }
+    if (!args.getString("policy").empty()) {
+      ring.policy = transport::parseBackpressurePolicy(args.getString("policy"));
+    }
+    const bool adopt = args.getFlag("adopt");
+    ring.unlinkOnDestroy = !adopt;
+    if (!adopt) {
+      transport::unlinkRing(ring.name); // stale segment from a crash
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    transport::ShmRingWriter writer(ring);
+    const std::size_t maxEvents =
+        transport::maxEventsPerFrame(writer.framePayloadCapacity());
+    VATES_REQUIRE(maxEvents > 0,
+                  "frame payload capacity cannot fit a single event");
+
+    // Let readers register before frame 0 when the launcher asks for a
+    // loss-free cold start (the CI smoke relies on this).
+    const auto waitReaders =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            0, args.getInt("wait-readers")));
+    if (waitReaders > 0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(args.getDouble("wait-timeout")));
+      while (writer.liveReaders() < waitReaders) {
+        if (g_stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+          throw IOError("timed out waiting for " +
+                        std::to_string(waitReaders) + " reader(s) on " +
+                        ring.name);
+        }
+        writer.heartbeat();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+
+    // The DaqSimulator does the run → pulse-packet slicing on its own
+    // thread; this thread encodes, paces, and publishes.
+    ExperimentSetup setup(workload);
+    const EventGenerator generator = setup.makeGenerator();
+    const std::size_t totalRuns = generator.spec().nFiles;
+    const std::size_t replayRuns =
+        args.getInt("runs") > 0
+            ? std::min<std::size_t>(
+                  static_cast<std::size_t>(args.getInt("runs")), totalRuns)
+            : totalRuns;
+    stream::EventChannel channel(1024);
+    stream::DaqSimulator daq(generator);
+    std::thread producer([&] {
+      try {
+        daq.streamRuns(channel, 0, replayRuns);
+      } catch (const Error&) {
+        // Channel closed under us by a signal-triggered shutdown.
+      }
+      channel.close();
+    });
+
+    const double rate = args.getDouble("rate");
+    const auto pulseInterval =
+        rate > 0 ? std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(1.0 / rate))
+                 : std::chrono::steady_clock::duration::zero();
+    const std::int64_t burstEvery = args.getInt("burst-every");
+    const std::int64_t burstSize = args.getInt("burst-size");
+
+    const auto start = std::chrono::steady_clock::now();
+    auto nextPulseAt = start;
+    std::uint64_t pacedPulses = 0;
+    std::int64_t burstLeft = 0;
+    std::uint64_t pulses = 0;
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+    bool stopped = false;
+    bool runOpen = false;
+    std::uint32_t openRun = 0;
+    std::vector<std::uint8_t> frame;
+
+    for (;;) {
+      if (g_stop.load(std::memory_order_relaxed)) {
+        stopped = true;
+        daq.requestStop();
+        channel.close();
+        break;
+      }
+      std::optional<stream::PulsePacket> packet = channel.pop();
+      if (!packet) {
+        break; // closed and drained: workload complete
+      }
+
+      if (rate > 0) {
+        if (burstLeft > 0) {
+          --burstLeft; // inside a burst: no pacing
+        } else {
+          paceUntil(writer, nextPulseAt);
+          nextPulseAt += pulseInterval;
+          ++pacedPulses;
+          if (burstEvery > 0 &&
+              pacedPulses % static_cast<std::uint64_t>(burstEvery) == 0) {
+            burstLeft = burstSize;
+            // Re-anchor so the burst isn't followed by a catch-up burst.
+            nextPulseAt = std::chrono::steady_clock::now() + pulseInterval;
+          }
+        }
+      }
+
+      const bool runStart = !runOpen || packet->runIndex != openRun;
+      runOpen = !packet->endOfRun;
+      openRun = packet->runIndex;
+      if (packet->endOfRun) {
+        ++runs;
+      }
+      ++pulses;
+      events += packet->events.size();
+
+      // Split packets that exceed the frame capacity; only the final
+      // chunk keeps endOfRun, only the first one carries runStart.
+      const std::size_t n = packet->events.size();
+      std::size_t begin = 0;
+      bool firstChunk = true;
+      do {
+        const std::size_t end = std::min(n, begin + maxEvents);
+        stream::PulsePacket chunk;
+        chunk.runIndex = packet->runIndex;
+        chunk.pulseIndex = packet->pulseIndex;
+        chunk.endOfRun = packet->endOfRun && end == n;
+        chunk.events.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          chunk.events.append(packet->events.detectorId(i),
+                              packet->events.tof(i),
+                              packet->events.pulseIndex(i),
+                              packet->events.weight(i));
+        }
+        transport::encodePacket(chunk, runStart && firstChunk, frame);
+        if (!writer.publish(frame.data(), frame.size(), &g_stop)) {
+          stopped = true;
+          break;
+        }
+        firstChunk = false;
+        begin = end;
+      } while (begin < n);
+      if (stopped) {
+        daq.requestStop();
+        channel.close();
+        break;
+      }
+    }
+    // Unblock and collect the slicing thread even on early exit.
+    producer.join();
+    writer.finish();
+
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const transport::WriterStats ringStats = writer.stats();
+    std::cout << service::JsonObject()
+                     .field("event", "daq-finished")
+                     .field("workload", workloadName)
+                     .field("shm", writer.config().name)
+                     .field("frames", std::uint64_t{ring.frameCount})
+                     .field("frame_bytes",
+                            std::uint64_t{writer.framePayloadCapacity()})
+                     .field("policy",
+                            std::string(transport::backpressurePolicyName(
+                                ring.policy)))
+                     .field("adopted", writer.adoptedExistingSegment())
+                     .field("runs", runs)
+                     .field("pulses", pulses)
+                     .field("events", events)
+                     .field("frames_published", ringStats.framesPublished)
+                     .field("bytes_published", ringStats.bytesPublished)
+                     .field("backpressure_waits", ringStats.backpressureWaits)
+                     .field("stopped", stopped)
+                     .field("wall_s", wallSeconds)
+                     .field("events_per_second",
+                            wallSeconds > 0
+                                ? static_cast<double>(events) / wallSeconds
+                                : 0.0)
+                     .str()
+              << '\n';
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "vates_daq: " << error.what() << '\n';
+    return 1;
+  }
+}

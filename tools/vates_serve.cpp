@@ -16,13 +16,29 @@
 ///   {"op":"cache","action":"stats"|"clear"}
 ///   {"op":"shutdown","drain":true}
 ///
+/// Live ingestion (shm ring transport; see DESIGN.md §11):
+///   {"op":"live-attach","plan":"<plan.ini>","name":"beam",
+///    "shm":"/vates-daq","attach_timeout_s":10,"start":"oldest"|"head"}
+///   {"op":"live-snapshot","name":"beam","tag":"...","output":"p.nxl"}
+///   {"op":"live-stop","name":"beam"}
+///
+/// live-attach spawns the drain + reduce threads and returns at once; a
+/// failed attach surfaces as an "error" field on later snapshot/stop
+/// events.  live-snapshot runs on its own thread, so any number of
+/// clients can snapshot the same stream concurrently while events keep
+/// flowing.  live-stop writes the final histograms to
+/// <output-dir>/live-<name>.nxl.
+///
 /// Journal events: "accepted", "rejected", "status", "metrics",
-/// "error", and one terminal event per job ("done" / "failed" /
-/// "cancelled" / "expired").  Done jobs with --output-dir set also
-/// write their histograms to <dir>/job-<id>.nxl.
+/// "error", "live-attached", "live-snapshot", "live-stopped", and one
+/// terminal event per job ("done" / "failed" / "cancelled" /
+/// "expired").  Done jobs with --output-dir set also write their
+/// histograms to <dir>/job-<id>.nxl.  The metrics event carries one
+/// "streams" entry per attached live session (drop / lag / latency).
 
 #include "vates/core/plan.hpp"
 #include "vates/io/histogram_file.hpp"
+#include "vates/service/live_ingest.hpp"
 #include "vates/service/reduction_service.hpp"
 #include "vates/service/wire.hpp"
 #include "vates/support/cli.hpp"
@@ -34,6 +50,8 @@
 #include <atomic>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -93,7 +111,16 @@ struct ServeState {
   bool stopDrain = true;
   std::mutex waitersMutex;
   std::vector<std::thread> waiters;
+  std::mutex liveMutex;
+  std::map<std::string, std::shared_ptr<LiveIngestSession>> liveSessions;
 };
+
+std::shared_ptr<LiveIngestSession> findLive(ServeState& state,
+                                            const std::string& name) {
+  std::lock_guard<std::mutex> lock(state.liveMutex);
+  const auto it = state.liveSessions.find(name);
+  return it == state.liveSessions.end() ? nullptr : it->second;
+}
 
 /// Per-job waiter: blocks on the job's terminal state, emits the
 /// terminal journal event, and writes the histograms for done jobs.
@@ -180,6 +207,153 @@ void handleSubmit(ServeState& state,
   }
 }
 
+JsonObject liveStatsJson(const std::string& name,
+                         const stream::LiveSnapshot& snapshot,
+                         const std::string& error) {
+  JsonObject object;
+  object.field("name", name)
+      .field("runs_reduced", snapshot.stats.runsReduced)
+      .field("runs_dropped", snapshot.stats.runsDropped)
+      .field("pulses_consumed", snapshot.stats.pulsesConsumed)
+      .field("events_consumed", snapshot.stats.eventsConsumed)
+      .field("coverage", snapshot.coverage);
+  if (!error.empty()) {
+    object.field("error", error);
+  }
+  return object;
+}
+
+void handleLiveAttach(ServeState& state,
+                      const std::map<std::string, std::string>& fields) {
+  const std::string name = fieldOr(fields, "name", "live");
+  try {
+    const std::string planPath = fieldOr(fields, "plan", "");
+    if (planPath.empty()) {
+      throw InvalidArgument("live-attach requires a \"plan\" path");
+    }
+    const core::ReductionPlan plan = core::loadReductionPlan(planPath);
+    LiveIngestOptions options;
+    options.source.reader =
+        transport::ReaderConfig::withEnvOverrides(transport::ReaderConfig{});
+    options.source.reader.attachTimeoutSeconds =
+        std::stod(fieldOr(fields, "attach_timeout_s", "10"));
+    const std::string shm = fieldOr(fields, "shm", "");
+    if (!shm.empty()) {
+      options.source.reader.name = shm;
+    }
+    const std::string start = fieldOr(fields, "start", "oldest");
+    if (start == "head") {
+      options.source.reader.startFrom = transport::StartFrom::Head;
+    } else if (start != "oldest") {
+      throw InvalidArgument("unknown start position: " + start);
+    }
+    std::shared_ptr<LiveIngestSession> session;
+    {
+      std::lock_guard<std::mutex> lock(state.liveMutex);
+      if (state.liveSessions.count(name) != 0) {
+        throw InvalidArgument("live session \"" + name +
+                              "\" is already attached");
+      }
+      session =
+          std::make_shared<LiveIngestSession>(name, plan, options);
+      state.liveSessions.emplace(name, session);
+    }
+    state.journal->write(JsonObject()
+                             .field("event", "live-attached")
+                             .field("name", name)
+                             .field("shm", session->shmName())
+                             .field("plan", planPath)
+                             .str());
+  } catch (const std::exception& error) {
+    state.journal->write(JsonObject()
+                             .field("event", "error")
+                             .field("name", name)
+                             .field("detail", error.what())
+                             .str());
+  }
+}
+
+void handleLiveSnapshot(ServeState& state,
+                        const std::map<std::string, std::string>& fields) {
+  const std::string name = fieldOr(fields, "name", "live");
+  const std::string tag = fieldOr(fields, "tag", "");
+  const std::string outputPath = fieldOr(fields, "output", "");
+  const std::shared_ptr<LiveIngestSession> session = findLive(state, name);
+  if (session == nullptr) {
+    state.journal->write(JsonObject()
+                             .field("event", "error")
+                             .field("detail",
+                                    "unknown live session: " + name)
+                             .str());
+    return;
+  }
+  // Snapshots run on their own thread: several clients can inspect the
+  // same stream concurrently while ingestion continues.
+  std::lock_guard<std::mutex> lock(state.waitersMutex);
+  state.waiters.emplace_back([&state, session, name, tag, outputPath] {
+    const stream::LiveSnapshot snapshot = session->snapshot();
+    JsonObject event;
+    event.field("event", "live-snapshot");
+    if (!tag.empty()) {
+      event.field("tag", tag);
+    }
+    event.fieldRaw("live",
+                   liveStatsJson(name, snapshot, session->error()).str());
+    if (!outputPath.empty()) {
+      try {
+        saveReducedData(outputPath, snapshot.signal, snapshot.normalization,
+                        snapshot.crossSection);
+        event.field("output", outputPath);
+      } catch (const std::exception& error) {
+        event.field("output_error", error.what());
+      }
+    }
+    state.journal->write(event.str());
+  });
+}
+
+void handleLiveStop(ServeState& state,
+                    const std::map<std::string, std::string>& fields) {
+  const std::string name = fieldOr(fields, "name", "live");
+  std::shared_ptr<LiveIngestSession> session;
+  {
+    std::lock_guard<std::mutex> lock(state.liveMutex);
+    const auto it = state.liveSessions.find(name);
+    if (it != state.liveSessions.end()) {
+      session = it->second;
+      state.liveSessions.erase(it);
+    }
+  }
+  if (session == nullptr) {
+    state.journal->write(JsonObject()
+                             .field("event", "error")
+                             .field("detail",
+                                    "unknown live session: " + name)
+                             .str());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(state.waitersMutex);
+  state.waiters.emplace_back([&state, session, name] {
+    const stream::LiveSnapshot final = session->stop();
+    JsonObject event;
+    event.field("event", "live-stopped");
+    event.fieldRaw("live",
+                   liveStatsJson(name, final, session->error()).str());
+    if (!state.outputDir.empty()) {
+      const std::string outputPath =
+          state.outputDir + "/live-" + name + ".nxl";
+      try {
+        saveReducedData(outputPath, final.signal, final.normalization,
+                        final.crossSection);
+        event.field("output", outputPath);
+      } catch (const std::exception& error) {
+        event.field("output_error", error.what());
+      }
+    }
+    state.journal->write(event.str());
+  });
+}
+
 void handleLine(ServeState& state, const std::string& line) {
   std::map<std::string, std::string> fields;
   try {
@@ -195,6 +369,12 @@ void handleLine(ServeState& state, const std::string& line) {
   try {
     if (op == "submit") {
       handleSubmit(state, fields);
+    } else if (op == "live-attach") {
+      handleLiveAttach(state, fields);
+    } else if (op == "live-snapshot") {
+      handleLiveSnapshot(state, fields);
+    } else if (op == "live-stop") {
+      handleLiveStop(state, fields);
     } else if (op == "status") {
       const auto id =
           static_cast<std::uint64_t>(std::stoull(fieldOr(fields, "id", "0")));
@@ -221,9 +401,16 @@ void handleLine(ServeState& state, const std::string& line) {
                                .field("requested", requested)
                                .str());
     } else if (op == "metrics") {
+      ServiceMetrics metrics = state.serviceInstance->metrics();
+      {
+        std::lock_guard<std::mutex> lock(state.liveMutex);
+        for (const auto& [sessionName, session] : state.liveSessions) {
+          metrics.streams.push_back(session->streamMetrics());
+        }
+      }
       JsonObject event;
       event.field("event", "metrics");
-      event.fieldRaw("metrics", state.serviceInstance->metrics().toJson());
+      event.fieldRaw("metrics", metrics.toJson());
       state.journal->write(event.str());
     } else if (op == "cache") {
       const std::string action = fieldOr(fields, "action", "stats");
@@ -372,6 +559,14 @@ int main(int argc, char** argv) {
     }
 
     serviceInstance.shutdown(state.stopDrain);
+    {
+      // Stop any live sessions still attached (joins their threads).
+      std::lock_guard<std::mutex> lock(state.liveMutex);
+      for (auto& [sessionName, session] : state.liveSessions) {
+        session->stop();
+      }
+      state.liveSessions.clear();
+    }
     {
       std::lock_guard<std::mutex> lock(state.waitersMutex);
       for (std::thread& waiter : state.waiters) {
